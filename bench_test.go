@@ -1,0 +1,241 @@
+package ddos
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (see DESIGN.md's per-experiment index), plus ablation
+// benchmarks for the design choices the spatiotemporal model depends on.
+// Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Benchmarks share one generated world (benchWorld) so the expensive
+// dataset generation is amortized; BenchmarkDatasetGeneration measures it
+// separately.
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/cart"
+	"repro/internal/core"
+	"repro/internal/eval"
+)
+
+// benchScale keeps a single bench iteration in the hundreds of
+// milliseconds; the experiment shapes are scale-invariant (see
+// EXPERIMENTS.md for full-scale numbers).
+const benchScale = 0.12
+
+var (
+	benchOnce sync.Once
+	benchEnv  *eval.Env
+	benchErr  error
+)
+
+func benchWorld(b *testing.B) *eval.Env {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchEnv, benchErr = eval.BuildEnv(eval.Config{Seed: 99, Scale: benchScale, HorizonDays: 200})
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchEnv
+}
+
+// BenchmarkDatasetGeneration measures the §II data pipeline: topology
+// synthesis, attack generation, route emission, and Gao inference.
+func BenchmarkDatasetGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env, err := eval.BuildEnv(eval.Config{Seed: uint64(i + 1), Scale: 0.05, HorizonDays: 100})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if env.Dataset.Len() == 0 {
+			b.Fatal("empty dataset")
+		}
+	}
+}
+
+// BenchmarkTable1ActivityLevels regenerates Table I.
+func BenchmarkTable1ActivityLevels(b *testing.B) {
+	env := benchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := eval.RunTable1(env)
+		if len(rows) != 10 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// BenchmarkFigure1TemporalMagnitude regenerates Figure 1 (temporal
+// prediction of attack magnitudes for the three most active families).
+func BenchmarkFigure1TemporalMagnitude(b *testing.B) {
+	env := benchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		series, err := eval.RunFigure1(env, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(series) != 3 {
+			b.Fatal("family count")
+		}
+	}
+}
+
+// BenchmarkFigure2SpatialSources regenerates Figure 2 (spatial prediction
+// of attacking source distributions).
+func BenchmarkFigure2SpatialSources(b *testing.B) {
+	env := benchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.RunFigure2(env, []string{"DirtJumper"}, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure3SpatiotemporalTimestamps regenerates Figure 3 (the
+// spatiotemporal timestamp predictions; Figure 4 derives from the same
+// run).
+func BenchmarkFigure3SpatiotemporalTimestamps(b *testing.B) {
+	env := benchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := eval.RunFigure34(env, eval.Figure34Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.N == 0 {
+			b.Fatal("no predictions")
+		}
+	}
+}
+
+// BenchmarkFigure4ErrorDistributions measures just the error-distribution
+// assembly of Figure 4 (reusing a cached Figure 3 run would hide the cost
+// structure, so it re-runs the experiment and touches the error slices).
+func BenchmarkFigure4ErrorDistributions(b *testing.B) {
+	env := benchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := eval.RunFigure34(env, eval.Figure34Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sum float64
+		for _, e := range res.HourErrors[eval.ModelSpatiotemporal] {
+			sum += e
+		}
+		_ = sum
+	}
+}
+
+// BenchmarkComparisonBaselines regenerates the §VII-A model-vs-baseline
+// RMSE comparison.
+func BenchmarkComparisonBaselines(b *testing.B) {
+	env := benchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.RunComparison(env, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkFigure5UseCases regenerates the §VII-B use cases.
+func BenchmarkFigure5UseCases(b *testing.B) {
+	env := benchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.RunFigure5(env, eval.Figure5Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations -----------------------------------------------------------
+
+// BenchmarkAblationMeanLeaves ablates the model tree's MLR leaves down to
+// constant-mean leaves (the paper's Eq. 8 motivation for MLR leaves).
+func BenchmarkAblationMeanLeaves(b *testing.B) {
+	env := benchWorld(b)
+	samples := ablationSamples(b, env)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := core.FitSpatiotemporal(samples, core.STConfig{
+			Tree: cart.Config{LeafModel: cart.LeafMean},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = st.Hour.Leaves()
+	}
+}
+
+// BenchmarkAblationMLRLeaves is the paired baseline for the leaf ablation.
+func BenchmarkAblationMLRLeaves(b *testing.B) {
+	env := benchWorld(b)
+	samples := ablationSamples(b, env)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := core.FitSpatiotemporal(samples, core.STConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = st.Hour.Leaves()
+	}
+}
+
+// BenchmarkAblationNoPruning grows the model tree without the paper's 88%
+// standard-deviation retention (StdDevRetain ~ 1 keeps splitting).
+func BenchmarkAblationNoPruning(b *testing.B) {
+	env := benchWorld(b)
+	samples := ablationSamples(b, env)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := core.FitSpatiotemporal(samples, core.STConfig{
+			Tree: cart.Config{StdDevRetain: 0.999},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = st.Hour.Leaves()
+	}
+}
+
+// ablationSamples derives a reusable spatiotemporal training set from the
+// bench world's per-attack features.
+func ablationSamples(b *testing.B, env *eval.Env) []core.STSample {
+	b.Helper()
+	ds := env.Dataset
+	attacks := ds.ByFamily("DirtJumper")
+	if len(attacks) < 60 {
+		b.Fatal("not enough attacks for ablation")
+	}
+	samples := make([]core.STSample, 0, len(attacks)-1)
+	for i := 1; i < len(attacks); i++ {
+		prev, cur := &attacks[i-1], &attacks[i]
+		samples = append(samples, core.STSample{
+			F: core.STFeatures{
+				TmpHour:    float64(prev.Hour()),
+				TmpDay:     float64(prev.Day()),
+				PrevHour:   float64(prev.Hour()),
+				PrevDay:    float64(prev.Day()),
+				PrevGapSec: cur.Start.Sub(prev.Start).Seconds(),
+				AvgMag:     float64(prev.Magnitude()),
+				TargetAS:   float64(cur.TargetAS),
+			},
+			Hour: float64(cur.Hour()),
+			Day:  float64(cur.Day()),
+			Dur:  cur.DurationSec,
+			Mag:  float64(cur.Magnitude()),
+		})
+	}
+	return samples
+}

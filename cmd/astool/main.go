@@ -1,0 +1,80 @@
+// Command astool is the AS-relationship tool of §IV-A3: it synthesizes a
+// topology (or accepts routing-table paths on stdin as space-separated AS
+// numbers, one path per line), infers business relationships with the Gao
+// degree heuristic, and answers valley-free path and hop-distance queries.
+//
+// Usage:
+//
+//	astool [-seed N] [-stdin] [-from AS -to AS]
+//	echo "100 10 1 2 13 104" | astool -stdin -from 100 -to 104
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/astopo"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("astool: ")
+	var (
+		seed     = flag.Uint64("seed", 1, "seed for the synthetic topology")
+		useStdin = flag.Bool("stdin", false, "read routing-table AS paths from stdin")
+		from     = flag.Uint("from", 0, "source AS for a path query")
+		to       = flag.Uint("to", 0, "destination AS for a path query")
+		vantage  = flag.Int("vantage", 15, "vantage points when synthesizing")
+	)
+	flag.Parse()
+
+	var paths []astopo.Path
+	if *useStdin {
+		var err error
+		paths, err = astopo.ReadRouteTable(os.Stdin)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		topo, err := astopo.Synthesize(astopo.SynthConfig{Seed: *seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		paths = topo.EmitRouteTable(*vantage, *seed+1)
+	}
+	fmt.Printf("routing table: %d AS paths\n", len(paths))
+
+	g := astopo.InferRelationships(paths, astopo.InferConfig{})
+	var c2p, p2p int
+	for _, a := range g.Nodes() {
+		for _, b := range g.Neighbors(a) {
+			if a >= b {
+				continue
+			}
+			switch g.Rel(a, b) {
+			case astopo.RelCustomerToProvider, astopo.RelProviderToCustomer:
+				c2p++
+			case astopo.RelPeer, astopo.RelSibling:
+				p2p++
+			}
+		}
+	}
+	fmt.Printf("inferred graph: %d ASes, %d transit links, %d peering links\n", g.Len(), c2p, p2p)
+
+	if *from != 0 && *to != 0 {
+		src, dst := astopo.AS(*from), astopo.AS(*to)
+		path, ok := astopo.ValleyFreePath(g, src, dst)
+		if !ok {
+			fmt.Printf("no valley-free route AS%d -> AS%d\n", src, dst)
+			os.Exit(1)
+		}
+		parts := make([]string, len(path))
+		for i, as := range path {
+			parts[i] = fmt.Sprintf("AS%d", as)
+		}
+		fmt.Printf("route: %s (%d hops)\n", strings.Join(parts, " -> "), len(path)-1)
+	}
+}

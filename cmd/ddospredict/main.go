@@ -1,0 +1,115 @@
+// Command ddospredict loads a dataset (or generates one), trains the
+// temporal model on one botnet family, and predicts its next attack —
+// start time, hour, day, magnitude — plus the spatial model's duration
+// prediction for a chosen target network. Trained models can be saved to
+// a bundle and reloaded, skipping training entirely (the provider→customer
+// workflow of §VI-B).
+//
+// Usage:
+//
+//	ddospredict [-data dataset.json] [-family DirtJumper] [-seed N] [-scale F]
+//	ddospredict -data dataset.json -save models.json        # train + persist
+//	ddospredict -models models.json -family DirtJumper      # predict from bundle
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"repro/internal/astopo"
+	"repro/internal/botnet"
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ddospredict: ")
+	var (
+		data   = flag.String("data", "", "dataset JSON (empty = generate)")
+		models = flag.String("models", "", "load a trained model bundle instead of training")
+		save   = flag.String("save", "", "save the trained model bundle to this path")
+		family = flag.String("family", "DirtJumper", "botnet family to predict")
+		seed   = flag.Uint64("seed", 1, "seed when generating")
+		scale  = flag.Float64("scale", 0.3, "volume scale when generating")
+	)
+	flag.Parse()
+
+	var bundle *core.Bundle
+	if *models != "" {
+		var err error
+		bundle, err = core.LoadBundle(*models)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("loaded bundle: %d temporal models, %d spatial models\n",
+			len(bundle.Temporal), len(bundle.Spatial))
+	} else {
+		ds, err := loadOrGenerate(*data, *seed, *scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("dataset: %d attacks across %d families\n", ds.Len(), len(ds.Families()))
+		bundle, err = core.TrainBundle(ds, core.BundleConfig{
+			Spatial: core.SpatialConfig{Seed: *seed},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trained %d temporal and %d spatial models\n",
+			len(bundle.Temporal), len(bundle.Spatial))
+		if *save != "" {
+			if err := bundle.Save(*save); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("saved bundle to %s\n", *save)
+		}
+	}
+
+	tm := bundle.Temporal[*family]
+	if tm == nil {
+		fams := make([]string, 0, len(bundle.Temporal))
+		for f := range bundle.Temporal {
+			fams = append(fams, f)
+		}
+		sort.Strings(fams)
+		log.Fatalf("family %q not in bundle (have %v)", *family, fams)
+	}
+	fmt.Printf("\ntemporal model forecast for the next %s attack:\n", *family)
+	fmt.Printf("  start     %s (interval %.0fs after the last attack)\n",
+		tm.PredictNextStart().Format("2006-01-02 15:04:05"), tm.PredictInterval())
+	fmt.Printf("  hour      %.1f\n", tm.PredictHour())
+	fmt.Printf("  day       %.1f\n", tm.PredictDay())
+	fmt.Printf("  magnitude %.0f bots\n", tm.PredictMagnitude())
+
+	if len(bundle.Spatial) > 0 {
+		ases := make([]astopo.AS, 0, len(bundle.Spatial))
+		for as := range bundle.Spatial {
+			ases = append(ases, as)
+		}
+		sort.Slice(ases, func(i, j int) bool { return ases[i] < ases[j] })
+		fmt.Println("\nspatial model forecasts per monitored network:")
+		for _, as := range ases {
+			sm := bundle.Spatial[as]
+			fmt.Printf("  AS%-6d next duration %.0fs, hour %.1f, day %.1f\n",
+				as, sm.PredictDuration(), sm.PredictHour(), sm.PredictDay())
+		}
+	}
+}
+
+func loadOrGenerate(path string, seed uint64, scale float64) (*trace.Dataset, error) {
+	if path != "" {
+		return trace.LoadFile(path)
+	}
+	topo, err := astopo.Synthesize(astopo.SynthConfig{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return botnet.Simulate(botnet.SimConfig{
+		Families: botnet.ScaleProfiles(botnet.DefaultFamilies(), scale),
+		Topology: topo,
+		Seed:     seed,
+	})
+}

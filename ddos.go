@@ -1,0 +1,151 @@
+// Package ddos is the public facade of the reproduction of "An
+// Adversary-Centric Behavior Modeling of DDoS Attacks" (Wang, Mohaisen,
+// Chen — ICDCS 2017). It wires the full pipeline together: synthesize an
+// AS-level internet, generate a verified-attack dataset with the paper's
+// ten botnet families (Table I), extract the §III features, train the
+// temporal (ARIMA), spatial (NAR network), and spatiotemporal (model tree)
+// predictors, and regenerate every table and figure of the evaluation.
+//
+// Quick start:
+//
+//	world, err := ddos.NewWorld(ddos.Config{Seed: 1, Scale: 0.2})
+//	fc, err := world.ForecastNextAttack("DirtJumper")
+//	fmt.Println(fc.Start, fc.Magnitude)
+//
+// The experiment entry points (Table1, Figure1, … Figure5, Comparison)
+// mirror the paper's evaluation section; cmd/ddosrepro prints them all.
+package ddos
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/trace"
+)
+
+// Config sizes the synthetic world. The zero value reproduces the paper's
+// seven-month, ~45-50k-attack dataset (Scale 1.0).
+type Config struct {
+	// Seed drives all randomness; equal seeds reproduce every number.
+	Seed uint64
+	// Scale multiplies Table I attack volumes (0 < Scale <= 1; default 1).
+	Scale float64
+	// HorizonDays is the observation window (default 220 days).
+	HorizonDays int
+}
+
+// World is a generated dataset plus the topology and feature extractors
+// shared by all experiments.
+type World struct {
+	env *eval.Env
+}
+
+// NewWorld synthesizes the topology, generates the verified-attack
+// dataset, and runs the routing-table inference pipeline.
+func NewWorld(cfg Config) (*World, error) {
+	env, err := eval.BuildEnv(eval.Config{
+		Seed:        cfg.Seed,
+		Scale:       cfg.Scale,
+		HorizonDays: cfg.HorizonDays,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ddos: %w", err)
+	}
+	return &World{env: env}, nil
+}
+
+// Env exposes the underlying experiment environment for advanced use
+// (direct access to the dataset, topology, and feature extractors).
+func (w *World) Env() *eval.Env { return w.env }
+
+// Dataset returns the generated verified-attack dataset.
+func (w *World) Dataset() *trace.Dataset { return w.env.Dataset }
+
+// SaveDataset writes the dataset as JSON to path.
+func (w *World) SaveDataset(path string) error { return w.env.Dataset.SaveFile(path) }
+
+// Table1 computes the activity level of bots (Table I) with the paper's
+// reference values attached.
+func (w *World) Table1() []eval.Table1Row { return eval.RunTable1(w.env) }
+
+// Table2 returns the model-variable inventory (Table II).
+func (w *World) Table2() []eval.Table2Row { return eval.RunTable2() }
+
+// Figure1 reproduces the temporal prediction of attack magnitudes for the
+// paper's three most active families (or the given ones).
+func (w *World) Figure1(families ...string) ([]eval.Figure1Series, error) {
+	return eval.RunFigure1(w.env, families)
+}
+
+// Figure2 reproduces the spatial prediction of attacking source (ASN)
+// distributions.
+func (w *World) Figure2(families ...string) ([]eval.Figure2Result, error) {
+	return eval.RunFigure2(w.env, families, 5)
+}
+
+// Figure34 reproduces the spatiotemporal timestamp experiment (Figures 3
+// and 4): per-model predicted hour/day distributions, error distributions,
+// and the RMSE comparison.
+func (w *World) Figure34() (*eval.Figure34Result, error) {
+	return eval.RunFigure34(w.env, eval.Figure34Config{})
+}
+
+// Figure5 runs both §VII-B use cases (AS-based filtering and middlebox
+// traversal).
+func (w *World) Figure5() (*eval.Figure5Result, error) {
+	return eval.RunFigure5(w.env, eval.Figure5Config{})
+}
+
+// Comparison reproduces the §VII-A RMSE comparison of the paper's models
+// against the Always Same and Always Mean baselines on the five most
+// active families.
+func (w *World) Comparison() ([]eval.ComparisonRow, error) {
+	return eval.RunComparison(w.env, 5)
+}
+
+// Forecast is a prediction of a family's next attack.
+type Forecast struct {
+	Family    string
+	Start     time.Time // predicted launch time
+	Hour      float64   // predicted hour of day
+	Day       float64   // predicted day of month
+	Magnitude float64   // predicted number of bots
+}
+
+// ForecastNextAttack trains the temporal model on a family's full history
+// and predicts its next attack.
+func (w *World) ForecastNextAttack(family string) (*Forecast, error) {
+	attacks := w.env.Dataset.ByFamily(family)
+	if len(attacks) == 0 {
+		return nil, fmt.Errorf("ddos: unknown family %q", family)
+	}
+	m, err := core.FitTemporal(family, attacks, core.TemporalConfig{})
+	if err != nil {
+		return nil, fmt.Errorf("ddos: %w", err)
+	}
+	return &Forecast{
+		Family:    family,
+		Start:     m.PredictNextStart(),
+		Hour:      m.PredictHour(),
+		Day:       m.PredictDay(),
+		Magnitude: m.PredictMagnitude(),
+	}, nil
+}
+
+// Families lists the dataset's families, most active first.
+func (w *World) Families() []string { return w.env.Dataset.Families() }
+
+// TrainBundle fits the deployable model bundle (temporal models per
+// family, spatial models per network) on the world's dataset.
+func (w *World) TrainBundle() (*core.Bundle, error) {
+	return core.TrainBundle(w.env.Dataset, core.BundleConfig{
+		Spatial: core.SpatialConfig{Seed: w.env.Cfg.Seed},
+	})
+}
+
+// LoadDataset reads a dataset written by SaveDataset (or cmd/ddosgen).
+func LoadDataset(path string) (*trace.Dataset, error) {
+	return trace.LoadFile(path)
+}

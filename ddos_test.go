@@ -1,0 +1,126 @@
+package ddos
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+var (
+	worldOnce sync.Once
+	testWorld *World
+	worldErr  error
+)
+
+func sharedWorld(t *testing.T) *World {
+	t.Helper()
+	worldOnce.Do(func() {
+		testWorld, worldErr = NewWorld(Config{Seed: 31, Scale: 0.1, HorizonDays: 150})
+	})
+	if worldErr != nil {
+		t.Fatal(worldErr)
+	}
+	return testWorld
+}
+
+func TestNewWorldAndAccessors(t *testing.T) {
+	w := sharedWorld(t)
+	if w.Env() == nil || w.Dataset() == nil {
+		t.Fatal("nil accessors")
+	}
+	if w.Dataset().Len() == 0 {
+		t.Fatal("empty dataset")
+	}
+	fams := w.Families()
+	if len(fams) != 10 {
+		t.Fatalf("families = %d, want 10", len(fams))
+	}
+	if fams[0] != "DirtJumper" {
+		t.Errorf("top family = %s", fams[0])
+	}
+}
+
+func TestSaveDatasetRoundTrip(t *testing.T) {
+	w := sharedWorld(t)
+	path := filepath.Join(t.TempDir(), "world.json")
+	if err := w.SaveDataset(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := trace.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != w.Dataset().Len() {
+		t.Errorf("round trip %d vs %d", back.Len(), w.Dataset().Len())
+	}
+}
+
+func TestForecastNextAttack(t *testing.T) {
+	w := sharedWorld(t)
+	fc, err := w.ForecastNextAttack("DirtJumper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc.Family != "DirtJumper" {
+		t.Error("family not set")
+	}
+	last := w.Dataset().ByFamily("DirtJumper")
+	if !fc.Start.After(last[len(last)-1].Start) {
+		t.Error("forecast start should be after the last observed attack")
+	}
+	if fc.Hour < 0 || fc.Hour >= 24 || fc.Day < 1 || fc.Day > 31 {
+		t.Errorf("forecast out of range: %+v", fc)
+	}
+	if fc.Magnitude <= 0 {
+		t.Errorf("magnitude = %v", fc.Magnitude)
+	}
+	if _, err := w.ForecastNextAttack("NoSuchFamily"); err == nil {
+		t.Error("unknown family should error")
+	}
+}
+
+func TestWorldExperimentEntryPoints(t *testing.T) {
+	w := sharedWorld(t)
+	if rows := w.Table1(); len(rows) != 10 {
+		t.Errorf("Table1 rows = %d", len(rows))
+	}
+	if rows := w.Table2(); len(rows) != 9 {
+		t.Errorf("Table2 rows = %d", len(rows))
+	}
+	f1, err := w.Figure1()
+	if err != nil || len(f1) != 3 {
+		t.Errorf("Figure1: %v, %d series", err, len(f1))
+	}
+	f5, err := w.Figure5()
+	if err != nil || f5.Attacks == 0 {
+		t.Errorf("Figure5: %v", err)
+	}
+	cmp, err := w.Comparison()
+	if err != nil || len(cmp) == 0 {
+		t.Errorf("Comparison: %v", err)
+	}
+}
+
+func TestWorldTrainBundleAndLoadDataset(t *testing.T) {
+	w := sharedWorld(t)
+	b, err := w.TrainBundle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Temporal) == 0 || len(b.Spatial) == 0 {
+		t.Fatalf("bundle shape: %d temporal, %d spatial", len(b.Temporal), len(b.Spatial))
+	}
+	path := filepath.Join(t.TempDir(), "ds.json")
+	if err := w.SaveDataset(path); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := LoadDataset(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != w.Dataset().Len() {
+		t.Error("LoadDataset round trip mismatch")
+	}
+}

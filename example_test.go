@@ -1,0 +1,21 @@
+package ddos_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// Generate a small world and read off the most active family.
+func ExampleNewWorld() {
+	world, err := ddos.NewWorld(ddos.Config{Seed: 1, Scale: 0.05, HorizonDays: 60})
+	if err != nil {
+		panic(err)
+	}
+	fams := world.Families()
+	fmt.Println("families:", len(fams))
+	fmt.Println("most active:", fams[0])
+	// Output:
+	// families: 10
+	// most active: DirtJumper
+}

@@ -1,0 +1,73 @@
+// End-to-end defense pipeline: the §V-B early-detection idea plus the
+// Figure 5(a) filtering use case composed into one loop. A flood is
+// replayed connection by connection; the entropy detector watches the
+// source-AS mix of recent traffic, and its first alarm triggers the SDN
+// controller to install divert rules from the model's predicted source
+// distribution. The replay reports detection latency and how much attack
+// traffic reached the victim.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+	"repro/internal/sdn"
+)
+
+func main() {
+	log.SetFlags(0)
+	world, err := ddos.NewWorld(ddos.Config{Seed: 23, Scale: 0.3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	env := world.Env()
+	fam := world.Families()[0]
+	attacks := env.Dataset.ByFamily(fam)
+	nTrain := 8 * len(attacks) / 10
+	train, test := attacks[:nTrain], attacks[nTrain:]
+
+	// The model's predicted attack-source distribution (trailing training
+	// window) and the actual mix of the replayed flood (a test attack).
+	predShares := env.SD.AggregateShares(train[3*len(train)/4:])
+	predicted := make([]sdn.PredictedShare, len(predShares))
+	for i, s := range predShares {
+		predicted[i] = sdn.PredictedShare{AS: s.AS, Share: s.Share}
+	}
+	actualShares := env.SD.Shares(&test[len(test)-1])
+	actual := make([]sdn.PredictedShare, len(actualShares))
+	for i, s := range actualShares {
+		actual[i] = sdn.PredictedShare{AS: s.AS, Share: s.Share}
+	}
+
+	pipeline, err := sdn.NewPipeline(sdn.PipelineConfig{
+		Predicted:        predicted,
+		BenignASes:       env.Topo.Stubs,
+		ReconfigureDelay: 30 * time.Second,
+		Seed:             1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := pipeline.Replay(sdn.AttackProfile{
+		Sources:  actual,
+		Rate:     200,
+		Duration: 10 * time.Minute,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("replayed a %s flood (200 conns/s for 10 min) against the pipeline:\n\n", fam)
+	fmt.Printf("  detected:            %v after %v\n", res.Detected, res.DetectionDelay)
+	fmt.Printf("  mitigation active:   %v after onset\n", res.MitigationAt)
+	fmt.Printf("  unmitigated window:  %d attack connections reached the victim\n", res.UnmitigatedConns)
+	post := res.ScrubbedConns + res.LeakedConns
+	if post > 0 {
+		fmt.Printf("  after mitigation:    %.1f%% scrubbed (%d leaked)\n",
+			100*float64(res.ScrubbedConns)/float64(post), res.LeakedConns)
+	}
+	fmt.Printf("  benign collateral:   %d of %d connections diverted\n",
+		res.BenignDiverted, res.BenignTotal)
+}

@@ -1,0 +1,68 @@
+// Middlebox traversal reordering (Figure 5b): in normal operation traffic
+// crosses the load balancer before the firewall for throughput; under
+// attack the order must be reversed so packets cannot be modified to evade
+// detection. The example uses the temporal model's launch-hour forecast to
+// reorder the chain proactively, and contrasts it with a reactive defense
+// that reorders only after detecting the attack.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+	"repro/internal/sdn"
+)
+
+func main() {
+	log.SetFlags(0)
+	world, err := ddos.NewWorld(ddos.Config{Seed: 17, Scale: 0.3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fam := world.Families()[0]
+	attacks := world.Dataset().ByFamily(fam)
+	nTrain := 8 * len(attacks) / 10
+	test := attacks[nTrain:]
+
+	fc, err := world.ForecastNextAttack(fam)
+	if err != nil {
+		log.Fatal(err)
+	}
+	predHour := fc.Hour
+	fmt.Printf("family %s: predicted launch hour %.1f\n\n", fam, predHour)
+
+	const (
+		reconfigure = 30 * time.Second
+		detection   = 2 * time.Minute
+		slackHours  = 4.0
+	)
+	var proOK, reOK int
+	for i := range test {
+		a := &test[i]
+		day := a.Start.Truncate(24 * time.Hour)
+
+		pro := sdn.NewChain(reconfigure)
+		pro.RequestReorder(day.Add(time.Duration((predHour-slackHours)*float64(time.Hour))),
+			[]sdn.MiddleboxKind{sdn.Firewall, sdn.LoadBalancer})
+		pro.AdvanceTo(a.Start)
+		if pro.FirewallFirst() {
+			proOK++
+		}
+
+		re := sdn.NewChain(reconfigure)
+		re.RequestReorder(a.Start.Add(detection), []sdn.MiddleboxKind{sdn.Firewall, sdn.LoadBalancer})
+		re.AdvanceTo(a.Start)
+		if re.FirewallFirst() {
+			reOK++
+		}
+	}
+	n := len(test)
+	fmt.Printf("attacks met with the firewall-first chain already applied:\n")
+	fmt.Printf("  proactive (model-scheduled): %3d / %d (%.0f%%)\n", proOK, n, 100*float64(proOK)/float64(n))
+	fmt.Printf("  reactive (detect-then-flip): %3d / %d (%.0f%%)\n", reOK, n, 100*float64(reOK)/float64(n))
+	fmt.Printf("\nreactive defenses always pay the %.0fs detection + %.0fs reconfiguration window;\n",
+		detection.Seconds(), reconfigure.Seconds())
+	fmt.Println("the model's hour forecast removes that exposure for most attacks.")
+}

@@ -1,0 +1,314 @@
+// Package arima implements autoregressive integrated moving average models
+// — ARIMA(p,d,q) — the engine of the paper's temporal model (§IV). The
+// forecast of the AR part is a function of past observations, the MA part a
+// function of past errors (Eq. 5). Estimation uses the two-stage
+// Hannan–Rissanen procedure built on OLS, which keeps the package free of
+// nonlinear optimizers while remaining faithful to the model class.
+package arima
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/regress"
+	"repro/internal/timeseries"
+)
+
+// ErrTooShort is returned when a series has too few observations for the
+// requested model order.
+var ErrTooShort = errors.New("arima: series too short for requested order")
+
+// Model is a fitted ARIMA(p,d,q) model:
+//
+//	w_t = C + Σ_{j=1..p} Phi[j-1] w_{t-j} + Σ_{j=1..q} Theta[j-1] e_{t-j} + e_t
+//
+// where w is the d-th difference of the observed series.
+type Model struct {
+	P, D, Q int
+	Phi     []float64 // AR coefficients, lag 1 first
+	Theta   []float64 // MA coefficients, lag 1 first
+	C       float64   // intercept
+
+	w    []float64 // differenced history
+	e    []float64 // residual history aligned with w (presample entries are 0)
+	orig []float64 // original-scale history (for integration seeds)
+
+	rss float64
+	n   int // observations used in the estimation regression
+}
+
+// Fit estimates an ARIMA(p,d,q) model on xs. p must be >= 1; d and q must
+// be >= 0.
+func Fit(xs []float64, p, d, q int) (*Model, error) {
+	if p < 1 || d < 0 || q < 0 {
+		return nil, fmt.Errorf("arima: invalid order (%d,%d,%d)", p, d, q)
+	}
+	w, err := timeseries.Diff(xs, d)
+	if err != nil {
+		return nil, ErrTooShort
+	}
+	minLen := p + q + 2
+	if q > 0 {
+		minLen += longAROrder(p, q, len(w))
+	}
+	if len(w) < minLen {
+		return nil, ErrTooShort
+	}
+	m := &Model{P: p, D: d, Q: q}
+	m.orig = append(m.orig, xs...)
+	m.w = append(m.w, w...)
+	if q == 0 {
+		if err := m.fitAR(w, p); err != nil {
+			return nil, err
+		}
+	} else if err := m.fitHannanRissanen(w, p, q); err != nil {
+		return nil, err
+	}
+	m.computeResiduals()
+	return m, nil
+}
+
+// fitAR estimates a pure AR(p) by OLS on the lag matrix.
+func (m *Model) fitAR(w []float64, p int) error {
+	rows, ys, err := timeseries.LagMatrix(w, p)
+	if err != nil {
+		return ErrTooShort
+	}
+	ols, err := regress.Fit(rows, ys)
+	if err != nil {
+		return fmt.Errorf("arima: AR estimation: %w", err)
+	}
+	m.C = ols.Intercept
+	m.Phi = ols.Coeffs
+	m.Theta = nil
+	m.rss = ols.RSS
+	m.n = ols.N
+	return nil
+}
+
+// longAROrder picks the order of the first-stage long autoregression used
+// by Hannan–Rissanen to approximate the innovations.
+func longAROrder(p, q, n int) int {
+	order := p + q + 4
+	if order < 8 {
+		order = 8
+	}
+	if max := n/4 - 1; order > max {
+		order = max
+	}
+	if order < p+q {
+		order = p + q
+	}
+	return order
+}
+
+// fitHannanRissanen estimates an ARMA(p,q) in two OLS stages: a long AR fit
+// yields residuals approximating the innovations, then the series is
+// regressed on its own lags and the lagged residuals.
+func (m *Model) fitHannanRissanen(w []float64, p, q int) error {
+	long := longAROrder(p, q, len(w))
+	rows, ys, err := timeseries.LagMatrix(w, long)
+	if err != nil {
+		return ErrTooShort
+	}
+	stage1, err := regress.Fit(rows, ys)
+	if err != nil {
+		return fmt.Errorf("arima: HR stage 1: %w", err)
+	}
+	// Innovation estimates aligned with w: zero for the presample.
+	eh := make([]float64, len(w))
+	for i, row := range rows {
+		eh[i+long] = ys[i] - stage1.Predict(row)
+	}
+	// Stage 2: regress w_t on p lags of w and q lags of eh, for
+	// t >= long+q so every regressor is a genuine (non-presample) value.
+	start := long + q
+	if start < p {
+		start = p
+	}
+	nObs := len(w) - start
+	if nObs < p+q+2 {
+		return ErrTooShort
+	}
+	rows2 := make([][]float64, nObs)
+	ys2 := make([]float64, nObs)
+	for i := 0; i < nObs; i++ {
+		t := start + i
+		row := make([]float64, p+q)
+		for j := 1; j <= p; j++ {
+			row[j-1] = w[t-j]
+		}
+		for j := 1; j <= q; j++ {
+			row[p+j-1] = eh[t-j]
+		}
+		rows2[i] = row
+		ys2[i] = w[t]
+	}
+	stage2, err := regress.Fit(rows2, ys2)
+	if err != nil {
+		return fmt.Errorf("arima: HR stage 2: %w", err)
+	}
+	m.C = stage2.Intercept
+	m.Phi = stage2.Coeffs[:p]
+	m.Theta = stage2.Coeffs[p:]
+	m.rss = stage2.RSS
+	m.n = stage2.N
+	return nil
+}
+
+// computeResiduals fills m.e with one-step in-sample residuals over the
+// differenced history, using zeros for the presample.
+func (m *Model) computeResiduals() {
+	m.e = make([]float64, len(m.w))
+	for t := m.P; t < len(m.w); t++ {
+		m.e[t] = m.w[t] - m.stepAt(t)
+	}
+	// Recompute once so MA terms see first-pass residuals rather than the
+	// zero presample (a light second iteration improves early residuals).
+	for t := m.P; t < len(m.w); t++ {
+		m.e[t] = m.w[t] - m.stepAt(t)
+	}
+}
+
+// stepAt returns the model's one-step prediction of w[t] from history
+// strictly before t (residuals before index P, or negative, read as zero).
+func (m *Model) stepAt(t int) float64 {
+	pred := m.C
+	for j := 1; j <= m.P; j++ {
+		if t-j < 0 {
+			return pred
+		}
+		pred += m.Phi[j-1] * m.w[t-j]
+	}
+	for j := 1; j <= m.Q; j++ {
+		if t-j >= 0 {
+			pred += m.Theta[j-1] * m.e[t-j]
+		}
+	}
+	return pred
+}
+
+// Forecast returns h-step-ahead forecasts on the original scale of the
+// series the model was fitted on (or last Updated with).
+func (m *Model) Forecast(h int) ([]float64, error) {
+	if h < 1 {
+		return nil, errors.New("arima: horizon must be >= 1")
+	}
+	w := append([]float64(nil), m.w...)
+	e := append([]float64(nil), m.e...)
+	diffs := make([]float64, h)
+	for s := 0; s < h; s++ {
+		t := len(w)
+		pred := m.C
+		for j := 1; j <= m.P; j++ {
+			if t-j >= 0 {
+				pred += m.Phi[j-1] * w[t-j]
+			}
+		}
+		for j := 1; j <= m.Q; j++ {
+			if t-j >= 0 {
+				pred += m.Theta[j-1] * e[t-j]
+			}
+		}
+		diffs[s] = pred
+		w = append(w, pred)
+		e = append(e, 0)
+	}
+	if m.D == 0 {
+		return diffs, nil
+	}
+	seeds := m.orig[len(m.orig)-m.D:]
+	return timeseries.Integrate(diffs, seeds)
+}
+
+// PredictNext returns the one-step-ahead forecast on the original scale.
+func (m *Model) PredictNext() (float64, error) {
+	f, err := m.Forecast(1)
+	if err != nil {
+		return 0, err
+	}
+	return f[0], nil
+}
+
+// Update appends a newly observed value (original scale) to the model
+// state without re-estimating coefficients, recording the innovation it
+// implies. This enables walk-forward one-step evaluation as in the paper's
+// test-set validation.
+func (m *Model) Update(x float64) {
+	var wNew float64
+	if m.D == 0 {
+		wNew = x
+	} else {
+		ext := append(append([]float64(nil), m.orig[len(m.orig)-m.D:]...), x)
+		d, err := timeseries.Diff(ext, m.D)
+		if err != nil || len(d) == 0 {
+			return
+		}
+		wNew = d[len(d)-1]
+	}
+	t := len(m.w)
+	m.w = append(m.w, wNew)
+	m.e = append(m.e, 0)
+	m.e[t] = wNew - m.stepAt(t)
+	m.orig = append(m.orig, x)
+}
+
+// AIC returns the Akaike information criterion of the fitted model.
+func (m *Model) AIC() float64 {
+	if m.n == 0 {
+		return math.Inf(1)
+	}
+	rssPerN := m.rss / float64(m.n)
+	if rssPerN <= 0 {
+		rssPerN = 1e-300
+	}
+	k := float64(m.P + m.Q + 1)
+	return float64(m.n)*math.Log(rssPerN) + 2*k
+}
+
+// SelectOrder fits ARIMA models over a small grid and returns the model
+// with the best (lowest) AIC. The differencing order is chosen first by a
+// persistence heuristic: difference while the lag-1 autocorrelation stays
+// above 0.9 (an indication of a unit root), up to maxD.
+func SelectOrder(xs []float64, maxP, maxD, maxQ int) (*Model, error) {
+	if maxP < 1 {
+		maxP = 1
+	}
+	d := chooseD(xs, maxD)
+	var best *Model
+	for p := 1; p <= maxP; p++ {
+		for q := 0; q <= maxQ; q++ {
+			m, err := Fit(xs, p, d, q)
+			if err != nil {
+				continue
+			}
+			if best == nil || m.AIC() < best.AIC() {
+				best = m
+			}
+		}
+	}
+	if best == nil {
+		return nil, ErrTooShort
+	}
+	return best, nil
+}
+
+func chooseD(xs []float64, maxD int) int {
+	cur := xs
+	for d := 0; d < maxD; d++ {
+		if len(cur) < 3 {
+			return d
+		}
+		acf := timeseries.ACF(cur, 1)
+		if len(acf) < 2 || math.IsNaN(acf[1]) || math.Abs(acf[1]) < 0.9 {
+			return d
+		}
+		next, err := timeseries.Diff(cur, 1)
+		if err != nil {
+			return d
+		}
+		cur = next
+	}
+	return maxD
+}

@@ -1,0 +1,234 @@
+package arima
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// genAR synthesizes an AR(1) series x_t = c + phi x_{t-1} + e_t.
+func genAR(n int, c, phi, sigma float64, seed uint64) []float64 {
+	rng := rand.New(rand.NewPCG(seed, seed+1))
+	xs := make([]float64, n)
+	xs[0] = c / (1 - phi)
+	for i := 1; i < n; i++ {
+		xs[i] = c + phi*xs[i-1] + rng.NormFloat64()*sigma
+	}
+	return xs
+}
+
+func TestFitARRecoversCoefficients(t *testing.T) {
+	xs := genAR(3000, 1.0, 0.7, 0.5, 11)
+	m, err := Fit(xs, 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Phi[0]-0.7) > 0.05 {
+		t.Errorf("phi = %v, want ~0.7", m.Phi[0])
+	}
+	if math.Abs(m.C-1.0) > 0.2 {
+		t.Errorf("c = %v, want ~1", m.C)
+	}
+}
+
+func TestFitARMARecoversMA(t *testing.T) {
+	// ARMA(1,1): x_t = 0.6 x_{t-1} + e_t + 0.5 e_{t-1}.
+	rng := rand.New(rand.NewPCG(13, 14))
+	n := 6000
+	xs := make([]float64, n)
+	ePrev := 0.0
+	for i := 1; i < n; i++ {
+		e := rng.NormFloat64()
+		xs[i] = 0.6*xs[i-1] + e + 0.5*ePrev
+		ePrev = e
+	}
+	m, err := Fit(xs, 1, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Phi[0]-0.6) > 0.1 {
+		t.Errorf("phi = %v, want ~0.6", m.Phi[0])
+	}
+	if math.Abs(m.Theta[0]-0.5) > 0.15 {
+		t.Errorf("theta = %v, want ~0.5", m.Theta[0])
+	}
+}
+
+func TestFitIntegratedSeries(t *testing.T) {
+	// Random walk with drift: first difference is iid with mean 0.5.
+	rng := rand.New(rand.NewPCG(15, 16))
+	n := 2000
+	xs := make([]float64, n)
+	for i := 1; i < n; i++ {
+		xs[i] = xs[i-1] + 0.5 + rng.NormFloat64()*0.2
+	}
+	m, err := Fit(xs, 1, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.Forecast(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Forecasts should continue the drift: roughly last + 0.5*h.
+	last := xs[n-1]
+	for h, v := range f {
+		want := last + 0.5*float64(h+1)
+		if math.Abs(v-want) > 1.0 {
+			t.Errorf("h=%d forecast %v, want ~%v", h+1, v, want)
+		}
+	}
+}
+
+func TestForecastConvergesToMean(t *testing.T) {
+	xs := genAR(3000, 2.0, 0.5, 0.3, 17)
+	m, err := Fit(xs, 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.Forecast(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMean := 2.0 / (1 - 0.5)
+	if math.Abs(f[199]-wantMean) > 0.3 {
+		t.Errorf("long-horizon forecast %v, want ~%v", f[199], wantMean)
+	}
+}
+
+func TestUpdateWalkForwardBeatsNaive(t *testing.T) {
+	xs := genAR(1200, 0.5, 0.8, 1.0, 19)
+	train, test := xs[:1000], xs[1000:]
+	m, err := Fit(train, 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := make([]float64, len(test))
+	naive := make([]float64, len(test))
+	prev := train[len(train)-1]
+	for i, x := range test {
+		p, err := m.PredictNext()
+		if err != nil {
+			t.Fatal(err)
+		}
+		preds[i] = p
+		naive[i] = prev
+		prev = x
+		m.Update(x)
+	}
+	rmseModel, _ := stats.RMSE(preds, test)
+	rmseNaive, _ := stats.RMSE(naive, test)
+	if rmseModel >= rmseNaive {
+		t.Errorf("ARIMA RMSE %v should beat naive %v", rmseModel, rmseNaive)
+	}
+}
+
+func TestUpdateWithDifferencing(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 22))
+	n := 600
+	xs := make([]float64, n)
+	for i := 1; i < n; i++ {
+		xs[i] = xs[i-1] + 1 + rng.NormFloat64()*0.1
+	}
+	m, err := Fit(xs[:500], 1, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range xs[500:] {
+		p, err := m.PredictNext()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(p-x) > 2 {
+			t.Errorf("one-step prediction %v far from %v", p, x)
+		}
+		m.Update(x)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit([]float64{1, 2, 3}, 0, 0, 0); err == nil {
+		t.Error("p=0 should error")
+	}
+	if _, err := Fit([]float64{1, 2, 3}, 1, -1, 0); err == nil {
+		t.Error("d<0 should error")
+	}
+	if _, err := Fit([]float64{1, 2}, 2, 0, 0); err == nil {
+		t.Error("too-short series should error")
+	}
+	if _, err := Fit(make([]float64, 10), 1, 0, 3); err == nil {
+		t.Error("too-short for HR should error")
+	}
+}
+
+func TestForecastErrors(t *testing.T) {
+	m, err := Fit(genAR(100, 0, 0.5, 1, 23), 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Forecast(0); err == nil {
+		t.Error("h=0 should error")
+	}
+}
+
+func TestSelectOrderPicksReasonableModel(t *testing.T) {
+	// AR(2) process.
+	rng := rand.New(rand.NewPCG(25, 26))
+	n := 2000
+	xs := make([]float64, n)
+	for i := 2; i < n; i++ {
+		xs[i] = 0.5*xs[i-1] + 0.3*xs[i-2] + rng.NormFloat64()
+	}
+	m, err := SelectOrder(xs, 4, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.D != 0 {
+		t.Errorf("stationary series should get d=0, got %d", m.D)
+	}
+	if m.P < 1 || m.P > 4 {
+		t.Errorf("p = %d out of grid", m.P)
+	}
+	// The fit must at least track the process 1-step.
+	p, err := m.PredictNext()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(p) || math.IsInf(p, 0) {
+		t.Errorf("prediction = %v", p)
+	}
+}
+
+func TestSelectOrderUnitRootGetsDifferenced(t *testing.T) {
+	rng := rand.New(rand.NewPCG(27, 28))
+	n := 1500
+	xs := make([]float64, n)
+	for i := 1; i < n; i++ {
+		xs[i] = xs[i-1] + rng.NormFloat64()*0.05 + 0.2
+	}
+	m, err := SelectOrder(xs, 3, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.D < 1 {
+		t.Errorf("random walk should get d>=1, got %d", m.D)
+	}
+}
+
+func TestSelectOrderTooShort(t *testing.T) {
+	if _, err := SelectOrder([]float64{1, 2}, 3, 1, 2); err == nil {
+		t.Error("tiny series should error")
+	}
+}
+
+func TestAICFinite(t *testing.T) {
+	m, err := Fit(genAR(300, 0, 0.5, 1, 29), 2, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := m.AIC(); math.IsNaN(a) || math.IsInf(a, 0) {
+		t.Errorf("AIC = %v", a)
+	}
+}

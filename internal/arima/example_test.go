@@ -1,0 +1,31 @@
+package arima_test
+
+import (
+	"fmt"
+
+	"repro/internal/arima"
+)
+
+// Fit an AR(1)-style model to a deterministic series and forecast.
+func ExampleFit() {
+	// A geometric approach to 10: x_{t+1} = 10 + 0.5 (x_t - 10).
+	series := make([]float64, 40)
+	x := 0.0
+	for i := range series {
+		series[i] = x
+		x = 10 + 0.5*(x-10)
+	}
+	m, err := arima.Fit(series, 1, 0, 0)
+	if err != nil {
+		panic(err)
+	}
+	f, err := m.Forecast(3)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("phi=%.2f c=%.2f\n", m.Phi[0], m.C)
+	fmt.Printf("forecasts: %.2f %.2f %.2f\n", f[0], f[1], f[2])
+	// Output:
+	// phi=0.50 c=5.00
+	// forecasts: 10.00 10.00 10.00
+}

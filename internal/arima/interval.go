@@ -1,0 +1,94 @@
+package arima
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// ForecastInterval returns h-step-ahead point forecasts together with a
+// symmetric confidence band at the given level (e.g. 0.95). The band uses
+// the standard psi-weight variance of ARMA forecast errors,
+//
+//	Var(e_{t+h}) = sigma² Σ_{j=0}^{h-1} psi_j²,
+//
+// with psi weights cumulated d times for integrated models, and sigma²
+// estimated from the in-sample residuals. The paper validates point
+// predictions only; the interval quantifies how much defense headroom a
+// provisioning decision should add (see examples/proactive_defense).
+func (m *Model) ForecastInterval(h int, level float64) (point, lo, hi []float64, err error) {
+	if level <= 0 || level >= 1 {
+		return nil, nil, nil, errors.New("arima: confidence level must be in (0, 1)")
+	}
+	point, err = m.Forecast(h)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	sigma2 := m.ResidualVariance()
+	psi := m.psiWeights(h)
+	if m.D > 0 {
+		for d := 0; d < m.D; d++ {
+			for j := 1; j < len(psi); j++ {
+				psi[j] += psi[j-1]
+			}
+		}
+	}
+	z := math.Sqrt2 * math.Erfinv(level)
+	lo = make([]float64, h)
+	hi = make([]float64, h)
+	var cum float64
+	for step := 0; step < h; step++ {
+		cum += psi[step] * psi[step]
+		half := z * math.Sqrt(sigma2*cum)
+		lo[step] = point[step] - half
+		hi[step] = point[step] + half
+	}
+	return point, lo, hi, nil
+}
+
+// ResidualVariance estimates the innovation variance from the in-sample
+// one-step residuals (excluding the zero presample).
+func (m *Model) ResidualVariance() float64 {
+	var ss float64
+	n := 0
+	for t := m.P; t < len(m.e); t++ {
+		ss += m.e[t] * m.e[t]
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return ss / float64(n)
+}
+
+// psiWeights returns the first h MA(∞) weights of the fitted ARMA part:
+// psi_0 = 1, psi_j = theta_j + Σ_{k=1..min(j,p)} phi_k psi_{j-k}.
+func (m *Model) psiWeights(h int) []float64 {
+	psi := make([]float64, h)
+	if h == 0 {
+		return psi
+	}
+	psi[0] = 1
+	for j := 1; j < h; j++ {
+		var v float64
+		if j <= m.Q {
+			v = m.Theta[j-1]
+		}
+		for k := 1; k <= m.P && k <= j; k++ {
+			v += m.Phi[k-1] * psi[j-k]
+		}
+		psi[j] = v
+	}
+	return psi
+}
+
+// GoodnessOfFit runs the Ljung–Box whiteness test on the in-sample
+// residuals over the first maxLag autocorrelations (§III-C's other
+// validation axis: "goodness of fit of the model"). It returns the Q
+// statistic and p-value; a large p-value means the model captured the
+// series' autocorrelation structure.
+func (m *Model) GoodnessOfFit(maxLag int) (q, pValue float64) {
+	resid := m.e[m.P:]
+	return stats.LjungBox(resid, maxLag, m.P+m.Q)
+}

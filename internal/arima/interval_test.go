@@ -1,0 +1,158 @@
+package arima
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestForecastIntervalCoverage(t *testing.T) {
+	// Fit an AR(1) once; repeatedly simulate continuations and check the
+	// empirical coverage of the 90% one-step band.
+	const phi, sigma = 0.7, 1.0
+	xs := genAR(3000, 0, phi, sigma, 61)
+	m, err := Fit(xs, 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	point, lo, hi, err := m.ForecastInterval(1, 0.90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo[0] >= point[0] || hi[0] <= point[0] {
+		t.Fatalf("band [%v, %v] does not bracket point %v", lo[0], hi[0], point[0])
+	}
+	// Theoretical one-step band half-width: z90 * sigma = 1.645.
+	half := (hi[0] - lo[0]) / 2
+	if math.Abs(half-1.645*sigma) > 0.15 {
+		t.Errorf("half-width = %v, want ~1.645", half)
+	}
+	// Empirical coverage over simulated next observations.
+	rng := rand.New(rand.NewPCG(63, 64))
+	last := xs[len(xs)-1]
+	hits, trials := 0, 4000
+	for i := 0; i < trials; i++ {
+		next := phi*last + rng.NormFloat64()*sigma
+		if next >= lo[0] && next <= hi[0] {
+			hits++
+		}
+	}
+	cov := float64(hits) / float64(trials)
+	if math.Abs(cov-0.90) > 0.04 {
+		t.Errorf("coverage = %v, want ~0.90", cov)
+	}
+}
+
+func TestForecastIntervalWidensWithHorizon(t *testing.T) {
+	xs := genAR(2000, 1, 0.8, 0.5, 65)
+	m, err := Fit(xs, 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, lo, hi, err := m.ForecastInterval(20, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := hi[0] - lo[0]
+	for s := 1; s < 20; s++ {
+		w := hi[s] - lo[s]
+		if w < prev-1e-9 {
+			t.Fatalf("band narrowed at step %d: %v < %v", s+1, w, prev)
+		}
+		prev = w
+	}
+	// For a stationary AR(1), band width converges to the unconditional
+	// bound 2*z*sigma/sqrt(1-phi^2).
+	limit := 2 * 1.96 * 0.5 / math.Sqrt(1-0.8*0.8)
+	if math.Abs(prev-limit) > 0.4 {
+		t.Errorf("limiting width = %v, want ~%v", prev, limit)
+	}
+}
+
+func TestForecastIntervalIntegratedGrowth(t *testing.T) {
+	// Random walk: h-step variance grows linearly, width like sqrt(h).
+	rng := rand.New(rand.NewPCG(67, 68))
+	n := 2000
+	xs := make([]float64, n)
+	for i := 1; i < n; i++ {
+		xs[i] = xs[i-1] + rng.NormFloat64()
+	}
+	m, err := Fit(xs, 1, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, lo, hi, err := m.ForecastInterval(16, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1 := hi[0] - lo[0]
+	w16 := hi[15] - lo[15]
+	if ratio := w16 / w1; math.Abs(ratio-4) > 0.8 {
+		t.Errorf("width ratio at h=16 vs h=1 = %v, want ~4 (sqrt growth)", ratio)
+	}
+}
+
+func TestForecastIntervalValidation(t *testing.T) {
+	m, err := Fit(genAR(200, 0, 0.5, 1, 69), 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := m.ForecastInterval(5, 0); err == nil {
+		t.Error("level 0 should error")
+	}
+	if _, _, _, err := m.ForecastInterval(5, 1); err == nil {
+		t.Error("level 1 should error")
+	}
+	if _, _, _, err := m.ForecastInterval(0, 0.9); err == nil {
+		t.Error("h=0 should error")
+	}
+}
+
+func TestPsiWeightsARMA(t *testing.T) {
+	m := &Model{P: 1, Q: 1, Phi: []float64{0.5}, Theta: []float64{0.3}}
+	psi := m.psiWeights(4)
+	// psi_0=1, psi_1=theta1+phi1 = 0.8, psi_2 = phi1*psi_1 = 0.4, ...
+	want := []float64{1, 0.8, 0.4, 0.2}
+	for i := range want {
+		if math.Abs(psi[i]-want[i]) > 1e-12 {
+			t.Fatalf("psi = %v, want %v", psi, want)
+		}
+	}
+}
+
+func TestGoodnessOfFit(t *testing.T) {
+	// A correctly specified AR(1) fit leaves white residuals.
+	xs := genAR(3000, 0.5, 0.75, 1, 217)
+	m, err := Fit(xs, 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, p := m.GoodnessOfFit(12)
+	if p < 0.01 {
+		t.Errorf("well-specified model rejected: p = %v", p)
+	}
+	// An AR(1) fit to an AR(2) process leaves structure behind.
+	rng := rand.New(rand.NewPCG(219, 220))
+	n := 3000
+	ys := make([]float64, n)
+	for i := 2; i < n; i++ {
+		ys[i] = 0.3*ys[i-1] + 0.55*ys[i-2] + rng.NormFloat64()
+	}
+	bad, err := Fit(ys, 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, p = bad.GoodnessOfFit(12)
+	if p > 0.01 {
+		t.Errorf("underspecified model accepted: p = %v", p)
+	}
+	// And the properly specified AR(2) passes.
+	good, err := Fit(ys, 2, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, p = good.GoodnessOfFit(12)
+	if p < 0.01 {
+		t.Errorf("AR(2) fit rejected: p = %v", p)
+	}
+}

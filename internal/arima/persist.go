@@ -1,0 +1,71 @@
+package arima
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// maxPersistedState bounds how much walk-forward history is serialized.
+// Forecasting needs only the last max(P, Q, D)+1 values; a generous tail
+// is kept so a reloaded model behaves identically for further updates.
+const maxPersistedState = 512
+
+// modelJSON is the serialized form of a fitted model.
+type modelJSON struct {
+	P     int       `json:"p"`
+	D     int       `json:"d"`
+	Q     int       `json:"q"`
+	Phi   []float64 `json:"phi,omitempty"`
+	Theta []float64 `json:"theta,omitempty"`
+	C     float64   `json:"c"`
+	W     []float64 `json:"w"`
+	E     []float64 `json:"e"`
+	Orig  []float64 `json:"orig"`
+	RSS   float64   `json:"rss"`
+	N     int       `json:"n"`
+}
+
+// MarshalJSON serializes the fitted model, truncating the walk-forward
+// state to the most recent maxPersistedState observations.
+func (m *Model) MarshalJSON() ([]byte, error) {
+	return json.Marshal(modelJSON{
+		P: m.P, D: m.D, Q: m.Q,
+		Phi: m.Phi, Theta: m.Theta, C: m.C,
+		W:    tail(m.w, maxPersistedState),
+		E:    tail(m.e, maxPersistedState),
+		Orig: tail(m.orig, maxPersistedState),
+		RSS:  m.rss, N: m.n,
+	})
+}
+
+// UnmarshalJSON restores a model serialized by MarshalJSON.
+func (m *Model) UnmarshalJSON(data []byte) error {
+	var j modelJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return fmt.Errorf("arima: unmarshal: %w", err)
+	}
+	if j.P < 1 || j.D < 0 || j.Q < 0 {
+		return fmt.Errorf("arima: unmarshal: invalid order (%d,%d,%d)", j.P, j.D, j.Q)
+	}
+	if len(j.Phi) != j.P || len(j.Theta) != j.Q {
+		return errors.New("arima: unmarshal: coefficient lengths disagree with order")
+	}
+	if len(j.Orig) < j.D+1 || len(j.W) == 0 || len(j.W) != len(j.E) {
+		return errors.New("arima: unmarshal: inconsistent state")
+	}
+	m.P, m.D, m.Q = j.P, j.D, j.Q
+	m.Phi, m.Theta, m.C = j.Phi, j.Theta, j.C
+	m.w, m.e, m.orig = j.W, j.E, j.Orig
+	m.rss, m.n = j.RSS, j.N
+	return nil
+}
+
+func tail(xs []float64, n int) []float64 {
+	if len(xs) > n {
+		xs = xs[len(xs)-n:]
+	}
+	out := make([]float64, len(xs))
+	copy(out, xs)
+	return out
+}

@@ -1,0 +1,91 @@
+package arima
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestModelJSONRoundTrip(t *testing.T) {
+	xs := genAR(1000, 0.5, 0.7, 1, 91)
+	for _, order := range [][3]int{{1, 0, 0}, {2, 1, 1}} {
+		m, err := Fit(xs, order[0], order[1], order[2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Model
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		f1, err := m.Forecast(5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f2, err := back.Forecast(5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range f1 {
+			if math.Abs(f1[i]-f2[i]) > 1e-9 {
+				t.Fatalf("order %v: forecasts differ: %v vs %v", order, f1, f2)
+			}
+		}
+		// Updates keep the two in lock-step.
+		m.Update(3.3)
+		back.Update(3.3)
+		p1, _ := m.PredictNext()
+		p2, _ := back.PredictNext()
+		if math.Abs(p1-p2) > 1e-9 {
+			t.Fatalf("order %v: post-update predictions differ", order)
+		}
+		if math.Abs(m.AIC()-back.AIC()) > 1e-9 {
+			t.Errorf("order %v: AIC differs", order)
+		}
+	}
+}
+
+func TestModelJSONTruncatesState(t *testing.T) {
+	xs := genAR(5000, 0, 0.5, 1, 93)
+	m, err := Fit(xs, 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Model
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.w) > maxPersistedState {
+		t.Errorf("persisted state = %d values, want <= %d", len(back.w), maxPersistedState)
+	}
+	// Predictions must still agree (they depend only on the tail).
+	p1, _ := m.PredictNext()
+	p2, _ := back.PredictNext()
+	if math.Abs(p1-p2) > 1e-9 {
+		t.Error("truncated state changed the forecast")
+	}
+}
+
+func TestModelUnmarshalValidation(t *testing.T) {
+	var m Model
+	cases := map[string]string{
+		"bad json":       `{`,
+		"invalid order":  `{"p":0,"d":0,"q":0,"w":[1],"e":[0],"orig":[1]}`,
+		"phi mismatch":   `{"p":2,"d":0,"q":0,"phi":[0.5],"c":0,"w":[1,2,3],"e":[0,0,0],"orig":[1,2,3]}`,
+		"no state":       `{"p":1,"d":0,"q":0,"phi":[0.5],"c":0,"w":[],"e":[],"orig":[1]}`,
+		"w/e mismatch":   `{"p":1,"d":0,"q":0,"phi":[0.5],"c":0,"w":[1,2],"e":[0],"orig":[1,2]}`,
+		"orig too short": `{"p":1,"d":2,"q":0,"phi":[0.5],"c":0,"w":[1,2],"e":[0,0],"orig":[1,2]}`,
+	}
+	for name, data := range cases {
+		if err := json.Unmarshal([]byte(data), &m); err == nil {
+			t.Errorf("%s should fail to unmarshal", name)
+		}
+	}
+}

@@ -1,0 +1,505 @@
+package astopo
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// smallTopology builds a hand-checked hierarchy:
+//
+//	      1 ---- 2        (tier-1 peers)
+//	     / \    / \
+//	   10   11 12  13     (tier-2 customers)
+//	  /  \   |  |   \
+//	100  101 102 103 104  (stubs)
+func smallTopology() *Graph {
+	g := NewGraph()
+	g.AddLink(1, 2, RelPeer)
+	g.AddLink(10, 1, RelCustomerToProvider)
+	g.AddLink(11, 1, RelCustomerToProvider)
+	g.AddLink(12, 2, RelCustomerToProvider)
+	g.AddLink(13, 2, RelCustomerToProvider)
+	g.AddLink(100, 10, RelCustomerToProvider)
+	g.AddLink(101, 10, RelCustomerToProvider)
+	g.AddLink(102, 11, RelCustomerToProvider)
+	g.AddLink(103, 12, RelCustomerToProvider)
+	g.AddLink(104, 13, RelCustomerToProvider)
+	return g
+}
+
+func TestGraphBasics(t *testing.T) {
+	g := smallTopology()
+	if g.Rel(10, 1) != RelCustomerToProvider {
+		t.Error("10->1 should be customer-to-provider")
+	}
+	if g.Rel(1, 10) != RelProviderToCustomer {
+		t.Error("1->10 should be provider-to-customer")
+	}
+	if g.Rel(1, 2) != RelPeer || g.Rel(2, 1) != RelPeer {
+		t.Error("1-2 should be peer in both directions")
+	}
+	if g.Rel(100, 104) != RelUnknown {
+		t.Error("non-adjacent pair should be unknown")
+	}
+	if !g.HasLink(100, 10) || g.HasLink(100, 11) {
+		t.Error("HasLink mismatch")
+	}
+	if g.Degree(1) != 3 {
+		t.Errorf("Degree(1) = %d, want 3", g.Degree(1))
+	}
+	if g.Len() != 11 {
+		t.Errorf("Len = %d, want 11", g.Len())
+	}
+	nbs := g.Neighbors(1)
+	if len(nbs) != 3 || nbs[0] != 2 || nbs[1] != 10 || nbs[2] != 11 {
+		t.Errorf("Neighbors(1) = %v", nbs)
+	}
+	var zero Graph
+	if zero.Rel(1, 2) != RelUnknown || zero.HasLink(1, 2) {
+		t.Error("zero-value graph should be empty")
+	}
+	zero.AddLink(1, 2, RelPeer)
+	if zero.Rel(1, 2) != RelPeer {
+		t.Error("zero-value graph should accept AddLink")
+	}
+}
+
+func TestRelationshipString(t *testing.T) {
+	for rel, want := range map[Relationship]string{
+		RelUnknown:            "unknown",
+		RelCustomerToProvider: "customer-to-provider",
+		RelProviderToCustomer: "provider-to-customer",
+		RelPeer:               "peer",
+		RelSibling:            "sibling",
+	} {
+		if got := rel.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", rel, got, want)
+		}
+	}
+}
+
+func TestPathValidate(t *testing.T) {
+	if err := (Path{100, 10, 1}).Validate(); err != nil {
+		t.Errorf("valid path rejected: %v", err)
+	}
+	if err := (Path{100}).Validate(); err == nil {
+		t.Error("singleton path should fail")
+	}
+	if err := (Path{100, 10, 100}).Validate(); err == nil {
+		t.Error("looping path should fail")
+	}
+}
+
+func TestValleyFreePathUpPeerDown(t *testing.T) {
+	g := smallTopology()
+	// 100 -> 104 must climb to 1, peer to 2, descend through 13.
+	p, ok := ValleyFreePath(g, 100, 104)
+	if !ok {
+		t.Fatal("no path found")
+	}
+	want := []AS{100, 10, 1, 2, 13, 104}
+	if len(p) != len(want) {
+		t.Fatalf("path = %v, want %v", p, want)
+	}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("path = %v, want %v", p, want)
+		}
+	}
+	// Same endpoint.
+	p, ok = ValleyFreePath(g, 100, 100)
+	if !ok || len(p) != 1 {
+		t.Errorf("self path = %v", p)
+	}
+	// Disconnected AS.
+	if _, ok := ValleyFreePath(g, 100, 999); ok {
+		t.Error("unknown destination should be unreachable")
+	}
+}
+
+func TestValleyFreeRejectsValley(t *testing.T) {
+	// A route descending then climbing (valley) must not exist: make the
+	// only topological connection between 100 and 101 be via their shared
+	// provider 10, which IS legal (up then down). But a path 102 -> 10
+	// -> ... does not exist via customers of 10.
+	g := NewGraph()
+	g.AddLink(100, 10, RelCustomerToProvider)
+	g.AddLink(101, 10, RelCustomerToProvider)
+	g.AddLink(101, 11, RelCustomerToProvider) // 101 multihomed
+	g.AddLink(102, 11, RelCustomerToProvider)
+	// 100 -> 102 would require 10 -> 101 -> 11, i.e. provider-to-customer
+	// followed by customer-to-provider: a valley. No peering exists.
+	if _, ok := ValleyFreePath(g, 100, 102); ok {
+		t.Error("valley route should be rejected")
+	}
+	// 100 -> 101 via shared provider is fine.
+	if _, ok := ValleyFreePath(g, 100, 101); !ok {
+		t.Error("up-down route should exist")
+	}
+}
+
+func TestHopDistanceOracle(t *testing.T) {
+	g := smallTopology()
+	o := NewDistanceOracle(g)
+	d, ok := o.HopDistance(100, 101)
+	if !ok || d != 2 {
+		t.Errorf("dist(100,101) = %d,%v want 2", d, ok)
+	}
+	d, ok = o.HopDistance(100, 104)
+	if !ok || d != 5 {
+		t.Errorf("dist(100,104) = %d,%v want 5", d, ok)
+	}
+	if d, ok := o.HopDistance(7, 7); !ok || d != 0 {
+		t.Errorf("self distance = %d,%v", d, ok)
+	}
+	if _, ok := o.HopDistance(100, 999); ok {
+		t.Error("unreachable should report false")
+	}
+	// Cached second call must agree.
+	d2, _ := o.HopDistance(100, 104)
+	if d2 != 5 {
+		t.Errorf("cached dist = %d", d2)
+	}
+}
+
+func TestMeanPairwiseDistance(t *testing.T) {
+	g := smallTopology()
+	o := NewDistanceOracle(g)
+	// Pairs: (100,101)=2, (100,102)=4, (101,102)=4 -> mean 10/3.
+	mean, n := o.MeanPairwiseDistance([]AS{100, 101, 102})
+	if n != 3 {
+		t.Fatalf("pairs = %d, want 3", n)
+	}
+	if want := 10.0 / 3.0; mean != want {
+		t.Errorf("mean = %v, want %v", mean, want)
+	}
+	if mean, n := o.MeanPairwiseDistance([]AS{100}); mean != 0 || n != 0 {
+		t.Error("single AS should give 0 pairs")
+	}
+}
+
+func TestInferRelationshipsRecoversHierarchy(t *testing.T) {
+	topo, err := Synthesize(SynthConfig{Tier1: 4, Tier2: 10, Stubs: 40, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := topo.EmitRouteTable(12, 7)
+	if len(paths) == 0 {
+		t.Fatal("no paths emitted")
+	}
+	inferred := InferRelationships(paths, InferConfig{})
+	// Score the inference against ground truth on links present in both.
+	var total, correct int
+	for _, a := range topo.Graph.Nodes() {
+		for _, b := range topo.Graph.Neighbors(a) {
+			if a >= b || !inferred.HasLink(a, b) {
+				continue
+			}
+			total++
+			truth := topo.Graph.Rel(a, b)
+			got := inferred.Rel(a, b)
+			if got == truth {
+				correct++
+				continue
+			}
+			// Count peer/sibling confusion as correct enough: both are
+			// non-transit lateral links.
+			if (truth == RelPeer || truth == RelSibling) && (got == RelPeer || got == RelSibling) {
+				correct++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no overlapping links to score")
+	}
+	acc := float64(correct) / float64(total)
+	if acc < 0.80 {
+		t.Errorf("Gao inference accuracy = %.2f on %d links, want >= 0.80", acc, total)
+	}
+}
+
+func TestInferSkipsInvalidPaths(t *testing.T) {
+	paths := []Path{
+		{1},          // too short
+		{1, 2, 1},    // loop
+		{100, 10, 1}, // fine
+		{101, 10, 1}, // fine
+	}
+	g := InferRelationships(paths, InferConfig{})
+	if !g.HasLink(100, 10) {
+		t.Error("valid paths should still be used")
+	}
+	if g.HasLink(1, 1) {
+		t.Error("looped path leaked into the graph")
+	}
+}
+
+func TestParseIPv4(t *testing.T) {
+	ip, err := ParseIPv4("10.1.2.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ip != 0x0A010203 {
+		t.Errorf("parsed %x", uint32(ip))
+	}
+	if ip.String() != "10.1.2.3" {
+		t.Errorf("String = %q", ip.String())
+	}
+	for _, bad := range []string{"1.2.3", "256.1.1.1", "a.b.c.d", ""} {
+		if _, err := ParseIPv4(bad); err == nil {
+			t.Errorf("ParseIPv4(%q) should fail", bad)
+		}
+	}
+}
+
+func TestIPMapLookup(t *testing.T) {
+	m, err := NewIPMap([]PrefixRange{
+		{Lo: 100, Hi: 199, Owner: 1},
+		{Lo: 200, Hi: 299, Owner: 2},
+		{Lo: 500, Hi: 599, Owner: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		ip   IPv4
+		want AS
+		ok   bool
+	}{
+		{ip: 100, want: 1, ok: true},
+		{ip: 199, want: 1, ok: true},
+		{ip: 250, want: 2, ok: true},
+		{ip: 550, want: 1, ok: true},
+		{ip: 99, ok: false},
+		{ip: 300, ok: false},
+		{ip: 1000, ok: false},
+	}
+	for _, tt := range tests {
+		got, ok := m.Lookup(tt.ip)
+		if ok != tt.ok || (ok && got != tt.want) {
+			t.Errorf("Lookup(%d) = %v,%v want %v,%v", tt.ip, got, ok, tt.want, tt.ok)
+		}
+	}
+	if m.AddressCount(1) != 200 {
+		t.Errorf("AddressCount(1) = %d, want 200", m.AddressCount(1))
+	}
+	if len(m.RangesOf(1)) != 2 {
+		t.Errorf("RangesOf(1) = %v", m.RangesOf(1))
+	}
+	ases, unrouted := m.MapAll([]IPv4{100, 250, 999})
+	if len(ases) != 2 || unrouted != 1 {
+		t.Errorf("MapAll = %v, %d", ases, unrouted)
+	}
+}
+
+func TestIPMapValidation(t *testing.T) {
+	if _, err := NewIPMap([]PrefixRange{{Lo: 10, Hi: 5, Owner: 1}}); err == nil {
+		t.Error("inverted range should fail")
+	}
+	if _, err := NewIPMap([]PrefixRange{
+		{Lo: 0, Hi: 100, Owner: 1},
+		{Lo: 50, Hi: 150, Owner: 2},
+	}); err == nil {
+		t.Error("overlap should fail")
+	}
+}
+
+func TestRandomIPIn(t *testing.T) {
+	m, err := NewIPMap([]PrefixRange{
+		{Lo: 100, Hi: 109, Owner: 1},
+		{Lo: 200, Hi: 209, Owner: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip, err := m.RandomIPIn(1, 0)
+	if err != nil || ip != 100 {
+		t.Errorf("pick 0 = %v, %v", ip, err)
+	}
+	ip, err = m.RandomIPIn(1, 0.99)
+	if err != nil || ip != 209 {
+		t.Errorf("pick 0.99 = %v, %v", ip, err)
+	}
+	ip, err = m.RandomIPIn(1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if as, ok := m.Lookup(ip); !ok || as != 1 {
+		t.Errorf("mid pick %v not owned by AS1", ip)
+	}
+	if _, err := m.RandomIPIn(9, 0.5); err == nil {
+		t.Error("unknown AS should error")
+	}
+}
+
+// Property: every address drawn by RandomIPIn maps back to the same AS.
+func TestRandomIPInRoundTripProperty(t *testing.T) {
+	m, err := NewIPMap([]PrefixRange{
+		{Lo: 1000, Hi: 1999, Owner: 7},
+		{Lo: 5000, Hi: 5099, Owner: 7},
+		{Lo: 8000, Hi: 8999, Owner: 9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(pickRaw float64, pickAS bool) bool {
+		pick := pickRaw - float64(int(pickRaw))
+		if pick < 0 {
+			pick++
+		}
+		as := AS(7)
+		if pickAS {
+			as = 9
+		}
+		ip, err := m.RandomIPIn(as, pick)
+		if err != nil {
+			return false
+		}
+		got, ok := m.Lookup(ip)
+		return ok && got == as
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSynthesizeShape(t *testing.T) {
+	topo, err := Synthesize(SynthConfig{Tier1: 3, Tier2: 8, Stubs: 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.Tier1) != 3 || len(topo.Tier2) != 8 || len(topo.Stubs) != 20 {
+		t.Fatalf("tiers = %d/%d/%d", len(topo.Tier1), len(topo.Tier2), len(topo.Stubs))
+	}
+	if got := len(topo.AllASes()); got != 31 {
+		t.Errorf("AllASes = %d, want 31", got)
+	}
+	// Tier-1 clique is fully peered.
+	for i, a := range topo.Tier1 {
+		for _, b := range topo.Tier1[i+1:] {
+			if topo.Graph.Rel(a, b) != RelPeer {
+				t.Errorf("tier1 %d-%d not peered", a, b)
+			}
+		}
+	}
+	// Every stub has at least one provider and address space.
+	for _, s := range topo.Stubs {
+		if topo.Graph.Degree(s) < 1 {
+			t.Errorf("stub %d disconnected", s)
+		}
+		if topo.IPMap.AddressCount(s) == 0 {
+			t.Errorf("stub %d has no addresses", s)
+		}
+	}
+	// Determinism.
+	topo2, err := Synthesize(SynthConfig{Tier1: 3, Tier2: 8, Stubs: 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topo2.Graph.Nodes()) != len(topo.Graph.Nodes()) {
+		t.Error("same seed should give same topology")
+	}
+}
+
+func TestSynthesizeDefaults(t *testing.T) {
+	topo, err := Synthesize(SynthConfig{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.Tier1) != 4 || len(topo.Tier2) != 12 || len(topo.Stubs) != 60 {
+		t.Errorf("defaults = %d/%d/%d", len(topo.Tier1), len(topo.Tier2), len(topo.Stubs))
+	}
+}
+
+func TestEmitRouteTable(t *testing.T) {
+	topo, err := Synthesize(SynthConfig{Tier1: 3, Tier2: 6, Stubs: 15, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := topo.EmitRouteTable(5, 1)
+	if len(paths) == 0 {
+		t.Fatal("no paths")
+	}
+	for _, p := range paths {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("emitted invalid path %v: %v", p, err)
+		}
+	}
+	// Clamp over-large vantage counts.
+	paths2 := topo.EmitRouteTable(10000, 1)
+	if len(paths2) < len(paths) {
+		t.Error("clamped emission should cover at least as many paths")
+	}
+}
+
+func TestRouteTableRoundTrip(t *testing.T) {
+	paths := []Path{
+		{100, 10, 1},
+		{101, 10, 1, 2, 13, 104},
+	}
+	var buf strings.Builder
+	if err := WriteRouteTable(&buf, paths); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadRouteTable(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(paths) {
+		t.Fatalf("round trip lost paths: %d vs %d", len(back), len(paths))
+	}
+	for i := range paths {
+		if len(back[i]) != len(paths[i]) {
+			t.Fatalf("path %d length mismatch", i)
+		}
+		for j := range paths[i] {
+			if back[i][j] != paths[i][j] {
+				t.Fatalf("path %d element %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestReadRouteTableSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# a comment\n\n100 10 1\n   \n200 20 2\n"
+	paths, err := ReadRouteTable(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("paths = %d, want 2", len(paths))
+	}
+	if _, err := ReadRouteTable(strings.NewReader("100 banana 1\n")); err == nil {
+		t.Error("bad AS should error with line info")
+	}
+}
+
+func TestEmittedTableSurvivesSerialization(t *testing.T) {
+	topo, err := Synthesize(SynthConfig{Tier1: 2, Tier2: 4, Stubs: 10, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := topo.EmitRouteTable(3, 1)
+	var buf strings.Builder
+	if err := WriteRouteTable(&buf, paths); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadRouteTable(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inference over the round-tripped table must match the original.
+	a := InferRelationships(paths, InferConfig{})
+	b := InferRelationships(back, InferConfig{})
+	if a.Len() != b.Len() {
+		t.Errorf("inferred graph sizes differ: %d vs %d", a.Len(), b.Len())
+	}
+	for _, x := range a.Nodes() {
+		for _, y := range a.Neighbors(x) {
+			if a.Rel(x, y) != b.Rel(x, y) {
+				t.Fatalf("relationship %d-%d differs after round trip", x, y)
+			}
+		}
+	}
+}

@@ -1,0 +1,34 @@
+package astopo_test
+
+import (
+	"fmt"
+
+	"repro/internal/astopo"
+)
+
+// Infer AS relationships from routing-table paths and query a
+// valley-free route.
+func ExampleInferRelationships() {
+	paths := []astopo.Path{
+		{100, 10, 1}, // stub 100 reaches tier-1 AS1 via provider 10
+		{101, 10, 1}, // sibling stub, same provider
+		{103, 12, 1}, // more regions homed on AS1: its degree
+		{104, 13, 1}, // grows far past AS10's, so the Gao
+		{105, 14, 1}, // heuristic sees AS1 as the transit core
+		{106, 15, 1}, // rather than a peer of its customers
+		{107, 16, 1},
+		{100, 10, 1, 2, 11, 102}, // cross-core route over the 1-2 peering
+		{102, 11, 2},
+		{101, 10, 1, 2, 11, 102},
+	}
+	g := astopo.InferRelationships(paths, astopo.InferConfig{})
+	fmt.Println("10 -> 1:", g.Rel(10, 1))
+	fmt.Println("1 -> 10:", g.Rel(1, 10))
+
+	route, ok := astopo.ValleyFreePath(g, 100, 101)
+	fmt.Println("route found:", ok, route)
+	// Output:
+	// 10 -> 1: customer-to-provider
+	// 1 -> 10: provider-to-customer
+	// route found: true [100 10 101]
+}

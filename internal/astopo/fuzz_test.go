@@ -1,0 +1,53 @@
+package astopo
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseIPv4 checks that the parser never panics and that accepted
+// addresses round-trip through String.
+func FuzzParseIPv4(f *testing.F) {
+	for _, seed := range []string{"10.0.0.1", "255.255.255.255", "0.0.0.0", "1.2.3", "a.b.c.d", "999.1.1.1", ""} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		ip, err := ParseIPv4(s)
+		if err != nil {
+			return
+		}
+		back, err := ParseIPv4(ip.String())
+		if err != nil {
+			t.Fatalf("round trip of %q -> %v failed: %v", s, ip, err)
+		}
+		if back != ip {
+			t.Fatalf("round trip changed %v -> %v", ip, back)
+		}
+	})
+}
+
+// FuzzReadRouteTable checks the routing-table parser never panics and that
+// accepted tables survive a write/read round trip.
+func FuzzReadRouteTable(f *testing.F) {
+	f.Add("100 10 1\n101 10 1\n")
+	f.Add("# comment\n\n1 2\n")
+	f.Add("1 banana\n")
+	f.Add("4294967295 0\n")
+	f.Fuzz(func(t *testing.T, s string) {
+		paths, err := ReadRouteTable(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		var buf strings.Builder
+		if err := WriteRouteTable(&buf, paths); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		back, err := ReadRouteTable(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("re-read failed: %v", err)
+		}
+		if len(back) != len(paths) {
+			t.Fatalf("round trip changed path count %d -> %d", len(paths), len(back))
+		}
+	})
+}

@@ -1,0 +1,117 @@
+package astopo
+
+// Gao-style AS relationship inference (Gao 2001, as used by the paper's
+// tool in §IV-A3): in a valley-free route the path climbs customer →
+// provider links, crosses at most one peer link at the top, and descends
+// provider → customer links. The AS of highest degree in a path is taken
+// as the top; links before it are classified customer-to-provider, links
+// after provider-to-customer, and links adjacent to the top whose endpoint
+// degrees are within a peering ratio are classified as peers. Votes are
+// accumulated over all paths and the majority wins per link.
+
+// InferConfig tunes the inference.
+type InferConfig struct {
+	// PeerDegreeRatio R: adjacent ASes with degree ratio in [1/R, R]
+	// around the path top may be classified as peers. Default 2.0.
+	PeerDegreeRatio float64
+}
+
+func (c InferConfig) withDefaults() InferConfig {
+	if c.PeerDegreeRatio <= 1 {
+		c.PeerDegreeRatio = 2.0
+	}
+	return c
+}
+
+// InferRelationships runs the Gao heuristic over a set of routing-table
+// paths and returns the annotated graph. Paths that fail validation are
+// skipped.
+func InferRelationships(paths []Path, cfg InferConfig) *Graph {
+	cfg = cfg.withDefaults()
+	// Pass 1: degrees from path adjacency.
+	deg := make(map[AS]map[AS]bool)
+	addAdj := func(a, b AS) {
+		if deg[a] == nil {
+			deg[a] = make(map[AS]bool)
+		}
+		deg[a][b] = true
+	}
+	valid := make([]Path, 0, len(paths))
+	for _, p := range paths {
+		if p.Validate() != nil {
+			continue
+		}
+		valid = append(valid, p)
+		for i := 0; i+1 < len(p); i++ {
+			addAdj(p[i], p[i+1])
+			addAdj(p[i+1], p[i])
+		}
+	}
+	degree := func(a AS) int { return len(deg[a]) }
+
+	// Pass 2: vote per directed link.
+	type votes struct{ c2p, p2c, peer int }
+	tally := make(map[[2]AS]*votes)
+	vote := func(a, b AS, rel Relationship) {
+		key := [2]AS{a, b}
+		if a > b {
+			key = [2]AS{b, a}
+			rel = rel.invert()
+		}
+		v := tally[key]
+		if v == nil {
+			v = &votes{}
+			tally[key] = v
+		}
+		switch rel {
+		case RelCustomerToProvider:
+			v.c2p++
+		case RelProviderToCustomer:
+			v.p2c++
+		case RelPeer:
+			v.peer++
+		}
+	}
+	for _, p := range valid {
+		top := 0
+		for i := 1; i < len(p); i++ {
+			if degree(p[i]) > degree(p[top]) {
+				top = i
+			}
+		}
+		for i := 0; i+1 < len(p); i++ {
+			a, b := p[i], p[i+1]
+			switch {
+			case i+1 <= top && isPeerCandidate(degree(a), degree(b), cfg.PeerDegreeRatio) && (i+1 == top || i == top):
+				vote(a, b, RelPeer)
+			case i+1 <= top:
+				vote(a, b, RelCustomerToProvider)
+			default:
+				vote(a, b, RelProviderToCustomer)
+			}
+		}
+	}
+
+	// Pass 3: majority per link.
+	g := NewGraph()
+	for key, v := range tally {
+		rel := RelCustomerToProvider
+		best := v.c2p
+		if v.p2c > best {
+			rel, best = RelProviderToCustomer, v.p2c
+		}
+		if v.peer > best {
+			rel = RelPeer
+		}
+		g.AddLink(key[0], key[1], rel)
+	}
+	return g
+}
+
+func isPeerCandidate(degA, degB int, ratio float64) bool {
+	if degA == 0 || degB == 0 {
+		return false
+	}
+	r := float64(degA) / float64(degB)
+	return r >= 1/ratio && r <= ratio
+}

@@ -1,0 +1,154 @@
+// Package astopo provides the autonomous-system topology substrate the
+// paper's source-distribution feature (A^s, Eqs. 3–4) depends on: ingestion
+// of routing-table AS paths, Gao-style inference of business relationships
+// between ASes, valley-free path and hop-distance computation, and IP→ASN
+// mapping. The paper used Route Views tables and a commercial whois
+// mapping; we generate an equivalent synthetic topology (see Synthesize)
+// and run the identical inference pipeline on it.
+package astopo
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// AS is an autonomous system number.
+type AS uint32
+
+// Relationship classifies the business relationship of a directed AS pair.
+type Relationship int
+
+// Relationship kinds between adjacent ASes, following Gao's taxonomy.
+const (
+	// RelUnknown marks links seen in paths but not yet classified.
+	RelUnknown Relationship = iota
+	// RelCustomerToProvider: the first AS pays the second for transit.
+	RelCustomerToProvider
+	// RelProviderToCustomer: the first AS sells transit to the second.
+	RelProviderToCustomer
+	// RelPeer: settlement-free peering.
+	RelPeer
+	// RelSibling: same organization (rare; treated like peering here).
+	RelSibling
+)
+
+// String implements fmt.Stringer.
+func (r Relationship) String() string {
+	switch r {
+	case RelCustomerToProvider:
+		return "customer-to-provider"
+	case RelProviderToCustomer:
+		return "provider-to-customer"
+	case RelPeer:
+		return "peer"
+	case RelSibling:
+		return "sibling"
+	default:
+		return "unknown"
+	}
+}
+
+// invert returns the relationship as seen from the opposite endpoint.
+func (r Relationship) invert() Relationship {
+	switch r {
+	case RelCustomerToProvider:
+		return RelProviderToCustomer
+	case RelProviderToCustomer:
+		return RelCustomerToProvider
+	default:
+		return r
+	}
+}
+
+// Graph is an annotated AS-level topology. The zero value is empty and
+// ready to use via AddLink.
+type Graph struct {
+	rels map[AS]map[AS]Relationship
+}
+
+// NewGraph returns an empty topology.
+func NewGraph() *Graph {
+	return &Graph{rels: make(map[AS]map[AS]Relationship)}
+}
+
+// AddLink records a directed relationship from a to b (and the inverse
+// from b to a). Re-adding overwrites.
+func (g *Graph) AddLink(a, b AS, rel Relationship) {
+	if g.rels == nil {
+		g.rels = make(map[AS]map[AS]Relationship)
+	}
+	if g.rels[a] == nil {
+		g.rels[a] = make(map[AS]Relationship)
+	}
+	if g.rels[b] == nil {
+		g.rels[b] = make(map[AS]Relationship)
+	}
+	g.rels[a][b] = rel
+	g.rels[b][a] = rel.invert()
+}
+
+// Rel returns the relationship from a to b, RelUnknown if the link is
+// absent.
+func (g *Graph) Rel(a, b AS) Relationship {
+	if g.rels == nil {
+		return RelUnknown
+	}
+	return g.rels[a][b]
+}
+
+// HasLink reports whether a and b are adjacent.
+func (g *Graph) HasLink(a, b AS) bool {
+	if g.rels == nil {
+		return false
+	}
+	_, ok := g.rels[a][b]
+	return ok
+}
+
+// Neighbors returns the adjacent ASes of a in ascending order.
+func (g *Graph) Neighbors(a AS) []AS {
+	m := g.rels[a]
+	out := make([]AS, 0, len(m))
+	for b := range m {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Nodes returns all ASes in ascending order.
+func (g *Graph) Nodes() []AS {
+	out := make([]AS, 0, len(g.rels))
+	for a := range g.rels {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Degree returns the number of neighbors of a.
+func (g *Graph) Degree(a AS) int { return len(g.rels[a]) }
+
+// Len returns the number of ASes.
+func (g *Graph) Len() int { return len(g.rels) }
+
+// Path is an AS-level route as it would appear in a routing table: index 0
+// is the collecting vantage point, the last element the origin AS.
+type Path []AS
+
+// Validate checks that a path has at least two hops and no immediate
+// repetitions (prepending collapses are expected to be removed upstream).
+func (p Path) Validate() error {
+	if len(p) < 2 {
+		return errors.New("astopo: path needs at least two ASes")
+	}
+	seen := make(map[AS]bool, len(p))
+	for i, as := range p {
+		if seen[as] {
+			return fmt.Errorf("astopo: loop at position %d (AS%d)", i, as)
+		}
+		seen[as] = true
+	}
+	return nil
+}

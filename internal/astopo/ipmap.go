@@ -1,0 +1,131 @@
+package astopo
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// IPv4 is an IPv4 address as a big-endian 32-bit integer.
+type IPv4 uint32
+
+// ParseIPv4 parses dotted-quad notation.
+func ParseIPv4(s string) (IPv4, error) {
+	var a, b, c, d int
+	if _, err := fmt.Sscanf(s, "%d.%d.%d.%d", &a, &b, &c, &d); err != nil {
+		return 0, fmt.Errorf("astopo: bad IPv4 %q: %w", s, err)
+	}
+	for _, o := range []int{a, b, c, d} {
+		if o < 0 || o > 255 {
+			return 0, fmt.Errorf("astopo: bad IPv4 octet in %q", s)
+		}
+	}
+	return IPv4(a)<<24 | IPv4(b)<<16 | IPv4(c)<<8 | IPv4(d), nil
+}
+
+// String renders the address in dotted-quad notation.
+func (ip IPv4) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip))
+}
+
+// PrefixRange is a contiguous address block announced by one AS.
+type PrefixRange struct {
+	Lo, Hi IPv4 // inclusive
+	Owner  AS
+}
+
+// Size returns the number of addresses in the range.
+func (r PrefixRange) Size() int { return int(r.Hi-r.Lo) + 1 }
+
+// IPMap resolves IPv4 addresses to the announcing AS, replacing the
+// paper's commercial whois-based mapping. Build one with NewIPMap.
+type IPMap struct {
+	ranges []PrefixRange // sorted by Lo, non-overlapping
+	sizes  map[AS]int    // total addresses per AS
+}
+
+// NewIPMap validates and indexes the given prefix ranges. Ranges must not
+// overlap.
+func NewIPMap(ranges []PrefixRange) (*IPMap, error) {
+	rs := make([]PrefixRange, len(ranges))
+	copy(rs, ranges)
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Lo < rs[j].Lo })
+	sizes := make(map[AS]int)
+	for i, r := range rs {
+		if r.Hi < r.Lo {
+			return nil, fmt.Errorf("astopo: inverted range %v-%v", r.Lo, r.Hi)
+		}
+		if i > 0 && r.Lo <= rs[i-1].Hi {
+			return nil, fmt.Errorf("astopo: overlapping ranges at %v", r.Lo)
+		}
+		sizes[r.Owner] += r.Size()
+	}
+	return &IPMap{ranges: rs, sizes: sizes}, nil
+}
+
+// Lookup returns the AS announcing ip, and false for unrouted space.
+func (m *IPMap) Lookup(ip IPv4) (AS, bool) {
+	idx := sort.Search(len(m.ranges), func(i int) bool { return m.ranges[i].Hi >= ip })
+	if idx == len(m.ranges) || m.ranges[idx].Lo > ip {
+		return 0, false
+	}
+	return m.ranges[idx].Owner, true
+}
+
+// AddressCount returns the total number of addresses announced by as,
+// which is the N_AS denominator of the intra-AS distribution (Eq. 4).
+func (m *IPMap) AddressCount(as AS) int { return m.sizes[as] }
+
+// RangesOf returns the prefix ranges announced by as.
+func (m *IPMap) RangesOf(as AS) []PrefixRange {
+	var out []PrefixRange
+	for _, r := range m.ranges {
+		if r.Owner == as {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// MapAll maps a slice of IPs to ASes, skipping unrouted addresses, and
+// reports how many were unrouted.
+func (m *IPMap) MapAll(ips []IPv4) (ases []AS, unrouted int) {
+	ases = make([]AS, 0, len(ips))
+	for _, ip := range ips {
+		if as, ok := m.Lookup(ip); ok {
+			ases = append(ases, as)
+		} else {
+			unrouted++
+		}
+	}
+	return ases, unrouted
+}
+
+// ErrNoSpace is returned when an AS has no address space to draw from.
+var ErrNoSpace = errors.New("astopo: AS announces no address space")
+
+// RandomIPIn returns a deterministic pseudo-random address inside the AS's
+// announced space, using pick in [0, 1).
+func (m *IPMap) RandomIPIn(as AS, pick float64) (IPv4, error) {
+	total := m.sizes[as]
+	if total == 0 {
+		return 0, ErrNoSpace
+	}
+	if pick < 0 {
+		pick = 0
+	}
+	if pick >= 1 {
+		pick = 0.999999999
+	}
+	offset := int(pick * float64(total))
+	for _, r := range m.ranges {
+		if r.Owner != as {
+			continue
+		}
+		if offset < r.Size() {
+			return r.Lo + IPv4(offset), nil
+		}
+		offset -= r.Size()
+	}
+	return 0, ErrNoSpace
+}

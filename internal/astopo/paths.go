@@ -1,0 +1,189 @@
+package astopo
+
+import (
+	"sync"
+)
+
+// Valley-free routing: a legal route climbs customer-to-provider links,
+// crosses at most one peering link, then descends provider-to-customer
+// links. HopDistance runs a BFS over (AS, phase) states to find the
+// shortest legal route, which is how the paper's tool measures inter-AS
+// distance for the A^s denominator (Eq. 4).
+
+type phase uint8
+
+const (
+	phaseUp phase = iota
+	phasePeered
+	phaseDown
+)
+
+// DistanceOracle computes and caches valley-free hop distances on a graph.
+// It is safe for concurrent use.
+type DistanceOracle struct {
+	g  *Graph
+	mu sync.Mutex
+	// cache maps a source AS to the distance vector computed by a full
+	// BFS from that source.
+	cache map[AS]map[AS]int
+}
+
+// NewDistanceOracle wraps g with a distance cache.
+func NewDistanceOracle(g *Graph) *DistanceOracle {
+	return &DistanceOracle{g: g, cache: make(map[AS]map[AS]int)}
+}
+
+// HopDistance returns the length (in AS hops) of the shortest valley-free
+// route from src to dst, and false when no legal route exists.
+func (o *DistanceOracle) HopDistance(src, dst AS) (int, bool) {
+	if src == dst {
+		return 0, true
+	}
+	o.mu.Lock()
+	dists, ok := o.cache[src]
+	if !ok {
+		dists = valleyFreeBFS(o.g, src)
+		o.cache[src] = dists
+	}
+	o.mu.Unlock()
+	d, ok := dists[dst]
+	return d, ok
+}
+
+// MeanPairwiseDistance returns the average valley-free hop distance over
+// all unordered pairs of the given ASes, skipping unreachable pairs. The
+// second return is the number of reachable pairs. This implements the
+// inter-AS distribution DT of Eq. 4.
+func (o *DistanceOracle) MeanPairwiseDistance(ases []AS) (float64, int) {
+	var sum float64
+	var n int
+	for i := 0; i < len(ases); i++ {
+		for j := i + 1; j < len(ases); j++ {
+			if d, ok := o.HopDistance(ases[i], ases[j]); ok {
+				sum += float64(d)
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return sum / float64(n), n
+}
+
+// valleyFreeBFS computes shortest valley-free distances from src to every
+// reachable AS.
+func valleyFreeBFS(g *Graph, src AS) map[AS]int {
+	type state struct {
+		as AS
+		ph phase
+	}
+	dist := make(map[AS]int)
+	visited := make(map[state]bool)
+	queue := []state{{as: src, ph: phaseUp}}
+	visited[queue[0]] = true
+	depth := 0
+	for len(queue) > 0 {
+		depth++
+		var next []state
+		for _, s := range queue {
+			for _, nb := range g.Neighbors(s.as) {
+				rel := g.Rel(s.as, nb)
+				nph, ok := transition(s.ph, rel)
+				if !ok {
+					continue
+				}
+				ns := state{as: nb, ph: nph}
+				if visited[ns] {
+					continue
+				}
+				visited[ns] = true
+				if _, seen := dist[nb]; !seen {
+					dist[nb] = depth
+				}
+				next = append(next, ns)
+			}
+		}
+		queue = next
+	}
+	return dist
+}
+
+// transition returns the next routing phase after traversing a link with
+// the given relationship, or false when the move would create a valley.
+func transition(ph phase, rel Relationship) (phase, bool) {
+	switch ph {
+	case phaseUp:
+		switch rel {
+		case RelCustomerToProvider:
+			return phaseUp, true
+		case RelPeer, RelSibling:
+			return phasePeered, true
+		case RelProviderToCustomer:
+			return phaseDown, true
+		}
+	case phasePeered, phaseDown:
+		if rel == RelProviderToCustomer {
+			return phaseDown, true
+		}
+	}
+	return 0, false
+}
+
+// vfState is a BFS state: an AS reached in a particular routing phase.
+type vfState struct {
+	as AS
+	ph phase
+}
+
+// ValleyFreePath returns one shortest valley-free route from src to dst
+// (inclusive of both endpoints), and false when none exists.
+func ValleyFreePath(g *Graph, src, dst AS) ([]AS, bool) {
+	if src == dst {
+		return []AS{src}, true
+	}
+	parent := make(map[vfState]vfState)
+	visited := map[vfState]bool{{as: src, ph: phaseUp}: true}
+	queue := []vfState{{as: src, ph: phaseUp}}
+	for len(queue) > 0 {
+		var next []vfState
+		for _, s := range queue {
+			for _, nb := range g.Neighbors(s.as) {
+				nph, ok := transition(s.ph, g.Rel(s.as, nb))
+				if !ok {
+					continue
+				}
+				ns := vfState{as: nb, ph: nph}
+				if visited[ns] {
+					continue
+				}
+				visited[ns] = true
+				parent[ns] = s
+				if nb == dst {
+					return reconstruct(parent, ns), true
+				}
+				next = append(next, ns)
+			}
+		}
+		queue = next
+	}
+	return nil, false
+}
+
+func reconstruct(parent map[vfState]vfState, end vfState) []AS {
+	var rev []AS
+	cur := end
+	for {
+		rev = append(rev, cur.as)
+		p, ok := parent[cur]
+		if !ok {
+			break
+		}
+		cur = p
+	}
+	out := make([]AS, len(rev))
+	for i, as := range rev {
+		out[len(rev)-1-i] = as
+	}
+	return out
+}

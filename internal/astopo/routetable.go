@@ -1,0 +1,65 @@
+package astopo
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Routing tables are serialized one AS path per line as space-separated AS
+// numbers, vantage point first, origin last — the shape of a Route Views
+// AS-path dump after prepending collapse. cmd/astool reads this format
+// from stdin.
+
+// WriteRouteTable serializes paths to w.
+func WriteRouteTable(w io.Writer, paths []Path) error {
+	bw := bufio.NewWriter(w)
+	for _, p := range paths {
+		for i, as := range p {
+			if i > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return fmt.Errorf("astopo: write route table: %w", err)
+				}
+			}
+			if _, err := bw.WriteString(strconv.FormatUint(uint64(as), 10)); err != nil {
+				return fmt.Errorf("astopo: write route table: %w", err)
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return fmt.Errorf("astopo: write route table: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadRouteTable parses the format written by WriteRouteTable. Blank lines
+// and lines starting with '#' are skipped; malformed AS numbers are
+// reported with their line number.
+func ReadRouteTable(r io.Reader) ([]Path, error) {
+	var paths []Path
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		p := make(Path, 0, len(fields))
+		for _, f := range fields {
+			n, err := strconv.ParseUint(f, 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("astopo: route table line %d: bad AS %q: %w", line, f, err)
+			}
+			p = append(p, AS(n))
+		}
+		paths = append(paths, p)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("astopo: read route table: %w", err)
+	}
+	return paths, nil
+}

@@ -1,0 +1,159 @@
+package astopo
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Topology bundles a synthetic AS-level internet: the ground-truth
+// relationship graph, the address plan, and the tier assignment. It stands
+// in for the Route Views + whois data the paper used (see DESIGN.md's
+// substitution table).
+type Topology struct {
+	Graph *Graph
+	IPMap *IPMap
+	// Tier1, Tier2, Stubs partition the AS numbers by role.
+	Tier1, Tier2, Stubs []AS
+}
+
+// SynthConfig sizes the synthetic topology.
+type SynthConfig struct {
+	Tier1 int // fully-peered core ASes. Default 4.
+	Tier2 int // regional providers. Default 12.
+	Stubs int // edge/stub ASes (bot and target networks). Default 60.
+	Seed  uint64
+}
+
+func (c SynthConfig) withDefaults() SynthConfig {
+	if c.Tier1 < 1 {
+		c.Tier1 = 4
+	}
+	if c.Tier2 < 1 {
+		c.Tier2 = 12
+	}
+	if c.Stubs < 1 {
+		c.Stubs = 60
+	}
+	return c
+}
+
+// Synthesize builds a three-tier hierarchical topology: a clique of
+// tier-1 ASes peered with each other, tier-2 providers multihomed to two
+// tier-1s (with sparse tier-2 peering), and stub ASes multihomed to one to
+// three tier-2 providers. Every AS is allocated disjoint IPv4 blocks sized
+// by tier.
+func Synthesize(cfg SynthConfig) (*Topology, error) {
+	cfg = cfg.withDefaults()
+	s := stats.NewSampler(cfg.Seed + 0xa5)
+	g := NewGraph()
+	t := &Topology{Graph: g}
+	next := AS(100)
+	alloc := func() AS { next++; return next - 1 }
+
+	for i := 0; i < cfg.Tier1; i++ {
+		t.Tier1 = append(t.Tier1, alloc())
+	}
+	for i := 0; i < cfg.Tier1; i++ {
+		for j := i + 1; j < cfg.Tier1; j++ {
+			g.AddLink(t.Tier1[i], t.Tier1[j], RelPeer)
+		}
+	}
+	for i := 0; i < cfg.Tier2; i++ {
+		as := alloc()
+		t.Tier2 = append(t.Tier2, as)
+		// Multihome to two distinct tier-1 providers.
+		p1 := t.Tier1[s.IntN(len(t.Tier1))]
+		p2 := t.Tier1[s.IntN(len(t.Tier1))]
+		g.AddLink(as, p1, RelCustomerToProvider)
+		if p2 != p1 {
+			g.AddLink(as, p2, RelCustomerToProvider)
+		}
+	}
+	// Sparse tier-2 peering (~20% of pairs).
+	for i := 0; i < cfg.Tier2; i++ {
+		for j := i + 1; j < cfg.Tier2; j++ {
+			if s.Float64() < 0.2 {
+				g.AddLink(t.Tier2[i], t.Tier2[j], RelPeer)
+			}
+		}
+	}
+	for i := 0; i < cfg.Stubs; i++ {
+		as := alloc()
+		t.Stubs = append(t.Stubs, as)
+		n := 1 + s.IntN(3)
+		for k := 0; k < n; k++ {
+			p := t.Tier2[s.IntN(len(t.Tier2))]
+			g.AddLink(as, p, RelCustomerToProvider)
+		}
+	}
+
+	// Address plan: carve 10.0.0.0/8-style space into per-AS blocks.
+	// Tier 1 gets /14-equivalents, tier 2 /16, stubs /18.
+	var ranges []PrefixRange
+	cursor := IPv4(0x0A000000) // 10.0.0.0
+	carve := func(as AS, size uint32) {
+		ranges = append(ranges, PrefixRange{Lo: cursor, Hi: cursor + IPv4(size-1), Owner: as})
+		cursor += IPv4(size)
+	}
+	for _, as := range t.Tier1 {
+		carve(as, 1<<18)
+	}
+	for _, as := range t.Tier2 {
+		carve(as, 1<<16)
+	}
+	for _, as := range t.Stubs {
+		carve(as, 1<<14)
+	}
+	ipm, err := NewIPMap(ranges)
+	if err != nil {
+		return nil, fmt.Errorf("astopo: address plan: %w", err)
+	}
+	t.IPMap = ipm
+	return t, nil
+}
+
+// AllASes returns every AS of the topology in tier order.
+func (t *Topology) AllASes() []AS {
+	out := make([]AS, 0, len(t.Tier1)+len(t.Tier2)+len(t.Stubs))
+	out = append(out, t.Tier1...)
+	out = append(out, t.Tier2...)
+	out = append(out, t.Stubs...)
+	return out
+}
+
+// EmitRouteTable simulates Route Views-style collection: from each of n
+// vantage stub ASes it records the best valley-free route to every other
+// AS. The emitted paths feed InferRelationships, exercising the paper's
+// routing-table pipeline end to end.
+func (t *Topology) EmitRouteTable(nVantage int, seed uint64) []Path {
+	s := stats.NewSampler(seed + 0x7e)
+	if nVantage < 1 {
+		nVantage = 1
+	}
+	if nVantage > len(t.Stubs) {
+		nVantage = len(t.Stubs)
+	}
+	// Choose vantage points without replacement.
+	perm := make([]int, len(t.Stubs))
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := len(perm) - 1; i > 0; i-- {
+		j := s.IntN(i + 1)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	var paths []Path
+	for _, vi := range perm[:nVantage] {
+		v := t.Stubs[vi]
+		for _, dst := range t.AllASes() {
+			if dst == v {
+				continue
+			}
+			if p, ok := ValleyFreePath(t.Graph, v, dst); ok {
+				paths = append(paths, Path(p))
+			}
+		}
+	}
+	return paths
+}

@@ -1,0 +1,181 @@
+// Package botnet simulates the attacker side of the paper's ecosystem: the
+// ten most active botnet families of Table I, each with its activity level
+// (average attacks per day, active days, coefficient of variation),
+// geolocation (AS) affinity, diurnal launching preferences, per-target
+// scheduling, duration and magnitude processes, and bot-pool churn. The
+// simulator emits trace.Attack records with the statistical structure the
+// paper's models exploit; see DESIGN.md for the substitution argument.
+package botnet
+
+// Profile parameterizes one botnet family's behavior.
+type Profile struct {
+	// Name is the family label.
+	Name string
+	// AvgPerDay, ActiveDays, and CV reproduce Table I: mean verified
+	// attacks per active day, number of active days, and coefficient of
+	// variation of the daily counts.
+	AvgPerDay  float64
+	ActiveDays int
+	CV         float64
+
+	// DailyRho is the day-to-day autocorrelation of the latent attack
+	// intensity; it gives the family-level series the AR structure the
+	// temporal model captures.
+	DailyRho float64
+
+	// PeakHour is the center of the family's diurnal launching profile
+	// (botmasters schedule attacks by their own clock), and HourSigma the
+	// residual spread around the per-target preferred hour.
+	PeakHour  float64
+	HourSigma float64
+	// TargetHourSigma spreads each target's preferred hour around
+	// PeakHour, creating the target-local pattern only the spatiotemporal
+	// model can fully exploit.
+	TargetHourSigma float64
+
+	// MagBase is the typical bot magnitude of one attack; MagRho/MagSigma
+	// drive the AR(1) log-magnitude process across the family's attacks;
+	// MagTrend adds a slow drift over the family's lifetime (BlackEnergy's
+	// prediction offset in Fig. 1 stems from such a drift).
+	MagBase  float64
+	MagRho   float64
+	MagSigma float64
+	MagTrend float64
+
+	// DurLogMean/DurLogSigma parameterize the lognormal attack duration
+	// in seconds; TargetDurSigma adds a per-target multiplier so duration
+	// carries target-local signal.
+	DurLogMean     float64
+	DurLogSigma    float64
+	TargetDurSigma float64
+
+	// PoolSize is the family's bot population; ChurnRate the fraction of
+	// the pool replaced per day (recruiting and dormancy).
+	PoolSize  int
+	ChurnRate float64
+	// HomeASes is the number of stub ASes the family's bots concentrate
+	// in, and HomeZipfS the concentration exponent (families have
+	// geolocation preferences, §II-B).
+	HomeASes  int
+	HomeZipfS float64
+
+	// Targets is the number of victims the family rotates over;
+	// TargetZipfS the popularity skew; PeriodDays the typical revisit
+	// period of a given target (multistage attack cadence).
+	Targets     int
+	TargetZipfS float64
+	PeriodDays  float64
+}
+
+// DefaultFamilies returns the ten Table I families with behavior
+// parameters calibrated so the generated dataset reproduces the table and
+// exposes the temporal/spatial/spatiotemporal structure of §IV–§VI.
+func DefaultFamilies() []Profile {
+	return []Profile{
+		{
+			Name: "AldiBot", AvgPerDay: 1.29, ActiveDays: 204, CV: 0.77,
+			DailyRho: 0.5, PeakHour: 8, HourSigma: 1.2, TargetHourSigma: 3,
+			MagBase: 25, MagRho: 0.8, MagSigma: 0.25,
+			DurLogMean: 7.2, DurLogSigma: 0.7, TargetDurSigma: 0.4,
+			PoolSize: 400, ChurnRate: 0.02, HomeASes: 4, HomeZipfS: 1.2,
+			Targets: 12, TargetZipfS: 1.0, PeriodDays: 6,
+		},
+		{
+			Name: "BlackEnergy", AvgPerDay: 5.93, ActiveDays: 220, CV: 0.82,
+			DailyRho: 0.6, PeakHour: 14, HourSigma: 1.2, TargetHourSigma: 3,
+			MagBase: 80, MagRho: 0.85, MagSigma: 0.2, MagTrend: 0.5,
+			DurLogMean: 7.8, DurLogSigma: 0.6, TargetDurSigma: 0.35,
+			PoolSize: 1500, ChurnRate: 0.03, HomeASes: 6, HomeZipfS: 1.1,
+			Targets: 30, TargetZipfS: 1.1, PeriodDays: 4,
+		},
+		{
+			Name: "Colddeath", AvgPerDay: 7.52, ActiveDays: 118, CV: 1.53,
+			DailyRho: 0.7, PeakHour: 18, HourSigma: 1.3, TargetHourSigma: 3,
+			MagBase: 45, MagRho: 0.85, MagSigma: 0.3,
+			DurLogMean: 7.0, DurLogSigma: 0.8, TargetDurSigma: 0.45,
+			PoolSize: 700, ChurnRate: 0.05, HomeASes: 5, HomeZipfS: 1.3,
+			Targets: 25, TargetZipfS: 1.2, PeriodDays: 3,
+		},
+		{
+			Name: "Darkshell", AvgPerDay: 9.98, ActiveDays: 210, CV: 1.14,
+			DailyRho: 0.65, PeakHour: 9, HourSigma: 1.2, TargetHourSigma: 3,
+			MagBase: 60, MagRho: 0.8, MagSigma: 0.25,
+			DurLogMean: 7.5, DurLogSigma: 0.7, TargetDurSigma: 0.4,
+			PoolSize: 900, ChurnRate: 0.04, HomeASes: 5, HomeZipfS: 1.2,
+			Targets: 35, TargetZipfS: 1.1, PeriodDays: 3.5,
+		},
+		{
+			Name: "DDoSer", AvgPerDay: 2.13, ActiveDays: 211, CV: 0.84,
+			DailyRho: 0.55, PeakHour: 11, HourSigma: 1.1, TargetHourSigma: 3,
+			MagBase: 30, MagRho: 0.8, MagSigma: 0.25,
+			DurLogMean: 7.1, DurLogSigma: 0.7, TargetDurSigma: 0.4,
+			PoolSize: 500, ChurnRate: 0.03, HomeASes: 4, HomeZipfS: 1.2,
+			Targets: 15, TargetZipfS: 1.0, PeriodDays: 7,
+		},
+		{
+			Name: "DirtJumper", AvgPerDay: 144.30, ActiveDays: 220, CV: 0.77,
+			DailyRho: 0.6, PeakHour: 16, HourSigma: 1.2, TargetHourSigma: 3,
+			MagBase: 120, MagRho: 0.9, MagSigma: 0.15,
+			DurLogMean: 7.6, DurLogSigma: 0.6, TargetDurSigma: 0.35,
+			PoolSize: 5000, ChurnRate: 0.03, HomeASes: 8, HomeZipfS: 1.0,
+			Targets: 120, TargetZipfS: 1.2, PeriodDays: 2,
+		},
+		{
+			Name: "Nitol", AvgPerDay: 2.91, ActiveDays: 208, CV: 1.05,
+			DailyRho: 0.6, PeakHour: 17.5, HourSigma: 1.2, TargetHourSigma: 3,
+			MagBase: 35, MagRho: 0.75, MagSigma: 0.3,
+			DurLogMean: 7.0, DurLogSigma: 0.75, TargetDurSigma: 0.45,
+			PoolSize: 600, ChurnRate: 0.04, HomeASes: 5, HomeZipfS: 1.3,
+			Targets: 18, TargetZipfS: 1.1, PeriodDays: 5,
+		},
+		{
+			Name: "Optima", AvgPerDay: 3.19, ActiveDays: 220, CV: 0.90,
+			DailyRho: 0.55, PeakHour: 8.5, HourSigma: 1.2, TargetHourSigma: 3,
+			MagBase: 40, MagRho: 0.8, MagSigma: 0.25,
+			DurLogMean: 7.3, DurLogSigma: 0.7, TargetDurSigma: 0.4,
+			PoolSize: 650, ChurnRate: 0.03, HomeASes: 5, HomeZipfS: 1.2,
+			Targets: 20, TargetZipfS: 1.0, PeriodDays: 5,
+		},
+		{
+			Name: "Pandora", AvgPerDay: 40.08, ActiveDays: 165, CV: 1.27,
+			DailyRho: 0.7, PeakHour: 10, HourSigma: 1.1, TargetHourSigma: 3,
+			MagBase: 100, MagRho: 0.9, MagSigma: 0.18,
+			DurLogMean: 7.7, DurLogSigma: 0.65, TargetDurSigma: 0.35,
+			PoolSize: 2500, ChurnRate: 0.04, HomeASes: 7, HomeZipfS: 1.1,
+			Targets: 60, TargetZipfS: 1.2, PeriodDays: 2.5,
+		},
+		{
+			Name: "YZF", AvgPerDay: 6.28, ActiveDays: 72, CV: 1.41,
+			DailyRho: 0.7, PeakHour: 13, HourSigma: 1.3, TargetHourSigma: 3,
+			MagBase: 50, MagRho: 0.7, MagSigma: 0.3,
+			DurLogMean: 6.9, DurLogSigma: 0.8, TargetDurSigma: 0.45,
+			PoolSize: 550, ChurnRate: 0.06, HomeASes: 4, HomeZipfS: 1.3,
+			Targets: 14, TargetZipfS: 1.1, PeriodDays: 4,
+		},
+	}
+}
+
+// ScaleProfiles returns a copy of the profiles with attack volume and
+// population scaled by f (0 < f <= 1), keeping CV and structure intact.
+// Used to generate laptop-sized datasets for tests and quick examples.
+func ScaleProfiles(ps []Profile, f float64) []Profile {
+	if f <= 0 || f > 1 {
+		f = 1
+	}
+	out := make([]Profile, len(ps))
+	copy(out, ps)
+	for i := range out {
+		out[i].AvgPerDay *= f
+		if out[i].AvgPerDay < 0.3 {
+			out[i].AvgPerDay = 0.3
+		}
+		out[i].PoolSize = int(float64(out[i].PoolSize)*f) + 50
+		out[i].MagBase = out[i].MagBase*f + 5
+		t := int(float64(out[i].Targets) * f)
+		if t < 4 {
+			t = 4
+		}
+		out[i].Targets = t
+	}
+	return out
+}

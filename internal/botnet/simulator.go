@@ -1,0 +1,389 @@
+package botnet
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/astopo"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// SimConfig configures a simulation run.
+type SimConfig struct {
+	// Families to simulate; DefaultFamilies() if empty.
+	Families []Profile
+	// Topology supplies the AS graph and address plan. Required.
+	Topology *astopo.Topology
+	// Start is the first day of the observation window. Defaults to
+	// 2012-08-01 UTC, the start of the paper's seven-month window.
+	Start time.Time
+	// HorizonDays is the observation window length. Default 220.
+	HorizonDays int
+	// GlobalTargets is the size of the shared victim pool families draw
+	// their preferred targets from. Default 150.
+	GlobalTargets int
+	// Takedowns injects infrastructure-takedown events: from the given
+	// day on, the family loses its most-populated home AS and its bots
+	// re-recruit in the remaining homes. Used by the concept-drift
+	// experiment.
+	Takedowns []Takedown
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// Takedown removes a family's top home AS from a given day onward.
+type Takedown struct {
+	Family string
+	Day    int
+}
+
+func (c SimConfig) withDefaults() SimConfig {
+	if len(c.Families) == 0 {
+		c.Families = DefaultFamilies()
+	}
+	if c.Start.IsZero() {
+		c.Start = time.Date(2012, 8, 1, 0, 0, 0, 0, time.UTC)
+	}
+	if c.HorizonDays < 1 {
+		c.HorizonDays = 220
+	}
+	if c.GlobalTargets < 1 {
+		c.GlobalTargets = 150
+	}
+	return c
+}
+
+// target is a victim endpoint shared across families.
+type target struct {
+	ip astopo.IPv4
+	as astopo.AS
+}
+
+// famTarget holds a family's per-victim behavioral state.
+type famTarget struct {
+	t          target
+	hourOffset float64 // preferred launch hour relative to family peak
+	durFactor  float64 // multiplicative (log) duration bias
+	magFactor  float64 // multiplicative (log) magnitude bias
+	lastDay    int     // last day this victim was hit (-1 if never)
+	weight     float64 // Zipf popularity weight
+}
+
+// Simulate generates a verified-attack dataset per the configured
+// profiles. The output is deterministic in the seed.
+func Simulate(cfg SimConfig) (*trace.Dataset, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Topology == nil {
+		return nil, errors.New("botnet: SimConfig.Topology is required")
+	}
+	if len(cfg.Topology.Stubs) < 4 {
+		return nil, errors.New("botnet: topology needs at least 4 stub ASes")
+	}
+	gs := stats.NewSampler(cfg.Seed + 0x51)
+
+	// Shared victim pool: endpoints in stub ASes.
+	stubs := cfg.Topology.Stubs
+	ipm := cfg.Topology.IPMap
+	targets := make([]target, cfg.GlobalTargets)
+	for i := range targets {
+		as := stubs[gs.IntN(len(stubs))]
+		ip, err := ipm.RandomIPIn(as, gs.Float64())
+		if err != nil {
+			return nil, fmt.Errorf("botnet: target allocation: %w", err)
+		}
+		targets[i] = target{ip: ip, as: as}
+	}
+
+	var attacks []trace.Attack
+	nextID := 1
+	for fi, p := range cfg.Families {
+		fam, err := simulateFamily(&p, fi, cfg, targets, &nextID)
+		if err != nil {
+			return nil, fmt.Errorf("botnet: family %s: %w", p.Name, err)
+		}
+		attacks = append(attacks, fam...)
+	}
+	return trace.New(attacks)
+}
+
+func simulateFamily(p *Profile, fi int, cfg SimConfig, globalTargets []target, nextID *int) ([]trace.Attack, error) {
+	s := stats.NewSampler(cfg.Seed + uint64(fi)*0x9e37 + 0x13)
+	topo := cfg.Topology
+
+	// Geolocation affinity: home stub ASes for this family's bots.
+	nHome := p.HomeASes
+	if nHome < 1 {
+		nHome = 3
+	}
+	if nHome > len(topo.Stubs) {
+		nHome = len(topo.Stubs)
+	}
+	homeStart := (fi * 5) % len(topo.Stubs)
+	homes := make([]astopo.AS, nHome)
+	for i := range homes {
+		homes[i] = topo.Stubs[(homeStart+i)%len(topo.Stubs)]
+	}
+	homeZipf := stats.NewZipf(nHome, p.HomeZipfS)
+
+	// Bot pool with daily churn.
+	pool := make([]astopo.IPv4, p.PoolSize)
+	drawBot := func() astopo.IPv4 {
+		as := homes[homeZipf.Sample(s)]
+		ip, err := topo.IPMap.RandomIPIn(as, s.Float64())
+		if err != nil {
+			return 0
+		}
+		return ip
+	}
+	for i := range pool {
+		pool[i] = drawBot()
+	}
+
+	// Preferred victims with per-victim behavior.
+	nT := p.Targets
+	if nT < 1 {
+		nT = 5
+	}
+	if nT > len(globalTargets) {
+		nT = len(globalTargets)
+	}
+	tZipf := stats.NewZipf(nT, p.TargetZipfS)
+	victims := make([]famTarget, nT)
+	tStart := (fi * 11) % len(globalTargets)
+	for i := range victims {
+		// The per-victim hour offset is clipped (two sigmas, and always
+		// inside [1, 23] around the family peak) so preferred launch
+		// hours stay clear of the midnight wrap: hour labels are linear
+		// in [0, 24), and wrap-around would make the prediction task
+		// artificially circular.
+		offset := s.Normal(0, p.TargetHourSigma)
+		lo, hi := -2*p.TargetHourSigma, 2*p.TargetHourSigma
+		if l := 4.2 - p.PeakHour; l > lo {
+			lo = l
+		}
+		if h := 19.8 - p.PeakHour; h < hi {
+			hi = h
+		}
+		if offset < lo {
+			offset = lo
+		}
+		if offset > hi {
+			offset = hi
+		}
+		victims[i] = famTarget{
+			t:          globalTargets[(tStart+i)%len(globalTargets)],
+			hourOffset: offset,
+			durFactor:  s.Normal(0, p.TargetDurSigma),
+			magFactor:  s.Normal(0, 0.2),
+			lastDay:    -1,
+			weight:     tZipf.Prob(i),
+		}
+	}
+
+	// Calendar window inside the horizon, staggered per family. The
+	// window is slightly wider than the family's active-day count so that
+	// Table I's semantics hold: on an active day (probability pActive)
+	// the family launches at least one attack, and the count of attacks
+	// on active days averages AvgPerDay with the table's CV.
+	window := int(float64(p.ActiveDays)*1.08) + 2
+	if window > cfg.HorizonDays {
+		window = cfg.HorizonDays
+	}
+	pActive := float64(p.ActiveDays) / float64(window)
+	if pActive > 1 {
+		pActive = 1
+	}
+	maxOffset := cfg.HorizonDays - window
+	dayOffset := 0
+	if maxOffset > 0 {
+		dayOffset = (fi * 13) % (maxOffset + 1)
+	}
+
+	// Latent intensity of the extra attacks beyond the first: AR(1)
+	// Gaussian with marginal variance s2 chosen so active-day counts
+	// N = 1 + M have the target mean and CV (gamma–Poisson-style
+	// over-dispersion via a lognormal mixture).
+	muM := p.AvgPerDay - 1
+	if muM < 0.05 {
+		muM = 0.05
+	}
+	varN := p.CV * p.AvgPerDay * p.CV * p.AvgPerDay
+	s2 := math.Log(math.Max(1+(varN-muM)/(muM*muM), 1.0001))
+	sigma := math.Sqrt(s2)
+	rho := p.DailyRho
+	if rho < 0 || rho >= 1 {
+		rho = 0.6
+	}
+	g := s.Normal(0, sigma)
+
+	// AR(1) log-magnitude and log-duration states across the family's
+	// attacks; the duration state gives the family-level duration series
+	// the autocorrelation the temporal/spatial models exploit (§VII-A).
+	magRho := p.MagRho
+	if magRho < 0 || magRho >= 1 {
+		magRho = 0.8
+	}
+	const durRho = 0.85
+	magState, durState := 0.0, 0.0
+	totalAttacks := p.AvgPerDay * float64(p.ActiveDays)
+	attackIdx := 0
+
+	// The family's source concentration drifts slowly (recruiting and
+	// dormancy, §II-B): the home-AS Zipf exponent follows a mean-
+	// reverting AR(1), which makes the A^s series predictable but not a
+	// pure random walk.
+	zipfState := 0.0
+
+	// Pending takedown day for this family (relative to its window), if
+	// any; -1 means none.
+	takedownDay := -1
+	for _, td := range cfg.Takedowns {
+		if td.Family == p.Name {
+			takedownDay = td.Day - dayOffset
+		}
+	}
+
+	var out []trace.Attack
+	for d := 0; d < window; d++ {
+		// Infrastructure takedown: lose the primary home AS; every bot
+		// that lived there re-recruits in the remaining homes.
+		if d == takedownDay && nHome > 1 {
+			lost := homes[0]
+			homes = homes[1:]
+			nHome--
+			homeZipf = stats.NewZipf(nHome, math.Max(p.HomeZipfS+zipfState, 0.2))
+			for i, ip := range pool {
+				if as, ok := topo.IPMap.Lookup(ip); ok && as == lost {
+					pool[i] = drawBot()
+				}
+			}
+		}
+		// Daily churn: retire and recruit bots, with the concentration
+		// exponent drifting.
+		zipfState = 0.95*zipfState + s.Normal(0, 0.05)
+		homeZipf = stats.NewZipf(nHome, math.Max(p.HomeZipfS+zipfState, 0.2))
+		churn := int(p.ChurnRate * float64(len(pool)))
+		for k := 0; k < churn; k++ {
+			pool[s.IntN(len(pool))] = drawBot()
+		}
+		if s.Float64() >= pActive {
+			continue // dormant day
+		}
+		// Cap the mixture intensity: the lognormal tail otherwise inflates
+		// the realized mean of short, high-CV families far above Table I.
+		lambda := muM * math.Exp(g-s2/2)
+		if lambda > 8*muM {
+			lambda = 8 * muM
+		}
+		n := 1 + s.Poisson(lambda)
+		g = rho*g + s.Normal(0, sigma*math.Sqrt(1-rho*rho))
+
+		day := dayOffset + d
+		dayStart := cfg.Start.AddDate(0, 0, day)
+		for k := 0; k < n; k++ {
+			vi := pickVictim(victims, day, p.PeriodDays, s)
+			v := &victims[vi]
+			v.lastDay = day
+
+			// Launch hour: family peak + victim offset + noise, wrapped.
+			h := math.Mod(p.PeakHour+v.hourOffset+s.Normal(0, p.HourSigma), 24)
+			if h < 0 {
+				h += 24
+			}
+			startTime := dayStart.Add(time.Duration(h * float64(time.Hour)))
+			startTime = startTime.Add(time.Duration(s.IntN(3600)) * time.Second / 60)
+
+			// Magnitude: AR(1) log process + victim bias + lifetime trend.
+			magState = magRho*magState + s.Normal(0, p.MagSigma*math.Sqrt(1-magRho*magRho))
+			progress := float64(attackIdx) / math.Max(totalAttacks, 1)
+			mag := p.MagBase * math.Exp(magState+v.magFactor) * (1 + p.MagTrend*progress)
+			nBots := int(mag + 0.5)
+			if nBots < 1 {
+				nBots = 1
+			}
+			if nBots > len(pool) {
+				nBots = len(pool)
+			}
+
+			// Duration: lognormal with victim bias and an AR(1) family
+			// state, capped at 48 hours.
+			durState = durRho*durState + s.Normal(0, p.DurLogSigma*0.8*math.Sqrt(1-durRho*durRho))
+			dur := math.Exp(p.DurLogMean + v.durFactor + durState + s.Normal(0, p.DurLogSigma*0.4))
+			if dur > 48*3600 {
+				dur = 48 * 3600
+			}
+			if dur < 30 {
+				dur = 30
+			}
+
+			bots := sampleBots(pool, nBots, s)
+			out = append(out, trace.Attack{
+				ID:          *nextID,
+				Family:      p.Name,
+				Start:       startTime,
+				DurationSec: dur,
+				TargetIP:    v.t.ip,
+				TargetAS:    v.t.as,
+				Bots:        bots,
+			})
+			*nextID++
+			attackIdx++
+		}
+	}
+	return out, nil
+}
+
+// pickVictim samples a victim index weighted by Zipf popularity with an
+// overdue boost: victims not hit for at least the family's revisit period
+// are four times likelier, which yields the quasi-periodic multistage
+// cadence the spatiotemporal model learns.
+func pickVictim(victims []famTarget, day int, period float64, s *stats.Sampler) int {
+	var total float64
+	for i := range victims {
+		w := victims[i].weight
+		if victims[i].lastDay < 0 || float64(day-victims[i].lastDay) >= period {
+			w *= 4
+		}
+		total += w
+	}
+	u := s.Float64() * total
+	for i := range victims {
+		w := victims[i].weight
+		if victims[i].lastDay < 0 || float64(day-victims[i].lastDay) >= period {
+			w *= 4
+		}
+		u -= w
+		if u <= 0 {
+			return i
+		}
+	}
+	return len(victims) - 1
+}
+
+// sampleBots draws n distinct bots from the pool via partial
+// Fisher–Yates over a scratch index slice.
+func sampleBots(pool []astopo.IPv4, n int, s *stats.Sampler) []astopo.IPv4 {
+	idx := make([]int, len(pool))
+	for i := range idx {
+		idx[i] = i
+	}
+	if n > len(pool) {
+		n = len(pool)
+	}
+	out := make([]astopo.IPv4, 0, n)
+	seen := make(map[astopo.IPv4]bool, n)
+	for i := 0; i < len(idx) && len(out) < n; i++ {
+		j := i + s.IntN(len(idx)-i)
+		idx[i], idx[j] = idx[j], idx[i]
+		ip := pool[idx[i]]
+		if ip == 0 || seen[ip] {
+			continue
+		}
+		seen[ip] = true
+		out = append(out, ip)
+	}
+	return out
+}

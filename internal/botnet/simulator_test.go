@@ -1,0 +1,398 @@
+package botnet
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/astopo"
+	"repro/internal/stats"
+)
+
+func testTopology(t *testing.T) *astopo.Topology {
+	t.Helper()
+	topo, err := astopo.Synthesize(astopo.SynthConfig{Tier1: 3, Tier2: 8, Stubs: 30, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func smallFamilies() []Profile {
+	return ScaleProfiles(DefaultFamilies(), 0.1)
+}
+
+func TestSimulateRequiresTopology(t *testing.T) {
+	if _, err := Simulate(SimConfig{}); err == nil {
+		t.Error("missing topology should error")
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	topo := testTopology(t)
+	cfg := SimConfig{Families: smallFamilies()[:3], Topology: topo, HorizonDays: 60, Seed: 4}
+	a, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("non-deterministic sizes %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Attacks {
+		x, y := a.Attacks[i], b.Attacks[i]
+		if x.ID != y.ID || !x.Start.Equal(y.Start) || x.TargetIP != y.TargetIP || len(x.Bots) != len(y.Bots) {
+			t.Fatalf("attack %d differs", i)
+		}
+	}
+}
+
+func TestSimulateBasicInvariants(t *testing.T) {
+	topo := testTopology(t)
+	ds, err := Simulate(SimConfig{Families: smallFamilies(), Topology: topo, HorizonDays: 90, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() == 0 {
+		t.Fatal("no attacks generated")
+	}
+	start := time.Date(2012, 8, 1, 0, 0, 0, 0, time.UTC)
+	end := start.AddDate(0, 0, 91)
+	for i := range ds.Attacks {
+		a := &ds.Attacks[i]
+		if a.Start.Before(start) || a.Start.After(end) {
+			t.Fatalf("attack %d outside horizon: %v", a.ID, a.Start)
+		}
+		if a.DurationSec < 30 || a.DurationSec > 48*3600 {
+			t.Fatalf("attack %d duration %v out of bounds", a.ID, a.DurationSec)
+		}
+		if len(a.Bots) == 0 {
+			t.Fatalf("attack %d has no bots", a.ID)
+		}
+		seen := make(map[astopo.IPv4]bool)
+		for _, b := range a.Bots {
+			if seen[b] {
+				t.Fatalf("attack %d has duplicate bot %v", a.ID, b)
+			}
+			seen[b] = true
+			// Every bot IP must be routable in the topology.
+			if _, ok := topo.IPMap.Lookup(b); !ok {
+				t.Fatalf("bot %v unrouted", b)
+			}
+		}
+		if as, ok := topo.IPMap.Lookup(a.TargetIP); !ok || as != a.TargetAS {
+			t.Fatalf("target %v AS mismatch", a.TargetIP)
+		}
+	}
+}
+
+func TestSimulateReproducesTableIShape(t *testing.T) {
+	topo := testTopology(t)
+	// Full-size profiles over the full horizon to check Table I stats.
+	ds, err := Simulate(SimConfig{Topology: topo, HorizonDays: 220, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles := DefaultFamilies()
+	for _, p := range profiles {
+		attacks := ds.ByFamily(p.Name)
+		if len(attacks) == 0 {
+			t.Errorf("%s: no attacks", p.Name)
+			continue
+		}
+		// Daily counts over active days.
+		counts := make(map[string]int)
+		for i := range attacks {
+			counts[attacks[i].Start.Format("2006-01-02")]++
+		}
+		daily := make([]float64, 0, len(counts))
+		for _, c := range counts {
+			daily = append(daily, float64(c))
+		}
+		avg := stats.Mean(daily)
+		// Allow generous tolerance: active-day counting differs slightly
+		// (days with zero attacks are excluded here as in Table I).
+		if math.Abs(avg-p.AvgPerDay)/p.AvgPerDay > 0.5 {
+			t.Errorf("%s: avg/day = %.2f, want ~%.2f", p.Name, avg, p.AvgPerDay)
+		}
+		// Sample CV of a short autocorrelated count series is noisy
+		// (effective sample size shrinks by (1-rho)/(1+rho)), so scale
+		// the tolerance with the target and the number of active days.
+		cv := stats.CV(daily)
+		tol := 0.5 * p.CV
+		if p.ActiveDays < 120 {
+			tol = 0.75 * p.CV
+		}
+		if math.Abs(cv-p.CV) > tol {
+			t.Errorf("%s: CV = %.2f, want ~%.2f (tol %.2f)", p.Name, cv, p.CV, tol)
+		}
+	}
+	// DirtJumper must dominate volume; AldiBot must be smallest-ish.
+	fams := ds.Families()
+	if fams[0] != "DirtJumper" {
+		t.Errorf("most active = %s, want DirtJumper", fams[0])
+	}
+}
+
+func TestSimulateGeolocationAffinity(t *testing.T) {
+	topo := testTopology(t)
+	ds, err := Simulate(SimConfig{Families: smallFamilies()[:2], Topology: topo, HorizonDays: 60, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bots of one family should concentrate in few ASes.
+	for _, fam := range ds.Families() {
+		asSet := make(map[astopo.AS]int)
+		var total int
+		for _, a := range ds.ByFamily(fam) {
+			for _, b := range a.Bots {
+				if as, ok := topo.IPMap.Lookup(b); ok {
+					asSet[as]++
+					total++
+				}
+			}
+		}
+		if len(asSet) == 0 {
+			t.Fatalf("%s: no mapped bots", fam)
+		}
+		if len(asSet) > 8 {
+			t.Errorf("%s: bots spread over %d ASes, want concentrated", fam, len(asSet))
+		}
+	}
+}
+
+func TestSimulateDiurnalPattern(t *testing.T) {
+	topo := testTopology(t)
+	profiles := ScaleProfiles(DefaultFamilies(), 0.5)
+	ds, err := Simulate(SimConfig{Families: profiles[1:2], Topology: topo, HorizonDays: 220, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// BlackEnergy peaks at hour 14; the circular mean hour should be
+	// within a few hours of that.
+	var sinSum, cosSum float64
+	for i := range ds.Attacks {
+		h := float64(ds.Attacks[i].Hour())
+		sinSum += math.Sin(2 * math.Pi * h / 24)
+		cosSum += math.Cos(2 * math.Pi * h / 24)
+	}
+	meanHour := math.Atan2(sinSum, cosSum) * 24 / (2 * math.Pi)
+	if meanHour < 0 {
+		meanHour += 24
+	}
+	diff := math.Abs(meanHour - 14)
+	if diff > 12 {
+		diff = 24 - diff
+	}
+	if diff > 3 {
+		t.Errorf("circular mean hour = %.1f, want ~14", meanHour)
+	}
+}
+
+func TestScaleProfiles(t *testing.T) {
+	base := DefaultFamilies()
+	scaled := ScaleProfiles(base, 0.1)
+	if len(scaled) != len(base) {
+		t.Fatal("length changed")
+	}
+	for i := range scaled {
+		if scaled[i].AvgPerDay > base[i].AvgPerDay && base[i].AvgPerDay > 3 {
+			t.Errorf("%s: scaling increased volume", scaled[i].Name)
+		}
+		if scaled[i].Targets < 4 {
+			t.Errorf("%s: targets floor violated", scaled[i].Name)
+		}
+		if scaled[i].CV != base[i].CV {
+			t.Errorf("%s: CV should be preserved", scaled[i].Name)
+		}
+	}
+	// Invalid factors are treated as identity.
+	same := ScaleProfiles(base, 0)
+	if same[0].AvgPerDay != base[0].AvgPerDay {
+		t.Error("factor 0 should be identity")
+	}
+}
+
+func TestDefaultFamiliesMatchTableI(t *testing.T) {
+	fams := DefaultFamilies()
+	if len(fams) != 10 {
+		t.Fatalf("families = %d, want 10", len(fams))
+	}
+	want := map[string][3]float64{
+		"AldiBot":     {1.29, 204, 0.77},
+		"BlackEnergy": {5.93, 220, 0.82},
+		"Colddeath":   {7.52, 118, 1.53},
+		"Darkshell":   {9.98, 210, 1.14},
+		"DDoSer":      {2.13, 211, 0.84},
+		"DirtJumper":  {144.30, 220, 0.77},
+		"Nitol":       {2.91, 208, 1.05},
+		"Optima":      {3.19, 220, 0.90},
+		"Pandora":     {40.08, 165, 1.27},
+		"YZF":         {6.28, 72, 1.41},
+	}
+	for _, f := range fams {
+		w, ok := want[f.Name]
+		if !ok {
+			t.Errorf("unexpected family %s", f.Name)
+			continue
+		}
+		if f.AvgPerDay != w[0] || float64(f.ActiveDays) != w[1] || f.CV != w[2] {
+			t.Errorf("%s: got (%v,%d,%v), want %v", f.Name, f.AvgPerDay, f.ActiveDays, f.CV, w)
+		}
+	}
+}
+
+func TestSimulatePerTargetHourConsistency(t *testing.T) {
+	topo := testTopology(t)
+	profiles := ScaleProfiles(DefaultFamilies(), 0.5)
+	ds, err := Simulate(SimConfig{Families: profiles[5:6], Topology: topo, HorizonDays: 220, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Within one (family, target) pair, launch hours concentrate around
+	// the pair's preferred hour: the per-pair std must sit well below the
+	// family-wide spread.
+	byTarget := ds.ByTarget()
+	var perPair, famWide []float64
+	for _, group := range byTarget {
+		if len(group) < 10 {
+			continue
+		}
+		hours := make([]float64, len(group))
+		for i := range group {
+			hours[i] = float64(group[i].Hour())
+		}
+		perPair = append(perPair, stats.StdDev(hours))
+	}
+	for i := range ds.Attacks {
+		famWide = append(famWide, float64(ds.Attacks[i].Hour()))
+	}
+	if len(perPair) < 3 {
+		t.Skip("not enough busy targets at this scale")
+	}
+	if stats.Mean(perPair) >= stats.StdDev(famWide) {
+		t.Errorf("per-target hour std %.2f should be below family-wide %.2f",
+			stats.Mean(perPair), stats.StdDev(famWide))
+	}
+	// Preferred hours stay clear of the midnight wrap: almost all attacks
+	// land between 02 and 23.
+	var wrapped int
+	for i := range ds.Attacks {
+		h := ds.Attacks[i].Hour()
+		if h < 2 || h > 22 {
+			wrapped++
+		}
+	}
+	if frac := float64(wrapped) / float64(ds.Len()); frac > 0.1 {
+		t.Errorf("%.1f%% of attacks near the midnight wrap, want < 10%%", 100*frac)
+	}
+}
+
+func TestSimulateMagnitudeAutocorrelation(t *testing.T) {
+	topo := testTopology(t)
+	profiles := ScaleProfiles(DefaultFamilies(), 0.5)
+	ds, err := Simulate(SimConfig{Families: profiles[8:9], Topology: topo, HorizonDays: 220, Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	attacks := ds.ByFamily("Pandora")
+	if len(attacks) < 200 {
+		t.Fatalf("only %d Pandora attacks", len(attacks))
+	}
+	mags := make([]float64, len(attacks))
+	for i := range attacks {
+		mags[i] = float64(attacks[i].Magnitude())
+	}
+	// The AR(1) log-magnitude process must leave visible lag-1
+	// autocorrelation for the temporal model to exploit (Figure 1).
+	// (per-victim magnitude offsets and integer rounding dilute the raw
+	// AR(1) correlation, so the bound is conservative).
+	if ac := stats.Autocorrelation(mags, 1); ac < 0.2 {
+		t.Errorf("magnitude lag-1 autocorrelation = %.2f, want >= 0.2", ac)
+	}
+}
+
+func TestSimulateRevisitCadence(t *testing.T) {
+	topo := testTopology(t)
+	// DirtJumper revisits targets about every 2 days.
+	profiles := ScaleProfiles(DefaultFamilies(), 0.3)
+	ds, err := Simulate(SimConfig{Families: profiles[5:6], Topology: topo, HorizonDays: 220, Seed: 35})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byTarget := ds.ByTarget()
+	var medians []float64
+	for _, group := range byTarget {
+		if len(group) < 20 {
+			continue
+		}
+		gaps := make([]float64, 0, len(group)-1)
+		for i := 1; i < len(group); i++ {
+			gaps = append(gaps, group[i].Start.Sub(group[i-1].Start).Hours()/24)
+		}
+		medians = append(medians, stats.Median(gaps))
+	}
+	if len(medians) < 3 {
+		t.Skip("not enough busy targets")
+	}
+	// The overdue boost produces a quasi-periodic cadence: median revisit
+	// gaps for busy targets land within a few days of the profile period.
+	med := stats.Median(medians)
+	if med < 0.2 || med > 8 {
+		t.Errorf("median revisit gap = %.1f days, want within [0.2, 8]", med)
+	}
+}
+
+func TestSimulateTakedownShiftsSources(t *testing.T) {
+	topo := testTopology(t)
+	profiles := ScaleProfiles(DefaultFamilies(), 0.5)
+	fam := profiles[5] // DirtJumper
+	ds, err := Simulate(SimConfig{
+		Families:    []Profile{fam},
+		Topology:    topo,
+		HorizonDays: 220,
+		Takedowns:   []Takedown{{Family: fam.Name, Day: 110}},
+		Seed:        41,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pre-takedown dominant source AS must (almost) vanish afterwards.
+	cut := time.Date(2012, 8, 1, 0, 0, 0, 0, time.UTC).AddDate(0, 0, 112)
+	preCounts := make(map[astopo.AS]int)
+	postCounts := make(map[astopo.AS]int)
+	var preTotal, postTotal int
+	for i := range ds.Attacks {
+		a := &ds.Attacks[i]
+		counts, total := preCounts, &preTotal
+		if a.Start.After(cut) {
+			counts, total = postCounts, &postTotal
+		}
+		for _, b := range a.Bots {
+			if as, ok := topo.IPMap.Lookup(b); ok {
+				counts[as]++
+				*total++
+			}
+		}
+	}
+	if preTotal == 0 || postTotal == 0 {
+		t.Fatal("missing traffic on one side of the takedown")
+	}
+	var top astopo.AS
+	for as, c := range preCounts {
+		if c > preCounts[top] {
+			top = as
+		}
+	}
+	preShare := float64(preCounts[top]) / float64(preTotal)
+	postShare := float64(postCounts[top]) / float64(postTotal)
+	if preShare < 0.2 {
+		t.Fatalf("pre-takedown top share only %.2f", preShare)
+	}
+	if postShare > preShare/4 {
+		t.Errorf("takedown did not stick: top AS share %.2f -> %.2f", preShare, postShare)
+	}
+}

@@ -1,0 +1,31 @@
+package cart_test
+
+import (
+	"fmt"
+
+	"repro/internal/cart"
+)
+
+// Grow a model tree on a step function and predict both regimes.
+func ExampleFit() {
+	var rows [][]float64
+	var ys []float64
+	for i := 0; i < 40; i++ {
+		x := float64(i)
+		rows = append(rows, []float64{x})
+		if x < 20 {
+			ys = append(ys, 1)
+		} else {
+			ys = append(ys, 9)
+		}
+	}
+	tree, err := cart.Fit(rows, ys, cart.Config{MinLeaf: 2, LeafModel: cart.LeafMean})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("leaves=%d\n", tree.Leaves())
+	fmt.Printf("f(5)=%.0f f(30)=%.0f\n", tree.Predict([]float64{5}), tree.Predict([]float64{30}))
+	// Output:
+	// leaves=2
+	// f(5)=1 f(30)=9
+}

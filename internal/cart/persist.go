@@ -1,0 +1,54 @@
+package cart
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// treeJSON is the serialized form of a fitted tree.
+type treeJSON struct {
+	Root   *Node   `json:"root"`
+	MinY   float64 `json:"min_y"`
+	MaxY   float64 `json:"max_y"`
+	Bounds bool    `json:"bounds"`
+}
+
+// MarshalJSON serializes the fitted tree, including leaf MLR models and
+// the prediction clamp bounds. The induction configuration is not needed
+// for prediction and is not retained.
+func (t *Tree) MarshalJSON() ([]byte, error) {
+	return json.Marshal(treeJSON{Root: t.Root, MinY: t.minY, MaxY: t.maxY, Bounds: t.bounds})
+}
+
+// UnmarshalJSON restores a tree serialized by MarshalJSON.
+func (t *Tree) UnmarshalJSON(data []byte) error {
+	var j treeJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return fmt.Errorf("cart: unmarshal: %w", err)
+	}
+	if j.Root == nil {
+		return errors.New("cart: unmarshal: missing root")
+	}
+	if err := validateNode(j.Root); err != nil {
+		return fmt.Errorf("cart: unmarshal: %w", err)
+	}
+	t.Root = j.Root
+	t.minY, t.maxY, t.bounds = j.MinY, j.MaxY, j.Bounds
+	return nil
+}
+
+// validateNode rejects malformed trees (an internal node must have both
+// children).
+func validateNode(n *Node) error {
+	if n == nil {
+		return nil
+	}
+	if (n.Left == nil) != (n.Right == nil) {
+		return errors.New("internal node with a single child")
+	}
+	if err := validateNode(n.Left); err != nil {
+		return err
+	}
+	return validateNode(n.Right)
+}

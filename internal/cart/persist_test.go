@@ -1,0 +1,59 @@
+package cart
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestTreeJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(95, 96))
+	n := 300
+	rows := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x0, x1 := rng.NormFloat64(), rng.NormFloat64()
+		rows[i] = []float64{x0, x1}
+		ys[i] = 2*x0 - x1
+		if x0 > 0.5 {
+			ys[i] += 10
+		}
+	}
+	tree, err := Fit(rows, ys, Config{MinLeaf: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Tree
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Leaves() != tree.Leaves() || back.Depth() != tree.Depth() {
+		t.Errorf("structure differs: %d/%d leaves, %d/%d depth",
+			back.Leaves(), tree.Leaves(), back.Depth(), tree.Depth())
+	}
+	for i := 0; i < 50; i++ {
+		probe := []float64{rng.NormFloat64() * 3, rng.NormFloat64() * 3}
+		if math.Abs(tree.Predict(probe)-back.Predict(probe)) > 1e-9 {
+			t.Fatalf("prediction differs at probe %v", probe)
+		}
+	}
+}
+
+func TestTreeUnmarshalValidation(t *testing.T) {
+	var tr Tree
+	if err := json.Unmarshal([]byte(`{`), &tr); err == nil {
+		t.Error("bad JSON should error")
+	}
+	if err := json.Unmarshal([]byte(`{"min_y":0,"max_y":1,"bounds":true}`), &tr); err == nil {
+		t.Error("missing root should error")
+	}
+	oneChild := `{"root":{"Feature":0,"Threshold":1,"Left":{"Mean":1,"N":1}},"bounds":false}`
+	if err := json.Unmarshal([]byte(oneChild), &tr); err == nil {
+		t.Error("single-child internal node should error")
+	}
+}

@@ -1,0 +1,329 @@
+// Package cart implements the Classification And Regression Tree used by
+// the paper's spatiotemporal model (§VI): the feature space is partitioned
+// recursively and each leaf carries a simple model — a multivariate linear
+// regression (a "model tree"), exactly the construction of Eqs. 8–10.
+// Pruning follows the paper's rule of retaining a fraction of the root
+// standard deviation (88% in §VI-B): a node whose target standard deviation
+// has already dropped below (1 - retain) of the root's is not split further,
+// and subtrees that do not beat their parent's leaf model are collapsed.
+package cart
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"repro/internal/regress"
+	"repro/internal/stats"
+)
+
+// ErrNoData is returned when a tree is grown with no samples.
+var ErrNoData = errors.New("cart: no training samples")
+
+// Config controls tree induction.
+type Config struct {
+	// MinLeaf is the minimum number of samples in a leaf. Default 4.
+	MinLeaf int
+	// MaxDepth bounds the tree depth. Default 8.
+	MaxDepth int
+	// StdDevRetain is the paper's pruning knob: growth stops once a node's
+	// standard deviation falls below (1 - StdDevRetain) of the root
+	// standard deviation. Default 0.88 (§VI-B).
+	StdDevRetain float64
+	// LeafModel selects the per-leaf predictor.
+	LeafModel LeafKind
+}
+
+// LeafKind selects what model a leaf carries.
+type LeafKind int
+
+// Leaf model kinds. LeafMLR is the paper's choice.
+const (
+	LeafMLR  LeafKind = iota + 1 // multivariate linear regression (default)
+	LeafMean                     // constant mean predictor
+)
+
+func (c Config) withDefaults() Config {
+	if c.MinLeaf < 1 {
+		c.MinLeaf = 4
+	}
+	if c.MaxDepth < 1 {
+		c.MaxDepth = 8
+	}
+	if c.StdDevRetain <= 0 || c.StdDevRetain >= 1 {
+		c.StdDevRetain = 0.88
+	}
+	if c.LeafModel == 0 {
+		c.LeafModel = LeafMLR
+	}
+	return c
+}
+
+// Node is a tree node. Internal nodes route on Feature <= Threshold;
+// leaves predict with Model (MLR) or Mean.
+type Node struct {
+	Feature   int
+	Threshold float64
+	Left      *Node
+	Right     *Node
+
+	Model *regress.Model // leaf MLR (nil for mean-only leaves)
+	Mean  float64
+	N     int
+}
+
+// IsLeaf reports whether the node is a leaf.
+func (n *Node) IsLeaf() bool { return n.Left == nil && n.Right == nil }
+
+// Tree is a fitted regression model tree.
+type Tree struct {
+	Root   *Node
+	cfg    Config
+	minY   float64
+	maxY   float64
+	bounds bool
+}
+
+// Fit grows a model tree on rows (feature vectors) and targets ys.
+func Fit(rows [][]float64, ys []float64, cfg Config) (*Tree, error) {
+	if len(rows) == 0 || len(rows) != len(ys) {
+		return nil, ErrNoData
+	}
+	c := cfg.withDefaults()
+	rootStd := stats.StdDev(ys)
+	idx := make([]int, len(rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	t := &Tree{cfg: c}
+	mn, _ := stats.Min(ys)
+	mx, _ := stats.Max(ys)
+	t.minY, t.maxY, t.bounds = mn, mx, true
+	t.Root = t.grow(rows, ys, idx, 0, rootStd)
+	t.prune(t.Root, rows, ys, collect(idx))
+	return t, nil
+}
+
+func collect(idx []int) []int {
+	out := make([]int, len(idx))
+	copy(out, idx)
+	return out
+}
+
+func (t *Tree) grow(rows [][]float64, ys []float64, idx []int, depth int, rootStd float64) *Node {
+	node := t.makeLeaf(rows, ys, idx)
+	if len(idx) < 2*t.cfg.MinLeaf || depth >= t.cfg.MaxDepth {
+		return node
+	}
+	sub := make([]float64, len(idx))
+	for i, j := range idx {
+		sub[i] = ys[j]
+	}
+	if stats.StdDev(sub) <= (1-t.cfg.StdDevRetain)*rootStd {
+		return node // paper's std-dev stop: variation already explained
+	}
+	feat, thr, ok := t.bestSplit(rows, ys, idx)
+	if !ok {
+		return node
+	}
+	var left, right []int
+	for _, j := range idx {
+		if rows[j][feat] <= thr {
+			left = append(left, j)
+		} else {
+			right = append(right, j)
+		}
+	}
+	if len(left) < t.cfg.MinLeaf || len(right) < t.cfg.MinLeaf {
+		return node
+	}
+	node.Feature = feat
+	node.Threshold = thr
+	node.Left = t.grow(rows, ys, left, depth+1, rootStd)
+	node.Right = t.grow(rows, ys, right, depth+1, rootStd)
+	return node
+}
+
+// bestSplit scans every feature and candidate threshold for the split that
+// minimizes the weighted child SSE (CART variance reduction).
+func (t *Tree) bestSplit(rows [][]float64, ys []float64, idx []int) (feat int, thr float64, ok bool) {
+	nFeat := len(rows[idx[0]])
+	bestSSE := math.Inf(1)
+	type pair struct{ x, y float64 }
+	pairs := make([]pair, len(idx))
+	for f := 0; f < nFeat; f++ {
+		for i, j := range idx {
+			pairs[i] = pair{x: rows[j][f], y: ys[j]}
+		}
+		sort.Slice(pairs, func(a, b int) bool { return pairs[a].x < pairs[b].x })
+		// Prefix sums for O(1) SSE of each candidate split.
+		n := len(pairs)
+		var sumL, sqL float64
+		var sumR, sqR float64
+		for _, p := range pairs {
+			sumR += p.y
+			sqR += p.y * p.y
+		}
+		for i := 0; i < n-1; i++ {
+			y := pairs[i].y
+			sumL += y
+			sqL += y * y
+			sumR -= y
+			sqR -= y * y
+			if pairs[i].x == pairs[i+1].x {
+				continue
+			}
+			nl, nr := float64(i+1), float64(n-i-1)
+			if int(nl) < t.cfg.MinLeaf || int(nr) < t.cfg.MinLeaf {
+				continue
+			}
+			sse := (sqL - sumL*sumL/nl) + (sqR - sumR*sumR/nr)
+			if sse < bestSSE {
+				bestSSE = sse
+				feat = f
+				thr = (pairs[i].x + pairs[i+1].x) / 2
+				ok = true
+			}
+		}
+	}
+	return feat, thr, ok
+}
+
+func (t *Tree) makeLeaf(rows [][]float64, ys []float64, idx []int) *Node {
+	sub := make([]float64, len(idx))
+	subRows := make([][]float64, len(idx))
+	for i, j := range idx {
+		sub[i] = ys[j]
+		subRows[i] = rows[j]
+	}
+	node := &Node{Mean: stats.Mean(sub), N: len(idx)}
+	if t.cfg.LeafModel == LeafMLR && len(idx) >= len(rows[idx[0]])+2 {
+		if m, err := regress.Fit(subRows, sub); err == nil {
+			// Keep the MLR only if it beats the constant model in-sample.
+			var sseMean float64
+			for _, y := range sub {
+				d := y - node.Mean
+				sseMean += d * d
+			}
+			if m.RSS < sseMean {
+				node.Model = m
+			}
+		}
+	}
+	return node
+}
+
+// prune collapses internal nodes whose subtree does not beat the node
+// treated as a leaf under the M5-style compensated error
+// SSE * (n + k) / (n - k), which penalizes the extra parameters deeper
+// subtrees spend on fitting noise (the second half of the paper's pruning
+// step). It returns the compensated error of the possibly-collapsed node.
+func (t *Tree) prune(n *Node, rows [][]float64, ys []float64, idx []int) float64 {
+	leafErr := compensate(t.nodeSSE(n, rows, ys, idx), len(idx), leafParams(n))
+	if n.IsLeaf() {
+		return leafErr
+	}
+	var left, right []int
+	for _, j := range idx {
+		if rows[j][n.Feature] <= n.Threshold {
+			left = append(left, j)
+		} else {
+			right = append(right, j)
+		}
+	}
+	subtreeErr := t.prune(n.Left, rows, ys, left) + t.prune(n.Right, rows, ys, right)
+	if leafErr <= subtreeErr {
+		n.Left, n.Right = nil, nil
+		return leafErr
+	}
+	return subtreeErr
+}
+
+// leafParams counts the effective parameters of a node's leaf model, plus
+// one for the split decision that created it.
+func leafParams(n *Node) int {
+	if n.Model != nil {
+		return len(n.Model.Coeffs) + 2
+	}
+	return 2
+}
+
+// compensate applies the M5 error multiplier (n + k) / (n - k).
+func compensate(sse float64, n, k int) float64 {
+	if n <= k {
+		return math.Inf(1)
+	}
+	return sse * float64(n+k) / float64(n-k)
+}
+
+// nodeSSE is the SSE over idx when n predicts as a leaf.
+func (t *Tree) nodeSSE(n *Node, rows [][]float64, ys []float64, idx []int) float64 {
+	var sse float64
+	for _, j := range idx {
+		var p float64
+		if n.Model != nil {
+			p = n.Model.Predict(rows[j])
+		} else {
+			p = n.Mean
+		}
+		d := ys[j] - p
+		sse += d * d
+	}
+	return sse
+}
+
+// Predict routes x down the tree and evaluates the leaf model. Predictions
+// are clamped to the training target range, which keeps the small per-leaf
+// MLRs from extrapolating wildly on out-of-distribution inputs.
+func (t *Tree) Predict(x []float64) float64 {
+	n := t.Root
+	for !n.IsLeaf() {
+		if n.Feature < len(x) && x[n.Feature] <= n.Threshold {
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+	}
+	var p float64
+	if n.Model != nil {
+		p = n.Model.Predict(x)
+	} else {
+		p = n.Mean
+	}
+	if t.bounds {
+		if p < t.minY {
+			p = t.minY
+		}
+		if p > t.maxY {
+			p = t.maxY
+		}
+	}
+	return p
+}
+
+// Leaves returns the number of leaves in the tree.
+func (t *Tree) Leaves() int { return countLeaves(t.Root) }
+
+// Depth returns the depth of the tree (a lone root has depth 1).
+func (t *Tree) Depth() int { return depth(t.Root) }
+
+func countLeaves(n *Node) int {
+	if n == nil {
+		return 0
+	}
+	if n.IsLeaf() {
+		return 1
+	}
+	return countLeaves(n.Left) + countLeaves(n.Right)
+}
+
+func depth(n *Node) int {
+	if n == nil {
+		return 0
+	}
+	l, r := depth(n.Left), depth(n.Right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}

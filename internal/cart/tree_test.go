@@ -1,0 +1,303 @@
+package cart
+
+import (
+	"math"
+	"math/rand/v2"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil, nil, Config{}); err == nil {
+		t.Error("empty fit should error")
+	}
+	if _, err := Fit([][]float64{{1}}, []float64{1, 2}, Config{}); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func TestSingleLeafOnConstantTarget(t *testing.T) {
+	rows := [][]float64{{1}, {2}, {3}, {4}, {5}, {6}, {7}, {8}}
+	ys := []float64{5, 5, 5, 5, 5, 5, 5, 5}
+	tree, err := Fit(rows, ys, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Leaves() != 1 {
+		t.Errorf("constant target should yield 1 leaf, got %d", tree.Leaves())
+	}
+	if got := tree.Predict([]float64{100}); got != 5 {
+		t.Errorf("Predict = %v, want 5", got)
+	}
+}
+
+func TestLearnsStepFunction(t *testing.T) {
+	// y = 0 for x<0, 10 for x>=0: one split suffices.
+	var rows [][]float64
+	var ys []float64
+	for i := -20; i < 20; i++ {
+		x := float64(i) / 2
+		rows = append(rows, []float64{x})
+		if x < 0 {
+			ys = append(ys, 0)
+		} else {
+			ys = append(ys, 10)
+		}
+	}
+	tree, err := Fit(rows, ys, Config{MinLeaf: 2, LeafModel: LeafMean})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.Predict([]float64{-5}); math.Abs(got) > 0.01 {
+		t.Errorf("Predict(-5) = %v, want 0", got)
+	}
+	if got := tree.Predict([]float64{5}); math.Abs(got-10) > 0.01 {
+		t.Errorf("Predict(5) = %v, want 10", got)
+	}
+}
+
+func TestModelTreeLearnsPiecewiseLinear(t *testing.T) {
+	// Two linear regimes split on x0 (exactly the construction of the
+	// paper's Eqs. 8-10): y = 2x1 for x0 < 0, y = -3x1 + 5 for x0 >= 0.
+	rng := rand.New(rand.NewPCG(41, 42))
+	n := 400
+	rows := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x0 := rng.NormFloat64()
+		x1 := rng.NormFloat64()
+		rows[i] = []float64{x0, x1}
+		if x0 < 0 {
+			ys[i] = 2 * x1
+		} else {
+			ys[i] = -3*x1 + 5
+		}
+	}
+	tree, err := Fit(rows, ys, Config{MinLeaf: 10, StdDevRetain: 0.99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sse float64
+	probes := 0
+	for i := 0; i < n; i++ {
+		d := tree.Predict(rows[i]) - ys[i]
+		sse += d * d
+		probes++
+	}
+	rmse := math.Sqrt(sse / float64(probes))
+	if rmse > 0.8 {
+		t.Errorf("model-tree RMSE = %v, want < 0.8", rmse)
+	}
+}
+
+func TestMeanLeavesVsMLRLeaves(t *testing.T) {
+	// On a globally linear target, MLR leaves should dominate mean leaves.
+	rng := rand.New(rand.NewPCG(43, 44))
+	n := 300
+	rows := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x := rng.NormFloat64() * 2
+		rows[i] = []float64{x}
+		ys[i] = 3*x + 1
+	}
+	mlrTree, err := Fit(rows, ys, Config{LeafModel: LeafMLR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanTree, err := Fit(rows, ys, Config{LeafModel: LeafMean})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sseMLR, sseMean float64
+	for i := range rows {
+		d1 := mlrTree.Predict(rows[i]) - ys[i]
+		d2 := meanTree.Predict(rows[i]) - ys[i]
+		sseMLR += d1 * d1
+		sseMean += d2 * d2
+	}
+	if sseMLR >= sseMean {
+		t.Errorf("MLR leaves SSE %v should beat mean leaves %v", sseMLR, sseMean)
+	}
+}
+
+func TestStdDevRetainStopsGrowth(t *testing.T) {
+	rng := rand.New(rand.NewPCG(45, 46))
+	n := 500
+	rows := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x := rng.Float64() * 10
+		rows[i] = []float64{x}
+		ys[i] = x + rng.NormFloat64()*0.1
+	}
+	// Aggressive retain (stop early) must produce no more leaves than a
+	// permissive one.
+	small, err := Fit(rows, ys, Config{StdDevRetain: 0.5, LeafModel: LeafMean, MinLeaf: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Fit(rows, ys, Config{StdDevRetain: 0.999, LeafModel: LeafMean, MinLeaf: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Leaves() > big.Leaves() {
+		t.Errorf("retain=0.5 leaves %d > retain=0.999 leaves %d", small.Leaves(), big.Leaves())
+	}
+}
+
+func TestMaxDepthRespected(t *testing.T) {
+	rng := rand.New(rand.NewPCG(47, 48))
+	n := 400
+	rows := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		rows[i] = []float64{rng.Float64()}
+		ys[i] = rng.Float64() * 100
+	}
+	tree, err := Fit(rows, ys, Config{MaxDepth: 3, MinLeaf: 1, StdDevRetain: 0.9999, LeafModel: LeafMean})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tree.Depth(); d > 4 {
+		t.Errorf("depth = %d, want <= 4", d)
+	}
+}
+
+// Property: predictions never leave the training target range (the clamp).
+func TestPredictionBoundedProperty(t *testing.T) {
+	f := func(seed uint64, probeRaw float64) bool {
+		rng := rand.New(rand.NewPCG(seed, seed+1))
+		n := 30 + int(seed%50)
+		rows := make([][]float64, n)
+		ys := make([]float64, n)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := 0; i < n; i++ {
+			rows[i] = []float64{rng.NormFloat64() * 10, rng.NormFloat64()}
+			ys[i] = rng.NormFloat64() * 5
+			if ys[i] < lo {
+				lo = ys[i]
+			}
+			if ys[i] > hi {
+				hi = ys[i]
+			}
+		}
+		tree, err := Fit(rows, ys, Config{MinLeaf: 2})
+		if err != nil {
+			return false
+		}
+		probe := math.Mod(probeRaw, 1e6)
+		if math.IsNaN(probe) {
+			probe = 0
+		}
+		p := tree.Predict([]float64{probe, -probe})
+		return p >= lo-1e-9 && p <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPredictShortFeatureVector(t *testing.T) {
+	rows := [][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}, {2, 0}, {2, 1}, {3, 0}, {3, 1}}
+	ys := []float64{0, 0, 0, 0, 9, 9, 9, 9}
+	tree, err := Fit(rows, ys, Config{MinLeaf: 2, LeafModel: LeafMean})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A probe shorter than the split feature index routes right (treated
+	// as missing) and must not panic.
+	_ = tree.Predict(nil)
+	_ = tree.Predict([]float64{1.5})
+}
+
+func TestPruneCollapsesUselessSplits(t *testing.T) {
+	// Pure noise: pruning should collapse to (near) a single leaf.
+	rng := rand.New(rand.NewPCG(49, 50))
+	n := 200
+	rows := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		rows[i] = []float64{rng.Float64()}
+		ys[i] = rng.NormFloat64()
+	}
+	tree, err := Fit(rows, ys, Config{MinLeaf: 5, StdDevRetain: 0.999, LeafModel: LeafMLR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MLR leaves fit noise slightly better in-sample, so allow a few
+	// leaves — but a noise fit must stay small relative to n/MinLeaf.
+	if tree.Leaves() > 12 {
+		t.Errorf("noise tree has %d leaves; pruning looks broken", tree.Leaves())
+	}
+}
+
+func TestVariableImportance(t *testing.T) {
+	// Only feature 0 carries signal.
+	rng := rand.New(rand.NewPCG(51, 52))
+	n := 300
+	rows := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x0 := rng.Float64() * 10
+		rows[i] = []float64{x0, rng.Float64()}
+		ys[i] = 0
+		if x0 > 5 {
+			ys[i] = 100
+		}
+	}
+	tree, err := Fit(rows, ys, Config{MinLeaf: 5, LeafModel: LeafMean})
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := tree.VariableImportance(2)
+	if len(imp) != 2 {
+		t.Fatalf("importance = %v", imp)
+	}
+	if imp[0] < 0.9 {
+		t.Errorf("feature 0 importance = %v, want > 0.9", imp[0])
+	}
+	sum := imp[0] + imp[1]
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("importance sums to %v", sum)
+	}
+	// A single-leaf tree reports all zeros.
+	flat, err := Fit(rows[:20], make([]float64, 20), Config{LeafModel: LeafMean})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range flat.VariableImportance(2) {
+		if v != 0 {
+			t.Errorf("flat tree importance = %v", flat.VariableImportance(2))
+			break
+		}
+	}
+}
+
+func TestDump(t *testing.T) {
+	rows := [][]float64{{0}, {1}, {2}, {3}, {4}, {5}, {6}, {7}}
+	ys := []float64{0, 0, 0, 0, 9, 9, 9, 9}
+	tree, err := Fit(rows, ys, Config{MinLeaf: 2, LeafModel: LeafMean})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tree.Dump([]string{"hour"})
+	if !strings.Contains(out, "hour <=") {
+		t.Errorf("dump missing named split: %q", out)
+	}
+	if !strings.Contains(out, "leaf") {
+		t.Errorf("dump missing leaves: %q", out)
+	}
+	// Unnamed features fall back to the index label.
+	rows2 := [][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}, {2, 0}, {2, 1}, {3, 0}, {3, 1}}
+	ys2 := []float64{0, 0, 0, 0, 9, 9, 9, 9}
+	tree2, err := Fit(rows2, ys2, Config{MinLeaf: 2, LeafModel: LeafMean})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2 := tree2.Dump(nil)
+	if !strings.Contains(out2, "x0 <=") {
+		t.Errorf("dump fallback label missing: %q", out2)
+	}
+}

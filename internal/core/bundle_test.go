@@ -1,0 +1,106 @@
+package core
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func bundleDataset(t *testing.T) *trace.Dataset {
+	t.Helper()
+	var attacks []trace.Attack
+	attacks = append(attacks, mkTestAttacks(80, "A", 101)...)
+	more := mkTestAttacks(60, "B", 103)
+	for i := range more {
+		more[i].ID += 1000
+		more[i].TargetAS = 9
+	}
+	attacks = append(attacks, more...)
+	ds, err := trace.New(attacks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestTrainBundleAndRoundTrip(t *testing.T) {
+	ds := bundleDataset(t)
+	b, err := TrainBundle(ds, BundleConfig{Spatial: SpatialConfig{Seed: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Temporal) != 2 {
+		t.Fatalf("temporal models = %d, want 2", len(b.Temporal))
+	}
+	if len(b.Spatial) != 2 {
+		t.Fatalf("spatial models = %d, want 2", len(b.Spatial))
+	}
+	path := filepath.Join(t.TempDir(), "bundle.json")
+	if err := b.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadBundle(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for fam, m := range b.Temporal {
+		bm := back.Temporal[fam]
+		if bm == nil {
+			t.Fatalf("family %s lost", fam)
+		}
+		if math.Abs(m.PredictMagnitude()-bm.PredictMagnitude()) > 1e-9 {
+			t.Errorf("%s: magnitude prediction differs", fam)
+		}
+	}
+	for as, m := range b.Spatial {
+		bm := back.Spatial[as]
+		if bm == nil {
+			t.Fatalf("AS %d lost", as)
+		}
+		if math.Abs(m.PredictDuration()-bm.PredictDuration()) > 1e-9 {
+			t.Errorf("AS %d: duration prediction differs", as)
+		}
+	}
+}
+
+func TestTrainBundleGates(t *testing.T) {
+	ds := bundleDataset(t)
+	// High gates skip everything -> error.
+	if _, err := TrainBundle(ds, BundleConfig{MinFamilyAttacks: 10000}); err == nil {
+		t.Error("no trainable family should error")
+	}
+	if _, err := TrainBundle(nil, BundleConfig{}); err == nil {
+		t.Error("nil dataset should error")
+	}
+	if _, err := TrainBundle(&trace.Dataset{}, BundleConfig{}); err == nil {
+		t.Error("empty dataset should error")
+	}
+}
+
+func TestLoadBundleErrors(t *testing.T) {
+	if _, err := LoadBundle(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file should error")
+	}
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "empty.json")
+	if err := writeFile(empty, "{}"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBundle(empty); err == nil {
+		t.Error("empty bundle should error")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := writeFile(bad, "{nope"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBundle(bad); err == nil {
+		t.Error("malformed bundle should error")
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

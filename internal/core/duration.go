@@ -1,0 +1,101 @@
+package core
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// DurationModel realizes the paper's remaining-duration output variable
+// (D^d_{t_i})_j — "the remaining time left at time t_i of the j-th DDoS
+// attack observed by the target" (Table II). Attack durations are fitted
+// as a lognormal (their empirical shape in the trace data), and the
+// remaining time of an in-progress attack is the conditional expectation
+// E[D - t | D > t] of that lognormal.
+type DurationModel struct {
+	// Mu and Sigma are the location and scale of log-duration.
+	Mu, Sigma float64
+	// N is the number of durations the model was fitted on.
+	N int
+}
+
+// FitDurationModel estimates the lognormal by maximum likelihood on the
+// log durations. Non-positive durations are rejected.
+func FitDurationModel(durations []float64) (*DurationModel, error) {
+	if len(durations) < 3 {
+		return nil, errors.New("core: duration model needs at least 3 observations")
+	}
+	logs := make([]float64, len(durations))
+	for i, d := range durations {
+		if d <= 0 {
+			return nil, errors.New("core: durations must be positive")
+		}
+		logs[i] = math.Log(d)
+	}
+	mu := stats.Mean(logs)
+	sigma := math.Sqrt(stats.PopVariance(logs))
+	if sigma < 1e-9 {
+		sigma = 1e-9
+	}
+	return &DurationModel{Mu: mu, Sigma: sigma, N: len(durations)}, nil
+}
+
+// Mean returns the unconditional expected duration exp(mu + sigma^2/2).
+func (m *DurationModel) Mean() float64 {
+	return math.Exp(m.Mu + m.Sigma*m.Sigma/2)
+}
+
+// Quantile returns the p-th duration quantile (0 < p < 1).
+func (m *DurationModel) Quantile(p float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	z := math.Sqrt2 * math.Erfinv(2*p-1)
+	return math.Exp(m.Mu + m.Sigma*z)
+}
+
+// Survival returns P(D > t), the probability an attack lasts beyond t
+// seconds.
+func (m *DurationModel) Survival(t float64) float64 {
+	if t <= 0 {
+		return 1
+	}
+	return 1 - stats.NormalCDF(math.Log(t), m.Mu, m.Sigma)
+}
+
+// ExpectedRemaining returns E[D - t | D > t]: the expected remaining
+// seconds of an attack that has already run for t seconds. For t <= 0 it
+// returns the unconditional mean. When the conditioning event has
+// vanishing probability (t far in the tail) it degrades gracefully to the
+// hazard-free limit sigma^2-scaled tail behavior rather than dividing by
+// zero.
+func (m *DurationModel) ExpectedRemaining(t float64) float64 {
+	if t <= 0 {
+		return m.Mean()
+	}
+	lt := math.Log(t)
+	surv := m.Survival(t)
+	if surv < 1e-12 {
+		// Deep tail: the lognormal's mean residual life grows roughly
+		// linearly in t / log t; approximate with the last finite ratio.
+		surv = 1e-12
+	}
+	// E[D · 1{D>t}] = exp(mu + sigma^2/2) * Phi(sigma - (ln t - mu)/sigma).
+	upper := 1 - stats.NormalCDF((lt-m.Mu)/m.Sigma-m.Sigma, 0, 1)
+	conditional := m.Mean() * upper / surv
+	rem := conditional - t
+	if rem < 0 {
+		return 0
+	}
+	return rem
+}
+
+// PredictEnd returns the expected total duration of an attack that has
+// been running for elapsed seconds (elapsed + expected remaining).
+func (m *DurationModel) PredictEnd(elapsed float64) float64 {
+	return elapsed + m.ExpectedRemaining(elapsed)
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func lognormalSample(n int, mu, sigma float64, seed uint64) []float64 {
+	s := stats.NewSampler(seed)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = s.LogNormal(mu, sigma)
+	}
+	return out
+}
+
+func TestFitDurationModelRecoversParams(t *testing.T) {
+	const mu, sigma = 7.0, 0.6
+	durs := lognormalSample(20000, mu, sigma, 111)
+	m, err := FitDurationModel(durs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Mu-mu) > 0.02 {
+		t.Errorf("mu = %v, want ~%v", m.Mu, mu)
+	}
+	if math.Abs(m.Sigma-sigma) > 0.02 {
+		t.Errorf("sigma = %v, want ~%v", m.Sigma, sigma)
+	}
+	wantMean := math.Exp(mu + sigma*sigma/2)
+	if math.Abs(m.Mean()-wantMean)/wantMean > 0.02 {
+		t.Errorf("mean = %v, want ~%v", m.Mean(), wantMean)
+	}
+}
+
+func TestFitDurationModelValidation(t *testing.T) {
+	if _, err := FitDurationModel([]float64{1, 2}); err == nil {
+		t.Error("too few durations should error")
+	}
+	if _, err := FitDurationModel([]float64{1, -2, 3}); err == nil {
+		t.Error("negative duration should error")
+	}
+	// Constant durations must not blow up (sigma floored).
+	m, err := FitDurationModel([]float64{100, 100, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Mean()-100) > 1 {
+		t.Errorf("constant-duration mean = %v", m.Mean())
+	}
+}
+
+func TestQuantileAndSurvival(t *testing.T) {
+	m := &DurationModel{Mu: 7, Sigma: 0.6, N: 100}
+	// Median of a lognormal is exp(mu).
+	if med := m.Quantile(0.5); math.Abs(med-math.Exp(7)) > 1 {
+		t.Errorf("median = %v, want ~%v", med, math.Exp(7))
+	}
+	if m.Quantile(0) != 0 || !math.IsInf(m.Quantile(1), 1) {
+		t.Error("quantile boundary behavior wrong")
+	}
+	// Survival at the median is 0.5; monotone decreasing.
+	if s := m.Survival(math.Exp(7)); math.Abs(s-0.5) > 1e-9 {
+		t.Errorf("survival at median = %v, want 0.5", s)
+	}
+	if m.Survival(0) != 1 {
+		t.Error("survival at 0 should be 1")
+	}
+	prev := 1.0
+	for _, tt := range []float64{100, 500, 1000, 3000, 10000} {
+		s := m.Survival(tt)
+		if s > prev+1e-12 {
+			t.Fatalf("survival not monotone at %v", tt)
+		}
+		prev = s
+	}
+	// Quantile and survival are inverses.
+	q := m.Quantile(0.8)
+	if s := m.Survival(q); math.Abs(s-0.2) > 1e-9 {
+		t.Errorf("survival(quantile(0.8)) = %v, want 0.2", s)
+	}
+}
+
+func TestExpectedRemainingMatchesMonteCarlo(t *testing.T) {
+	const mu, sigma = 7.0, 0.6
+	m := &DurationModel{Mu: mu, Sigma: sigma, N: 1000}
+	durs := lognormalSample(200000, mu, sigma, 113)
+	for _, elapsed := range []float64{300, 1000, 2000} {
+		var sum float64
+		var n int
+		for _, d := range durs {
+			if d > elapsed {
+				sum += d - elapsed
+				n++
+			}
+		}
+		if n < 100 {
+			t.Fatalf("too few survivors at t=%v", elapsed)
+		}
+		mc := sum / float64(n)
+		got := m.ExpectedRemaining(elapsed)
+		if math.Abs(got-mc)/mc > 0.05 {
+			t.Errorf("t=%v: analytic %v vs Monte Carlo %v", elapsed, got, mc)
+		}
+	}
+	// t=0 returns the unconditional mean.
+	if got := m.ExpectedRemaining(0); math.Abs(got-m.Mean()) > 1e-9 {
+		t.Errorf("remaining at 0 = %v, want mean %v", got, m.Mean())
+	}
+	// Lognormal mean residual life dips near the mode but grows in the
+	// tail (heavier than exponential).
+	if m.ExpectedRemaining(20000) <= m.ExpectedRemaining(2000) {
+		t.Error("lognormal mean residual life should grow in the tail")
+	}
+	// Deep tail must stay finite and nonnegative.
+	deep := m.ExpectedRemaining(1e9)
+	if deep < 0 || math.IsNaN(deep) || math.IsInf(deep, 0) {
+		t.Errorf("deep-tail remaining = %v", deep)
+	}
+}
+
+func TestPredictEnd(t *testing.T) {
+	m := &DurationModel{Mu: 7, Sigma: 0.6, N: 10}
+	elapsed := 500.0
+	if got := m.PredictEnd(elapsed); got < elapsed {
+		t.Errorf("predicted end %v before elapsed %v", got, elapsed)
+	}
+}
+
+func TestDurationModelOnSimulatedFamily(t *testing.T) {
+	attacks := mkTestAttacks(200, "F", 115)
+	durs := make([]float64, len(attacks))
+	for i := range attacks {
+		durs[i] = attacks[i].DurationSec
+	}
+	m, err := FitDurationModel(durs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fitted mean should be in the ballpark of the sample mean.
+	sampleMean := stats.Mean(durs)
+	if math.Abs(m.Mean()-sampleMean)/sampleMean > 0.25 {
+		t.Errorf("fitted mean %v vs sample mean %v", m.Mean(), sampleMean)
+	}
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/arima"
+	"repro/internal/astopo"
+	"repro/internal/nn"
+)
+
+// Model persistence: fitted temporal, spatial, and spatiotemporal models
+// serialize to JSON so they can be trained offline and shipped to a
+// deployment (see cmd/ddospredict's -models flag).
+
+type seriesModelJSON struct {
+	ARIMA *arima.Model `json:"arima,omitempty"`
+	Mean  float64      `json:"mean"`
+	N     int          `json:"n"`
+}
+
+func (sm *seriesModel) toJSON() *seriesModelJSON {
+	if sm == nil {
+		return nil
+	}
+	return &seriesModelJSON{ARIMA: sm.m, Mean: sm.mean, N: sm.n}
+}
+
+func (j *seriesModelJSON) toModel() *seriesModel {
+	if j == nil {
+		return nil
+	}
+	return &seriesModel{m: j.ARIMA, mean: j.Mean, n: j.N}
+}
+
+type temporalJSON struct {
+	Family    string           `json:"family"`
+	Magnitude *seriesModelJSON `json:"magnitude"`
+	Hour      *seriesModelJSON `json:"hour"`
+	Day       *seriesModelJSON `json:"day"`
+	Interval  *seriesModelJSON `json:"interval"`
+	LastStart time.Time        `json:"last_start"`
+}
+
+// MarshalJSON serializes the fitted temporal model.
+func (t *Temporal) MarshalJSON() ([]byte, error) {
+	return json.Marshal(temporalJSON{
+		Family:    t.Family,
+		Magnitude: t.magnitude.toJSON(),
+		Hour:      t.hour.toJSON(),
+		Day:       t.day.toJSON(),
+		Interval:  t.interval.toJSON(),
+		LastStart: t.lastStart,
+	})
+}
+
+// UnmarshalJSON restores a temporal model serialized by MarshalJSON.
+func (t *Temporal) UnmarshalJSON(data []byte) error {
+	var j temporalJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return fmt.Errorf("core: unmarshal temporal: %w", err)
+	}
+	if j.Magnitude == nil || j.Hour == nil || j.Day == nil || j.Interval == nil {
+		return errors.New("core: unmarshal temporal: missing series model")
+	}
+	t.Family = j.Family
+	t.magnitude = j.Magnitude.toModel()
+	t.hour = j.Hour.toModel()
+	t.day = j.Day.toModel()
+	t.interval = j.Interval.toModel()
+	t.lastStart = j.LastStart
+	return nil
+}
+
+type narModelJSON struct {
+	NAR  *nn.NAR `json:"nar,omitempty"`
+	Mean float64 `json:"mean"`
+	N    int     `json:"n"`
+}
+
+func (nm *narModel) toJSON() *narModelJSON {
+	if nm == nil {
+		return nil
+	}
+	return &narModelJSON{NAR: nm.m, Mean: nm.mean, N: nm.n}
+}
+
+func (j *narModelJSON) toModel() *narModel {
+	if j == nil {
+		return nil
+	}
+	return &narModel{m: j.NAR, mean: j.Mean, n: j.N}
+}
+
+type spatialJSON struct {
+	AS       astopo.AS     `json:"as"`
+	Duration *narModelJSON `json:"duration"`
+	Hour     *narModelJSON `json:"hour"`
+	Day      *narModelJSON `json:"day"`
+}
+
+// MarshalJSON serializes the fitted spatial model.
+func (s *Spatial) MarshalJSON() ([]byte, error) {
+	return json.Marshal(spatialJSON{
+		AS:       s.AS,
+		Duration: s.duration.toJSON(),
+		Hour:     s.hour.toJSON(),
+		Day:      s.day.toJSON(),
+	})
+}
+
+// UnmarshalJSON restores a spatial model serialized by MarshalJSON.
+func (s *Spatial) UnmarshalJSON(data []byte) error {
+	var j spatialJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return fmt.Errorf("core: unmarshal spatial: %w", err)
+	}
+	if j.Duration == nil || j.Hour == nil || j.Day == nil {
+		return errors.New("core: unmarshal spatial: missing series model")
+	}
+	s.AS = j.AS
+	s.duration = j.Duration.toModel()
+	s.hour = j.Hour.toModel()
+	s.day = j.Day.toModel()
+	return nil
+}
+
+// Spatiotemporal's fields (four cart.Tree pointers) are exported and
+// serialize directly with encoding/json; no custom methods are needed.

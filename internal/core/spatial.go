@@ -1,0 +1,129 @@
+package core
+
+import (
+	"errors"
+
+	"repro/internal/astopo"
+	"repro/internal/nn"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Spatial is the paper's spatial model (§V): per target network (AS), a
+// nonlinear autoregressive neural network over the chronologically ordered
+// attacks observed in that network — their durations, launch hours, and
+// days. Series too short for the NAR fall back to the training mean.
+type Spatial struct {
+	AS astopo.AS
+
+	duration *narModel
+	hour     *narModel
+	day      *narModel
+}
+
+// SpatialConfig controls the NAR grid search (§V-A tunes the number of
+// delays and hidden nodes per dataset).
+type SpatialConfig struct {
+	Delays []int
+	Hidden []int
+	Seed   uint64
+	Train  nn.TrainConfig
+}
+
+func (c SpatialConfig) withDefaults() SpatialConfig {
+	if len(c.Delays) == 0 {
+		c.Delays = []int{2, 4}
+	}
+	if len(c.Hidden) == 0 {
+		c.Hidden = []int{4, 8}
+	}
+	if c.Train.Epochs == 0 {
+		c.Train.Epochs = 250
+	}
+	return c
+}
+
+// narModel is a NAR with a mean fallback for short series.
+type narModel struct {
+	m    *nn.NAR
+	mean float64
+	n    int
+}
+
+func fitNARSeries(xs []float64, cfg SpatialConfig, seedOffset uint64) *narModel {
+	nm := &narModel{mean: stats.Mean(xs), n: len(xs)}
+	if len(xs) >= 12 {
+		if m, err := nn.GridSearchNAR(xs, cfg.Delays, cfg.Hidden, cfg.Seed+seedOffset, cfg.Train); err == nil {
+			nm.m = m
+		}
+	}
+	return nm
+}
+
+func (nm *narModel) predict() float64 {
+	if nm == nil || nm.n == 0 {
+		return 0
+	}
+	if nm.m != nil {
+		return nm.m.PredictNext()
+	}
+	return nm.mean
+}
+
+func (nm *narModel) update(x float64) {
+	if nm == nil {
+		return
+	}
+	nm.mean = (nm.mean*float64(nm.n) + x) / float64(nm.n+1)
+	nm.n++
+	if nm.m != nil {
+		nm.m.Update(x)
+	}
+}
+
+// FitSpatial estimates the spatial model on the chronological attacks
+// targeting one AS.
+func FitSpatial(as astopo.AS, attacks []trace.Attack, cfg SpatialConfig) (*Spatial, error) {
+	if len(attacks) < 3 {
+		return nil, errors.New("core: spatial model needs at least 3 attacks")
+	}
+	cfg = cfg.withDefaults()
+	durs := make([]float64, len(attacks))
+	hours := make([]float64, len(attacks))
+	days := make([]float64, len(attacks))
+	for i := range attacks {
+		durs[i] = attacks[i].DurationSec
+		hours[i] = float64(attacks[i].Hour())
+		days[i] = float64(attacks[i].Day())
+	}
+	return &Spatial{
+		AS:       as,
+		duration: fitNARSeries(durs, cfg, 1),
+		hour:     fitNARSeries(hours, cfg, 2),
+		day:      fitNARSeries(days, cfg, 3),
+	}, nil
+}
+
+// PredictDuration forecasts the next attack's duration in seconds (Eq. 6),
+// floored at zero.
+func (s *Spatial) PredictDuration() float64 {
+	v := s.duration.predict()
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// PredictHour forecasts the next attack's launch hour in this network,
+// clamped to [0, 24).
+func (s *Spatial) PredictHour() float64 { return clamp(s.hour.predict(), 0, 23.999) }
+
+// PredictDay forecasts the next attack's day of month, clamped to [1, 31].
+func (s *Spatial) PredictDay() float64 { return clamp(s.day.predict(), 1, 31) }
+
+// Observe feeds a newly observed attack on this network (walk-forward).
+func (s *Spatial) Observe(a *trace.Attack) {
+	s.duration.update(a.DurationSec)
+	s.hour.update(float64(a.Hour()))
+	s.day.update(float64(a.Day()))
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"errors"
+
+	"repro/internal/cart"
+)
+
+// Spatiotemporal is the paper's spatiotemporal model (§VI): a regression
+// model tree (CART with multivariate-linear leaves) over the outputs of
+// the temporal and spatial models plus target-local context, predicting —
+// per target — the next attack's hour, day, duration, and magnitude. The
+// tree mirrors the paper's construction: node N_tmp carries the temporal
+// hourly prediction, N_spa the spatial one, N_int the temporal interval
+// prediction, and the tree is pruned with the 88% standard-deviation rule.
+type Spatiotemporal struct {
+	Hour      *cart.Tree
+	Day       *cart.Tree
+	Duration  *cart.Tree
+	Magnitude *cart.Tree
+}
+
+// STFeatures is one feature vector fed to the model tree: the outputs of
+// the temporal and spatial models for a given attack slot, plus the
+// target-local context available to the victim.
+type STFeatures struct {
+	// Temporal model outputs (family-level).
+	TmpHour     float64 // N_tmp: predicted hour
+	TmpDay      float64 // predicted day of month
+	TmpInterval float64 // N_int: predicted inter-launch seconds
+	TmpMag      float64 // predicted magnitude
+
+	// Spatial model outputs (target-network level).
+	SpaHour float64 // N_spa: predicted hour
+	SpaDay  float64 // predicted day of month
+	SpaDur  float64 // predicted duration (seconds)
+
+	// Target-local context.
+	PrevHour   float64 // hour of the previous attack on this target
+	PrevDay    float64 // day of the previous attack on this target
+	PrevGapSec float64 // seconds since the previous attack on this target
+	NextDueDay float64 // day-of-month implied by the target's revisit cadence
+	AvgMag     float64 // mean magnitude over the target's history
+	TargetAS   float64 // T_l, the target's AS number
+}
+
+// Vector flattens the features in a fixed order.
+func (f *STFeatures) Vector() []float64 {
+	return []float64{
+		f.TmpHour, f.TmpDay, f.TmpInterval, f.TmpMag,
+		f.SpaHour, f.SpaDay, f.SpaDur,
+		f.PrevHour, f.PrevDay, f.PrevGapSec, f.NextDueDay, f.AvgMag, f.TargetAS,
+	}
+}
+
+// STSample is one training observation: features for an attack slot and
+// the attack's realized hour, day, duration, and magnitude.
+type STSample struct {
+	F    STFeatures
+	Hour float64
+	Day  float64
+	Dur  float64
+	Mag  float64
+}
+
+// STConfig configures the model tree induction. The zero value applies
+// the paper's defaults (88% standard-deviation retention, MLR leaves).
+type STConfig struct {
+	Tree cart.Config
+}
+
+func (c STConfig) withDefaults() STConfig {
+	if c.Tree.StdDevRetain == 0 {
+		c.Tree.StdDevRetain = 0.88
+	}
+	if c.Tree.MinLeaf == 0 {
+		// Leaves must hold enough samples to fit the 13-feature MLR
+		// (regress needs n >= p+2); smaller leaves silently degrade to
+		// constant predictors.
+		c.Tree.MinLeaf = 16
+	}
+	if c.Tree.MaxDepth == 0 {
+		c.Tree.MaxDepth = 10
+	}
+	return c
+}
+
+// FitSpatiotemporal grows the four model trees from training samples.
+func FitSpatiotemporal(samples []STSample, cfg STConfig) (*Spatiotemporal, error) {
+	if len(samples) < 4 {
+		return nil, errors.New("core: spatiotemporal model needs at least 4 samples")
+	}
+	cfg = cfg.withDefaults()
+	rows := make([][]float64, len(samples))
+	hours := make([]float64, len(samples))
+	days := make([]float64, len(samples))
+	durs := make([]float64, len(samples))
+	mags := make([]float64, len(samples))
+	for i := range samples {
+		rows[i] = samples[i].F.Vector()
+		hours[i] = samples[i].Hour
+		days[i] = samples[i].Day
+		durs[i] = samples[i].Dur
+		mags[i] = samples[i].Mag
+	}
+	var st Spatiotemporal
+	var err error
+	if st.Hour, err = cart.Fit(rows, hours, cfg.Tree); err != nil {
+		return nil, err
+	}
+	if st.Day, err = cart.Fit(rows, days, cfg.Tree); err != nil {
+		return nil, err
+	}
+	if st.Duration, err = cart.Fit(rows, durs, cfg.Tree); err != nil {
+		return nil, err
+	}
+	if st.Magnitude, err = cart.Fit(rows, mags, cfg.Tree); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// PredictHour predicts the next attack's launch hour, clamped to [0, 24).
+func (st *Spatiotemporal) PredictHour(f *STFeatures) float64 {
+	return clamp(st.Hour.Predict(f.Vector()), 0, 23.999)
+}
+
+// PredictDay predicts the next attack's day of month, clamped to [1, 31].
+func (st *Spatiotemporal) PredictDay(f *STFeatures) float64 {
+	return clamp(st.Day.Predict(f.Vector()), 1, 31)
+}
+
+// PredictDuration predicts the next attack's duration in seconds.
+func (st *Spatiotemporal) PredictDuration(f *STFeatures) float64 {
+	v := st.Duration.Predict(f.Vector())
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// PredictMagnitude predicts the next attack's bot magnitude.
+func (st *Spatiotemporal) PredictMagnitude(f *STFeatures) float64 {
+	v := st.Magnitude.Predict(f.Vector())
+	if v < 0 {
+		return 0
+	}
+	return v
+}

@@ -1,0 +1,41 @@
+package defense_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/defense"
+)
+
+// Plan scrubbing capacity from forecasts and evaluate against realized
+// attack volumes.
+func ExamplePlanFromForecast() {
+	point := []float64{100, 120, 90}
+	upper := []float64{130, 150, 115}
+	plans, err := defense.PlanFromForecast(point, upper, defense.PlannerConfig{Floor: 100})
+	if err != nil {
+		panic(err)
+	}
+	actual := []float64{110, 160, 95}
+	m, err := defense.Evaluate(plans, actual)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("mean reserved %.1f, missed %.0f, miss rate %.2f\n",
+		m.MeanReserved, m.MissedVolume, m.MissRate)
+	// Output:
+	// mean reserved 131.7, missed 10, miss rate 0.33
+}
+
+// Decide how long mitigation must stay active for an in-progress attack.
+func ExampleStandDown() {
+	// Median duration exp(6.9) ~ 1000s with moderate spread.
+	m := &core.DurationModel{Mu: 6.9077, Sigma: 0.5, N: 500}
+	wait, err := defense.StandDown(m, 600, 0.9)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("after 600s, keep defenses up another ~%dmin\n", int(wait/60))
+	// Output:
+	// after 600s, keep defenses up another ~23min
+}

@@ -1,0 +1,149 @@
+// Package defense turns the models' predictions into mitigation decisions —
+// the paper's stated purpose ("guide defense resources provisioning
+// proactively", §II-B): scrubbing-capacity plans from magnitude forecasts
+// with confidence headroom, and stand-down scheduling from the
+// remaining-duration model.
+package defense
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/core"
+)
+
+// CapacityPlan is a per-step scrubbing reservation.
+type CapacityPlan struct {
+	// Reserved is the capacity to hold (same unit as the forecast,
+	// typically bots or Gbps-equivalents).
+	Reserved float64
+}
+
+// PlannerConfig tunes plan construction.
+type PlannerConfig struct {
+	// Headroom multiplies the forecast band's upper edge (default 1.0 —
+	// reserve exactly the upper confidence bound).
+	Headroom float64
+	// Floor is the minimum reservation regardless of forecast.
+	Floor float64
+	// Cap bounds the reservation from above (0 = unbounded).
+	Cap float64
+}
+
+func (c PlannerConfig) withDefaults() PlannerConfig {
+	if c.Headroom <= 0 {
+		c.Headroom = 1
+	}
+	return c
+}
+
+// PlanFromForecast builds per-step capacity plans from point forecasts and
+// their upper confidence bounds (see arima.Model.ForecastInterval). point
+// and upper must have equal nonzero length.
+func PlanFromForecast(point, upper []float64, cfg PlannerConfig) ([]CapacityPlan, error) {
+	if len(point) == 0 || len(point) != len(upper) {
+		return nil, errors.New("defense: point/upper forecast length mismatch")
+	}
+	cfg = cfg.withDefaults()
+	plans := make([]CapacityPlan, len(point))
+	for i := range point {
+		r := upper[i] * cfg.Headroom
+		if r < point[i] {
+			r = point[i]
+		}
+		if r < cfg.Floor {
+			r = cfg.Floor
+		}
+		if cfg.Cap > 0 && r > cfg.Cap {
+			r = cfg.Cap
+		}
+		plans[i] = CapacityPlan{Reserved: r}
+	}
+	return plans, nil
+}
+
+// StaticPlan reserves a constant capacity for every step (the baseline the
+// paper's proactive defenses improve on).
+func StaticPlan(capacity float64, steps int) []CapacityPlan {
+	plans := make([]CapacityPlan, steps)
+	for i := range plans {
+		plans[i] = CapacityPlan{Reserved: capacity}
+	}
+	return plans
+}
+
+// Metrics summarizes how a plan performed against realized attack volumes.
+type Metrics struct {
+	// MeanReserved is the average capacity held.
+	MeanReserved float64
+	// MissedVolume is the total attack volume exceeding the reservation.
+	MissedVolume float64
+	// MissRate is the fraction of steps where the reservation was
+	// insufficient.
+	MissRate float64
+	// Utilization is total attack volume divided by total reserved
+	// capacity (higher = less over-provisioning).
+	Utilization float64
+}
+
+// Evaluate scores plans against the realized per-step attack volumes.
+func Evaluate(plans []CapacityPlan, actual []float64) (Metrics, error) {
+	if len(plans) == 0 || len(plans) != len(actual) {
+		return Metrics{}, errors.New("defense: plans/actual length mismatch")
+	}
+	var reserved, missed, volume float64
+	misses := 0
+	for i, p := range plans {
+		reserved += p.Reserved
+		volume += actual[i]
+		if actual[i] > p.Reserved {
+			missed += actual[i] - p.Reserved
+			misses++
+		}
+	}
+	n := float64(len(plans))
+	m := Metrics{
+		MeanReserved: reserved / n,
+		MissedVolume: missed,
+		MissRate:     float64(misses) / n,
+	}
+	if reserved > 0 {
+		m.Utilization = volume / reserved
+	}
+	return m, nil
+}
+
+// StandDown decides when mitigation for an in-progress attack can be
+// released: after the attack has run for elapsed seconds, it returns the
+// additional seconds to keep defenses up so that the attack has ended with
+// probability at least confidence, according to the fitted duration model.
+func StandDown(m *core.DurationModel, elapsed, confidence float64) (float64, error) {
+	if m == nil {
+		return 0, errors.New("defense: nil duration model")
+	}
+	if confidence <= 0 || confidence >= 1 {
+		return 0, errors.New("defense: confidence must be in (0, 1)")
+	}
+	if elapsed < 0 {
+		elapsed = 0
+	}
+	// Find t with P(D > elapsed + t | D > elapsed) <= 1 - confidence,
+	// i.e. Survival(elapsed+t) <= (1-confidence) * Survival(elapsed).
+	target := (1 - confidence) * m.Survival(elapsed)
+	if target <= 0 {
+		return 0, nil
+	}
+	lo, hi := 0.0, math.Max(m.Quantile(0.999)-elapsed, 1)
+	for hi < 1e9 && m.Survival(elapsed+hi) > target {
+		hi *= 2
+	}
+	for i := 0; i < 100 && hi-lo > 1; i++ {
+		mid := (lo + hi) / 2
+		if m.Survival(elapsed+mid) > target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi, nil
+}

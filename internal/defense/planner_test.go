@@ -1,0 +1,177 @@
+package defense
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+func TestPlanFromForecast(t *testing.T) {
+	point := []float64{10, 20, 30}
+	upper := []float64{15, 25, 35}
+	plans, err := PlanFromForecast(point, upper, PlannerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range plans {
+		if p.Reserved != upper[i] {
+			t.Errorf("plan %d reserved %v, want upper %v", i, p.Reserved, upper[i])
+		}
+	}
+	// Floor and cap apply.
+	plans, err = PlanFromForecast(point, upper, PlannerConfig{Floor: 20, Cap: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plans[0].Reserved != 20 {
+		t.Errorf("floor not applied: %v", plans[0].Reserved)
+	}
+	if plans[2].Reserved != 30 {
+		t.Errorf("cap not applied: %v", plans[2].Reserved)
+	}
+	// Headroom multiplies the upper bound.
+	plans, _ = PlanFromForecast(point, upper, PlannerConfig{Headroom: 2})
+	if plans[0].Reserved != 30 {
+		t.Errorf("headroom not applied: %v", plans[0].Reserved)
+	}
+	// An upper bound below the point forecast is raised to the point.
+	plans, _ = PlanFromForecast([]float64{50}, []float64{40}, PlannerConfig{})
+	if plans[0].Reserved != 50 {
+		t.Errorf("upper < point should reserve the point: %v", plans[0].Reserved)
+	}
+	if _, err := PlanFromForecast(nil, nil, PlannerConfig{}); err == nil {
+		t.Error("empty forecast should error")
+	}
+	if _, err := PlanFromForecast(point, upper[:2], PlannerConfig{}); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func TestStaticPlanAndEvaluate(t *testing.T) {
+	plans := StaticPlan(100, 4)
+	if len(plans) != 4 || plans[3].Reserved != 100 {
+		t.Fatalf("static plan = %+v", plans)
+	}
+	actual := []float64{50, 150, 100, 80}
+	m, err := Evaluate(plans, actual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MeanReserved != 100 {
+		t.Errorf("mean reserved = %v", m.MeanReserved)
+	}
+	if m.MissedVolume != 50 {
+		t.Errorf("missed volume = %v, want 50", m.MissedVolume)
+	}
+	if m.MissRate != 0.25 {
+		t.Errorf("miss rate = %v, want 0.25", m.MissRate)
+	}
+	if want := 380.0 / 400.0; math.Abs(m.Utilization-want) > 1e-12 {
+		t.Errorf("utilization = %v, want %v", m.Utilization, want)
+	}
+	if _, err := Evaluate(plans, actual[:2]); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := Evaluate(nil, nil); err == nil {
+		t.Error("empty should error")
+	}
+}
+
+func TestPredictivePlanBeatsStaticOnARWorkload(t *testing.T) {
+	// AR(1) magnitudes: the predictive plan should hold less capacity at a
+	// comparable (or lower) miss rate than worst-case static provisioning.
+	s := stats.NewSampler(121)
+	n := 1200
+	series := make([]float64, n)
+	level := 100.0
+	for i := 0; i < n; i++ {
+		level = 100 + 0.9*(level-100) + s.Normal(0, 8)
+		series[i] = level
+	}
+	train, test := series[:1000], series[1000:]
+	pred := &core.ARIMAPredictor{}
+	if err := pred.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	point := make([]float64, len(test))
+	upper := make([]float64, len(test))
+	for i, x := range test {
+		p, err := pred.PredictNext()
+		if err != nil {
+			t.Fatal(err)
+		}
+		point[i] = p
+		upper[i] = p + 2.5*8 // ~99% one-step band for known sigma
+		pred.Update(x)
+	}
+	plans, err := PlanFromForecast(point, upper, PlannerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	predictive, err := Evaluate(plans, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxTrain := 0.0
+	for _, x := range train {
+		if x > maxTrain {
+			maxTrain = x
+		}
+	}
+	static, err := Evaluate(StaticPlan(maxTrain, len(test)), test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if predictive.MeanReserved >= static.MeanReserved {
+		t.Errorf("predictive reserves %v, static %v — no saving", predictive.MeanReserved, static.MeanReserved)
+	}
+	if predictive.MissRate > 0.05 {
+		t.Errorf("predictive miss rate = %v, want <= 0.05", predictive.MissRate)
+	}
+	if predictive.Utilization <= static.Utilization {
+		t.Errorf("predictive utilization %v should beat static %v", predictive.Utilization, static.Utilization)
+	}
+}
+
+func TestStandDown(t *testing.T) {
+	m := &core.DurationModel{Mu: 7, Sigma: 0.6, N: 100}
+	wait, err := StandDown(m, 0, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Waiting from t=0 with 95% confidence is the 95th percentile.
+	if q := m.Quantile(0.95); math.Abs(wait-q) > q*0.01 {
+		t.Errorf("stand-down from 0 = %v, want ~%v", wait, q)
+	}
+	// Conditional wait after surviving 1000s: the survival at
+	// elapsed+wait must be ~5% of the survival at elapsed.
+	elapsed := 1000.0
+	wait, err = StandDown(m, elapsed, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.Survival(elapsed+wait) / m.Survival(elapsed)
+	if math.Abs(got-0.05) > 0.01 {
+		t.Errorf("conditional survival after stand-down = %v, want ~0.05", got)
+	}
+	// Validation.
+	if _, err := StandDown(nil, 0, 0.9); err == nil {
+		t.Error("nil model should error")
+	}
+	if _, err := StandDown(m, 0, 0); err == nil {
+		t.Error("confidence 0 should error")
+	}
+	if _, err := StandDown(m, 0, 1); err == nil {
+		t.Error("confidence 1 should error")
+	}
+	// Negative elapsed is treated as 0.
+	w2, err := StandDown(m, -50, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w2-wait) > wait && w2 <= 0 {
+		t.Errorf("negative elapsed mishandled: %v", w2)
+	}
+}

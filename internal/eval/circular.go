@@ -1,0 +1,12 @@
+package eval
+
+import "math"
+
+// Small circular-arithmetic helpers for hour-of-day statistics, expressed
+// in turns (1 turn = a full day).
+
+func sinTurn(t float64) float64 { return math.Sin(2 * math.Pi * t) }
+
+func cosTurn(t float64) float64 { return math.Cos(2 * math.Pi * t) }
+
+func atan2Turn(y, x float64) float64 { return math.Atan2(y, x) / (2 * math.Pi) }

@@ -1,0 +1,91 @@
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/features"
+	"repro/internal/timeseries"
+)
+
+// Comparison feature names (§VII-A compares three features).
+const (
+	FeatureMagnitude  = "magnitude"
+	FeatureDuration   = "duration"
+	FeatureSourceDist = "source-dist"
+)
+
+// ComparisonRow is the RMSE of every predictor on one (family, feature)
+// pair.
+type ComparisonRow struct {
+	Family  string
+	Feature string
+	// RMSE per predictor name: the paper's model (Temporal for magnitude
+	// and source-dist, Spatial for duration) vs Always Same / Always Mean.
+	RMSE map[string]float64
+	// Winner is the predictor with the lowest RMSE.
+	Winner string
+}
+
+// RunComparison reproduces the §VII-A comparison on the five most active
+// families: the paper's temporal/spatial models against the Always Same
+// and Always Mean baselines on bot magnitude, attack duration, and the
+// source-distribution feature A^s.
+func RunComparison(env *Env, nFamilies int) ([]ComparisonRow, error) {
+	if nFamilies < 1 {
+		nFamilies = 5
+	}
+	fams := env.Dataset.Families()
+	if len(fams) > nFamilies {
+		fams = fams[:nFamilies]
+	}
+	var rows []ComparisonRow
+	for _, fam := range fams {
+		attacks := env.Dataset.ByFamily(fam)
+		if len(attacks) < 40 {
+			continue
+		}
+		featureSeries := map[string][]float64{
+			FeatureMagnitude:  features.MagnitudeSeries(attacks),
+			FeatureDuration:   features.DurationSeries(attacks),
+			FeatureSourceDist: env.SD.Series(attacks),
+		}
+		for _, feat := range []string{FeatureMagnitude, FeatureDuration, FeatureSourceDist} {
+			series := featureSeries[feat]
+			train, test := timeseries.SplitFrac(series, 0.8)
+			row := ComparisonRow{Family: fam, Feature: feat, RMSE: make(map[string]float64)}
+			predictors := []core.SeriesPredictor{
+				&core.ARIMAPredictor{},
+				&core.NARPredictor{Delays: []int{2, 4}, Hidden: []int{4, 8}, Seed: env.Cfg.Seed + 3},
+				&core.AlwaysSame{},
+				&core.AlwaysMean{},
+			}
+			for _, p := range predictors {
+				_, rmse, err := core.WalkForward(p, cloneSeries(train), test)
+				if err != nil {
+					return nil, fmt.Errorf("eval: comparison %s/%s/%s: %w", fam, feat, p.Name(), err)
+				}
+				row.RMSE[p.Name()] = rmse
+			}
+			best := ""
+			for name, v := range row.RMSE {
+				if best == "" || v < row.RMSE[best] {
+					best = name
+				}
+			}
+			row.Winner = best
+			rows = append(rows, row)
+		}
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("eval: comparison: no family with enough attacks")
+	}
+	return rows, nil
+}
+
+// cloneSeries guards predictors that might mutate their training input.
+func cloneSeries(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	copy(out, xs)
+	return out
+}

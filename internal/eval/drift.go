@@ -1,0 +1,163 @@
+package eval
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/astopo"
+	"repro/internal/botnet"
+	"repro/internal/core"
+	"repro/internal/features"
+	"repro/internal/stats"
+)
+
+// DriftResult quantifies model adaptation to a botnet infrastructure
+// takedown: mid-trace the family loses its primary home AS (the bots
+// re-recruit elsewhere, §II-B's recruiting/dormancy dynamics), the
+// walk-forward source-share prediction error spikes, and the model
+// re-converges as updates arrive. Static models — the paper's critique of
+// prior work — never recover.
+type DriftResult struct {
+	Family      string
+	LostAS      astopo.AS
+	TakedownIdx int // attack index of the takedown
+
+	// Mean absolute share-prediction error before the takedown, at the
+	// spike (the window right after), and after re-convergence.
+	PreErr, SpikeErr, PostErr float64
+	// RecoverySteps is how many attacks after the takedown the rolling
+	// error needed to fall back under 2x the pre-takedown level (-1 if it
+	// never did).
+	RecoverySteps int
+	// StaticPostErr is the error of a never-updated predictor (the mean
+	// of the pre-takedown shares) over the post window, for contrast.
+	StaticPostErr float64
+}
+
+// RunDrift builds a world with a takedown injected at 55% of the horizon
+// for the most active family and measures walk-forward adaptation of the
+// NAR share predictor for the lost AS.
+func RunDrift(cfg Config) (*DriftResult, error) {
+	cfg = cfg.withDefaults()
+	topo, err := astopo.Synthesize(cfg.Topology)
+	if err != nil {
+		return nil, fmt.Errorf("eval: drift: %w", err)
+	}
+	profiles := botnet.ScaleProfiles(botnet.DefaultFamilies(), cfg.Scale)
+	const famName = "DirtJumper" // most active; most data around the event
+	day := cfg.HorizonDays * 55 / 100
+	ds, err := botnet.Simulate(botnet.SimConfig{
+		Families:    profiles,
+		Topology:    topo,
+		HorizonDays: cfg.HorizonDays,
+		Takedowns:   []botnet.Takedown{{Family: famName, Day: day}},
+		Seed:        cfg.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("eval: drift: %w", err)
+	}
+	paths := topo.EmitRouteTable(cfg.Vantages, cfg.Seed+1)
+	sd := &features.SourceDist{
+		IPMap:  topo.IPMap,
+		Oracle: astopo.NewDistanceOracle(astopo.InferRelationships(paths, astopo.InferConfig{})),
+	}
+
+	attacks := ds.ByFamily(famName)
+	if len(attacks) < 200 {
+		return nil, errors.New("eval: drift: family too small at this scale")
+	}
+	// The lost AS is the dominant pre-takedown source.
+	cut := attacks[0].Start.AddDate(0, 0, day)
+	var pre []int
+	for i := range attacks {
+		if attacks[i].Start.Before(cut) {
+			pre = append(pre, i)
+		}
+	}
+	if len(pre) < 100 || len(pre) > len(attacks)-50 {
+		return nil, errors.New("eval: drift: takedown too close to an edge")
+	}
+	preAttacks := attacks[:len(pre)]
+	top := sd.TopSourceASes(preAttacks, 1)
+	if len(top) == 0 {
+		return nil, errors.New("eval: drift: no mapped sources")
+	}
+	lost := top[0]
+	series := sd.ShareSeries(attacks, lost)
+	tdIdx := len(pre)
+
+	// Walk-forward NAR fitted on the first half of the pre window and
+	// periodically re-estimated on a trailing window — weight updates are
+	// what lets the model follow a regime change (a fixed network can
+	// only interpolate the regimes it was trained on).
+	const (
+		refitEvery  = 50
+		refitWindow = 300
+	)
+	fitLen := tdIdx / 2
+	pred := &core.NARPredictor{Delays: []int{2, 4}, Hidden: []int{4, 8}, Seed: cfg.Seed + 17}
+	if err := pred.Fit(series[:fitLen]); err != nil {
+		return nil, fmt.Errorf("eval: drift: %w", err)
+	}
+	absErr := make([]float64, 0, len(series)-fitLen)
+	for step, x := range series[fitLen:] {
+		p, err := pred.PredictNext()
+		if err != nil {
+			return nil, err
+		}
+		absErr = append(absErr, math.Abs(p-x))
+		pred.Update(x)
+		if (step+1)%refitEvery == 0 {
+			end := fitLen + step + 1
+			start := end - refitWindow
+			if start < 0 {
+				start = 0
+			}
+			// Re-estimate on the trailing window; keep the old model when
+			// the window is degenerate.
+			fresh := &core.NARPredictor{Delays: []int{2, 4}, Hidden: []int{4, 8}, Seed: cfg.Seed + 17 + uint64(step)}
+			if err := fresh.Fit(series[start:end]); err == nil {
+				pred = fresh
+			}
+		}
+	}
+	rel := tdIdx - fitLen // takedown position within absErr
+
+	res := &DriftResult{Family: famName, LostAS: lost, TakedownIdx: tdIdx}
+	res.PreErr = stats.Mean(absErr[:rel])
+	spikeEnd := rel + 30
+	if spikeEnd > len(absErr) {
+		spikeEnd = len(absErr)
+	}
+	res.SpikeErr = stats.Mean(absErr[rel:spikeEnd])
+	if spikeEnd < len(absErr) {
+		res.PostErr = stats.Mean(absErr[len(absErr)-(len(absErr)-spikeEnd)/2:])
+	} else {
+		res.PostErr = res.SpikeErr
+	}
+
+	// Recovery: first post-takedown index where the trailing-25 rolling
+	// mean error drops under 2x the pre level.
+	res.RecoverySteps = -1
+	const win = 25
+	for i := rel + win; i < len(absErr); i++ {
+		if stats.Mean(absErr[i-win:i]) < 2*res.PreErr {
+			res.RecoverySteps = i - rel
+			break
+		}
+	}
+
+	// Static contrast: predict the pre-takedown mean share forever.
+	static := stats.Mean(series[:tdIdx])
+	var sum float64
+	n := 0
+	for _, x := range series[tdIdx:] {
+		sum += math.Abs(static - x)
+		n++
+	}
+	if n > 0 {
+		res.StaticPostErr = sum / float64(n)
+	}
+	return res, nil
+}

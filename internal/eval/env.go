@@ -1,0 +1,88 @@
+// Package eval is the experiment harness: it builds the synthetic world
+// (topology + verified-attack dataset), runs one experiment per table and
+// figure of the paper's evaluation, and renders text versions of the
+// figures. Each Run* function corresponds to a row of the per-experiment
+// index in DESIGN.md.
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/astopo"
+	"repro/internal/botnet"
+	"repro/internal/features"
+	"repro/internal/trace"
+)
+
+// Config sizes the synthetic world.
+type Config struct {
+	// Seed drives all randomness; identical seeds reproduce every number.
+	Seed uint64
+	// Scale multiplies the Table I attack volumes (1.0 = paper-size,
+	// ~45-50k attacks). Smaller scales are for tests and quick runs.
+	Scale float64
+	// HorizonDays is the observation window (default 220, the paper's
+	// seven months).
+	HorizonDays int
+	// Topology sizing; zero values take astopo defaults.
+	Topology astopo.SynthConfig
+	// Vantages is the number of route-collection vantage points used for
+	// the Gao inference (default 15).
+	Vantages int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale <= 0 || c.Scale > 1 {
+		c.Scale = 1
+	}
+	if c.HorizonDays < 1 {
+		c.HorizonDays = 220
+	}
+	if c.Vantages < 1 {
+		c.Vantages = 15
+	}
+	if c.Topology.Seed == 0 {
+		c.Topology.Seed = c.Seed
+	}
+	return c
+}
+
+// Env is the generated world shared by all experiments.
+type Env struct {
+	Cfg      Config
+	Topo     *astopo.Topology
+	Dataset  *trace.Dataset
+	Inferred *astopo.Graph
+	// SD computes source-distribution features over the *inferred*
+	// relationships, exactly as the paper's tool does over Route Views
+	// tables (the ground-truth graph is never given to the models).
+	SD *features.SourceDist
+}
+
+// BuildEnv synthesizes the topology, generates the verified-attack
+// dataset, emits routing tables, and runs the Gao inference — the full
+// data pipeline of §II–§III.
+func BuildEnv(cfg Config) (*Env, error) {
+	cfg = cfg.withDefaults()
+	topo, err := astopo.Synthesize(cfg.Topology)
+	if err != nil {
+		return nil, fmt.Errorf("eval: topology: %w", err)
+	}
+	profiles := botnet.ScaleProfiles(botnet.DefaultFamilies(), cfg.Scale)
+	ds, err := botnet.Simulate(botnet.SimConfig{
+		Families:    profiles,
+		Topology:    topo,
+		HorizonDays: cfg.HorizonDays,
+		Seed:        cfg.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("eval: simulate: %w", err)
+	}
+	paths := topo.EmitRouteTable(cfg.Vantages, cfg.Seed+1)
+	inferred := astopo.InferRelationships(paths, astopo.InferConfig{})
+	sd := &features.SourceDist{
+		IPMap:  topo.IPMap,
+		Oracle: astopo.NewDistanceOracle(inferred),
+	}
+	return &Env{Cfg: cfg, Topo: topo, Dataset: ds, Inferred: inferred, SD: sd}, nil
+}

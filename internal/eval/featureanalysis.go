@@ -1,0 +1,153 @@
+package eval
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/features"
+	"repro/internal/stats"
+	"repro/internal/timeseries"
+	"repro/internal/trace"
+)
+
+// FeatureAnalysis reproduces the §III-A/§III-B feature study for one
+// family: the inter-launching-time CDF that motivates the paper's
+// 30 s–24 h multistage window, the multistage chain statistics, and the
+// walk-forward predictability of the three temporal-model variables
+// (A^f, A^b, A^s of Eqs. 1–3).
+type FeatureAnalysis struct {
+	Family string
+
+	// Inter-launching times between consecutive attacks on the same
+	// target (seconds): selected CDF quantiles and the fraction captured
+	// by the paper's multistage window.
+	InterLaunchQuantiles map[string]float64
+	WindowCoverage       float64
+
+	// Multistage chains under the 30 s–24 h linking rule.
+	Chains         int
+	MeanChainLen   float64
+	LongestChain   int
+	MultistageFrac float64 // fraction of attacks belonging to a chain of length >= 2
+
+	// Walk-forward one-step RMSE of ARIMA vs the Always Mean baseline on
+	// the three temporal feature series.
+	AFModelRMSE, AFMeanRMSE float64
+	ABModelRMSE, ABMeanRMSE float64
+	ASModelRMSE, ASMeanRMSE float64
+}
+
+// RunFeatureAnalysis computes the feature study for the given families
+// (default: the Figure 1 trio).
+func RunFeatureAnalysis(env *Env, families []string) ([]FeatureAnalysis, error) {
+	if len(families) == 0 {
+		families = Figure1Families
+	}
+	out := make([]FeatureAnalysis, 0, len(families))
+	for _, fam := range families {
+		fa, err := analyzeFamily(env, fam)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, *fa)
+	}
+	return out, nil
+}
+
+func analyzeFamily(env *Env, fam string) (*FeatureAnalysis, error) {
+	attacks := env.Dataset.ByFamily(fam)
+	if len(attacks) < 40 {
+		return nil, fmt.Errorf("eval: feature analysis: family %s has only %d attacks", fam, len(attacks))
+	}
+	fa := &FeatureAnalysis{Family: fam}
+
+	// Per-target inter-launch times.
+	byTarget := make(map[uint32][]trace.Attack)
+	for i := range attacks {
+		key := uint32(attacks[i].TargetIP)
+		byTarget[key] = append(byTarget[key], attacks[i])
+	}
+	var gaps []float64
+	var chains, chained, longest int
+	var chainLenSum int
+	for _, group := range byTarget {
+		gaps = append(gaps, features.InterLaunchTimes(group)...)
+		for _, chain := range features.MultistageChains(group) {
+			chains++
+			chainLenSum += len(chain)
+			if len(chain) > longest {
+				longest = len(chain)
+			}
+			if len(chain) >= 2 {
+				chained += len(chain)
+			}
+		}
+	}
+	if len(gaps) == 0 {
+		return nil, fmt.Errorf("eval: feature analysis: family %s has no repeat targets", fam)
+	}
+	ecdf := stats.NewECDF(gaps)
+	fa.InterLaunchQuantiles = map[string]float64{
+		"p10": ecdf.Quantile(0.10),
+		"p50": ecdf.Quantile(0.50),
+		"p90": ecdf.Quantile(0.90),
+		"p99": ecdf.Quantile(0.99),
+	}
+	lo := features.MultistageMin.Seconds()
+	hi := features.MultistageMax.Seconds()
+	fa.WindowCoverage = ecdf.Eval(hi) - ecdf.Eval(lo)
+	fa.Chains = chains
+	if chains > 0 {
+		fa.MeanChainLen = float64(chainLenSum) / float64(chains)
+	}
+	fa.LongestChain = longest
+	fa.MultistageFrac = float64(chained) / float64(len(attacks))
+
+	// Predictability of the three temporal variables.
+	af := features.AFSeries(attacks)
+	reports := trace.GenerateReports(env.Dataset, fam)
+	ab := features.ABSeries(reports)
+	as := env.SD.Series(capSeriesAttacks(attacks, 800))
+	var err error
+	if fa.AFModelRMSE, fa.AFMeanRMSE, err = modelVsMean(af); err != nil {
+		return nil, fmt.Errorf("eval: feature analysis %s A^f: %w", fam, err)
+	}
+	if fa.ABModelRMSE, fa.ABMeanRMSE, err = modelVsMean(ab); err != nil {
+		return nil, fmt.Errorf("eval: feature analysis %s A^b: %w", fam, err)
+	}
+	if fa.ASModelRMSE, fa.ASMeanRMSE, err = modelVsMean(as); err != nil {
+		return nil, fmt.Errorf("eval: feature analysis %s A^s: %w", fam, err)
+	}
+	return fa, nil
+}
+
+// modelVsMean walks an ARIMA and the Always Mean baseline forward over the
+// series' 20% test suffix.
+func modelVsMean(series []float64) (model, mean float64, err error) {
+	if len(series) < 30 {
+		return 0, 0, fmt.Errorf("series too short (%d)", len(series))
+	}
+	train, test := timeseries.SplitFrac(series, 0.8)
+	_, model, err = core.WalkForward(&core.ARIMAPredictor{}, train, test)
+	if err != nil {
+		return 0, 0, err
+	}
+	_, mean, err = core.WalkForward(&core.AlwaysMean{}, train, test)
+	return model, mean, err
+}
+
+// capSeriesAttacks bounds the A^s computation (pairwise hop distances per
+// attack) on very large families.
+func capSeriesAttacks(attacks []trace.Attack, maxLen int) []trace.Attack {
+	if len(attacks) > maxLen {
+		return attacks[len(attacks)-maxLen:]
+	}
+	return attacks
+}
+
+// FormatDuration renders a gap in seconds human-readably for the CDF
+// printout.
+func FormatDuration(sec float64) string {
+	return time.Duration(sec * float64(time.Second)).Round(time.Minute).String()
+}

@@ -1,0 +1,155 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/astopo"
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/timeseries"
+	"repro/internal/trace"
+)
+
+// Figure2Result reproduces one subfigure of Figure 2 for a family: the
+// ground-truth attacker ASN distribution over the test window versus the
+// spatial model's predicted distribution, plus the per-prediction share
+// errors.
+type Figure2Result struct {
+	Family string
+	// ASes are the top source ASes, descending by ground-truth share.
+	ASes []astopo.AS
+	// TruthShare and PredShare align with ASes (both renormalized).
+	TruthShare []float64
+	PredShare  []float64
+	// Errors are the individual share prediction errors across all
+	// (target network, source AS) walk-forward steps.
+	Errors []float64
+	RMSE   float64
+}
+
+// RunFigure2 reproduces Figure 2 (prediction of attacking source
+// distributions). Per the paper (§V-B), attacks are first split by the
+// target's ASN; within each network the chronologically ordered per-source-
+// AS share series is modeled with the NAR network and evaluated
+// walk-forward on the 20% test suffix.
+func RunFigure2(env *Env, families []string, topK int) ([]Figure2Result, error) {
+	if len(families) == 0 {
+		families = Figure1Families
+	}
+	if topK < 1 {
+		topK = 5
+	}
+	out := make([]Figure2Result, 0, len(families))
+	for _, fam := range families {
+		res, err := runFigure2Family(env, fam, topK)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, *res)
+	}
+	return out, nil
+}
+
+func runFigure2Family(env *Env, fam string, topK int) (*Figure2Result, error) {
+	attacks := env.Dataset.ByFamily(fam)
+	if len(attacks) < 30 {
+		return nil, fmt.Errorf("eval: figure 2: family %s has only %d attacks", fam, len(attacks))
+	}
+	srcASes := env.SD.TopSourceASes(attacks, topK)
+	if len(srcASes) == 0 {
+		return nil, fmt.Errorf("eval: figure 2: family %s has no mapped sources", fam)
+	}
+
+	// Group by target network.
+	byAS := make(map[astopo.AS][]trace.Attack)
+	for i := range attacks {
+		byAS[attacks[i].TargetAS] = append(byAS[attacks[i].TargetAS], attacks[i])
+	}
+	targetASes := make([]astopo.AS, 0, len(byAS))
+	for as := range byAS {
+		targetASes = append(targetASes, as)
+	}
+	sort.Slice(targetASes, func(i, j int) bool { return targetASes[i] < targetASes[j] })
+
+	truthSum := make(map[astopo.AS]float64)
+	predSum := make(map[astopo.AS]float64)
+	var errs []float64
+	var nSteps int
+	// Cap the per-network series length to bound NAR training cost on very
+	// active networks (the recent window carries the relevant dynamics).
+	const maxSeriesLen = 400
+	for _, tgtAS := range targetASes {
+		group := byAS[tgtAS]
+		if len(group) < 25 {
+			continue
+		}
+		if len(group) > maxSeriesLen {
+			group = group[len(group)-maxSeriesLen:]
+		}
+		for _, src := range srcASes {
+			series := env.SD.ShareSeries(group, src)
+			train, test := timeseries.SplitFrac(series, 0.8)
+			if len(test) == 0 {
+				continue
+			}
+			preds, _, err := core.WalkForward(
+				&core.NARPredictor{Delays: []int{2, 4}, Hidden: []int{4, 8}, Seed: env.Cfg.Seed + uint64(src)},
+				train, test,
+			)
+			if err != nil {
+				// Degenerate series (e.g. constant zero share): fall back
+				// to the last training value.
+				preds = make([]float64, len(test))
+				if len(train) > 0 {
+					for i := range preds {
+						preds[i] = train[len(train)-1]
+					}
+				}
+			}
+			for i := range test {
+				p := preds[i]
+				if p < 0 {
+					p = 0
+				}
+				if p > 1 {
+					p = 1
+				}
+				truthSum[src] += test[i]
+				predSum[src] += p
+				errs = append(errs, p-test[i])
+			}
+			nSteps += len(test)
+		}
+	}
+	if nSteps == 0 {
+		return nil, fmt.Errorf("eval: figure 2: family %s has no network with enough attacks", fam)
+	}
+
+	// Build aligned, renormalized distributions.
+	sort.Slice(srcASes, func(i, j int) bool { return truthSum[srcASes[i]] > truthSum[srcASes[j]] })
+	var truthTotal, predTotal float64
+	for _, as := range srcASes {
+		truthTotal += truthSum[as]
+		predTotal += predSum[as]
+	}
+	res := &Figure2Result{Family: fam, ASes: srcASes, Errors: errs}
+	for _, as := range srcASes {
+		t, p := 0.0, 0.0
+		if truthTotal > 0 {
+			t = truthSum[as] / truthTotal
+		}
+		if predTotal > 0 {
+			p = predSum[as] / predTotal
+		}
+		res.TruthShare = append(res.TruthShare, t)
+		res.PredShare = append(res.PredShare, p)
+	}
+	zeros := make([]float64, len(errs))
+	rmse, err := stats.RMSE(errs, zeros)
+	if err != nil {
+		return nil, err
+	}
+	res.RMSE = rmse
+	return res, nil
+}

@@ -1,0 +1,109 @@
+package eval
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sdn"
+	"repro/internal/trace"
+)
+
+// PipelineExperiment is the end-to-end defense-loop experiment: the
+// entropy detector spots a replayed flood, the controller installs rules
+// from the model's predicted source distribution, and the replay measures
+// detection latency and how much attack traffic got through — with
+// model-predicted rules versus rules from a stale single-attack snapshot.
+type PipelineExperiment struct {
+	Family string
+	// Predictive / Reactive are the replay results with model-predicted
+	// rules and with last-attack-snapshot rules respectively.
+	Predictive *sdn.PipelineResult
+	Reactive   *sdn.PipelineResult
+	// PredictiveScrubRate / ReactiveScrubRate are post-mitigation scrub
+	// fractions.
+	PredictiveScrubRate float64
+	ReactiveScrubRate   float64
+}
+
+// RunDefensePipeline replays the most recent test-window attack of the
+// most active family through two defense pipelines.
+func RunDefensePipeline(env *Env, seed uint64) (*PipelineExperiment, error) {
+	fams := env.Dataset.Families()
+	if len(fams) == 0 {
+		return nil, fmt.Errorf("eval: pipeline: empty dataset")
+	}
+	fam := fams[0]
+	attacks := env.Dataset.ByFamily(fam)
+	if len(attacks) < 30 {
+		return nil, fmt.Errorf("eval: pipeline: family %s too small", fam)
+	}
+	nTrain := 8 * len(attacks) / 10
+	train, test := attacks[:nTrain], attacks[nTrain:]
+
+	// Model prediction: aggregate source shares over the most recent
+	// training attacks (bot pools churn daily, so an older window goes
+	// stale). Reactive baseline: the single most recent training attack —
+	// an unbiased but high-variance snapshot.
+	predWindow := 20
+	if predWindow > len(train) {
+		predWindow = len(train)
+	}
+	predicted := toShares(env, train[len(train)-predWindow:])
+	reactive := toShares(env, train[len(train)-1:])
+
+	// The replayed flood: the actual source mix of the last test attack.
+	last := test[len(test)-1]
+	actual := toShares(env, test[len(test)-1:])
+	if len(actual) == 0 {
+		return nil, fmt.Errorf("eval: pipeline: replay attack has no mapped sources")
+	}
+	profile := sdn.AttackProfile{
+		Sources:  actual,
+		Rate:     100,
+		Duration: time.Duration(last.DurationSec * float64(time.Second)),
+	}
+	if profile.Duration < 2*time.Minute {
+		profile.Duration = 2 * time.Minute
+	}
+	if profile.Duration > 20*time.Minute {
+		profile.Duration = 20 * time.Minute
+	}
+	benign := env.Topo.Stubs
+
+	exp := &PipelineExperiment{Family: fam}
+	for i, rules := range [][]sdn.PredictedShare{predicted, reactive} {
+		p, err := sdn.NewPipeline(sdn.PipelineConfig{
+			Predicted:  rules,
+			BenignASes: benign,
+			Seed:       seed + uint64(i),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("eval: pipeline: %w", err)
+		}
+		res, err := p.Replay(profile)
+		if err != nil {
+			return nil, fmt.Errorf("eval: pipeline replay: %w", err)
+		}
+		rate := 0.0
+		if post := res.ScrubbedConns + res.LeakedConns; post > 0 {
+			rate = float64(res.ScrubbedConns) / float64(post)
+		}
+		if i == 0 {
+			exp.Predictive, exp.PredictiveScrubRate = res, rate
+		} else {
+			exp.Reactive, exp.ReactiveScrubRate = res, rate
+		}
+	}
+	return exp, nil
+}
+
+// toShares converts a window of attacks into an aggregate source-AS share
+// list for rule installation.
+func toShares(env *Env, attacks []trace.Attack) []sdn.PredictedShare {
+	agg := env.SD.AggregateShares(attacks)
+	out := make([]sdn.PredictedShare, len(agg))
+	for i, s := range agg {
+		out[i] = sdn.PredictedShare{AS: s.AS, Share: s.Share}
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Rendering helpers: text versions of the paper's figures for terminal
+// output and EXPERIMENTS.md.
+
+// sparkRunes are eight quantization levels for inline series plots.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders a numeric series as a compact unicode strip,
+// downsampling to at most width points (0 = no limit).
+func Sparkline(xs []float64, width int) string {
+	if len(xs) == 0 {
+		return ""
+	}
+	if width > 0 && len(xs) > width {
+		xs = downsample(xs, width)
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	span := hi - lo
+	var b strings.Builder
+	for _, x := range xs {
+		idx := 0
+		if span > 0 {
+			idx = int((x - lo) / span * float64(len(sparkRunes)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkRunes) {
+			idx = len(sparkRunes) - 1
+		}
+		b.WriteRune(sparkRunes[idx])
+	}
+	return b.String()
+}
+
+func downsample(xs []float64, width int) []float64 {
+	out := make([]float64, width)
+	for i := 0; i < width; i++ {
+		lo := i * len(xs) / width
+		hi := (i + 1) * len(xs) / width
+		if hi <= lo {
+			hi = lo + 1
+		}
+		var s float64
+		for _, v := range xs[lo:hi] {
+			s += v
+		}
+		out[i] = s / float64(hi-lo)
+	}
+	return out
+}
+
+// BarChart renders labeled horizontal bars scaled to maxWidth characters.
+func BarChart(labels []string, values []float64, maxWidth int) string {
+	if len(labels) != len(values) || len(labels) == 0 {
+		return ""
+	}
+	if maxWidth < 4 {
+		maxWidth = 40
+	}
+	var max float64
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	labelWidth := 0
+	for _, l := range labels {
+		if len(l) > labelWidth {
+			labelWidth = len(l)
+		}
+	}
+	var b strings.Builder
+	for i, l := range labels {
+		n := 0
+		if max > 0 {
+			n = int(math.Round(values[i] / max * float64(maxWidth)))
+		}
+		fmt.Fprintf(&b, "%-*s |%s %.4g\n", labelWidth, l, strings.Repeat("#", n), values[i])
+	}
+	return b.String()
+}
+
+// HistString renders an integer histogram (e.g. hour-of-day counts) as a
+// two-row label/spark display.
+func HistString(counts []int, firstLabel int) string {
+	xs := make([]float64, len(counts))
+	for i, c := range counts {
+		xs[i] = float64(c)
+	}
+	return fmt.Sprintf("[%d..%d] %s", firstLabel, firstLabel+len(counts)-1, Sparkline(xs, 0))
+}

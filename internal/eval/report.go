@@ -1,0 +1,145 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report runs every experiment on the environment and renders a
+// self-contained markdown document — the machine-generated counterpart of
+// EXPERIMENTS.md for an arbitrary seed and scale
+// (cmd/ddosrepro -md FILE writes it).
+func Report(env *Env) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Reproduction report\n\n")
+	fmt.Fprintf(&b, "Seed %d, scale %.2f, horizon %d days — %d verified attacks, %d families, %d inferred ASes.\n\n",
+		env.Cfg.Seed, env.Cfg.Scale, env.Cfg.HorizonDays,
+		env.Dataset.Len(), len(env.Dataset.Families()), env.Inferred.Len())
+
+	reportTable1(&b, env)
+	if err := reportFigure1(&b, env); err != nil {
+		return "", err
+	}
+	if err := reportFigure2(&b, env); err != nil {
+		return "", err
+	}
+	if err := reportFigure34(&b, env); err != nil {
+		return "", err
+	}
+	if err := reportComparison(&b, env); err != nil {
+		return "", err
+	}
+	if err := reportFigure5(&b, env); err != nil {
+		return "", err
+	}
+	if err := reportAblation(&b, env); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+func reportTable1(b *strings.Builder, env *Env) {
+	fmt.Fprintf(b, "## Table I — activity level of bots\n\n")
+	fmt.Fprintf(b, "| Family | Avg#/Day | Active days | CV | paper Avg | paper days | paper CV |\n")
+	fmt.Fprintf(b, "|---|---|---|---|---|---|---|\n")
+	for _, r := range RunTable1(env) {
+		fmt.Fprintf(b, "| %s | %.2f | %d | %.2f | %.2f | %d | %.2f |\n",
+			r.Family, r.AvgPerDay, r.ActiveDays, r.CV,
+			r.PaperAvgPerDay, r.PaperActiveDays, r.PaperCV)
+	}
+	fmt.Fprintln(b)
+}
+
+func reportFigure1(b *strings.Builder, env *Env) error {
+	series, err := RunFigure1(env, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(b, "## Figure 1 — temporal prediction of attacking magnitudes\n\n")
+	fmt.Fprintf(b, "| Family | n | ARIMA RMSE | Always-Same RMSE | Ljung–Box p |\n|---|---|---|---|---|\n")
+	for _, s := range series {
+		fmt.Fprintf(b, "| %s | %d | %.2f | %.2f | %.2f |\n",
+			s.Family, len(s.Truth), s.RMSE, s.NaiveRMSE, s.GoFP)
+	}
+	fmt.Fprintln(b)
+	return nil
+}
+
+func reportFigure2(b *strings.Builder, env *Env) error {
+	results, err := RunFigure2(env, nil, 5)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(b, "## Figure 2 — spatial prediction of attacking source distributions\n\n")
+	for _, r := range results {
+		fmt.Fprintf(b, "**%s** (share RMSE %.4f over %d steps)\n\n", r.Family, r.RMSE, len(r.Errors))
+		fmt.Fprintf(b, "| Source AS | truth | predicted |\n|---|---|---|\n")
+		for i, as := range r.ASes {
+			fmt.Fprintf(b, "| AS%d | %.3f | %.3f |\n", as, r.TruthShare[i], r.PredShare[i])
+		}
+		fmt.Fprintln(b)
+	}
+	return nil
+}
+
+func reportFigure34(b *strings.Builder, env *Env) error {
+	res, err := RunFigure34(env, Figure34Config{})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(b, "## Figures 3 & 4 — spatiotemporal timestamp predictions\n\n")
+	fmt.Fprintf(b, "%d target-specific next-attack predictions.\n\n", res.N)
+	fmt.Fprintf(b, "| Model | hour RMSE | day RMSE | KS(hour) | KS(day) |\n|---|---|---|---|---|\n")
+	for _, m := range []string{ModelSpatial, ModelTemporal, ModelSpatiotemporal} {
+		fmt.Fprintf(b, "| %s | %.2f | %.2f | %.3f | %.3f |\n",
+			m, res.HourRMSE[m], res.DayRMSE[m], res.HourKS[m], res.DayKS[m])
+	}
+	fmt.Fprintf(b, "\nPaper reference: hour 5.0 / 3.82 / 1.85 h; day 5.17 / – / 2.72 d.\n\n")
+	return nil
+}
+
+func reportComparison(b *strings.Builder, env *Env) error {
+	rows, err := RunComparison(env, 5)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(b, "## §VII-A — models vs simple baselines (RMSE)\n\n")
+	fmt.Fprintf(b, "| Family | Feature | ARIMA | NAR | Always Same | Always Mean | winner |\n|---|---|---|---|---|---|---|\n")
+	for _, r := range rows {
+		fmt.Fprintf(b, "| %s | %s | %.4g | %.4g | %.4g | %.4g | %s |\n",
+			r.Family, r.Feature,
+			r.RMSE["Temporal(ARIMA)"], r.RMSE["Spatial(NAR)"],
+			r.RMSE["AlwaysSame"], r.RMSE["AlwaysMean"], r.Winner)
+	}
+	fmt.Fprintln(b)
+	return nil
+}
+
+func reportFigure5(b *strings.Builder, env *Env) error {
+	res, err := RunFigure5(env, Figure5Config{})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(b, "## Figure 5 — use cases\n\n")
+	fmt.Fprintf(b, "Family %s, %d test attacks.\n\n", res.Family, res.Attacks)
+	fmt.Fprintf(b, "- AS-based filtering: predictive recall %.2f (collateral %.2f, %d rules) vs reactive %.2f (collateral %.2f, %d rules)\n",
+		res.PredictiveFiltering.Recall, res.PredictiveFiltering.Collateral, res.PredictiveFiltering.Rules,
+		res.ReactiveFiltering.Recall, res.ReactiveFiltering.Collateral, res.ReactiveFiltering.Rules)
+	fmt.Fprintf(b, "- Middlebox traversal: proactive %.0f%%, reactive %.0f%% of attacks met firewall-first\n\n",
+		100*res.ProactiveProtected, 100*res.ReactiveProtected)
+	return nil
+}
+
+func reportAblation(b *strings.Builder, env *Env) error {
+	rows, err := RunAblation(env, Figure34Config{})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(b, "## Ablations — §VI design choices\n\n")
+	fmt.Fprintf(b, "| Variant | hour RMSE | day RMSE | hour-tree leaves |\n|---|---|---|---|\n")
+	for _, r := range rows {
+		fmt.Fprintf(b, "| %s | %.2f | %.2f | %d |\n", r.Variant, r.HourRMSE, r.DayRMSE, r.HourLeaves)
+	}
+	fmt.Fprintln(b)
+	return nil
+}

@@ -1,0 +1,75 @@
+package eval
+
+import (
+	"repro/internal/features"
+)
+
+// Table1Row pairs the measured activity level of one family with the
+// paper's reported values.
+type Table1Row struct {
+	Family          string
+	AvgPerDay       float64
+	ActiveDays      int
+	CV              float64
+	PaperAvgPerDay  float64
+	PaperActiveDays int
+	PaperCV         float64
+}
+
+// paperTable1 holds the values reported in Table I of the paper.
+var paperTable1 = map[string][3]float64{
+	"AldiBot":     {1.29, 204, 0.77},
+	"BlackEnergy": {5.93, 220, 0.82},
+	"Colddeath":   {7.52, 118, 1.53},
+	"Darkshell":   {9.98, 210, 1.14},
+	"DDoSer":      {2.13, 211, 0.84},
+	"DirtJumper":  {144.30, 220, 0.77},
+	"Nitol":       {2.91, 208, 1.05},
+	"Optima":      {3.19, 220, 0.90},
+	"Pandora":     {40.08, 165, 1.27},
+	"YZF":         {6.28, 72, 1.41},
+}
+
+// RunTable1 computes Table I (activity level of bots) on the generated
+// dataset and attaches the paper's reference values.
+func RunTable1(env *Env) []Table1Row {
+	levels := features.ActivityLevels(env.Dataset)
+	rows := make([]Table1Row, 0, len(levels))
+	for _, l := range levels {
+		r := Table1Row{
+			Family:     l.Family,
+			AvgPerDay:  l.AvgPerDay,
+			ActiveDays: l.ActiveDays,
+			CV:         l.CV,
+		}
+		if p, ok := paperTable1[l.Family]; ok {
+			r.PaperAvgPerDay = p[0]
+			r.PaperActiveDays = int(p[1])
+			r.PaperCV = p[2]
+		}
+		rows = append(rows, r)
+	}
+	return rows
+}
+
+// Table2Row documents one modeling variable (Table II of the paper).
+type Table2Row struct {
+	Variable    string
+	Description string
+}
+
+// RunTable2 returns the paper's variable inventory (Table II), wired to
+// the code that realizes each variable.
+func RunTable2() []Table2Row {
+	return []Table2Row{
+		{Variable: "A^f_{t_i}", Description: "Botnet activity (attacks/day so far) — features.AFSeries, Eq. 1"},
+		{Variable: "A^b_{t_i}", Description: "Normalized currently-active bots — features.ABSeries, Eq. 2"},
+		{Variable: "A^s_{t_i}", Description: "Source-distribution compactness — features.SourceDist, Eqs. 3-4"},
+		{Variable: "T_l", Description: "Target geolocation (ASN) — trace.Attack.TargetAS"},
+		{Variable: "T^d_j", Description: "Attack duration (s) — trace.Attack.DurationSec"},
+		{Variable: "T^ts_j", Description: "Attack timestamp (day, hour) — trace.Attack.Day/Hour"},
+		{Variable: "(D^b_{t_i})_j", Description: "Predicted magnitude — core.Temporal/Spatiotemporal"},
+		{Variable: "(D^d_{t_i})_j", Description: "Predicted remaining duration — core.Spatial/Spatiotemporal"},
+		{Variable: "D^ts_{j+1}", Description: "Predicted next-attack timestamp — core.Spatiotemporal"},
+	}
+}

@@ -1,0 +1,177 @@
+// Package features implements the paper's feature analysis and extraction
+// (§III): bot magnitude series, activity levels (Table I), turnaround and
+// inter-launching times with multistage attack linking, the normalized
+// active-bot feature A^b (Eq. 2), the cumulative activity feature A^f
+// (Eq. 1), and the silhouette-style source-distribution feature A^s
+// (Eqs. 3–4) built on AS-level mapping and valley-free hop distances.
+package features
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/astopo"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// ActivityLevel is one row of Table I.
+type ActivityLevel struct {
+	Family     string
+	AvgPerDay  float64 // average number of attacks per active day
+	ActiveDays int     // number of days with at least one attack
+	CV         float64 // coefficient of variation of daily counts
+}
+
+// ActivityLevels computes Table I from a dataset: per family, the average
+// number of attacks per active day, the number of active days, and the CV
+// of the daily attack counts. Rows are ordered by family activity
+// (descending total attacks).
+func ActivityLevels(ds *trace.Dataset) []ActivityLevel {
+	out := make([]ActivityLevel, 0, 10)
+	for _, fam := range ds.Families() {
+		daily := DailyCounts(ds.ByFamily(fam))
+		out = append(out, ActivityLevel{
+			Family:     fam,
+			AvgPerDay:  stats.Mean(daily),
+			ActiveDays: len(daily),
+			CV:         stats.CV(daily),
+		})
+	}
+	return out
+}
+
+// DailyCounts returns the attack counts of the active days (days with at
+// least one attack) in chronological order.
+func DailyCounts(attacks []trace.Attack) []float64 {
+	counts := make(map[string]int)
+	var days []string
+	for i := range attacks {
+		d := attacks[i].Start.UTC().Format("2006-01-02")
+		if counts[d] == 0 {
+			days = append(days, d)
+		}
+		counts[d]++
+	}
+	sort.Strings(days)
+	out := make([]float64, len(days))
+	for i, d := range days {
+		out[i] = float64(counts[d])
+	}
+	return out
+}
+
+// MagnitudeSeries returns the bot magnitudes of the attacks in
+// chronological order — the time-series representation of §III-A1 that
+// Figure 1 predicts.
+func MagnitudeSeries(attacks []trace.Attack) []float64 {
+	out := make([]float64, len(attacks))
+	for i := range attacks {
+		out[i] = float64(attacks[i].Magnitude())
+	}
+	return out
+}
+
+// DurationSeries returns the attack durations (seconds) in chronological
+// order (the T^d_j inputs of the spatial model).
+func DurationSeries(attacks []trace.Attack) []float64 {
+	out := make([]float64, len(attacks))
+	for i := range attacks {
+		out[i] = attacks[i].DurationSec
+	}
+	return out
+}
+
+// HourSeries returns the hour-of-day of each attack, and DaySeries the
+// day-of-month — the T^ts decomposition of §III-B2.
+func HourSeries(attacks []trace.Attack) []float64 {
+	out := make([]float64, len(attacks))
+	for i := range attacks {
+		out[i] = float64(attacks[i].Hour())
+	}
+	return out
+}
+
+// DaySeries returns the day-of-month of each attack.
+func DaySeries(attacks []trace.Attack) []float64 {
+	out := make([]float64, len(attacks))
+	for i := range attacks {
+		out[i] = float64(attacks[i].Day())
+	}
+	return out
+}
+
+// InterLaunchTimes returns the times between consecutive attacks in
+// seconds (the waiting-time half of the turnaround feature, §III-A2).
+// The slice has len(attacks)-1 entries.
+func InterLaunchTimes(attacks []trace.Attack) []float64 {
+	if len(attacks) < 2 {
+		return nil
+	}
+	out := make([]float64, len(attacks)-1)
+	for i := 1; i < len(attacks); i++ {
+		out[i-1] = attacks[i].Start.Sub(attacks[i-1].Start).Seconds()
+	}
+	return out
+}
+
+// Multistage linking window per §III-A2: consecutive attacks on the same
+// target between 30 seconds and 24 hours apart form one multistage attack.
+const (
+	MultistageMin = 30 * time.Second
+	MultistageMax = 24 * time.Hour
+)
+
+// MultistageChains groups a target's chronological attacks into multistage
+// chains: runs of consecutive attacks whose inter-launching times fall in
+// [MultistageMin, MultistageMax]. Attacks launched closer than the minimum
+// (effectively simultaneous) or farther than the maximum break the chain.
+func MultistageChains(attacks []trace.Attack) [][]trace.Attack {
+	if len(attacks) == 0 {
+		return nil
+	}
+	var chains [][]trace.Attack
+	cur := []trace.Attack{attacks[0]}
+	for i := 1; i < len(attacks); i++ {
+		gap := attacks[i].Start.Sub(attacks[i-1].Start)
+		if gap >= MultistageMin && gap <= MultistageMax {
+			cur = append(cur, attacks[i])
+		} else {
+			chains = append(chains, cur)
+			cur = []trace.Attack{attacks[i]}
+		}
+	}
+	chains = append(chains, cur)
+	return chains
+}
+
+// AFSeries computes the activity-level feature A^f_{t_i} (Eq. 1): after
+// each attack, the cumulative number of the family's attacks divided by
+// the elapsed observation days. The series is indexed by attack.
+func AFSeries(attacks []trace.Attack) []float64 {
+	if len(attacks) == 0 {
+		return nil
+	}
+	t0 := attacks[0].Start
+	out := make([]float64, len(attacks))
+	for i := range attacks {
+		days := attacks[i].Start.Sub(t0).Hours()/24 + 1
+		out[i] = float64(i+1) / days
+	}
+	return out
+}
+
+// ABSeries computes the normalized active-bot feature A^b_{t_i} (Eq. 2)
+// from a family's hourly reports: the number of active bots divided by the
+// cumulative number of distinct bots observed up to that report.
+func ABSeries(reports []trace.HourlyReport) []float64 {
+	seen := make(map[astopo.IPv4]bool)
+	out := make([]float64, len(reports))
+	for i := range reports {
+		for _, b := range reports[i].ActiveBots {
+			seen[b] = true
+		}
+		out[i] = float64(len(reports[i].ActiveBots)) / float64(len(seen))
+	}
+	return out
+}

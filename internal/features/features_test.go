@@ -1,0 +1,248 @@
+package features
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/astopo"
+	"repro/internal/trace"
+)
+
+func mkAttack(id int, family string, start time.Time, dur float64, tgt astopo.IPv4, as astopo.AS, bots []astopo.IPv4) trace.Attack {
+	return trace.Attack{
+		ID: id, Family: family, Start: start, DurationSec: dur,
+		TargetIP: tgt, TargetAS: as, Bots: bots,
+	}
+}
+
+var base = time.Date(2012, 8, 1, 10, 0, 0, 0, time.UTC)
+
+func TestDailyCountsAndActivityLevels(t *testing.T) {
+	ds, err := trace.New([]trace.Attack{
+		mkAttack(1, "A", base, 60, 1, 1, []astopo.IPv4{1}),
+		mkAttack(2, "A", base.Add(2*time.Hour), 60, 1, 1, []astopo.IPv4{1}),
+		mkAttack(3, "A", base.Add(48*time.Hour), 60, 1, 1, []astopo.IPv4{1}),
+		mkAttack(4, "B", base.Add(time.Hour), 60, 2, 2, []astopo.IPv4{2, 3}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := DailyCounts(ds.ByFamily("A"))
+	if len(counts) != 2 || counts[0] != 2 || counts[1] != 1 {
+		t.Errorf("DailyCounts = %v, want [2 1]", counts)
+	}
+	levels := ActivityLevels(ds)
+	if len(levels) != 2 {
+		t.Fatalf("levels = %v", levels)
+	}
+	// Family A: 3 attacks over 2 active days -> avg 1.5.
+	if levels[0].Family != "A" || levels[0].AvgPerDay != 1.5 || levels[0].ActiveDays != 2 {
+		t.Errorf("A level = %+v", levels[0])
+	}
+	// CV of [2,1]: mean 1.5, sample std ~0.707 -> CV ~0.471.
+	if math.Abs(levels[0].CV-0.4714) > 0.001 {
+		t.Errorf("A CV = %v", levels[0].CV)
+	}
+}
+
+func TestSeriesExtractors(t *testing.T) {
+	attacks := []trace.Attack{
+		mkAttack(1, "A", base, 100, 1, 1, []astopo.IPv4{1, 2}),
+		mkAttack(2, "A", base.Add(90*time.Minute), 200, 1, 1, []astopo.IPv4{1, 2, 3}),
+	}
+	if got := MagnitudeSeries(attacks); got[0] != 2 || got[1] != 3 {
+		t.Errorf("MagnitudeSeries = %v", got)
+	}
+	if got := DurationSeries(attacks); got[0] != 100 || got[1] != 200 {
+		t.Errorf("DurationSeries = %v", got)
+	}
+	if got := HourSeries(attacks); got[0] != 10 || got[1] != 11 {
+		t.Errorf("HourSeries = %v", got)
+	}
+	if got := DaySeries(attacks); got[0] != 1 || got[1] != 1 {
+		t.Errorf("DaySeries = %v", got)
+	}
+	gaps := InterLaunchTimes(attacks)
+	if len(gaps) != 1 || gaps[0] != 5400 {
+		t.Errorf("InterLaunchTimes = %v", gaps)
+	}
+	if InterLaunchTimes(attacks[:1]) != nil {
+		t.Error("single attack should have no gaps")
+	}
+}
+
+func TestMultistageChains(t *testing.T) {
+	attacks := []trace.Attack{
+		mkAttack(1, "A", base, 10, 1, 1, nil),
+		mkAttack(2, "A", base.Add(time.Hour), 10, 1, 1, nil),                // within 24h -> same chain
+		mkAttack(3, "A", base.Add(time.Hour+10*time.Second), 10, 1, 1, nil), // < 30s gap -> breaks
+		mkAttack(4, "A", base.Add(50*time.Hour), 10, 1, 1, nil),             // > 24h -> breaks
+	}
+	chains := MultistageChains(attacks)
+	if len(chains) != 3 {
+		t.Fatalf("chains = %d, want 3", len(chains))
+	}
+	if len(chains[0]) != 2 {
+		t.Errorf("first chain = %d attacks, want 2", len(chains[0]))
+	}
+	if MultistageChains(nil) != nil {
+		t.Error("empty input should be nil")
+	}
+}
+
+func TestAFSeries(t *testing.T) {
+	attacks := []trace.Attack{
+		mkAttack(1, "A", base, 10, 1, 1, nil),
+		mkAttack(2, "A", base.Add(24*time.Hour), 10, 1, 1, nil),
+	}
+	af := AFSeries(attacks)
+	if len(af) != 2 {
+		t.Fatal("length")
+	}
+	// After first attack: 1 attack over 1 day.
+	if af[0] != 1 {
+		t.Errorf("af[0] = %v", af[0])
+	}
+	// After second: 2 attacks over 2 days.
+	if af[1] != 1 {
+		t.Errorf("af[1] = %v", af[1])
+	}
+	if AFSeries(nil) != nil {
+		t.Error("empty input should be nil")
+	}
+}
+
+func TestABSeries(t *testing.T) {
+	reports := []trace.HourlyReport{
+		{ActiveBots: []astopo.IPv4{1, 2}},
+		{ActiveBots: []astopo.IPv4{2, 3}},
+		{ActiveBots: []astopo.IPv4{1}},
+	}
+	ab := ABSeries(reports)
+	// Cumulative distinct: 2, 3, 3.
+	want := []float64{1, 2.0 / 3.0, 1.0 / 3.0}
+	for i := range want {
+		if math.Abs(ab[i]-want[i]) > 1e-12 {
+			t.Errorf("ab = %v, want %v", ab, want)
+			break
+		}
+	}
+}
+
+// sourceDistFixture builds an IP map and oracle over the hand-checked
+// astopo test topology.
+func sourceDistFixture(t *testing.T) *SourceDist {
+	t.Helper()
+	g := astopo.NewGraph()
+	g.AddLink(1, 2, astopo.RelPeer)
+	g.AddLink(10, 1, astopo.RelCustomerToProvider)
+	g.AddLink(11, 1, astopo.RelCustomerToProvider)
+	g.AddLink(100, 10, astopo.RelCustomerToProvider)
+	g.AddLink(101, 10, astopo.RelCustomerToProvider)
+	g.AddLink(102, 11, astopo.RelCustomerToProvider)
+	ipm, err := astopo.NewIPMap([]astopo.PrefixRange{
+		{Lo: 1000, Hi: 1099, Owner: 100}, // 100 addresses
+		{Lo: 2000, Hi: 2049, Owner: 101}, // 50 addresses
+		{Lo: 3000, Hi: 3099, Owner: 102},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &SourceDist{IPMap: ipm, Oracle: astopo.NewDistanceOracle(g)}
+}
+
+func TestSourceDistValue(t *testing.T) {
+	sd := sourceDistFixture(t)
+	// 10 bots in AS100 (of 100 addrs), 5 in AS101 (of 50): intra = 0.1+0.1.
+	bots := make([]astopo.IPv4, 0, 15)
+	for i := 0; i < 10; i++ {
+		bots = append(bots, astopo.IPv4(1000+i))
+	}
+	for i := 0; i < 5; i++ {
+		bots = append(bots, astopo.IPv4(2000+i))
+	}
+	a := mkAttack(1, "A", base, 10, 1, 1, bots)
+	// DT: hop distance 100<->101 = 2 (via shared provider 10).
+	want := (0.1 + 0.1) / 2.0
+	if got := sd.Value(&a); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Value = %v, want %v", got, want)
+	}
+	// Single-AS attack: DT defaults to 1.
+	a2 := mkAttack(2, "A", base, 10, 1, 1, bots[:10])
+	if got := sd.Value(&a2); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("single-AS Value = %v, want 0.1", got)
+	}
+	// Unrouted bots only: value 0.
+	a3 := mkAttack(3, "A", base, 10, 1, 1, []astopo.IPv4{9999})
+	if got := sd.Value(&a3); got != 0 {
+		t.Errorf("unrouted Value = %v", got)
+	}
+	// More concentrated attacks yield larger A^s: same bots packed in one
+	// AS beat the same count split across distant ASes.
+	concentrated := mkAttack(4, "A", base, 10, 1, 1, bots[:10])
+	spread := mkAttack(5, "A", base, 10, 1, 1, append(append([]astopo.IPv4{}, bots[:5]...), 3000, 3001, 3002, 3003, 3004))
+	if sd.Value(&concentrated) <= sd.Value(&spread) {
+		t.Errorf("concentration should raise A^s: %v vs %v", sd.Value(&concentrated), sd.Value(&spread))
+	}
+}
+
+func TestSourceDistShares(t *testing.T) {
+	sd := sourceDistFixture(t)
+	a := mkAttack(1, "A", base, 10, 1, 1, []astopo.IPv4{1000, 1001, 1002, 2000})
+	shares := sd.Shares(&a)
+	if len(shares) != 2 {
+		t.Fatalf("shares = %v", shares)
+	}
+	if shares[0].AS != 100 || math.Abs(shares[0].Share-0.75) > 1e-12 {
+		t.Errorf("top share = %+v", shares[0])
+	}
+	if shares[1].AS != 101 || math.Abs(shares[1].Share-0.25) > 1e-12 {
+		t.Errorf("second share = %+v", shares[1])
+	}
+	empty := mkAttack(2, "A", base, 10, 1, 1, nil)
+	if sd.Shares(&empty) != nil {
+		t.Error("no bots should give nil shares")
+	}
+}
+
+func TestShareSeriesAndTopAndAggregate(t *testing.T) {
+	sd := sourceDistFixture(t)
+	attacks := []trace.Attack{
+		mkAttack(1, "A", base, 10, 1, 1, []astopo.IPv4{1000, 1001}),                // all AS100
+		mkAttack(2, "A", base.Add(time.Hour), 10, 1, 1, []astopo.IPv4{1000, 2000}), // 50/50
+	}
+	series := sd.ShareSeries(attacks, 100)
+	if series[0] != 1 || series[1] != 0.5 {
+		t.Errorf("ShareSeries = %v", series)
+	}
+	top := sd.TopSourceASes(attacks, 1)
+	if len(top) != 1 || top[0] != 100 {
+		t.Errorf("TopSourceASes = %v", top)
+	}
+	agg := sd.AggregateShares(attacks)
+	if len(agg) != 2 || agg[0].AS != 100 || math.Abs(agg[0].Share-0.75) > 1e-12 {
+		t.Errorf("AggregateShares = %v", agg)
+	}
+	var sum float64
+	for _, s := range agg {
+		sum += s.Share
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("aggregate shares sum to %v", sum)
+	}
+}
+
+func TestSeriesMatchesPerAttackValue(t *testing.T) {
+	sd := sourceDistFixture(t)
+	attacks := []trace.Attack{
+		mkAttack(1, "A", base, 10, 1, 1, []astopo.IPv4{1000, 2000}),
+		mkAttack(2, "A", base.Add(time.Hour), 10, 1, 1, []astopo.IPv4{3000}),
+	}
+	series := sd.Series(attacks)
+	for i := range attacks {
+		if series[i] != sd.Value(&attacks[i]) {
+			t.Errorf("series[%d] mismatch", i)
+		}
+	}
+}

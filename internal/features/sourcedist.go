@@ -1,0 +1,167 @@
+package features
+
+import (
+	"sort"
+
+	"repro/internal/astopo"
+	"repro/internal/trace"
+)
+
+// SourceDist computes the source-distribution feature A^s (Eqs. 3–4) and
+// the AS-share vectors that Figure 2 predicts. It needs the IP→ASN map and
+// a valley-free distance oracle over the inferred AS graph.
+type SourceDist struct {
+	IPMap  *astopo.IPMap
+	Oracle *astopo.DistanceOracle
+}
+
+// Value computes A^s for one attack:
+//
+//	A^s = ( Σ_j N^{AS_j} / N_{AS_j} ) / DT
+//
+// where the numerator sums the intra-AS densities (bots located in AS_j
+// over the AS's announced address space) and DT is the mean pairwise
+// valley-free hop distance between the involved ASes. More bots packed
+// into fewer, closer ASes gives a larger A^s. When all bots sit in one AS
+// (no pairwise distances), DT defaults to 1.
+func (sd *SourceDist) Value(a *trace.Attack) float64 {
+	perAS := sd.botASCounts(a)
+	if len(perAS) == 0 {
+		return 0
+	}
+	var intra float64
+	ases := make([]astopo.AS, 0, len(perAS))
+	for as, n := range perAS {
+		total := sd.IPMap.AddressCount(as)
+		if total > 0 {
+			intra += float64(n) / float64(total)
+		}
+		ases = append(ases, as)
+	}
+	dt, pairs := sd.Oracle.MeanPairwiseDistance(ases)
+	if pairs == 0 || dt == 0 {
+		dt = 1
+	}
+	return intra / dt
+}
+
+// Series computes A^s for each attack in order.
+func (sd *SourceDist) Series(attacks []trace.Attack) []float64 {
+	out := make([]float64, len(attacks))
+	for i := range attacks {
+		out[i] = sd.Value(&attacks[i])
+	}
+	return out
+}
+
+// botASCounts maps an attack's bots to per-AS counts, dropping unrouted
+// addresses.
+func (sd *SourceDist) botASCounts(a *trace.Attack) map[astopo.AS]int {
+	out := make(map[astopo.AS]int)
+	for _, ip := range a.Bots {
+		if as, ok := sd.IPMap.Lookup(ip); ok {
+			out[as]++
+		}
+	}
+	return out
+}
+
+// ASShare is the fraction of an attack's bots originating in one AS.
+type ASShare struct {
+	AS    astopo.AS
+	Share float64
+}
+
+// Shares returns the attack's source-AS distribution, descending by share.
+func (sd *SourceDist) Shares(a *trace.Attack) []ASShare {
+	perAS := sd.botASCounts(a)
+	var total int
+	for _, n := range perAS {
+		total += n
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]ASShare, 0, len(perAS))
+	for as, n := range perAS {
+		out = append(out, ASShare{AS: as, Share: float64(n) / float64(total)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Share != out[j].Share {
+			return out[i].Share > out[j].Share
+		}
+		return out[i].AS < out[j].AS
+	})
+	return out
+}
+
+// ShareSeries returns, for each attack, the share of bots originating in
+// the given AS — the per-AS series the spatial model predicts for the
+// Figure 2 distributions.
+func (sd *SourceDist) ShareSeries(attacks []trace.Attack, as astopo.AS) []float64 {
+	out := make([]float64, len(attacks))
+	for i := range attacks {
+		perAS := sd.botASCounts(&attacks[i])
+		var total int
+		for _, n := range perAS {
+			total += n
+		}
+		if total > 0 {
+			out[i] = float64(perAS[as]) / float64(total)
+		}
+	}
+	return out
+}
+
+// TopSourceASes returns the k ASes contributing the most bots across the
+// given attacks, descending.
+func (sd *SourceDist) TopSourceASes(attacks []trace.Attack, k int) []astopo.AS {
+	counts := make(map[astopo.AS]int)
+	for i := range attacks {
+		for as, n := range sd.botASCounts(&attacks[i]) {
+			counts[as] += n
+		}
+	}
+	ases := make([]astopo.AS, 0, len(counts))
+	for as := range counts {
+		ases = append(ases, as)
+	}
+	sort.Slice(ases, func(i, j int) bool {
+		if counts[ases[i]] != counts[ases[j]] {
+			return counts[ases[i]] > counts[ases[j]]
+		}
+		return ases[i] < ases[j]
+	})
+	if k > 0 && len(ases) > k {
+		ases = ases[:k]
+	}
+	return ases
+}
+
+// AggregateShares returns the overall source-AS distribution across many
+// attacks (bot-weighted), descending by share. This is the "attacker ASN
+// distribution" compared against predictions in Figure 2.
+func (sd *SourceDist) AggregateShares(attacks []trace.Attack) []ASShare {
+	counts := make(map[astopo.AS]int)
+	var total int
+	for i := range attacks {
+		for as, n := range sd.botASCounts(&attacks[i]) {
+			counts[as] += n
+			total += n
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]ASShare, 0, len(counts))
+	for as, n := range counts {
+		out = append(out, ASShare{AS: as, Share: float64(n) / float64(total)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Share != out[j].Share {
+			return out[i].Share > out[j].Share
+		}
+		return out[i].AS < out[j].AS
+	})
+	return out
+}

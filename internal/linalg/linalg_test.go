@@ -1,0 +1,256 @@
+package linalg
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromRowsAndAccessors(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 1) != 2 || m.At(1, 0) != 3 {
+		t.Errorf("accessor mismatch: %+v", m)
+	}
+	m.Set(1, 1, 9)
+	if m.At(1, 1) != 9 {
+		t.Error("Set did not stick")
+	}
+	if _, err := FromRows([][]float64{{1}, {1, 2}}); err == nil {
+		t.Error("ragged rows should error")
+	}
+	empty, err := FromRows(nil)
+	if err != nil || empty.Rows != 0 {
+		t.Error("empty FromRows should give 0x0")
+	}
+}
+
+func TestMul(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := FromRows([][]float64{{5, 6}, {7, 8}})
+	c, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := FromRows([][]float64{{19, 22}, {43, 50}})
+	if c.MaxAbsDiff(want) > 1e-12 {
+		t.Errorf("Mul = %+v, want %+v", c, want)
+	}
+	if _, err := a.Mul(NewMatrix(3, 3)); err == nil {
+		t.Error("shape mismatch should error")
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}})
+	i3 := Identity(3)
+	c, err := a.Mul(i3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.MaxAbsDiff(a) > 1e-12 {
+		t.Error("A*I != A")
+	}
+}
+
+func TestMulVecAddScaleT(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	v, err := a.MulVec([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v[0] != 3 || v[1] != 7 {
+		t.Errorf("MulVec = %v", v)
+	}
+	if _, err := a.MulVec([]float64{1}); err == nil {
+		t.Error("MulVec shape mismatch should error")
+	}
+	sum, err := a.Add(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.At(0, 0) != 2 || sum.At(1, 1) != 8 {
+		t.Errorf("Add = %+v", sum)
+	}
+	if _, err := a.Add(NewMatrix(1, 1)); err == nil {
+		t.Error("Add shape mismatch should error")
+	}
+	sc := a.Scale(2)
+	if sc.At(1, 0) != 6 {
+		t.Errorf("Scale = %+v", sc)
+	}
+	tr := a.T()
+	if tr.At(0, 1) != 3 || tr.At(1, 0) != 2 {
+		t.Errorf("T = %+v", tr)
+	}
+}
+
+func TestSolveLU(t *testing.T) {
+	a, _ := FromRows([][]float64{{2, 1, -1}, {-3, -1, 2}, {-2, 1, 2}})
+	b := []float64{8, -11, -3}
+	x, err := SolveLU(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-9 {
+			t.Errorf("x = %v, want %v", x, want)
+			break
+		}
+	}
+	// Singular matrix.
+	sing, _ := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := SolveLU(sing, []float64{1, 2}); err == nil {
+		t.Error("singular system should error")
+	}
+	if _, err := SolveLU(NewMatrix(2, 3), []float64{1, 2}); err == nil {
+		t.Error("non-square should error")
+	}
+}
+
+// Property: for random well-conditioned systems, A*x == b after SolveLU.
+func TestSolveLUProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.IntN(8)
+		a := NewMatrix(n, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		// Diagonal dominance ensures nonsingularity.
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n)+1)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := SolveLU(a, b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		ax, _ := a.MulVec(x)
+		for i := range b {
+			if math.Abs(ax[i]-b[i]) > 1e-8 {
+				t.Fatalf("trial %d: residual %v", trial, ax[i]-b[i])
+			}
+		}
+	}
+}
+
+func TestCholesky(t *testing.T) {
+	a, _ := FromRows([][]float64{{4, 2}, {2, 3}})
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	llt, _ := l.Mul(l.T())
+	if llt.MaxAbsDiff(a) > 1e-9 {
+		t.Errorf("L*Lt != A: %+v", llt)
+	}
+	notPD, _ := FromRows([][]float64{{1, 2}, {2, 1}})
+	if _, err := Cholesky(notPD); err == nil {
+		t.Error("non-PD matrix should error")
+	}
+}
+
+func TestLeastSquaresExact(t *testing.T) {
+	// Overdetermined but consistent: y = 1 + 2x.
+	a, _ := FromRows([][]float64{{1, 0}, {1, 1}, {1, 2}, {1, 3}})
+	b := []float64{1, 3, 5, 7}
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-9 || math.Abs(x[1]-2) > 1e-9 {
+		t.Errorf("x = %v, want [1 2]", x)
+	}
+	// Underdetermined input shape should error.
+	if _, err := LeastSquares(NewMatrix(2, 3), []float64{1, 2}); err == nil {
+		t.Error("m < n should error")
+	}
+	// Rank-deficient should error.
+	rd, _ := FromRows([][]float64{{1, 1}, {2, 2}, {3, 3}})
+	if _, err := LeastSquares(rd, []float64{1, 2, 3}); err == nil {
+		t.Error("rank-deficient should error")
+	}
+}
+
+// Property: least-squares residual is orthogonal to the column space.
+func TestLeastSquaresOrthogonalityProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	for trial := 0; trial < 30; trial++ {
+		m := 5 + rng.IntN(10)
+		n := 1 + rng.IntN(4)
+		a := NewMatrix(m, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		b := make([]float64, m)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := LeastSquares(a, b)
+		if err != nil {
+			continue // random rank deficiency is acceptable
+		}
+		ax, _ := a.MulVec(x)
+		res := make([]float64, m)
+		for i := range res {
+			res[i] = b[i] - ax[i]
+		}
+		proj, _ := a.T().MulVec(res)
+		for _, v := range proj {
+			if math.Abs(v) > 1e-6 {
+				t.Fatalf("trial %d: At*r = %v, want ~0", trial, proj)
+			}
+		}
+	}
+}
+
+func TestRidgeLeastSquares(t *testing.T) {
+	// Perfectly collinear columns: plain LS fails, ridge succeeds.
+	a, _ := FromRows([][]float64{{1, 1}, {2, 2}, {3, 3}})
+	b := []float64{2, 4, 6}
+	x, err := RidgeLeastSquares(a, b, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prediction should still be accurate even if coefficients split.
+	ax, _ := a.MulVec(x)
+	for i := range b {
+		if math.Abs(ax[i]-b[i]) > 1e-2 {
+			t.Errorf("ridge prediction %v vs %v", ax[i], b[i])
+		}
+	}
+	if _, err := RidgeLeastSquares(a, []float64{1}, 1e-4); err == nil {
+		t.Error("shape mismatch should error")
+	}
+}
+
+func TestMaxAbsDiffShapeMismatch(t *testing.T) {
+	if d := NewMatrix(1, 2).MaxAbsDiff(NewMatrix(2, 1)); !math.IsInf(d, 1) {
+		t.Errorf("shape mismatch diff = %v, want +Inf", d)
+	}
+}
+
+// Property via testing/quick: transpose is an involution.
+func TestTransposeInvolutionProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		cols := 1 + len(vals)%4
+		rows := (len(vals) + cols - 1) / cols
+		m := NewMatrix(rows, cols)
+		copy(m.Data, vals)
+		return m.T().T().MaxAbsDiff(m) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,205 @@
+package linalg
+
+import (
+	"math"
+)
+
+// SolveLU solves A x = b via LU factorization with partial pivoting.
+// A must be square; b must have length A.Rows. A and b are not modified.
+func SolveLU(a *Matrix, b []float64) ([]float64, error) {
+	n := a.Rows
+	if a.Cols != n || len(b) != n {
+		return nil, ErrShape
+	}
+	lu := a.Clone()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot, pivotVal := col, math.Abs(lu.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(lu.At(r, col)); v > pivotVal {
+				pivot, pivotVal = r, v
+			}
+		}
+		if pivotVal < 1e-13 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			for j := 0; j < n; j++ {
+				lu.Data[col*n+j], lu.Data[pivot*n+j] = lu.Data[pivot*n+j], lu.Data[col*n+j]
+			}
+			perm[col], perm[pivot] = perm[pivot], perm[col]
+		}
+		inv := 1 / lu.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := lu.At(r, col) * inv
+			lu.Set(r, col, f)
+			for j := col + 1; j < n; j++ {
+				lu.Set(r, j, lu.At(r, j)-f*lu.At(col, j))
+			}
+		}
+	}
+	// Forward substitution with permuted b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		y[i] = b[perm[i]]
+		for j := 0; j < i; j++ {
+			y[i] -= lu.At(i, j) * y[j]
+		}
+	}
+	// Back substitution.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		x[i] = y[i]
+		for j := i + 1; j < n; j++ {
+			x[i] -= lu.At(i, j) * x[j]
+		}
+		x[i] /= lu.At(i, i)
+	}
+	return x, nil
+}
+
+// Cholesky returns the lower-triangular factor L with A = L Lᵀ.
+// A must be symmetric positive definite.
+func Cholesky(a *Matrix) (*Matrix, error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, ErrShape
+	}
+	l := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if s <= 0 {
+					return nil, ErrSingular
+				}
+				l.Set(i, i, math.Sqrt(s))
+			} else {
+				l.Set(i, j, s/l.At(j, j))
+			}
+		}
+	}
+	return l, nil
+}
+
+// LeastSquares solves min ||A x - b||₂ via Householder QR. A must have at
+// least as many rows as columns and full column rank.
+func LeastSquares(a *Matrix, b []float64) ([]float64, error) {
+	m, n := a.Rows, a.Cols
+	if len(b) != m || m < n || n == 0 {
+		return nil, ErrShape
+	}
+	r := a.Clone()
+	qtb := make([]float64, m)
+	copy(qtb, b)
+	for k := 0; k < n; k++ {
+		// Householder vector for column k, rows k..m-1.
+		var norm float64
+		for i := k; i < m; i++ {
+			norm += r.At(i, k) * r.At(i, k)
+		}
+		norm = math.Sqrt(norm)
+		if norm < 1e-13 {
+			return nil, ErrSingular
+		}
+		if r.At(k, k) > 0 {
+			norm = -norm
+		}
+		v := make([]float64, m-k)
+		for i := k; i < m; i++ {
+			v[i-k] = r.At(i, k)
+		}
+		v[0] -= norm
+		var vnorm2 float64
+		for _, x := range v {
+			vnorm2 += x * x
+		}
+		if vnorm2 < 1e-26 {
+			return nil, ErrSingular
+		}
+		// Apply H = I - 2 v vᵀ / (vᵀv) to R's trailing columns and qtb.
+		for j := k; j < n; j++ {
+			var dot float64
+			for i := k; i < m; i++ {
+				dot += v[i-k] * r.At(i, j)
+			}
+			f := 2 * dot / vnorm2
+			for i := k; i < m; i++ {
+				r.Set(i, j, r.At(i, j)-f*v[i-k])
+			}
+		}
+		var dot float64
+		for i := k; i < m; i++ {
+			dot += v[i-k] * qtb[i]
+		}
+		f := 2 * dot / vnorm2
+		for i := k; i < m; i++ {
+			qtb[i] -= f * v[i-k]
+		}
+	}
+	// Back substitution on the upper-triangular leading n-by-n block.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := qtb[i]
+		for j := i + 1; j < n; j++ {
+			s -= r.At(i, j) * x[j]
+		}
+		d := r.At(i, i)
+		if math.Abs(d) < 1e-13 {
+			return nil, ErrSingular
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}
+
+// RidgeLeastSquares solves the Tikhonov-regularized least squares problem
+// min ||A x - b||² + lambda ||x||² via the normal equations and Cholesky.
+// It is used as a fallback when plain least squares is singular.
+func RidgeLeastSquares(a *Matrix, b []float64, lambda float64) ([]float64, error) {
+	if len(b) != a.Rows {
+		return nil, ErrShape
+	}
+	at := a.T()
+	ata, err := at.Mul(a)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < ata.Rows; i++ {
+		ata.Set(i, i, ata.At(i, i)+lambda)
+	}
+	atb, err := at.MulVec(b)
+	if err != nil {
+		return nil, err
+	}
+	l, err := Cholesky(ata)
+	if err != nil {
+		return nil, err
+	}
+	n := l.Rows
+	// Solve L y = atb, then Lᵀ x = y.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := atb[i]
+		for j := 0; j < i; j++ {
+			s -= l.At(i, j) * y[j]
+		}
+		y[i] = s / l.At(i, i)
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < n; j++ {
+			s -= l.At(j, i) * x[j]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x, nil
+}

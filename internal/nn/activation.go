@@ -1,0 +1,76 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Activation selects the hidden-layer transfer function. The paper (§V-A)
+// considers the three functions most commonly used for multilayer
+// networks — Log-Sigmoid, Tan-Sigmoid, and Linear — and picks the default
+// Tan-Sigmoid; it cites Elliott (1993) for a cheaper sigmoid-shaped
+// alternative, which is also provided.
+type Activation int
+
+// Supported transfer functions.
+const (
+	// ActTanSigmoid is tanh, the paper's choice.
+	ActTanSigmoid Activation = iota + 1
+	// ActLogSigmoid is the logistic function 1/(1+e^-x), rescaled to
+	// (-1, 1) so weight initialization behaves comparably.
+	ActLogSigmoid
+	// ActElliott is Elliott's x/(1+|x|) squashing function.
+	ActElliott
+	// ActLinear is the identity (no hidden nonlinearity; the network
+	// degenerates to an affine model — useful as an ablation).
+	ActLinear
+)
+
+// String implements fmt.Stringer.
+func (a Activation) String() string {
+	switch a {
+	case ActTanSigmoid:
+		return "tan-sigmoid"
+	case ActLogSigmoid:
+		return "log-sigmoid"
+	case ActElliott:
+		return "elliott"
+	case ActLinear:
+		return "linear"
+	default:
+		return fmt.Sprintf("activation(%d)", int(a))
+	}
+}
+
+// eval returns f(x).
+func (a Activation) eval(x float64) float64 {
+	switch a {
+	case ActLogSigmoid:
+		return 2/(1+math.Exp(-x)) - 1
+	case ActElliott:
+		return x / (1 + math.Abs(x))
+	case ActLinear:
+		return x
+	default:
+		return math.Tanh(x)
+	}
+}
+
+// derivFromOutput returns f'(x) expressed via y = f(x) (all supported
+// functions admit this form, which avoids recomputing the pre-activation).
+func (a Activation) derivFromOutput(y float64) float64 {
+	switch a {
+	case ActLogSigmoid:
+		// y = 2s-1 with s = sigmoid(x); s'(x) = s(1-s) and dy/dx = 2s'.
+		s := (y + 1) / 2
+		return 2 * s * (1 - s)
+	case ActElliott:
+		// y = x/(1+|x|)  =>  f'(x) = 1/(1+|x|)^2 = (1-|y|)^2.
+		d := 1 - math.Abs(y)
+		return d * d
+	case ActLinear:
+		return 1
+	default:
+		return 1 - y*y
+	}
+}

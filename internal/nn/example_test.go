@@ -1,0 +1,28 @@
+package nn_test
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+)
+
+// Train a NAR network on a deterministic periodic series and forecast.
+func ExampleFitNAR() {
+	// Period-4 repeating pattern.
+	series := make([]float64, 80)
+	pattern := []float64{1, 5, 9, 5}
+	for i := range series {
+		series[i] = pattern[i%4]
+	}
+	m, err := nn.FitNAR(series, nn.NARConfig{
+		Delays: 4, Hidden: 6, Seed: 1,
+		Train: nn.TrainConfig{Epochs: 800},
+	})
+	if err != nil {
+		panic(err)
+	}
+	f := m.Forecast(4)
+	fmt.Printf("next period: %.0f %.0f %.0f %.0f\n", f[0], f[1], f[2], f[3])
+	// Output:
+	// next period: 1 5 9 5
+}

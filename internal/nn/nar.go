@@ -1,0 +1,161 @@
+package nn
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/timeseries"
+)
+
+// NAR is a nonlinear autoregressive model (Eq. 6 of the paper):
+//
+//	x_{t+1} = f(x_t, x_{t-1}, ..., x_{t-q+1}) + eps
+//
+// where f is a 1-hidden-layer tan-sigmoid network. Inputs and outputs are
+// standardized internally; predictions are returned on the original scale.
+type NAR struct {
+	Delays int
+	net    *Network
+	scaler *timeseries.Scaler
+	tail   []float64 // last Delays observations, standardized
+}
+
+// NARConfig configures NAR training.
+type NARConfig struct {
+	Delays int        // number of past values fed to the network (q). Default 4.
+	Hidden int        // hidden nodes. Default 6.
+	Act    Activation // hidden transfer function. Default tan-sigmoid.
+	Seed   uint64
+	Train  TrainConfig
+}
+
+func (c NARConfig) withDefaults() NARConfig {
+	if c.Delays < 1 {
+		c.Delays = 4
+	}
+	if c.Hidden < 1 {
+		c.Hidden = 6
+	}
+	return c
+}
+
+// FitNAR trains a NAR model on the series xs.
+func FitNAR(xs []float64, cfg NARConfig) (*NAR, error) {
+	cfg = cfg.withDefaults()
+	if len(xs) < cfg.Delays+2 {
+		return nil, errors.New("nn: series too short for NAR delays")
+	}
+	scaler := timeseries.FitScaler(xs)
+	z := scaler.Transform(xs)
+	rows, ys, err := timeseries.LagMatrix(z, cfg.Delays)
+	if err != nil {
+		return nil, err
+	}
+	net, err := NewNetwork(cfg.Delays, cfg.Hidden, cfg.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	net.Act = cfg.Act
+	if _, err := net.Train(rows, ys, &cfg.Train); err != nil {
+		return nil, err
+	}
+	m := &NAR{Delays: cfg.Delays, net: net, scaler: scaler}
+	m.tail = append(m.tail, z[len(z)-cfg.Delays:]...)
+	return m, nil
+}
+
+// PredictNext returns the one-step-ahead forecast on the original scale.
+func (m *NAR) PredictNext() float64 {
+	x := m.lagInput()
+	return m.scaler.Invert(m.net.Predict(x))
+}
+
+// Forecast returns h-step-ahead forecasts by feeding predictions back as
+// inputs.
+func (m *NAR) Forecast(h int) []float64 {
+	tail := append([]float64(nil), m.tail...)
+	out := make([]float64, h)
+	for s := 0; s < h; s++ {
+		x := lagFromTail(tail, m.Delays)
+		z := m.net.Predict(x)
+		out[s] = m.scaler.Invert(z)
+		tail = append(tail, z)
+	}
+	return out
+}
+
+// Update appends an observed value (original scale) to the model state for
+// walk-forward evaluation. Coefficients are not re-estimated.
+func (m *NAR) Update(x float64) {
+	m.tail = append(m.tail, m.scaler.Apply(x))
+	if len(m.tail) > m.Delays {
+		m.tail = m.tail[len(m.tail)-m.Delays:]
+	}
+}
+
+func (m *NAR) lagInput() []float64 {
+	return lagFromTail(m.tail, m.Delays)
+}
+
+// lagFromTail builds the network input [x_t, x_{t-1}, ...] from the last
+// Delays entries of tail (most recent first).
+func lagFromTail(tail []float64, delays int) []float64 {
+	x := make([]float64, delays)
+	for j := 0; j < delays; j++ {
+		idx := len(tail) - 1 - j
+		if idx >= 0 {
+			x[j] = tail[idx]
+		}
+	}
+	return x
+}
+
+// GridSearchNAR tunes the number of delays and hidden nodes by validation
+// MSE on the final portion of the series (the paper tunes both per dataset
+// with a grid search, §V-A). It returns the model refitted on the full
+// series with the winning configuration.
+func GridSearchNAR(xs []float64, delays, hidden []int, seed uint64, train TrainConfig) (*NAR, error) {
+	if len(delays) == 0 {
+		delays = []int{2, 4, 8}
+	}
+	if len(hidden) == 0 {
+		hidden = []int{4, 8}
+	}
+	trainPart, valPart := timeseries.SplitFrac(xs, 0.8)
+	bestMSE := math.Inf(1)
+	var bestCfg NARConfig
+	found := false
+	for _, d := range delays {
+		for _, h := range hidden {
+			cfg := NARConfig{Delays: d, Hidden: h, Seed: seed, Train: train}
+			m, err := FitNAR(trainPart, cfg)
+			if err != nil {
+				continue
+			}
+			mse := walkForwardMSE(m, valPart)
+			if mse < bestMSE {
+				bestMSE = mse
+				bestCfg = cfg
+				found = true
+			}
+		}
+	}
+	if !found {
+		return nil, errors.New("nn: grid search found no feasible configuration")
+	}
+	return FitNAR(xs, bestCfg)
+}
+
+func walkForwardMSE(m *NAR, test []float64) float64 {
+	if len(test) == 0 {
+		return math.Inf(1)
+	}
+	var sse float64
+	for _, x := range test {
+		p := m.PredictNext()
+		d := p - x
+		sse += d * d
+		m.Update(x)
+	}
+	return sse / float64(len(test))
+}

@@ -1,0 +1,67 @@
+package nn
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"repro/internal/timeseries"
+)
+
+// narJSON is the serialized form of a fitted NAR model.
+type narJSON struct {
+	Delays int                `json:"delays"`
+	Net    *Network           `json:"net"`
+	Scaler *timeseries.Scaler `json:"scaler"`
+	Tail   []float64          `json:"tail"`
+}
+
+// MarshalJSON serializes the fitted NAR (network weights, scaler, and the
+// walk-forward tail).
+func (m *NAR) MarshalJSON() ([]byte, error) {
+	return json.Marshal(narJSON{
+		Delays: m.Delays,
+		Net:    m.net,
+		Scaler: m.scaler,
+		Tail:   append([]float64(nil), m.tail...),
+	})
+}
+
+// UnmarshalJSON restores a NAR serialized by MarshalJSON.
+func (m *NAR) UnmarshalJSON(data []byte) error {
+	var j narJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return fmt.Errorf("nn: unmarshal NAR: %w", err)
+	}
+	if j.Net == nil || j.Scaler == nil {
+		return errors.New("nn: unmarshal NAR: missing network or scaler")
+	}
+	if j.Delays < 1 || j.Net.In != j.Delays {
+		return fmt.Errorf("nn: unmarshal NAR: delays %d disagree with network inputs %d", j.Delays, j.Net.In)
+	}
+	if err := j.Net.validate(); err != nil {
+		return fmt.Errorf("nn: unmarshal NAR: %w", err)
+	}
+	m.Delays = j.Delays
+	m.net = j.Net
+	m.scaler = j.Scaler
+	m.tail = j.Tail
+	return nil
+}
+
+// validate checks that a deserialized network's weight shapes agree with
+// its declared topology.
+func (n *Network) validate() error {
+	if n.In < 1 || n.Hidden < 1 {
+		return fmt.Errorf("nn: invalid topology in=%d hidden=%d", n.In, n.Hidden)
+	}
+	if len(n.W1) != n.Hidden || len(n.B1) != n.Hidden || len(n.W2) != n.Hidden {
+		return errors.New("nn: weight shape mismatch")
+	}
+	for _, row := range n.W1 {
+		if len(row) != n.In {
+			return errors.New("nn: W1 row shape mismatch")
+		}
+	}
+	return nil
+}

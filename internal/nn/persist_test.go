@@ -1,0 +1,57 @@
+package nn
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestNARJSONRoundTrip(t *testing.T) {
+	n := 200
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = math.Sin(2*math.Pi*float64(i)/14) + 3
+	}
+	m, err := FitNAR(xs, NARConfig{Delays: 5, Hidden: 6, Seed: 9, Train: TrainConfig{Epochs: 300}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back NAR
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.PredictNext()-back.PredictNext()) > 1e-9 {
+		t.Error("prediction differs after round trip")
+	}
+	f1 := m.Forecast(8)
+	f2 := back.Forecast(8)
+	for i := range f1 {
+		if math.Abs(f1[i]-f2[i]) > 1e-9 {
+			t.Fatalf("forecasts diverge at %d", i)
+		}
+	}
+	m.Update(2.5)
+	back.Update(2.5)
+	if math.Abs(m.PredictNext()-back.PredictNext()) > 1e-9 {
+		t.Error("post-update predictions diverge")
+	}
+}
+
+func TestNARUnmarshalValidation(t *testing.T) {
+	var m NAR
+	cases := map[string]string{
+		"bad json":      `{`,
+		"missing net":   `{"delays":3,"scaler":{"Mean":0,"Std":1}}`,
+		"delays vs in":  `{"delays":3,"net":{"In":2,"Hidden":1,"W1":[[0,0]],"B1":[0],"W2":[0],"B2":0},"scaler":{"Mean":0,"Std":1}}`,
+		"weight shapes": `{"delays":2,"net":{"In":2,"Hidden":2,"W1":[[0,0]],"B1":[0,0],"W2":[0,0],"B2":0},"scaler":{"Mean":0,"Std":1}}`,
+	}
+	for name, data := range cases {
+		if err := json.Unmarshal([]byte(data), &m); err == nil {
+			t.Errorf("%s should fail to unmarshal", name)
+		}
+	}
+}

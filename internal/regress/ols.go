@@ -1,0 +1,119 @@
+// Package regress implements ordinary and ridge-regularized multivariate
+// linear regression (MLR). The spatiotemporal model attaches MLR models to
+// the leaves of its regression tree (§VI of the paper), and the ARIMA
+// estimator uses OLS for its Hannan–Rissanen stages.
+package regress
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/linalg"
+	"repro/internal/stats"
+)
+
+// ErrNoData is returned when a fit is attempted with no observations.
+var ErrNoData = errors.New("regress: no observations")
+
+// Model is a fitted multivariate linear regression
+// y = Intercept + Σ Coeffs[j] * x[j].
+type Model struct {
+	Intercept float64
+	Coeffs    []float64
+	// R2 is the coefficient of determination on the training data.
+	R2 float64
+	// RSS is the residual sum of squares on the training data.
+	RSS float64
+	// N is the number of training observations.
+	N int
+}
+
+// Fit estimates an MLR by QR least squares, retrying with ridge
+// regularization when the design matrix is rank deficient (common for the
+// small per-leaf sample sizes in the model tree).
+func Fit(rows [][]float64, ys []float64) (*Model, error) {
+	n := len(rows)
+	if n == 0 || n != len(ys) {
+		return nil, ErrNoData
+	}
+	p := len(rows[0])
+	design := linalg.NewMatrix(n, p+1)
+	for i, row := range rows {
+		if len(row) != p {
+			return nil, errors.New("regress: ragged design matrix")
+		}
+		design.Set(i, 0, 1)
+		for j, v := range row {
+			design.Set(i, j+1, v)
+		}
+	}
+	var beta []float64
+	var err error
+	if n >= p+1 {
+		beta, err = linalg.LeastSquares(design, ys)
+	} else {
+		err = linalg.ErrSingular
+	}
+	if err != nil {
+		beta, err = linalg.RidgeLeastSquares(design, ys, 1e-4)
+		if err != nil {
+			return nil, err
+		}
+	}
+	m := &Model{Intercept: beta[0], Coeffs: beta[1:], N: n}
+	m.computeFitStats(rows, ys)
+	return m, nil
+}
+
+func (m *Model) computeFitStats(rows [][]float64, ys []float64) {
+	var rss, tss float64
+	mean := stats.Mean(ys)
+	for i, row := range rows {
+		r := ys[i] - m.Predict(row)
+		rss += r * r
+		d := ys[i] - mean
+		tss += d * d
+	}
+	m.RSS = rss
+	if tss > 0 {
+		m.R2 = 1 - rss/tss
+	} else {
+		m.R2 = 0
+	}
+}
+
+// Predict evaluates the regression at x. Missing trailing features are
+// treated as zero; extra features are ignored.
+func (m *Model) Predict(x []float64) float64 {
+	y := m.Intercept
+	for j, c := range m.Coeffs {
+		if j >= len(x) {
+			break
+		}
+		y += c * x[j]
+	}
+	return y
+}
+
+// AIC returns the Akaike information criterion of the fit, using the
+// Gaussian log-likelihood n*ln(RSS/n) + 2k with k = len(Coeffs)+1.
+func (m *Model) AIC() float64 {
+	if m.N == 0 {
+		return math.Inf(1)
+	}
+	rssPerN := m.RSS / float64(m.N)
+	if rssPerN <= 0 {
+		rssPerN = 1e-300
+	}
+	k := float64(len(m.Coeffs) + 1)
+	return float64(m.N)*math.Log(rssPerN) + 2*k
+}
+
+// Residuals returns ys[i] - Predict(rows[i]) for each observation.
+func (m *Model) Residuals(rows [][]float64, ys []float64) []float64 {
+	out := make([]float64, len(rows))
+	for i, row := range rows {
+		out[i] = ys[i] - m.Predict(row)
+	}
+	return out
+}

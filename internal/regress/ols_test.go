@@ -1,0 +1,149 @@
+package regress
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestFitExact(t *testing.T) {
+	// y = 1 + 2a + 3b, noiseless.
+	rows := [][]float64{{0, 0}, {1, 0}, {0, 1}, {1, 1}, {2, 1}, {1, 2}}
+	ys := make([]float64, len(rows))
+	for i, r := range rows {
+		ys[i] = 1 + 2*r[0] + 3*r[1]
+	}
+	m, err := Fit(rows, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Intercept-1) > 1e-9 || math.Abs(m.Coeffs[0]-2) > 1e-9 || math.Abs(m.Coeffs[1]-3) > 1e-9 {
+		t.Errorf("coeffs = %v %v", m.Intercept, m.Coeffs)
+	}
+	if m.R2 < 0.999999 {
+		t.Errorf("R2 = %v, want ~1", m.R2)
+	}
+	if m.N != len(rows) {
+		t.Errorf("N = %d", m.N)
+	}
+}
+
+func TestFitNoisyRecoversSlope(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	n := 500
+	rows := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x := rng.NormFloat64() * 3
+		rows[i] = []float64{x}
+		ys[i] = 4 - 1.5*x + rng.NormFloat64()*0.3
+	}
+	m, err := Fit(rows, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Intercept-4) > 0.1 || math.Abs(m.Coeffs[0]+1.5) > 0.05 {
+		t.Errorf("fit = %v + %v x", m.Intercept, m.Coeffs[0])
+	}
+	if m.R2 < 0.9 {
+		t.Errorf("R2 = %v", m.R2)
+	}
+}
+
+func TestFitRidgeFallback(t *testing.T) {
+	// Collinear features force the QR path to fail; ridge must take over.
+	rows := [][]float64{{1, 2}, {2, 4}, {3, 6}, {4, 8}}
+	ys := []float64{3, 6, 9, 12}
+	m, err := Fit(rows, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rows {
+		if math.Abs(m.Predict(r)-ys[i]) > 0.05 {
+			t.Errorf("pred(%v) = %v, want %v", r, m.Predict(r), ys[i])
+		}
+	}
+}
+
+func TestFitUnderdetermined(t *testing.T) {
+	// More features than rows still fits via ridge.
+	rows := [][]float64{{1, 0, 2}, {0, 1, 1}}
+	ys := []float64{1, 2}
+	m, err := Fit(rows, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rows {
+		if math.Abs(m.Predict(r)-ys[i]) > 0.1 {
+			t.Errorf("underdetermined pred %v vs %v", m.Predict(r), ys[i])
+		}
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil, nil); err == nil {
+		t.Error("empty fit should error")
+	}
+	if _, err := Fit([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := Fit([][]float64{{1, 2}, {1}}, []float64{1, 2}); err == nil {
+		t.Error("ragged rows should error")
+	}
+}
+
+func TestPredictShortLongInput(t *testing.T) {
+	m := &Model{Intercept: 1, Coeffs: []float64{2, 3}}
+	if got := m.Predict([]float64{1}); got != 3 {
+		t.Errorf("short input pred = %v, want 3", got)
+	}
+	if got := m.Predict([]float64{1, 1, 99}); got != 6 {
+		t.Errorf("long input pred = %v, want 6", got)
+	}
+}
+
+func TestAICOrdersModels(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 10))
+	n := 200
+	rows1 := make([][]float64, n)
+	rows2 := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x := rng.NormFloat64()
+		junk := rng.NormFloat64()
+		rows1[i] = []float64{x}
+		rows2[i] = []float64{x, junk, junk * junk, junk * x}
+		ys[i] = 2*x + rng.NormFloat64()*0.5
+	}
+	m1, err := Fit(rows1, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Fit(rows2, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.AIC() >= m2.AIC()+4 {
+		t.Errorf("parsimonious model should win AIC: %v vs %v", m1.AIC(), m2.AIC())
+	}
+	var zero Model
+	if !math.IsInf(zero.AIC(), 1) {
+		t.Error("unfitted AIC should be +Inf")
+	}
+}
+
+func TestResiduals(t *testing.T) {
+	rows := [][]float64{{0}, {1}, {2}}
+	ys := []float64{1, 3, 5}
+	m, err := Fit(rows, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Residuals(rows, ys)
+	for _, r := range res {
+		if math.Abs(r) > 1e-9 {
+			t.Errorf("residuals = %v, want ~0", res)
+			break
+		}
+	}
+}

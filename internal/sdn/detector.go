@@ -1,0 +1,98 @@
+package sdn
+
+import (
+	"errors"
+
+	"repro/internal/astopo"
+	"repro/internal/stats"
+)
+
+// EntropyDetector implements the early-detection idea of §V-B: with the
+// attacker source distribution predictable at the AS level, a monitor can
+// watch the Shannon entropy of the source-AS distribution over the most
+// recent connections and alarm when it deviates from the benign baseline —
+// botnet floods concentrate traffic into the families' home ASes and pull
+// the entropy down (or, for very dispersed botnets, push it up).
+type EntropyDetector struct {
+	window    int
+	threshold float64
+	baseline  float64
+	hasBase   bool
+
+	ring   []astopo.AS
+	counts map[astopo.AS]int
+	next   int
+	filled bool
+}
+
+// NewEntropyDetector monitors the last window connections and alarms when
+// the entropy deviates from the baseline by more than threshold bits.
+func NewEntropyDetector(window int, threshold float64) (*EntropyDetector, error) {
+	if window < 2 {
+		return nil, errors.New("sdn: detector window must be >= 2")
+	}
+	if threshold <= 0 {
+		return nil, errors.New("sdn: detector threshold must be positive")
+	}
+	return &EntropyDetector{
+		window:    window,
+		threshold: threshold,
+		ring:      make([]astopo.AS, window),
+		counts:    make(map[astopo.AS]int),
+	}, nil
+}
+
+// SetBaseline fixes the benign reference entropy (bits). Typically the
+// entropy of the traffic mix observed outside attack windows, or of the
+// model's predicted benign distribution.
+func (d *EntropyDetector) SetBaseline(bits float64) {
+	d.baseline = bits
+	d.hasBase = true
+}
+
+// CalibrateBaseline sets the baseline to the current window's entropy
+// (call after feeding a representative stretch of benign traffic).
+func (d *EntropyDetector) CalibrateBaseline() {
+	d.SetBaseline(d.Entropy())
+}
+
+// Observe feeds one connection's source AS and reports whether the
+// detector is alarming. Alarms require a full window and a baseline.
+func (d *EntropyDetector) Observe(src astopo.AS) bool {
+	if d.filled {
+		old := d.ring[d.next]
+		if d.counts[old] == 1 {
+			delete(d.counts, old)
+		} else {
+			d.counts[old]--
+		}
+	}
+	d.ring[d.next] = src
+	d.counts[src]++
+	d.next++
+	if d.next == d.window {
+		d.next = 0
+		d.filled = true
+	}
+	if !d.filled || !d.hasBase {
+		return false
+	}
+	dev := d.Entropy() - d.baseline
+	if dev < 0 {
+		dev = -dev
+	}
+	return dev > d.threshold
+}
+
+// Entropy returns the Shannon entropy (bits) of the current window's
+// source-AS distribution.
+func (d *EntropyDetector) Entropy() float64 {
+	weights := make([]float64, 0, len(d.counts))
+	for _, c := range d.counts {
+		weights = append(weights, float64(c))
+	}
+	return stats.ShannonEntropy(weights)
+}
+
+// Baseline returns the configured baseline and whether one is set.
+func (d *EntropyDetector) Baseline() (float64, bool) { return d.baseline, d.hasBase }

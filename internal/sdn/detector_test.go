@@ -1,0 +1,107 @@
+package sdn
+
+import (
+	"testing"
+
+	"repro/internal/astopo"
+	"repro/internal/stats"
+)
+
+func TestNewEntropyDetectorValidation(t *testing.T) {
+	if _, err := NewEntropyDetector(1, 0.5); err == nil {
+		t.Error("window 1 should error")
+	}
+	if _, err := NewEntropyDetector(10, 0); err == nil {
+		t.Error("threshold 0 should error")
+	}
+}
+
+// feedBenign pushes uniform traffic over nASes source ASes.
+func feedBenign(d *EntropyDetector, s *stats.Sampler, n, nASes int) (alarms int) {
+	for i := 0; i < n; i++ {
+		if d.Observe(astopo.AS(100 + s.IntN(nASes))) {
+			alarms++
+		}
+	}
+	return alarms
+}
+
+func TestEntropyDetectorDetectsConcentratedFlood(t *testing.T) {
+	d, err := NewEntropyDetector(200, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := stats.NewSampler(81)
+	// Benign warm-up over 16 ASes, then calibrate.
+	feedBenign(d, s, 400, 16)
+	d.CalibrateBaseline()
+	base, ok := d.Baseline()
+	if !ok {
+		t.Fatal("baseline not set")
+	}
+	// Uniform over 16 ASes has ~4 bits of entropy.
+	if base < 3.5 || base > 4.01 {
+		t.Fatalf("baseline entropy = %v, want ~4", base)
+	}
+	// Continued benign traffic must not alarm.
+	if alarms := feedBenign(d, s, 400, 16); alarms != 0 {
+		t.Fatalf("benign traffic raised %d alarms", alarms)
+	}
+	// Botnet flood: 80% of connections from two home ASes.
+	detectedAt := -1
+	for i := 0; i < 400; i++ {
+		var src astopo.AS
+		if s.Float64() < 0.8 {
+			src = astopo.AS(900 + s.IntN(2))
+		} else {
+			src = astopo.AS(100 + s.IntN(16))
+		}
+		if d.Observe(src) && detectedAt < 0 {
+			detectedAt = i
+		}
+	}
+	if detectedAt < 0 {
+		t.Fatal("flood never detected")
+	}
+	// Detection should happen well within one window of flood onset.
+	if detectedAt > 250 {
+		t.Errorf("detected after %d flood connections, want earlier", detectedAt)
+	}
+}
+
+func TestEntropyDetectorNoAlarmWithoutBaseline(t *testing.T) {
+	d, err := NewEntropyDetector(50, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := stats.NewSampler(83)
+	// Even wildly swinging traffic cannot alarm before a baseline exists.
+	if alarms := feedBenign(d, s, 200, 2); alarms != 0 {
+		t.Errorf("alarms without baseline: %d", alarms)
+	}
+}
+
+func TestEntropyDetectorWindowEviction(t *testing.T) {
+	d, err := NewEntropyDetector(4, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill the window with one AS: entropy 0.
+	for i := 0; i < 4; i++ {
+		d.Observe(1)
+	}
+	if h := d.Entropy(); h != 0 {
+		t.Fatalf("single-AS entropy = %v", h)
+	}
+	// Replace the window with 4 distinct ASes: entropy 2 bits, and the
+	// old AS must have been fully evicted from the counts.
+	for as := astopo.AS(10); as < 14; as++ {
+		d.Observe(as)
+	}
+	if h := d.Entropy(); h != 2 {
+		t.Fatalf("post-eviction entropy = %v, want 2", h)
+	}
+	if len(d.counts) != 4 {
+		t.Errorf("counts hold %d ASes, want 4", len(d.counts))
+	}
+}

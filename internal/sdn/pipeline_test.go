@@ -1,0 +1,187 @@
+package sdn
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/astopo"
+)
+
+func benignASes(n int) []astopo.AS {
+	out := make([]astopo.AS, n)
+	for i := range out {
+		out[i] = astopo.AS(100 + i)
+	}
+	return out
+}
+
+func attackShares() []PredictedShare {
+	return []PredictedShare{
+		{AS: 900, Share: 0.6},
+		{AS: 901, Share: 0.3},
+		{AS: 902, Share: 0.1},
+	}
+}
+
+func TestNewPipelineValidation(t *testing.T) {
+	if _, err := NewPipeline(PipelineConfig{BenignASes: benignASes(4)}); err == nil {
+		t.Error("missing prediction should error")
+	}
+	if _, err := NewPipeline(PipelineConfig{Predicted: attackShares()}); err == nil {
+		t.Error("missing benign ASes should error")
+	}
+}
+
+func TestPipelineDetectsAndMitigates(t *testing.T) {
+	p, err := NewPipeline(PipelineConfig{
+		Predicted:        attackShares(), // the model predicted the true sources
+		BenignASes:       benignASes(16),
+		ReconfigureDelay: 10 * time.Second,
+		Seed:             7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Replay(AttackProfile{
+		Sources:  attackShares(),
+		Rate:     100,
+		Duration: 5 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Detected {
+		t.Fatal("flood not detected")
+	}
+	if res.DetectionDelay > 30*time.Second {
+		t.Errorf("detection took %v, want < 30s", res.DetectionDelay)
+	}
+	if res.MitigationAt < res.DetectionDelay {
+		t.Errorf("mitigation at %v before detection %v", res.MitigationAt, res.DetectionDelay)
+	}
+	totalAttack := res.UnmitigatedConns + res.ScrubbedConns + res.LeakedConns
+	if totalAttack != 100*300 {
+		t.Fatalf("attack accounting off: %d", totalAttack)
+	}
+	// With accurate predictions, nearly all post-mitigation attack
+	// traffic is scrubbed.
+	post := res.ScrubbedConns + res.LeakedConns
+	if post == 0 || float64(res.ScrubbedConns)/float64(post) < 0.95 {
+		t.Errorf("scrub rate = %d/%d, want >= 95%%", res.ScrubbedConns, post)
+	}
+	// The unmitigated window is roughly detection + reconfiguration.
+	maxUnmitigated := int((res.MitigationAt/time.Second + 2)) * 100
+	if res.UnmitigatedConns > maxUnmitigated {
+		t.Errorf("unmitigated = %d, bound %d", res.UnmitigatedConns, maxUnmitigated)
+	}
+	// Collateral stays modest: benign ASes are disjoint from rules here.
+	if res.BenignDiverted != 0 {
+		t.Errorf("benign diverted = %d, want 0 (disjoint rule set)", res.BenignDiverted)
+	}
+}
+
+func TestPipelineWrongPredictionLeaks(t *testing.T) {
+	// The model predicted entirely different sources: mitigation activates
+	// but diverts nothing.
+	wrong := []PredictedShare{{AS: 700, Share: 1}}
+	p, err := NewPipeline(PipelineConfig{
+		Predicted:        wrong,
+		BenignASes:       benignASes(16),
+		ReconfigureDelay: 10 * time.Second,
+		Seed:             9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Replay(AttackProfile{
+		Sources:  attackShares(),
+		Rate:     100,
+		Duration: 3 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Detected {
+		t.Fatal("flood should still be detected")
+	}
+	if res.ScrubbedConns != 0 {
+		t.Errorf("wrong rules scrubbed %d connections", res.ScrubbedConns)
+	}
+	if res.LeakedConns == 0 {
+		t.Error("everything should leak with wrong predictions")
+	}
+}
+
+func TestPipelineQuietTrafficNoDetection(t *testing.T) {
+	p, err := NewPipeline(PipelineConfig{
+		Predicted:  attackShares(),
+		BenignASes: benignASes(16),
+		Seed:       11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An "attack" indistinguishable from benign traffic (same sources,
+	// negligible rate) must not trip the detector.
+	res, err := p.Replay(AttackProfile{
+		Sources:  []PredictedShare{{AS: 100, Share: 0.5}, {AS: 101, Share: 0.5}},
+		Rate:     1,
+		Duration: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Detected {
+		t.Error("benign-like trickle should not alarm")
+	}
+	if res.ScrubbedConns != 0 || res.MitigationAt != 0 {
+		t.Error("no mitigation should have activated")
+	}
+}
+
+func TestPipelineReplayValidation(t *testing.T) {
+	p, err := NewPipeline(PipelineConfig{Predicted: attackShares(), BenignASes: benignASes(4), Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Replay(AttackProfile{}); err == nil {
+		t.Error("empty profile should error")
+	}
+	if _, err := p.Replay(AttackProfile{Sources: attackShares(), Rate: 0, Duration: time.Minute}); err == nil {
+		t.Error("zero rate should error")
+	}
+}
+
+// Property: every attack connection is accounted exactly once, whatever
+// the profile.
+func TestPipelineConservationProperty(t *testing.T) {
+	for seed := uint64(0); seed < 6; seed++ {
+		p, err := NewPipeline(PipelineConfig{
+			Predicted:        attackShares(),
+			BenignASes:       benignASes(8),
+			ReconfigureDelay: 5 * time.Second,
+			Seed:             seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rate := 10 + int(seed)*37
+		secs := 60 + int(seed)*30
+		res, err := p.Replay(AttackProfile{
+			Sources:  attackShares(),
+			Rate:     rate,
+			Duration: time.Duration(secs) * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := rate * secs
+		got := res.UnmitigatedConns + res.ScrubbedConns + res.LeakedConns
+		if got != want {
+			t.Fatalf("seed %d: %d connections accounted, want %d", seed, got, want)
+		}
+		if res.BenignTotal != 20*secs {
+			t.Fatalf("seed %d: benign total %d, want %d", seed, res.BenignTotal, 20*secs)
+		}
+	}
+}

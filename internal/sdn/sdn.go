@@ -1,0 +1,247 @@
+// Package sdn implements the use-case substrate of §VII-B: a small
+// software-defined-networking control plane that consumes the models'
+// predictions. Figure 5(a) is reproduced by AS-based filtering — the
+// controller installs classification rules for the predicted attack-source
+// ASes so matching ingress traffic is diverted for scrubbing. Figure 5(b)
+// is reproduced by middlebox traversal — the chain is reordered from
+// load-balancer-first to firewall-first ahead of the predicted attack
+// window.
+package sdn
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/astopo"
+)
+
+// Action is what a rule does with matching traffic.
+type Action int
+
+// Rule actions.
+const (
+	// ActionForward sends traffic on the normal path.
+	ActionForward Action = iota + 1
+	// ActionDivert sends traffic through the scrubbing path for further
+	// examination (Figure 5a's "different route path").
+	ActionDivert
+)
+
+// Rule matches ingress traffic by source AS.
+type Rule struct {
+	SrcAS  astopo.AS
+	Action Action
+}
+
+// Flow is one ingress traffic aggregate.
+type Flow struct {
+	SrcAS     astopo.AS
+	DstIP     astopo.IPv4
+	PPS       float64 // packets per second
+	Malicious bool
+}
+
+// ErrTableFull is returned when a rule cannot be installed because the
+// switch's classification table is at capacity.
+var ErrTableFull = errors.New("sdn: rule table full")
+
+// Controller is a minimal SDN control plane holding source-AS rules.
+// The zero value forwards everything and has unbounded capacity.
+type Controller struct {
+	rules map[astopo.AS]Action
+	// capacity bounds the rule table (0 = unbounded), modeling the
+	// limited classification entries of real switching hardware.
+	capacity int
+}
+
+// NewController returns an empty controller with unbounded rule capacity.
+func NewController() *Controller {
+	return &Controller{rules: make(map[astopo.AS]Action)}
+}
+
+// NewControllerWithCapacity returns a controller whose rule table holds at
+// most n entries (n <= 0 means unbounded).
+func NewControllerWithCapacity(n int) *Controller {
+	c := NewController()
+	if n > 0 {
+		c.capacity = n
+	}
+	return c
+}
+
+// Install sets the action for a source AS, replacing any previous rule.
+// It returns ErrTableFull when a new entry would exceed capacity
+// (replacements always succeed).
+func (c *Controller) Install(r Rule) error {
+	if c.rules == nil {
+		c.rules = make(map[astopo.AS]Action)
+	}
+	if _, exists := c.rules[r.SrcAS]; !exists && c.capacity > 0 && len(c.rules) >= c.capacity {
+		return ErrTableFull
+	}
+	c.rules[r.SrcAS] = r.Action
+	return nil
+}
+
+// Clear removes all rules.
+func (c *Controller) Clear() {
+	c.rules = make(map[astopo.AS]Action)
+}
+
+// RuleCount returns the number of installed rules.
+func (c *Controller) RuleCount() int { return len(c.rules) }
+
+// Classify returns the action for a flow (ActionForward when no rule
+// matches).
+func (c *Controller) Classify(f *Flow) Action {
+	if a, ok := c.rules[f.SrcAS]; ok {
+		return a
+	}
+	return ActionForward
+}
+
+// PredictedShare is a predicted attack-source AS with its traffic share.
+type PredictedShare struct {
+	AS    astopo.AS
+	Share float64
+}
+
+// InstallFilteringRules installs divert rules for the smallest set of
+// predicted source ASes whose cumulative predicted share reaches coverage
+// (0 < coverage <= 1). It returns the number of rules installed.
+func (c *Controller) InstallFilteringRules(pred []PredictedShare, coverage float64) (int, error) {
+	if coverage <= 0 || coverage > 1 {
+		return 0, errors.New("sdn: coverage must be in (0, 1]")
+	}
+	sorted := make([]PredictedShare, len(pred))
+	copy(sorted, pred)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Share != sorted[j].Share {
+			return sorted[i].Share > sorted[j].Share
+		}
+		return sorted[i].AS < sorted[j].AS
+	})
+	var cum float64
+	n := 0
+	for _, p := range sorted {
+		if cum >= coverage {
+			break
+		}
+		if p.Share <= 0 {
+			continue
+		}
+		if err := c.Install(Rule{SrcAS: p.AS, Action: ActionDivert}); err != nil {
+			// Capacity reached: report how far coverage got.
+			return n, fmt.Errorf("sdn: coverage %.2f reached only %.2f: %w", coverage, cum, err)
+		}
+		cum += p.Share
+		n++
+	}
+	return n, nil
+}
+
+// FilterMetrics summarizes one filtering evaluation.
+type FilterMetrics struct {
+	// Recall is the fraction of malicious traffic (by packets) diverted.
+	Recall float64
+	// Collateral is the fraction of benign traffic diverted.
+	Collateral float64
+	// Rules is the number of rules it took.
+	Rules int
+}
+
+// EvaluateFiltering classifies the flows and measures diverted malicious
+// and benign packet fractions.
+func (c *Controller) EvaluateFiltering(flows []Flow) FilterMetrics {
+	var malTotal, malDiverted, benTotal, benDiverted float64
+	for i := range flows {
+		f := &flows[i]
+		diverted := c.Classify(f) == ActionDivert
+		if f.Malicious {
+			malTotal += f.PPS
+			if diverted {
+				malDiverted += f.PPS
+			}
+		} else {
+			benTotal += f.PPS
+			if diverted {
+				benDiverted += f.PPS
+			}
+		}
+	}
+	m := FilterMetrics{Rules: c.RuleCount()}
+	if malTotal > 0 {
+		m.Recall = malDiverted / malTotal
+	}
+	if benTotal > 0 {
+		m.Collateral = benDiverted / benTotal
+	}
+	return m
+}
+
+// MiddleboxKind identifies a middlebox in the chain.
+type MiddleboxKind string
+
+// The two middleboxes of Figure 5(b).
+const (
+	LoadBalancer MiddleboxKind = "load-balancer"
+	Firewall     MiddleboxKind = "firewall"
+)
+
+// Chain is an ordered middlebox traversal. In normal operation traffic
+// crosses the load balancer first for throughput; under attack the
+// firewall must come first so packets cannot be modified to evade
+// detection (§VII-B2).
+type Chain struct {
+	Order []MiddleboxKind
+	// ReconfigureDelay is how long a reordering takes to apply.
+	ReconfigureDelay time.Duration
+
+	pendingAt    time.Time
+	pendingOrder []MiddleboxKind
+	pending      bool
+	now          time.Time
+}
+
+// NewChain returns the normal-operation chain (LB before FW).
+func NewChain(reconfigureDelay time.Duration) *Chain {
+	return &Chain{
+		Order:            []MiddleboxKind{LoadBalancer, Firewall},
+		ReconfigureDelay: reconfigureDelay,
+	}
+}
+
+// FirewallFirst reports whether the chain currently scrubs before
+// balancing.
+func (ch *Chain) FirewallFirst() bool {
+	return len(ch.Order) > 0 && ch.Order[0] == Firewall
+}
+
+// RequestReorder schedules a reordering to the given order at time t; it
+// completes ReconfigureDelay later. A pending reorder is replaced.
+func (ch *Chain) RequestReorder(t time.Time, order []MiddleboxKind) {
+	ch.pendingAt = t.Add(ch.ReconfigureDelay)
+	ch.pendingOrder = append([]MiddleboxKind(nil), order...)
+	ch.pending = true
+}
+
+// AdvanceTo moves simulated time forward, applying a pending reorder when
+// its completion time passes.
+func (ch *Chain) AdvanceTo(t time.Time) {
+	ch.now = t
+	if ch.pending && !t.Before(ch.pendingAt) {
+		ch.Order = ch.pendingOrder
+		ch.pending = false
+	}
+}
+
+// String renders the traversal order.
+func (ch *Chain) String() string {
+	parts := make([]string, len(ch.Order))
+	for i, m := range ch.Order {
+		parts[i] = string(m)
+	}
+	return fmt.Sprintf("[%v]", parts)
+}

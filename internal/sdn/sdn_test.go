@@ -1,0 +1,194 @@
+package sdn
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/astopo"
+)
+
+func TestControllerClassify(t *testing.T) {
+	c := NewController()
+	if got := c.Classify(&Flow{SrcAS: 1}); got != ActionForward {
+		t.Errorf("empty controller should forward, got %v", got)
+	}
+	c.Install(Rule{SrcAS: 1, Action: ActionDivert})
+	if got := c.Classify(&Flow{SrcAS: 1}); got != ActionDivert {
+		t.Error("installed rule should divert")
+	}
+	if got := c.Classify(&Flow{SrcAS: 2}); got != ActionForward {
+		t.Error("unmatched flow should forward")
+	}
+	if c.RuleCount() != 1 {
+		t.Errorf("RuleCount = %d", c.RuleCount())
+	}
+	c.Clear()
+	if c.RuleCount() != 0 || c.Classify(&Flow{SrcAS: 1}) != ActionForward {
+		t.Error("Clear should remove rules")
+	}
+	// Zero value is usable.
+	var zero Controller
+	if zero.Classify(&Flow{SrcAS: 1}) != ActionForward {
+		t.Error("zero-value controller should forward")
+	}
+	zero.Install(Rule{SrcAS: 3, Action: ActionDivert})
+	if zero.Classify(&Flow{SrcAS: 3}) != ActionDivert {
+		t.Error("zero-value controller should accept installs")
+	}
+}
+
+func TestInstallFilteringRulesCoverage(t *testing.T) {
+	c := NewController()
+	pred := []PredictedShare{
+		{AS: 1, Share: 0.5},
+		{AS: 2, Share: 0.3},
+		{AS: 3, Share: 0.15},
+		{AS: 4, Share: 0.05},
+	}
+	n, err := c.InstallFilteringRules(pred, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0.5 + 0.3 = 0.8 reaches coverage with two rules.
+	if n != 2 {
+		t.Errorf("rules = %d, want 2", n)
+	}
+	if c.Classify(&Flow{SrcAS: 3}) != ActionForward {
+		t.Error("AS 3 should not be filtered at 0.8 coverage")
+	}
+	// Full coverage takes all four (positive-share) rules.
+	c2 := NewController()
+	n, err = c2.InstallFilteringRules(pred, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Errorf("full coverage rules = %d, want 4", n)
+	}
+	// Zero/negative shares are skipped.
+	c3 := NewController()
+	n, _ = c3.InstallFilteringRules([]PredictedShare{{AS: 1, Share: 0}}, 0.9)
+	if n != 0 {
+		t.Errorf("zero-share rules = %d", n)
+	}
+	if _, err := c3.InstallFilteringRules(pred, 0); err == nil {
+		t.Error("coverage 0 should error")
+	}
+	if _, err := c3.InstallFilteringRules(pred, 1.5); err == nil {
+		t.Error("coverage > 1 should error")
+	}
+}
+
+func TestEvaluateFiltering(t *testing.T) {
+	c := NewController()
+	c.Install(Rule{SrcAS: 1, Action: ActionDivert})
+	flows := []Flow{
+		{SrcAS: 1, PPS: 100, Malicious: true},
+		{SrcAS: 2, PPS: 100, Malicious: true},
+		{SrcAS: 1, PPS: 50},
+		{SrcAS: 3, PPS: 150},
+	}
+	m := c.EvaluateFiltering(flows)
+	if math.Abs(m.Recall-0.5) > 1e-12 {
+		t.Errorf("recall = %v, want 0.5", m.Recall)
+	}
+	if math.Abs(m.Collateral-0.25) > 1e-12 {
+		t.Errorf("collateral = %v, want 0.25", m.Collateral)
+	}
+	if m.Rules != 1 {
+		t.Errorf("rules = %d", m.Rules)
+	}
+	// No traffic at all.
+	empty := c.EvaluateFiltering(nil)
+	if empty.Recall != 0 || empty.Collateral != 0 {
+		t.Error("empty evaluation should be zero")
+	}
+}
+
+func TestChainReorder(t *testing.T) {
+	base := time.Date(2013, 1, 1, 0, 0, 0, 0, time.UTC)
+	ch := NewChain(30 * time.Second)
+	if ch.FirewallFirst() {
+		t.Error("normal chain should be LB first")
+	}
+	ch.RequestReorder(base, []MiddleboxKind{Firewall, LoadBalancer})
+	ch.AdvanceTo(base.Add(10 * time.Second))
+	if ch.FirewallFirst() {
+		t.Error("reorder should not complete before the delay")
+	}
+	ch.AdvanceTo(base.Add(30 * time.Second))
+	if !ch.FirewallFirst() {
+		t.Error("reorder should complete at the delay")
+	}
+	if got := ch.String(); got != "[[firewall load-balancer]]" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestChainPendingReplaced(t *testing.T) {
+	base := time.Date(2013, 1, 1, 0, 0, 0, 0, time.UTC)
+	ch := NewChain(time.Minute)
+	ch.RequestReorder(base, []MiddleboxKind{Firewall, LoadBalancer})
+	// Replace with a later request back to normal order.
+	ch.RequestReorder(base.Add(time.Hour), []MiddleboxKind{LoadBalancer, Firewall})
+	ch.AdvanceTo(base.Add(2 * time.Minute))
+	if ch.FirewallFirst() {
+		t.Error("replaced request should not have applied the first order")
+	}
+	ch.AdvanceTo(base.Add(2 * time.Hour))
+	if ch.FirewallFirst() {
+		t.Error("final order should be LB first")
+	}
+}
+
+func TestControllerCapacity(t *testing.T) {
+	c := NewControllerWithCapacity(2)
+	if err := c.Install(Rule{SrcAS: 1, Action: ActionDivert}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Install(Rule{SrcAS: 2, Action: ActionDivert}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Install(Rule{SrcAS: 3, Action: ActionDivert}); err == nil {
+		t.Error("third rule should hit capacity")
+	}
+	// Replacing an existing rule always succeeds.
+	if err := c.Install(Rule{SrcAS: 1, Action: ActionForward}); err != nil {
+		t.Errorf("replacement should succeed: %v", err)
+	}
+	if c.RuleCount() != 2 {
+		t.Errorf("rules = %d, want 2", c.RuleCount())
+	}
+	// Unbounded constructor ignores nonpositive capacity.
+	u := NewControllerWithCapacity(0)
+	for i := 0; i < 100; i++ {
+		if err := u.Install(Rule{SrcAS: astopo.AS(i), Action: ActionDivert}); err != nil {
+			t.Fatalf("unbounded install failed at %d: %v", i, err)
+		}
+	}
+}
+
+func TestInstallFilteringRulesCapacityExhausted(t *testing.T) {
+	c := NewControllerWithCapacity(1)
+	pred := []PredictedShare{
+		{AS: 1, Share: 0.4},
+		{AS: 2, Share: 0.4},
+		{AS: 3, Share: 0.2},
+	}
+	n, err := c.InstallFilteringRules(pred, 0.9)
+	if err == nil {
+		t.Fatal("capacity exhaustion should surface as an error")
+	}
+	if !errors.Is(err, ErrTableFull) {
+		t.Errorf("error should wrap ErrTableFull: %v", err)
+	}
+	if n != 1 {
+		t.Errorf("partial install = %d rules, want 1", n)
+	}
+	// The installed rule still filters its AS.
+	if c.Classify(&Flow{SrcAS: 1}) != ActionDivert {
+		t.Error("partial rule set should still be active")
+	}
+}

@@ -1,0 +1,239 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestSumAndMean(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []float64
+		sum  float64
+		mean float64
+	}{
+		{name: "simple", in: []float64{1, 2, 3, 4}, sum: 10, mean: 2.5},
+		{name: "single", in: []float64{7}, sum: 7, mean: 7},
+		{name: "negatives", in: []float64{-1, 1}, sum: 0, mean: 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Sum(tt.in); got != tt.sum {
+				t.Errorf("Sum = %v, want %v", got, tt.sum)
+			}
+			if got := Mean(tt.in); got != tt.mean {
+				t.Errorf("Mean = %v, want %v", got, tt.mean)
+			}
+		})
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) should be NaN")
+	}
+}
+
+func TestVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := PopVariance(xs); !almostEqual(got, 4, 1e-12) {
+		t.Errorf("PopVariance = %v, want 4", got)
+	}
+	if got := Variance(xs); !almostEqual(got, 32.0/7.0, 1e-12) {
+		t.Errorf("Variance = %v, want %v", got, 32.0/7.0)
+	}
+	if got := Variance([]float64{5}); got != 0 {
+		t.Errorf("Variance of singleton = %v, want 0", got)
+	}
+}
+
+func TestCV(t *testing.T) {
+	xs := []float64{10, 10, 10}
+	if got := CV(xs); got != 0 {
+		t.Errorf("CV of constant = %v, want 0", got)
+	}
+	if !math.IsNaN(CV([]float64{1, -1})) {
+		t.Error("CV with zero mean should be NaN")
+	}
+	xs = []float64{1, 2, 3}
+	want := StdDev(xs) / 2
+	if got := CV(xs); !almostEqual(got, want, 1e-12) {
+		t.Errorf("CV = %v, want %v", got, want)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 4, 1, 5}
+	mn, err := Min(xs)
+	if err != nil || mn != -1 {
+		t.Errorf("Min = %v, %v", mn, err)
+	}
+	mx, err := Max(xs)
+	if err != nil || mx != 5 {
+		t.Errorf("Max = %v, %v", mx, err)
+	}
+	if _, err := Min(nil); err == nil {
+		t.Error("Min(nil) should error")
+	}
+	if _, err := Max(nil); err == nil {
+		t.Error("Max(nil) should error")
+	}
+}
+
+func TestQuantileAndMedian(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := Median(xs); !almostEqual(got, 2.5, 1e-12) {
+		t.Errorf("Median = %v, want 2.5", got)
+	}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Errorf("Quantile(0) = %v, want 1", got)
+	}
+	if got := Quantile(xs, 1); got != 4 {
+		t.Errorf("Quantile(1) = %v, want 4", got)
+	}
+	if got := Quantile(xs, -5); got != 1 {
+		t.Errorf("Quantile clamps below: %v", got)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("Quantile(nil) should be NaN")
+	}
+}
+
+func TestRMSEAndMAE(t *testing.T) {
+	pred := []float64{1, 2, 3}
+	truth := []float64{1, 2, 5}
+	rmse, err := RMSE(pred, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := math.Sqrt(4.0 / 3.0); !almostEqual(rmse, want, 1e-12) {
+		t.Errorf("RMSE = %v, want %v", rmse, want)
+	}
+	mae, err := MAE(pred, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(mae, 2.0/3.0, 1e-12) {
+		t.Errorf("MAE = %v, want %v", mae, 2.0/3.0)
+	}
+	if _, err := RMSE([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("RMSE length mismatch should error")
+	}
+	if _, err := MAE(nil, nil); err == nil {
+		t.Error("MAE of empty should error")
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	r, err := Correlation(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(r, 1, 1e-12) {
+		t.Errorf("perfect correlation = %v, want 1", r)
+	}
+	neg := []float64{8, 6, 4, 2}
+	r, _ = Correlation(xs, neg)
+	if !almostEqual(r, -1, 1e-12) {
+		t.Errorf("perfect anticorrelation = %v, want -1", r)
+	}
+	r, _ = Correlation(xs, []float64{5, 5, 5, 5})
+	if !math.IsNaN(r) {
+		t.Errorf("zero-variance correlation = %v, want NaN", r)
+	}
+	if _, err := Correlation(xs, ys[:2]); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func TestAutocorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	if got := Autocorrelation(xs, 0); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("lag-0 autocorrelation = %v, want 1", got)
+	}
+	// Alternating series has strongly negative lag-1 autocorrelation.
+	alt := []float64{1, -1, 1, -1, 1, -1, 1, -1}
+	if got := Autocorrelation(alt, 1); got >= 0 {
+		t.Errorf("alternating lag-1 autocorrelation = %v, want negative", got)
+	}
+	if !math.IsNaN(Autocorrelation(xs, 100)) {
+		t.Error("out-of-range lag should be NaN")
+	}
+}
+
+func TestZScores(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	z := ZScores(xs)
+	if !almostEqual(Mean(z), 0, 1e-12) {
+		t.Errorf("z-score mean = %v, want 0", Mean(z))
+	}
+	if !almostEqual(StdDev(z), 1, 1e-12) {
+		t.Errorf("z-score std = %v, want 1", StdDev(z))
+	}
+	flat := ZScores([]float64{3, 3, 3})
+	for _, v := range flat {
+		if v != 0 {
+			t.Errorf("constant series z-scores = %v, want zeros", flat)
+			break
+		}
+	}
+}
+
+// Property: quantile is monotone nondecreasing in q.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, a, b float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		qa := math.Abs(math.Mod(a, 1))
+		qb := math.Abs(math.Mod(b, 1))
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return Quantile(xs, qa) <= Quantile(xs, qb)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: variance is translation invariant.
+func TestVarianceTranslationProperty(t *testing.T) {
+	f := func(raw []float64, shiftRaw float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if math.Abs(v) < 1e6 && !math.IsNaN(v) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		shift := math.Mod(shiftRaw, 1e6)
+		if math.IsNaN(shift) {
+			shift = 0
+		}
+		shifted := make([]float64, len(xs))
+		for i, v := range xs {
+			shifted[i] = v + shift
+		}
+		v1, v2 := Variance(xs), Variance(shifted)
+		return almostEqual(v1, v2, 1e-6*(1+math.Abs(v1)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

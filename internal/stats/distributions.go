@@ -1,0 +1,182 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// Sampler draws random variates from the distributions needed by the
+// synthetic trace substrate. It wraps a seeded PCG generator so that every
+// experiment in the repository is reproducible.
+type Sampler struct {
+	rng *rand.Rand
+}
+
+// NewSampler returns a Sampler seeded deterministically from seed.
+func NewSampler(seed uint64) *Sampler {
+	return &Sampler{rng: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))}
+}
+
+// Float64 returns a uniform variate in [0, 1).
+func (s *Sampler) Float64() float64 { return s.rng.Float64() }
+
+// IntN returns a uniform integer in [0, n).
+func (s *Sampler) IntN(n int) int { return s.rng.IntN(n) }
+
+// Normal returns a normal variate with the given mean and standard
+// deviation.
+func (s *Sampler) Normal(mu, sigma float64) float64 {
+	return mu + sigma*s.rng.NormFloat64()
+}
+
+// LogNormal returns a log-normal variate where the underlying normal has
+// mean mu and standard deviation sigma.
+func (s *Sampler) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(s.Normal(mu, sigma))
+}
+
+// Exponential returns an exponential variate with the given rate (1/mean).
+func (s *Sampler) Exponential(rate float64) float64 {
+	return s.rng.ExpFloat64() / rate
+}
+
+// Gamma returns a gamma variate with the given shape and scale, using the
+// Marsaglia–Tsang squeeze method (with the standard shape<1 boost).
+func (s *Sampler) Gamma(shape, scale float64) float64 {
+	if shape <= 0 || scale <= 0 {
+		return 0
+	}
+	if shape < 1 {
+		// Boost: Gamma(a) = Gamma(a+1) * U^(1/a).
+		u := s.rng.Float64()
+		for u == 0 {
+			u = s.rng.Float64()
+		}
+		return s.Gamma(shape+1, scale) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1.0 / math.Sqrt(9*d)
+	for {
+		x := s.rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := s.rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v * scale
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v * scale
+		}
+	}
+}
+
+// Poisson returns a Poisson variate with the given mean. For small means it
+// uses Knuth's multiplication method; for large means it uses a normal
+// approximation with continuity correction (adequate for workload
+// generation).
+func (s *Sampler) Poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda < 30 {
+		l := math.Exp(-lambda)
+		k := 0
+		p := 1.0
+		for {
+			p *= s.rng.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	}
+	v := s.Normal(lambda, math.Sqrt(lambda))
+	if v < 0 {
+		return 0
+	}
+	return int(v + 0.5)
+}
+
+// NegBinomialMeanCV returns a count variate with the requested mean and
+// coefficient of variation, realized as a gamma–Poisson mixture. When the
+// requested variance does not exceed the mean (under-dispersion, which the
+// mixture cannot express), it falls back to a plain Poisson draw.
+func (s *Sampler) NegBinomialMeanCV(mean, cv float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	variance := cv * mean * cv * mean
+	if variance <= mean {
+		return s.Poisson(mean)
+	}
+	// Gamma–Poisson: lambda ~ Gamma(shape, scale) with
+	// shape*scale = mean and shape*scale^2 = variance - mean.
+	scale := (variance - mean) / mean
+	shape := mean / scale
+	return s.Poisson(s.Gamma(shape, scale))
+}
+
+// NormalCDF returns the standard-normal cumulative distribution function
+// evaluated after standardizing x by mu and sigma.
+func NormalCDF(x, mu, sigma float64) float64 {
+	if sigma <= 0 {
+		if x < mu {
+			return 0
+		}
+		return 1
+	}
+	return 0.5 * math.Erfc(-(x-mu)/(sigma*math.Sqrt2))
+}
+
+// Zipf draws integers in [0, n) with probability proportional to
+// 1/(rank+1)^s. It precomputes the cumulative mass for O(log n) sampling.
+type Zipf struct {
+	cum []float64
+}
+
+// NewZipf builds a Zipf distribution over n ranks with exponent s > 0.
+// It returns nil when n < 1.
+func NewZipf(n int, s float64) *Zipf {
+	if n < 1 {
+		return nil
+	}
+	cum := make([]float64, n)
+	var total float64
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		cum[i] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return &Zipf{cum: cum}
+}
+
+// Sample draws a rank in [0, n) using the provided sampler.
+func (z *Zipf) Sample(s *Sampler) int {
+	u := s.Float64()
+	lo, hi := 0, len(z.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Prob returns the probability mass of rank i.
+func (z *Zipf) Prob(i int) float64 {
+	if i < 0 || i >= len(z.cum) {
+		return 0
+	}
+	if i == 0 {
+		return z.cum[0]
+	}
+	return z.cum[i] - z.cum[i-1]
+}

@@ -1,0 +1,183 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSamplerDeterminism(t *testing.T) {
+	a, b := NewSampler(42), NewSampler(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed must produce identical streams")
+		}
+	}
+	c := NewSampler(43)
+	same := true
+	for i := 0; i < 10; i++ {
+		if NewSampler(42).Normal(0, 1) != c.Normal(0, 1) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should diverge")
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := NewSampler(7)
+	n := 20000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = s.Normal(5, 2)
+	}
+	if m := Mean(xs); math.Abs(m-5) > 0.1 {
+		t.Errorf("normal mean = %v, want ~5", m)
+	}
+	if sd := StdDev(xs); math.Abs(sd-2) > 0.1 {
+		t.Errorf("normal std = %v, want ~2", sd)
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	s := NewSampler(9)
+	for i := 0; i < 1000; i++ {
+		if v := s.LogNormal(1, 0.5); v <= 0 {
+			t.Fatalf("lognormal produced nonpositive %v", v)
+		}
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	s := NewSampler(11)
+	n := 20000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = s.Exponential(0.5) // mean 2
+	}
+	if m := Mean(xs); math.Abs(m-2) > 0.1 {
+		t.Errorf("exponential mean = %v, want ~2", m)
+	}
+}
+
+func TestGammaMoments(t *testing.T) {
+	s := NewSampler(13)
+	shape, scale := 3.0, 2.0
+	n := 20000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = s.Gamma(shape, scale)
+	}
+	if m := Mean(xs); math.Abs(m-shape*scale) > 0.2 {
+		t.Errorf("gamma mean = %v, want ~%v", m, shape*scale)
+	}
+	if v := Variance(xs); math.Abs(v-shape*scale*scale) > 1.0 {
+		t.Errorf("gamma variance = %v, want ~%v", v, shape*scale*scale)
+	}
+	// Shape < 1 boost path.
+	for i := range xs {
+		xs[i] = s.Gamma(0.5, 1)
+	}
+	if m := Mean(xs); math.Abs(m-0.5) > 0.05 {
+		t.Errorf("gamma(0.5,1) mean = %v, want ~0.5", m)
+	}
+	if s.Gamma(-1, 1) != 0 || s.Gamma(1, -1) != 0 {
+		t.Error("invalid gamma params should return 0")
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	s := NewSampler(17)
+	for _, lambda := range []float64{0.5, 4, 50} {
+		n := 20000
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(s.Poisson(lambda))
+		}
+		if m := Mean(xs); math.Abs(m-lambda)/lambda > 0.05 {
+			t.Errorf("poisson(%v) mean = %v", lambda, m)
+		}
+	}
+	if s.Poisson(0) != 0 || s.Poisson(-1) != 0 {
+		t.Error("nonpositive lambda should return 0")
+	}
+}
+
+func TestNegBinomialMeanCV(t *testing.T) {
+	s := NewSampler(19)
+	mean, cv := 10.0, 1.2
+	n := 30000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(s.NegBinomialMeanCV(mean, cv))
+	}
+	if m := Mean(xs); math.Abs(m-mean)/mean > 0.08 {
+		t.Errorf("negbin mean = %v, want ~%v", m, mean)
+	}
+	if gotCV := CV(xs); math.Abs(gotCV-cv) > 0.15 {
+		t.Errorf("negbin CV = %v, want ~%v", gotCV, cv)
+	}
+	// Under-dispersed request degrades to Poisson.
+	for i := range xs {
+		xs[i] = float64(s.NegBinomialMeanCV(10, 0.1))
+	}
+	if m := Mean(xs); math.Abs(m-10) > 0.5 {
+		t.Errorf("underdispersed fallback mean = %v", m)
+	}
+	if s.NegBinomialMeanCV(0, 1) != 0 {
+		t.Error("zero mean should return 0")
+	}
+}
+
+func TestNormalCDF(t *testing.T) {
+	if got := NormalCDF(0, 0, 1); !almostEqual(got, 0.5, 1e-12) {
+		t.Errorf("CDF(0) = %v, want 0.5", got)
+	}
+	if got := NormalCDF(1.96, 0, 1); math.Abs(got-0.975) > 1e-3 {
+		t.Errorf("CDF(1.96) = %v, want ~0.975", got)
+	}
+	if NormalCDF(1, 2, 0) != 0 || NormalCDF(3, 2, 0) != 1 {
+		t.Error("degenerate sigma should step at mu")
+	}
+}
+
+func TestZipf(t *testing.T) {
+	z := NewZipf(10, 1.0)
+	if z == nil {
+		t.Fatal("NewZipf returned nil")
+	}
+	var total float64
+	for i := 0; i < 10; i++ {
+		p := z.Prob(i)
+		if p <= 0 {
+			t.Errorf("Prob(%d) = %v, want positive", i, p)
+		}
+		total += p
+	}
+	if !almostEqual(total, 1, 1e-9) {
+		t.Errorf("probabilities sum to %v, want 1", total)
+	}
+	if z.Prob(0) <= z.Prob(9) {
+		t.Error("Zipf should put more mass on low ranks")
+	}
+	if z.Prob(-1) != 0 || z.Prob(10) != 0 {
+		t.Error("out-of-range Prob should be 0")
+	}
+	// Sampling distribution roughly matches probabilities.
+	s := NewSampler(23)
+	counts := make([]int, 10)
+	n := 50000
+	for i := 0; i < n; i++ {
+		counts[z.Sample(s)]++
+	}
+	for i := 0; i < 10; i++ {
+		emp := float64(counts[i]) / float64(n)
+		if math.Abs(emp-z.Prob(i)) > 0.02 {
+			t.Errorf("rank %d empirical %v vs %v", i, emp, z.Prob(i))
+		}
+	}
+	if NewZipf(0, 1) != nil {
+		t.Error("NewZipf(0) should be nil")
+	}
+}

@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// ECDF is an empirical cumulative distribution function built from a sample.
+// The zero value is unusable; construct with NewECDF.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an empirical CDF from the sample xs. The input is copied.
+func NewECDF(xs []float64) *ECDF {
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	return &ECDF{sorted: s}
+}
+
+// Len returns the number of sample points backing the ECDF.
+func (e *ECDF) Len() int { return len(e.sorted) }
+
+// Eval returns P(X <= x) under the empirical distribution.
+func (e *ECDF) Eval(x float64) float64 {
+	if len(e.sorted) == 0 {
+		return math.NaN()
+	}
+	// Number of sample points <= x.
+	n := sort.SearchFloat64s(e.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(n) / float64(len(e.sorted))
+}
+
+// Quantile returns the smallest sample value v with Eval(v) >= q.
+// q is clamped into (0, 1].
+func (e *ECDF) Quantile(q float64) float64 {
+	n := len(e.sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return e.sorted[0]
+	}
+	if q > 1 {
+		q = 1
+	}
+	idx := int(math.Ceil(q*float64(n))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return e.sorted[idx]
+}
+
+// Histogram bins the sample xs into nbins equal-width bins spanning
+// [min, max]. It returns the bin left edges and counts. Values exactly at
+// max land in the last bin. Empty input or nbins < 1 yields nil slices.
+func Histogram(xs []float64, nbins int) (edges []float64, counts []int) {
+	if len(xs) == 0 || nbins < 1 {
+		return nil, nil
+	}
+	lo, _ := Min(xs)
+	hi, _ := Max(xs)
+	if hi == lo {
+		hi = lo + 1
+	}
+	width := (hi - lo) / float64(nbins)
+	edges = make([]float64, nbins)
+	counts = make([]int, nbins)
+	for i := range edges {
+		edges[i] = lo + float64(i)*width
+	}
+	for _, x := range xs {
+		b := int((x - lo) / width)
+		if b >= nbins {
+			b = nbins - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		counts[b]++
+	}
+	return edges, counts
+}
+
+// HistogramInts counts occurrences of integer-valued observations in
+// [lo, hi], one bin per integer. Out-of-range values are clamped into the
+// boundary bins. It is used to render the paper's hour-of-day and
+// day-of-month distribution figures.
+func HistogramInts(xs []float64, lo, hi int) []int {
+	if hi < lo {
+		return nil
+	}
+	counts := make([]int, hi-lo+1)
+	for _, x := range xs {
+		v := int(math.Round(x))
+		if v < lo {
+			v = lo
+		}
+		if v > hi {
+			v = hi
+		}
+		counts[v-lo]++
+	}
+	return counts
+}

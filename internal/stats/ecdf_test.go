@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestECDFEval(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 2, 3})
+	tests := []struct {
+		x    float64
+		want float64
+	}{
+		{x: 0, want: 0},
+		{x: 1, want: 0.25},
+		{x: 1.5, want: 0.25},
+		{x: 2, want: 0.75},
+		{x: 3, want: 1},
+		{x: 10, want: 1},
+	}
+	for _, tt := range tests {
+		if got := e.Eval(tt.x); !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("Eval(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+	if e.Len() != 4 {
+		t.Errorf("Len = %d, want 4", e.Len())
+	}
+}
+
+func TestECDFQuantile(t *testing.T) {
+	e := NewECDF([]float64{10, 20, 30, 40})
+	if got := e.Quantile(0.25); got != 10 {
+		t.Errorf("Quantile(0.25) = %v, want 10", got)
+	}
+	if got := e.Quantile(0.26); got != 20 {
+		t.Errorf("Quantile(0.26) = %v, want 20", got)
+	}
+	if got := e.Quantile(1); got != 40 {
+		t.Errorf("Quantile(1) = %v, want 40", got)
+	}
+	if got := e.Quantile(0); got != 10 {
+		t.Errorf("Quantile(0) = %v, want 10", got)
+	}
+	empty := NewECDF(nil)
+	if !math.IsNaN(empty.Eval(1)) || !math.IsNaN(empty.Quantile(0.5)) {
+		t.Error("empty ECDF should return NaN")
+	}
+}
+
+// Property: ECDF is monotone and bounded in [0, 1].
+func TestECDFMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, a, b float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		e := NewECDF(xs)
+		if a > b {
+			a, b = b, a
+		}
+		pa, pb := e.Eval(a), e.Eval(b)
+		return pa >= 0 && pb <= 1 && pa <= pb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	edges, counts := Histogram(xs, 5)
+	if len(edges) != 5 || len(counts) != 5 {
+		t.Fatalf("got %d edges, %d counts", len(edges), len(counts))
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != len(xs) {
+		t.Errorf("histogram total = %d, want %d", total, len(xs))
+	}
+	for _, c := range counts {
+		if c != 2 {
+			t.Errorf("uniform data counts = %v, want all 2", counts)
+			break
+		}
+	}
+	if e, c := Histogram(nil, 5); e != nil || c != nil {
+		t.Error("empty histogram should be nil")
+	}
+	// Degenerate constant data should not panic and puts all in one bin.
+	_, counts = Histogram([]float64{5, 5, 5}, 3)
+	if Sum([]float64{float64(counts[0]), float64(counts[1]), float64(counts[2])}) != 3 {
+		t.Errorf("constant-data histogram = %v", counts)
+	}
+}
+
+func TestHistogramInts(t *testing.T) {
+	xs := []float64{0, 1.2, 23, 23.4, -5, 30}
+	counts := HistogramInts(xs, 0, 23)
+	if len(counts) != 24 {
+		t.Fatalf("len = %d, want 24", len(counts))
+	}
+	if counts[0] != 2 { // 0 and clamped -5
+		t.Errorf("counts[0] = %d, want 2", counts[0])
+	}
+	if counts[1] != 1 {
+		t.Errorf("counts[1] = %d, want 1", counts[1])
+	}
+	if counts[23] != 3 { // 23, 23.4 rounds to 23, clamped 30
+		t.Errorf("counts[23] = %d, want 3", counts[23])
+	}
+	if HistogramInts(xs, 5, 4) != nil {
+		t.Error("inverted range should be nil")
+	}
+}

@@ -1,0 +1,28 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Compute the Table I activity statistics of a daily attack-count series.
+func ExampleCV() {
+	daily := []float64{2, 1, 3, 2, 2, 4, 1, 2}
+	fmt.Printf("mean %.3f\n", stats.Mean(daily))
+	fmt.Printf("cv   %.3f\n", stats.CV(daily))
+	// Output:
+	// mean 2.125
+	// cv   0.466
+}
+
+// Summarize an inter-launching-time sample with its empirical CDF.
+func ExampleECDF() {
+	gaps := []float64{40, 90, 300, 3600, 86000, 90000}
+	e := stats.NewECDF(gaps)
+	fmt.Printf("P(gap <= 1h)  = %.2f\n", e.Eval(3600))
+	fmt.Printf("median gap    = %.0f\n", e.Quantile(0.5))
+	// Output:
+	// P(gap <= 1h)  = 0.67
+	// median gap    = 300
+}

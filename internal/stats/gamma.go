@@ -1,0 +1,110 @@
+package stats
+
+import "math"
+
+// Regularized incomplete gamma functions, used for the chi-square CDF
+// behind the Ljung–Box goodness-of-fit test (§III-C validates models by
+// goodness of fit as well as by prediction).
+
+// GammaP returns the regularized lower incomplete gamma function P(a, x),
+// NaN for invalid arguments.
+func GammaP(a, x float64) float64 {
+	switch {
+	case a <= 0 || x < 0 || math.IsNaN(a) || math.IsNaN(x):
+		return math.NaN()
+	case x == 0:
+		return 0
+	case x < a+1:
+		return gammaSeries(a, x)
+	default:
+		return 1 - gammaContinuedFraction(a, x)
+	}
+}
+
+// ChiSquareCDF returns P(X <= x) for a chi-square distribution with k
+// degrees of freedom.
+func ChiSquareCDF(x float64, k int) float64 {
+	if k < 1 {
+		return math.NaN()
+	}
+	if x <= 0 {
+		return 0
+	}
+	return GammaP(float64(k)/2, x/2)
+}
+
+// gammaSeries evaluates P(a, x) by its power series (x < a+1).
+func gammaSeries(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for i := 0; i < 500; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*1e-15 {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+// gammaContinuedFraction evaluates Q(a, x) = 1 - P(a, x) by Lentz's
+// continued fraction (x >= a+1).
+func gammaContinuedFraction(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	const tiny = 1e-300
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-15 {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}
+
+// LjungBox computes the Ljung–Box Q statistic of a residual series over
+// the first maxLag autocorrelations and the p-value of the null hypothesis
+// that the residuals are white noise, with fittedParams degrees of freedom
+// consumed by the model (Q ~ chi-square with maxLag - fittedParams df).
+// A small p-value rejects whiteness, i.e. the model left structure in the
+// residuals.
+func LjungBox(residuals []float64, maxLag, fittedParams int) (q, pValue float64) {
+	n := len(residuals)
+	if n < 3 || maxLag < 1 {
+		return math.NaN(), math.NaN()
+	}
+	if maxLag >= n {
+		maxLag = n - 1
+	}
+	for k := 1; k <= maxLag; k++ {
+		r := Autocorrelation(residuals, k)
+		if math.IsNaN(r) {
+			return math.NaN(), math.NaN()
+		}
+		q += r * r / float64(n-k)
+	}
+	q *= float64(n) * float64(n+2)
+	df := maxLag - fittedParams
+	if df < 1 {
+		df = 1
+	}
+	return q, 1 - ChiSquareCDF(q, df)
+}

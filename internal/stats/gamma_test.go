@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGammaPKnownValues(t *testing.T) {
+	tests := []struct {
+		a, x, want float64
+	}{
+		// P(1, x) = 1 - e^-x (exponential CDF).
+		{a: 1, x: 1, want: 1 - math.Exp(-1)},
+		{a: 1, x: 5, want: 1 - math.Exp(-5)},
+		// P(0.5, x) = erf(sqrt(x)).
+		{a: 0.5, x: 0.25, want: math.Erf(0.5)},
+		{a: 0.5, x: 4, want: math.Erf(2)},
+		// Large-x saturation.
+		{a: 3, x: 100, want: 1},
+	}
+	for _, tt := range tests {
+		if got := GammaP(tt.a, tt.x); math.Abs(got-tt.want) > 1e-10 {
+			t.Errorf("GammaP(%v,%v) = %v, want %v", tt.a, tt.x, got, tt.want)
+		}
+	}
+	if GammaP(1, 0) != 0 {
+		t.Error("P(a,0) should be 0")
+	}
+	if !math.IsNaN(GammaP(-1, 1)) || !math.IsNaN(GammaP(1, -1)) {
+		t.Error("invalid args should be NaN")
+	}
+}
+
+func TestChiSquareCDF(t *testing.T) {
+	// Chi-square with 2 df is Exp(1/2): CDF(x) = 1 - e^{-x/2}.
+	for _, x := range []float64{0.5, 2, 5, 10} {
+		want := 1 - math.Exp(-x/2)
+		if got := ChiSquareCDF(x, 2); math.Abs(got-want) > 1e-10 {
+			t.Errorf("ChiSquareCDF(%v,2) = %v, want %v", x, got, want)
+		}
+	}
+	// Median of chi-square(1) is ~0.455.
+	if got := ChiSquareCDF(0.455, 1); math.Abs(got-0.5) > 0.01 {
+		t.Errorf("CDF(0.455,1) = %v, want ~0.5", got)
+	}
+	if ChiSquareCDF(-1, 3) != 0 {
+		t.Error("negative x should be 0")
+	}
+	if !math.IsNaN(ChiSquareCDF(1, 0)) {
+		t.Error("k=0 should be NaN")
+	}
+	// Monotone in x.
+	prev := 0.0
+	for x := 0.5; x < 30; x += 0.5 {
+		c := ChiSquareCDF(x, 5)
+		if c < prev-1e-12 {
+			t.Fatalf("CDF not monotone at %v", x)
+		}
+		prev = c
+	}
+}
+
+func TestLjungBoxWhiteNoise(t *testing.T) {
+	s := NewSampler(211)
+	n := 2000
+	white := make([]float64, n)
+	for i := range white {
+		white[i] = s.Normal(0, 1)
+	}
+	_, p := LjungBox(white, 10, 0)
+	if p < 0.01 {
+		t.Errorf("white noise rejected: p = %v", p)
+	}
+	// Strongly autocorrelated residuals must be rejected decisively.
+	ar := make([]float64, n)
+	for i := 1; i < n; i++ {
+		ar[i] = 0.7*ar[i-1] + s.Normal(0, 1)
+	}
+	q, p := LjungBox(ar, 10, 0)
+	if p > 1e-6 {
+		t.Errorf("AR(1) residuals not rejected: q=%v p=%v", q, p)
+	}
+	// Degenerate inputs.
+	if q, p := LjungBox([]float64{1, 2}, 5, 0); !math.IsNaN(q) || !math.IsNaN(p) {
+		t.Error("tiny series should be NaN")
+	}
+}
+
+func TestLjungBoxOnARIMAStyleResiduals(t *testing.T) {
+	// Residuals from a well-specified model are white; from an
+	// underspecified one they are not. Emulate with pre-whitened vs raw
+	// AR data.
+	s := NewSampler(213)
+	n := 3000
+	x := make([]float64, n)
+	for i := 1; i < n; i++ {
+		x[i] = 0.8*x[i-1] + s.Normal(0, 1)
+	}
+	// "Fitted" residuals: e_t = x_t - 0.8 x_{t-1} (true innovations).
+	resid := make([]float64, n-1)
+	for i := 1; i < n; i++ {
+		resid[i-1] = x[i] - 0.8*x[i-1]
+	}
+	if _, p := LjungBox(resid, 12, 1); p < 0.01 {
+		t.Errorf("true-model residuals rejected: p=%v", p)
+	}
+	if _, p := LjungBox(x, 12, 0); p > 1e-9 {
+		t.Errorf("raw AR series accepted as white: p=%v", p)
+	}
+}

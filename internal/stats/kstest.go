@@ -1,0 +1,98 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// KSStatistic returns the two-sample Kolmogorov–Smirnov statistic: the
+// maximum absolute difference between the empirical CDFs of xs and ys.
+// It is used to quantify how close a predicted distribution (e.g. the
+// Figure 3 hour histograms) sits to the ground truth.
+func KSStatistic(xs, ys []float64) float64 {
+	if len(xs) == 0 || len(ys) == 0 {
+		return math.NaN()
+	}
+	a := append([]float64(nil), xs...)
+	b := append([]float64(nil), ys...)
+	sort.Float64s(a)
+	sort.Float64s(b)
+	var d float64
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		// Advance past every sample equal to the smaller current value in
+		// both arrays before comparing the CDFs, so ties and duplicates do
+		// not create spurious steps.
+		v := a[i]
+		if b[j] < v {
+			v = b[j]
+		}
+		for i < len(a) && a[i] <= v {
+			i++
+		}
+		for j < len(b) && b[j] <= v {
+			j++
+		}
+		fa := float64(i) / float64(len(a))
+		fb := float64(j) / float64(len(b))
+		if diff := math.Abs(fa - fb); diff > d {
+			d = diff
+		}
+	}
+	return d
+}
+
+// KSPValue approximates the asymptotic p-value of the two-sample KS
+// statistic d with sample sizes n and m, using the Kolmogorov
+// distribution's series expansion.
+func KSPValue(d float64, n, m int) float64 {
+	if n <= 0 || m <= 0 || math.IsNaN(d) {
+		return math.NaN()
+	}
+	ne := float64(n) * float64(m) / float64(n+m)
+	lambda := (math.Sqrt(ne) + 0.12 + 0.11/math.Sqrt(ne)) * d
+	if lambda <= 0 {
+		return 1
+	}
+	var sum float64
+	for k := 1; k <= 100; k++ {
+		term := 2 * math.Pow(-1, float64(k-1)) * math.Exp(-2*lambda*lambda*float64(k)*float64(k))
+		sum += term
+		if math.Abs(term) < 1e-12 {
+			break
+		}
+	}
+	if sum < 0 {
+		sum = 0
+	}
+	if sum > 1 {
+		sum = 1
+	}
+	return sum
+}
+
+// ShannonEntropy returns the Shannon entropy (in bits) of a discrete
+// distribution given as nonnegative weights (they are normalized
+// internally; zero weights contribute nothing). The paper (§V-B) suggests
+// monitoring the entropy of AS distributions over concurrent connections
+// for early DDoS detection.
+func ShannonEntropy(weights []float64) float64 {
+	var total float64
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	var h float64
+	for _, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		p := w / total
+		h -= p * math.Log2(p)
+	}
+	return h
+}

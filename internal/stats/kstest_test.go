@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKSStatisticIdentical(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if d := KSStatistic(xs, xs); d > 1e-12 {
+		t.Errorf("KS of identical samples = %v, want 0", d)
+	}
+}
+
+func TestKSStatisticDisjoint(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	ys := []float64{10, 11, 12}
+	if d := KSStatistic(xs, ys); math.Abs(d-1) > 1e-12 {
+		t.Errorf("KS of disjoint samples = %v, want 1", d)
+	}
+}
+
+func TestKSStatisticShifted(t *testing.T) {
+	s := NewSampler(71)
+	n := 3000
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	zs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = s.Normal(0, 1)
+		ys[i] = s.Normal(0, 1)
+		zs[i] = s.Normal(2, 1)
+	}
+	same := KSStatistic(xs, ys)
+	diff := KSStatistic(xs, zs)
+	if same > 0.06 {
+		t.Errorf("KS of same distribution = %v, want small", same)
+	}
+	// Theoretical KS between N(0,1) and N(2,1) is 2*Phi(1)-1 ~ 0.6827.
+	if math.Abs(diff-0.683) > 0.05 {
+		t.Errorf("KS of shifted = %v, want ~0.68", diff)
+	}
+	if !math.IsNaN(KSStatistic(nil, xs)) {
+		t.Error("empty sample should give NaN")
+	}
+}
+
+func TestKSPValue(t *testing.T) {
+	// Large D on decent samples: tiny p.
+	if p := KSPValue(0.7, 100, 100); p > 1e-6 {
+		t.Errorf("p(0.7) = %v, want ~0", p)
+	}
+	// Tiny D: p near 1.
+	if p := KSPValue(0.01, 100, 100); p < 0.99 {
+		t.Errorf("p(0.01) = %v, want ~1", p)
+	}
+	if !math.IsNaN(KSPValue(0.5, 0, 10)) {
+		t.Error("invalid sizes should be NaN")
+	}
+	// p decreases in D.
+	prev := 1.0
+	for _, d := range []float64{0.05, 0.1, 0.2, 0.4} {
+		p := KSPValue(d, 200, 200)
+		if p > prev+1e-12 {
+			t.Errorf("p not monotone at d=%v", d)
+		}
+		prev = p
+	}
+}
+
+func TestShannonEntropy(t *testing.T) {
+	// Uniform over 4: 2 bits.
+	if h := ShannonEntropy([]float64{1, 1, 1, 1}); math.Abs(h-2) > 1e-12 {
+		t.Errorf("uniform entropy = %v, want 2", h)
+	}
+	// Degenerate: 0 bits.
+	if h := ShannonEntropy([]float64{5, 0, 0}); h != 0 {
+		t.Errorf("point-mass entropy = %v, want 0", h)
+	}
+	if h := ShannonEntropy(nil); h != 0 {
+		t.Errorf("empty entropy = %v, want 0", h)
+	}
+	// Skewed < uniform.
+	if ShannonEntropy([]float64{10, 1, 1, 1}) >= 2 {
+		t.Error("skewed distribution should have lower entropy than uniform")
+	}
+	// Negative weights are ignored, not crashed on.
+	if h := ShannonEntropy([]float64{-3, 2, 2}); math.Abs(h-1) > 1e-12 {
+		t.Errorf("entropy with negatives = %v, want 1", h)
+	}
+}

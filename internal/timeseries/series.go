@@ -1,0 +1,187 @@
+// Package timeseries provides the time-series plumbing shared by the
+// temporal (ARIMA) and spatial (NAR) models: differencing and integration,
+// lag-matrix construction, autocorrelation diagnostics, train/test splits,
+// and reversible standardization.
+package timeseries
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// ErrTooShort is returned when a series is too short for the requested
+// operation (for example, differencing or lagging beyond its length).
+var ErrTooShort = errors.New("timeseries: series too short")
+
+// Diff returns the d-th order difference of xs. The result has length
+// len(xs)-d. It errors when d < 0 or the series is too short.
+func Diff(xs []float64, d int) ([]float64, error) {
+	if d < 0 {
+		return nil, errors.New("timeseries: negative differencing order")
+	}
+	cur := make([]float64, len(xs))
+	copy(cur, xs)
+	for k := 0; k < d; k++ {
+		if len(cur) < 2 {
+			return nil, ErrTooShort
+		}
+		next := make([]float64, len(cur)-1)
+		for i := 1; i < len(cur); i++ {
+			next[i-1] = cur[i] - cur[i-1]
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// Integrate inverts Diff: given the d-th differences and the d seed values
+// (the last d observations of the original series, oldest first), it
+// reconstructs the forecast path on the original scale. diffs holds the
+// forecast increments on the differenced scale.
+func Integrate(diffs []float64, seeds []float64) ([]float64, error) {
+	d := len(seeds)
+	cur := make([]float64, len(diffs))
+	copy(cur, diffs)
+	for k := d - 1; k >= 0; k-- {
+		// Each integration pass needs the running tail value at that level.
+		// Compute the level-k tail by differencing the seeds k times.
+		tail, err := Diff(seeds, k)
+		if err != nil {
+			return nil, err
+		}
+		last := tail[len(tail)-1]
+		out := make([]float64, len(cur))
+		for i, v := range cur {
+			last += v
+			out[i] = last
+		}
+		cur = out
+	}
+	return cur, nil
+}
+
+// LagMatrix builds the design matrix for autoregression of order p: row i
+// holds [x_{i+p-1}, x_{i+p-2}, ..., x_i] (most recent lag first) and the
+// target vector holds x_{i+p}. It errors when the series has no complete
+// rows.
+func LagMatrix(xs []float64, p int) (rows [][]float64, targets []float64, err error) {
+	if p < 1 {
+		return nil, nil, errors.New("timeseries: lag order must be >= 1")
+	}
+	n := len(xs) - p
+	if n < 1 {
+		return nil, nil, ErrTooShort
+	}
+	rows = make([][]float64, n)
+	targets = make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, p)
+		for j := 0; j < p; j++ {
+			row[j] = xs[i+p-1-j]
+		}
+		rows[i] = row
+		targets[i] = xs[i+p]
+	}
+	return rows, targets, nil
+}
+
+// ACF returns the autocorrelation function of xs for lags 0..maxLag.
+func ACF(xs []float64, maxLag int) []float64 {
+	if maxLag >= len(xs) {
+		maxLag = len(xs) - 1
+	}
+	if maxLag < 0 {
+		return nil
+	}
+	out := make([]float64, maxLag+1)
+	for k := 0; k <= maxLag; k++ {
+		out[k] = stats.Autocorrelation(xs, k)
+	}
+	return out
+}
+
+// PACF returns the partial autocorrelation function for lags 1..maxLag via
+// the Durbin–Levinson recursion. Index 0 of the result corresponds to lag 1.
+func PACF(xs []float64, maxLag int) []float64 {
+	acf := ACF(xs, maxLag)
+	if len(acf) < 2 {
+		return nil
+	}
+	maxLag = len(acf) - 1
+	pacf := make([]float64, maxLag)
+	phi := make([][]float64, maxLag+1)
+	for k := range phi {
+		phi[k] = make([]float64, maxLag+1)
+	}
+	phi[1][1] = acf[1]
+	pacf[0] = acf[1]
+	for k := 2; k <= maxLag; k++ {
+		num := acf[k]
+		var den float64 = 1
+		for j := 1; j < k; j++ {
+			num -= phi[k-1][j] * acf[k-j]
+			den -= phi[k-1][j] * acf[j]
+		}
+		if den == 0 {
+			pacf[k-1] = math.NaN()
+			continue
+		}
+		phi[k][k] = num / den
+		for j := 1; j < k; j++ {
+			phi[k][j] = phi[k-1][j] - phi[k][k]*phi[k-1][k-j]
+		}
+		pacf[k-1] = phi[k][k]
+	}
+	return pacf
+}
+
+// SplitFrac splits xs into a training prefix holding frac of the points and
+// a test suffix with the remainder. frac is clamped into [0, 1].
+func SplitFrac(xs []float64, frac float64) (train, test []float64) {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	n := int(math.Round(frac * float64(len(xs))))
+	return xs[:n], xs[n:]
+}
+
+// Scaler standardizes a series to zero mean and unit variance and can
+// invert the transform. A zero-variance series is only centered.
+type Scaler struct {
+	Mean, Std float64
+}
+
+// FitScaler computes the standardization parameters of xs.
+func FitScaler(xs []float64) *Scaler {
+	return &Scaler{Mean: stats.Mean(xs), Std: stats.StdDev(xs)}
+}
+
+// Transform returns the standardized copy of xs.
+func (s *Scaler) Transform(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = s.Apply(x)
+	}
+	return out
+}
+
+// Apply standardizes a single value.
+func (s *Scaler) Apply(x float64) float64 {
+	if s.Std == 0 {
+		return x - s.Mean
+	}
+	return (x - s.Mean) / s.Std
+}
+
+// Invert maps a standardized value back to the original scale.
+func (s *Scaler) Invert(z float64) float64 {
+	if s.Std == 0 {
+		return z + s.Mean
+	}
+	return z*s.Std + s.Mean
+}

@@ -1,0 +1,193 @@
+package timeseries
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestDiff(t *testing.T) {
+	xs := []float64{1, 3, 6, 10}
+	d1, err := Diff(xs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, 4}
+	for i := range want {
+		if d1[i] != want[i] {
+			t.Fatalf("Diff1 = %v, want %v", d1, want)
+		}
+	}
+	d2, err := Diff(xs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d2) != 2 || d2[0] != 1 || d2[1] != 1 {
+		t.Errorf("Diff2 = %v, want [1 1]", d2)
+	}
+	d0, err := Diff(xs, 0)
+	if err != nil || len(d0) != 4 {
+		t.Errorf("Diff0 = %v, err %v", d0, err)
+	}
+	if _, err := Diff(xs, -1); err == nil {
+		t.Error("negative order should error")
+	}
+	if _, err := Diff([]float64{1}, 1); err == nil {
+		t.Error("too-short series should error")
+	}
+}
+
+func TestIntegrateInvertsDiff(t *testing.T) {
+	xs := []float64{2, 5, 4, 8, 9, 12, 11}
+	for d := 1; d <= 2; d++ {
+		diffs, err := Diff(xs, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Treat the tail of the differenced series as "forecasts" and
+		// reconstruct from the first len(xs)-k observations.
+		split := 4
+		seeds := xs[split-d : split]
+		future := diffs[split-d:]
+		rec, err := Integrate(future, seeds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range rec {
+			if math.Abs(v-xs[split+i]) > 1e-9 {
+				t.Errorf("d=%d: reconstructed %v, want %v", d, rec, xs[split:])
+				break
+			}
+		}
+	}
+}
+
+// Property: Integrate(Diff(xs, 1) tail, seed) reproduces the tail exactly.
+func TestDiffIntegrateRoundTripProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if math.Abs(v) < 1e9 && !math.IsNaN(v) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) < 3 {
+			return true
+		}
+		diffs, err := Diff(xs, 1)
+		if err != nil {
+			return false
+		}
+		rec, err := Integrate(diffs, xs[:1])
+		if err != nil {
+			return false
+		}
+		for i := range rec {
+			if math.Abs(rec[i]-xs[i+1]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLagMatrix(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	rows, ys, err := LagMatrix(xs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || len(ys) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// Row 0 should be [x1, x0] = [2, 1] with target x2 = 3.
+	if rows[0][0] != 2 || rows[0][1] != 1 || ys[0] != 3 {
+		t.Errorf("row0 = %v -> %v", rows[0], ys[0])
+	}
+	if rows[2][0] != 4 || rows[2][1] != 3 || ys[2] != 5 {
+		t.Errorf("row2 = %v -> %v", rows[2], ys[2])
+	}
+	if _, _, err := LagMatrix(xs, 0); err == nil {
+		t.Error("p=0 should error")
+	}
+	if _, _, err := LagMatrix(xs, 5); err == nil {
+		t.Error("p=len should error")
+	}
+}
+
+func TestACFPACF(t *testing.T) {
+	// AR(1) with phi=0.8 has geometric ACF and single PACF spike.
+	rng := rand.New(rand.NewPCG(5, 6))
+	n := 5000
+	xs := make([]float64, n)
+	for i := 1; i < n; i++ {
+		xs[i] = 0.8*xs[i-1] + rng.NormFloat64()
+	}
+	acf := ACF(xs, 3)
+	if math.Abs(acf[0]-1) > 1e-12 {
+		t.Errorf("ACF[0] = %v", acf[0])
+	}
+	if math.Abs(acf[1]-0.8) > 0.05 {
+		t.Errorf("ACF[1] = %v, want ~0.8", acf[1])
+	}
+	pacf := PACF(xs, 5)
+	if math.Abs(pacf[0]-0.8) > 0.05 {
+		t.Errorf("PACF lag1 = %v, want ~0.8", pacf[0])
+	}
+	for lag := 2; lag <= 5; lag++ {
+		if math.Abs(pacf[lag-1]) > 0.08 {
+			t.Errorf("PACF lag%d = %v, want ~0", lag, pacf[lag-1])
+		}
+	}
+	if got := ACF([]float64{1}, 5); len(got) != 1 {
+		t.Errorf("short-series ACF = %v", got)
+	}
+	if got := PACF([]float64{1}, 5); got != nil {
+		t.Errorf("short-series PACF = %v", got)
+	}
+}
+
+func TestSplitFrac(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	train, test := SplitFrac(xs, 0.8)
+	if len(train) != 8 || len(test) != 2 {
+		t.Errorf("split = %d/%d, want 8/2", len(train), len(test))
+	}
+	train, test = SplitFrac(xs, -1)
+	if len(train) != 0 || len(test) != 10 {
+		t.Error("clamped low split wrong")
+	}
+	train, test = SplitFrac(xs, 2)
+	if len(train) != 10 || len(test) != 0 {
+		t.Error("clamped high split wrong")
+	}
+}
+
+func TestScalerRoundTrip(t *testing.T) {
+	xs := []float64{3, 6, 9, 12}
+	s := FitScaler(xs)
+	z := s.Transform(xs)
+	for i, v := range z {
+		if math.Abs(s.Invert(v)-xs[i]) > 1e-12 {
+			t.Errorf("round trip failed at %d", i)
+		}
+	}
+	// Standardized series has mean ~0, std ~1.
+	var mean float64
+	for _, v := range z {
+		mean += v
+	}
+	mean /= float64(len(z))
+	if math.Abs(mean) > 1e-12 {
+		t.Errorf("standardized mean = %v", mean)
+	}
+	// Constant series: centered only, invert still round-trips.
+	c := FitScaler([]float64{5, 5, 5})
+	if got := c.Invert(c.Apply(5)); got != 5 {
+		t.Errorf("constant scaler round trip = %v", got)
+	}
+}

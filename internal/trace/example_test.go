@@ -1,0 +1,28 @@
+package trace_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/astopo"
+	"repro/internal/trace"
+)
+
+// Build a dataset and inspect the most active family.
+func ExampleNew() {
+	start := time.Date(2012, 8, 1, 12, 0, 0, 0, time.UTC)
+	ds, err := trace.New([]trace.Attack{
+		{ID: 2, Family: "DirtJumper", Start: start.Add(time.Hour), DurationSec: 600, TargetIP: 10, TargetAS: 1, Bots: []astopo.IPv4{1, 2, 3}},
+		{ID: 1, Family: "Pandora", Start: start, DurationSec: 300, TargetIP: 20, TargetAS: 2, Bots: []astopo.IPv4{4, 5}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("attacks:", ds.Len())
+	fmt.Println("first:", ds.Attacks[0].Family)
+	fmt.Println("magnitude of #2:", ds.ByFamily("DirtJumper")[0].Magnitude())
+	// Output:
+	// attacks: 2
+	// first: Pandora
+	// magnitude of #2: 3
+}

@@ -1,0 +1,32 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadJSON checks that arbitrary input never panics the dataset loader
+// and that anything it accepts re-serializes losslessly.
+func FuzzReadJSON(f *testing.F) {
+	f.Add([]byte(`{"attacks":[]}`))
+	f.Add([]byte(`{"attacks":[{"id":1,"family":"A","start":"2012-08-01T00:00:00Z","duration_sec":60,"target_ip":1,"target_as":2,"bots":[3,4]}]}`))
+	f.Add([]byte(`{nope`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ds, err := ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := ds.WriteJSON(&buf); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		back, err := ReadJSON(&buf)
+		if err != nil {
+			t.Fatalf("re-read failed: %v", err)
+		}
+		if back.Len() != ds.Len() {
+			t.Fatalf("round trip changed attack count")
+		}
+	})
+}

@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/astopo"
+)
+
+// HourlyReport reproduces the dataset's collection unit (§II-C): for one
+// botnet family at one wall-clock hour, the set of bots whose last known
+// activity falls within the preceding 24 hours (the reports are cumulative
+// over the past day).
+type HourlyReport struct {
+	Family string
+	Time   time.Time
+	// ActiveBots are the unique bot IPs active in the trailing 24 hours.
+	ActiveBots []astopo.IPv4
+}
+
+// GenerateReports rebuilds the hourly report stream for one family over
+// the dataset's time range: 24 reports per day, each listing the bots of
+// attacks overlapping the trailing 24-hour window. This feeds the active
+// bots feature A^b (Eq. 2).
+func GenerateReports(d *Dataset, family string) []HourlyReport {
+	attacks := d.ByFamily(family)
+	if len(attacks) == 0 {
+		return nil
+	}
+	first, last, err := d.TimeRange()
+	if err != nil {
+		return nil
+	}
+	start := first.Truncate(time.Hour)
+	end := last.Truncate(time.Hour).Add(time.Hour)
+
+	// Sweep: for each hour H, active bots are those of attacks with
+	// activity in (H-24h, H]. An attack is active between Start and End.
+	var reports []HourlyReport
+	for h := start; !h.After(end); h = h.Add(time.Hour) {
+		windowStart := h.Add(-24 * time.Hour)
+		set := make(map[astopo.IPv4]bool)
+		for i := range attacks {
+			a := &attacks[i]
+			if a.Start.After(h) {
+				break // attacks are chronological
+			}
+			if a.End().After(windowStart) {
+				for _, b := range a.Bots {
+					set[b] = true
+				}
+			}
+		}
+		if len(set) == 0 {
+			continue
+		}
+		bots := make([]astopo.IPv4, 0, len(set))
+		for b := range set {
+			bots = append(bots, b)
+		}
+		sort.Slice(bots, func(i, j int) bool { return bots[i] < bots[j] })
+		reports = append(reports, HourlyReport{Family: family, Time: h, ActiveBots: bots})
+	}
+	return reports
+}
+
+// ActiveBotSeries reduces hourly reports to the count series used by the
+// temporal model's A^b feature.
+func ActiveBotSeries(reports []HourlyReport) []float64 {
+	out := make([]float64, len(reports))
+	for i := range reports {
+		out[i] = float64(len(reports[i].ActiveBots))
+	}
+	return out
+}

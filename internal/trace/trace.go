@@ -1,0 +1,203 @@
+// Package trace defines the verified-DDoS-attack records the models
+// consume, mirroring the schema of the paper's industrial dataset (§II):
+// each attack carries a unique ID, the botnet family label, the start
+// timestamp, a duration in seconds, the target, and the set of
+// participating bot IPs. The package also reconstructs the dataset's
+// hourly cumulative snapshot reports and provides chronological ordering,
+// per-family/per-target views, the 80/20 train-test split, and JSON I/O.
+package trace
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/astopo"
+)
+
+// Attack is one verified DDoS attack.
+type Attack struct {
+	// ID is the unique DDoS identifier.
+	ID int `json:"id"`
+	// Family is the label of the botnet family that launched the attack.
+	Family string `json:"family"`
+	// Start is the attack start timestamp.
+	Start time.Time `json:"start"`
+	// DurationSec is the approximate attack duration in seconds (the
+	// dataset's Duration attribute).
+	DurationSec float64 `json:"duration_sec"`
+	// TargetIP identifies the victim.
+	TargetIP astopo.IPv4 `json:"target_ip"`
+	// TargetAS is the victim's autonomous system (T_l in the paper).
+	TargetAS astopo.AS `json:"target_as"`
+	// Bots lists the unique bot IPs observed in the attack; its length is
+	// the attack's bot magnitude.
+	Bots []astopo.IPv4 `json:"bots"`
+}
+
+// Magnitude returns the number of bots involved (the paper's bots
+// magnitude feature).
+func (a *Attack) Magnitude() int { return len(a.Bots) }
+
+// End returns the attack end time.
+func (a *Attack) End() time.Time {
+	return a.Start.Add(time.Duration(a.DurationSec * float64(time.Second)))
+}
+
+// Day returns the day-of-month component of the timestamp decomposition
+// T_j^ts = (day, hour).
+func (a *Attack) Day() int { return a.Start.Day() }
+
+// Hour returns the hour-of-day component of the timestamp decomposition.
+func (a *Attack) Hour() int { return a.Start.Hour() }
+
+// Dataset is a chronologically ordered collection of attacks.
+type Dataset struct {
+	Attacks []Attack `json:"attacks"`
+}
+
+// New builds a dataset, sorting the attacks chronologically (ties broken
+// by ID) and validating uniqueness of IDs.
+func New(attacks []Attack) (*Dataset, error) {
+	as := make([]Attack, len(attacks))
+	copy(as, attacks)
+	sort.Slice(as, func(i, j int) bool {
+		if !as[i].Start.Equal(as[j].Start) {
+			return as[i].Start.Before(as[j].Start)
+		}
+		return as[i].ID < as[j].ID
+	})
+	seen := make(map[int]bool, len(as))
+	for _, a := range as {
+		if seen[a.ID] {
+			return nil, fmt.Errorf("trace: duplicate attack ID %d", a.ID)
+		}
+		seen[a.ID] = true
+	}
+	return &Dataset{Attacks: as}, nil
+}
+
+// Len returns the number of attacks.
+func (d *Dataset) Len() int { return len(d.Attacks) }
+
+// Families returns the family names present, ordered by descending attack
+// count (most active first, as the paper ranks them).
+func (d *Dataset) Families() []string {
+	counts := make(map[string]int)
+	for i := range d.Attacks {
+		counts[d.Attacks[i].Family]++
+	}
+	out := make([]string, 0, len(counts))
+	for f := range counts {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if counts[out[i]] != counts[out[j]] {
+			return counts[out[i]] > counts[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// ByFamily returns the attacks of one family in chronological order.
+func (d *Dataset) ByFamily(family string) []Attack {
+	var out []Attack
+	for i := range d.Attacks {
+		if d.Attacks[i].Family == family {
+			out = append(out, d.Attacks[i])
+		}
+	}
+	return out
+}
+
+// ByTargetAS groups attacks by the victim's AS, preserving chronological
+// order inside each group.
+func (d *Dataset) ByTargetAS() map[astopo.AS][]Attack {
+	out := make(map[astopo.AS][]Attack)
+	for i := range d.Attacks {
+		out[d.Attacks[i].TargetAS] = append(out[d.Attacks[i].TargetAS], d.Attacks[i])
+	}
+	return out
+}
+
+// ByTarget groups attacks by exact victim IP, preserving chronological
+// order inside each group.
+func (d *Dataset) ByTarget() map[astopo.IPv4][]Attack {
+	out := make(map[astopo.IPv4][]Attack)
+	for i := range d.Attacks {
+		out[d.Attacks[i].TargetIP] = append(out[d.Attacks[i].TargetIP], d.Attacks[i])
+	}
+	return out
+}
+
+// Split divides the dataset chronologically: the first frac of attacks for
+// training and the remainder for testing (the paper uses 80/20: 40,563
+// train / 10,141 test).
+func (d *Dataset) Split(frac float64) (train, test *Dataset) {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	n := int(frac * float64(len(d.Attacks)))
+	return &Dataset{Attacks: d.Attacks[:n]}, &Dataset{Attacks: d.Attacks[n:]}
+}
+
+// TimeRange returns the first start and last end across all attacks.
+func (d *Dataset) TimeRange() (first, last time.Time, err error) {
+	if len(d.Attacks) == 0 {
+		return time.Time{}, time.Time{}, errors.New("trace: empty dataset")
+	}
+	first = d.Attacks[0].Start
+	last = d.Attacks[0].End()
+	for i := range d.Attacks {
+		if e := d.Attacks[i].End(); e.After(last) {
+			last = e
+		}
+	}
+	return first, last, nil
+}
+
+// WriteJSON streams the dataset as JSON.
+func (d *Dataset) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(d)
+}
+
+// ReadJSON parses a dataset written by WriteJSON and re-validates it.
+func ReadJSON(r io.Reader) (*Dataset, error) {
+	var d Dataset
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	return New(d.Attacks)
+}
+
+// SaveFile writes the dataset to path as JSON.
+func (d *Dataset) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: save: %w", err)
+	}
+	defer f.Close()
+	if err := d.WriteJSON(f); err != nil {
+		return fmt.Errorf("trace: save: %w", err)
+	}
+	return f.Sync()
+}
+
+// LoadFile reads a dataset from a JSON file.
+func LoadFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: load: %w", err)
+	}
+	defer f.Close()
+	return ReadJSON(f)
+}

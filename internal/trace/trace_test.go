@@ -1,0 +1,276 @@
+package trace
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/astopo"
+)
+
+func mkAttack(id int, family string, start time.Time, dur float64, tgt astopo.IPv4, as astopo.AS, nBots int) Attack {
+	bots := make([]astopo.IPv4, nBots)
+	for i := range bots {
+		bots[i] = astopo.IPv4(1000*id + i)
+	}
+	return Attack{
+		ID: id, Family: family, Start: start, DurationSec: dur,
+		TargetIP: tgt, TargetAS: as, Bots: bots,
+	}
+}
+
+func sampleDataset(t *testing.T) *Dataset {
+	t.Helper()
+	base := time.Date(2012, 8, 1, 0, 0, 0, 0, time.UTC)
+	ds, err := New([]Attack{
+		mkAttack(3, "B", base.Add(48*time.Hour), 600, 10, 1, 3),
+		mkAttack(1, "A", base, 300, 10, 1, 2),
+		mkAttack(2, "A", base.Add(2*time.Hour), 900, 20, 2, 5),
+		mkAttack(4, "B", base.Add(72*time.Hour), 120, 20, 2, 1),
+		mkAttack(5, "A", base.Add(96*time.Hour), 60, 10, 1, 4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestNewSortsChronologically(t *testing.T) {
+	ds := sampleDataset(t)
+	for i := 1; i < ds.Len(); i++ {
+		if ds.Attacks[i].Start.Before(ds.Attacks[i-1].Start) {
+			t.Fatal("attacks not sorted")
+		}
+	}
+	if ds.Attacks[0].ID != 1 {
+		t.Errorf("first attack ID = %d, want 1", ds.Attacks[0].ID)
+	}
+}
+
+func TestNewRejectsDuplicateIDs(t *testing.T) {
+	a := mkAttack(1, "A", time.Now(), 1, 1, 1, 1)
+	if _, err := New([]Attack{a, a}); err == nil {
+		t.Error("duplicate IDs should error")
+	}
+}
+
+func TestAttackAccessors(t *testing.T) {
+	start := time.Date(2012, 9, 15, 13, 45, 0, 0, time.UTC)
+	a := mkAttack(1, "A", start, 3600, 1, 1, 7)
+	if a.Magnitude() != 7 {
+		t.Errorf("Magnitude = %d", a.Magnitude())
+	}
+	if got := a.End(); !got.Equal(start.Add(time.Hour)) {
+		t.Errorf("End = %v", got)
+	}
+	if a.Day() != 15 || a.Hour() != 13 {
+		t.Errorf("Day/Hour = %d/%d", a.Day(), a.Hour())
+	}
+}
+
+func TestFamiliesOrderedByActivity(t *testing.T) {
+	ds := sampleDataset(t)
+	fams := ds.Families()
+	if len(fams) != 2 || fams[0] != "A" || fams[1] != "B" {
+		t.Errorf("Families = %v, want [A B]", fams)
+	}
+}
+
+func TestByFamilyAndGroups(t *testing.T) {
+	ds := sampleDataset(t)
+	as := ds.ByFamily("A")
+	if len(as) != 3 {
+		t.Fatalf("ByFamily(A) = %d attacks", len(as))
+	}
+	for i := 1; i < len(as); i++ {
+		if as[i].Start.Before(as[i-1].Start) {
+			t.Error("family view not chronological")
+		}
+	}
+	if got := ds.ByFamily("nope"); got != nil {
+		t.Errorf("unknown family = %v", got)
+	}
+	byAS := ds.ByTargetAS()
+	if len(byAS[1]) != 3 || len(byAS[2]) != 2 {
+		t.Errorf("ByTargetAS sizes = %d/%d", len(byAS[1]), len(byAS[2]))
+	}
+	byIP := ds.ByTarget()
+	if len(byIP[10]) != 3 || len(byIP[20]) != 2 {
+		t.Errorf("ByTarget sizes = %d/%d", len(byIP[10]), len(byIP[20]))
+	}
+}
+
+func TestSplit(t *testing.T) {
+	ds := sampleDataset(t)
+	train, test := ds.Split(0.8)
+	if train.Len() != 4 || test.Len() != 1 {
+		t.Errorf("split = %d/%d, want 4/1", train.Len(), test.Len())
+	}
+	// Train strictly precedes test.
+	if train.Attacks[3].Start.After(test.Attacks[0].Start) {
+		t.Error("train leaks past test")
+	}
+	train, test = ds.Split(-1)
+	if train.Len() != 0 || test.Len() != 5 {
+		t.Error("clamped split wrong")
+	}
+}
+
+func TestTimeRange(t *testing.T) {
+	ds := sampleDataset(t)
+	first, last, err := ds.TimeRange()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.Equal(ds.Attacks[0].Start) {
+		t.Errorf("first = %v", first)
+	}
+	if !last.After(first) {
+		t.Errorf("last = %v not after first", last)
+	}
+	empty := &Dataset{}
+	if _, _, err := empty.TimeRange(); err == nil {
+		t.Error("empty dataset should error")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	ds := sampleDataset(t)
+	var buf bytes.Buffer
+	if err := ds.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != ds.Len() {
+		t.Fatalf("round trip lost attacks: %d vs %d", back.Len(), ds.Len())
+	}
+	for i := range ds.Attacks {
+		a, b := ds.Attacks[i], back.Attacks[i]
+		if a.ID != b.ID || a.Family != b.Family || !a.Start.Equal(b.Start) ||
+			a.DurationSec != b.DurationSec || a.TargetIP != b.TargetIP ||
+			a.TargetAS != b.TargetAS || len(a.Bots) != len(b.Bots) {
+			t.Fatalf("attack %d mismatch: %+v vs %+v", i, a, b)
+		}
+	}
+	if _, err := ReadJSON(bytes.NewBufferString("{nope")); err == nil {
+		t.Error("bad JSON should error")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	ds := sampleDataset(t)
+	path := filepath.Join(t.TempDir(), "ds.json")
+	if err := ds.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != ds.Len() {
+		t.Error("file round trip lost attacks")
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestGenerateReportsCumulative24h(t *testing.T) {
+	base := time.Date(2012, 8, 1, 0, 0, 0, 0, time.UTC)
+	ds, err := New([]Attack{
+		mkAttack(1, "A", base.Add(1*time.Hour), 600, 10, 1, 2),
+		mkAttack(2, "A", base.Add(30*time.Hour), 600, 10, 1, 3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := GenerateReports(ds, "A")
+	if len(reports) == 0 {
+		t.Fatal("no reports")
+	}
+	// A report at hour 2 sees only attack 1's bots.
+	var at2, at25, at26, at31 *HourlyReport
+	for i := range reports {
+		switch reports[i].Time.Sub(base) / time.Hour {
+		case 2:
+			at2 = &reports[i]
+		case 25:
+			at25 = &reports[i]
+		case 26:
+			at26 = &reports[i]
+		case 31:
+			at31 = &reports[i]
+		}
+	}
+	if at2 == nil || len(at2.ActiveBots) != 2 {
+		t.Errorf("hour-2 report = %+v, want 2 bots", at2)
+	}
+	// Attack 1 ends at hour ~1.2: still inside the trailing-24h window at
+	// hour 25, aged out at hour 26. Attack 2 has not started yet, so the
+	// hour-26 report is empty and therefore skipped entirely.
+	if at25 == nil || len(at25.ActiveBots) != 2 {
+		t.Errorf("hour-25 report = %+v, want 2 bots", at25)
+	}
+	if at26 != nil {
+		t.Errorf("hour-26 report should be skipped, got %+v", at26)
+	}
+	if at31 == nil || len(at31.ActiveBots) != 3 {
+		t.Errorf("hour-31 report = %+v, want 3 bots", at31)
+	}
+	// The sweep ends at the dataset's last activity hour.
+	lastReport := reports[len(reports)-1].Time
+	if lastReport.Sub(base) > 32*time.Hour {
+		t.Errorf("reports extend past dataset range: %v", lastReport)
+	}
+	if got := GenerateReports(ds, "nope"); got != nil {
+		t.Errorf("unknown family reports = %v", got)
+	}
+	series := ActiveBotSeries(reports)
+	if len(series) != len(reports) {
+		t.Error("series length mismatch")
+	}
+	if series[0] != float64(len(reports[0].ActiveBots)) {
+		t.Error("series value mismatch")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	base := time.Date(2012, 8, 1, 0, 0, 0, 0, time.UTC)
+	ds, err := New([]Attack{
+		mkAttack(1, "A", base, 7200, 10, 1, 2),                    // ends 02:00
+		mkAttack(2, "B", base.Add(time.Hour), 7200, 20, 2, 3),     // overlaps 1
+		mkAttack(3, "A", base.Add(90*time.Minute), 600, 10, 1, 1), // overlaps 1 and 2
+		mkAttack(4, "A", base.Add(10*time.Hour), 600, 30, 3, 1),   // alone
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(ds)
+	if s.Attacks != 4 || s.Families != 2 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.Targets != 3 || s.TargetASes != 3 {
+		t.Errorf("targets = %d ases = %d", s.Targets, s.TargetASes)
+	}
+	// Bot IPs are 1000*id+i: all distinct -> 7 unique.
+	if s.UniqueBots != 7 {
+		t.Errorf("unique bots = %d, want 7", s.UniqueBots)
+	}
+	if s.PeakConcurrent != 3 {
+		t.Errorf("peak concurrent = %d, want 3", s.PeakConcurrent)
+	}
+	if s.PerFamily["A"] != 3 || s.PerFamily["B"] != 1 {
+		t.Errorf("per family = %v", s.PerFamily)
+	}
+	if !s.First.Equal(base) {
+		t.Errorf("first = %v", s.First)
+	}
+	empty := Summarize(&Dataset{})
+	if empty.Attacks != 0 || empty.PeakConcurrent != 0 {
+		t.Errorf("empty summary = %+v", empty)
+	}
+}
