@@ -12,12 +12,17 @@ package ddos
 // separately.
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
+	"repro/internal/arima"
+	"repro/internal/astopo"
 	"repro/internal/cart"
 	"repro/internal/core"
 	"repro/internal/eval"
+	"repro/internal/features"
 )
 
 // benchScale keeps a single bench iteration in the hundreds of
@@ -238,4 +243,90 @@ func ablationSamples(b *testing.B, env *eval.Env) []core.STSample {
 		})
 	}
 	return samples
+}
+
+// --- Parallel engine ------------------------------------------------------
+//
+// The benchmarks below pin the speedup of the parallel evaluation engine:
+// each one runs the same workload serially (GOMAXPROCS=1, where the worker
+// pool degenerates to a plain loop) and at full width. The deterministic
+// reductions guarantee both settings produce identical results, so the
+// sub-benchmarks differ only in wall clock.
+
+// withProcs runs fn under the given GOMAXPROCS setting.
+func withProcs(procs int, fn func()) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+	fn()
+}
+
+// benchWidths returns the GOMAXPROCS settings to compare: serial and full
+// machine width. On a single-CPU machine only the serial run is emitted —
+// a second identical sub-benchmark would just duplicate the name.
+func benchWidths() []int {
+	if n := runtime.NumCPU(); n > 1 {
+		return []int{1, n}
+	}
+	return []int{1}
+}
+
+// BenchmarkMeanPairwiseDistance measures the oracle's all-pairs sweep on a
+// cold cache (a fresh oracle per iteration, so every per-source BFS runs).
+func BenchmarkMeanPairwiseDistance(b *testing.B) {
+	env := benchWorld(b)
+	nodes := env.Inferred.Nodes()
+	for _, procs := range benchWidths() {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			withProcs(procs, func() {
+				for i := 0; i < b.N; i++ {
+					o := astopo.NewDistanceOracle(env.Inferred)
+					mean, pairs := o.MeanPairwiseDistance(nodes)
+					if pairs == 0 || mean <= 0 {
+						b.Fatal("degenerate mean")
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkComparisonFanOut measures the §VII-A comparison's per-(family,
+// feature) fan-out end to end.
+func BenchmarkComparisonFanOut(b *testing.B) {
+	env := benchWorld(b)
+	for _, procs := range benchWidths() {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			withProcs(procs, func() {
+				for i := 0; i < b.N; i++ {
+					rows, err := eval.RunComparison(env, 3)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(rows) == 0 {
+						b.Fatal("no rows")
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkSelectOrderGrid measures the ARIMA (p,q) order grid on a real
+// feature series from the bench world.
+func BenchmarkSelectOrderGrid(b *testing.B) {
+	env := benchWorld(b)
+	xs := features.MagnitudeSeries(env.Dataset.ByFamily("DirtJumper"))
+	if len(xs) < 100 {
+		b.Fatal("series too short")
+	}
+	for _, procs := range benchWidths() {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			withProcs(procs, func() {
+				for i := 0; i < b.N; i++ {
+					if _, err := arima.SelectOrder(xs, 4, 1, 3); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
 }

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/parallel"
 	"repro/internal/regress"
 	"repro/internal/timeseries"
 )
@@ -38,10 +39,13 @@ type Model struct {
 	n   int // observations used in the estimation regression
 }
 
-// Fit estimates an ARIMA(p,d,q) model on xs. p must be >= 1; d and q must
-// be >= 0.
+// Fit estimates an ARIMA(p,d,q) model on xs. p, d, and q must be >= 0.
+// ARIMA(0,d,q) fits a pure-MA model; ARIMA(0,d,0) is the intercept-only
+// white-noise model — both are legitimate AIC candidates (a grid that
+// skips them can never select an over-differenced or moving-average-only
+// process).
 func Fit(xs []float64, p, d, q int) (*Model, error) {
-	if p < 1 || d < 0 || q < 0 {
+	if p < 0 || d < 0 || q < 0 {
 		return nil, fmt.Errorf("arima: invalid order (%d,%d,%d)", p, d, q)
 	}
 	w, err := timeseries.Diff(xs, d)
@@ -49,6 +53,11 @@ func Fit(xs []float64, p, d, q int) (*Model, error) {
 		return nil, ErrTooShort
 	}
 	minLen := p + q + 2
+	if minLen < 3 {
+		// Even the intercept-only model needs a residual degree of freedom
+		// beyond the mean for its variance (and AIC) to carry information.
+		minLen = 3
+	}
 	if q > 0 {
 		minLen += longAROrder(p, q, len(w))
 	}
@@ -58,15 +67,40 @@ func Fit(xs []float64, p, d, q int) (*Model, error) {
 	m := &Model{P: p, D: d, Q: q}
 	m.orig = append(m.orig, xs...)
 	m.w = append(m.w, w...)
-	if q == 0 {
+	switch {
+	case p == 0 && q == 0:
+		m.fitIntercept(w)
+	case q == 0:
 		if err := m.fitAR(w, p); err != nil {
 			return nil, err
 		}
-	} else if err := m.fitHannanRissanen(w, p, q); err != nil {
-		return nil, err
+	default:
+		if err := m.fitHannanRissanen(w, p, q); err != nil {
+			return nil, err
+		}
 	}
 	m.computeResiduals()
 	return m, nil
+}
+
+// fitIntercept estimates the degenerate ARIMA(0,d,0): w_t = C + e_t, the
+// sample-mean model. It anchors the AIC grid so pure noise is not forced
+// into spurious AR or MA structure.
+func (m *Model) fitIntercept(w []float64) {
+	var mean float64
+	for _, v := range w {
+		mean += v
+	}
+	mean /= float64(len(w))
+	var rss float64
+	for _, v := range w {
+		d := v - mean
+		rss += d * d
+	}
+	m.C = mean
+	m.Phi, m.Theta = nil, nil
+	m.rss = rss
+	m.n = len(w)
 }
 
 // fitAR estimates a pure AR(p) by OLS on the lag matrix.
@@ -152,6 +186,9 @@ func (m *Model) fitHannanRissanen(w []float64, p, q int) error {
 	m.C = stage2.Intercept
 	m.Phi = stage2.Coeffs[:p]
 	m.Theta = stage2.Coeffs[p:]
+	if p == 0 {
+		m.Phi = nil // pure MA: keep the canonical nil form persistence expects
+	}
 	m.rss = stage2.RSS
 	m.n = stage2.N
 	return nil
@@ -267,25 +304,47 @@ func (m *Model) AIC() float64 {
 	return float64(m.n)*math.Log(rssPerN) + 2*k
 }
 
-// SelectOrder fits ARIMA models over a small grid and returns the model
-// with the best (lowest) AIC. The differencing order is chosen first by a
-// persistence heuristic: difference while the lag-1 autocorrelation stays
-// above 0.9 (an indication of a unit root), up to maxD.
+// SelectOrder fits ARIMA models over the full (p,q) grid — including the
+// pure-MA column p=0 and the intercept-only corner (0,d,0) — and returns
+// the model with the best (lowest) AIC. The differencing order is chosen
+// first by a persistence heuristic: difference while the lag-1
+// autocorrelation stays above 0.9 (an indication of a unit root), up to
+// maxD.
+//
+// The grid is fitted on the parallel worker pool: every candidate order is
+// independent, and the winner is reduced from the results in grid order
+// (p ascending, then q ascending) with a strict comparison — exactly the
+// model the serial loop would pick, including tie-breaks.
 func SelectOrder(xs []float64, maxP, maxD, maxQ int) (*Model, error) {
 	if maxP < 1 {
 		maxP = 1
 	}
+	if maxQ < 0 {
+		maxQ = 0
+	}
 	d := chooseD(xs, maxD)
-	var best *Model
-	for p := 1; p <= maxP; p++ {
+	type order struct{ p, q int }
+	grid := make([]order, 0, (maxP+1)*(maxQ+1))
+	for p := 0; p <= maxP; p++ {
 		for q := 0; q <= maxQ; q++ {
-			m, err := Fit(xs, p, d, q)
-			if err != nil {
-				continue
-			}
-			if best == nil || m.AIC() < best.AIC() {
-				best = m
-			}
+			grid = append(grid, order{p, q})
+		}
+	}
+	// Infeasible orders are skipped, not errors, so Map never fails here.
+	models, _ := parallel.Map(len(grid), 0, func(i int) (*Model, error) {
+		m, err := Fit(xs, grid[i].p, d, grid[i].q)
+		if err != nil {
+			return nil, nil
+		}
+		return m, nil
+	})
+	var best *Model
+	for _, m := range models {
+		if m == nil {
+			continue
+		}
+		if best == nil || m.AIC() < best.AIC() {
+			best = m
 		}
 	}
 	if best == nil {
@@ -294,6 +353,10 @@ func SelectOrder(xs []float64, maxP, maxD, maxQ int) (*Model, error) {
 	return best, nil
 }
 
+// chooseD differences only on a strongly *positive* lag-1 autocorrelation.
+// A strongly negative acf(1) is the textbook signature of an already
+// over-differenced series — differencing again would make it worse, so it
+// must terminate the loop, not extend it.
 func chooseD(xs []float64, maxD int) int {
 	cur := xs
 	for d := 0; d < maxD; d++ {
@@ -301,7 +364,7 @@ func chooseD(xs []float64, maxD int) int {
 			return d
 		}
 		acf := timeseries.ACF(cur, 1)
-		if len(acf) < 2 || math.IsNaN(acf[1]) || math.Abs(acf[1]) < 0.9 {
+		if len(acf) < 2 || math.IsNaN(acf[1]) || acf[1] < 0.9 {
 			return d
 		}
 		next, err := timeseries.Diff(cur, 1)

@@ -149,8 +149,8 @@ func TestUpdateWithDifferencing(t *testing.T) {
 }
 
 func TestFitErrors(t *testing.T) {
-	if _, err := Fit([]float64{1, 2, 3}, 0, 0, 0); err == nil {
-		t.Error("p=0 should error")
+	if _, err := Fit([]float64{1, 2, 3}, -1, 0, 0); err == nil {
+		t.Error("p<0 should error")
 	}
 	if _, err := Fit([]float64{1, 2, 3}, 1, -1, 0); err == nil {
 		t.Error("d<0 should error")
@@ -230,5 +230,171 @@ func TestAICFinite(t *testing.T) {
 	}
 	if a := m.AIC(); math.IsNaN(a) || math.IsInf(a, 0) {
 		t.Errorf("AIC = %v", a)
+	}
+}
+
+// genMA synthesizes an MA(1) series x_t = mu + e_t + theta e_{t-1}.
+func genMA(n int, mu, theta, sigma float64, seed uint64) []float64 {
+	rng := rand.New(rand.NewPCG(seed, seed+1))
+	xs := make([]float64, n)
+	ePrev := 0.0
+	for i := 0; i < n; i++ {
+		e := rng.NormFloat64() * sigma
+		xs[i] = mu + e + theta*ePrev
+		ePrev = e
+	}
+	return xs
+}
+
+func TestFitPureMARecoversTheta(t *testing.T) {
+	xs := genMA(5000, 0, 0.6, 1.0, 31)
+	m, err := Fit(xs, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.P != 0 || len(m.Phi) != 0 {
+		t.Fatalf("pure MA fit has AR terms: P=%d Phi=%v", m.P, m.Phi)
+	}
+	if math.Abs(m.Theta[0]-0.6) > 0.1 {
+		t.Errorf("theta = %v, want ~0.6", m.Theta[0])
+	}
+}
+
+func TestFitInterceptOnly(t *testing.T) {
+	rng := rand.New(rand.NewPCG(33, 34))
+	xs := make([]float64, 500)
+	var mean float64
+	for i := range xs {
+		xs[i] = 3 + rng.NormFloat64()
+		mean += xs[i]
+	}
+	mean /= float64(len(xs))
+	m, err := Fit(xs, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.C-mean) > 1e-9 {
+		t.Errorf("intercept = %v, want sample mean %v", m.C, mean)
+	}
+	f, err := m.Forecast(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range f {
+		if math.Abs(v-mean) > 1e-9 {
+			t.Errorf("white-noise forecast %v should be the mean %v", v, mean)
+		}
+	}
+	if a := m.AIC(); math.IsNaN(a) || math.IsInf(a, 0) {
+		t.Errorf("AIC = %v", a)
+	}
+}
+
+// TestSelectOrderIncludesPureMA is the regression test for the grid
+// starting at p=1: on an MA(1)-generated series the AIC-best model is a
+// pure-MA ARIMA(0,0,q), which the old grid could never return.
+func TestSelectOrderIncludesPureMA(t *testing.T) {
+	xs := genMA(4000, 0, 0.8, 1.0, 35)
+	m, err := SelectOrder(xs, 2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.P != 0 {
+		t.Errorf("MA(1) series selected P=%d, want 0 (pure MA must be a candidate)", m.P)
+	}
+	if m.Q < 1 {
+		t.Errorf("MA(1) series selected Q=%d, want >= 1", m.Q)
+	}
+	if m.D != 0 {
+		t.Errorf("stationary MA(1) series selected D=%d, want 0", m.D)
+	}
+}
+
+// TestChooseDNegativeACFKeepsD0 is the regression test for the
+// over-differencing bug: an alternating series has acf(1) ~ -1, the
+// textbook sign of over-differencing, and must NOT be differenced.
+func TestChooseDNegativeACFKeepsD0(t *testing.T) {
+	xs := make([]float64, 200)
+	for i := range xs {
+		if i%2 == 0 {
+			xs[i] = 1
+		} else {
+			xs[i] = -1
+		}
+	}
+	if d := chooseD(xs, 2); d != 0 {
+		t.Fatalf("alternating series chooseD = %d, want 0", d)
+	}
+	m, err := SelectOrder(xs, 2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.D != 0 {
+		t.Fatalf("alternating series selected D=%d, want 0", m.D)
+	}
+}
+
+// TestSelectOrderParallelMatchesSerial pins the determinism contract: the
+// parallel grid must select exactly the model a serial loop over the same
+// grid picks, including (p,q)-order tie-breaking.
+func TestSelectOrderParallelMatchesSerial(t *testing.T) {
+	for _, seed := range []uint64{41, 43, 45, 47} {
+		xs := genAR(400, 0.5, 0.6, 1.0, seed)
+		maxP, maxD, maxQ := 3, 1, 2
+		got, err := SelectOrder(xs, maxP, maxD, maxQ)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Serial reference: same grid, same strict-< reduction.
+		d := chooseD(xs, maxD)
+		var want *Model
+		for p := 0; p <= maxP; p++ {
+			for q := 0; q <= maxQ; q++ {
+				m, err := Fit(xs, p, d, q)
+				if err != nil {
+					continue
+				}
+				if want == nil || m.AIC() < want.AIC() {
+					want = m
+				}
+			}
+		}
+		if want == nil {
+			t.Fatal("serial reference found no model")
+		}
+		if got.P != want.P || got.D != want.D || got.Q != want.Q {
+			t.Fatalf("seed %d: parallel picked (%d,%d,%d), serial picked (%d,%d,%d)",
+				seed, got.P, got.D, got.Q, want.P, want.D, want.Q)
+		}
+		if got.AIC() != want.AIC() {
+			t.Fatalf("seed %d: AIC differs: %v vs %v", seed, got.AIC(), want.AIC())
+		}
+	}
+}
+
+func TestPersistPureMAModel(t *testing.T) {
+	xs := genMA(600, 0, 0.5, 1.0, 49)
+	m, err := Fit(xs, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := m.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Model
+	if err := back.UnmarshalJSON(data); err != nil {
+		t.Fatalf("round-trip of P=0 model rejected: %v", err)
+	}
+	p1, err := m.PredictNext()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := back.PredictNext()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatalf("round-trip prediction %v != original %v", p2, p1)
 	}
 }

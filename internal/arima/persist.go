@@ -45,7 +45,7 @@ func (m *Model) UnmarshalJSON(data []byte) error {
 	if err := json.Unmarshal(data, &j); err != nil {
 		return fmt.Errorf("arima: unmarshal: %w", err)
 	}
-	if j.P < 1 || j.D < 0 || j.Q < 0 {
+	if j.P < 0 || j.D < 0 || j.Q < 0 {
 		return fmt.Errorf("arima: unmarshal: invalid order (%d,%d,%d)", j.P, j.D, j.Q)
 	}
 	if len(j.Phi) != j.P || len(j.Theta) != j.Q {

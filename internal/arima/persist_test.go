@@ -77,7 +77,7 @@ func TestModelUnmarshalValidation(t *testing.T) {
 	var m Model
 	cases := map[string]string{
 		"bad json":       `{`,
-		"invalid order":  `{"p":0,"d":0,"q":0,"w":[1],"e":[0],"orig":[1]}`,
+		"invalid order":  `{"p":-1,"d":0,"q":0,"w":[1],"e":[0],"orig":[1]}`,
 		"phi mismatch":   `{"p":2,"d":0,"q":0,"phi":[0.5],"c":0,"w":[1,2,3],"e":[0,0,0],"orig":[1,2,3]}`,
 		"no state":       `{"p":1,"d":0,"q":0,"phi":[0.5],"c":0,"w":[],"e":[],"orig":[1]}`,
 		"w/e mismatch":   `{"p":1,"d":0,"q":0,"phi":[0.5],"c":0,"w":[1,2],"e":[0],"orig":[1,2]}`,

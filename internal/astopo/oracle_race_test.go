@@ -1,0 +1,117 @@
+package astopo
+
+import (
+	"sync"
+	"testing"
+)
+
+// raceGraph builds a mid-sized synthetic topology for oracle concurrency
+// tests.
+func raceGraph(t *testing.T) (*Graph, []AS) {
+	t.Helper()
+	topo, err := Synthesize(SynthConfig{Tier1: 4, Tier2: 10, Stubs: 50, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo.Graph, topo.Graph.Nodes()
+}
+
+// TestDistanceOracleConcurrentConsistency hammers HopDistance and
+// MeanPairwiseDistance from many goroutines (run under -race) and asserts
+// that every cached answer equals a fresh, uncached BFS.
+func TestDistanceOracleConcurrentConsistency(t *testing.T) {
+	g, nodes := raceGraph(t)
+	o := NewDistanceOracle(g)
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Every goroutine sweeps all pairs, offset so goroutines hit
+			// the same sources at different times.
+			for k := range nodes {
+				src := nodes[(k+w)%len(nodes)]
+				for _, dst := range nodes {
+					o.HopDistance(src, dst)
+				}
+			}
+			o.MeanPairwiseDistance(nodes)
+		}(w)
+	}
+	wg.Wait()
+
+	// Cached answers must equal a fresh single-threaded BFS.
+	for _, src := range nodes {
+		fresh := valleyFreeBFS(g, src)
+		for _, dst := range nodes {
+			got, ok := o.HopDistance(src, dst)
+			if src == dst {
+				if !ok || got != 0 {
+					t.Fatalf("HopDistance(%d,%d) = %d,%v, want 0,true", src, dst, got, ok)
+				}
+				continue
+			}
+			want, wantOK := fresh[dst]
+			if ok != wantOK || got != want {
+				t.Fatalf("HopDistance(%d,%d) = %d,%v, fresh BFS says %d,%v", src, dst, got, ok, want, wantOK)
+			}
+		}
+	}
+
+	// Singleflight: with every source queried, each BFS ran exactly once.
+	if runs := o.bfsRuns.Load(); runs != int64(len(nodes)) {
+		t.Fatalf("bfsRuns = %d, want %d (one BFS per source)", runs, len(nodes))
+	}
+}
+
+// TestDistanceOracleMeanPairwiseMatchesSerial checks that the fanned-out
+// pair sweep returns exactly what the naive serial double loop returns,
+// warm or cold.
+func TestDistanceOracleMeanPairwiseMatchesSerial(t *testing.T) {
+	g, nodes := raceGraph(t)
+
+	serialOracle := NewDistanceOracle(g)
+	var serialSum float64
+	var serialPairs int
+	for i := 0; i < len(nodes); i++ {
+		for j := i + 1; j < len(nodes); j++ {
+			if d, ok := serialOracle.HopDistance(nodes[i], nodes[j]); ok {
+				serialSum += float64(d)
+				serialPairs++
+			}
+		}
+	}
+	wantMean := serialSum / float64(serialPairs)
+
+	for name, oracle := range map[string]*DistanceOracle{
+		"cold": NewDistanceOracle(g),
+		"warm": serialOracle,
+	} {
+		mean, pairs := oracle.MeanPairwiseDistance(nodes)
+		if pairs != serialPairs || mean != wantMean {
+			t.Fatalf("%s: MeanPairwiseDistance = (%v, %d), serial = (%v, %d)",
+				name, mean, pairs, wantMean, serialPairs)
+		}
+	}
+
+	// Duplicate sources count as zero-distance pairs, as HopDistance says.
+	dup := []AS{nodes[0], nodes[0], nodes[1]}
+	mean, pairs := NewDistanceOracle(g).MeanPairwiseDistance(dup)
+	d01, ok := NewDistanceOracle(g).HopDistance(nodes[0], nodes[1])
+	if !ok {
+		t.Skip("nodes 0 and 1 unreachable in this synthesis")
+	}
+	if pairs != 3 || mean != float64(2*d01)/3 {
+		t.Fatalf("duplicate-source mean = (%v, %d), want (%v, 3)", mean, pairs, float64(2*d01)/3)
+	}
+
+	// Degenerate inputs.
+	if mean, pairs := NewDistanceOracle(g).MeanPairwiseDistance(nil); mean != 0 || pairs != 0 {
+		t.Fatalf("empty input = (%v, %d)", mean, pairs)
+	}
+	if mean, pairs := NewDistanceOracle(g).MeanPairwiseDistance(nodes[:1]); mean != 0 || pairs != 0 {
+		t.Fatalf("single source = (%v, %d)", mean, pairs)
+	}
+}

@@ -2,6 +2,9 @@ package astopo
 
 import (
 	"sync"
+	"sync/atomic"
+
+	"repro/internal/parallel"
 )
 
 // Valley-free routing: a legal route climbs customer-to-provider links,
@@ -19,18 +22,73 @@ const (
 )
 
 // DistanceOracle computes and caches valley-free hop distances on a graph.
-// It is safe for concurrent use.
+// It is safe for concurrent use and designed to scale with it: the cache
+// sits behind an RWMutex so warm lookups only take a read lock, and a cold
+// source's BFS runs *outside* any lock with singleflight deduplication —
+// concurrent callers asking for the same source wait for one BFS instead
+// of convoying on a global mutex or redundantly recomputing it.
 type DistanceOracle struct {
 	g  *Graph
-	mu sync.Mutex
+	mu sync.RWMutex
 	// cache maps a source AS to the distance vector computed by a full
-	// BFS from that source.
+	// BFS from that source. Vectors are never mutated after insertion, so
+	// they may be read without holding the lock.
 	cache map[AS]map[AS]int
+	// inflight tracks BFS computations in progress, keyed by source.
+	inflight map[AS]*bfsFlight
+	// bfsRuns counts completed BFS computations (concurrency tests assert
+	// exactly one run per distinct source).
+	bfsRuns atomic.Int64
+}
+
+// bfsFlight is one in-progress BFS; waiters block on done and then read
+// dists, which is written exactly once before done is closed.
+type bfsFlight struct {
+	done  chan struct{}
+	dists map[AS]int
 }
 
 // NewDistanceOracle wraps g with a distance cache.
 func NewDistanceOracle(g *Graph) *DistanceOracle {
-	return &DistanceOracle{g: g, cache: make(map[AS]map[AS]int)}
+	return &DistanceOracle{
+		g:        g,
+		cache:    make(map[AS]map[AS]int),
+		inflight: make(map[AS]*bfsFlight),
+	}
+}
+
+// distances returns the full distance vector from src, computing the BFS
+// at most once per source across all concurrent callers.
+func (o *DistanceOracle) distances(src AS) map[AS]int {
+	o.mu.RLock()
+	d, ok := o.cache[src]
+	o.mu.RUnlock()
+	if ok {
+		return d
+	}
+	o.mu.Lock()
+	if d, ok := o.cache[src]; ok {
+		o.mu.Unlock()
+		return d
+	}
+	if f, ok := o.inflight[src]; ok {
+		o.mu.Unlock()
+		<-f.done
+		return f.dists
+	}
+	f := &bfsFlight{done: make(chan struct{})}
+	o.inflight[src] = f
+	o.mu.Unlock()
+
+	f.dists = valleyFreeBFS(o.g, src)
+	o.bfsRuns.Add(1)
+
+	o.mu.Lock()
+	o.cache[src] = f.dists
+	delete(o.inflight, src)
+	o.mu.Unlock()
+	close(f.done)
+	return f.dists
 }
 
 // HopDistance returns the length (in AS hops) of the shortest valley-free
@@ -39,36 +97,90 @@ func (o *DistanceOracle) HopDistance(src, dst AS) (int, bool) {
 	if src == dst {
 		return 0, true
 	}
-	o.mu.Lock()
-	dists, ok := o.cache[src]
-	if !ok {
-		dists = valleyFreeBFS(o.g, src)
-		o.cache[src] = dists
-	}
-	o.mu.Unlock()
-	d, ok := dists[dst]
+	d, ok := o.distances(src)[dst]
 	return d, ok
 }
+
+// meanPairwiseParallelCutoff is the source count below which a warm-cache
+// pairwise sweep is cheaper serial than fanned out: each fully cached
+// source costs only map lookups, so goroutine startup would dominate.
+const meanPairwiseParallelCutoff = 64
 
 // MeanPairwiseDistance returns the average valley-free hop distance over
 // all unordered pairs of the given ASes, skipping unreachable pairs. The
 // second return is the number of reachable pairs. This implements the
 // inter-AS distribution DT of Eq. 4.
+//
+// Sources are independent, so the per-source BFS fan-out runs on the
+// parallel worker pool whenever there is real work: more than one source
+// still needs its BFS, or the pair sweep itself is large. Hop distances
+// are small integers, so the float64 pair sum is exact and the result is
+// bit-identical to the serial loop regardless of scheduling.
 func (o *DistanceOracle) MeanPairwiseDistance(ases []AS) (float64, int) {
-	var sum float64
-	var n int
-	for i := 0; i < len(ases); i++ {
-		for j := i + 1; j < len(ases); j++ {
-			if d, ok := o.HopDistance(ases[i], ases[j]); ok {
-				sum += float64(d)
-				n++
-			}
-		}
-	}
-	if n == 0 {
+	n := len(ases)
+	if n < 2 {
 		return 0, 0
 	}
-	return sum / float64(n), n
+	if n < meanPairwiseParallelCutoff && o.uncached(ases[:n-1]) < 2 {
+		var sum float64
+		var pairs int
+		for i := 0; i < n-1; i++ {
+			s, c := o.pairRow(ases, i)
+			sum += s
+			pairs += c
+		}
+		return finishMean(sum, pairs)
+	}
+	sums := make([]float64, n-1)
+	counts := make([]int, n-1)
+	parallel.ForEach(n-1, 0, func(i int) error {
+		sums[i], counts[i] = o.pairRow(ases, i)
+		return nil
+	})
+	var sum float64
+	var pairs int
+	for i := range sums {
+		sum += sums[i]
+		pairs += counts[i]
+	}
+	return finishMean(sum, pairs)
+}
+
+// pairRow sums the distances from ases[i] to every later source.
+func (o *DistanceOracle) pairRow(ases []AS, i int) (sum float64, pairs int) {
+	dists := o.distances(ases[i])
+	for j := i + 1; j < len(ases); j++ {
+		if ases[j] == ases[i] {
+			pairs++ // zero-distance pair
+			continue
+		}
+		if d, ok := dists[ases[j]]; ok {
+			sum += float64(d)
+			pairs++
+		}
+	}
+	return sum, pairs
+}
+
+func finishMean(sum float64, pairs int) (float64, int) {
+	if pairs == 0 {
+		return 0, 0
+	}
+	return sum / float64(pairs), pairs
+}
+
+// uncached counts how many of the given sources have no cached distance
+// vector yet.
+func (o *DistanceOracle) uncached(srcs []AS) int {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	n := 0
+	for _, src := range srcs {
+		if _, ok := o.cache[src]; !ok {
+			n++
+		}
+	}
+	return n
 }
 
 // valleyFreeBFS computes shortest valley-free distances from src to every

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cart"
 	"repro/internal/core"
+	"repro/internal/parallel"
 	"repro/internal/stats"
 )
 
@@ -65,8 +66,11 @@ func RunAblation(env *Env, cfg Figure34Config) ([]AblationRow, error) {
 		{name: AblationMeanLeaves, mask: identity, cfg: core.STConfig{Tree: cart.Config{LeafModel: cart.LeafMean}}},
 		{name: AblationNoPruning, mask: identity, cfg: core.STConfig{Tree: cart.Config{StdDevRetain: 0.999}}},
 	}
-	rows := make([]AblationRow, 0, len(variants))
-	for _, v := range variants {
+	// Every variant retrains its own trees from its own masked copies of
+	// the samples, so the variants fan out on the worker pool; rows come
+	// back in variant order.
+	return parallel.Map(len(variants), 0, func(vi int) (AblationRow, error) {
+		v := variants[vi]
 		trainRows := make([]core.STSample, len(train))
 		for i, s := range train {
 			trainRows[i] = core.STSample{
@@ -75,7 +79,7 @@ func RunAblation(env *Env, cfg Figure34Config) ([]AblationRow, error) {
 		}
 		st, err := core.FitSpatiotemporal(trainRows, v.cfg)
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
 		var hourPred, dayPred, hourTruth, dayTruth []float64
 		for _, s := range test {
@@ -87,20 +91,19 @@ func RunAblation(env *Env, cfg Figure34Config) ([]AblationRow, error) {
 		}
 		hr, err := stats.RMSE(hourPred, hourTruth)
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
 		dr, err := stats.RMSE(dayPred, dayTruth)
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
-		rows = append(rows, AblationRow{
+		return AblationRow{
 			Variant:    v.name,
 			HourRMSE:   hr,
 			DayRMSE:    dr,
 			HourLeaves: st.Hour.Leaves(),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 func identity(f core.STFeatures) core.STFeatures { return f }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/features"
+	"repro/internal/parallel"
 	"repro/internal/timeseries"
 )
 
@@ -31,6 +32,12 @@ type ComparisonRow struct {
 // families: the paper's temporal/spatial models against the Always Same
 // and Always Mean baselines on bot magnitude, attack duration, and the
 // source-distribution feature A^s.
+//
+// The (family, feature) walk-forwards are independent, so the job list is
+// built serially (fixing the family order and the feature series) and then
+// fanned out on the parallel worker pool. Every job owns its predictors
+// and series copies, and rows come back in job order, so the output is
+// identical to the serial loop.
 func RunComparison(env *Env, nFamilies int) ([]ComparisonRow, error) {
 	if nFamilies < 1 {
 		nFamilies = 5
@@ -39,7 +46,11 @@ func RunComparison(env *Env, nFamilies int) ([]ComparisonRow, error) {
 	if len(fams) > nFamilies {
 		fams = fams[:nFamilies]
 	}
-	var rows []ComparisonRow
+	type job struct {
+		fam, feat string
+		series    []float64
+	}
+	var jobs []job
 	for _, fam := range fams {
 		attacks := env.Dataset.ByFamily(fam)
 		if len(attacks) < 40 {
@@ -51,31 +62,39 @@ func RunComparison(env *Env, nFamilies int) ([]ComparisonRow, error) {
 			FeatureSourceDist: env.SD.Series(attacks),
 		}
 		for _, feat := range []string{FeatureMagnitude, FeatureDuration, FeatureSourceDist} {
-			series := featureSeries[feat]
-			train, test := timeseries.SplitFrac(series, 0.8)
-			row := ComparisonRow{Family: fam, Feature: feat, RMSE: make(map[string]float64)}
-			predictors := []core.SeriesPredictor{
-				&core.ARIMAPredictor{},
-				&core.NARPredictor{Delays: []int{2, 4}, Hidden: []int{4, 8}, Seed: env.Cfg.Seed + 3},
-				&core.AlwaysSame{},
-				&core.AlwaysMean{},
-			}
-			for _, p := range predictors {
-				_, rmse, err := core.WalkForward(p, cloneSeries(train), test)
-				if err != nil {
-					return nil, fmt.Errorf("eval: comparison %s/%s/%s: %w", fam, feat, p.Name(), err)
-				}
-				row.RMSE[p.Name()] = rmse
-			}
-			best := ""
-			for name, v := range row.RMSE {
-				if best == "" || v < row.RMSE[best] {
-					best = name
-				}
-			}
-			row.Winner = best
-			rows = append(rows, row)
+			jobs = append(jobs, job{fam: fam, feat: feat, series: featureSeries[feat]})
 		}
+	}
+	rows, err := parallel.Map(len(jobs), 0, func(i int) (ComparisonRow, error) {
+		j := jobs[i]
+		train, test := timeseries.SplitFrac(j.series, 0.8)
+		row := ComparisonRow{Family: j.fam, Feature: j.feat, RMSE: make(map[string]float64)}
+		predictors := []core.SeriesPredictor{
+			&core.ARIMAPredictor{},
+			&core.NARPredictor{Delays: []int{2, 4}, Hidden: []int{4, 8}, Seed: env.Cfg.Seed + 3},
+			&core.AlwaysSame{},
+			&core.AlwaysMean{},
+		}
+		for _, p := range predictors {
+			_, rmse, err := core.WalkForward(p, cloneSeries(train), test)
+			if err != nil {
+				return ComparisonRow{}, fmt.Errorf("eval: comparison %s/%s/%s: %w", j.fam, j.feat, p.Name(), err)
+			}
+			row.RMSE[p.Name()] = rmse
+		}
+		// The winner scan walks predictors in declaration order with a
+		// strict comparison: RMSE ties resolve to the first-declared
+		// predictor instead of whatever a map iteration happens to yield.
+		for _, p := range predictors {
+			name := p.Name()
+			if row.Winner == "" || row.RMSE[name] < row.RMSE[row.Winner] {
+				row.Winner = name
+			}
+		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	if len(rows) == 0 {
 		return nil, fmt.Errorf("eval: comparison: no family with enough attacks")

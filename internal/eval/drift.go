@@ -9,6 +9,7 @@ import (
 	"repro/internal/botnet"
 	"repro/internal/core"
 	"repro/internal/features"
+	"repro/internal/parallel"
 	"repro/internal/stats"
 )
 
@@ -100,7 +101,38 @@ func RunDrift(cfg Config) (*DriftResult, error) {
 	if err := pred.Fit(series[:fitLen]); err != nil {
 		return nil, fmt.Errorf("eval: drift: %w", err)
 	}
-	absErr := make([]float64, 0, len(series)-fitLen)
+	// The refit boundaries — every refitEvery-th step — and their trailing
+	// training windows are known up front, and each refit reads only the
+	// immutable series with its own per-step seed. So every refit model is
+	// trained on the worker pool before the walk; the walk itself stays
+	// serial and swaps in the prefit models at the same boundaries, keeping
+	// the old model where the fit failed (a degenerate window), exactly as
+	// the inline refit did.
+	walkLen := len(series) - fitLen
+	var boundaries []int
+	for step := refitEvery - 1; step < walkLen; step += refitEvery {
+		boundaries = append(boundaries, step)
+	}
+	refits, _ := parallel.Map(len(boundaries), 0, func(i int) (*core.NARPredictor, error) {
+		step := boundaries[i]
+		end := fitLen + step + 1
+		start := end - refitWindow
+		if start < 0 {
+			start = 0
+		}
+		fresh := &core.NARPredictor{Delays: []int{2, 4}, Hidden: []int{4, 8}, Seed: cfg.Seed + 17 + uint64(step)}
+		if err := fresh.Fit(series[start:end]); err != nil {
+			return nil, nil
+		}
+		return fresh, nil
+	})
+	refitAt := make(map[int]*core.NARPredictor, len(boundaries))
+	for i, m := range refits {
+		if m != nil {
+			refitAt[boundaries[i]] = m
+		}
+	}
+	absErr := make([]float64, 0, walkLen)
 	for step, x := range series[fitLen:] {
 		p, err := pred.PredictNext()
 		if err != nil {
@@ -108,18 +140,8 @@ func RunDrift(cfg Config) (*DriftResult, error) {
 		}
 		absErr = append(absErr, math.Abs(p-x))
 		pred.Update(x)
-		if (step+1)%refitEvery == 0 {
-			end := fitLen + step + 1
-			start := end - refitWindow
-			if start < 0 {
-				start = 0
-			}
-			// Re-estimate on the trailing window; keep the old model when
-			// the window is degenerate.
-			fresh := &core.NARPredictor{Delays: []int{2, 4}, Hidden: []int{4, 8}, Seed: cfg.Seed + 17 + uint64(step)}
-			if err := fresh.Fit(series[start:end]); err == nil {
-				pred = fresh
-			}
+		if fresh := refitAt[step]; fresh != nil {
+			pred = fresh
 		}
 	}
 	rel := tdIdx - fitLen // takedown position within absErr

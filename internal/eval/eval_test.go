@@ -202,6 +202,9 @@ func TestRunFigure34(t *testing.T) {
 }
 
 func TestRunFigure34PerTargetTrees(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grows one tree per target")
+	}
 	env := sharedEnv(t)
 	res, err := RunFigure34(env, Figure34Config{PerTargetTrees: true})
 	if err != nil {
@@ -218,6 +221,9 @@ func TestRunFigure34PerTargetTrees(t *testing.T) {
 }
 
 func TestRunComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("walk-forwards 4 predictors over 9 series")
+	}
 	env := sharedEnv(t)
 	rows, err := RunComparison(env, 3)
 	if err != nil {
@@ -378,6 +384,9 @@ func TestFormatDuration(t *testing.T) {
 }
 
 func TestRunAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("retrains 6 model-tree variants")
+	}
 	env := sharedEnv(t)
 	rows, err := RunAblation(env, Figure34Config{})
 	if err != nil {
@@ -411,6 +420,9 @@ func TestRunAblation(t *testing.T) {
 }
 
 func TestRunFigure34KSDistances(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repeats the full figure 3/4 run")
+	}
 	env := sharedEnv(t)
 	res, err := RunFigure34(env, Figure34Config{})
 	if err != nil {
@@ -464,6 +476,9 @@ func TestRunDefensePipeline(t *testing.T) {
 }
 
 func TestRunDrift(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds its own world and refits NAR models")
+	}
 	res, err := RunDrift(Config{Seed: 77, Scale: 0.12, HorizonDays: 200})
 	if err != nil {
 		t.Fatal(err)
@@ -489,6 +504,9 @@ func TestRunDrift(t *testing.T) {
 }
 
 func TestReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment end to end")
+	}
 	env := sharedEnv(t)
 	report, err := Report(env)
 	if err != nil {

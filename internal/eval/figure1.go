@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/features"
+	"repro/internal/parallel"
 	"repro/internal/timeseries"
 )
 
@@ -31,37 +32,38 @@ type Figure1Series struct {
 
 // RunFigure1 reproduces Figure 1 (prediction of attacking magnitudes) for
 // the given families (defaults to the paper's three) with an 80/20
-// chronological split and walk-forward one-step prediction.
+// chronological split and walk-forward one-step prediction. Families are
+// evaluated on the parallel worker pool — each walk-forward owns its
+// models, and results come back in family order.
 func RunFigure1(env *Env, families []string) ([]Figure1Series, error) {
 	if len(families) == 0 {
 		families = Figure1Families
 	}
-	out := make([]Figure1Series, 0, len(families))
-	for _, fam := range families {
+	return parallel.Map(len(families), 0, func(i int) (Figure1Series, error) {
+		fam := families[i]
 		attacks := env.Dataset.ByFamily(fam)
 		series := features.MagnitudeSeries(attacks)
 		if len(series) < 30 {
-			return nil, fmt.Errorf("eval: figure 1: family %s has only %d attacks", fam, len(series))
+			return Figure1Series{}, fmt.Errorf("eval: figure 1: family %s has only %d attacks", fam, len(series))
 		}
 		train, test := timeseries.SplitFrac(series, 0.8)
 		pred := &core.ARIMAPredictor{}
 		preds, rmse, err := core.WalkForward(pred, train, test)
 		if err != nil {
-			return nil, fmt.Errorf("eval: figure 1: %s: %w", fam, err)
+			return Figure1Series{}, fmt.Errorf("eval: figure 1: %s: %w", fam, err)
 		}
 		_, gofP := pred.GoodnessOfFit(12)
 		_, naiveRMSE, err := core.WalkForward(&core.AlwaysSame{}, train, test)
 		if err != nil {
-			return nil, fmt.Errorf("eval: figure 1: %s baseline: %w", fam, err)
+			return Figure1Series{}, fmt.Errorf("eval: figure 1: %s baseline: %w", fam, err)
 		}
 		errs := make([]float64, len(test))
 		for i := range test {
 			errs[i] = preds[i] - test[i]
 		}
-		out = append(out, Figure1Series{
+		return Figure1Series{
 			Family: fam, Truth: test, Pred: preds, Errors: errs,
 			RMSE: rmse, NaiveRMSE: naiveRMSE, GoFP: gofP,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/astopo"
 	"repro/internal/core"
+	"repro/internal/parallel"
 	"repro/internal/stats"
 	"repro/internal/timeseries"
 	"repro/internal/trace"
@@ -40,15 +41,13 @@ func RunFigure2(env *Env, families []string, topK int) ([]Figure2Result, error) 
 	if topK < 1 {
 		topK = 5
 	}
-	out := make([]Figure2Result, 0, len(families))
-	for _, fam := range families {
-		res, err := runFigure2Family(env, fam, topK)
+	return parallel.Map(len(families), 0, func(i int) (Figure2Result, error) {
+		res, err := runFigure2Family(env, families[i], topK)
 		if err != nil {
-			return nil, err
+			return Figure2Result{}, err
 		}
-		out = append(out, *res)
-	}
-	return out, nil
+		return *res, nil
+	})
 }
 
 func runFigure2Family(env *Env, fam string, topK int) (*Figure2Result, error) {
@@ -72,13 +71,19 @@ func runFigure2Family(env *Env, fam string, topK int) (*Figure2Result, error) {
 	}
 	sort.Slice(targetASes, func(i, j int) bool { return targetASes[i] < targetASes[j] })
 
-	truthSum := make(map[astopo.AS]float64)
-	predSum := make(map[astopo.AS]float64)
-	var errs []float64
-	var nSteps int
 	// Cap the per-network series length to bound NAR training cost on very
 	// active networks (the recent window carries the relevant dynamics).
 	const maxSeriesLen = 400
+	// The (target network, source AS) walk-forwards are independent, so
+	// they fan out on the worker pool. Each job returns its raw test and
+	// prediction slices; the share sums are then accumulated serially in
+	// job order — the exact float-addition sequence of the serial double
+	// loop, so the result is byte-identical regardless of scheduling.
+	type job struct {
+		group []trace.Attack
+		src   astopo.AS
+	}
+	var jobs []job
 	for _, tgtAS := range targetASes {
 		group := byAS[tgtAS]
 		if len(group) < 25 {
@@ -88,39 +93,56 @@ func runFigure2Family(env *Env, fam string, topK int) (*Figure2Result, error) {
 			group = group[len(group)-maxSeriesLen:]
 		}
 		for _, src := range srcASes {
-			series := env.SD.ShareSeries(group, src)
-			train, test := timeseries.SplitFrac(series, 0.8)
-			if len(test) == 0 {
-				continue
-			}
-			preds, _, err := core.WalkForward(
-				&core.NARPredictor{Delays: []int{2, 4}, Hidden: []int{4, 8}, Seed: env.Cfg.Seed + uint64(src)},
-				train, test,
-			)
-			if err != nil {
-				// Degenerate series (e.g. constant zero share): fall back
-				// to the last training value.
-				preds = make([]float64, len(test))
-				if len(train) > 0 {
-					for i := range preds {
-						preds[i] = train[len(train)-1]
-					}
-				}
-			}
-			for i := range test {
-				p := preds[i]
-				if p < 0 {
-					p = 0
-				}
-				if p > 1 {
-					p = 1
-				}
-				truthSum[src] += test[i]
-				predSum[src] += p
-				errs = append(errs, p-test[i])
-			}
-			nSteps += len(test)
+			jobs = append(jobs, job{group: group, src: src})
 		}
+	}
+	type jobOut struct {
+		src   astopo.AS
+		test  []float64
+		preds []float64
+	}
+	// Degenerate series fall back inside the job, so Map never fails here.
+	outs, _ := parallel.Map(len(jobs), 0, func(i int) (jobOut, error) {
+		jb := jobs[i]
+		series := env.SD.ShareSeries(jb.group, jb.src)
+		train, test := timeseries.SplitFrac(series, 0.8)
+		if len(test) == 0 {
+			return jobOut{}, nil
+		}
+		preds, _, err := core.WalkForward(
+			&core.NARPredictor{Delays: []int{2, 4}, Hidden: []int{4, 8}, Seed: env.Cfg.Seed + uint64(jb.src)},
+			train, test,
+		)
+		if err != nil {
+			// Degenerate series (e.g. constant zero share): fall back
+			// to the last training value.
+			preds = make([]float64, len(test))
+			if len(train) > 0 {
+				for i := range preds {
+					preds[i] = train[len(train)-1]
+				}
+			}
+		}
+		return jobOut{src: jb.src, test: test, preds: preds}, nil
+	})
+	truthSum := make(map[astopo.AS]float64)
+	predSum := make(map[astopo.AS]float64)
+	var errs []float64
+	var nSteps int
+	for _, o := range outs {
+		for i := range o.test {
+			p := o.preds[i]
+			if p < 0 {
+				p = 0
+			}
+			if p > 1 {
+				p = 1
+			}
+			truthSum[o.src] += o.test[i]
+			predSum[o.src] += p
+			errs = append(errs, p-o.test[i])
+		}
+		nSteps += len(o.test)
 	}
 	if nSteps == 0 {
 		return nil, fmt.Errorf("eval: figure 2: family %s has no network with enough attacks", fam)

@@ -8,6 +8,7 @@ import (
 	"repro/internal/astopo"
 	"repro/internal/core"
 	"repro/internal/nn"
+	"repro/internal/parallel"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -158,18 +159,28 @@ func collectSamples(env *Env, cfg Figure34Config) ([]stSample, int, error) {
 
 	fit := &trace.Dataset{Attacks: ds.Attacks[:fitEnd]}
 
-	// Component models.
-	temporal := make(map[string]*core.Temporal)
-	for _, fam := range fit.Families() {
-		attacks := fit.ByFamily(fam)
+	// Component models. Per-family and per-AS fits are independent (they
+	// read disjoint training slices and every fit is internally seeded), so
+	// both loops fan out on the worker pool; infeasible fits come back nil,
+	// exactly like the serial skip.
+	fams := fit.Families()
+	tmods, _ := parallel.Map(len(fams), 0, func(i int) (*core.Temporal, error) {
+		attacks := fit.ByFamily(fams[i])
 		if len(attacks) < cfg.MinFamilyTrain {
-			continue
+			return nil, nil
 		}
-		if m, err := core.FitTemporal(fam, attacks, core.TemporalConfig{}); err == nil {
-			temporal[fam] = m
+		m, err := core.FitTemporal(fams[i], attacks, core.TemporalConfig{})
+		if err != nil {
+			return nil, nil
+		}
+		return m, nil
+	})
+	temporal := make(map[string]*core.Temporal)
+	for i, m := range tmods {
+		if m != nil {
+			temporal[fams[i]] = m
 		}
 	}
-	spatial := make(map[astopo.AS]*core.Spatial)
 	spCfg := core.SpatialConfig{
 		Delays: []int{2, 4},
 		Hidden: []int{4, 8},
@@ -182,16 +193,24 @@ func collectSamples(env *Env, cfg Figure34Config) ([]stSample, int, error) {
 		ases = append(ases, as)
 	}
 	sort.Slice(ases, func(i, j int) bool { return ases[i] < ases[j] })
-	for _, as := range ases {
-		attacks := byAS[as]
+	smods, _ := parallel.Map(len(ases), 0, func(i int) (*core.Spatial, error) {
+		attacks := byAS[ases[i]]
 		if len(attacks) < cfg.MinASTrain {
-			continue
+			return nil, nil
 		}
 		if len(attacks) > cfg.MaxSeriesLen {
 			attacks = attacks[len(attacks)-cfg.MaxSeriesLen:]
 		}
-		if m, err := core.FitSpatial(as, attacks, spCfg); err == nil {
-			spatial[as] = m
+		m, err := core.FitSpatial(ases[i], attacks, spCfg)
+		if err != nil {
+			return nil, nil
+		}
+		return m, nil
+	})
+	spatial := make(map[astopo.AS]*core.Spatial)
+	for i, m := range smods {
+		if m != nil {
+			spatial[ases[i]] = m
 		}
 	}
 

@@ -1,0 +1,61 @@
+package eval
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// TestEvalParallelMatchesSerial pins the determinism contract of the
+// fanned-out experiments: with GOMAXPROCS=1 the worker pool degenerates to
+// the serial loop, and the parallel run must reproduce it exactly —
+// including every float64 bit, since the merge phases accumulate in job
+// order.
+func TestEvalParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every fanned-out experiment twice")
+	}
+	env := sharedEnv(t)
+
+	type outputs struct {
+		Comparison []ComparisonRow
+		Figure1    []Figure1Series
+		Figure2    []Figure2Result
+	}
+	run := func() outputs {
+		rows, err := RunComparison(env, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fig1, err := RunFigure1(env, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fig2, err := RunFigure2(env, []string{"DirtJumper"}, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return outputs{Comparison: rows, Figure1: fig1, Figure2: fig2}
+	}
+
+	serial := func() outputs {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+		return run()
+	}()
+	// Force a wide pool even on single-CPU machines: goroutines still
+	// interleave, so a merge that depended on completion order would show.
+	parallel := func() outputs {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+		return run()
+	}()
+
+	if !reflect.DeepEqual(serial.Comparison, parallel.Comparison) {
+		t.Errorf("comparison rows differ:\nserial:   %+v\nparallel: %+v", serial.Comparison, parallel.Comparison)
+	}
+	if !reflect.DeepEqual(serial.Figure1, parallel.Figure1) {
+		t.Error("figure 1 series differ between serial and parallel runs")
+	}
+	if !reflect.DeepEqual(serial.Figure2, parallel.Figure2) {
+		t.Error("figure 2 results differ between serial and parallel runs")
+	}
+}

@@ -2,8 +2,10 @@ package nn
 
 import (
 	"errors"
+	"fmt"
 	"math"
 
+	"repro/internal/parallel"
 	"repro/internal/timeseries"
 )
 
@@ -98,14 +100,19 @@ func (m *NAR) lagInput() []float64 {
 }
 
 // lagFromTail builds the network input [x_t, x_{t-1}, ...] from the last
-// Delays entries of tail (most recent first).
+// Delays entries of tail (most recent first). The tail must hold at least
+// delays values: FitNAR seeds it with exactly Delays observations and
+// Update/Forecast only grow it, so a shorter tail means corrupted state.
+// Silently zero-padding here would feed the network standardized zeros —
+// i.e. phantom mean-valued observations — and skew every forecast, so the
+// invariant is enforced loudly instead.
 func lagFromTail(tail []float64, delays int) []float64 {
+	if len(tail) < delays {
+		panic(fmt.Sprintf("nn: NAR tail has %d values, need %d delays", len(tail), delays))
+	}
 	x := make([]float64, delays)
 	for j := 0; j < delays; j++ {
-		idx := len(tail) - 1 - j
-		if idx >= 0 {
-			x[j] = tail[idx]
-		}
+		x[j] = tail[len(tail)-1-j]
 	}
 	return x
 }
@@ -115,6 +122,20 @@ func lagFromTail(tail []float64, delays int) []float64 {
 // with a grid search, §V-A). It returns the model refitted on the full
 // series with the winning configuration.
 func GridSearchNAR(xs []float64, delays, hidden []int, seed uint64, train TrainConfig) (*NAR, error) {
+	cfg, err := selectNARConfig(xs, delays, hidden, seed, train)
+	if err != nil {
+		return nil, err
+	}
+	return FitNAR(xs, cfg)
+}
+
+// selectNARConfig runs the delays×hidden grid and returns the winning
+// configuration. Every candidate is fitted on the parallel worker pool —
+// each fit is seeded per-config and therefore deterministic regardless of
+// scheduling — and the winner is reduced from the validation MSEs in grid
+// order (delays outer, hidden inner) with a strict comparison, so the
+// parallel search picks exactly the configuration the serial loop would.
+func selectNARConfig(xs []float64, delays, hidden []int, seed uint64, train TrainConfig) (NARConfig, error) {
 	if len(delays) == 0 {
 		delays = []int{2, 4, 8}
 	}
@@ -122,28 +143,33 @@ func GridSearchNAR(xs []float64, delays, hidden []int, seed uint64, train TrainC
 		hidden = []int{4, 8}
 	}
 	trainPart, valPart := timeseries.SplitFrac(xs, 0.8)
-	bestMSE := math.Inf(1)
-	var bestCfg NARConfig
-	found := false
+	grid := make([]NARConfig, 0, len(delays)*len(hidden))
 	for _, d := range delays {
 		for _, h := range hidden {
-			cfg := NARConfig{Delays: d, Hidden: h, Seed: seed, Train: train}
-			m, err := FitNAR(trainPart, cfg)
-			if err != nil {
-				continue
-			}
-			mse := walkForwardMSE(m, valPart)
-			if mse < bestMSE {
-				bestMSE = mse
-				bestCfg = cfg
-				found = true
-			}
+			grid = append(grid, NARConfig{Delays: d, Hidden: h, Seed: seed, Train: train})
 		}
 	}
-	if !found {
-		return nil, errors.New("nn: grid search found no feasible configuration")
+	// Infeasible configurations score +Inf rather than erroring, so Map
+	// never fails here.
+	mses, _ := parallel.Map(len(grid), 0, func(i int) (float64, error) {
+		m, err := FitNAR(trainPart, grid[i])
+		if err != nil {
+			return math.Inf(1), nil
+		}
+		return walkForwardMSE(m, valPart), nil
+	})
+	bestMSE := math.Inf(1)
+	best := -1
+	for i, mse := range mses {
+		if mse < bestMSE {
+			bestMSE = mse
+			best = i
+		}
 	}
-	return FitNAR(xs, bestCfg)
+	if best < 0 {
+		return NARConfig{}, errors.New("nn: grid search found no feasible configuration")
+	}
+	return grid[best], nil
 }
 
 func walkForwardMSE(m *NAR, test []float64) float64 {

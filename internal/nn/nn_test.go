@@ -3,6 +3,7 @@ package nn
 import (
 	"math"
 	"math/rand/v2"
+	"runtime"
 	"testing"
 )
 
@@ -193,5 +194,52 @@ func TestGridSearchNAR(t *testing.T) {
 	}
 	if _, err := GridSearchNAR([]float64{1, 2}, nil, nil, 1, TrainConfig{}); err == nil {
 		t.Error("infeasible grid should error")
+	}
+}
+
+func TestLagFromTailPanicsOnShortTail(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Error("lagFromTail on a short tail should panic, not zero-pad")
+		}
+	}()
+	lagFromTail([]float64{1, 2}, 3)
+}
+
+func TestLagFromTailOrder(t *testing.T) {
+	// Most recent observation first, exactly Delays values.
+	got := lagFromTail([]float64{10, 20, 30, 40}, 3)
+	want := []float64{40, 30, 20}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("lagFromTail = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSelectNARConfigParallelMatchesSerial(t *testing.T) {
+	n := 240
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = math.Sin(2*math.Pi*float64(i)/16) + 0.1*math.Cos(float64(3*i))
+	}
+	delays := []int{2, 4, 6}
+	hidden := []int{3, 5, 8}
+	train := TrainConfig{Epochs: 200}
+
+	serial := func() NARConfig {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+		cfg, err := selectNARConfig(xs, delays, hidden, 7, train)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cfg
+	}()
+	par, err := selectNARConfig(xs, delays, hidden, 7, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par != serial {
+		t.Fatalf("parallel grid chose %+v, serial chose %+v", par, serial)
 	}
 }

@@ -42,10 +42,16 @@ func (m *NAR) UnmarshalJSON(data []byte) error {
 	if err := j.Net.validate(); err != nil {
 		return fmt.Errorf("nn: unmarshal NAR: %w", err)
 	}
+	// The tail is the network's entire input window: fewer than Delays
+	// values would make the first PredictNext panic (lagFromTail enforces
+	// the invariant), so reject truncated state at the boundary instead.
+	if len(j.Tail) < j.Delays {
+		return fmt.Errorf("nn: unmarshal NAR: tail has %d values, need %d delays", len(j.Tail), j.Delays)
+	}
 	m.Delays = j.Delays
 	m.net = j.Net
 	m.scaler = j.Scaler
-	m.tail = j.Tail
+	m.tail = j.Tail[len(j.Tail)-j.Delays:]
 	return nil
 }
 

@@ -48,10 +48,25 @@ func TestNARUnmarshalValidation(t *testing.T) {
 		"missing net":   `{"delays":3,"scaler":{"Mean":0,"Std":1}}`,
 		"delays vs in":  `{"delays":3,"net":{"In":2,"Hidden":1,"W1":[[0,0]],"B1":[0],"W2":[0],"B2":0},"scaler":{"Mean":0,"Std":1}}`,
 		"weight shapes": `{"delays":2,"net":{"In":2,"Hidden":2,"W1":[[0,0]],"B1":[0,0],"W2":[0,0],"B2":0},"scaler":{"Mean":0,"Std":1}}`,
+		"short tail":    `{"delays":2,"net":{"In":2,"Hidden":1,"W1":[[0.1,0.2]],"B1":[0],"W2":[0.3],"B2":0},"scaler":{"Mean":0,"Std":1},"tail":[0.5]}`,
 	}
 	for name, data := range cases {
 		if err := json.Unmarshal([]byte(data), &m); err == nil {
 			t.Errorf("%s should fail to unmarshal", name)
 		}
 	}
+}
+
+func TestNARUnmarshalTruncatesLongTail(t *testing.T) {
+	// A tail longer than Delays (e.g. from a hand-edited snapshot) is
+	// normalized to the last Delays values — the only part Predict reads.
+	data := `{"delays":2,"net":{"In":2,"Hidden":1,"W1":[[0.1,0.2]],"B1":[0],"W2":[0.3],"B2":0},"scaler":{"Mean":0,"Std":1},"tail":[9,9,0.5,0.25]}`
+	var m NAR
+	if err := json.Unmarshal([]byte(data), &m); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.tail) != 2 || m.tail[0] != 0.5 || m.tail[1] != 0.25 {
+		t.Fatalf("tail = %v, want [0.5 0.25]", m.tail)
+	}
+	m.PredictNext() // must not panic
 }

@@ -1,0 +1,110 @@
+// Package parallel is the repro's dependency-free bounded worker pool: an
+// errgroup-style fan-out primitive for index-addressed work with two
+// guarantees the evaluation engine depends on (see DESIGN.md):
+//
+//   - Deterministic results. fn(i) writes only slot i; results and errors
+//     are aggregated in index order. Worker scheduling can change *when* a
+//     task runs, never *what* the caller observes.
+//   - Complete error collection. A failing task does not cancel its
+//     siblings; every error is reported, joined in index order, so the
+//     first error in the joined chain is the one the equivalent serial
+//     loop would have hit first.
+//
+// Workers pull tasks from a shared atomic counter (work stealing), so
+// uneven task costs — an ARIMA grid where high orders dominate, a BFS
+// fan-out where one source reaches the whole graph — still balance.
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers returns the default fan-out width: GOMAXPROCS at call time. The
+// model-fitting workloads here are CPU-bound, so wider pools only add
+// scheduling overhead.
+func Workers() int {
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most workers goroutines
+// (workers <= 0 means Workers()). It returns after all tasks finish. Errors
+// are collected per index and joined in index order; a failing task never
+// cancels the others. If any task panics, ForEach re-panics in the caller
+// with the lowest-index panic value after all tasks have drained.
+func ForEach(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = Workers()
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	panics := make([]any, n)
+	var panicked atomic.Bool
+	var next atomic.Int64
+	run := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						panics[i] = r
+						panicked.Store(true)
+					}
+				}()
+				errs[i] = fn(i)
+			}()
+		}
+	}
+	if workers == 1 {
+		run()
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				run()
+			}()
+		}
+		wg.Wait()
+	}
+	if panicked.Load() {
+		for i, r := range panics {
+			if r != nil {
+				panic(fmt.Sprintf("parallel: task %d panicked: %v", i, r))
+			}
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Map runs fn(i) for every i in [0, n) on at most workers goroutines and
+// returns the results in index order — the same slice a serial loop would
+// build. On error the partial results are discarded and the joined error
+// (index order, see ForEach) is returned.
+func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(n, workers, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,154 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		n := 100
+		counts := make([]int32, n)
+		err := ForEach(n, workers, func(i int) error {
+			atomic.AddInt32(&counts[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachZeroAndNegativeN(t *testing.T) {
+	ran := false
+	if err := ForEach(0, 4, func(int) error { ran = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := ForEach(-3, 4, func(int) error { ran = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Fatal("fn ran for empty input")
+	}
+}
+
+func TestForEachCollectsAllErrorsInIndexOrder(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	err := ForEach(10, 4, func(i int) error {
+		switch i {
+		case 7:
+			return errB
+		case 2:
+			return errA
+		}
+		return nil
+	})
+	if !errors.Is(err, errA) || !errors.Is(err, errB) {
+		t.Fatalf("joined error missing a member: %v", err)
+	}
+	// Index order: the error a serial loop would hit first comes first.
+	text := err.Error()
+	if strings.Index(text, "a") > strings.Index(text, "b") {
+		t.Fatalf("errors not in index order: %q", text)
+	}
+}
+
+func TestForEachErrorDoesNotCancelSiblings(t *testing.T) {
+	var ran atomic.Int32
+	err := ForEach(50, 8, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return errors.New("early")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if got := ran.Load(); got != 50 {
+		t.Fatalf("only %d/50 tasks ran", got)
+	}
+}
+
+func TestMapPreservesIndexOrder(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		out, err := Map(200, workers, func(i int) (string, error) {
+			return fmt.Sprintf("v%d", i), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != fmt.Sprintf("v%d", i) {
+				t.Fatalf("workers=%d: out[%d] = %q", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapErrorDiscardsResults(t *testing.T) {
+	out, err := Map(5, 2, func(i int) (int, error) {
+		if i == 3 {
+			return 0, errors.New("boom")
+		}
+		return i, nil
+	})
+	if err == nil || out != nil {
+		t.Fatalf("want nil results + error, got %v, %v", out, err)
+	}
+}
+
+func TestForEachRepanicsLowestIndex(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected re-panic")
+		}
+		msg := fmt.Sprint(r)
+		if !strings.Contains(msg, "task 2") {
+			t.Fatalf("expected lowest-index panic (task 2), got %q", msg)
+		}
+	}()
+	ForEach(10, 4, func(i int) error {
+		if i == 2 || i == 8 {
+			panic(fmt.Sprintf("p%d", i))
+		}
+		return nil
+	})
+}
+
+func TestParallelMatchesSerialReduction(t *testing.T) {
+	// The grid-search pattern: compute independently, reduce in index
+	// order. The parallel reduction must match the serial loop exactly.
+	score := func(i int) float64 { return float64((i*7919)%101) + float64(i)*1e-9 }
+	n := 500
+
+	serialBest, serialIdx := 0.0, -1
+	for i := 0; i < n; i++ {
+		if v := score(i); serialIdx < 0 || v < serialBest {
+			serialBest, serialIdx = v, i
+		}
+	}
+	vals, err := Map(n, 8, func(i int) (float64, error) { return score(i), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	parBest, parIdx := 0.0, -1
+	for i, v := range vals {
+		if parIdx < 0 || v < parBest {
+			parBest, parIdx = v, i
+		}
+	}
+	if parIdx != serialIdx || parBest != serialBest {
+		t.Fatalf("parallel winner (%d, %v) != serial winner (%d, %v)", parIdx, parBest, serialIdx, serialBest)
+	}
+}
