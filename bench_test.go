@@ -17,12 +17,17 @@ import (
 	"sync"
 	"testing"
 
+	"time"
+
 	"repro/internal/arima"
 	"repro/internal/astopo"
 	"repro/internal/cart"
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/features"
+	"repro/internal/nn"
+	"repro/internal/serve"
+	"repro/internal/trace"
 )
 
 // benchScale keeps a single bench iteration in the hundreds of
@@ -328,5 +333,91 @@ func BenchmarkSelectOrderGrid(b *testing.B) {
 				}
 			})
 		})
+	}
+}
+
+// --- Online serving -------------------------------------------------------
+
+// serveBenchRegistry publishes n targets built from one fitted model set:
+// the forecast hot path never mutates models, so sharing the fitted
+// Temporal/Spatial across AS entries is safe and keeps setup O(1) in n.
+func serveBenchRegistry(b *testing.B, n int) *serve.Registry {
+	b.Helper()
+	t0 := time.Date(2012, 8, 1, 0, 0, 0, 0, time.UTC)
+	attacks := make([]trace.Attack, 16)
+	for i := range attacks {
+		attacks[i] = trace.Attack{
+			ID: i + 1, Family: "DirtJumper",
+			Start:       t0.Add(time.Duration(i) * 3 * time.Hour),
+			DurationSec: float64(600 + 60*(i%5)),
+			TargetAS:    64512,
+			Bots:        make([]astopo.IPv4, 3+i%5),
+		}
+	}
+	tm, err := core.FitTemporal("DirtJumper", attacks, core.TemporalConfig{MaxP: 1, MaxQ: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sm, err := core.FitSpatial(64512, attacks, core.SpatialConfig{
+		Delays: []int{2}, Hidden: []int{2}, Train: nn.TrainConfig{Epochs: 10},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := serve.NewRegistry()
+	batch := make([]*serve.TargetModels, n)
+	for i := range batch {
+		batch[i] = &serve.TargetModels{
+			AS: astopo.AS(64512 + i), Family: "DirtJumper",
+			Temporal: tm, Spatial: sm,
+			Window: len(attacks), Generation: reg.NextGeneration(),
+		}
+	}
+	reg.Publish(batch)
+	return reg
+}
+
+// BenchmarkServeForecast pins the ddosd hot-path acceptance criterion:
+// serving a forecast is one atomic snapshot load plus closed-form model
+// reads — ns/op and allocs/op must stay flat as the store grows.
+func BenchmarkServeForecast(b *testing.B) {
+	for _, n := range []int{16, 256, 4096} {
+		b.Run(fmt.Sprintf("targets=%d", n), func(b *testing.B) {
+			reg := serveBenchRegistry(b, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fc, err := reg.Forecast(astopo.AS(64512 + i%n))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if fc.Hour < 0 {
+					b.Fatal("bad forecast")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkServeIngest measures the sharded store's ingest path alone
+// (window insert + dedup scan), with refits disabled via a high MinWindow.
+func BenchmarkServeIngest(b *testing.B) {
+	cfg := serve.Config{Window: 256, MinWindow: 1 << 30}
+	svc := serve.New(cfg)
+	defer svc.Close()
+	t0 := time.Date(2012, 8, 1, 0, 0, 0, 0, time.UTC)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := trace.Attack{
+			ID: i + 1, Family: "DirtJumper",
+			Start:       t0.Add(time.Duration(i) * time.Minute),
+			DurationSec: 600,
+			TargetAS:    astopo.AS(64512 + i%64),
+			Bots:        []astopo.IPv4{1, 2, 3},
+		}
+		if _, err := svc.Ingest(&a); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -1,0 +1,143 @@
+// Command ddosd is the online forecasting daemon: it ingests verified
+// attack records over HTTP, maintains per-target rolling windows in a
+// sharded state store, refits the paper's three models (ARIMA temporal,
+// NAR spatial, CART spatiotemporal) in the background after every K new
+// records per target, and serves next-attack forecasts lock-free from an
+// atomically swapped model snapshot (see DESIGN.md §7).
+//
+// Usage:
+//
+//	ddosd [-addr :8080] [-refit-every 8] [-window 256] [-shards 64]
+//	ddosd -data dataset.json                # warm-start from a trace
+//	ddosd -snapshot models.snap             # warm-boot from a snapshot
+//	ddosd -snapshot-out models.snap         # write a snapshot on shutdown
+//
+// Endpoints:
+//
+//	POST /ingest               attack records (object, array, or NDJSON)
+//	GET  /forecast?target=AS   next-attack forecast for the target network
+//	GET  /healthz              liveness + backlog summary
+//	GET  /metrics              Prometheus text metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/nn"
+	"repro/internal/serve"
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ddosd: ")
+	var (
+		addr        = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		data        = flag.String("data", "", "warm-start: ingest this dataset JSON at boot")
+		snapshot    = flag.String("snapshot", "", "warm-boot: load a model snapshot at startup")
+		snapshotOut = flag.String("snapshot-out", "", "write a model snapshot on graceful shutdown")
+		refitEvery  = flag.Int("refit-every", 8, "refit a target after this many new records")
+		window      = flag.Int("window", 256, "per-target rolling window capacity")
+		shards      = flag.Int("shards", 64, "state store shard count")
+		queue       = flag.Int("queue", 256, "refit queue depth")
+		watermark   = flag.Int("watermark", 0, "refit backlog watermark for 429 shedding (0 = queue/2)")
+		seed        = flag.Uint64("seed", 1, "refit determinism seed")
+		epochs      = flag.Int("nar-epochs", 120, "NAR training epochs per refit")
+	)
+	flag.Parse()
+	if err := run(*addr, *data, *snapshot, *snapshotOut, serve.Config{
+		Shards:       *shards,
+		Window:       *window,
+		RefitEvery:   *refitEvery,
+		QueueDepth:   *queue,
+		LagWatermark: *watermark,
+		Seed:         *seed,
+		Spatial:      core.SpatialConfig{Train: nn.TrainConfig{Epochs: *epochs}},
+	}); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(addr, data, snapshot, snapshotOut string, cfg serve.Config) error {
+	svc := serve.New(cfg)
+	defer svc.Close()
+
+	if snapshot != "" {
+		f, err := os.Open(snapshot)
+		if err != nil {
+			return fmt.Errorf("open snapshot: %w", err)
+		}
+		err = svc.Registry().ReadSnapshot(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		log.Printf("loaded snapshot %s: %d targets at version %d",
+			snapshot, svc.Registry().Size(), svc.Registry().Version())
+	}
+	if data != "" {
+		ds, err := trace.LoadFile(data)
+		if err != nil {
+			return err
+		}
+		t0 := time.Now()
+		n, err := svc.WarmStart(ds)
+		if err != nil {
+			return err
+		}
+		log.Printf("warm start: ingested %d records, %d targets served (%v)",
+			n, svc.Registry().Size(), time.Since(t0).Round(time.Millisecond))
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: svc.Handler()}
+	log.Printf("listening on %s", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		log.Printf("received %v, shutting down", s)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	if snapshotOut != "" {
+		svc.Flush()
+		f, err := os.Create(snapshotOut)
+		if err != nil {
+			return fmt.Errorf("write snapshot: %w", err)
+		}
+		if err := svc.Registry().WriteSnapshot(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		log.Printf("wrote snapshot %s (%d targets, version %d)",
+			snapshotOut, svc.Registry().Size(), svc.Registry().Version())
+	}
+	return nil
+}

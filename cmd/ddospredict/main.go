@@ -3,24 +3,32 @@
 // start time, hour, day, magnitude — plus the spatial model's duration
 // prediction for a chosen target network. Trained models can be saved to
 // a bundle and reloaded, skipping training entirely (the provider→customer
-// workflow of §VI-B).
+// workflow of §VI-B). It can also forecast straight from a ddosd registry
+// snapshot, so offline tooling and the online daemon share one model
+// format.
 //
 // Usage:
 //
 //	ddospredict [-data dataset.json] [-family DirtJumper] [-seed N] [-scale F]
 //	ddospredict -data dataset.json -save models.json        # train + persist
 //	ddospredict -models models.json -family DirtJumper      # predict from bundle
+//	ddospredict -snapshot models.snap [-target 64512]       # predict from ddosd snapshot
+//
+// Exits non-zero when the requested family or target network has no data
+// in the loaded bundle or snapshot.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"sort"
 
 	"repro/internal/astopo"
 	"repro/internal/botnet"
 	"repro/internal/core"
+	"repro/internal/serve"
 	"repro/internal/trace"
 )
 
@@ -28,14 +36,23 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ddospredict: ")
 	var (
-		data   = flag.String("data", "", "dataset JSON (empty = generate)")
-		models = flag.String("models", "", "load a trained model bundle instead of training")
-		save   = flag.String("save", "", "save the trained model bundle to this path")
-		family = flag.String("family", "DirtJumper", "botnet family to predict")
-		seed   = flag.Uint64("seed", 1, "seed when generating")
-		scale  = flag.Float64("scale", 0.3, "volume scale when generating")
+		data     = flag.String("data", "", "dataset JSON (empty = generate)")
+		models   = flag.String("models", "", "load a trained model bundle instead of training")
+		snapshot = flag.String("snapshot", "", "load a ddosd registry snapshot instead of a bundle")
+		save     = flag.String("save", "", "save the trained model bundle to this path")
+		family   = flag.String("family", "DirtJumper", "botnet family to predict")
+		target   = flag.Uint("target", 0, "restrict spatial/snapshot forecasts to this target AS (0 = all)")
+		seed     = flag.Uint64("seed", 1, "seed when generating")
+		scale    = flag.Float64("scale", 0.3, "volume scale when generating")
 	)
 	flag.Parse()
+
+	if *snapshot != "" {
+		if err := predictFromSnapshot(*snapshot, astopo.AS(*target)); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	var bundle *core.Bundle
 	if *models != "" {
@@ -75,7 +92,7 @@ func main() {
 			fams = append(fams, f)
 		}
 		sort.Strings(fams)
-		log.Fatalf("family %q not in bundle (have %v)", *family, fams)
+		log.Fatalf("family %q has no data in this bundle (have %v)", *family, fams)
 	}
 	fmt.Printf("\ntemporal model forecast for the next %s attack:\n", *family)
 	fmt.Printf("  start     %s (interval %.0fs after the last attack)\n",
@@ -84,12 +101,18 @@ func main() {
 	fmt.Printf("  day       %.1f\n", tm.PredictDay())
 	fmt.Printf("  magnitude %.0f bots\n", tm.PredictMagnitude())
 
-	if len(bundle.Spatial) > 0 {
-		ases := make([]astopo.AS, 0, len(bundle.Spatial))
-		for as := range bundle.Spatial {
-			ases = append(ases, as)
+	ases := make([]astopo.AS, 0, len(bundle.Spatial))
+	for as := range bundle.Spatial {
+		ases = append(ases, as)
+	}
+	sort.Slice(ases, func(i, j int) bool { return ases[i] < ases[j] })
+	if *target != 0 {
+		if bundle.Spatial[astopo.AS(*target)] == nil {
+			log.Fatalf("target AS%d has no data in this bundle (have %v)", *target, ases)
 		}
-		sort.Slice(ases, func(i, j int) bool { return ases[i] < ases[j] })
+		ases = []astopo.AS{astopo.AS(*target)}
+	}
+	if len(ases) > 0 {
 		fmt.Println("\nspatial model forecasts per monitored network:")
 		for _, as := range ases {
 			sm := bundle.Spatial[as]
@@ -97,6 +120,53 @@ func main() {
 				as, sm.PredictDuration(), sm.PredictHour(), sm.PredictDay())
 		}
 	}
+}
+
+// predictFromSnapshot forecasts from a ddosd registry snapshot: one target
+// when requested, otherwise every target in the file.
+func predictFromSnapshot(path string, target astopo.AS) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	reg := serve.NewRegistry()
+	if err := reg.ReadSnapshot(f); err != nil {
+		return err
+	}
+	fmt.Printf("loaded snapshot %s: %d targets at version %d\n", path, reg.Size(), reg.Version())
+
+	targets := reg.Targets()
+	if target != 0 {
+		if _, ok := reg.Lookup(target); !ok {
+			return fmt.Errorf("target AS%d has no data in this snapshot (have %v)", target, targets)
+		}
+		targets = []astopo.AS{target}
+	}
+	if len(targets) == 0 {
+		return fmt.Errorf("snapshot %s contains no targets", path)
+	}
+	for _, as := range targets {
+		fc, err := reg.Forecast(as)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nforecast for AS%d (family %s, generation %d, window %d):\n",
+			fc.TargetAS, fc.Family, fc.ModelGeneration, fc.WindowSize)
+		fmt.Printf("  start     %s (interval %.0fs after the last attack)\n",
+			fc.NextStart.Format("2006-01-02 15:04:05"), fc.IntervalSec)
+		fmt.Printf("  hour      %.1f\n", fc.Hour)
+		fmt.Printf("  day       %.1f\n", fc.Day)
+		fmt.Printf("  duration  %.0fs\n", fc.DurationSec)
+		fmt.Printf("  magnitude %.0f bots\n", fc.Magnitude)
+		engines := fmt.Sprintf("temporal=%s spatial=%s",
+			fc.Models.Temporal.Interval.Kind, fc.Models.Spatial.Duration.Kind)
+		if fc.Models.Spatiotemporal != nil {
+			engines += " spatiotemporal=cart"
+		}
+		fmt.Printf("  engines   %s\n", engines)
+	}
+	return nil
 }
 
 func loadOrGenerate(path string, seed uint64, scale float64) (*trace.Dataset, error) {

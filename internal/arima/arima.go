@@ -20,6 +20,12 @@ import (
 // requested model order.
 var ErrTooShort = errors.New("arima: series too short for requested order")
 
+// ErrUnstable is returned when estimation produces a numerically unstable
+// model — non-finite coefficients, or an explosive residual recursion from
+// a non-stationary AR / non-invertible MA estimate. SelectOrder skips such
+// candidates.
+var ErrUnstable = errors.New("arima: estimation produced an unstable model")
+
 // Model is a fitted ARIMA(p,d,q) model:
 //
 //	w_t = C + Σ_{j=1..p} Phi[j-1] w_{t-j} + Σ_{j=1..q} Theta[j-1] e_{t-j} + e_t
@@ -80,7 +86,43 @@ func Fit(xs []float64, p, d, q int) (*Model, error) {
 		}
 	}
 	m.computeResiduals()
+	if !m.stable() {
+		return nil, ErrUnstable
+	}
 	return m, nil
+}
+
+// stable reports whether the fitted state is numerically sane: finite
+// coefficients and in-sample residuals that stay within a large multiple
+// of the differenced series' scale. The OLS stages place no stationarity
+// or invertibility constraint on the estimates, so a pathological series
+// can yield e.g. |theta| > 1, whose residual recursion grows geometrically
+// — after a handful of steps it dwarfs the data by many orders of
+// magnitude, which is what the residual bound detects.
+func (m *Model) stable() bool {
+	if math.IsNaN(m.C) || math.IsInf(m.C, 0) || math.IsNaN(m.rss) || math.IsInf(m.rss, 0) {
+		return false
+	}
+	for _, cs := range [2][]float64{m.Phi, m.Theta} {
+		for _, c := range cs {
+			if math.IsNaN(c) || math.IsInf(c, 0) {
+				return false
+			}
+		}
+	}
+	var scale float64
+	for _, v := range m.w {
+		if a := math.Abs(v); a > scale {
+			scale = a
+		}
+	}
+	limit := 1e8 * (scale + 1)
+	for _, v := range m.e {
+		if !(math.Abs(v) <= limit) { // NaN fails the comparison too
+			return false
+		}
+	}
+	return true
 }
 
 // fitIntercept estimates the degenerate ARIMA(0,d,0): w_t = C + e_t, the
@@ -290,6 +332,12 @@ func (m *Model) Update(x float64) {
 	m.e[t] = wNew - m.stepAt(t)
 	m.orig = append(m.orig, x)
 }
+
+// Observations returns the number of original-scale observations the model
+// currently holds: the fitted series plus every Update since. Serving-layer
+// registries use it to report model staleness without reaching into the
+// internal history.
+func (m *Model) Observations() int { return len(m.orig) }
 
 // AIC returns the Akaike information criterion of the fitted model.
 func (m *Model) AIC() float64 {

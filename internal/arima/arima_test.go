@@ -398,3 +398,31 @@ func TestPersistPureMAModel(t *testing.T) {
 		t.Fatalf("round-trip prediction %v != original %v", p2, p1)
 	}
 }
+
+// TestSelectOrderRejectsExplosiveModels pins the stability guard: a short
+// strictly periodic series used to drive Hannan–Rissanen to an explosive
+// MA estimate whose residual recursion overflowed to +Inf — the selected
+// model then predicted astronomical values and could not be serialized.
+// The guard must make SelectOrder fall back to a sane candidate.
+func TestSelectOrderRejectsExplosiveModels(t *testing.T) {
+	for n := 40; n <= 60; n++ {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(3 + i%5)
+		}
+		m, err := SelectOrder(xs, 1, 0, 1)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		p, err := m.PredictNext()
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if math.IsNaN(p) || math.IsInf(p, 0) || math.Abs(p) > 100 {
+			t.Fatalf("n=%d: explosive prediction %v from ARIMA(%d,%d,%d)", n, p, m.P, m.D, m.Q)
+		}
+		if _, err := m.MarshalJSON(); err != nil {
+			t.Fatalf("n=%d: selected model does not serialize: %v", n, err)
+		}
+	}
+}

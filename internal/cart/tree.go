@@ -307,6 +307,17 @@ func (t *Tree) Leaves() int { return countLeaves(t.Root) }
 // Depth returns the depth of the tree (a lone root has depth 1).
 func (t *Tree) Depth() int { return depth(t.Root) }
 
+// Nodes returns the total node count (internal + leaves) — the size a
+// serving-layer registry reports as the tree's complexity descriptor.
+func (t *Tree) Nodes() int { return countNodes(t.Root) }
+
+func countNodes(n *Node) int {
+	if n == nil {
+		return 0
+	}
+	return 1 + countNodes(n.Left) + countNodes(n.Right)
+}
+
 func countLeaves(n *Node) int {
 	if n == nil {
 		return 0

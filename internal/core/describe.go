@@ -1,0 +1,135 @@
+package core
+
+import "repro/internal/astopo"
+
+// Model descriptors: compact, JSON-friendly summaries of what a fitted
+// model actually is — which engine engaged (ARIMA/NAR vs. the mean
+// fallback), its selected structure, and how many observations it holds.
+// The online serving layer attaches these to forecasts and metrics so an
+// operator can tell a real model from a cold fallback without loading the
+// snapshot in a debugger.
+
+// SeriesInfo describes one univariate series model inside Temporal.
+type SeriesInfo struct {
+	// Kind is "arima" when the ARIMA engine engaged, "mean" for the
+	// training-mean fallback.
+	Kind string `json:"kind"`
+	// P, D, Q are the selected ARIMA order (zero when Kind is "mean").
+	P int `json:"p,omitempty"`
+	D int `json:"d,omitempty"`
+	Q int `json:"q,omitempty"`
+	// Observations is the number of values the model has absorbed (fit +
+	// walk-forward updates).
+	Observations int `json:"observations"`
+}
+
+// TemporalInfo describes a fitted temporal model.
+type TemporalInfo struct {
+	Family    string     `json:"family"`
+	Magnitude SeriesInfo `json:"magnitude"`
+	Hour      SeriesInfo `json:"hour"`
+	Day       SeriesInfo `json:"day"`
+	Interval  SeriesInfo `json:"interval"`
+}
+
+func (sm *seriesModel) describe() SeriesInfo {
+	if sm == nil {
+		return SeriesInfo{Kind: "mean"}
+	}
+	if sm.m != nil {
+		return SeriesInfo{
+			Kind: "arima",
+			P:    sm.m.P, D: sm.m.D, Q: sm.m.Q,
+			Observations: sm.m.Observations(),
+		}
+	}
+	return SeriesInfo{Kind: "mean", Observations: sm.n}
+}
+
+// Describe summarizes the temporal model's per-series engines.
+func (t *Temporal) Describe() TemporalInfo {
+	return TemporalInfo{
+		Family:    t.Family,
+		Magnitude: t.magnitude.describe(),
+		Hour:      t.hour.describe(),
+		Day:       t.day.describe(),
+		Interval:  t.interval.describe(),
+	}
+}
+
+// NARInfo describes one univariate series model inside Spatial.
+type NARInfo struct {
+	// Kind is "nar" when the network engaged, "mean" for the fallback.
+	Kind string `json:"kind"`
+	// Delays and Hidden are the grid-searched topology (zero for "mean").
+	Delays int `json:"delays,omitempty"`
+	Hidden int `json:"hidden,omitempty"`
+	// Observations counts the values absorbed by the mean tracker (the NAR
+	// itself keeps only its delay tail).
+	Observations int `json:"observations"`
+}
+
+// SpatialInfo describes a fitted spatial model.
+type SpatialInfo struct {
+	AS       astopo.AS `json:"as"`
+	Duration NARInfo   `json:"duration"`
+	Hour     NARInfo   `json:"hour"`
+	Day      NARInfo   `json:"day"`
+}
+
+func (nm *narModel) describe() NARInfo {
+	if nm == nil {
+		return NARInfo{Kind: "mean"}
+	}
+	if nm.m != nil {
+		return NARInfo{
+			Kind:         "nar",
+			Delays:       nm.m.Delays,
+			Hidden:       nm.m.HiddenNodes(),
+			Observations: nm.n,
+		}
+	}
+	return NARInfo{Kind: "mean", Observations: nm.n}
+}
+
+// Describe summarizes the spatial model's per-series engines.
+func (s *Spatial) Describe() SpatialInfo {
+	return SpatialInfo{
+		AS:       s.AS,
+		Duration: s.duration.describe(),
+		Hour:     s.hour.describe(),
+		Day:      s.day.describe(),
+	}
+}
+
+// TreeInfo describes one model tree inside Spatiotemporal.
+type TreeInfo struct {
+	Leaves int `json:"leaves"`
+	Depth  int `json:"depth"`
+	Nodes  int `json:"nodes"`
+}
+
+// SpatiotemporalInfo describes a fitted spatiotemporal model.
+type SpatiotemporalInfo struct {
+	Hour      TreeInfo `json:"hour"`
+	Day       TreeInfo `json:"day"`
+	Duration  TreeInfo `json:"duration"`
+	Magnitude TreeInfo `json:"magnitude"`
+}
+
+// Describe summarizes the four model trees.
+func (st *Spatiotemporal) Describe() SpatiotemporalInfo {
+	info := func(t interface {
+		Leaves() int
+		Depth() int
+		Nodes() int
+	}) TreeInfo {
+		return TreeInfo{Leaves: t.Leaves(), Depth: t.Depth(), Nodes: t.Nodes()}
+	}
+	return SpatiotemporalInfo{
+		Hour:      info(st.Hour),
+		Day:       info(st.Day),
+		Duration:  info(st.Duration),
+		Magnitude: info(st.Magnitude),
+	}
+}

@@ -66,6 +66,16 @@ func FitNAR(xs []float64, cfg NARConfig) (*NAR, error) {
 	return m, nil
 }
 
+// HiddenNodes returns the width of the network's hidden layer (the other
+// half of the grid-searched topology next to Delays). Serving-layer
+// registries expose it as a model descriptor.
+func (m *NAR) HiddenNodes() int {
+	if m.net == nil {
+		return 0
+	}
+	return m.net.Hidden
+}
+
 // PredictNext returns the one-step-ahead forecast on the original scale.
 func (m *NAR) PredictNext() float64 {
 	x := m.lagInput()

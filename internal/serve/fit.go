@@ -1,0 +1,203 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/astopo"
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// Per-target refit: turn a rolling window of attacks into a fresh
+// TargetModels. The construction mirrors the offline evaluation
+// (eval.collectSamples): the spatiotemporal tree is trained on features
+// produced by *walking forward* prefix-fitted component models, so its
+// training rows have the same semantics as the rows it sees at forecast
+// time (component predictions + frozen target context), then the
+// component models are refitted on the full window for serving.
+
+// fitTarget builds a target's models from its window. The caller provides
+// the fit generation and the all-time ingest total for provenance. Windows
+// shorter than cfg.MinWindow return an error (the target is not ready).
+func fitTarget(as astopo.AS, window []trace.Attack, total uint64, gen uint64, cfg Config) (*TargetModels, error) {
+	if len(window) < cfg.MinWindow {
+		return nil, fmt.Errorf("serve: AS%d window %d below minimum %d", as, len(window), cfg.MinWindow)
+	}
+	family := dominantFamily(window)
+
+	// Spatiotemporal stage first: it fits throwaway prefix models, and a
+	// failure here only disables the tree, never the whole target.
+	st := fitSTModels(as, window, cfg)
+
+	tm, err := core.FitTemporal(family, window, cfg.Temporal)
+	if err != nil {
+		return nil, fmt.Errorf("serve: AS%d temporal: %w", as, err)
+	}
+	sm, err := core.FitSpatial(as, window, spatialCfg(as, cfg))
+	if err != nil {
+		return nil, fmt.Errorf("serve: AS%d spatial: %w", as, err)
+	}
+	return &TargetModels{
+		AS:         as,
+		Family:     family,
+		Temporal:   tm,
+		Spatial:    sm,
+		ST:         st,
+		Ctx:        contextFromWindow(window),
+		Window:     len(window),
+		Total:      total,
+		Generation: gen,
+		FittedAt:   time.Now().UTC(),
+	}, nil
+}
+
+// spatialCfg derives the per-target NAR configuration: the seed mixes the
+// service seed with the target AS, so refits are deterministic for a given
+// window regardless of scheduling.
+func spatialCfg(as astopo.AS, cfg Config) core.SpatialConfig {
+	sc := cfg.Spatial
+	sc.Seed = cfg.Seed ^ (uint64(as) * 0x9e3779b97f4a7c15)
+	return sc
+}
+
+// dominantFamily returns the most frequent family label in the window
+// (ties broken lexicographically for determinism).
+func dominantFamily(window []trace.Attack) string {
+	counts := make(map[string]int)
+	for i := range window {
+		counts[window[i].Family]++
+	}
+	best, bestN := "", -1
+	for f, n := range counts {
+		if n > bestN || (n == bestN && f < best) {
+			best, bestN = f, n
+		}
+	}
+	return best
+}
+
+// targetCtx tracks the walk-forward target context while generating
+// spatiotemporal training samples.
+type targetCtx struct {
+	lastStart time.Time
+	lastHour  float64
+	lastDay   float64
+	prevGap   float64
+	magSum    float64
+	magN      int
+	gapSum    float64
+	gapN      int
+}
+
+func (c *targetCtx) observe(a *trace.Attack) {
+	if !c.lastStart.IsZero() {
+		gap := a.Start.Sub(c.lastStart).Seconds()
+		if gap >= 0 {
+			c.prevGap = gap
+			c.gapSum += gap
+			c.gapN++
+		}
+	}
+	c.lastStart = a.Start
+	c.lastHour = float64(a.Hour())
+	c.lastDay = float64(a.Day())
+	c.magSum += float64(a.Magnitude())
+	c.magN++
+}
+
+func (c *targetCtx) features() STContext {
+	ctx := STContext{
+		PrevHour:   c.lastHour,
+		PrevDay:    c.lastDay,
+		PrevGapSec: c.prevGap,
+		NextDueDay: c.lastDay,
+	}
+	if c.magN > 0 {
+		ctx.AvgMag = c.magSum / float64(c.magN)
+	}
+	if c.gapN > 0 && !c.lastStart.IsZero() {
+		meanGap := c.gapSum / float64(c.gapN)
+		due := c.lastStart.Add(time.Duration(meanGap * float64(time.Second)))
+		ctx.NextDueDay = float64(due.Day())
+	}
+	return ctx
+}
+
+// contextFromWindow freezes the forecast-time STContext from the full
+// window tail.
+func contextFromWindow(window []trace.Attack) STContext {
+	var c targetCtx
+	for i := range window {
+		c.observe(&window[i])
+	}
+	return c.features()
+}
+
+// fitSTModels grows the target's model trees by the walk-forward protocol:
+// fit components on the leading stFitFrac of the window, then walk the
+// remainder recording component predictions and target context as features
+// with the realized attack as label. Returns nil when the window is too
+// short or any stage fails — the target then serves component forecasts.
+const (
+	stFitFrac    = 0.6
+	stMinWindow  = 24
+	stMinSamples = 10
+)
+
+func fitSTModels(as astopo.AS, window []trace.Attack, cfg Config) *core.Spatiotemporal {
+	if len(window) < stMinWindow || len(window) < cfg.MinSTWindow {
+		return nil
+	}
+	fitEnd := int(stFitFrac * float64(len(window)))
+	prefix := window[:fitEnd]
+	tm, err := core.FitTemporal(dominantFamily(prefix), prefix, cfg.Temporal)
+	if err != nil {
+		return nil
+	}
+	sm, err := core.FitSpatial(as, prefix, spatialCfg(as, cfg))
+	if err != nil {
+		return nil
+	}
+	var ctx targetCtx
+	for i := range prefix {
+		ctx.observe(&prefix[i])
+	}
+	samples := make([]core.STSample, 0, len(window)-fitEnd)
+	for i := fitEnd; i < len(window); i++ {
+		a := &window[i]
+		fctx := ctx.features()
+		samples = append(samples, core.STSample{
+			F: core.STFeatures{
+				TmpHour:     tm.PredictHour(),
+				TmpDay:      tm.PredictDay(),
+				TmpInterval: tm.PredictInterval(),
+				TmpMag:      tm.PredictMagnitude(),
+				SpaHour:     sm.PredictHour(),
+				SpaDay:      sm.PredictDay(),
+				SpaDur:      sm.PredictDuration(),
+				PrevHour:    fctx.PrevHour,
+				PrevDay:     fctx.PrevDay,
+				PrevGapSec:  a.Start.Sub(ctx.lastStart).Seconds(),
+				NextDueDay:  fctx.NextDueDay,
+				AvgMag:      fctx.AvgMag,
+				TargetAS:    float64(as),
+			},
+			Hour: float64(a.Hour()),
+			Day:  float64(a.Day()),
+			Dur:  a.DurationSec,
+			Mag:  float64(a.Magnitude()),
+		})
+		tm.Observe(a)
+		sm.Observe(a)
+		ctx.observe(a)
+	}
+	if len(samples) < stMinSamples {
+		return nil
+	}
+	st, err := core.FitSpatiotemporal(samples, cfg.ST)
+	if err != nil {
+		return nil
+	}
+	return st
+}

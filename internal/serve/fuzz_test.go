@@ -1,0 +1,47 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// FuzzIngestHandler feeds arbitrary bytes to POST /ingest: whatever the
+// body, the handler must answer a well-formed JSON response with one of
+// the documented status codes and never panic or corrupt the store.
+func FuzzIngestHandler(f *testing.F) {
+	f.Add([]byte(`{"id":1,"family":"DirtJumper","start":"2012-08-01T00:00:00Z","duration_sec":60,"target_as":64512}`))
+	f.Add([]byte(`[{"id":1,"family":"a","start":"2012-08-01T00:00:00Z","target_as":1},{"id":2,"family":"a","start":"2012-08-01T01:00:00Z","target_as":1}]`))
+	f.Add([]byte("{\"id\":1,\"family\":\"a\",\"start\":\"2012-08-01T00:00:00Z\",\"target_as\":1}\n{\"id\":2,\"family\":\"a\",\"start\":\"2012-08-01T01:00:00Z\",\"target_as\":1}"))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`[{]`))
+	f.Add([]byte(`{"id":0}`))
+	f.Add([]byte(`{"id":1,"family":"a","start":"2012-08-01T00:00:00Z","duration_sec":-5,"target_as":1}`))
+	f.Add([]byte(`nonsense`))
+	f.Add([]byte("\x00\x01\x02"))
+
+	cfg := testConfig()
+	cfg.MaxBatchRecords = 64
+	svc := New(cfg)
+	f.Cleanup(svc.Close)
+	handler := svc.Handler()
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest(http.MethodPost, "/ingest", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+		switch rec.Code {
+		case http.StatusOK, http.StatusBadRequest,
+			http.StatusRequestEntityTooLarge, http.StatusTooManyRequests:
+		default:
+			t.Fatalf("unexpected status %d for body %q", rec.Code, body)
+		}
+		if !json.Valid(rec.Body.Bytes()) {
+			t.Fatalf("non-JSON response %q for body %q", rec.Body.Bytes(), body)
+		}
+	})
+}

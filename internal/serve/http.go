@@ -1,0 +1,172 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/astopo"
+	"repro/internal/trace"
+)
+
+// HTTP layer. Endpoints:
+//
+//	POST /ingest     — attack records: one object, an array, or NDJSON
+//	GET  /forecast   — ?target=<AS>: next-attack forecast for the target
+//	GET  /healthz    — liveness + store/registry/backlog summary
+//	GET  /metrics    — Prometheus text exposition
+//
+// Errors are JSON {"error": "..."}; load shedding answers 429 with a
+// Retry-After hint.
+
+// Handler returns the service's HTTP mux.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ingest", s.handleIngest)
+	mux.HandleFunc("/forecast", s.handleForecast)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.Handle("/metrics", s.tel.reg.Handler())
+	return mux
+}
+
+// IngestResult is the /ingest response body.
+type IngestResult struct {
+	Ingested   int `json:"ingested"`
+	Duplicates int `json:"duplicates"`
+	Rejected   int `json:"rejected"`
+}
+
+func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() { s.tel.ingestSeconds.Observe(time.Since(start).Seconds()) }()
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if s.sched.Overloaded() {
+		s.tel.ingestShed.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("refit backlog %d over watermark %d", s.sched.Lag(), s.cfg.LagWatermark))
+		return
+	}
+	dec := trace.NewStreamDecoder(r.Body)
+	var res IngestResult
+	for {
+		if res.Ingested+res.Duplicates+res.Rejected >= s.cfg.MaxBatchRecords {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("batch larger than %d records", s.cfg.MaxBatchRecords))
+			return
+		}
+		a, err := dec.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("record %d: %v",
+				res.Ingested+res.Duplicates+res.Rejected+1, err))
+			return
+		}
+		ok, err := s.Ingest(a)
+		switch {
+		case errors.Is(err, ErrShedding):
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, err.Error())
+			return
+		case err != nil:
+			res.Rejected++
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("record %d: %v",
+				res.Ingested+res.Duplicates+res.Rejected, err))
+			return
+		case ok:
+			res.Ingested++
+		default:
+			res.Duplicates++
+		}
+	}
+	s.updateTargetGauges()
+	writeJSON(w, http.StatusOK, &res)
+}
+
+func (s *Service) handleForecast(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() { s.tel.forecastSecs.Observe(time.Since(start).Seconds()) }()
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	q := r.URL.Query().Get("target")
+	if q == "" {
+		writeError(w, http.StatusBadRequest, "missing target parameter (AS number)")
+		return
+	}
+	asn, err := strconv.ParseUint(q, 10, 32)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad target %q: %v", q, err))
+		return
+	}
+	fc, err := s.reg.Forecast(astopo.AS(asn))
+	if err != nil {
+		s.tel.forecastMisses.Inc()
+		if window, _ := s.store.Window(astopo.AS(asn)); window != nil {
+			writeError(w, http.StatusNotFound, fmt.Sprintf(
+				"target AS%d warming up: %d/%d records ingested, no model published yet",
+				asn, len(window), s.cfg.MinWindow))
+			return
+		}
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown target AS%d", asn))
+		return
+	}
+	s.tel.forecasts.Inc()
+	writeJSON(w, http.StatusOK, fc)
+}
+
+// Health is the /healthz response body.
+type Health struct {
+	Status          string  `json:"status"`
+	UptimeSec       float64 `json:"uptime_sec"`
+	Shards          int     `json:"shards"`
+	TargetsKnown    int     `json:"targets_known"`
+	TargetsServed   int     `json:"targets_served"`
+	SnapshotVersion uint64  `json:"snapshot_version"`
+	RefitLag        int64   `json:"refit_lag"`
+	Shedding        bool    `json:"shedding"`
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	s.updateTargetGauges()
+	writeJSON(w, http.StatusOK, &Health{
+		Status:          "ok",
+		UptimeSec:       time.Since(s.start).Seconds(),
+		Shards:          s.store.Shards(),
+		TargetsKnown:    s.store.Len(),
+		TargetsServed:   s.reg.Size(),
+		SnapshotVersion: s.reg.Version(),
+		RefitLag:        s.sched.Lag(),
+		Shedding:        s.sched.Overloaded(),
+	})
+}
+
+func (s *Service) updateTargetGauges() {
+	s.tel.targetsKnown.Set(int64(s.store.Len()))
+	s.tel.targetsServed.Set(int64(s.reg.Size()))
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

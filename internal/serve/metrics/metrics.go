@@ -1,0 +1,195 @@
+// Package metrics is a minimal, dependency-free instrumentation kit for
+// the online forecasting daemon: monotonic counters, gauges, and
+// fixed-bucket latency histograms, all updated with atomics (safe on every
+// request path without locks) and exposed in the Prometheus text format.
+// It is deliberately tiny — no labels, no registries of registries — just
+// enough for ddosd's /metrics endpoint.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64.
+type Counter struct {
+	name, help string
+	v          atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous int64 value.
+type Gauge struct {
+	name, help string
+	v          atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds delta (may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket cumulative histogram. Observations and the
+// running sum use atomics only, so Observe is safe on hot paths.
+type Histogram struct {
+	name, help string
+	bounds     []float64       // upper bounds, ascending
+	buckets    []atomic.Uint64 // len(bounds)+1; last is +Inf
+	count      atomic.Uint64
+	sumBits    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// DefBuckets are latency buckets in seconds, spanning sub-millisecond
+// forecast reads through multi-second refits.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		neu := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, neu) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Quantile returns an upper-bound estimate of quantile q in [0,1] from the
+// bucket counts (the smallest bucket bound covering the q-th observation;
+// +Inf falls back to the largest finite bound).
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.bounds[len(h.bounds)-1]
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Registry holds the daemon's metrics in registration order.
+type Registry struct {
+	mu    sync.Mutex
+	order []func(w io.Writer)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Counter registers and returns a counter. Names follow Prometheus
+// conventions (snake_case with a unit suffix).
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{name: name, help: help}
+	r.add(func(w io.Writer) {
+		header(w, c.name, c.help, "counter")
+		fmt.Fprintf(w, "%s %d\n", c.name, c.Value())
+	})
+	return c
+}
+
+// Gauge registers and returns a gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{name: name, help: help}
+	r.add(func(w io.Writer) {
+		header(w, g.name, g.help, "gauge")
+		fmt.Fprintf(w, "%s %d\n", g.name, g.Value())
+	})
+	return g
+}
+
+// Histogram registers and returns a histogram over the given upper bounds
+// (nil means DefBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	h := &Histogram{name: name, help: help, bounds: bs, buckets: make([]atomic.Uint64, len(bs)+1)}
+	r.add(func(w io.Writer) {
+		header(w, h.name, h.help, "histogram")
+		var cum uint64
+		for i, b := range h.bounds {
+			cum += h.buckets[i].Load()
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.name, trimFloat(b), cum)
+		}
+		cum += h.buckets[len(h.bounds)].Load()
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.name, cum)
+		fmt.Fprintf(w, "%s_sum %g\n", h.name, h.Sum())
+		fmt.Fprintf(w, "%s_count %d\n", h.name, h.Count())
+	})
+	return h
+}
+
+func (r *Registry) add(render func(w io.Writer)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.order = append(r.order, render)
+}
+
+// WriteText renders every metric in the Prometheus text exposition format.
+func (r *Registry) WriteText(w io.Writer) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, render := range r.order {
+		render(w)
+	}
+}
+
+// Handler serves WriteText over HTTP.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteText(w)
+	})
+}
+
+func header(w io.Writer, name, help, kind string) {
+	if help != "" {
+		fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+	}
+	fmt.Fprintf(w, "# TYPE %s %s\n", name, kind)
+}
+
+func trimFloat(v float64) string { return fmt.Sprintf("%g", v) }

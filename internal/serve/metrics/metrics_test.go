@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "help")
+	g := r.Gauge("test_gauge", "help")
+	c.Inc()
+	c.Add(4)
+	g.Set(7)
+	g.Add(-2)
+	if c.Value() != 5 {
+		t.Fatalf("counter %d, want 5", c.Value())
+	}
+	if g.Value() != 5 {
+		t.Fatalf("gauge %d, want 5", g.Value())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_seconds", "help", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count %d, want 5", h.Count())
+	}
+	if sum := h.Sum(); sum < 56 || sum > 56.2 {
+		t.Fatalf("sum %v, want ~56.05", sum)
+	}
+	// Median falls in the (0.1, 1] bucket; the estimate reports its upper bound.
+	if q := h.Quantile(0.5); q != 1 {
+		t.Fatalf("p50 %v, want bucket bound 1", q)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewRegistry().Histogram("test_seconds", "help", nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count %d, want 8000", h.Count())
+	}
+	if sum := h.Sum(); sum < 7.99 || sum > 8.01 {
+		t.Fatalf("sum %v, want 8.0", sum)
+	}
+}
+
+func TestExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "A counter.").Add(3)
+	r.Gauge("b_current", "A gauge.").Set(-2)
+	r.Histogram("c_seconds", "A histogram.", []float64{1}).Observe(0.5)
+
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	var b strings.Builder
+	r.WriteText(&b)
+	text := b.String()
+	for _, want := range []string{
+		"# TYPE a_total counter",
+		"a_total 3",
+		"# TYPE b_current gauge",
+		"b_current -2",
+		"# TYPE c_seconds histogram",
+		`c_seconds_bucket{le="1"} 1`,
+		`c_seconds_bucket{le="+Inf"} 1`,
+		"c_seconds_sum 0.5",
+		"c_seconds_count 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}

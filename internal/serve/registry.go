@@ -1,0 +1,265 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/astopo"
+	"repro/internal/core"
+)
+
+// Registry serves forecasts lock-free from an immutable snapshot. The
+// snapshot — a map from target AS to that target's fitted models — is
+// published by atomic pointer swap: readers load the pointer once and see
+// a consistent world for the whole request, while refits build new
+// TargetModels off to the side and swap them in as a batch. Models inside
+// a published snapshot are never mutated (prediction methods on
+// core.Temporal/Spatial/Spatiotemporal are read-only), so no
+// reader-side locking exists anywhere on the forecast path.
+type Registry struct {
+	snap atomic.Pointer[snapshot]
+	mu   sync.Mutex // serializes publishers (copy-on-write swap)
+	gen  atomic.Uint64
+}
+
+type snapshot struct {
+	version uint64
+	models  map[astopo.AS]*TargetModels
+}
+
+// TargetModels is one target's immutable fitted-model set plus the frozen
+// feature context the spatiotemporal tree needs at forecast time. All
+// fields serialize through the existing core persist codecs, so a registry
+// snapshot on disk is the same wire format cmd/ddospredict bundles use.
+type TargetModels struct {
+	AS     astopo.AS `json:"as"`
+	Family string    `json:"family"` // dominant family in the fit window
+
+	Temporal *core.Temporal       `json:"temporal"`
+	Spatial  *core.Spatial        `json:"spatial"`
+	ST       *core.Spatiotemporal `json:"st,omitempty"`
+
+	Ctx        STContext `json:"ctx"`
+	Window     int       `json:"window"`     // records the fit consumed
+	Total      uint64    `json:"total"`      // all-time ingested at fit time
+	Generation uint64    `json:"generation"` // monotone fit counter
+	FittedAt   time.Time `json:"fitted_at"`
+}
+
+// STContext is the target-local feature context frozen at fit time (the
+// PrevHour/PrevDay/... inputs of core.STFeatures).
+type STContext struct {
+	PrevHour   float64 `json:"prev_hour"`
+	PrevDay    float64 `json:"prev_day"`
+	PrevGapSec float64 `json:"prev_gap_sec"`
+	NextDueDay float64 `json:"next_due_day"`
+	AvgMag     float64 `json:"avg_mag"`
+}
+
+// Forecast is one target's next-attack prediction plus provenance.
+type Forecast struct {
+	TargetAS        astopo.AS `json:"target_as"`
+	Family          string    `json:"family"`
+	SnapshotVersion uint64    `json:"snapshot_version"`
+	ModelGeneration uint64    `json:"model_generation"`
+	WindowSize      int       `json:"window_size"`
+	Observations    uint64    `json:"observations"`
+	FittedAt        time.Time `json:"fitted_at"`
+
+	NextStart   time.Time `json:"next_start"`
+	IntervalSec float64   `json:"interval_sec"`
+	Hour        float64   `json:"hour"`
+	Day         float64   `json:"day"`
+	DurationSec float64   `json:"duration_sec"`
+	Magnitude   float64   `json:"magnitude"`
+
+	Models ForecastModels `json:"models"`
+}
+
+// ForecastModels carries the per-engine descriptors (which engine engaged,
+// selected structure, observation counts).
+type ForecastModels struct {
+	Temporal       core.TemporalInfo        `json:"temporal"`
+	Spatial        core.SpatialInfo         `json:"spatial"`
+	Spatiotemporal *core.SpatiotemporalInfo `json:"spatiotemporal,omitempty"`
+}
+
+// ErrUnknownTarget is returned for targets without a published model.
+var ErrUnknownTarget = errors.New("serve: no model for target")
+
+// NewRegistry returns a registry with an empty published snapshot.
+func NewRegistry() *Registry {
+	r := &Registry{}
+	r.snap.Store(&snapshot{models: map[astopo.AS]*TargetModels{}})
+	return r
+}
+
+// Version returns the published snapshot version (increments per swap).
+func (r *Registry) Version() uint64 { return r.snap.Load().version }
+
+// Size returns the number of targets in the published snapshot.
+func (r *Registry) Size() int { return len(r.snap.Load().models) }
+
+// NextGeneration returns a fresh monotone fit-generation number.
+func (r *Registry) NextGeneration() uint64 { return r.gen.Add(1) }
+
+// Targets returns every published target AS in ascending order.
+func (r *Registry) Targets() []astopo.AS {
+	snap := r.snap.Load()
+	out := make([]astopo.AS, 0, len(snap.models))
+	for as := range snap.models {
+		out = append(out, as)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Lookup returns the published models for a target.
+func (r *Registry) Lookup(as astopo.AS) (*TargetModels, bool) {
+	tm, ok := r.snap.Load().models[as]
+	return tm, ok
+}
+
+// Forecast composes the target's next-attack forecast from its published
+// models. It is the serving hot path: one atomic load, one map lookup, and
+// closed-form model reads — no fitting, no locks, no mutation.
+func (r *Registry) Forecast(as astopo.AS) (*Forecast, error) {
+	snap := r.snap.Load()
+	tm := snap.models[as]
+	if tm == nil {
+		return nil, fmt.Errorf("%w AS%d", ErrUnknownTarget, as)
+	}
+	t, s := tm.Temporal, tm.Spatial
+	fc := &Forecast{
+		TargetAS:        as,
+		Family:          tm.Family,
+		SnapshotVersion: snap.version,
+		ModelGeneration: tm.Generation,
+		WindowSize:      tm.Window,
+		Observations:    tm.Total,
+		FittedAt:        tm.FittedAt,
+		NextStart:       t.PredictNextStart(),
+		IntervalSec:     max(0, t.PredictInterval()),
+		Hour:            t.PredictHour(),
+		Day:             t.PredictDay(),
+		DurationSec:     max(0, s.PredictDuration()),
+		Magnitude:       max(0, t.PredictMagnitude()),
+		Models: ForecastModels{
+			Temporal: t.Describe(),
+			Spatial:  s.Describe(),
+		},
+	}
+	if tm.ST != nil {
+		f := core.STFeatures{
+			TmpHour:     t.PredictHour(),
+			TmpDay:      t.PredictDay(),
+			TmpInterval: t.PredictInterval(),
+			TmpMag:      t.PredictMagnitude(),
+			SpaHour:     s.PredictHour(),
+			SpaDay:      s.PredictDay(),
+			SpaDur:      s.PredictDuration(),
+			PrevHour:    tm.Ctx.PrevHour,
+			PrevDay:     tm.Ctx.PrevDay,
+			PrevGapSec:  tm.Ctx.PrevGapSec,
+			NextDueDay:  tm.Ctx.NextDueDay,
+			AvgMag:      tm.Ctx.AvgMag,
+			TargetAS:    float64(as),
+		}
+		fc.Hour = tm.ST.PredictHour(&f)
+		fc.Day = tm.ST.PredictDay(&f)
+		fc.DurationSec = max(0, tm.ST.PredictDuration(&f))
+		fc.Magnitude = max(0, tm.ST.PredictMagnitude(&f))
+		info := tm.ST.Describe()
+		fc.Models.Spatiotemporal = &info
+	}
+	return fc, nil
+}
+
+// Publish swaps a new snapshot in that carries every existing target plus
+// the given batch (copy-on-write). Readers keep the old snapshot until the
+// single atomic store below; nothing is ever published half-updated.
+func (r *Registry) Publish(batch []*TargetModels) {
+	if len(batch) == 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := r.snap.Load()
+	models := make(map[astopo.AS]*TargetModels, len(old.models)+len(batch))
+	for as, tm := range old.models {
+		models[as] = tm
+	}
+	for _, tm := range batch {
+		if tm != nil {
+			models[tm.AS] = tm
+		}
+	}
+	r.snap.Store(&snapshot{version: old.version + 1, models: models})
+}
+
+// SnapshotFile is the on-disk snapshot format, targets sorted by AS so
+// snapshots of the same state are byte-identical.
+type SnapshotFile struct {
+	Version uint64          `json:"version"`
+	Targets []*TargetModels `json:"targets"`
+}
+
+// WriteSnapshot serializes the published snapshot.
+func (r *Registry) WriteSnapshot(w io.Writer) error {
+	snap := r.snap.Load()
+	file := SnapshotFile{Version: snap.version, Targets: make([]*TargetModels, 0, len(snap.models))}
+	for _, tm := range snap.models {
+		file.Targets = append(file.Targets, tm)
+	}
+	sort.Slice(file.Targets, func(i, j int) bool { return file.Targets[i].AS < file.Targets[j].AS })
+	if err := json.NewEncoder(w).Encode(&file); err != nil {
+		return fmt.Errorf("serve: write snapshot: %w", err)
+	}
+	return nil
+}
+
+// ReadSnapshot replaces the published snapshot with one read from r2 (the
+// daemon's warm-boot path; also loadable by cmd/ddospredict -snapshot).
+func (r *Registry) ReadSnapshot(r2 io.Reader) error {
+	file, err := DecodeSnapshot(r2)
+	if err != nil {
+		return err
+	}
+	models := make(map[astopo.AS]*TargetModels, len(file.Targets))
+	var maxGen uint64
+	for _, tm := range file.Targets {
+		if tm.Temporal == nil || tm.Spatial == nil {
+			return fmt.Errorf("serve: snapshot target AS%d missing models", tm.AS)
+		}
+		models[tm.AS] = tm
+		if tm.Generation > maxGen {
+			maxGen = tm.Generation
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		g := r.gen.Load()
+		if g >= maxGen || r.gen.CompareAndSwap(g, maxGen) {
+			break
+		}
+	}
+	r.snap.Store(&snapshot{version: file.Version, models: models})
+	return nil
+}
+
+// DecodeSnapshot parses a snapshot file without publishing it (used by
+// cmd/ddospredict to forecast straight from a ddosd snapshot).
+func DecodeSnapshot(r io.Reader) (*SnapshotFile, error) {
+	var file SnapshotFile
+	if err := json.NewDecoder(r).Decode(&file); err != nil {
+		return nil, fmt.Errorf("serve: read snapshot: %w", err)
+	}
+	return &file, nil
+}

@@ -1,0 +1,163 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/astopo"
+	"repro/internal/parallel"
+)
+
+// scheduler is the background refit engine. Ingest marks targets stale;
+// the scheduler coalesces marks per target, queues them on a bounded
+// channel, drains the queue in batches, refits every target of a batch
+// concurrently on the parallel worker pool, and publishes the whole batch
+// with one snapshot swap. The queue depth bounds memory; the lag counter
+// (queued + in-flight refits) drives admission: past the watermark the
+// HTTP layer sheds ingest load with 429 instead of letting the refit
+// backlog grow without bound.
+type scheduler struct {
+	store *Store
+	reg   *Registry
+	cfg   Config
+	tel   *telemetry
+
+	queue   chan astopo.AS
+	mu      sync.Mutex
+	pending map[astopo.AS]bool // targets queued but not yet picked up
+	lag     atomic.Int64       // queued + in-flight targets
+
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+func newScheduler(store *Store, reg *Registry, cfg Config, tel *telemetry) *scheduler {
+	s := &scheduler{
+		store:   store,
+		reg:     reg,
+		cfg:     cfg,
+		tel:     tel,
+		queue:   make(chan astopo.AS, cfg.QueueDepth),
+		pending: make(map[astopo.AS]bool, cfg.QueueDepth),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go s.run()
+	return s
+}
+
+// TryEnqueue marks a target for refit. Marks for an already-queued target
+// coalesce (the refit will read the latest window anyway). A full queue
+// drops the mark and reports false; the target stays stale and the next
+// ingest for it will try again.
+func (s *scheduler) TryEnqueue(as astopo.AS) bool {
+	s.mu.Lock()
+	if s.pending[as] {
+		s.mu.Unlock()
+		return true
+	}
+	s.pending[as] = true
+	s.mu.Unlock()
+	select {
+	case s.queue <- as:
+		s.lag.Add(1)
+		s.tel.refitLag.Set(s.lag.Load())
+		return true
+	default:
+		s.mu.Lock()
+		delete(s.pending, as)
+		s.mu.Unlock()
+		s.tel.refitsDropped.Inc()
+		return false
+	}
+}
+
+// Overloaded reports whether the refit backlog has crossed the admission
+// watermark — the HTTP layer answers 429 while this holds.
+func (s *scheduler) Overloaded() bool {
+	return s.lag.Load() > int64(s.cfg.LagWatermark)
+}
+
+// Lag returns the current refit backlog (queued + in-flight).
+func (s *scheduler) Lag() int64 { return s.lag.Load() }
+
+// Stop terminates the run loop after the in-flight batch completes.
+func (s *scheduler) Stop() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	<-s.done
+}
+
+// Flush blocks until the queue is empty and no refit is in flight (test
+// and shutdown helper; ingest may keep adding work while it waits).
+func (s *scheduler) Flush() {
+	for s.lag.Load() > 0 {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func (s *scheduler) run() {
+	defer close(s.done)
+	for {
+		select {
+		case <-s.stop:
+			return
+		case first := <-s.queue:
+			batch := s.collectBatch(first)
+			s.refitBatch(batch)
+		}
+	}
+}
+
+// collectBatch drains up to BatchSize-1 more queued targets without
+// blocking, so bursty ingest amortizes into one snapshot swap.
+func (s *scheduler) collectBatch(first astopo.AS) []astopo.AS {
+	batch := []astopo.AS{first}
+	for len(batch) < s.cfg.BatchSize {
+		select {
+		case as := <-s.queue:
+			batch = append(batch, as)
+		default:
+			return batch
+		}
+	}
+	return batch
+}
+
+// refitBatch fits every target of the batch on the worker pool and
+// publishes the survivors with a single atomic snapshot swap.
+func (s *scheduler) refitBatch(batch []astopo.AS) {
+	// A target is in-flight from here: clear its pending mark so records
+	// arriving during the refit can re-queue it.
+	s.mu.Lock()
+	for _, as := range batch {
+		delete(s.pending, as)
+	}
+	s.mu.Unlock()
+
+	fitted := make([]*TargetModels, len(batch))
+	consumed := make([]int, len(batch))
+	_ = parallel.ForEach(len(batch), s.cfg.RefitWorkers, func(i int) error {
+		start := time.Now()
+		window, total := s.store.Window(batch[i])
+		tm, err := fitTarget(batch[i], window, total, s.reg.NextGeneration(), s.cfg)
+		if err != nil {
+			s.tel.refitErrors.Inc()
+			return nil // not-ready targets are routine, not batch failures
+		}
+		fitted[i] = tm
+		consumed[i] = len(window)
+		s.tel.refitSeconds.Observe(time.Since(start).Seconds())
+		return nil
+	})
+	s.reg.Publish(fitted)
+	for i, as := range batch {
+		if fitted[i] != nil {
+			s.store.MarkRefitted(as, consumed[i])
+			s.tel.refitsDone.Inc()
+		}
+	}
+	s.lag.Add(-int64(len(batch)))
+	s.tel.refitLag.Set(s.lag.Load())
+}

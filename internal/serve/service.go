@@ -1,0 +1,248 @@
+// Package serve is the online forecasting subsystem behind cmd/ddosd: a
+// sharded per-target state store holding each target network's rolling
+// attack window, a model registry serving forecasts lock-free from an
+// atomically swapped snapshot, and a background refit scheduler that
+// refits stale targets after every K ingested records with bounded-queue
+// admission and load shedding. It turns the repository's batch models
+// (ARIMA temporal, NAR spatial, CART spatiotemporal) into an operational
+// early-warning service: ingest attack records as they are verified, read
+// next-attack forecasts per target at any time. See DESIGN.md §7.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/astopo"
+	"repro/internal/core"
+	"repro/internal/parallel"
+	"repro/internal/serve/metrics"
+	"repro/internal/trace"
+)
+
+// Config tunes the service. The zero value gets production-ish defaults;
+// tests shrink the windows and model grids.
+type Config struct {
+	// Shards is the state-store shard count (rounded up to a power of two).
+	// Default 64.
+	Shards int
+	// Window caps each target's rolling attack window. Default 256.
+	Window int
+	// MinWindow is the fewest records a target needs before its first fit.
+	// Default 8.
+	MinWindow int
+	// MinSTWindow is the fewest records before the spatiotemporal tree is
+	// attempted (the walk-forward sample construction needs headroom).
+	// Default 32.
+	MinSTWindow int
+	// RefitEvery re-queues a target after this many new records. Default 8.
+	RefitEvery int
+	// QueueDepth bounds the refit queue. Default 256.
+	QueueDepth int
+	// LagWatermark is the refit backlog (queued + in-flight) beyond which
+	// ingest is shed with 429. Default QueueDepth/2.
+	LagWatermark int
+	// BatchSize caps how many targets one snapshot swap refits. Default 16.
+	BatchSize int
+	// RefitWorkers bounds the per-batch fit fan-out (0 = parallel.Workers()).
+	RefitWorkers int
+	// MaxBatchRecords caps records accepted per ingest request. Default 10000.
+	MaxBatchRecords int
+	// Seed makes refits deterministic per target window.
+	Seed uint64
+
+	// Model configuration shared with the batch layer.
+	Temporal core.TemporalConfig
+	Spatial  core.SpatialConfig
+	ST       core.STConfig
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards < 1 {
+		c.Shards = 64
+	}
+	if c.Window < 1 {
+		c.Window = 256
+	}
+	if c.MinWindow < 3 {
+		c.MinWindow = 8
+	}
+	if c.MinSTWindow < 1 {
+		c.MinSTWindow = 32
+	}
+	if c.RefitEvery < 1 {
+		c.RefitEvery = 8
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 256
+	}
+	if c.LagWatermark < 1 {
+		c.LagWatermark = c.QueueDepth / 2
+	}
+	if c.BatchSize < 1 {
+		c.BatchSize = 16
+	}
+	if c.RefitWorkers < 1 {
+		c.RefitWorkers = parallel.Workers()
+	}
+	if c.MaxBatchRecords < 1 {
+		c.MaxBatchRecords = 10000
+	}
+	return c
+}
+
+// telemetry bundles the instruments every layer updates.
+type telemetry struct {
+	reg *metrics.Registry
+
+	ingestRecords  *metrics.Counter
+	ingestDups     *metrics.Counter
+	ingestShed     *metrics.Counter
+	ingestSeconds  *metrics.Histogram
+	forecasts      *metrics.Counter
+	forecastMisses *metrics.Counter
+	forecastSecs   *metrics.Histogram
+	refitsDone     *metrics.Counter
+	refitErrors    *metrics.Counter
+	refitsDropped  *metrics.Counter
+	refitSeconds   *metrics.Histogram
+	refitLag       *metrics.Gauge
+	targetsKnown   *metrics.Gauge
+	targetsServed  *metrics.Gauge
+}
+
+func newTelemetry() *telemetry {
+	r := metrics.NewRegistry()
+	return &telemetry{
+		reg:            r,
+		ingestRecords:  r.Counter("ddosd_ingest_records_total", "Records accepted into the state store."),
+		ingestDups:     r.Counter("ddosd_ingest_duplicates_total", "Records dropped as duplicates of a windowed attack ID."),
+		ingestShed:     r.Counter("ddosd_ingest_shed_total", "Ingest requests rejected with 429 under refit backlog."),
+		ingestSeconds:  r.Histogram("ddosd_ingest_seconds", "Ingest request latency.", nil),
+		forecasts:      r.Counter("ddosd_forecasts_total", "Forecasts served."),
+		forecastMisses: r.Counter("ddosd_forecast_misses_total", "Forecast requests for unknown or warming-up targets."),
+		forecastSecs:   r.Histogram("ddosd_forecast_seconds", "Forecast request latency.", nil),
+		refitsDone:     r.Counter("ddosd_refits_total", "Completed target refits."),
+		refitErrors:    r.Counter("ddosd_refit_errors_total", "Refits skipped (window not ready or fit failed)."),
+		refitsDropped:  r.Counter("ddosd_refits_dropped_total", "Refit marks dropped on a full queue."),
+		refitSeconds:   r.Histogram("ddosd_refit_seconds", "Per-target refit latency.", nil),
+		refitLag:       r.Gauge("ddosd_refit_lag", "Refit backlog: queued plus in-flight targets."),
+		targetsKnown:   r.Gauge("ddosd_targets_known", "Targets present in the state store."),
+		targetsServed:  r.Gauge("ddosd_targets_served", "Targets with published models."),
+	}
+}
+
+// Service wires the store, registry, and scheduler together.
+type Service struct {
+	cfg   Config
+	store *Store
+	reg   *Registry
+	sched *scheduler
+	tel   *telemetry
+	start time.Time
+}
+
+// New builds and starts a service (the refit scheduler goroutine runs
+// until Close).
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	tel := newTelemetry()
+	store := NewStore(cfg.Shards, cfg.Window)
+	reg := NewRegistry()
+	return &Service{
+		cfg:   cfg,
+		store: store,
+		reg:   reg,
+		sched: newScheduler(store, reg, cfg, tel),
+		tel:   tel,
+		start: time.Now(),
+	}
+}
+
+// Close stops the refit scheduler (in-flight batch completes first).
+func (s *Service) Close() { s.sched.Stop() }
+
+// Registry exposes the model registry (snapshot persistence, direct
+// forecasts).
+func (s *Service) Registry() *Registry { return s.reg }
+
+// Store exposes the state store (introspection).
+func (s *Service) Store() *Store { return s.store }
+
+// Flush waits for the refit backlog to drain (tests, shutdown snapshots).
+func (s *Service) Flush() { s.sched.Flush() }
+
+// ErrShedding is returned by Ingest while the refit backlog exceeds the
+// watermark; the HTTP layer maps it to 429.
+var ErrShedding = errors.New("serve: refit backlog over watermark, shedding ingest")
+
+// ValidateRecord rejects records the models cannot use.
+func ValidateRecord(a *trace.Attack) error {
+	switch {
+	case a.ID == 0:
+		return errors.New("serve: record missing id")
+	case a.Family == "":
+		return errors.New("serve: record missing family")
+	case a.Start.IsZero():
+		return errors.New("serve: record missing start")
+	case a.DurationSec < 0:
+		return errors.New("serve: negative duration")
+	case a.TargetAS == 0:
+		return errors.New("serve: record missing target_as")
+	}
+	return nil
+}
+
+// Ingest admits one record: dedup + window update in the store, then a
+// refit mark once the target has accumulated RefitEvery new records (or
+// has enough history for its first fit). Returns whether the record was
+// new. Under backlog it returns ErrShedding without touching the store.
+func (s *Service) Ingest(a *trace.Attack) (bool, error) {
+	if s.sched.Overloaded() {
+		s.tel.ingestShed.Inc()
+		return false, ErrShedding
+	}
+	if err := ValidateRecord(a); err != nil {
+		return false, err
+	}
+	since, windowLen, accepted := s.store.Ingest(a)
+	if !accepted {
+		s.tel.ingestDups.Inc()
+		return false, nil
+	}
+	s.tel.ingestRecords.Inc()
+	if windowLen >= s.cfg.MinWindow {
+		_, published := s.reg.Lookup(a.TargetAS)
+		if since >= s.cfg.RefitEvery || !published {
+			s.sched.TryEnqueue(a.TargetAS)
+		}
+	}
+	return true, nil
+}
+
+// Forecast serves the target's published forecast.
+func (s *Service) Forecast(as astopo.AS) (*Forecast, error) {
+	return s.reg.Forecast(as)
+}
+
+// WarmStart bulk-ingests a dataset (boot-time backfill) and waits for the
+// resulting refits to publish.
+func (s *Service) WarmStart(ds *trace.Dataset) (int, error) {
+	n := 0
+	for i := range ds.Attacks {
+		ok, err := s.Ingest(&ds.Attacks[i])
+		if errors.Is(err, ErrShedding) {
+			s.sched.Flush()
+			ok, err = s.Ingest(&ds.Attacks[i])
+		}
+		if err != nil {
+			return n, fmt.Errorf("serve: warm start record %d: %w", i, err)
+		}
+		if ok {
+			n++
+		}
+	}
+	s.sched.Flush()
+	return n, nil
+}

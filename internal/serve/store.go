@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/astopo"
+	"repro/internal/trace"
+)
+
+// Store is the sharded per-target state store: each target network (AS)
+// owns a rolling window of its most recent attacks plus ingest counters.
+// Targets hash onto a fixed power-of-two shard array; every shard has its
+// own mutex, so ingest for different targets contends only 1/shards of the
+// time and never blocks the forecast path (which reads the registry's
+// snapshot, not the store).
+type Store struct {
+	shards []storeShard
+	mask   uint64
+	window int
+}
+
+type storeShard struct {
+	mu      sync.Mutex
+	targets map[astopo.AS]*targetState
+}
+
+// targetState is one target's mutable ingest state. All access is under
+// the owning shard's mutex.
+type targetState struct {
+	attacks    []trace.Attack // rolling window, chronological
+	total      uint64         // all-time ingested (after dedup)
+	sinceRefit int            // records since the last completed refit
+}
+
+// NewStore builds a store with the given shard count (rounded up to a
+// power of two, minimum 1) and per-target window capacity.
+func NewStore(shards, window int) *Store {
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	if window < 1 {
+		window = 1
+	}
+	s := &Store{shards: make([]storeShard, n), mask: uint64(n - 1), window: window}
+	for i := range s.shards {
+		s.shards[i].targets = make(map[astopo.AS]*targetState)
+	}
+	return s
+}
+
+// shardFor hashes the target AS onto its shard (Fibonacci multiplicative
+// hash: consecutive AS numbers — the common synthetic layout — spread
+// across shards instead of clustering).
+func (s *Store) shardFor(as astopo.AS) *storeShard {
+	h := uint64(as) * 0x9e3779b97f4a7c15
+	return &s.shards[(h>>32)&s.mask]
+}
+
+// Ingest folds one attack into its target's window and returns the
+// target's records-since-refit count, the window length, and whether the
+// record was new (false: a duplicate attack ID already in the window was
+// dropped).
+func (s *Store) Ingest(a *trace.Attack) (sinceRefit, windowLen int, accepted bool) {
+	sh := s.shardFor(a.TargetAS)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ts := sh.targets[a.TargetAS]
+	if ts == nil {
+		ts = &targetState{}
+		sh.targets[a.TargetAS] = ts
+	}
+	for i := range ts.attacks {
+		if ts.attacks[i].ID == a.ID {
+			return ts.sinceRefit, len(ts.attacks), false
+		}
+	}
+	// Insert keeping chronological order: records usually arrive in order,
+	// so scan from the tail.
+	pos := len(ts.attacks)
+	for pos > 0 && ts.attacks[pos-1].Start.After(a.Start) {
+		pos--
+	}
+	ts.attacks = append(ts.attacks, trace.Attack{})
+	copy(ts.attacks[pos+1:], ts.attacks[pos:])
+	ts.attacks[pos] = *a
+	if len(ts.attacks) > s.window {
+		ts.attacks = append(ts.attacks[:0], ts.attacks[len(ts.attacks)-s.window:]...)
+	}
+	ts.total++
+	ts.sinceRefit++
+	return ts.sinceRefit, len(ts.attacks), true
+}
+
+// Window returns a copy of the target's rolling window and its all-time
+// ingest count. A nil slice means the target is unknown.
+func (s *Store) Window(as astopo.AS) ([]trace.Attack, uint64) {
+	sh := s.shardFor(as)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ts := sh.targets[as]
+	if ts == nil {
+		return nil, 0
+	}
+	out := make([]trace.Attack, len(ts.attacks))
+	copy(out, ts.attacks)
+	return out, ts.total
+}
+
+// MarkRefitted resets the target's since-refit counter by the number of
+// records the refit consumed (records ingested while the refit ran keep
+// counting toward the next one).
+func (s *Store) MarkRefitted(as astopo.AS, consumed int) {
+	sh := s.shardFor(as)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if ts := sh.targets[as]; ts != nil {
+		ts.sinceRefit -= consumed
+		if ts.sinceRefit < 0 {
+			ts.sinceRefit = 0
+		}
+	}
+}
+
+// Targets returns every known target AS in ascending order.
+func (s *Store) Targets() []astopo.AS {
+	var out []astopo.AS
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for as := range sh.targets {
+			out = append(out, as)
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Len returns the number of known targets.
+func (s *Store) Len() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += len(sh.targets)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Shards returns the shard count (for /healthz introspection).
+func (s *Store) Shards() int { return len(s.shards) }

@@ -1,0 +1,291 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Streaming JSON codec: record-at-a-time reading and writing of attack
+// traces, so consumers with bounded memory — the ddosd ingest path, the
+// ddosgen writer — never hold a whole dataset in RAM. The slice-based
+// ReadJSON/WriteJSON are thin wrappers over these.
+
+// Decoder reads a dataset one Attack at a time. It accepts the two dataset
+// framings on disk: the canonical object {"attacks":[...]} (unknown keys
+// are skipped, matching the historical loader) and a bare top-level array
+// [...]. A top-level JSON null yields zero records, as the slice loader
+// always did. Use NewStreamDecoder for record-stream framings (single
+// objects, NDJSON).
+type Decoder struct {
+	dec  *json.Decoder
+	err  error
+	mode dmode
+}
+
+type dmode int
+
+const (
+	dInit    dmode = iota // framing not yet detected
+	dArray                // inside a top-level [...] of records
+	dObject               // inside {"attacks":[...]} between keys
+	dRecords              // inside the "attacks" array of a dataset object
+	dDone
+)
+
+// NewDecoder returns a streaming dataset decoder over r.
+func NewDecoder(r io.Reader) *Decoder {
+	return &Decoder{dec: json.NewDecoder(bufio.NewReader(r))}
+}
+
+// Next returns the next record, or io.EOF after the last one. Any other
+// error is sticky: every subsequent call returns it again.
+func (d *Decoder) Next() (*Attack, error) {
+	if d.err != nil {
+		return nil, d.err
+	}
+	a, err := d.next()
+	if err != nil {
+		d.err = err
+		return nil, err
+	}
+	return a, nil
+}
+
+func (d *Decoder) next() (*Attack, error) {
+	for {
+		switch d.mode {
+		case dInit:
+			if err := d.detect(); err != nil {
+				return nil, err
+			}
+		case dArray, dRecords:
+			if d.dec.More() {
+				var a Attack
+				if err := d.dec.Decode(&a); err != nil {
+					return nil, err
+				}
+				return &a, nil
+			}
+			if _, err := d.dec.Token(); err != nil { // consume ']'
+				return nil, err
+			}
+			if d.mode == dArray {
+				d.mode = dDone
+			} else {
+				d.mode = dObject
+			}
+		case dObject:
+			if err := d.objectKey(); err != nil {
+				return nil, err
+			}
+		case dDone:
+			return nil, io.EOF
+		}
+	}
+}
+
+// detect consumes the first token and fixes the framing.
+func (d *Decoder) detect() error {
+	tok, err := d.dec.Token()
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			// Empty input: zero records, like decoding into a zero struct.
+			d.mode = dDone
+			return nil
+		}
+		return err
+	}
+	switch t := tok.(type) {
+	case json.Delim:
+		switch t {
+		case '[':
+			d.mode = dArray
+		case '{':
+			d.mode = dObject
+		default:
+			return fmt.Errorf("trace: unexpected delimiter %v", t)
+		}
+	case nil: // top-level null: empty dataset
+		d.mode = dDone
+	default:
+		return fmt.Errorf("trace: expected dataset object or array, got %T", tok)
+	}
+	return nil
+}
+
+// objectKey advances past one key of the dataset object: entering the
+// "attacks" array, skipping any other key's value, or finishing at '}'.
+func (d *Decoder) objectKey() error {
+	tok, err := d.dec.Token()
+	if err != nil {
+		return err
+	}
+	if delim, ok := tok.(json.Delim); ok && delim == '}' {
+		d.mode = dDone
+		return nil
+	}
+	key, ok := tok.(string)
+	if !ok {
+		return fmt.Errorf("trace: expected object key, got %v", tok)
+	}
+	if key != "attacks" {
+		var skip json.RawMessage
+		return d.dec.Decode(&skip)
+	}
+	tok, err = d.dec.Token()
+	if err != nil {
+		return err
+	}
+	switch t := tok.(type) {
+	case json.Delim:
+		if t != '[' {
+			return fmt.Errorf("trace: attacks must be an array, got %v", t)
+		}
+		d.mode = dRecords
+		return nil
+	case nil: // "attacks": null — zero records, keep scanning keys
+		return nil
+	default:
+		return fmt.Errorf("trace: attacks must be an array, got %T", tok)
+	}
+}
+
+// StreamDecoder reads loose attack records: a bare JSON array, a single
+// object, or a concatenated/newline-delimited stream of objects — the
+// framings the ddosd ingest endpoint accepts. It is intentionally distinct
+// from Decoder: a record object's keys are attack fields, while a dataset
+// object's keys are container fields, so one decoder cannot serve both
+// without guessing.
+type StreamDecoder struct {
+	dec   *json.Decoder
+	br    *bufio.Reader
+	err   error
+	array bool
+	init  bool
+}
+
+// NewStreamDecoder returns a record-stream decoder over r.
+func NewStreamDecoder(r io.Reader) *StreamDecoder {
+	br := bufio.NewReader(r)
+	return &StreamDecoder{br: br, dec: json.NewDecoder(br)}
+}
+
+// Next returns the next record, or io.EOF after the last one. Errors are
+// sticky.
+func (s *StreamDecoder) Next() (*Attack, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	a, err := s.next()
+	if err != nil {
+		s.err = err
+		return nil, err
+	}
+	return a, nil
+}
+
+func (s *StreamDecoder) next() (*Attack, error) {
+	if !s.init {
+		if err := s.detect(); err != nil {
+			return nil, err
+		}
+	}
+	if s.array {
+		if !s.dec.More() {
+			if _, err := s.dec.Token(); err != nil { // consume ']'
+				return nil, err
+			}
+			return nil, io.EOF
+		}
+	}
+	var a Attack
+	if err := s.dec.Decode(&a); err != nil {
+		return nil, err
+	}
+	return &a, nil
+}
+
+// detect peeks the first non-space byte to pick array vs stream framing
+// without consuming record bytes.
+func (s *StreamDecoder) detect() error {
+	s.init = true
+	for {
+		b, err := s.br.ReadByte()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return io.EOF
+			}
+			return err
+		}
+		switch b {
+		case ' ', '\t', '\r', '\n':
+			continue
+		case '[':
+			if err := s.br.UnreadByte(); err != nil {
+				return err
+			}
+			s.array = true
+			if _, err := s.dec.Token(); err != nil { // consume '['
+				return err
+			}
+			return nil
+		default:
+			return s.br.UnreadByte()
+		}
+	}
+}
+
+// Encoder writes a dataset in the canonical {"attacks":[...]} framing one
+// record at a time. Close finishes the container; an Encoder closed with
+// zero records emits {"attacks":[]}.
+type Encoder struct {
+	w      io.Writer
+	n      int
+	closed bool
+}
+
+// NewEncoder returns a streaming dataset encoder over w.
+func NewEncoder(w io.Writer) *Encoder { return &Encoder{w: w} }
+
+// Encode appends one record.
+func (e *Encoder) Encode(a *Attack) error {
+	if e.closed {
+		return errors.New("trace: encode after Close")
+	}
+	buf, err := json.Marshal(a)
+	if err != nil {
+		return fmt.Errorf("trace: encode: %w", err)
+	}
+	sep := ","
+	if e.n == 0 {
+		sep = `{"attacks":[`
+	}
+	if _, err := io.WriteString(e.w, sep); err != nil {
+		return fmt.Errorf("trace: encode: %w", err)
+	}
+	if _, err := e.w.Write(buf); err != nil {
+		return fmt.Errorf("trace: encode: %w", err)
+	}
+	e.n++
+	return nil
+}
+
+// Close terminates the JSON container (with a trailing newline, matching
+// encoding/json's Encoder). It does not close the underlying writer.
+func (e *Encoder) Close() error {
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	tail := "]}\n"
+	if e.n == 0 {
+		tail = `{"attacks":[]}` + "\n"
+	}
+	if _, err := io.WriteString(e.w, tail); err != nil {
+		return fmt.Errorf("trace: encode: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,179 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/astopo"
+)
+
+func streamAttacks(n int) []Attack {
+	t0 := time.Date(2012, 8, 1, 0, 0, 0, 0, time.UTC)
+	out := make([]Attack, n)
+	for i := range out {
+		out[i] = Attack{
+			ID:          i + 1,
+			Family:      "DirtJumper",
+			Start:       t0.Add(time.Duration(i) * time.Hour),
+			DurationSec: 60 * float64(i+1),
+			TargetIP:    astopo.IPv4(1000 + i),
+			TargetAS:    64500,
+			Bots:        []astopo.IPv4{1, 2, 3}[:1+i%3],
+		}
+	}
+	return out
+}
+
+func drain(t *testing.T, next func() (*Attack, error)) []Attack {
+	t.Helper()
+	var out []Attack
+	for {
+		a, err := next()
+		if errors.Is(err, io.EOF) {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		out = append(out, *a)
+	}
+}
+
+// TestDecoderDatasetFraming streams the canonical on-disk framing and
+// checks record-level equality with the slice loader.
+func TestDecoderDatasetFraming(t *testing.T) {
+	ds := &Dataset{Attacks: streamAttacks(7)}
+	var buf bytes.Buffer
+	if err := ds.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := drain(t, NewDecoder(bytes.NewReader(buf.Bytes())).Next)
+	if len(got) != 7 || got[0].ID != 1 || got[6].ID != 7 {
+		t.Fatalf("streamed %d records, want 7 in order", len(got))
+	}
+}
+
+// TestDecoderFramings covers the accepted top-level shapes and the
+// historical tolerances (unknown keys, null, empty input).
+func TestDecoderFramings(t *testing.T) {
+	rec := `{"id":1,"family":"A","start":"2012-08-01T00:00:00Z","duration_sec":60,"target_ip":1,"target_as":2,"bots":[3]}`
+	cases := []struct {
+		name, in string
+		want     int
+	}{
+		{"dataset", `{"attacks":[` + rec + `]}`, 1},
+		{"bare array", `[` + rec + `,` + rec + `]`, 2},
+		{"unknown keys skipped", `{"version":3,"attacks":[` + rec + `],"extra":{"x":[1]}}`, 1},
+		{"attacks null", `{"attacks":null}`, 0},
+		{"top-level null", `null`, 0},
+		{"empty object", `{}`, 0},
+		{"empty input", ``, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := drain(t, NewDecoder(strings.NewReader(c.in)).Next)
+			if len(got) != c.want {
+				t.Fatalf("got %d records, want %d", len(got), c.want)
+			}
+		})
+	}
+}
+
+// TestDecoderErrors checks malformed input errors and error stickiness.
+func TestDecoderErrors(t *testing.T) {
+	for _, in := range []string{`true`, `42`, `"x"`, `{nope`, `{"attacks":7}`, `[{"id":1},`} {
+		d := NewDecoder(strings.NewReader(in))
+		var err error
+		for err == nil {
+			_, err = d.Next()
+		}
+		if errors.Is(err, io.EOF) && in != `[{"id":1},` {
+			t.Fatalf("input %q: want a non-EOF error", in)
+		}
+		_, again := d.Next()
+		if !errors.Is(again, err) && again.Error() != err.Error() {
+			t.Fatalf("input %q: error not sticky: %v then %v", in, err, again)
+		}
+	}
+}
+
+// TestStreamDecoderFramings covers the ingest shapes: single object,
+// concatenated objects, NDJSON, and a bare array.
+func TestStreamDecoderFramings(t *testing.T) {
+	rec := `{"id":%d,"family":"A","start":"2012-08-01T00:00:00Z","duration_sec":60,"target_ip":1,"target_as":2,"bots":[3]}`
+	one := strings.Replace(rec, "%d", "1", 1)
+	two := strings.Replace(rec, "%d", "2", 1)
+	cases := []struct {
+		name, in string
+		want     int
+	}{
+		{"single object", one, 1},
+		{"concatenated", one + two, 2},
+		{"ndjson", one + "\n" + two + "\n", 2},
+		{"array", `[` + one + `,` + two + `]`, 2},
+		{"empty", ``, 0},
+		{"spaces", "  \n\t ", 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := drain(t, NewStreamDecoder(strings.NewReader(c.in)).Next)
+			if len(got) != c.want {
+				t.Fatalf("got %d records, want %d", len(got), c.want)
+			}
+			for i, a := range got {
+				if a.ID != i+1 {
+					t.Fatalf("record %d has ID %d", i, a.ID)
+				}
+			}
+		})
+	}
+}
+
+// TestEncoderMatchesEncodingJSON pins the streaming encoder to the exact
+// bytes encoding/json produces for the Dataset struct, including the
+// zero-record and nil-slice cases.
+func TestEncoderMatchesEncodingJSON(t *testing.T) {
+	for _, n := range []int{0, 1, 5} {
+		ds := &Dataset{Attacks: streamAttacks(n)}
+		var want bytes.Buffer
+		if err := json.NewEncoder(&want).Encode(ds); err != nil {
+			t.Fatal(err)
+		}
+		var got bytes.Buffer
+		if err := ds.WriteJSON(&got); err != nil {
+			t.Fatal(err)
+		}
+		if got.String() != want.String() {
+			t.Fatalf("n=%d: streaming bytes diverge:\n got %q\nwant %q", n, got.String(), want.String())
+		}
+	}
+	var nilDS Dataset
+	var got bytes.Buffer
+	if err := nilDS.WriteJSON(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != `{"attacks":null}`+"\n" {
+		t.Fatalf("nil slice: %q", got.String())
+	}
+}
+
+// TestEncoderAfterClose ensures the container cannot be reopened.
+func TestEncoderAfterClose(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	if err := enc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	a := streamAttacks(1)[0]
+	if err := enc.Encode(&a); err == nil {
+		t.Fatal("Encode after Close must fail")
+	}
+}

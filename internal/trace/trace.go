@@ -8,7 +8,6 @@
 package trace
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -164,19 +163,40 @@ func (d *Dataset) TimeRange() (first, last time.Time, err error) {
 	return first, last, nil
 }
 
-// WriteJSON streams the dataset as JSON.
+// WriteJSON streams the dataset as JSON, one record at a time (see
+// Encoder); the bytes match what encoding/json would emit for the Dataset
+// struct.
 func (d *Dataset) WriteJSON(w io.Writer) error {
-	enc := json.NewEncoder(w)
-	return enc.Encode(d)
+	if d.Attacks == nil {
+		_, err := io.WriteString(w, `{"attacks":null}`+"\n")
+		return err
+	}
+	enc := NewEncoder(w)
+	for i := range d.Attacks {
+		if err := enc.Encode(&d.Attacks[i]); err != nil {
+			return err
+		}
+	}
+	return enc.Close()
 }
 
-// ReadJSON parses a dataset written by WriteJSON and re-validates it.
+// ReadJSON parses a dataset written by WriteJSON and re-validates it. It
+// decodes record-at-a-time (see Decoder), so peak memory is one record
+// plus the accumulated slice.
 func ReadJSON(r io.Reader) (*Dataset, error) {
-	var d Dataset
-	if err := json.NewDecoder(r).Decode(&d); err != nil {
-		return nil, fmt.Errorf("trace: decode: %w", err)
+	dec := NewDecoder(r)
+	var attacks []Attack
+	for {
+		a, err := dec.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: decode: %w", err)
+		}
+		attacks = append(attacks, *a)
 	}
-	return New(d.Attacks)
+	return New(attacks)
 }
 
 // SaveFile writes the dataset to path as JSON.

@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# CI smoke test for the online serving stack: build every command, boot
+# ddosd on a random port with a freshly generated trace, ingest a record
+# over HTTP, and assert a 200 forecast for a target the trace contains.
+set -euo pipefail
+
+workdir="$(mktemp -d)"
+daemon_pid=""
+cleanup() {
+  [[ -n "$daemon_pid" ]] && kill "$daemon_pid" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "==> building all commands"
+go build -o "$workdir/bin/" ./cmd/...
+
+echo "==> generating a trace"
+"$workdir/bin/ddosgen" -scale 0.1 -seed 7 -horizon 120 -o "$workdir/trace.json"
+
+# Pick the most-attacked target AS from the trace.
+target="$(python3 - "$workdir/trace.json" <<'EOF'
+import collections, json, sys
+with open(sys.argv[1]) as f:
+    attacks = json.load(f)["attacks"]
+print(collections.Counter(a["target_as"] for a in attacks).most_common(1)[0][0])
+EOF
+)"
+echo "==> most-attacked target: AS$target"
+
+echo "==> booting ddosd"
+"$workdir/bin/ddosd" -addr 127.0.0.1:0 -data "$workdir/trace.json" \
+  -snapshot-out "$workdir/models.snap" >"$workdir/ddosd.log" 2>&1 &
+daemon_pid=$!
+
+# The daemon logs "listening on <addr>" once warm start completes.
+addr=""
+for _ in $(seq 1 120); do
+  addr="$(sed -n 's/^ddosd: listening on //p' "$workdir/ddosd.log")"
+  [[ -n "$addr" ]] && break
+  kill -0 "$daemon_pid" 2>/dev/null || { cat "$workdir/ddosd.log"; echo "ddosd died during boot"; exit 1; }
+  sleep 0.5
+done
+[[ -n "$addr" ]] || { cat "$workdir/ddosd.log"; echo "ddosd never started listening"; exit 1; }
+echo "==> ddosd listening on $addr"
+
+check() { # check <name> <url> [curl args...]
+  local name="$1" url="$2"; shift 2
+  local status
+  status="$(curl -s -o "$workdir/resp.json" -w '%{http_code}' "$@" "$url")"
+  if [[ "$status" != 200 ]]; then
+    echo "FAIL: $name returned HTTP $status"
+    cat "$workdir/resp.json"; echo; cat "$workdir/ddosd.log"
+    exit 1
+  fi
+  echo "==> $name OK: $(head -c 200 "$workdir/resp.json")"
+}
+
+check healthz "http://$addr/healthz"
+check forecast "http://$addr/forecast?target=$target"
+grep -q "\"target_as\":$target" "$workdir/resp.json" || { echo "FAIL: forecast for wrong target"; exit 1; }
+
+check ingest "http://$addr/ingest" -X POST -d "{
+  \"id\": 90000001, \"family\": \"DirtJumper\",
+  \"start\": \"2012-12-01T14:05:00Z\", \"duration_sec\": 900,
+  \"target_as\": $target, \"bots\": [167772161, 167772162]
+}"
+grep -q '"ingested":1' "$workdir/resp.json" || { echo "FAIL: record not ingested"; exit 1; }
+
+check metrics "http://$addr/metrics"
+grep -q '^ddosd_ingest_records_total' "$workdir/resp.json" || { echo "FAIL: metrics missing ingest counter"; exit 1; }
+
+# Graceful shutdown must write a loadable snapshot, and ddospredict must
+# forecast from it (and exit non-zero for a bogus target).
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" || true
+daemon_pid=""
+[[ -s "$workdir/models.snap" ]] || { cat "$workdir/ddosd.log"; echo "FAIL: no shutdown snapshot"; exit 1; }
+"$workdir/bin/ddospredict" -snapshot "$workdir/models.snap" -target "$target" >"$workdir/predict.out" 2>&1 \
+  || { echo "FAIL: ddospredict rejected the snapshot"; cat "$workdir/predict.out"; exit 1; }
+grep -q "forecast for AS$target" "$workdir/predict.out" \
+  || { echo "FAIL: no forecast in ddospredict output"; cat "$workdir/predict.out"; exit 1; }
+if "$workdir/bin/ddospredict" -snapshot "$workdir/models.snap" -target 4294900000 >/dev/null 2>&1; then
+  echo "FAIL: ddospredict exited zero for an unknown target"
+  exit 1
+fi
+
+echo "smoke test passed"
