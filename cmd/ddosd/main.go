@@ -56,7 +56,12 @@ func main() {
 		epochs      = flag.Int("nar-epochs", 120, "NAR training epochs per refit")
 	)
 	flag.Parse()
-	if err := run(*addr, *data, *snapshot, *snapshotOut, serve.Config{
+	if err := run(daemonOpts{
+		addr:        *addr,
+		data:        *data,
+		snapshot:    *snapshot,
+		snapshotOut: *snapshotOut,
+	}, serve.Config{
 		Shards:       *shards,
 		Window:       *window,
 		RefitEvery:   *refitEvery,
@@ -69,12 +74,24 @@ func main() {
 	}
 }
 
-func run(addr, data, snapshot, snapshotOut string, cfg serve.Config) error {
+// daemonOpts bundles run's wiring: flag values in production, plus the
+// hooks tests use to drive a real daemon lifecycle in-process.
+type daemonOpts struct {
+	addr        string
+	data        string
+	snapshot    string
+	snapshotOut string
+	// ready, when set, is called once the listener is bound — tests use it
+	// to learn the picked port before sending traffic and signals.
+	ready func(net.Addr)
+}
+
+func run(opts daemonOpts, cfg serve.Config) error {
 	svc := serve.New(cfg)
 	defer svc.Close()
 
-	if snapshot != "" {
-		f, err := os.Open(snapshot)
+	if opts.snapshot != "" {
+		f, err := os.Open(opts.snapshot)
 		if err != nil {
 			return fmt.Errorf("open snapshot: %w", err)
 		}
@@ -84,10 +101,10 @@ func run(addr, data, snapshot, snapshotOut string, cfg serve.Config) error {
 			return err
 		}
 		log.Printf("loaded snapshot %s: %d targets at version %d",
-			snapshot, svc.Registry().Size(), svc.Registry().Version())
+			opts.snapshot, svc.Registry().Size(), svc.Registry().Version())
 	}
-	if data != "" {
-		ds, err := trace.LoadFile(data)
+	if opts.data != "" {
+		ds, err := trace.LoadFile(opts.data)
 		if err != nil {
 			return err
 		}
@@ -100,18 +117,22 @@ func run(addr, data, snapshot, snapshotOut string, cfg serve.Config) error {
 			n, svc.Registry().Size(), time.Since(t0).Round(time.Millisecond))
 	}
 
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", opts.addr)
 	if err != nil {
 		return err
 	}
 	srv := &http.Server{Handler: svc.Handler()}
 	log.Printf("listening on %s", ln.Addr())
+	if opts.ready != nil {
+		opts.ready(ln.Addr())
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
 	select {
 	case err := <-errc:
 		return err
@@ -123,9 +144,9 @@ func run(addr, data, snapshot, snapshotOut string, cfg serve.Config) error {
 	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		return err
 	}
-	if snapshotOut != "" {
+	if opts.snapshotOut != "" {
 		svc.Flush()
-		f, err := os.Create(snapshotOut)
+		f, err := os.Create(opts.snapshotOut)
 		if err != nil {
 			return fmt.Errorf("write snapshot: %w", err)
 		}
@@ -137,7 +158,7 @@ func run(addr, data, snapshot, snapshotOut string, cfg serve.Config) error {
 			return err
 		}
 		log.Printf("wrote snapshot %s (%d targets, version %d)",
-			snapshotOut, svc.Registry().Size(), svc.Registry().Version())
+			opts.snapshotOut, svc.Registry().Size(), svc.Registry().Version())
 	}
 	return nil
 }

@@ -1,0 +1,135 @@
+package main
+
+// Lifecycle test for the daemon's signal path: SIGTERM landing while a
+// scheduled refit is mid-flight must neither deadlock the shutdown
+// sequence nor write a partial registry snapshot. The test runs the real
+// run() in-process (real listener, real signal handler), holds a refit
+// open across the signal with a blocking FitFunc wrapper, then SIGTERMs
+// its own process and verifies run() returns promptly with a snapshot a
+// fresh registry accepts wholesale.
+
+import (
+	"net"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/astopo"
+	"repro/internal/core"
+	"repro/internal/loadgen"
+	"repro/internal/nn"
+	"repro/internal/serve"
+	"repro/internal/trace"
+)
+
+func TestSIGTERMDuringRefitShutsDownCleanly(t *testing.T) {
+	snapPath := filepath.Join(t.TempDir(), "models.snap")
+
+	// Hold every refit open ~30ms and flag the first one, so the signal is
+	// guaranteed to land while a fit is in flight.
+	refitStarted := make(chan struct{}, 1)
+	cfg := serve.Config{
+		Shards:     4,
+		Window:     64,
+		MinWindow:  6,
+		RefitEvery: 2,
+		QueueDepth: 64,
+		BatchSize:  4,
+		Seed:       7,
+		Temporal:   core.TemporalConfig{MaxP: 1, MaxQ: 1},
+		Spatial: core.SpatialConfig{
+			Delays: []int{2},
+			Hidden: []int{2},
+			Train:  nn.TrainConfig{Epochs: 5},
+		},
+		WrapFit: func(next serve.FitFunc) serve.FitFunc {
+			return func(as astopo.AS, window []trace.Attack, total, gen uint64, cfg serve.Config) (*serve.TargetModels, error) {
+				select {
+				case refitStarted <- struct{}{}:
+				default:
+				}
+				time.Sleep(30 * time.Millisecond)
+				return next(as, window, total, gen, cfg)
+			}
+		},
+	}
+
+	addrc := make(chan net.Addr, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(daemonOpts{
+			addr:        "127.0.0.1:0",
+			snapshotOut: snapPath,
+			ready:       func(a net.Addr) { addrc <- a },
+		}, cfg)
+	}()
+
+	var addr net.Addr
+	select {
+	case addr = <-addrc:
+	case err := <-errc:
+		t.Fatalf("daemon exited before binding: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+
+	// Drive enough records over real HTTP to queue refits on every target.
+	gen := loadgen.NewGenerator(loadgen.GenConfig{Targets: 6, Seed: 11, TimeCompress: 24})
+	rep, err := loadgen.Run(loadgen.Config{Mode: loadgen.ClosedLoop, Records: 400, Workers: 4},
+		gen.Next, loadgen.NewHTTPSink("http://"+addr.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Accepted == 0 {
+		t.Fatalf("no records accepted pre-signal:\n%s", rep)
+	}
+
+	select {
+	case <-refitStarted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no refit started after 400 records")
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	// No deadlock: run() must come back well inside its own 10s shutdown
+	// budget even with refits still draining through the slow wrapper.
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("shutdown returned error: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("run() deadlocked after SIGTERM during a refit")
+	}
+
+	// No partial snapshot: a fresh registry must accept the file wholesale,
+	// with published models and a positive version.
+	f, err := os.Open(snapPath)
+	if err != nil {
+		t.Fatalf("snapshot not written: %v", err)
+	}
+	defer f.Close()
+	restored := serve.NewRegistry()
+	if err := restored.ReadSnapshot(f); err != nil {
+		t.Fatalf("snapshot written on SIGTERM is partial or corrupt: %v", err)
+	}
+	if restored.Size() == 0 {
+		t.Fatal("snapshot holds zero targets after accepted ingest and refits")
+	}
+	if restored.Version() == 0 {
+		t.Fatal("restored registry has version 0")
+	}
+	for _, as := range restored.Targets() {
+		tm, ok := restored.Lookup(as)
+		if !ok || tm == nil {
+			t.Fatalf("AS%d listed but not loadable from the snapshot", as)
+		}
+		if tm.Generation == 0 || tm.FittedAt.IsZero() {
+			t.Fatalf("AS%d snapshot entry incoherent: %+v", as, tm)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+// Command ddosload is the load generator and SLO gate for the online
+// forecasting stack (DESIGN.md §8). It synthesizes attack-record traffic
+// shaped by the botnet family profiles, drives it into a live ddosd over
+// HTTP or an in-process serve.Service, optionally perturbs the stream and
+// the refit path with deterministic chaos injectors, and prints a
+// p50/p95/p99/max latency + shed-rate report. The exit status is the
+// verdict: 0 when every configured SLO holds, 1 when one is violated,
+// 2 on usage or transport errors — so CI can gate on it directly.
+//
+// Usage:
+//
+//	ddosload -records 50000                          # in-process, closed loop
+//	ddosload -addr http://127.0.0.1:8080 \
+//	         -mode open -rate 500 -duration 10s      # live daemon, paced
+//	ddosload -records 20000 -drop 0.05 -dup 0.05 \
+//	         -reorder 0.1 -slow-refit 0.3            # chaos soak
+//	ddosload -records 50000 -slo-p99 5ms -slo-shed 0.2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/loadgen"
+	"repro/internal/nn"
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ddosload: ")
+	var (
+		addr     = flag.String("addr", "", "ddosd base URL (e.g. http://127.0.0.1:8080); empty drives an in-process service")
+		mode     = flag.String("mode", "closed", "driver mode: closed (back-to-back) or open (paced arrivals)")
+		records  = flag.Int("records", 50000, "records to send (open loop with -duration derives this)")
+		rate     = flag.Float64("rate", 1000, "open-loop arrival rate, records/second")
+		rateEnd  = flag.Float64("rate-end", 0, "open-loop final rate for a linear ramp (0 = constant)")
+		duration = flag.Duration("duration", 0, "open-loop run length; overrides -records via the mean rate")
+		workers  = flag.Int("workers", 8, "concurrent sink calls")
+		targets  = flag.Int("targets", 16, "target fan-out")
+		seed     = flag.Uint64("seed", 1, "generator and chaos seed")
+		compress = flag.Float64("compress", 24, "trace-time compression factor for record timestamps")
+
+		drop     = flag.Float64("drop", 0, "chaos: record drop probability")
+		dup      = flag.Float64("dup", 0, "chaos: record duplication probability")
+		reorder  = flag.Float64("reorder", 0, "chaos: record reorder probability")
+		skewProb = flag.Float64("skew-prob", 0, "chaos: timestamp skew probability")
+		skewMax  = flag.Duration("skew-max", time.Hour, "chaos: max injected clock skew")
+
+		slowRefit  = flag.Float64("slow-refit", 0, "chaos: slow-refit probability (in-process only)")
+		slowDelay  = flag.Duration("slow-refit-delay", 50*time.Millisecond, "chaos: injected refit delay")
+		failRefit  = flag.Float64("fail-refit", 0, "chaos: refit failure probability (in-process only)")
+		refitEvery = flag.Int("refit-every", 8, "in-process service: refit after this many records per target")
+		window     = flag.Int("window", 256, "in-process service: rolling window capacity")
+		queue      = flag.Int("queue", 256, "in-process service: refit queue depth")
+		epochs     = flag.Int("nar-epochs", 20, "in-process service: NAR training epochs per refit")
+
+		sloP50   = flag.Duration("slo-p50", 0, "SLO: p50 latency ceiling (0 = unchecked)")
+		sloP95   = flag.Duration("slo-p95", 0, "SLO: p95 latency ceiling (0 = unchecked)")
+		sloP99   = flag.Duration("slo-p99", 0, "SLO: p99 latency ceiling (0 = unchecked)")
+		sloMax   = flag.Duration("slo-max", 0, "SLO: max latency ceiling (0 = unchecked)")
+		sloShed  = flag.Float64("slo-shed", loadgen.Unchecked, "SLO: shed-rate ceiling in [0,1] (-1 = unchecked)")
+		sloErr   = flag.Float64("slo-errors", 0, "SLO: error-rate ceiling in [0,1] (-1 = unchecked)")
+		sloRate  = flag.Float64("slo-throughput", 0, "SLO: attempted records/second floor (0 = unchecked)")
+		quantify = flag.Bool("v", false, "also dump the raw latency histogram")
+	)
+	flag.Parse()
+
+	cfg := loadgen.Config{Records: *records, Workers: *workers, Rate: *rate, RateEnd: *rateEnd}
+	switch *mode {
+	case "closed":
+		cfg.Mode = loadgen.ClosedLoop
+	case "open":
+		cfg.Mode = loadgen.OpenLoop
+		if *duration > 0 {
+			mean := *rate
+			if *rateEnd > 0 {
+				mean = (*rate + *rateEnd) / 2
+			}
+			cfg.Records = int(duration.Seconds() * mean)
+			if cfg.Records < 1 {
+				cfg.Records = 1
+			}
+		}
+	default:
+		log.Printf("unknown -mode %q (want closed or open)", *mode)
+		os.Exit(2)
+	}
+
+	// Sink: live daemon or in-process service.
+	var sink loadgen.Sink
+	if *addr != "" {
+		if *slowRefit > 0 || *failRefit > 0 {
+			log.Print("-slow-refit/-fail-refit need the in-process service; ignoring against a live daemon")
+		}
+		sink = loadgen.NewHTTPSink(*addr)
+	} else {
+		svcCfg := serve.Config{
+			Window:     *window,
+			RefitEvery: *refitEvery,
+			QueueDepth: *queue,
+			Seed:       *seed,
+			Temporal:   core.TemporalConfig{MaxP: 1, MaxQ: 1},
+			Spatial: core.SpatialConfig{
+				Delays: []int{2},
+				Hidden: []int{2},
+				Train:  nn.TrainConfig{Epochs: *epochs},
+			},
+		}
+		if *slowRefit > 0 || *failRefit > 0 {
+			faults := &chaos.RefitFaults{
+				Seed: *seed, SlowProb: *slowRefit, Delay: *slowDelay, FailProb: *failRefit,
+			}
+			svcCfg.WrapFit = faults.Wrap
+			defer func() {
+				log.Printf("chaos refits: %d slowed, %d failed", faults.Slowed(), faults.Failed())
+			}()
+		}
+		svc := serve.New(svcCfg)
+		defer svc.Close()
+		sink = loadgen.ServiceSink{Svc: svc}
+	}
+
+	// Record stream: profile-shaped generator, optionally chaos-wrapped.
+	gen := loadgen.NewGenerator(loadgen.GenConfig{
+		Targets: *targets, Seed: *seed, TimeCompress: *compress,
+	})
+	src := gen.Next
+	var faults *chaos.StreamFaults
+	if *drop > 0 || *dup > 0 || *reorder > 0 || *skewProb > 0 {
+		faults = &chaos.StreamFaults{
+			Seed: *seed, DropProb: *drop, DupProb: *dup,
+			ReorderProb: *reorder, SkewProb: *skewProb, SkewMax: *skewMax,
+		}
+		src = faults.Stream(src)
+	}
+
+	log.Printf("driving %d records (%s, %d workers, %d targets) into %s",
+		cfg.Records, cfg.Mode, cfg.Workers, *targets, sinkName(*addr))
+	rep, err := loadgen.Run(cfg, src, sink)
+	if err != nil {
+		log.Print(err)
+		os.Exit(2)
+	}
+	fmt.Print(rep)
+	if faults != nil {
+		fmt.Printf("chaos       dropped %d, duplicated %d, reordered %d, skewed %d\n",
+			faults.Dropped(), faults.Duplicated(), faults.Reordered(), faults.Skewed())
+	}
+	if *quantify {
+		for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 0.999} {
+			fmt.Printf("  q%-5g %v\n", q*100, rep.Quantile(q))
+		}
+	}
+
+	violations := rep.Check(loadgen.SLO{
+		P50: *sloP50, P95: *sloP95, P99: *sloP99, Max: *sloMax,
+		MaxShedRate: *sloShed, MaxErrorRate: *sloErr, MinThroughput: *sloRate,
+	})
+	if len(violations) > 0 {
+		for _, v := range violations {
+			log.Printf("SLO VIOLATION: %v", v)
+		}
+		os.Exit(1)
+	}
+	log.Print("SLO: pass")
+}
+
+func sinkName(addr string) string {
+	if addr != "" {
+		return addr
+	}
+	return "in-process serve.Service"
+}

@@ -1,0 +1,67 @@
+// Package chaos holds the deterministic fault injectors of the load/soak
+// harness (see DESIGN.md §8): slow and failing model refits wired into the
+// serving stack through serve.Config.WrapFit, stream-level record faults
+// (drops, duplicates, reorders, clock skew) applied between a traffic
+// generator and an ingest sink, and byte corruption for snapshot-load
+// paths. Every decision is a pure hash of the injector seed and a stable
+// per-event key (attack ID, target AS plus its fit ordinal, byte offset),
+// never a shared RNG stream — so the same faults fire no matter how
+// goroutines interleave, and a failing soak run replays exactly.
+package chaos
+
+import (
+	"errors"
+	"math"
+)
+
+// mix folds the keys into the seed with a splitmix64-style finalizer; the
+// result drives every injection decision.
+func mix(seed uint64, keys ...uint64) uint64 {
+	h := seed ^ 0x9e3779b97f4a7c15
+	for _, k := range keys {
+		h ^= k + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+		h ^= h >> 30
+		h *= 0xbf58476d1ce4e5b9
+		h ^= h >> 27
+		h *= 0x94d049bb133111eb
+		h ^= h >> 31
+	}
+	return h
+}
+
+// unit maps a hash to [0,1).
+func unit(h uint64) float64 {
+	return float64(h>>11) / float64(1<<53)
+}
+
+// chance reports whether the event keyed by (seed, salt, keys...) fires at
+// probability p.
+func chance(p float64, seed, salt uint64, keys ...uint64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return unit(mix(seed^salt, keys...)) < p
+}
+
+// signedUnit maps a hash to [-1,1).
+func signedUnit(h uint64) float64 {
+	return 2*unit(h) - 1
+}
+
+// clampProb keeps externally supplied probabilities sane.
+func clampProb(p float64) float64 {
+	if math.IsNaN(p) || p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// ErrInjected marks failures manufactured by an injector, so tests can
+// tell injected faults from real ones.
+var ErrInjected = errors.New("chaos: injected fault")

@@ -1,0 +1,243 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/astopo"
+	"repro/internal/serve"
+	"repro/internal/trace"
+)
+
+func mkRecords(n int) []trace.Attack {
+	t0 := time.Date(2012, 8, 1, 0, 0, 0, 0, time.UTC)
+	out := make([]trace.Attack, n)
+	for i := range out {
+		out[i] = trace.Attack{
+			ID:          i + 1,
+			Family:      "DirtJumper",
+			Start:       t0.Add(time.Duration(i) * time.Hour),
+			DurationSec: 600,
+			TargetAS:    64512,
+			Bots:        []astopo.IPv4{1, 2, 3},
+		}
+	}
+	return out
+}
+
+func TestStreamFaultsDeterministic(t *testing.T) {
+	in := mkRecords(500)
+	mk := func() *StreamFaults {
+		return &StreamFaults{
+			Seed: 42, DropProb: 0.1, DupProb: 0.1, ReorderProb: 0.1,
+			SkewProb: 0.2, SkewMax: time.Minute,
+		}
+	}
+	a := mk().Apply(in)
+	b := mk().Apply(in)
+	if len(a) != len(b) {
+		t.Fatalf("run lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || !a[i].Start.Equal(b[i].Start) {
+			t.Fatalf("record %d differs across identical runs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// A different seed must produce a different fault pattern.
+	c := (&StreamFaults{Seed: 43, DropProb: 0.1, DupProb: 0.1, ReorderProb: 0.1}).Apply(in)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i].ID != c[i].ID {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical fault patterns")
+	}
+}
+
+// TestStreamFaultsAccounting checks conservation: every input record is
+// either delivered or counted dropped, and duplicates add exactly their
+// count; reorders and skews never lose records.
+func TestStreamFaultsAccounting(t *testing.T) {
+	in := mkRecords(1000)
+	f := &StreamFaults{
+		Seed: 7, DropProb: 0.15, DupProb: 0.1, ReorderProb: 0.2,
+		SkewProb: 0.3, SkewMax: time.Hour,
+	}
+	out := f.Apply(in)
+	want := int64(len(in)) - f.Dropped() + f.Duplicated()
+	if int64(len(out)) != want {
+		t.Fatalf("emitted %d records, want %d (in %d - dropped %d + dup %d)",
+			len(out), want, len(in), f.Dropped(), f.Duplicated())
+	}
+	if f.Dropped() == 0 || f.Duplicated() == 0 || f.Reordered() == 0 || f.Skewed() == 0 {
+		t.Fatalf("some fault never fired: drop %d dup %d reorder %d skew %d",
+			f.Dropped(), f.Duplicated(), f.Reordered(), f.Skewed())
+	}
+	// Each surviving input ID appears 1 (+1 if duplicated) times.
+	counts := make(map[int]int)
+	for i := range out {
+		counts[out[i].ID]++
+	}
+	var extra int64
+	for id, n := range counts {
+		if n < 1 || n > 2 {
+			t.Fatalf("ID %d emitted %d times", id, n)
+		}
+		if n == 2 {
+			extra++
+		}
+		_ = id
+	}
+	if extra != f.Duplicated() {
+		t.Fatalf("%d IDs emitted twice, want %d duplicates", extra, f.Duplicated())
+	}
+}
+
+func TestStreamFaultsReorderOnly(t *testing.T) {
+	in := mkRecords(200)
+	f := &StreamFaults{Seed: 3, ReorderProb: 0.5}
+	out := f.Apply(in)
+	if len(out) != len(in) {
+		t.Fatalf("reorder-only stream changed length %d -> %d", len(in), len(out))
+	}
+	if f.Reordered() == 0 {
+		t.Fatal("no reorders fired at prob 0.5")
+	}
+	inversions := 0
+	for i := 1; i < len(out); i++ {
+		if out[i].ID < out[i-1].ID {
+			inversions++
+		}
+	}
+	if inversions == 0 {
+		t.Fatal("reorders fired but output is still totally ordered")
+	}
+}
+
+func TestStreamFaultsZeroProbIsIdentity(t *testing.T) {
+	in := mkRecords(50)
+	f := &StreamFaults{Seed: 9}
+	out := f.Apply(in)
+	if len(out) != len(in) {
+		t.Fatalf("identity stream changed length %d -> %d", len(in), len(out))
+	}
+	for i := range out {
+		if out[i].ID != in[i].ID || !out[i].Start.Equal(in[i].Start) {
+			t.Fatalf("identity stream mutated record %d", i)
+		}
+	}
+}
+
+func TestRefitFaultsWrap(t *testing.T) {
+	calls := 0
+	inner := serve.FitFunc(func(as astopo.AS, window []trace.Attack, total, gen uint64, cfg serve.Config) (*serve.TargetModels, error) {
+		calls++
+		return &serve.TargetModels{AS: as, Generation: gen}, nil
+	})
+
+	// Fail-always: every refit errors with ErrInjected and never reaches
+	// the inner fit.
+	fail := &RefitFaults{Seed: 1, FailProb: 1}
+	wrapped := fail.Wrap(inner)
+	if _, err := wrapped(64512, nil, 0, 1, serve.Config{}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if calls != 0 || fail.Failed() != 1 {
+		t.Fatalf("calls %d failed %d, want 0/1", calls, fail.Failed())
+	}
+
+	// Slow-always: the refit succeeds after the injected delay.
+	slow := &RefitFaults{Seed: 1, SlowProb: 1, Delay: 10 * time.Millisecond}
+	wrapped = slow.Wrap(inner)
+	start := time.Now()
+	tm, err := wrapped(64512, nil, 5, 2, serve.Config{})
+	if err != nil || tm.AS != 64512 {
+		t.Fatalf("slow fit result %v, %v", tm, err)
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Fatalf("slow fit returned in %v, want >= 10ms", d)
+	}
+	if slow.Slowed() != 1 || calls != 1 {
+		t.Fatalf("slowed %d calls %d, want 1/1", slow.Slowed(), calls)
+	}
+
+	// MaxFaults caps injection: past the cap the wrapper is transparent.
+	capped := &RefitFaults{Seed: 1, FailProb: 1, MaxFaults: 2}
+	wrapped = capped.Wrap(inner)
+	fails := 0
+	for i := 0; i < 10; i++ {
+		if _, err := wrapped(64512, nil, 0, uint64(i), serve.Config{}); err != nil {
+			fails++
+		}
+	}
+	if fails != 2 {
+		t.Fatalf("capped injector failed %d refits, want 2", fails)
+	}
+}
+
+func TestRefitFaultsDeterministicPerTarget(t *testing.T) {
+	inner := serve.FitFunc(func(as astopo.AS, window []trace.Attack, total, gen uint64, cfg serve.Config) (*serve.TargetModels, error) {
+		return &serve.TargetModels{AS: as}, nil
+	})
+	outcomes := func() []bool {
+		f := &RefitFaults{Seed: 11, FailProb: 0.5}
+		w := f.Wrap(inner)
+		var out []bool
+		for i := 0; i < 40; i++ {
+			_, err := w(astopo.AS(64512+i%4), nil, 0, uint64(i), serve.Config{})
+			out = append(out, err != nil)
+		}
+		return out
+	}
+	a, b := outcomes(), outcomes()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("refit fault %d not deterministic", i)
+		}
+	}
+}
+
+func TestCorrupterFlipsDeterministically(t *testing.T) {
+	payload := bytes.Repeat([]byte("snapshot-bytes-"), 100)
+	read := func(chunk int) ([]byte, int64) {
+		c := NewCorrupter(bytes.NewReader(payload), 5, 0.01)
+		var out bytes.Buffer
+		buf := make([]byte, chunk)
+		for {
+			n, err := c.Read(buf)
+			out.Write(buf[:n])
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		return out.Bytes(), c.Flipped()
+	}
+	whole, flippedWhole := read(len(payload))
+	chunked, flippedChunked := read(7)
+	if flippedWhole == 0 {
+		t.Fatal("corrupter flipped nothing at rate 0.01 over 1500 bytes")
+	}
+	if !bytes.Equal(whole, chunked) || flippedWhole != flippedChunked {
+		t.Fatalf("corruption depends on read chunking: %d vs %d flips", flippedWhole, flippedChunked)
+	}
+	if bytes.Equal(whole, payload) {
+		t.Fatal("corrupted output identical to input")
+	}
+	// Rate 0 is the identity.
+	clean := NewCorrupter(bytes.NewReader(payload), 5, 0)
+	got, err := io.ReadAll(clean)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("zero-rate corrupter mutated the stream (err %v)", err)
+	}
+}

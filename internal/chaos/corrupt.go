@@ -1,0 +1,47 @@
+package chaos
+
+import (
+	"io"
+	"sync/atomic"
+)
+
+// Corrupter flips bits of an underlying byte stream — the snapshot-load
+// corruption injector. Flips key on the absolute byte offset, so a given
+// (seed, rate) corrupts the same bytes of the same file on every run
+// regardless of read chunking. The serving stack must reject a corrupted
+// snapshot cleanly: Registry.ReadSnapshot decodes fully before publishing,
+// so a flip either surfaces as a decode/validation error or leaves a
+// syntactically valid file — never a half-loaded registry.
+type Corrupter struct {
+	r    io.Reader
+	seed uint64
+	rate float64
+	off  uint64
+
+	flipped atomic.Int64
+}
+
+const saltCorrupt = 0xc042
+
+// NewCorrupter wraps r, flipping one bit of each byte independently with
+// probability rate.
+func NewCorrupter(r io.Reader, seed uint64, rate float64) *Corrupter {
+	return &Corrupter{r: r, seed: seed, rate: clampProb(rate)}
+}
+
+// Read implements io.Reader.
+func (c *Corrupter) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	for i := 0; i < n; i++ {
+		off := c.off + uint64(i)
+		if chance(c.rate, c.seed, saltCorrupt, off) {
+			p[i] ^= 1 << (mix(c.seed^saltCorrupt, off, 1) % 8)
+			c.flipped.Add(1)
+		}
+	}
+	c.off += uint64(n)
+	return n, err
+}
+
+// Flipped returns how many bytes were corrupted so far.
+func (c *Corrupter) Flipped() int64 { return c.flipped.Load() }

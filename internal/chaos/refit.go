@@ -1,0 +1,113 @@
+package chaos
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/astopo"
+	"repro/internal/serve"
+	"repro/internal/trace"
+)
+
+// RefitFaults injects latency and failures into the background refit path.
+// Install it with serve.Config.WrapFit:
+//
+//	faults := &chaos.RefitFaults{Seed: 7, SlowProb: 0.5, Delay: 50 * time.Millisecond}
+//	cfg.WrapFit = faults.Wrap
+//
+// Decisions are keyed on the target AS and that target's fit ordinal (its
+// 1st, 2nd, ... refit), so a given run of refits sees the same faults
+// regardless of batch composition or worker scheduling.
+type RefitFaults struct {
+	// Seed drives all decisions.
+	Seed uint64
+	// SlowProb is the probability a refit sleeps Delay before fitting.
+	SlowProb float64
+	// Delay is the injected extra fit latency.
+	Delay time.Duration
+	// FailProb is the probability a refit returns ErrInjected instead of a
+	// model (the scheduler counts it as a refit error; the target keeps its
+	// previously published model).
+	FailProb float64
+	// MaxFaults, when positive, caps the total number of injected faults
+	// (slow + fail); past the cap the injector passes refits through
+	// untouched. Soak tests use it to let the system recover.
+	MaxFaults int64
+
+	mu       sync.Mutex
+	ordinals map[astopo.AS]uint64
+
+	faults atomic.Int64
+	slowed atomic.Int64
+	failed atomic.Int64
+}
+
+const (
+	saltSlow = 0x51de
+	saltFail = 0xfa11
+)
+
+// Wrap is the serve.Config.WrapFit hook.
+func (f *RefitFaults) Wrap(next serve.FitFunc) serve.FitFunc {
+	return func(as astopo.AS, window []trace.Attack, total uint64, gen uint64, cfg serve.Config) (*serve.TargetModels, error) {
+		ord := f.nextOrdinal(as)
+		slow := chance(clampProb(f.SlowProb), f.Seed, saltSlow, uint64(as), ord)
+		fail := chance(clampProb(f.FailProb), f.Seed, saltFail, uint64(as), ord)
+		if (slow || fail) && !f.admit(slow, fail) {
+			slow, fail = false, false
+		}
+		if slow {
+			f.slowed.Add(1)
+			time.Sleep(f.Delay)
+		}
+		if fail {
+			f.failed.Add(1)
+			return nil, fmt.Errorf("%w: refit AS%d ordinal %d", ErrInjected, as, ord)
+		}
+		return next(as, window, total, gen, cfg)
+	}
+}
+
+// nextOrdinal returns the 1-based count of refits seen for the target.
+func (f *RefitFaults) nextOrdinal(as astopo.AS) uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.ordinals == nil {
+		f.ordinals = make(map[astopo.AS]uint64)
+	}
+	f.ordinals[as]++
+	return f.ordinals[as]
+}
+
+// admit charges the would-be faults against MaxFaults; false means the cap
+// is exhausted and the refit must pass through clean.
+func (f *RefitFaults) admit(slow, fail bool) bool {
+	n := int64(0)
+	if slow {
+		n++
+	}
+	if fail {
+		n++
+	}
+	if f.MaxFaults <= 0 {
+		f.faults.Add(n)
+		return true
+	}
+	for {
+		cur := f.faults.Load()
+		if cur >= f.MaxFaults {
+			return false
+		}
+		if f.faults.CompareAndSwap(cur, cur+n) {
+			return true
+		}
+	}
+}
+
+// Slowed returns how many refits were delayed.
+func (f *RefitFaults) Slowed() int64 { return f.slowed.Load() }
+
+// Failed returns how many refits were failed.
+func (f *RefitFaults) Failed() int64 { return f.failed.Load() }

@@ -1,0 +1,143 @@
+package chaos
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// StreamFaults perturbs a record stream the way a lossy collection
+// pipeline does: records vanish (drop), arrive twice (duplicate, same
+// attack ID — the dedup path must absorb it), fall behind a successor
+// (reorder), or carry a skewed timestamp (collector clock drift). Faults
+// key on the attack ID, so the same records are hit for a given seed no
+// matter how the stream is paced.
+type StreamFaults struct {
+	// Seed drives all decisions.
+	Seed uint64
+	// DropProb drops the record entirely.
+	DropProb float64
+	// DupProb re-emits the record a few positions downstream.
+	DupProb float64
+	// ReorderProb delays the record one position (its successor is
+	// delivered first).
+	ReorderProb float64
+	// SkewProb perturbs the record's Start by up to ±SkewMax.
+	SkewProb float64
+	// SkewMax bounds the injected clock skew (default 0: skew disabled).
+	SkewMax time.Duration
+
+	dropped    atomic.Int64
+	duplicated atomic.Int64
+	reordered  atomic.Int64
+	skewed     atomic.Int64
+}
+
+const (
+	saltDrop    = 0xd409
+	saltDup     = 0xd009
+	saltDupLag  = 0xd1a6
+	saltReorder = 0x4e04
+	saltSkew    = 0x5ce3
+)
+
+// delayedRecord is a record (duplicate or reordered original) waiting for
+// its release position.
+type delayedRecord struct {
+	a   trace.Attack
+	due int64 // emit ordinal at which it is released
+}
+
+// Stream wraps a pull-based record source. next returns nil when the
+// upstream is exhausted; the wrapped source then flushes its delayed
+// records before returning nil itself. The returned function keeps
+// internal delay-queue state and is NOT safe for concurrent use — callers
+// serialize pulls (the loadgen driver pulls under its generator lock).
+func (f *StreamFaults) Stream(next func() *trace.Attack) func() *trace.Attack {
+	var (
+		delayed []delayedRecord
+		emitted int64
+	)
+	release := func(i int) *trace.Attack {
+		a := delayed[i].a
+		delayed = append(delayed[:i], delayed[i+1:]...)
+		emitted++
+		return &a
+	}
+	return func() *trace.Attack {
+		for {
+			// Due delayed records go out first so duplicates and reordered
+			// originals interleave with live records instead of clumping.
+			for i := range delayed {
+				if delayed[i].due <= emitted {
+					return release(i)
+				}
+			}
+			a := next()
+			if a == nil {
+				// Upstream exhausted: flush the delay queue in order.
+				if len(delayed) > 0 {
+					return release(0)
+				}
+				return nil
+			}
+			key := uint64(a.ID)
+			if chance(clampProb(f.DropProb), f.Seed, saltDrop, key) {
+				f.dropped.Add(1)
+				continue
+			}
+			if f.SkewMax > 0 && chance(clampProb(f.SkewProb), f.Seed, saltSkew, key) {
+				skewed := *a
+				skewed.Start = a.Start.Add(time.Duration(signedUnit(mix(f.Seed^saltSkew, key, 1)) * float64(f.SkewMax)))
+				a = &skewed
+				f.skewed.Add(1)
+			}
+			if chance(clampProb(f.DupProb), f.Seed, saltDup, key) {
+				lag := 1 + int64(mix(f.Seed^saltDupLag, key)%7)
+				delayed = append(delayed, delayedRecord{a: *a, due: emitted + lag})
+				f.duplicated.Add(1)
+			}
+			if chance(clampProb(f.ReorderProb), f.Seed, saltReorder, key) {
+				// Delay the original one position: the successor pulled on
+				// this or the next call is delivered first.
+				delayed = append(delayed, delayedRecord{a: *a, due: emitted + 1})
+				f.reordered.Add(1)
+				continue
+			}
+			emitted++
+			return a
+		}
+	}
+}
+
+// Apply runs a record slice through Stream (batch convenience: warm-start
+// datasets, table tests). The input is not mutated.
+func (f *StreamFaults) Apply(in []trace.Attack) []trace.Attack {
+	i := 0
+	src := f.Stream(func() *trace.Attack {
+		if i >= len(in) {
+			return nil
+		}
+		a := in[i]
+		i++
+		return &a
+	})
+	var out []trace.Attack
+	for a := src(); a != nil; a = src() {
+		out = append(out, *a)
+	}
+	return out
+}
+
+// Dropped returns how many records were dropped.
+func (f *StreamFaults) Dropped() int64 { return f.dropped.Load() }
+
+// Duplicated returns how many duplicate records were scheduled.
+func (f *StreamFaults) Duplicated() int64 { return f.duplicated.Load() }
+
+// Reordered returns how many records were delayed past a successor.
+func (f *StreamFaults) Reordered() int64 { return f.reordered.Load() }
+
+// Skewed returns how many records had their timestamp perturbed.
+func (f *StreamFaults) Skewed() int64 { return f.skewed.Load() }

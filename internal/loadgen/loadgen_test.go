@@ -1,0 +1,187 @@
+package loadgen
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/nn"
+	"repro/internal/serve"
+	"repro/internal/trace"
+)
+
+func testServeConfig() serve.Config {
+	return serve.Config{
+		Shards:      4,
+		Window:      64,
+		MinWindow:   6,
+		MinSTWindow: 1 << 20,
+		RefitEvery:  4,
+		QueueDepth:  64,
+		BatchSize:   8,
+		Seed:        7,
+		Temporal:    core.TemporalConfig{MaxP: 1, MaxQ: 1},
+		Spatial: core.SpatialConfig{
+			Delays: []int{2},
+			Hidden: []int{2},
+			Train:  nn.TrainConfig{Epochs: 10},
+		},
+	}
+}
+
+func TestGeneratorDeterministicAndValid(t *testing.T) {
+	mk := func() *Generator {
+		return NewGenerator(GenConfig{Targets: 8, Seed: 11, TimeCompress: 24})
+	}
+	a, b := mk(), mk()
+	seen := make(map[int]bool)
+	perTargetLast := make(map[int]time.Time)
+	for i := 0; i < 2000; i++ {
+		ra, rb := a.Next(), b.Next()
+		if ra.ID != rb.ID || !ra.Start.Equal(rb.Start) || ra.TargetAS != rb.TargetAS {
+			t.Fatalf("record %d differs across equal seeds", i)
+		}
+		if err := serve.ValidateRecord(ra); err != nil {
+			t.Fatalf("generated record %d invalid: %v", i, err)
+		}
+		if seen[ra.ID] {
+			t.Fatalf("duplicate generated ID %d", ra.ID)
+		}
+		seen[ra.ID] = true
+		tgt := int(ra.TargetAS)
+		if last, ok := perTargetLast[tgt]; ok && ra.Start.Before(last) {
+			t.Fatalf("target %d stream not chronological: %v after %v", tgt, ra.Start, last)
+		}
+		perTargetLast[tgt] = ra.Start
+		if len(ra.Bots) < 1 || len(ra.Bots) > 8 {
+			t.Fatalf("record %d has %d bots, want 1..8", i, len(ra.Bots))
+		}
+	}
+	if len(a.Targets()) != 8 {
+		t.Fatalf("fan-out %d, want 8", len(a.Targets()))
+	}
+}
+
+func TestClosedLoopAgainstService(t *testing.T) {
+	svc := serve.New(testServeConfig())
+	defer svc.Close()
+	gen := NewGenerator(GenConfig{Targets: 4, Seed: 3, TimeCompress: 24})
+	rep, err := Run(Config{Mode: ClosedLoop, Records: 3000, Workers: 4}, gen.Next, ServiceSink{Svc: svc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sent != 3000 {
+		t.Fatalf("sent %d, want 3000", rep.Sent)
+	}
+	if rep.Accepted+rep.Dups+rep.Shed+rep.Errors != rep.Sent {
+		t.Fatalf("outcome counters %d+%d+%d+%d don't add to sent %d",
+			rep.Accepted, rep.Dups, rep.Shed, rep.Errors, rep.Sent)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d sink errors", rep.Errors)
+	}
+	if rep.Accepted == 0 {
+		t.Fatal("nothing accepted")
+	}
+	if rep.Max <= 0 || rep.Quantile(0.99) <= 0 {
+		t.Fatalf("latency stats empty: max %v p99 %v", rep.Max, rep.Quantile(0.99))
+	}
+	svc.Flush()
+	// The fan-out targets got enough records each to be served.
+	served := 0
+	for _, as := range gen.Targets() {
+		if _, err := svc.Forecast(as); err == nil {
+			served++
+		}
+	}
+	if served == 0 {
+		t.Fatal("no target served after 3000 accepted records")
+	}
+}
+
+func TestOpenLoopRampAndChaosCompose(t *testing.T) {
+	svc := serve.New(testServeConfig())
+	defer svc.Close()
+	gen := NewGenerator(GenConfig{Targets: 4, Seed: 5, TimeCompress: 24})
+	faults := &chaos.StreamFaults{Seed: 9, DropProb: 0.1, DupProb: 0.1, ReorderProb: 0.1}
+	src := faults.Stream(gen.Next)
+
+	rep, err := Run(Config{
+		Mode: OpenLoop, Records: 600, Workers: 4,
+		Rate: 3000, RateEnd: 9000,
+	}, src, ServiceSink{Svc: svc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drops shrink the stream below Records only if the source runs dry —
+	// it never does (infinite generator), so everything scheduled went out.
+	if rep.Sent != 600 {
+		t.Fatalf("sent %d, want 600", rep.Sent)
+	}
+	if faults.Dropped() == 0 || faults.Duplicated() == 0 {
+		t.Fatalf("chaos did not fire: dropped %d dup %d", faults.Dropped(), faults.Duplicated())
+	}
+	if rep.Dups == 0 {
+		t.Fatal("duplicated records were not deduplicated by the service")
+	}
+	// Open loop at 3k..9k rec/s of 600 records should finish in well under
+	// a second of scheduled time plus slack.
+	if rep.Elapsed > 5*time.Second {
+		t.Fatalf("open loop took %v", rep.Elapsed)
+	}
+}
+
+func TestHTTPSinkClassifiesOutcomes(t *testing.T) {
+	svc := serve.New(testServeConfig())
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	sink := NewHTTPSink(srv.URL)
+	gen := NewGenerator(GenConfig{Targets: 2, Seed: 1, TimeCompress: 24})
+	a := gen.Next()
+	res, err := sink.Ingest(a)
+	if err != nil || !res.Accepted {
+		t.Fatalf("first ingest: %+v, %v", res, err)
+	}
+	res, err = sink.Ingest(a)
+	if err != nil || !res.Duplicate {
+		t.Fatalf("repeat ingest: %+v, %v", res, err)
+	}
+	bad := *gen.Next()
+	bad.Family = ""
+	if _, err := sink.Ingest(&bad); err == nil {
+		t.Fatal("invalid record did not error through the HTTP sink")
+	}
+}
+
+func TestReportSLOChecks(t *testing.T) {
+	rep, err := Run(Config{Mode: ClosedLoop, Records: 100, Workers: 2},
+		NewGenerator(GenConfig{Targets: 2, Seed: 2}).Next, nullSink{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := rep.Check(SLO{MaxShedRate: Unchecked, MaxErrorRate: Unchecked}); len(errs) != 0 {
+		t.Fatalf("empty SLO violated: %v", errs)
+	}
+	if errs := rep.Check(SLO{P99: time.Nanosecond, MaxShedRate: Unchecked, MaxErrorRate: Unchecked}); len(errs) == 0 {
+		t.Fatal("1ns p99 SLO not violated")
+	}
+	if errs := rep.Check(SLO{MinThroughput: 1e12, MaxShedRate: Unchecked, MaxErrorRate: Unchecked}); len(errs) == 0 {
+		t.Fatal("absurd throughput floor not violated")
+	}
+	out := rep.String()
+	for _, want := range []string{"p50", "p95", "p99", "max", "shed", "sent"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// nullSink accepts everything instantly.
+type nullSink struct{}
+
+func (nullSink) Ingest(*trace.Attack) (Result, error) { return Result{Accepted: true}, nil }

@@ -1,0 +1,115 @@
+package loadgen
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/serve/metrics"
+)
+
+// LatencyBuckets are the report histogram bounds in seconds: 20µs through
+// 2.5s, tight at the bottom where the in-process ingest path lives.
+var LatencyBuckets = []float64{
+	0.00002, 0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025,
+	0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// Report is one run's outcome: outcome counters, achieved rate, and the
+// latency distribution (open loop measures completion minus scheduled
+// arrival, so queue wait — the coordinated-omission term — is included;
+// closed loop measures the bare sink call).
+type Report struct {
+	Mode     string
+	Sent     int64
+	Accepted int64
+	Dups     int64
+	Shed     int64
+	Errors   int64
+	Elapsed  time.Duration
+
+	Hist *metrics.Histogram // latency histogram, seconds
+	Max  time.Duration      // exact maximum latency
+}
+
+// Throughput returns attempted records per second.
+func (r *Report) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Sent) / r.Elapsed.Seconds()
+}
+
+// ShedRate returns the fraction of sent records the service shed.
+func (r *Report) ShedRate() float64 {
+	if r.Sent == 0 {
+		return 0
+	}
+	return float64(r.Shed) / float64(r.Sent)
+}
+
+// Quantile returns the latency quantile as a duration (histogram upper
+// bound, the conservative estimate).
+func (r *Report) Quantile(q float64) time.Duration {
+	return time.Duration(r.Hist.Quantile(q) * float64(time.Second))
+}
+
+// String renders the human report ddosload prints.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "mode        %s\n", r.Mode)
+	fmt.Fprintf(&b, "elapsed     %v\n", r.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&b, "sent        %d (%.0f rec/s)\n", r.Sent, r.Throughput())
+	fmt.Fprintf(&b, "accepted    %d\n", r.Accepted)
+	fmt.Fprintf(&b, "duplicates  %d\n", r.Dups)
+	fmt.Fprintf(&b, "shed        %d (%.2f%%)\n", r.Shed, 100*r.ShedRate())
+	fmt.Fprintf(&b, "errors      %d\n", r.Errors)
+	fmt.Fprintf(&b, "latency     p50 %-10v p95 %-10v p99 %-10v max %v\n",
+		r.Quantile(0.50), r.Quantile(0.95), r.Quantile(0.99), r.Max.Round(time.Microsecond))
+	return b.String()
+}
+
+// SLO is the pass/fail contract a run is judged against. Zero duration
+// fields and negative rate fields are unchecked.
+type SLO struct {
+	P50, P95, P99 time.Duration // latency ceilings
+	Max           time.Duration // worst-case latency ceiling
+	MaxShedRate   float64       // ceiling on ShedRate; negative = unchecked
+	MaxErrorRate  float64       // ceiling on Errors/Sent; negative = unchecked
+	MinThroughput float64       // floor on attempted rec/s; 0 = unchecked
+}
+
+// Unchecked is the SLO rate value meaning "do not check".
+const Unchecked = -1
+
+// Check returns one error per violated objective (empty slice: the run
+// passed).
+func (r *Report) Check(slo SLO) []error {
+	var out []error
+	checkQ := func(name string, q float64, limit time.Duration) {
+		if limit <= 0 {
+			return
+		}
+		if got := r.Quantile(q); got > limit {
+			out = append(out, fmt.Errorf("loadgen: %s latency %v over SLO %v", name, got, limit))
+		}
+	}
+	checkQ("p50", 0.50, slo.P50)
+	checkQ("p95", 0.95, slo.P95)
+	checkQ("p99", 0.99, slo.P99)
+	if slo.Max > 0 && r.Max > slo.Max {
+		out = append(out, fmt.Errorf("loadgen: max latency %v over SLO %v", r.Max, slo.Max))
+	}
+	if slo.MaxShedRate >= 0 && r.ShedRate() > slo.MaxShedRate {
+		out = append(out, fmt.Errorf("loadgen: shed rate %.4f over SLO %.4f", r.ShedRate(), slo.MaxShedRate))
+	}
+	if slo.MaxErrorRate >= 0 && r.Sent > 0 {
+		if rate := float64(r.Errors) / float64(r.Sent); rate > slo.MaxErrorRate {
+			out = append(out, fmt.Errorf("loadgen: error rate %.4f over SLO %.4f", rate, slo.MaxErrorRate))
+		}
+	}
+	if slo.MinThroughput > 0 && r.Throughput() < slo.MinThroughput {
+		out = append(out, fmt.Errorf("loadgen: throughput %.0f rec/s under SLO %.0f", r.Throughput(), slo.MinThroughput))
+	}
+	return out
+}

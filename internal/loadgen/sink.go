@@ -1,0 +1,111 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/trace"
+)
+
+// Result classifies one ingest attempt.
+type Result struct {
+	// Accepted: the record entered the store as new.
+	Accepted bool
+	// Duplicate: the record was deduplicated (known attack ID).
+	Duplicate bool
+	// Shed: the service refused the record under load (429 / ErrShedding).
+	Shed bool
+}
+
+// Sink is where the driver pushes records. Implementations classify the
+// outcome; an error means the record was rejected for a non-load reason
+// (validation, transport) and counts against the run.
+type Sink interface {
+	Ingest(a *trace.Attack) (Result, error)
+}
+
+// ServiceSink drives an in-process serve.Service — the zero-transport
+// path, for soak tests and maximum-pressure runs.
+type ServiceSink struct {
+	Svc *serve.Service
+}
+
+// Ingest implements Sink.
+func (s ServiceSink) Ingest(a *trace.Attack) (Result, error) {
+	ok, err := s.Svc.Ingest(a)
+	switch {
+	case errors.Is(err, serve.ErrShedding):
+		return Result{Shed: true}, nil
+	case err != nil:
+		return Result{}, err
+	case ok:
+		return Result{Accepted: true}, nil
+	default:
+		return Result{Duplicate: true}, nil
+	}
+}
+
+// HTTPSink drives a live ddosd over POST /ingest, one record per request
+// (per-record latency is the point; batch throughput is the in-process
+// sink's job).
+type HTTPSink struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Client defaults to a dedicated client with sane timeouts.
+	Client *http.Client
+}
+
+// NewHTTPSink returns a sink with a connection-reusing client.
+func NewHTTPSink(baseURL string) *HTTPSink {
+	return &HTTPSink{
+		BaseURL: baseURL,
+		Client: &http.Client{
+			Timeout: 30 * time.Second,
+			Transport: &http.Transport{
+				MaxIdleConns:        256,
+				MaxIdleConnsPerHost: 256,
+			},
+		},
+	}
+}
+
+// Ingest implements Sink.
+func (s *HTTPSink) Ingest(a *trace.Attack) (Result, error) {
+	body, err := json.Marshal(a)
+	if err != nil {
+		return Result{}, err
+	}
+	client := s.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Post(s.BaseURL+"/ingest", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return Result{}, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var res serve.IngestResult
+		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+			return Result{}, fmt.Errorf("loadgen: bad /ingest response: %w", err)
+		}
+		if res.Ingested > 0 {
+			return Result{Accepted: true}, nil
+		}
+		return Result{Duplicate: true}, nil
+	case http.StatusTooManyRequests:
+		return Result{Shed: true}, nil
+	default:
+		return Result{}, fmt.Errorf("loadgen: /ingest returned HTTP %d", resp.StatusCode)
+	}
+}

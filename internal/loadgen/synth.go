@@ -1,0 +1,182 @@
+// Package loadgen is the traffic side of the load/soak harness (DESIGN.md
+// §8): it synthesizes attack-record streams shaped by internal/botnet
+// family profiles, drives them into an ingest sink — the in-process
+// serve.Service or a live ddosd over HTTP — in open-loop (scheduled
+// arrivals, rate ramps, queue-wait counted into latency) or closed-loop
+// (back-to-back) mode, and reports p50/p95/p99/max latency, shed rate, and
+// SLO verdicts. Fault injection composes underneath via internal/chaos
+// stream wrappers.
+package loadgen
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/astopo"
+	"repro/internal/botnet"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// GenConfig shapes the synthetic record stream.
+type GenConfig struct {
+	// Profiles are the botnet families records draw behavior from
+	// (launch-hour peaks, duration and magnitude scales, activity rates).
+	// Default botnet.DefaultFamilies().
+	Profiles []botnet.Profile
+	// Targets is the victim fan-out; records spread over this many target
+	// ASes with a Zipf popularity skew. Default 16.
+	Targets int
+	// BaseAS numbers the synthetic targets BaseAS, BaseAS+1, ...
+	// Default 64512 (the private-use ASN range).
+	BaseAS astopo.AS
+	// Start anchors record timestamps. Default 2012-08-01 UTC.
+	Start time.Time
+	// Seed drives all randomness; equal seeds yield identical streams.
+	Seed uint64
+	// MaxBots caps the bot list per record (magnitude signal stays, memory
+	// per record stays small under 100k-record runs). Default 8.
+	MaxBots int
+	// TimeCompress divides inter-attack gaps, compressing days of trace
+	// time into a short run without collapsing the hour-of-day structure.
+	// Default 1 (real profile pacing).
+	TimeCompress float64
+}
+
+func (c GenConfig) withDefaults() GenConfig {
+	if len(c.Profiles) == 0 {
+		c.Profiles = botnet.DefaultFamilies()
+	}
+	if c.Targets < 1 {
+		c.Targets = 16
+	}
+	if c.BaseAS == 0 {
+		c.BaseAS = 64512
+	}
+	if c.Start.IsZero() {
+		c.Start = time.Date(2012, 8, 1, 0, 0, 0, 0, time.UTC)
+	}
+	if c.MaxBots < 1 {
+		c.MaxBots = 8
+	}
+	if c.TimeCompress <= 0 {
+		c.TimeCompress = 1
+	}
+	return c
+}
+
+// genTarget is one synthetic victim's stream state.
+type genTarget struct {
+	as         astopo.AS
+	profile    *botnet.Profile
+	hourOffset float64   // preferred launch hour offset from the family peak
+	next       time.Time // next attack start (pre-hour-shaping)
+	magState   float64   // AR(1) log-magnitude state
+}
+
+// Generator produces an endless, deterministic attack-record stream over a
+// fixed target fan-out. Next is safe for concurrent use (one mutex; the
+// drivers serialize pulls anyway so contention is irrelevant next to the
+// sink call).
+type Generator struct {
+	mu      sync.Mutex
+	cfg     GenConfig
+	s       *stats.Sampler
+	zipf    *stats.Zipf
+	targets []genTarget
+	nextID  int
+}
+
+// NewGenerator builds a generator; streams are deterministic in
+// GenConfig.Seed.
+func NewGenerator(cfg GenConfig) *Generator {
+	cfg = cfg.withDefaults()
+	g := &Generator{
+		cfg:     cfg,
+		s:       stats.NewSampler(cfg.Seed ^ 0x10adc3),
+		zipf:    stats.NewZipf(cfg.Targets, 1.1),
+		targets: make([]genTarget, cfg.Targets),
+		nextID:  1,
+	}
+	for i := range g.targets {
+		p := &cfg.Profiles[i%len(cfg.Profiles)]
+		g.targets[i] = genTarget{
+			as:         cfg.BaseAS + astopo.AS(i),
+			profile:    p,
+			hourOffset: g.s.Normal(0, p.TargetHourSigma/2),
+			next:       cfg.Start.Add(time.Duration(g.s.Float64() * float64(24*time.Hour))),
+		}
+	}
+	return g
+}
+
+// Targets returns the synthetic target ASes in fan-out order.
+func (g *Generator) Targets() []astopo.AS {
+	out := make([]astopo.AS, len(g.targets))
+	for i := range g.targets {
+		out[i] = g.targets[i].as
+	}
+	return out
+}
+
+// Next returns the next record. The stream never ends; the driver decides
+// how many records a run sends.
+func (g *Generator) Next() *trace.Attack {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	tgt := &g.targets[g.zipf.Sample(g.s)]
+	p := tgt.profile
+
+	// Advance the target's clock by a profile-paced gap, then — when the
+	// sampled preferred launch hour still lies ahead on the clock's day —
+	// snap forward to it. The snap is forward-only, so each target's
+	// stream stays strictly chronological while the family's diurnal peak
+	// (plus the target's own offset) shows through: the signal the
+	// temporal models fit.
+	gapMean := 86400 / math.Max(p.AvgPerDay, 0.2) / g.cfg.TimeCompress
+	gap := gapMean * math.Exp(g.s.Normal(0, 0.35))
+	if gap < 1 {
+		gap = 1
+	}
+	tgt.next = tgt.next.Add(time.Duration(gap * float64(time.Second)))
+	h := math.Mod(p.PeakHour+tgt.hourOffset+g.s.Normal(0, p.HourSigma), 24)
+	if h < 0 {
+		h += 24
+	}
+	day := tgt.next.Truncate(24 * time.Hour)
+	if cand := day.Add(time.Duration(h * float64(time.Hour))); cand.After(tgt.next) {
+		tgt.next = cand
+	}
+	start := tgt.next
+
+	dur := math.Exp(p.DurLogMean + g.s.Normal(0, p.DurLogSigma))
+	if dur > 48*3600 {
+		dur = 48 * 3600
+	}
+
+	tgt.magState = 0.8*tgt.magState + g.s.Normal(0, p.MagSigma)
+	mag := int(p.MagBase*math.Exp(tgt.magState) + 0.5)
+	if mag < 1 {
+		mag = 1
+	}
+	if mag > g.cfg.MaxBots {
+		mag = g.cfg.MaxBots
+	}
+	bots := make([]astopo.IPv4, mag)
+	for i := range bots {
+		bots[i] = astopo.IPv4(0x0a000000 | uint32(g.s.IntN(1<<24)))
+	}
+
+	id := g.nextID
+	g.nextID++
+	return &trace.Attack{
+		ID:          id,
+		Family:      p.Name,
+		Start:       start,
+		DurationSec: dur,
+		TargetIP:    astopo.IPv4(0xc0a80000 | uint32(tgt.as&0xffff)),
+		TargetAS:    tgt.as,
+		Bots:        bots,
+	}
+}

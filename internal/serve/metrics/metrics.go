@@ -12,6 +12,7 @@ import (
 	"math"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -152,7 +153,7 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 		var cum uint64
 		for i, b := range h.bounds {
 			cum += h.buckets[i].Load()
-			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.name, trimFloat(b), cum)
+			fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", h.name, escapeLabel(trimFloat(b)), cum)
 		}
 		cum += h.buckets[len(h.bounds)].Load()
 		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.name, cum)
@@ -187,9 +188,25 @@ func (r *Registry) Handler() http.Handler {
 
 func header(w io.Writer, name, help, kind string) {
 	if help != "" {
-		fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+		fmt.Fprintf(w, "# HELP %s %s\n", name, escapeHelp(help))
 	}
 	fmt.Fprintf(w, "# TYPE %s %s\n", name, kind)
+}
+
+// escapeHelp escapes HELP text per the Prometheus text exposition format:
+// a raw newline would split the comment mid-line and corrupt the scrape,
+// and an unescaped backslash would be mis-decoded by conforming parsers.
+// Only backslash and newline are escaped on HELP lines.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value: backslash, double quote, and newline.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
 }
 
 func trimFloat(v float64) string { return fmt.Sprintf("%g", v) }

@@ -62,6 +62,29 @@ func TestHistogramConcurrent(t *testing.T) {
 	}
 }
 
+func TestExpositionEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "Line one\nline two with a \\ backslash.").Inc()
+
+	var b strings.Builder
+	r.WriteText(&b)
+	text := b.String()
+	want := `# HELP esc_total Line one\nline two with a \\ backslash.` + "\n"
+	if !strings.Contains(text, want) {
+		t.Errorf("HELP escaping wrong, want %q in:\n%s", want, text)
+	}
+	// The exposition must still be one-directive-per-line: no line may be a
+	// bare continuation of a broken HELP comment.
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if !strings.HasPrefix(line, "#") && !strings.HasPrefix(line, "esc_total") {
+			t.Errorf("stray exposition line %q", line)
+		}
+	}
+	if got := escapeLabel("a\"b\\c\nd"); got != `a\"b\\c\nd` {
+		t.Errorf("escapeLabel = %q", got)
+	}
+}
+
 func TestExposition(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("a_total", "A counter.").Add(3)

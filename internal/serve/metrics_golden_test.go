@@ -1,0 +1,67 @@
+package serve
+
+// Golden-file test for the daemon's /metrics exposition: the exact bytes
+// ddosd serves for a fixed instrument state. Pins metric names, HELP/TYPE
+// lines, bucket bounds, and formatting — a renamed metric or a format
+// regression breaks dashboards silently, so it must break this test
+// loudly instead. Refresh with:
+//
+//	go test ./internal/serve -run TestMetricsGolden -update-golden
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+func TestMetricsGoldenExposition(t *testing.T) {
+	tel := newTelemetry()
+
+	// Exercise every instrument with fixed values so the rendered counts,
+	// sums, and cumulative buckets are deterministic.
+	tel.ingestRecords.Add(1200)
+	tel.ingestDups.Add(34)
+	tel.ingestShed.Add(5)
+	for _, v := range []float64{0.0002, 0.0004, 0.003, 0.003} {
+		tel.ingestSeconds.Observe(v)
+	}
+	tel.forecasts.Add(900)
+	tel.forecastMisses.Add(11)
+	for _, v := range []float64{0.00005, 0.0001, 0.02} {
+		tel.forecastSecs.Observe(v)
+	}
+	tel.refitsDone.Add(60)
+	tel.refitErrors.Add(2)
+	tel.refitsDropped.Add(1)
+	for _, v := range []float64{0.04, 0.3, 7.5} {
+		tel.refitSeconds.Observe(v)
+	}
+	tel.refitLag.Set(3)
+	tel.targetsKnown.Set(16)
+	tel.targetsServed.Set(14)
+
+	var got bytes.Buffer
+	tel.reg.WriteText(&got)
+
+	path := filepath.Join("testdata", "metrics.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatalf("/metrics exposition drifted from %s.\n--- got ---\n%s--- want ---\n%s",
+			path, got.Bytes(), want)
+	}
+}

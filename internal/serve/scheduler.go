@@ -22,6 +22,7 @@ type scheduler struct {
 	reg   *Registry
 	cfg   Config
 	tel   *telemetry
+	fit   FitFunc
 
 	queue   chan astopo.AS
 	mu      sync.Mutex
@@ -34,11 +35,16 @@ type scheduler struct {
 }
 
 func newScheduler(store *Store, reg *Registry, cfg Config, tel *telemetry) *scheduler {
+	fit := FitFunc(fitTarget)
+	if cfg.WrapFit != nil {
+		fit = cfg.WrapFit(fit)
+	}
 	s := &scheduler{
 		store:   store,
 		reg:     reg,
 		cfg:     cfg,
 		tel:     tel,
+		fit:     fit,
 		queue:   make(chan astopo.AS, cfg.QueueDepth),
 		pending: make(map[astopo.AS]bool, cfg.QueueDepth),
 		stop:    make(chan struct{}),
@@ -90,9 +96,17 @@ func (s *scheduler) Stop() {
 }
 
 // Flush blocks until the queue is empty and no refit is in flight (test
-// and shutdown helper; ingest may keep adding work while it waits).
+// and shutdown helper; ingest may keep adding work while it waits). A
+// stopped scheduler never drains its queue, so Flush also returns once the
+// run loop has exited — otherwise a Stop/Flush race (SIGTERM while refits
+// are queued) would spin forever.
 func (s *scheduler) Flush() {
 	for s.lag.Load() > 0 {
+		select {
+		case <-s.done:
+			return
+		default:
+		}
 		time.Sleep(time.Millisecond)
 	}
 }
@@ -141,7 +155,7 @@ func (s *scheduler) refitBatch(batch []astopo.AS) {
 	_ = parallel.ForEach(len(batch), s.cfg.RefitWorkers, func(i int) error {
 		start := time.Now()
 		window, total := s.store.Window(batch[i])
-		tm, err := fitTarget(batch[i], window, total, s.reg.NextGeneration(), s.cfg)
+		tm, err := s.fit(batch[i], window, total, s.reg.NextGeneration(), s.cfg)
 		if err != nil {
 			s.tel.refitErrors.Inc()
 			return nil // not-ready targets are routine, not batch failures

@@ -51,6 +51,10 @@ type Config struct {
 	MaxBatchRecords int
 	// Seed makes refits deterministic per target window.
 	Seed uint64
+	// WrapFit optionally wraps the per-target refit function — the seam the
+	// chaos harness uses to inject slow or failing refits (internal/chaos),
+	// also usable for instrumentation. nil means fit directly.
+	WrapFit func(FitFunc) FitFunc
 
 	// Model configuration shared with the batch layer.
 	Temporal core.TemporalConfig
@@ -91,6 +95,11 @@ func (c Config) withDefaults() Config {
 	}
 	return c
 }
+
+// FitFunc is the per-target refit function the scheduler invokes: window
+// and all-time total come from the state store, gen from the registry's
+// generation counter. Exposed so Config.WrapFit can interpose on it.
+type FitFunc func(as astopo.AS, window []trace.Attack, total uint64, gen uint64, cfg Config) (*TargetModels, error)
 
 // telemetry bundles the instruments every layer updates.
 type telemetry struct {

@@ -1,0 +1,291 @@
+package serve_test
+
+// The soak/regression gate for the serving stack (DESIGN.md §8): loadgen
+// traffic perturbed by every chaos stream fault, refits slowed and failed
+// by the chaos refit injector, concurrent forecast readers — all under
+// -race in CI's soak-short lane. The assertions are the harness's
+// correctness contract:
+//
+//  1. every forecast served during the storm is finite and in range;
+//  2. provenance stays consistent across registry swaps (snapshot version
+//     and per-target generation never move backwards, fit metadata is
+//     coherent);
+//  3. 429-style shedding engages under refit backlog and recovers once the
+//     injected faults stop;
+//  4. a corrupted snapshot load fails cleanly without touching the
+//     published registry.
+//
+// The test is -short-guarded: `go test -short` (the race lane over the
+// whole repo) skips it, while the dedicated soak-short CI job runs it via
+// `go test -race -run TestSoak` with a scaled-up record budget.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/astopo"
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/loadgen"
+	"repro/internal/nn"
+	"repro/internal/serve"
+)
+
+// finiteForecast returns an error naming the first non-finite or
+// out-of-range field.
+func finiteForecast(fc *serve.Forecast) error {
+	fields := map[string]float64{
+		"interval_sec": fc.IntervalSec,
+		"hour":         fc.Hour,
+		"day":          fc.Day,
+		"duration_sec": fc.DurationSec,
+		"magnitude":    fc.Magnitude,
+	}
+	for name, v := range fields {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%s is %v", name, v)
+		}
+	}
+	if fc.Hour < 0 || fc.Hour >= 24 {
+		return fmt.Errorf("hour %v out of [0,24)", fc.Hour)
+	}
+	if fc.Day < 1 || fc.Day > 31 {
+		return fmt.Errorf("day %v out of [1,31]", fc.Day)
+	}
+	if fc.IntervalSec < 0 || fc.DurationSec < 0 || fc.Magnitude < 0 {
+		return fmt.Errorf("negative forecast value: %+v", fc)
+	}
+	return nil
+}
+
+// provenanceError checks fit metadata coherence.
+func provenanceError(fc *serve.Forecast, as astopo.AS) error {
+	switch {
+	case fc.TargetAS != as:
+		return fmt.Errorf("forecast for AS%d answered AS%d", as, fc.TargetAS)
+	case fc.ModelGeneration == 0:
+		return errors.New("zero model generation")
+	case fc.WindowSize <= 0:
+		return fmt.Errorf("window size %d", fc.WindowSize)
+	case fc.Observations < uint64(fc.WindowSize):
+		return fmt.Errorf("observations %d below window %d", fc.Observations, fc.WindowSize)
+	case fc.FittedAt.IsZero():
+		return errors.New("zero FittedAt")
+	case fc.Family == "":
+		return errors.New("empty family")
+	}
+	return nil
+}
+
+func TestSoakLoadChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak: skipped in -short mode (the soak-short CI lane runs it with -race)")
+	}
+
+	const (
+		targets = 8
+		records = 12000
+		readers = 3
+	)
+	refitFaults := &chaos.RefitFaults{
+		Seed:      7,
+		SlowProb:  0.6,
+		Delay:     8 * time.Millisecond,
+		FailProb:  0.2,
+		MaxFaults: 80, // cap so shedding can recover at the tail
+	}
+	cfg := serve.Config{
+		Shards:       4,
+		Window:       64,
+		MinWindow:    6,
+		MinSTWindow:  32, // the spatiotemporal tree engages mid-soak
+		RefitEvery:   2,
+		QueueDepth:   8,
+		LagWatermark: 4,
+		BatchSize:    4,
+		Seed:         7,
+		Temporal:     core.TemporalConfig{MaxP: 1, MaxQ: 1},
+		Spatial: core.SpatialConfig{
+			Delays: []int{2},
+			Hidden: []int{2},
+			Train:  nn.TrainConfig{Epochs: 8},
+		},
+		WrapFit: refitFaults.Wrap,
+	}
+	svc := serve.New(cfg)
+	defer svc.Close()
+
+	gen := loadgen.NewGenerator(loadgen.GenConfig{Targets: targets, Seed: 13, TimeCompress: 24})
+	streamFaults := &chaos.StreamFaults{
+		Seed: 13, DropProb: 0.03, DupProb: 0.05, ReorderProb: 0.08,
+		SkewProb: 0.1, SkewMax: 2 * time.Hour,
+	}
+	src := streamFaults.Stream(gen.Next)
+
+	// Concurrent forecast readers assert finiteness and monotone
+	// provenance for the whole run.
+	var (
+		stop     = make(chan struct{})
+		wg       sync.WaitGroup
+		served   atomic.Int64
+		readerMu sync.Mutex
+		readErr  error
+	)
+	fail := func(err error) {
+		readerMu.Lock()
+		if readErr == nil {
+			readErr = err
+		}
+		readerMu.Unlock()
+	}
+	fanout := gen.Targets()
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			var lastVersion uint64
+			lastGen := make(map[astopo.AS]uint64)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				as := fanout[(r+i)%len(fanout)]
+				fc, err := svc.Forecast(as)
+				if err != nil {
+					continue // not yet published
+				}
+				served.Add(1)
+				if err := finiteForecast(fc); err != nil {
+					fail(fmt.Errorf("reader %d AS%d: %w", r, as, err))
+					return
+				}
+				if err := provenanceError(fc, as); err != nil {
+					fail(fmt.Errorf("reader %d AS%d: %w", r, as, err))
+					return
+				}
+				if fc.SnapshotVersion < lastVersion {
+					fail(fmt.Errorf("snapshot version went backwards: %d -> %d", lastVersion, fc.SnapshotVersion))
+					return
+				}
+				lastVersion = fc.SnapshotVersion
+				if g := lastGen[as]; fc.ModelGeneration < g {
+					fail(fmt.Errorf("AS%d generation went backwards: %d -> %d", as, g, fc.ModelGeneration))
+					return
+				}
+				lastGen[as] = fc.ModelGeneration
+			}
+		}(r)
+	}
+
+	// Phase 1: the storm. Open loop paces the run so refits, faults, and
+	// reads interleave rather than the whole load landing in one burst.
+	rep, err := loadgen.Run(loadgen.Config{
+		Mode: loadgen.OpenLoop, Records: records, Workers: 4,
+		Rate: 6000, RateEnd: 18000,
+	}, src, loadgen.ServiceSink{Svc: svc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d sink errors during the storm", rep.Errors)
+	}
+	if rep.Shed == 0 {
+		t.Fatalf("shedding never engaged under slowed refits (report:\n%s)", rep)
+	}
+	if rep.Accepted == 0 {
+		t.Fatal("no records accepted during the storm")
+	}
+
+	// Phase 2: recovery. Faults are capped out; the backlog must drain and
+	// ingest must come back without shedding.
+	svc.Flush()
+	recovered := false
+	fresh := gen.Next()
+	for attempt := 0; attempt < 100; attempt++ {
+		if _, err := svc.Ingest(fresh); !errors.Is(err, serve.ErrShedding) {
+			if err != nil {
+				t.Fatalf("post-storm ingest failed: %v", err)
+			}
+			recovered = true
+			break
+		}
+		svc.Flush()
+		time.Sleep(time.Millisecond)
+	}
+	if !recovered {
+		t.Fatal("shedding never recovered after the faults capped out")
+	}
+	svc.Flush()
+
+	// Let the readers hammer the settled registry briefly, then stop them.
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	readerMu.Lock()
+	defer readerMu.Unlock()
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	if served.Load() == 0 {
+		t.Fatal("no forecasts served during the soak")
+	}
+
+	// Phase 3: every target is served, finite, and coherent at rest.
+	for _, as := range fanout {
+		fc, err := svc.Forecast(as)
+		if err != nil {
+			t.Fatalf("AS%d unserved after the soak: %v", as, err)
+		}
+		if err := finiteForecast(fc); err != nil {
+			t.Fatalf("AS%d settled forecast: %v", as, err)
+		}
+		if err := provenanceError(fc, as); err != nil {
+			t.Fatalf("AS%d settled provenance: %v", as, err)
+		}
+	}
+	if refitFaults.Slowed() == 0 || refitFaults.Failed() == 0 {
+		t.Fatalf("refit chaos never fired: slowed %d failed %d",
+			refitFaults.Slowed(), refitFaults.Failed())
+	}
+
+	// Phase 4: snapshot round trip survives the soak; a corrupted load
+	// fails cleanly and leaves the published registry untouched.
+	var snap bytes.Buffer
+	if err := svc.Registry().WriteSnapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	restored := serve.NewRegistry()
+	if err := restored.ReadSnapshot(bytes.NewReader(snap.Bytes())); err != nil {
+		t.Fatalf("clean snapshot rejected after soak: %v", err)
+	}
+	if restored.Size() != svc.Registry().Size() {
+		t.Fatalf("restored %d targets, want %d", restored.Size(), svc.Registry().Size())
+	}
+
+	version, size := svc.Registry().Version(), svc.Registry().Size()
+	corrupter := chaos.NewCorrupter(bytes.NewReader(snap.Bytes()), 99, 0.001)
+	err = svc.Registry().ReadSnapshot(corrupter)
+	if corrupter.Flipped() == 0 {
+		t.Fatal("corrupter flipped nothing over the snapshot bytes")
+	}
+	if err == nil {
+		t.Fatal("corrupted snapshot loaded without error")
+	}
+	if svc.Registry().Version() != version || svc.Registry().Size() != size {
+		t.Fatalf("failed snapshot load mutated the registry: version %d->%d size %d->%d",
+			version, svc.Registry().Version(), size, svc.Registry().Size())
+	}
+	for _, as := range fanout {
+		if _, err := svc.Forecast(as); err != nil {
+			t.Fatalf("AS%d lost after rejected corrupt snapshot: %v", as, err)
+		}
+	}
+}

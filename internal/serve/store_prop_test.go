@@ -1,0 +1,208 @@
+package serve
+
+// Property tests for the sharded store: whatever interleaving concurrent
+// ingesters produce across shards, each target's window must come out
+// chronological, duplicate-free, and lossless (every unique record is
+// either in the window or was evicted by capacity — never silently
+// dropped, never double-counted).
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/astopo"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// propRecord generates the i-th record for a target: unique ID, strictly
+// increasing timestamps in generation order.
+func propRecord(as astopo.AS, i int) trace.Attack {
+	return trace.Attack{
+		ID:          int(as)*100000 + i,
+		Family:      "prop",
+		Start:       time.Date(2012, 8, 1, 0, 0, 0, 0, time.UTC).Add(time.Duration(i) * time.Minute),
+		DurationSec: 60,
+		TargetAS:    as,
+		TargetIP:    astopo.IPv4(uint32(as)),
+		Bots:        []astopo.IPv4{1},
+	}
+}
+
+func TestStorePropertiesUnderInterleaving(t *testing.T) {
+	cases := []struct {
+		name       string
+		shards     int
+		window     int
+		targets    int
+		perTarget  int
+		goroutines int
+		shuffle    bool // scramble global submission order
+		dupes      bool // resubmit every record once (needs perTarget <= window)
+	}{
+		{name: "in-order fits window", shards: 4, window: 64, targets: 8, perTarget: 40, goroutines: 8},
+		{name: "in-order overflows window", shards: 4, window: 16, targets: 8, perTarget: 120, goroutines: 8},
+		{name: "shuffled fits window", shards: 8, window: 128, targets: 16, perTarget: 100, goroutines: 16, shuffle: true},
+		{name: "shuffled overflows window", shards: 2, window: 8, targets: 5, perTarget: 64, goroutines: 12, shuffle: true},
+		{name: "duplicates rejected", shards: 4, window: 64, targets: 6, perTarget: 30, goroutines: 8, dupes: true},
+		{name: "single shard serializes", shards: 1, window: 32, targets: 10, perTarget: 50, goroutines: 10, shuffle: true},
+	}
+	for ci, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			st := NewStore(tc.shards, tc.window)
+
+			// Build the submission list: per-target chronological batches,
+			// optionally shuffled globally and doubled with duplicates.
+			var work []trace.Attack
+			for tg := 0; tg < tc.targets; tg++ {
+				as := astopo.AS(65000 + tg)
+				for i := 0; i < tc.perTarget; i++ {
+					work = append(work, propRecord(as, i))
+				}
+			}
+			if tc.dupes {
+				work = append(work, work...)
+			}
+			if tc.shuffle || tc.dupes {
+				s := stats.NewSampler(uint64(ci)*977 + 5)
+				for i := len(work) - 1; i > 0; i-- {
+					j := s.IntN(i + 1)
+					work[i], work[j] = work[j], work[i]
+				}
+			}
+
+			// Concurrent ingest: goroutines claim strided slices of the
+			// submission list, so shard mutex interleavings vary freely.
+			var (
+				wg       sync.WaitGroup
+				accepted = make([]int64, tc.goroutines)
+			)
+			for g := 0; g < tc.goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := g; i < len(work); i += tc.goroutines {
+						if _, _, ok := st.Ingest(&work[i]); ok {
+							accepted[g]++
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+
+			// Global accounting: duplicates of in-window records are the
+			// only rejections.
+			var acceptedTotal int64
+			for _, n := range accepted {
+				acceptedTotal += n
+			}
+			wantUnique := int64(tc.targets * tc.perTarget)
+			if tc.dupes {
+				// perTarget <= window, so every duplicate finds its original
+				// still resident and must be rejected.
+				if tc.perTarget > tc.window {
+					t.Fatalf("bad case: dupes need perTarget <= window")
+				}
+			}
+			if acceptedTotal != wantUnique {
+				t.Fatalf("accepted %d records, want %d unique", acceptedTotal, wantUnique)
+			}
+			if st.Len() != tc.targets {
+				t.Fatalf("store knows %d targets, want %d", st.Len(), tc.targets)
+			}
+
+			// Per-target invariants.
+			for tg := 0; tg < tc.targets; tg++ {
+				as := astopo.AS(65000 + tg)
+				win, total := st.Window(as)
+				if total != uint64(tc.perTarget) {
+					t.Fatalf("AS%d total %d, want %d (lost or double-counted records)", as, total, tc.perTarget)
+				}
+				wantLen := tc.perTarget
+				if wantLen > tc.window {
+					wantLen = tc.window
+				}
+				if len(win) != wantLen {
+					t.Fatalf("AS%d window %d records, want %d", as, len(win), wantLen)
+				}
+				seen := make(map[int]bool, len(win))
+				for i, a := range win {
+					if a.TargetAS != as {
+						t.Fatalf("AS%d window holds a record for AS%d", as, a.TargetAS)
+					}
+					if seen[a.ID] {
+						t.Fatalf("AS%d window holds ID %d twice", as, a.ID)
+					}
+					seen[a.ID] = true
+					if i > 0 && a.Start.Before(win[i-1].Start) {
+						t.Fatalf("AS%d window not chronological at %d: %v after %v",
+							as, i, a.Start, win[i-1].Start)
+					}
+				}
+				// Lossless when everything fits: the window is exactly the
+				// full generated set in order.
+				if tc.perTarget <= tc.window {
+					for i, a := range win {
+						if want := propRecord(as, i); a.ID != want.ID {
+							t.Fatalf("AS%d window[%d] = ID %d, want %d", as, i, a.ID, want.ID)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestStoreWindowEvictsOldest pins the eviction discipline for in-order
+// arrival: the window is exactly the chronologically-latest w records.
+func TestStoreWindowEvictsOldest(t *testing.T) {
+	const w = 8
+	st := NewStore(1, w)
+	as := astopo.AS(64999)
+	for i := 0; i < 3*w; i++ {
+		r := propRecord(as, i)
+		st.Ingest(&r)
+	}
+	win, total := st.Window(as)
+	if total != 3*w {
+		t.Fatalf("total %d, want %d", total, 3*w)
+	}
+	for i, a := range win {
+		if want := propRecord(as, 2*w+i); a.ID != want.ID {
+			t.Fatalf("window[%d] = ID %d, want %d (oldest not evicted)", i, a.ID, want.ID)
+		}
+	}
+}
+
+// TestStoreRefitCounters pins the sinceRefit bookkeeping the scheduler
+// relies on: MarkRefitted subtracts what the refit consumed and clamps at
+// zero, so records ingested mid-refit still count toward the next one.
+func TestStoreRefitCounters(t *testing.T) {
+	st := NewStore(2, 16)
+	as := astopo.AS(64998)
+	var since int
+	for i := 0; i < 5; i++ {
+		r := propRecord(as, i)
+		since, _, _ = st.Ingest(&r)
+	}
+	if since != 5 {
+		t.Fatalf("sinceRefit %d after 5 ingests, want 5", since)
+	}
+	st.MarkRefitted(as, 3)
+	r := propRecord(as, 5)
+	since, _, _ = st.Ingest(&r)
+	if since != 3 {
+		t.Fatalf("sinceRefit %d after consuming 3, want 3", since)
+	}
+	st.MarkRefitted(as, 100) // over-consume clamps at zero
+	r = propRecord(as, 6)
+	since, _, _ = st.Ingest(&r)
+	if since != 1 {
+		t.Fatalf("sinceRefit %d after clamp, want 1", since)
+	}
+	st.MarkRefitted(astopo.AS(1), 1) // unknown target is a no-op
+	if _, total := st.Window(as); total != 7 {
+		t.Fatalf("total %d, want 7", total)
+	}
+}

@@ -2,6 +2,8 @@ package trace
 
 import (
 	"bytes"
+	"errors"
+	"io"
 	"testing"
 )
 
@@ -27,6 +29,83 @@ func FuzzReadJSON(f *testing.F) {
 		}
 		if back.Len() != ds.Len() {
 			t.Fatalf("round trip changed attack count")
+		}
+	})
+}
+
+// FuzzStreamDecoder hammers the loose-record decoder — the ddosd ingest
+// framing — with truncated, concatenated, and interleaved JSON. The
+// invariants: Next never panics, never loops forever, errors are sticky,
+// and io.EOF means a clean end of input, never a disguised parse error.
+func FuzzStreamDecoder(f *testing.F) {
+	const rec = `{"id":1,"family":"A","start":"2012-08-01T00:00:00Z","duration_sec":60,"target_ip":1,"target_as":2,"bots":[3,4]}`
+	seeds := [][]byte{
+		[]byte(rec),
+		[]byte(rec + "\n" + rec + "\n"),      // NDJSON
+		[]byte(rec + rec),                    // concatenated, no separator
+		[]byte("[" + rec + "," + rec + "]"),  // bare array
+		[]byte("[" + rec + "," + rec),        // truncated array
+		[]byte(rec[:len(rec)/2]),             // truncated mid-object
+		[]byte("  \n\t[ ]"),                  // whitespace + empty array
+		[]byte("[" + rec + ",{" + rec + "]"), // interleaved brace garbage
+		[]byte(rec + "[" + rec + "]"),        // object then array (mixed framing)
+		[]byte(`{"attacks":[` + rec + `]}`),  // dataset framing fed to the record decoder
+		[]byte("null"),
+		[]byte(""),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := NewStreamDecoder(bytes.NewReader(data))
+		var decoded []*Attack
+		var firstErr error
+		// One record per input byte is a hard ceiling for every framing the
+		// decoder accepts; more iterations would mean a non-terminating loop.
+		for i := 0; i <= len(data)+1; i++ {
+			a, err := d.Next()
+			if err != nil {
+				firstErr = err
+				break
+			}
+			if a == nil {
+				t.Fatal("nil record with nil error")
+			}
+			decoded = append(decoded, a)
+		}
+		if firstErr == nil {
+			t.Fatalf("decoder yielded more than %d records from %d input bytes", len(data)+1, len(data))
+		}
+		// Errors are sticky: the next call must repeat the same error.
+		if _, err := d.Next(); !errors.Is(err, firstErr) && err.Error() != firstErr.Error() {
+			t.Fatalf("error not sticky: first %v, then %v", firstErr, err)
+		}
+		// Anything decoded must survive an encode/decode round trip.
+		if errors.Is(firstErr, io.EOF) && len(decoded) > 0 {
+			var buf bytes.Buffer
+			enc := NewEncoder(&buf)
+			for _, a := range decoded {
+				if err := enc.Encode(a); err != nil {
+					t.Fatalf("re-encode of accepted record failed: %v", err)
+				}
+			}
+			if err := enc.Close(); err != nil {
+				t.Fatal(err)
+			}
+			n := 0
+			rd := NewDecoder(&buf)
+			for {
+				if _, err := rd.Next(); err != nil {
+					if !errors.Is(err, io.EOF) {
+						t.Fatalf("re-read of accepted records failed: %v", err)
+					}
+					break
+				}
+				n++
+			}
+			if n != len(decoded) {
+				t.Fatalf("round trip kept %d of %d records", n, len(decoded))
+			}
 		}
 	})
 }

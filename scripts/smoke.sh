@@ -70,6 +70,17 @@ grep -q '"ingested":1' "$workdir/resp.json" || { echo "FAIL: record not ingested
 check metrics "http://$addr/metrics"
 grep -q '^ddosd_ingest_records_total' "$workdir/resp.json" || { echo "FAIL: metrics missing ingest counter"; exit 1; }
 
+# Ten seconds of paced load through ddosload, gating on its SLO exit code.
+# The pace and the p99 ceiling are deliberately modest: the daemon is
+# refitting at full -nar-epochs in the background, and CI runners are slow.
+echo "==> driving 10s of open-loop load through ddosload"
+"$workdir/bin/ddosload" -addr "http://$addr" -mode open \
+  -rate 100 -rate-end 200 -duration 10s -workers 8 -seed 7 \
+  -slo-errors 0 -slo-p99 5s \
+  || { echo "FAIL: ddosload SLO gate"; cat "$workdir/ddosd.log"; exit 1; }
+check post-load-metrics "http://$addr/metrics"
+grep -q '^ddosd_ingest_records_total' "$workdir/resp.json" || { echo "FAIL: metrics gone after load"; exit 1; }
+
 # Graceful shutdown must write a loadable snapshot, and ddospredict must
 # forecast from it (and exit non-zero for a bogus target).
 kill -TERM "$daemon_pid"
