@@ -3,7 +3,7 @@
 // sharded state store, refits the paper's three models (ARIMA temporal,
 // NAR spatial, CART spatiotemporal) in the background after every K new
 // records per target, and serves next-attack forecasts lock-free from an
-// atomically swapped model snapshot (see DESIGN.md §7).
+// atomically swapped model snapshot (see DESIGN.md §7, §9).
 //
 // Usage:
 //
@@ -11,13 +11,21 @@
 //	ddosd -data dataset.json                # warm-start from a trace
 //	ddosd -snapshot models.snap             # warm-boot from a snapshot
 //	ddosd -snapshot-out models.snap         # write a snapshot on shutdown
+//	ddosd -log-level debug -log-format json # structured logging
+//	ddosd -admin-addr 127.0.0.1:8081        # opt-in pprof/expvar listener
 //
-// Endpoints:
+// Endpoints (serving mux):
 //
 //	POST /ingest               attack records (object, array, or NDJSON)
 //	GET  /forecast?target=AS   next-attack forecast for the target network
 //	GET  /healthz              liveness + backlog summary
 //	GET  /metrics              Prometheus text metrics
+//	GET  /accuracy             windowed online forecast accuracy per model
+//	GET  /debug/traces         recent pipeline traces (JSON span trees)
+//	GET  /buildinfo            module, version, platform
+//
+// The -admin-addr mux additionally serves /debug/pprof/* and /debug/vars;
+// keep it on localhost or behind operator-only network policy.
 package main
 
 import (
@@ -25,7 +33,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -35,15 +43,15 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/trace"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("ddosd: ")
 	var (
 		addr        = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		adminAddr   = flag.String("admin-addr", "", "opt-in admin listener for pprof/expvar (empty = disabled; keep on localhost)")
 		data        = flag.String("data", "", "warm-start: ingest this dataset JSON at boot")
 		snapshot    = flag.String("snapshot", "", "warm-boot: load a model snapshot at startup")
 		snapshotOut = flag.String("snapshot-out", "", "write a model snapshot on graceful shutdown")
@@ -54,23 +62,39 @@ func main() {
 		watermark   = flag.Int("watermark", 0, "refit backlog watermark for 429 shedding (0 = queue/2)")
 		seed        = flag.Uint64("seed", 1, "refit determinism seed")
 		epochs      = flag.Int("nar-epochs", 120, "NAR training epochs per refit")
+		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		logFormat   = flag.String("log-format", "text", "log format: text or json")
+		traceSlow   = flag.Duration("trace-slow", 0, "retain only pipeline traces at least this long (0 = all)")
+		traceCap    = flag.Int("trace-capacity", 64, "/debug/traces ring size")
+		accWindow   = flag.Int("accuracy-window", 512, "sliding window of the online accuracy tracker")
 	)
 	flag.Parse()
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ddosd:", err)
+		os.Exit(2)
+	}
 	if err := run(daemonOpts{
 		addr:        *addr,
+		adminAddr:   *adminAddr,
 		data:        *data,
 		snapshot:    *snapshot,
 		snapshotOut: *snapshotOut,
+		logger:      logger,
 	}, serve.Config{
-		Shards:       *shards,
-		Window:       *window,
-		RefitEvery:   *refitEvery,
-		QueueDepth:   *queue,
-		LagWatermark: *watermark,
-		Seed:         *seed,
-		Spatial:      core.SpatialConfig{Train: nn.TrainConfig{Epochs: *epochs}},
+		Shards:         *shards,
+		Window:         *window,
+		RefitEvery:     *refitEvery,
+		QueueDepth:     *queue,
+		LagWatermark:   *watermark,
+		Seed:           *seed,
+		Spatial:        core.SpatialConfig{Train: nn.TrainConfig{Epochs: *epochs}},
+		TraceCapacity:  *traceCap,
+		TraceSlow:      *traceSlow,
+		AccuracyWindow: *accWindow,
 	}); err != nil {
-		log.Fatal(err)
+		logger.Error("exiting", "component", "daemon", "error", err)
+		os.Exit(1)
 	}
 }
 
@@ -78,15 +102,21 @@ func main() {
 // hooks tests use to drive a real daemon lifecycle in-process.
 type daemonOpts struct {
 	addr        string
+	adminAddr   string
 	data        string
 	snapshot    string
 	snapshotOut string
+	logger      *slog.Logger
 	// ready, when set, is called once the listener is bound — tests use it
 	// to learn the picked port before sending traffic and signals.
 	ready func(net.Addr)
 }
 
 func run(opts daemonOpts, cfg serve.Config) error {
+	logger := opts.logger
+	if logger == nil {
+		logger, _ = obs.NewLogger(os.Stderr, "info", "text")
+	}
 	svc := serve.New(cfg)
 	defer svc.Close()
 
@@ -100,8 +130,8 @@ func run(opts daemonOpts, cfg serve.Config) error {
 		if err != nil {
 			return err
 		}
-		log.Printf("loaded snapshot %s: %d targets at version %d",
-			opts.snapshot, svc.Registry().Size(), svc.Registry().Version())
+		logger.Info("loaded snapshot", "component", "boot", "path", opts.snapshot,
+			"targets", svc.Registry().Size(), "version", svc.Registry().Version())
 	}
 	if opts.data != "" {
 		ds, err := trace.LoadFile(opts.data)
@@ -113,8 +143,9 @@ func run(opts daemonOpts, cfg serve.Config) error {
 		if err != nil {
 			return err
 		}
-		log.Printf("warm start: ingested %d records, %d targets served (%v)",
-			n, svc.Registry().Size(), time.Since(t0).Round(time.Millisecond))
+		logger.Info("warm start", "component", "boot", "records", n,
+			"targets_served", svc.Registry().Size(),
+			"elapsed", time.Since(t0).Round(time.Millisecond).String())
 	}
 
 	ln, err := net.Listen("tcp", opts.addr)
@@ -122,7 +153,22 @@ func run(opts daemonOpts, cfg serve.Config) error {
 		return err
 	}
 	srv := &http.Server{Handler: svc.Handler()}
-	log.Printf("listening on %s", ln.Addr())
+	logger.Info("listening", "component", "http", "addr", ln.Addr().String())
+
+	var adminSrv *http.Server
+	if opts.adminAddr != "" {
+		aln, err := net.Listen("tcp", opts.adminAddr)
+		if err != nil {
+			return fmt.Errorf("admin listener: %w", err)
+		}
+		adminSrv = &http.Server{Handler: obs.AdminMux()}
+		logger.Info("admin listening", "component", "admin", "addr", aln.Addr().String())
+		go func() {
+			if err := adminSrv.Serve(aln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("admin server failed", "component", "admin", "error", err)
+			}
+		}()
+	}
 	if opts.ready != nil {
 		opts.ready(ln.Addr())
 	}
@@ -137,12 +183,17 @@ func run(opts daemonOpts, cfg serve.Config) error {
 	case err := <-errc:
 		return err
 	case s := <-sig:
-		log.Printf("received %v, shutting down", s)
+		logger.Info("shutting down", "component", "daemon", "signal", s.String())
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		return err
+	}
+	if adminSrv != nil {
+		if err := adminSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			logger.Warn("admin shutdown", "component", "admin", "error", err)
+		}
 	}
 	if opts.snapshotOut != "" {
 		svc.Flush()
@@ -157,8 +208,8 @@ func run(opts daemonOpts, cfg serve.Config) error {
 		if err := f.Close(); err != nil {
 			return err
 		}
-		log.Printf("wrote snapshot %s (%d targets, version %d)",
-			opts.snapshotOut, svc.Registry().Size(), svc.Registry().Version())
+		logger.Info("wrote snapshot", "component", "daemon", "path", opts.snapshotOut,
+			"targets", svc.Registry().Size(), "version", svc.Registry().Version())
 	}
 	return nil
 }

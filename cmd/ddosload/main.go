@@ -15,9 +15,11 @@
 //	ddosload -records 20000 -drop 0.05 -dup 0.05 \
 //	         -reorder 0.1 -slow-refit 0.3            # chaos soak
 //	ddosload -records 50000 -slo-p99 5ms -slo-shed 0.2
+//	ddosload -records 20000 -json > report.json   # machine-readable report
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -68,6 +70,7 @@ func main() {
 		sloErr   = flag.Float64("slo-errors", 0, "SLO: error-rate ceiling in [0,1] (-1 = unchecked)")
 		sloRate  = flag.Float64("slo-throughput", 0, "SLO: attempted records/second floor (0 = unchecked)")
 		quantify = flag.Bool("v", false, "also dump the raw latency histogram")
+		jsonOut  = flag.Bool("json", false, "emit the report (plus chaos counters and SLO verdict) as JSON on stdout")
 	)
 	flag.Parse()
 
@@ -147,21 +150,25 @@ func main() {
 		log.Print(err)
 		os.Exit(2)
 	}
-	fmt.Print(rep)
-	if faults != nil {
-		fmt.Printf("chaos       dropped %d, duplicated %d, reordered %d, skewed %d\n",
-			faults.Dropped(), faults.Duplicated(), faults.Reordered(), faults.Skewed())
-	}
-	if *quantify {
-		for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 0.999} {
-			fmt.Printf("  q%-5g %v\n", q*100, rep.Quantile(q))
-		}
-	}
-
 	violations := rep.Check(loadgen.SLO{
 		P50: *sloP50, P95: *sloP95, P99: *sloP99, Max: *sloMax,
 		MaxShedRate: *sloShed, MaxErrorRate: *sloErr, MinThroughput: *sloRate,
 	})
+
+	if *jsonOut {
+		writeJSONReport(rep, faults, violations)
+	} else {
+		fmt.Print(rep)
+		if faults != nil {
+			fmt.Printf("chaos       dropped %d, duplicated %d, reordered %d, skewed %d\n",
+				faults.Dropped(), faults.Duplicated(), faults.Reordered(), faults.Skewed())
+		}
+		if *quantify {
+			for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 0.999} {
+				fmt.Printf("  q%-5g %v\n", q*100, rep.Quantile(q))
+			}
+		}
+	}
 	if len(violations) > 0 {
 		for _, v := range violations {
 			log.Printf("SLO VIOLATION: %v", v)
@@ -169,6 +176,43 @@ func main() {
 		os.Exit(1)
 	}
 	log.Print("SLO: pass")
+}
+
+// chaosJSON is the stream-fault section of the JSON report.
+type chaosJSON struct {
+	Dropped    int64 `json:"dropped"`
+	Duplicated int64 `json:"duplicated"`
+	Reordered  int64 `json:"reordered"`
+	Skewed     int64 `json:"skewed"`
+}
+
+// writeJSONReport prints the machine-readable run artifact on stdout: the
+// report body, chaos counters when injectors ran, and the SLO verdict
+// (log output stays on stderr, so stdout is valid JSON for CI to archive).
+func writeJSONReport(rep *loadgen.Report, faults *chaos.StreamFaults, violations []error) {
+	out := struct {
+		Report     *loadgen.Report `json:"report"`
+		Chaos      *chaosJSON      `json:"chaos,omitempty"`
+		SLOPass    bool            `json:"slo_pass"`
+		Violations []string        `json:"slo_violations,omitempty"`
+	}{Report: rep, SLOPass: len(violations) == 0}
+	if faults != nil {
+		out.Chaos = &chaosJSON{
+			Dropped:    faults.Dropped(),
+			Duplicated: faults.Duplicated(),
+			Reordered:  faults.Reordered(),
+			Skewed:     faults.Skewed(),
+		}
+	}
+	for _, v := range violations {
+		out.Violations = append(out.Violations, v.Error())
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&out); err != nil {
+		log.Print(err)
+		os.Exit(2)
+	}
 }
 
 func sinkName(addr string) string {

@@ -1,6 +1,7 @@
 package loadgen
 
 import (
+	"encoding/json"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -177,6 +178,43 @@ func TestReportSLOChecks(t *testing.T) {
 	for _, want := range []string{"p50", "p95", "p99", "max", "shed", "sent"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("report output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReportMarshalJSON(t *testing.T) {
+	rep, err := Run(Config{Mode: ClosedLoop, Records: 100, Workers: 2},
+		NewGenerator(GenConfig{Targets: 2, Seed: 2}).Next, nullSink{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]any
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatalf("report JSON does not round-trip: %v\n%s", err, raw)
+	}
+	// CI artifacts key on these names; renaming them breaks dashboards.
+	for _, key := range []string{
+		"mode", "elapsed_sec", "sent", "accepted", "duplicates",
+		"shed", "errors", "throughput_rps", "shed_rate", "latency_sec",
+	} {
+		if _, ok := got[key]; !ok {
+			t.Fatalf("report JSON missing %q:\n%s", key, raw)
+		}
+	}
+	if got["sent"].(float64) != 100 {
+		t.Fatalf("sent = %v, want 100", got["sent"])
+	}
+	lat, ok := got["latency_sec"].(map[string]any)
+	if !ok {
+		t.Fatalf("latency_sec is %T", got["latency_sec"])
+	}
+	for _, q := range []string{"p50", "p95", "p99", "max"} {
+		if _, ok := lat[q]; !ok {
+			t.Fatalf("latency_sec missing %q:\n%s", q, raw)
 		}
 	}
 }

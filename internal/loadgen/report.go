@@ -1,6 +1,7 @@
 package loadgen
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 	"time"
@@ -67,6 +68,43 @@ func (r *Report) String() string {
 	fmt.Fprintf(&b, "latency     p50 %-10v p95 %-10v p99 %-10v max %v\n",
 		r.Quantile(0.50), r.Quantile(0.95), r.Quantile(0.99), r.Max.Round(time.Microsecond))
 	return b.String()
+}
+
+// MarshalJSON renders the machine-readable report (ddosload -json, CI
+// artifacts): counters, derived rates, and the latency quantiles in
+// seconds under stable snake_case keys.
+func (r *Report) MarshalJSON() ([]byte, error) {
+	latency := map[string]float64{
+		"p50":  r.Quantile(0.50).Seconds(),
+		"p90":  r.Quantile(0.90).Seconds(),
+		"p95":  r.Quantile(0.95).Seconds(),
+		"p99":  r.Quantile(0.99).Seconds(),
+		"p999": r.Quantile(0.999).Seconds(),
+		"max":  r.Max.Seconds(),
+	}
+	return json.Marshal(struct {
+		Mode          string             `json:"mode"`
+		ElapsedSec    float64            `json:"elapsed_sec"`
+		Sent          int64              `json:"sent"`
+		Accepted      int64              `json:"accepted"`
+		Duplicates    int64              `json:"duplicates"`
+		Shed          int64              `json:"shed"`
+		Errors        int64              `json:"errors"`
+		ThroughputRPS float64            `json:"throughput_rps"`
+		ShedRate      float64            `json:"shed_rate"`
+		LatencySec    map[string]float64 `json:"latency_sec"`
+	}{
+		Mode:          r.Mode,
+		ElapsedSec:    r.Elapsed.Seconds(),
+		Sent:          r.Sent,
+		Accepted:      r.Accepted,
+		Duplicates:    r.Dups,
+		Shed:          r.Shed,
+		Errors:        r.Errors,
+		ThroughputRPS: r.Throughput(),
+		ShedRate:      r.ShedRate(),
+		LatencySec:    latency,
+	})
 }
 
 // SLO is the pass/fail contract a run is judged against. Zero duration

@@ -1,0 +1,268 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+)
+
+// The online accuracy tracker closes the paper's §VII feedback loop at
+// serving time: when a new verified attack arrives for a target, the
+// forecast that was published *before* it arrived is scored against it.
+// Three error measures per model, matching the offline evaluation:
+//
+//   - relative error of the predicted attack magnitude,
+//   - relative error of the predicted attack duration,
+//   - a timestamp hit — predicted (day, hour) within a circular
+//     tolerance of the realized (day, hour).
+//
+// Scores accumulate in fixed sliding windows per model kind (temporal /
+// spatial / spatiotemporal) and per baseline (Always-Same, Always-Mean),
+// so /accuracy is a live, windowed Table VII.
+
+// Prediction is one model's point forecast of the next attack. NaN fields
+// mean the model does not predict that measure (the temporal model has no
+// duration output, the spatial model no magnitude output) and are skipped.
+type Prediction struct {
+	Magnitude   float64
+	DurationSec float64
+	Hour        float64 // hour of day, [0, 24)
+	Day         float64 // day of month, [1, 31]
+}
+
+// Outcome is the realized attack the prediction is judged against.
+type Outcome struct {
+	Magnitude   float64
+	DurationSec float64
+	Hour        float64
+	Day         float64
+}
+
+// AccuracyConfig tunes the tracker. The zero value scores over
+// 512-observation windows with a ±1 hour / ±1 day timestamp tolerance.
+type AccuracyConfig struct {
+	// Window is the sliding-window length per (model, measure). Default 512.
+	Window int
+	// HourTol is the circular hour tolerance for a timestamp hit. Default 1.
+	HourTol float64
+	// DayTol is the circular day-of-month tolerance. Default 1.
+	DayTol float64
+	// OnScore, when non-nil, receives the model's refreshed Summary after
+	// every Score call (the daemon points this at its accuracy gauges).
+	// Called with the model's lock held — keep it cheap and non-blocking.
+	OnScore func(model string, s Summary)
+}
+
+// Accuracy tracks windowed forecast-error measures per model. Register
+// the model names up front with Model; Score is then allocation-free.
+type Accuracy struct {
+	cfg AccuracyConfig
+
+	mu     sync.RWMutex
+	models map[string]*modelAcc
+	order  []string
+}
+
+// modelAcc is one model's sliding-window accumulators, guarded by its own
+// mutex so scoring different models never contends.
+type modelAcc struct {
+	mu     sync.Mutex
+	scored uint64 // all-time Score calls for this model
+	mag    window
+	dur    window
+	hit    window // 1 for a timestamp hit, 0 for a miss
+}
+
+// window is a fixed ring with a running sum: O(1) push, O(1) mean.
+type window struct {
+	vals []float64
+	n    int
+	next int
+	sum  float64
+}
+
+func (w *window) push(v float64) {
+	if w.n == len(w.vals) {
+		w.sum -= w.vals[w.next]
+	} else {
+		w.n++
+	}
+	w.vals[w.next] = v
+	w.sum += v
+	w.next = (w.next + 1) % len(w.vals)
+}
+
+// mean returns the windowed average, floored at 0: every pushed value is
+// non-negative (relative errors, hit indicators), so a negative running
+// sum can only be float cancellation drift from evictions.
+func (w *window) mean() float64 {
+	if w.n == 0 || w.sum <= 0 {
+		return 0
+	}
+	return w.sum / float64(w.n)
+}
+
+// NewAccuracy builds a tracker.
+func NewAccuracy(cfg AccuracyConfig) *Accuracy {
+	if cfg.Window < 1 {
+		cfg.Window = 512
+	}
+	if cfg.HourTol <= 0 {
+		cfg.HourTol = 1
+	}
+	if cfg.DayTol <= 0 {
+		cfg.DayTol = 1
+	}
+	return &Accuracy{cfg: cfg, models: make(map[string]*modelAcc)}
+}
+
+// Model registers a model name (idempotent). Scoring an unregistered
+// model is a silent no-op, so the hot path never allocates.
+func (a *Accuracy) Model(name string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, ok := a.models[name]; ok {
+		return
+	}
+	a.models[name] = &modelAcc{
+		mag: window{vals: make([]float64, a.cfg.Window)},
+		dur: window{vals: make([]float64, a.cfg.Window)},
+		hit: window{vals: make([]float64, a.cfg.Window)},
+	}
+	a.order = append(a.order, name)
+}
+
+// RelErr is the §VII relative error |pred−actual| / max(|actual|, 1); the
+// floor keeps near-zero actuals (a one-bot attack, a sub-second duration)
+// from exploding the measure.
+func RelErr(pred, actual float64) float64 {
+	denom := math.Abs(actual)
+	if denom < 1 {
+		denom = 1
+	}
+	return math.Abs(pred-actual) / denom
+}
+
+// circDist is the circular distance between a and b modulo mod (hours
+// wrap at 24, days of month approximately at 31).
+func circDist(a, b, mod float64) float64 {
+	d := math.Abs(a - b)
+	d = math.Mod(d, mod)
+	if d > mod/2 {
+		d = mod - d
+	}
+	return d
+}
+
+// Score folds one (prediction, outcome) pair into the model's windows.
+// NaN prediction fields skip their measure; the timestamp hit needs both
+// Hour and Day. Never blocks beyond the model's own mutex and never
+// allocates (guarded by a testing.AllocsPerRun test).
+func (a *Accuracy) Score(model string, p Prediction, o Outcome) {
+	a.mu.RLock()
+	m := a.models[model]
+	a.mu.RUnlock()
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.scored++
+	if !math.IsNaN(p.Magnitude) {
+		m.mag.push(RelErr(p.Magnitude, o.Magnitude))
+	}
+	if !math.IsNaN(p.DurationSec) {
+		m.dur.push(RelErr(p.DurationSec, o.DurationSec))
+	}
+	if !math.IsNaN(p.Hour) && !math.IsNaN(p.Day) {
+		hit := 0.0
+		if circDist(p.Hour, o.Hour, 24) <= a.cfg.HourTol &&
+			circDist(p.Day, o.Day, 31) <= a.cfg.DayTol {
+			hit = 1
+		}
+		m.hit.push(hit)
+	}
+	if a.cfg.OnScore != nil {
+		a.cfg.OnScore(model, m.summaryLocked())
+	}
+	m.mu.Unlock()
+}
+
+// MeasureSummary is one windowed error measure.
+type MeasureSummary struct {
+	Samples    int     `json:"samples"`
+	MeanRelErr float64 `json:"mean_rel_err"`
+}
+
+// HitSummary is the windowed timestamp-hit measure.
+type HitSummary struct {
+	Samples int     `json:"samples"`
+	Rate    float64 `json:"rate"`
+}
+
+// Summary is one model's current windowed accuracy.
+type Summary struct {
+	Samples   uint64         `json:"samples"` // all-time scored arrivals
+	Magnitude MeasureSummary `json:"magnitude"`
+	Duration  MeasureSummary `json:"duration"`
+	Timestamp HitSummary     `json:"timestamp"`
+}
+
+func (m *modelAcc) summaryLocked() Summary {
+	return Summary{
+		Samples:   m.scored,
+		Magnitude: MeasureSummary{Samples: m.mag.n, MeanRelErr: m.mag.mean()},
+		Duration:  MeasureSummary{Samples: m.dur.n, MeanRelErr: m.dur.mean()},
+		Timestamp: HitSummary{Samples: m.hit.n, Rate: m.hit.mean()},
+	}
+}
+
+// Summary returns one model's current summary (zero value if the model is
+// unregistered).
+func (a *Accuracy) Summary(model string) Summary {
+	a.mu.RLock()
+	m := a.models[model]
+	a.mu.RUnlock()
+	if m == nil {
+		return Summary{}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.summaryLocked()
+}
+
+// AccuracySnapshot is the /accuracy response body.
+type AccuracySnapshot struct {
+	Window  int                `json:"window"`
+	HourTol float64            `json:"hour_tolerance"`
+	DayTol  float64            `json:"day_tolerance"`
+	Models  map[string]Summary `json:"models"`
+}
+
+// Snapshot captures every model's summary.
+func (a *Accuracy) Snapshot() *AccuracySnapshot {
+	a.mu.RLock()
+	names := make([]string, len(a.order))
+	copy(names, a.order)
+	a.mu.RUnlock()
+	sort.Strings(names)
+	out := &AccuracySnapshot{
+		Window:  a.cfg.Window,
+		HourTol: a.cfg.HourTol,
+		DayTol:  a.cfg.DayTol,
+		Models:  make(map[string]Summary, len(names)),
+	}
+	for _, name := range names {
+		out.Models[name] = a.Summary(name)
+	}
+	return out
+}
+
+// Handler serves Snapshot as JSON.
+func (a *Accuracy) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(a.Snapshot())
+	})
+}

@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// TestAccuracyHandComputed feeds a deterministic stream where the true
+// next attack is known and checks the windows reproduce hand-computed
+// §VII-style error rates.
+func TestAccuracyHandComputed(t *testing.T) {
+	a := NewAccuracy(AccuracyConfig{Window: 8, HourTol: 1, DayTol: 1})
+	a.Model("st")
+
+	// Arrival 1: predicted mag 120 vs actual 100 → rel err 0.2;
+	// predicted dur 450 vs 500 → 0.1; hour 13 vs 14, day 3 vs 3 → hit.
+	a.Score("st",
+		Prediction{Magnitude: 120, DurationSec: 450, Hour: 13, Day: 3},
+		Outcome{Magnitude: 100, DurationSec: 500, Hour: 14, Day: 3})
+	// Arrival 2: mag 50 vs 100 → 0.5; dur 1000 vs 500 → 1.0;
+	// hour 2 vs 23 (circular distance 3) → miss.
+	a.Score("st",
+		Prediction{Magnitude: 50, DurationSec: 1000, Hour: 2, Day: 3},
+		Outcome{Magnitude: 100, DurationSec: 500, Hour: 23, Day: 3})
+
+	s := a.Summary("st")
+	if s.Samples != 2 {
+		t.Fatalf("samples %d, want 2", s.Samples)
+	}
+	if got, want := s.Magnitude.MeanRelErr, (0.2+0.5)/2; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("magnitude mean rel err %v, want %v", got, want)
+	}
+	if got, want := s.Duration.MeanRelErr, (0.1+1.0)/2; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("duration mean rel err %v, want %v", got, want)
+	}
+	if s.Timestamp.Samples != 2 || math.Abs(s.Timestamp.Rate-0.5) > 1e-12 {
+		t.Fatalf("timestamp hit rate %v over %d, want 0.5 over 2", s.Timestamp.Rate, s.Timestamp.Samples)
+	}
+}
+
+// TestAccuracyNaNSkipsMeasure: the temporal model predicts no duration,
+// the spatial model no magnitude — NaN fields must not pollute windows.
+func TestAccuracyNaNSkipsMeasure(t *testing.T) {
+	a := NewAccuracy(AccuracyConfig{Window: 4})
+	a.Model("temporal")
+	a.Score("temporal",
+		Prediction{Magnitude: 100, DurationSec: math.NaN(), Hour: 5, Day: 10},
+		Outcome{Magnitude: 100, DurationSec: 777, Hour: 5, Day: 10})
+	s := a.Summary("temporal")
+	if s.Magnitude.Samples != 1 || s.Magnitude.MeanRelErr != 0 {
+		t.Fatalf("magnitude %+v", s.Magnitude)
+	}
+	if s.Duration.Samples != 0 {
+		t.Fatalf("duration window polluted by NaN prediction: %+v", s.Duration)
+	}
+	if s.Timestamp.Samples != 1 || s.Timestamp.Rate != 1 {
+		t.Fatalf("timestamp %+v", s.Timestamp)
+	}
+}
+
+// TestAccuracySlidingWindowEvicts: old scores roll out of the window but
+// the all-time sample counter keeps counting.
+func TestAccuracySlidingWindowEvicts(t *testing.T) {
+	a := NewAccuracy(AccuracyConfig{Window: 2})
+	a.Model("m")
+	out := Outcome{Magnitude: 100, DurationSec: 100, Hour: 0, Day: 1}
+	// Rel errs 1.0, then 0.5, then 0.25: the window of 2 keeps the last two.
+	for _, mag := range []float64{200, 150, 125} {
+		a.Score("m", Prediction{Magnitude: mag, DurationSec: 100, Hour: 0, Day: 1}, out)
+	}
+	s := a.Summary("m")
+	if s.Samples != 3 {
+		t.Fatalf("all-time samples %d, want 3", s.Samples)
+	}
+	if s.Magnitude.Samples != 2 {
+		t.Fatalf("windowed samples %d, want 2", s.Magnitude.Samples)
+	}
+	if got, want := s.Magnitude.MeanRelErr, (0.5+0.25)/2; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("windowed mean %v, want %v", got, want)
+	}
+}
+
+// TestWindowMeanNeverNegative: the ring's running sum accumulates float
+// cancellation drift as values are evicted; since every pushed value is
+// non-negative, the mean must clamp at 0 rather than report -5e-16.
+func TestWindowMeanNeverNegative(t *testing.T) {
+	w := window{vals: make([]float64, 3)}
+	// 0.1 is not exactly representable: summing and later subtracting it
+	// alongside other non-representable values leaves drift in w.sum.
+	for i := 0; i < 10000; i++ {
+		w.push(0.1)
+		w.push(1e-17)
+		w.push(0.3)
+	}
+	w.sum = -5e-16 // the observed drift magnitude, forced deterministically
+	if got := w.mean(); got != 0 {
+		t.Fatalf("mean with negative drift sum = %v, want 0", got)
+	}
+}
+
+func TestAccuracyUnregisteredModelIsNoop(t *testing.T) {
+	a := NewAccuracy(AccuracyConfig{})
+	a.Score("ghost", Prediction{Magnitude: 1}, Outcome{Magnitude: 1})
+	if s := a.Summary("ghost"); s.Samples != 0 {
+		t.Fatalf("unregistered model scored: %+v", s)
+	}
+}
+
+func TestCircDist(t *testing.T) {
+	cases := []struct{ a, b, mod, want float64 }{
+		{23, 0, 24, 1},
+		{0, 23, 24, 1},
+		{12, 0, 24, 12},
+		{31, 1, 31, 1},
+		{3, 3, 24, 0},
+	}
+	for _, c := range cases {
+		if got := circDist(c.a, c.b, c.mod); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("circDist(%v,%v,%v) = %v, want %v", c.a, c.b, c.mod, got, c.want)
+		}
+	}
+}
+
+func TestRelErrFloorsDenominator(t *testing.T) {
+	if got := RelErr(5, 0.1); math.Abs(got-4.9) > 1e-12 {
+		t.Fatalf("RelErr(5, 0.1) = %v, want 4.9 (floored denominator)", got)
+	}
+	if got := RelErr(90, 100); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("RelErr(90, 100) = %v, want 0.1", got)
+	}
+}
+
+// TestScoreDoesNotAllocate is the ingest-hot-path guard: once a model is
+// registered, Score must be allocation-free, gauge hook included.
+func TestScoreDoesNotAllocate(t *testing.T) {
+	var sink Summary
+	a := NewAccuracy(AccuracyConfig{Window: 64, OnScore: func(_ string, s Summary) { sink = s }})
+	a.Model("st")
+	p := Prediction{Magnitude: 120, DurationSec: 450, Hour: 13, Day: 3}
+	o := Outcome{Magnitude: 100, DurationSec: 500, Hour: 14, Day: 3}
+	allocs := testing.AllocsPerRun(1000, func() { a.Score("st", p, o) })
+	if allocs != 0 {
+		t.Fatalf("Score allocates %.1f objects per call, want 0", allocs)
+	}
+	_ = sink
+}
+
+func TestAccuracyConcurrentScoring(t *testing.T) {
+	a := NewAccuracy(AccuracyConfig{Window: 32})
+	for _, m := range []string{"a", "b"} {
+		a.Model(m)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			model := []string{"a", "b"}[g%2]
+			for i := 0; i < 500; i++ {
+				a.Score(model, Prediction{Magnitude: 1, DurationSec: 1, Hour: 1, Day: 1},
+					Outcome{Magnitude: 2, DurationSec: 2, Hour: 2, Day: 2})
+				a.Snapshot()
+			}
+		}(g)
+	}
+	wg.Wait()
+	snap := a.Snapshot()
+	if snap.Models["a"].Samples != 2000 || snap.Models["b"].Samples != 2000 {
+		t.Fatalf("lost scores: %+v", snap.Models)
+	}
+}
+
+func TestAccuracyHandlerJSON(t *testing.T) {
+	a := NewAccuracy(AccuracyConfig{Window: 4})
+	a.Model("always_same")
+	a.Score("always_same", Prediction{Magnitude: 150, DurationSec: 60, Hour: 1, Day: 1},
+		Outcome{Magnitude: 100, DurationSec: 60, Hour: 1, Day: 1})
+	rec := httptest.NewRecorder()
+	a.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/accuracy", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var snap AccuracySnapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if snap.Window != 4 || snap.Models["always_same"].Samples != 1 {
+		t.Fatalf("unexpected snapshot: %+v", snap)
+	}
+}
+
+func BenchmarkAccuracyScore(b *testing.B) {
+	a := NewAccuracy(AccuracyConfig{Window: 512})
+	a.Model("st")
+	p := Prediction{Magnitude: 120, DurationSec: 450, Hour: 13, Day: 3}
+	o := Outcome{Magnitude: 100, DurationSec: 500, Hour: 14, Day: 3}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.Score("st", p, o)
+	}
+}

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
+)
+
+// AdminMux is the opt-in operator surface ddosd binds on -admin-addr:
+// the full net/http/pprof suite, expvar, and /buildinfo. It is kept off
+// the public serving mux on purpose — pprof handlers can run seconds-long
+// CPU profiles and dump heap contents, so the admin listener should stay
+// on localhost or behind operator-only network policy (DESIGN.md §9).
+func AdminMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/buildinfo", BuildInfo)
+	return mux
+}
+
+// BuildInfoJSON is the /buildinfo response body.
+type BuildInfoJSON struct {
+	GoVersion string            `json:"go_version"`
+	Path      string            `json:"path"`
+	Module    string            `json:"module"`
+	Version   string            `json:"version"`
+	Settings  map[string]string `json:"settings,omitempty"`
+	NumCPU    int               `json:"num_cpu"`
+	GOOS      string            `json:"goos"`
+	GOARCH    string            `json:"goarch"`
+}
+
+// BuildInfo serves runtime/debug.ReadBuildInfo as JSON: which binary is
+// answering, built how, on what platform.
+func BuildInfo(w http.ResponseWriter, _ *http.Request) {
+	out := BuildInfoJSON{
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		out.Path = bi.Path
+		out.Module = bi.Main.Path
+		out.Version = bi.Main.Version
+		if len(bi.Settings) > 0 {
+			out.Settings = make(map[string]string, len(bi.Settings))
+			for _, s := range bi.Settings {
+				out.Settings[s.Key] = s.Value
+			}
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(&out)
+}

@@ -1,0 +1,24 @@
+// Package obs is the stdlib-only observability kit behind the online
+// forecasting daemon (DESIGN.md §9). It contributes four independent
+// pieces, each wired into internal/serve and cmd/ddosd:
+//
+//   - Pipeline tracing (span.go): lightweight spans over the ingest →
+//     append → schedule → fit → publish → forecast pipeline, a per-stage
+//     latency hook the daemon points at its Prometheus histograms, and a
+//     fixed-size ring buffer of recent slow traces served as JSON at
+//     /debug/traces.
+//   - Online forecast accuracy (accuracy.go): when a verified attack
+//     arrives, the forecast published *before* it is scored against it
+//     with the paper's §VII error measures — relative error of magnitude
+//     and duration, timestamp hit within a tolerance — per model kind and
+//     per baseline, over sliding windows. Table VII becomes a live
+//     /accuracy endpoint.
+//   - Structured logging (log.go): a small slog constructor shared by the
+//     daemon's -log-level/-log-format flags.
+//   - Profiling (admin.go): net/http/pprof + expvar on an opt-in admin
+//     mux, plus a /buildinfo endpoint from runtime/debug.ReadBuildInfo.
+//
+// Everything here is dependency-free and safe for concurrent use; the
+// scoring and span paths are designed to stay off the ingest hot path's
+// allocation budget (see the benchmark guards in accuracy_test.go).
+package obs

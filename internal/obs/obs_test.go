@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestNewLoggerLevelsAndFormats(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := NewLogger(&buf, "warn", "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("hidden")
+	lg.Warn("shown", "component", "ddosd")
+	out := buf.String()
+	if strings.Contains(out, "hidden") {
+		t.Fatalf("info leaked past warn level: %q", out)
+	}
+	if !strings.Contains(out, "msg=shown") || !strings.Contains(out, "component=ddosd") {
+		t.Fatalf("text output missing attrs: %q", out)
+	}
+
+	buf.Reset()
+	lg, err = NewLogger(&buf, "info", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("boot", "target", 42)
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("json handler emitted bad JSON: %v: %q", err, buf.String())
+	}
+	if rec["msg"] != "boot" || rec["target"] != float64(42) {
+		t.Fatalf("unexpected record: %v", rec)
+	}
+
+	if _, err := NewLogger(&buf, "loud", "text"); err == nil {
+		t.Fatal("bad level accepted")
+	}
+	if _, err := NewLogger(&buf, "info", "yaml"); err == nil {
+		t.Fatal("bad format accepted")
+	}
+}
+
+func TestAdminMuxEndpoints(t *testing.T) {
+	mux := AdminMux()
+	for _, path := range []string{"/debug/pprof/", "/debug/vars", "/buildinfo"} {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != 200 {
+			t.Errorf("%s returned %d", path, rec.Code)
+		}
+	}
+}
+
+func TestBuildInfoJSON(t *testing.T) {
+	rec := httptest.NewRecorder()
+	BuildInfo(rec, httptest.NewRequest("GET", "/buildinfo", nil))
+	var bi BuildInfoJSON
+	if err := json.Unmarshal(rec.Body.Bytes(), &bi); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if bi.GoVersion == "" || bi.NumCPU < 1 {
+		t.Fatalf("unexpected build info: %+v", bi)
+	}
+}

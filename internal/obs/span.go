@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// maxChildren caps the children recorded under one span; a runaway batch
+// cannot turn a trace into an unbounded tree. Extra children are counted
+// in SpanJSON.Dropped instead of stored.
+const maxChildren = 128
+
+// TracerConfig tunes a Tracer. The zero value keeps the last 64 completed
+// traces regardless of duration and observes no histograms.
+type TracerConfig struct {
+	// Capacity is the ring-buffer size for completed root traces.
+	// Default 64.
+	Capacity int
+	// Slow retains only root traces at least this long; 0 retains all.
+	Slow time.Duration
+	// Observe, when non-nil, is called once per span when its root
+	// completes — the daemon points this at its per-stage latency
+	// histograms. Pre-measured children attached with Span.Attach are
+	// skipped (their stages were observed by whoever measured them).
+	Observe func(stage string, seconds float64)
+}
+
+// Tracer hands out pipeline spans and keeps a fixed-size ring of recent
+// completed traces. All methods are safe for concurrent use.
+type Tracer struct {
+	cfg TracerConfig
+
+	mu   sync.Mutex
+	ring []SpanJSON // completed root traces, oldest overwritten first
+	next int
+	n    int
+}
+
+// NewTracer builds a tracer.
+func NewTracer(cfg TracerConfig) *Tracer {
+	if cfg.Capacity < 1 {
+		cfg.Capacity = 64
+	}
+	return &Tracer{cfg: cfg, ring: make([]SpanJSON, cfg.Capacity)}
+}
+
+// Span is one timed pipeline stage. A span returned by Tracer.Start is a
+// root; Child opens a sub-stage. Every span must be ended exactly once,
+// children before their root — the trace is recorded (and histograms
+// observed) when the root ends.
+type Span struct {
+	tracer *Tracer
+	root   *Span // nil on roots
+	name   string
+	start  time.Time
+	end    time.Time
+
+	mu       sync.Mutex // children/attrs: Child may be called from worker goroutines
+	children []*Span
+	attrs    []spanAttr
+	dropped  int
+	measured bool // attached pre-measured: skip the Observe hook
+}
+
+type spanAttr struct{ k, v string }
+
+// Start opens a root span.
+func (t *Tracer) Start(name string) *Span {
+	return &Span{tracer: t, name: name, start: time.Now()}
+}
+
+// Child opens a sub-span under s. Safe to call concurrently (the refit
+// batch opens one fit child per worker).
+func (s *Span) Child(name string) *Span {
+	c := &Span{name: name, start: time.Now()}
+	if s.root != nil {
+		c.root = s.root
+	} else {
+		c.root = s
+	}
+	s.addChild(c)
+	return c
+}
+
+// Attach records a pre-measured child (an aggregate the caller timed by
+// hand, e.g. total store-append time across one ingest batch). Attached
+// children appear in the trace tree but are not re-observed by the
+// tracer's histogram hook.
+func (s *Span) Attach(name string, start time.Time, d time.Duration) {
+	c := &Span{name: name, start: start, end: start.Add(d), measured: true}
+	s.addChild(c)
+}
+
+func (s *Span) addChild(c *Span) {
+	s.mu.Lock()
+	if len(s.children) >= maxChildren {
+		s.dropped++
+	} else {
+		s.children = append(s.children, c)
+	}
+	s.mu.Unlock()
+}
+
+// SetAttr annotates the span with a key/value pair.
+func (s *Span) SetAttr(key, value string) {
+	s.mu.Lock()
+	s.attrs = append(s.attrs, spanAttr{key, value})
+	s.mu.Unlock()
+}
+
+// End closes the span. Ending a root span freezes the whole tree: every
+// stage duration is pushed through the tracer's Observe hook and, if the
+// root is slow enough, the tree enters the /debug/traces ring.
+func (s *Span) End() {
+	s.end = time.Now()
+	if s.root == nil && s.tracer != nil {
+		s.tracer.finish(s)
+	}
+}
+
+func (t *Tracer) finish(root *Span) {
+	if t.cfg.Observe != nil {
+		root.observeAll(root.end, t.cfg.Observe)
+	}
+	if root.end.Sub(root.start) < t.cfg.Slow {
+		return
+	}
+	tree := root.toJSON(root.end)
+	t.mu.Lock()
+	t.ring[t.next] = tree
+	t.next = (t.next + 1) % len(t.ring)
+	if t.n < len(t.ring) {
+		t.n++
+	}
+	t.mu.Unlock()
+}
+
+// duration resolves the span's length; a child left open when the root
+// ended (a misuse, but not worth panicking over) borrows the root's end.
+func (s *Span) duration(rootEnd time.Time) time.Duration {
+	end := s.end
+	if end.IsZero() {
+		end = rootEnd
+	}
+	return end.Sub(s.start)
+}
+
+func (s *Span) observeAll(rootEnd time.Time, observe func(string, float64)) {
+	if !s.measured {
+		observe(s.name, s.duration(rootEnd).Seconds())
+	}
+	s.mu.Lock()
+	children := s.children
+	s.mu.Unlock()
+	for _, c := range children {
+		c.observeAll(rootEnd, observe)
+	}
+}
+
+// SpanJSON is the wire form of a completed span tree (/debug/traces).
+type SpanJSON struct {
+	Name        string            `json:"name"`
+	Start       time.Time         `json:"start"`
+	DurationSec float64           `json:"duration_sec"`
+	Attrs       map[string]string `json:"attrs,omitempty"`
+	Dropped     int               `json:"dropped_children,omitempty"`
+	Children    []SpanJSON        `json:"children,omitempty"`
+}
+
+func (s *Span) toJSON(rootEnd time.Time) SpanJSON {
+	s.mu.Lock()
+	children := s.children
+	attrs := s.attrs
+	dropped := s.dropped
+	s.mu.Unlock()
+	out := SpanJSON{
+		Name:        s.name,
+		Start:       s.start,
+		DurationSec: s.duration(rootEnd).Seconds(),
+		Dropped:     dropped,
+	}
+	if len(attrs) > 0 {
+		out.Attrs = make(map[string]string, len(attrs))
+		for _, a := range attrs {
+			out.Attrs[a.k] = a.v
+		}
+	}
+	for _, c := range children {
+		out.Children = append(out.Children, c.toJSON(rootEnd))
+	}
+	return out
+}
+
+// Snapshot returns the retained traces, most recent first.
+func (t *Tracer) Snapshot() []SpanJSON {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanJSON, 0, t.n)
+	for i := 0; i < t.n; i++ {
+		// next-1 is the most recently written slot.
+		idx := (t.next - 1 - i + len(t.ring) + len(t.ring)) % len(t.ring)
+		out = append(out, t.ring[idx])
+	}
+	return out
+}
+
+// TracesSnapshot is the /debug/traces response body.
+type TracesSnapshot struct {
+	Capacity int        `json:"capacity"`
+	SlowSec  float64    `json:"slow_threshold_sec"`
+	Traces   []SpanJSON `json:"traces"`
+}
+
+// Handler serves the trace ring as JSON.
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(&TracesSnapshot{
+			Capacity: t.cfg.Capacity,
+			SlowSec:  t.cfg.Slow.Seconds(),
+			Traces:   t.Snapshot(),
+		})
+	})
+}

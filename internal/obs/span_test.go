@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanTreeAndObserveHook(t *testing.T) {
+	var mu sync.Mutex
+	observed := map[string]int{}
+	tr := NewTracer(TracerConfig{
+		Capacity: 8,
+		Observe: func(stage string, seconds float64) {
+			if seconds < 0 {
+				t.Errorf("negative duration for %s", stage)
+			}
+			mu.Lock()
+			observed[stage]++
+			mu.Unlock()
+		},
+	})
+
+	root := tr.Start("refit")
+	root.SetAttr("targets", "2")
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := root.Child("fit")
+			c.SetAttr("outcome", "ok")
+			c.End()
+		}()
+	}
+	wg.Wait()
+	pub := root.Child("publish")
+	pub.End()
+	root.Attach("premeasured", time.Now(), time.Millisecond)
+	root.End()
+
+	if got := observed["refit"]; got != 1 {
+		t.Fatalf("refit observed %d times, want 1", got)
+	}
+	if got := observed["fit"]; got != 2 {
+		t.Fatalf("fit observed %d times, want 2", got)
+	}
+	if got := observed["publish"]; got != 1 {
+		t.Fatalf("publish observed %d times, want 1", got)
+	}
+	if got := observed["premeasured"]; got != 0 {
+		t.Fatalf("pre-measured child observed %d times, want 0 (already measured)", got)
+	}
+
+	traces := tr.Snapshot()
+	if len(traces) != 1 {
+		t.Fatalf("snapshot has %d traces, want 1", len(traces))
+	}
+	tree := traces[0]
+	if tree.Name != "refit" || len(tree.Children) != 4 {
+		t.Fatalf("unexpected tree: name=%q children=%d", tree.Name, len(tree.Children))
+	}
+	if tree.Attrs["targets"] != "2" {
+		t.Fatalf("root attrs = %v", tree.Attrs)
+	}
+	if tree.DurationSec <= 0 {
+		t.Fatalf("root duration %v", tree.DurationSec)
+	}
+}
+
+func TestTracerRingEvictsOldest(t *testing.T) {
+	tr := NewTracer(TracerConfig{Capacity: 3})
+	for _, name := range []string{"a", "b", "c", "d", "e"} {
+		sp := tr.Start(name)
+		sp.End()
+	}
+	traces := tr.Snapshot()
+	if len(traces) != 3 {
+		t.Fatalf("ring holds %d, want 3", len(traces))
+	}
+	// Most recent first.
+	for i, want := range []string{"e", "d", "c"} {
+		if traces[i].Name != want {
+			t.Fatalf("traces[%d] = %q, want %q", i, traces[i].Name, want)
+		}
+	}
+}
+
+func TestTracerSlowThresholdFilters(t *testing.T) {
+	tr := NewTracer(TracerConfig{Capacity: 4, Slow: 5 * time.Millisecond})
+	fast := tr.Start("fast")
+	fast.End()
+	slow := tr.Start("slow")
+	time.Sleep(10 * time.Millisecond)
+	slow.End()
+	traces := tr.Snapshot()
+	if len(traces) != 1 || traces[0].Name != "slow" {
+		t.Fatalf("slow filter kept %v", traces)
+	}
+}
+
+func TestSpanChildCap(t *testing.T) {
+	tr := NewTracer(TracerConfig{Capacity: 2})
+	root := tr.Start("ingest")
+	for i := 0; i < maxChildren+10; i++ {
+		root.Child("append").End()
+	}
+	root.End()
+	tree := tr.Snapshot()[0]
+	if len(tree.Children) != maxChildren {
+		t.Fatalf("children %d, want cap %d", len(tree.Children), maxChildren)
+	}
+	if tree.Dropped != 10 {
+		t.Fatalf("dropped %d, want 10", tree.Dropped)
+	}
+}
+
+func TestTracerHandlerJSON(t *testing.T) {
+	tr := NewTracer(TracerConfig{Capacity: 2})
+	sp := tr.Start("forecast")
+	sp.End()
+	rec := httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var body TracesSnapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if body.Capacity != 2 || len(body.Traces) != 1 || body.Traces[0].Name != "forecast" {
+		t.Fatalf("unexpected body: %+v", body)
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(TracerConfig{Capacity: 16, Observe: func(string, float64) {}})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				root := tr.Start("ingest")
+				root.Child("append").End()
+				root.End()
+				tr.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(tr.Snapshot()) != 16 {
+		t.Fatalf("ring not full: %d", len(tr.Snapshot()))
+	}
+}

@@ -10,18 +10,23 @@ import (
 	"time"
 
 	"repro/internal/astopo"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
 // HTTP layer. Endpoints:
 //
-//	POST /ingest     — attack records: one object, an array, or NDJSON
-//	GET  /forecast   — ?target=<AS>: next-attack forecast for the target
-//	GET  /healthz    — liveness + store/registry/backlog summary
-//	GET  /metrics    — Prometheus text exposition
+//	POST /ingest        — attack records: one object, an array, or NDJSON
+//	GET  /forecast      — ?target=<AS>: next-attack forecast for the target
+//	GET  /healthz       — liveness + store/registry/backlog summary
+//	GET  /metrics       — Prometheus text exposition
+//	GET  /accuracy      — windowed online forecast-accuracy per model
+//	GET  /debug/traces  — ring of recent pipeline traces (JSON span trees)
+//	GET  /buildinfo     — module, version, VCS revision
 //
 // Errors are JSON {"error": "..."}; load shedding answers 429 with a
-// Retry-After hint.
+// Retry-After hint. pprof and expvar live on the separate opt-in admin
+// mux (obs.AdminMux, ddosd -admin-addr), not here.
 
 // Handler returns the service's HTTP mux.
 func (s *Service) Handler() http.Handler {
@@ -30,6 +35,9 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("/forecast", s.handleForecast)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.Handle("/metrics", s.tel.reg.Handler())
+	mux.Handle("/accuracy", s.acc.Handler())
+	mux.Handle("/debug/traces", s.tracer.Handler())
+	mux.HandleFunc("/buildinfo", obs.BuildInfo)
 	return mux
 }
 
@@ -47,8 +55,23 @@ func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
+	// One root span per request; the per-record append/score/schedule wall
+	// times are summed and attached as pre-measured children (per-record
+	// observations already hit the stage histograms inside ingestTimed, so
+	// Attach keeps the trace tree without double-counting).
+	span := s.tracer.Start(StageIngest)
+	var agg ingestStageTimes
+	outcome := "ok"
+	defer func() {
+		span.Attach(StageAppend, start, agg.Append)
+		span.Attach(StageScore, start, agg.Score)
+		span.Attach(StageSchedule, start, agg.Schedule)
+		span.SetAttr("outcome", outcome)
+		span.End()
+	}()
 	if s.sched.Overloaded() {
 		s.tel.ingestShed.Inc()
+		outcome = "shed"
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests,
 			fmt.Sprintf("refit backlog %d over watermark %d", s.sched.Lag(), s.cfg.LagWatermark))
@@ -56,8 +79,13 @@ func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	dec := trace.NewStreamDecoder(r.Body)
 	var res IngestResult
+	defer func() {
+		span.SetAttr("ingested", strconv.Itoa(res.Ingested))
+		span.SetAttr("duplicates", strconv.Itoa(res.Duplicates))
+	}()
 	for {
 		if res.Ingested+res.Duplicates+res.Rejected >= s.cfg.MaxBatchRecords {
+			outcome = "too_large"
 			writeError(w, http.StatusRequestEntityTooLarge,
 				fmt.Sprintf("batch larger than %d records", s.cfg.MaxBatchRecords))
 			return
@@ -67,18 +95,24 @@ func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
 			break
 		}
 		if err != nil {
+			outcome = "bad_record"
 			writeError(w, http.StatusBadRequest, fmt.Sprintf("record %d: %v",
 				res.Ingested+res.Duplicates+res.Rejected+1, err))
 			return
 		}
-		ok, err := s.Ingest(a)
+		ok, st, err := s.ingestTimed(a)
+		agg.Append += st.Append
+		agg.Score += st.Score
+		agg.Schedule += st.Schedule
 		switch {
 		case errors.Is(err, ErrShedding):
+			outcome = "shed"
 			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusTooManyRequests, err.Error())
 			return
 		case err != nil:
 			res.Rejected++
+			outcome = "bad_record"
 			writeError(w, http.StatusBadRequest, fmt.Sprintf("record %d: %v",
 				res.Ingested+res.Duplicates+res.Rejected, err))
 			return
@@ -99,19 +133,29 @@ func (s *Service) handleForecast(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
+	span := s.tracer.Start(StageForecast)
+	outcome := "hit"
+	defer func() {
+		span.SetAttr("outcome", outcome)
+		span.End()
+	}()
 	q := r.URL.Query().Get("target")
 	if q == "" {
+		outcome = "bad_request"
 		writeError(w, http.StatusBadRequest, "missing target parameter (AS number)")
 		return
 	}
 	asn, err := strconv.ParseUint(q, 10, 32)
 	if err != nil {
+		outcome = "bad_request"
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad target %q: %v", q, err))
 		return
 	}
+	span.SetAttr("target", q)
 	fc, err := s.reg.Forecast(astopo.AS(asn))
 	if err != nil {
 		s.tel.forecastMisses.Inc()
+		outcome = "miss"
 		if window, _ := s.store.Window(astopo.AS(asn)); window != nil {
 			writeError(w, http.StatusNotFound, fmt.Sprintf(
 				"target AS%d warming up: %d/%d records ingested, no model published yet",

@@ -1,9 +1,11 @@
 // Package metrics is a minimal, dependency-free instrumentation kit for
-// the online forecasting daemon: monotonic counters, gauges, and
-// fixed-bucket latency histograms, all updated with atomics (safe on every
-// request path without locks) and exposed in the Prometheus text format.
-// It is deliberately tiny — no labels, no registries of registries — just
-// enough for ddosd's /metrics endpoint.
+// the online forecasting daemon: monotonic counters, gauges, float
+// gauges, and fixed-bucket latency histograms, all updated with atomics
+// (safe on every request path without locks) and exposed in the
+// Prometheus text format. Single-label vec variants (HistogramVec,
+// FGaugeVec) cover the per-stage and per-model series; beyond that it is
+// deliberately tiny — no multi-label sets, no registries of registries —
+// just enough for ddosd's /metrics endpoint.
 package metrics
 
 import (
@@ -48,13 +50,16 @@ func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
 // Histogram is a fixed-bucket cumulative histogram. Observations and the
-// running sum use atomics only, so Observe is safe on hot paths.
+// running sum use atomics only, so Observe is safe on hot paths. The
+// exposition derives _count from the cumulative bucket total, so a scrape
+// racing concurrent Observe calls always sees _count equal to its own
+// +Inf bucket — the histogram is internally consistent by construction
+// instead of by luck of atomic interleaving.
 type Histogram struct {
 	name, help string
 	bounds     []float64       // upper bounds, ascending
 	buckets    []atomic.Uint64 // len(bounds)+1; last is +Inf
-	count      atomic.Uint64
-	sumBits    atomic.Uint64 // float64 bits, CAS-accumulated
+	sumBits    atomic.Uint64   // float64 bits, CAS-accumulated
 }
 
 // DefBuckets are latency buckets in seconds, spanning sub-millisecond
@@ -64,22 +69,29 @@ var DefBuckets = []float64{
 	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
 }
 
-// Observe records one value.
+// Observe records one value. The sum is accumulated before the bucket so
+// a scrape that counts an observation has at least as much sum as the
+// pre-observation state (the sum may briefly lead the count, never a
+// counted observation with no sum contribution).
 func (h *Histogram) Observe(v float64) {
-	i := sort.SearchFloat64s(h.bounds, v)
-	h.buckets[i].Add(1)
-	h.count.Add(1)
 	for {
 		old := h.sumBits.Load()
 		neu := math.Float64bits(math.Float64frombits(old) + v)
 		if h.sumBits.CompareAndSwap(old, neu) {
-			return
+			break
 		}
 	}
+	h.buckets[sort.SearchFloat64s(h.bounds, v)].Add(1)
 }
 
-// Count returns the number of observations.
-func (h *Histogram) Count() uint64 { return h.count.Load() }
+// Count returns the number of observations (the sum over all buckets).
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.buckets {
+		n += h.buckets[i].Load()
+	}
+	return n
+}
 
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
@@ -88,7 +100,14 @@ func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()
 // bucket counts (the smallest bucket bound covering the q-th observation;
 // +Inf falls back to the largest finite bound).
 func (h *Histogram) Quantile(q float64) float64 {
-	total := h.count.Load()
+	// Snapshot the buckets once so the rank and the walk agree even under
+	// concurrent observation.
+	counts := make([]uint64, len(h.buckets))
+	var total uint64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
 	if total == 0 {
 		return 0
 	}
@@ -97,8 +116,8 @@ func (h *Histogram) Quantile(q float64) float64 {
 		rank = 1
 	}
 	var cum uint64
-	for i := range h.buckets {
-		cum += h.buckets[i].Load()
+	for i, c := range counts {
+		cum += c
 		if cum >= rank {
 			if i < len(h.bounds) {
 				return h.bounds[i]
@@ -142,25 +161,150 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 // Histogram registers and returns a histogram over the given upper bounds
 // (nil means DefBuckets).
 func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	h := newHistogram(name, help, bounds)
+	r.add(func(w io.Writer) {
+		header(w, h.name, h.help, "histogram")
+		h.write(w, h.name, "")
+	})
+	return h
+}
+
+func newHistogram(name, help string, bounds []float64) *Histogram {
 	if len(bounds) == 0 {
 		bounds = DefBuckets
 	}
 	bs := append([]float64(nil), bounds...)
 	sort.Float64s(bs)
-	h := &Histogram{name: name, help: help, bounds: bs, buckets: make([]atomic.Uint64, len(bs)+1)}
+	return &Histogram{name: name, help: help, bounds: bs, buckets: make([]atomic.Uint64, len(bs)+1)}
+}
+
+// write renders the histogram's bucket/sum/count lines. labels is either
+// empty or a comma-terminated label-pair prefix like `stage="fit",`. The
+// _count line reuses the cumulative bucket total, so it always equals the
+// +Inf bucket of the same scrape.
+func (h *Histogram) write(w io.Writer, name, labels string) {
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.buckets[i].Load()
+		fmt.Fprintf(w, "%s_bucket{%sle=\"%s\"} %d\n", name, labels, escapeLabel(trimFloat(b)), cum)
+	}
+	cum += h.buckets[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, labels, cum)
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %g\n", name, h.Sum())
+		fmt.Fprintf(w, "%s_count %d\n", name, cum)
+	} else {
+		fmt.Fprintf(w, "%s_sum{%s} %g\n", name, strings.TrimSuffix(labels, ","), h.Sum())
+		fmt.Fprintf(w, "%s_count{%s} %d\n", name, strings.TrimSuffix(labels, ","), cum)
+	}
+}
+
+// HistogramVec is a family of histograms split by one label (the stage
+// histograms ddosd_stage_seconds{stage="..."}). Children are created on
+// first use and rendered in sorted label order under a single HELP/TYPE
+// header.
+type HistogramVec struct {
+	name, help, label string
+	bounds            []float64
+	mu                sync.RWMutex
+	children          map[string]*Histogram
+}
+
+// HistogramVec registers and returns a labeled histogram family with
+// caller-supplied upper bounds (nil means DefBuckets).
+func (r *Registry) HistogramVec(name, help, label string, bounds []float64) *HistogramVec {
+	v := &HistogramVec{name: name, help: help, label: label, bounds: bounds,
+		children: make(map[string]*Histogram)}
 	r.add(func(w io.Writer) {
-		header(w, h.name, h.help, "histogram")
-		var cum uint64
-		for i, b := range h.bounds {
-			cum += h.buckets[i].Load()
-			fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", h.name, escapeLabel(trimFloat(b)), cum)
+		header(w, v.name, v.help, "histogram")
+		v.mu.RLock()
+		values := make([]string, 0, len(v.children))
+		for value := range v.children {
+			values = append(values, value)
 		}
-		cum += h.buckets[len(h.bounds)].Load()
-		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.name, cum)
-		fmt.Fprintf(w, "%s_sum %g\n", h.name, h.Sum())
-		fmt.Fprintf(w, "%s_count %d\n", h.name, h.Count())
+		sort.Strings(values)
+		for _, value := range values {
+			labels := fmt.Sprintf("%s=%q,", v.label, escapeLabel(value))
+			v.children[value].write(w, v.name, labels)
+		}
+		v.mu.RUnlock()
 	})
+	return v
+}
+
+// With returns the child histogram for one label value, creating it on
+// first use. Callers on hot paths should cache the returned child.
+func (v *HistogramVec) With(value string) *Histogram {
+	v.mu.RLock()
+	h := v.children[value]
+	v.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h = v.children[value]; h == nil {
+		h = newHistogram(v.name, v.help, v.bounds)
+		v.children[value] = h
+	}
 	return h
+}
+
+// FGauge is an instantaneous float64 value (accuracy rates and mean
+// relative errors are fractions, not integers).
+type FGauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *FGauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *FGauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// FGaugeVec is a family of float gauges split by one label
+// (ddosd_accuracy_*{model="..."}).
+type FGaugeVec struct {
+	name, help, label string
+	mu                sync.RWMutex
+	children          map[string]*FGauge
+}
+
+// FGaugeVec registers and returns a labeled float-gauge family.
+func (r *Registry) FGaugeVec(name, help, label string) *FGaugeVec {
+	v := &FGaugeVec{name: name, help: help, label: label, children: make(map[string]*FGauge)}
+	r.add(func(w io.Writer) {
+		header(w, v.name, v.help, "gauge")
+		v.mu.RLock()
+		values := make([]string, 0, len(v.children))
+		for value := range v.children {
+			values = append(values, value)
+		}
+		sort.Strings(values)
+		for _, value := range values {
+			fmt.Fprintf(w, "%s{%s=%q} %g\n", v.name, v.label, escapeLabel(value), v.children[value].Value())
+		}
+		v.mu.RUnlock()
+	})
+	return v
+}
+
+// With returns the child gauge for one label value, creating it on first
+// use.
+func (v *FGaugeVec) With(value string) *FGauge {
+	v.mu.RLock()
+	g := v.children[value]
+	v.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if g = v.children[value]; g == nil {
+		g = &FGauge{}
+		v.children[value] = g
+	}
+	return g
 }
 
 func (r *Registry) add(render func(w io.Writer)) {

@@ -1,0 +1,176 @@
+package metrics
+
+import (
+	"bufio"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramVecExposition(t *testing.T) {
+	r := NewRegistry()
+	v := r.HistogramVec("stage_seconds", "Per-stage latency.", "stage", []float64{0.01, 0.1})
+	v.With("fit").Observe(0.05)
+	v.With("fit").Observe(0.5)
+	v.With("ingest").Observe(0.001)
+
+	var b strings.Builder
+	r.WriteText(&b)
+	text := b.String()
+	for _, want := range []string{
+		"# TYPE stage_seconds histogram",
+		`stage_seconds_bucket{stage="fit",le="0.01"} 0`,
+		`stage_seconds_bucket{stage="fit",le="0.1"} 1`,
+		`stage_seconds_bucket{stage="fit",le="+Inf"} 2`,
+		`stage_seconds_sum{stage="fit"} 0.55`,
+		`stage_seconds_count{stage="fit"} 2`,
+		`stage_seconds_bucket{stage="ingest",le="0.01"} 1`,
+		`stage_seconds_count{stage="ingest"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	// One HELP/TYPE header for the whole family.
+	if strings.Count(text, "# TYPE stage_seconds histogram") != 1 {
+		t.Errorf("duplicated TYPE header:\n%s", text)
+	}
+	// Children render in sorted label order.
+	if strings.Index(text, `stage="fit"`) > strings.Index(text, `stage="ingest"`) {
+		t.Errorf("children not sorted:\n%s", text)
+	}
+}
+
+func TestHistogramVecWithReturnsSameChild(t *testing.T) {
+	v := NewRegistry().HistogramVec("x_seconds", "", "stage", nil)
+	if v.With("a") != v.With("a") {
+		t.Fatal("With returned distinct children for the same label")
+	}
+	if v.With("a") == v.With("b") {
+		t.Fatal("distinct labels share a child")
+	}
+}
+
+func TestFGaugeVecExposition(t *testing.T) {
+	r := NewRegistry()
+	v := r.FGaugeVec("accuracy_rate", "Hit rate.", "model")
+	v.With("st").Set(0.75)
+	v.With("always_same").Set(0.25)
+
+	var b strings.Builder
+	r.WriteText(&b)
+	text := b.String()
+	for _, want := range []string{
+		"# TYPE accuracy_rate gauge",
+		`accuracy_rate{model="always_same"} 0.25`,
+		`accuracy_rate{model="st"} 0.75`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	if g := v.With("st"); g.Value() != 0.75 {
+		t.Fatalf("Value = %v", g.Value())
+	}
+}
+
+// TestHistogramExpositionConsistentUnderRace scrapes a histogram while
+// eight goroutines observe into it and asserts every scrape is internally
+// consistent: _count equals the +Inf bucket of the same scrape, and
+// bucket lines are cumulative (non-decreasing). Run with -race in CI.
+func TestHistogramExpositionConsistentUnderRace(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("race_seconds", "Raced histogram.", []float64{0.001, 0.01, 0.1})
+
+	const workers, perWorker = 8, 5000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			vals := []float64{0.0005, 0.005, 0.05, 0.5}
+			for i := 0; i < perWorker; i++ {
+				h.Observe(vals[(i+w)%len(vals)])
+			}
+		}(w)
+	}
+	go func() { wg.Wait(); close(stop) }()
+
+	scrapes := 0
+	for {
+		select {
+		case <-stop:
+		default:
+		}
+		var b strings.Builder
+		r.WriteText(&b)
+		assertConsistentScrape(t, b.String())
+		scrapes++
+		select {
+		case <-stop:
+		default:
+			continue
+		}
+		break
+	}
+	if scrapes < 2 {
+		t.Fatalf("only %d scrapes raced the observers", scrapes)
+	}
+
+	// Quiesced: totals are exact.
+	if got := h.Count(); got != workers*perWorker {
+		t.Fatalf("final count %d, want %d", got, workers*perWorker)
+	}
+	wantSum := float64(workers*perWorker) / 4 * (0.0005 + 0.005 + 0.05 + 0.5)
+	if got := h.Sum(); got < wantSum*0.999 || got > wantSum*1.001 {
+		t.Fatalf("final sum %v, want ~%v", got, wantSum)
+	}
+	var b strings.Builder
+	r.WriteText(&b)
+	if !strings.Contains(b.String(), "race_seconds_count "+strconv.Itoa(workers*perWorker)) {
+		t.Fatalf("final exposition count wrong:\n%s", b.String())
+	}
+}
+
+// assertConsistentScrape parses one text exposition and checks the
+// histogram invariants that concurrent observation must not break.
+func assertConsistentScrape(t *testing.T, text string) {
+	t.Helper()
+	var lastCum, inf, count uint64
+	var haveInf, haveCount bool
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "race_seconds_bucket"):
+			v := parseUintField(t, line)
+			if v < lastCum {
+				t.Fatalf("bucket went backwards within one scrape: %q after %d", line, lastCum)
+			}
+			lastCum = v
+			if strings.Contains(line, `le="+Inf"`) {
+				inf, haveInf = v, true
+			}
+		case strings.HasPrefix(line, "race_seconds_count"):
+			count, haveCount = parseUintField(t, line), true
+		}
+	}
+	if !haveInf || !haveCount {
+		t.Fatalf("scrape missing histogram lines:\n%s", text)
+	}
+	if count != inf {
+		t.Fatalf("_count %d != +Inf bucket %d within one scrape:\n%s", count, inf, text)
+	}
+}
+
+func parseUintField(t *testing.T, line string) uint64 {
+	t.Helper()
+	fields := strings.Fields(line)
+	v, err := strconv.ParseUint(fields[len(fields)-1], 10, 64)
+	if err != nil {
+		t.Fatalf("bad exposition line %q: %v", line, err)
+	}
+	return v
+}

@@ -14,12 +14,14 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
 
 func TestMetricsGoldenExposition(t *testing.T) {
-	tel := newTelemetry()
+	tel := newTelemetry(nil)
 
 	// Exercise every instrument with fixed values so the rendered counts,
 	// sums, and cumulative buckets are deterministic.
@@ -43,6 +45,22 @@ func TestMetricsGoldenExposition(t *testing.T) {
 	tel.refitLag.Set(3)
 	tel.targetsKnown.Set(16)
 	tel.targetsServed.Set(14)
+	for _, v := range []float64{0.0002, 0.004} {
+		tel.observeStage(StageIngest, v)
+	}
+	tel.observeStage(StageFit, 0.25)
+	tel.onScore(ModelST, obs.Summary{
+		Samples:   40,
+		Magnitude: obs.MeasureSummary{Samples: 40, MeanRelErr: 0.25},
+		Duration:  obs.MeasureSummary{Samples: 40, MeanRelErr: 0.5},
+		Timestamp: obs.HitSummary{Samples: 40, Rate: 0.625},
+	})
+	tel.onScore(ModelAlwaysSame, obs.Summary{
+		Samples:   40,
+		Magnitude: obs.MeasureSummary{Samples: 40, MeanRelErr: 1.5},
+		Duration:  obs.MeasureSummary{Samples: 40, MeanRelErr: 2},
+		Timestamp: obs.HitSummary{Samples: 40, Rate: 0.125},
+	})
 
 	var got bytes.Buffer
 	tel.reg.WriteText(&got)

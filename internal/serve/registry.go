@@ -50,6 +50,76 @@ type TargetModels struct {
 	Total      uint64    `json:"total"`      // all-time ingested at fit time
 	Generation uint64    `json:"generation"` // monotone fit counter
 	FittedAt   time.Time `json:"fitted_at"`
+
+	// predsReady/predsVal cache the point predictions the online accuracy
+	// tracker scores. Models in a published snapshot are immutable, so
+	// their forecasts are constants per generation — computing them once
+	// keeps the per-arrival scoring on the ingest path allocation-free
+	// (the NAR forward pass allocates its lag input, and a sync.Once
+	// closure would allocate per call). Not serialized: a snapshot loaded
+	// from disk recomputes lazily.
+	predsReady atomic.Bool
+	predsMu    sync.Mutex
+	predsVal   scorePreds
+}
+
+// scorePreds is one generation's frozen point forecast per model kind:
+// the temporal and spatial components and the served (spatiotemporal
+// when the tree engaged, component composition otherwise) prediction.
+// NaN marks measures a component does not predict.
+type scorePreds struct {
+	TmpMag, TmpHour, TmpDay float64
+	SpaDur, SpaHour, SpaDay float64
+	STMag, STDur            float64
+	STHour, STDay           float64
+}
+
+// preds computes (once per generation) and returns the cached score
+// predictions. The fast path is one atomic load and a struct copy — no
+// closure, no lock. The composition mirrors Registry.Forecast exactly —
+// pinned by TestScorePredsMatchForecast.
+func (tm *TargetModels) preds() scorePreds {
+	if tm.predsReady.Load() {
+		return tm.predsVal
+	}
+	tm.predsMu.Lock()
+	defer tm.predsMu.Unlock()
+	if !tm.predsReady.Load() {
+		tm.predsVal = tm.computePreds()
+		tm.predsReady.Store(true)
+	}
+	return tm.predsVal
+}
+
+func (tm *TargetModels) computePreds() scorePreds {
+	t, s := tm.Temporal, tm.Spatial
+	p := scorePreds{
+		TmpMag: t.PredictMagnitude(), TmpHour: t.PredictHour(), TmpDay: t.PredictDay(),
+		SpaDur: s.PredictDuration(), SpaHour: s.PredictHour(), SpaDay: s.PredictDay(),
+	}
+	p.STMag, p.STHour, p.STDay, p.STDur = max(0, p.TmpMag), p.TmpHour, p.TmpDay, max(0, p.SpaDur)
+	if tm.ST != nil {
+		f := core.STFeatures{
+			TmpHour:     p.TmpHour,
+			TmpDay:      p.TmpDay,
+			TmpInterval: t.PredictInterval(),
+			TmpMag:      p.TmpMag,
+			SpaHour:     p.SpaHour,
+			SpaDay:      p.SpaDay,
+			SpaDur:      p.SpaDur,
+			PrevHour:    tm.Ctx.PrevHour,
+			PrevDay:     tm.Ctx.PrevDay,
+			PrevGapSec:  tm.Ctx.PrevGapSec,
+			NextDueDay:  tm.Ctx.NextDueDay,
+			AvgMag:      tm.Ctx.AvgMag,
+			TargetAS:    float64(tm.AS),
+		}
+		p.STHour = tm.ST.PredictHour(&f)
+		p.STDay = tm.ST.PredictDay(&f)
+		p.STDur = max(0, tm.ST.PredictDuration(&f))
+		p.STMag = max(0, tm.ST.PredictMagnitude(&f))
+	}
+	return p
 }
 
 // STContext is the target-local feature context frozen at fit time (the

@@ -1,11 +1,13 @@
 package serve
 
 import (
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/astopo"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -18,11 +20,12 @@ import (
 // HTTP layer sheds ingest load with 429 instead of letting the refit
 // backlog grow without bound.
 type scheduler struct {
-	store *Store
-	reg   *Registry
-	cfg   Config
-	tel   *telemetry
-	fit   FitFunc
+	store  *Store
+	reg    *Registry
+	cfg    Config
+	tel    *telemetry
+	tracer *obs.Tracer
+	fit    FitFunc
 
 	queue   chan astopo.AS
 	mu      sync.Mutex
@@ -34,7 +37,7 @@ type scheduler struct {
 	stopOnce sync.Once
 }
 
-func newScheduler(store *Store, reg *Registry, cfg Config, tel *telemetry) *scheduler {
+func newScheduler(store *Store, reg *Registry, cfg Config, tel *telemetry, tracer *obs.Tracer) *scheduler {
 	fit := FitFunc(fitTarget)
 	if cfg.WrapFit != nil {
 		fit = cfg.WrapFit(fit)
@@ -44,6 +47,7 @@ func newScheduler(store *Store, reg *Registry, cfg Config, tel *telemetry) *sche
 		reg:     reg,
 		cfg:     cfg,
 		tel:     tel,
+		tracer:  tracer,
 		fit:     fit,
 		queue:   make(chan astopo.AS, cfg.QueueDepth),
 		pending: make(map[astopo.AS]bool, cfg.QueueDepth),
@@ -140,7 +144,9 @@ func (s *scheduler) collectBatch(first astopo.AS) []astopo.AS {
 }
 
 // refitBatch fits every target of the batch on the worker pool and
-// publishes the survivors with a single atomic snapshot swap.
+// publishes the survivors with a single atomic snapshot swap. The whole
+// batch is one "refit" trace: a "fit" child per target (workers open
+// children concurrently) and a "publish" child for the snapshot swap.
 func (s *scheduler) refitBatch(batch []astopo.AS) {
 	// A target is in-flight from here: clear its pending mark so records
 	// arriving during the refit can re-queue it.
@@ -150,28 +156,44 @@ func (s *scheduler) refitBatch(batch []astopo.AS) {
 	}
 	s.mu.Unlock()
 
+	root := s.tracer.Start(StageRefit)
+	root.SetAttr("targets", strconv.Itoa(len(batch)))
+
 	fitted := make([]*TargetModels, len(batch))
 	consumed := make([]int, len(batch))
 	_ = parallel.ForEach(len(batch), s.cfg.RefitWorkers, func(i int) error {
+		span := root.Child(StageFit)
+		span.SetAttr("as", strconv.FormatUint(uint64(batch[i]), 10))
 		start := time.Now()
 		window, total := s.store.Window(batch[i])
 		tm, err := s.fit(batch[i], window, total, s.reg.NextGeneration(), s.cfg)
 		if err != nil {
 			s.tel.refitErrors.Inc()
+			span.SetAttr("outcome", "skipped: "+err.Error())
+			span.End()
 			return nil // not-ready targets are routine, not batch failures
 		}
 		fitted[i] = tm
 		consumed[i] = len(window)
 		s.tel.refitSeconds.Observe(time.Since(start).Seconds())
+		span.SetAttr("outcome", "published")
+		span.SetAttr("generation", strconv.FormatUint(tm.Generation, 10))
+		span.End()
 		return nil
 	})
+	pub := root.Child(StagePublish)
 	s.reg.Publish(fitted)
+	pub.End()
+	published := 0
 	for i, as := range batch {
 		if fitted[i] != nil {
 			s.store.MarkRefitted(as, consumed[i])
 			s.tel.refitsDone.Inc()
+			published++
 		}
 	}
+	root.SetAttr("published", strconv.Itoa(published))
+	root.End()
 	s.lag.Add(-int64(len(batch)))
 	s.tel.refitLag.Set(s.lag.Load())
 }

@@ -256,7 +256,7 @@ func TestSchedulerBackpressure(t *testing.T) {
 	cfg := testConfig().withDefaults()
 	cfg.QueueDepth = 2
 	cfg.LagWatermark = 1
-	tel := newTelemetry()
+	tel := newTelemetry(nil)
 	// Construct without newScheduler so no drain loop runs.
 	s := &scheduler{
 		store:   NewStore(cfg.Shards, cfg.Window),

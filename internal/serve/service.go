@@ -12,10 +12,12 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/astopo"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/serve/metrics"
 	"repro/internal/trace"
@@ -56,6 +58,18 @@ type Config struct {
 	// also usable for instrumentation. nil means fit directly.
 	WrapFit func(FitFunc) FitFunc
 
+	// TraceCapacity is the /debug/traces ring size. Default 64.
+	TraceCapacity int
+	// TraceSlow retains only pipeline traces at least this long in the
+	// ring (stage histograms always observe). Default 0: retain all.
+	TraceSlow time.Duration
+	// AccuracyWindow is the sliding-window length of the online
+	// forecast-accuracy tracker. Default 512.
+	AccuracyWindow int
+	// StageBuckets overrides the ddosd_stage_seconds histogram bounds
+	// (nil = metrics.DefBuckets).
+	StageBuckets []float64
+
 	// Model configuration shared with the batch layer.
 	Temporal core.TemporalConfig
 	Spatial  core.SpatialConfig
@@ -93,6 +107,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatchRecords < 1 {
 		c.MaxBatchRecords = 10000
 	}
+	if c.TraceCapacity < 1 {
+		c.TraceCapacity = 64
+	}
+	if c.AccuracyWindow < 1 {
+		c.AccuracyWindow = 512
+	}
 	return c
 }
 
@@ -100,6 +120,32 @@ func (c Config) withDefaults() Config {
 // and all-time total come from the state store, gen from the registry's
 // generation counter. Exposed so Config.WrapFit can interpose on it.
 type FitFunc func(as astopo.AS, window []trace.Attack, total uint64, gen uint64, cfg Config) (*TargetModels, error)
+
+// Pipeline stage names: span names in /debug/traces and the label values
+// of the ddosd_stage_seconds histograms.
+const (
+	StageIngest   = "ingest"   // one /ingest request, decode to response
+	StageAppend   = "append"   // shard-window append in the state store
+	StageSchedule = "schedule" // refit-mark enqueue
+	StageScore    = "score"    // online accuracy scoring of the arrival
+	StageRefit    = "refit"    // one scheduler batch, fits through publish
+	StageFit      = "fit"      // one target's model refit
+	StagePublish  = "publish"  // registry snapshot swap
+	StageForecast = "forecast" // one /forecast request
+)
+
+// Accuracy model-kind labels (ddosd_accuracy_*{model="..."}).
+const (
+	ModelTemporal   = "temporal"
+	ModelSpatial    = "spatial"
+	ModelST         = "st" // the served forecast: the CART tree when engaged, component composition otherwise
+	ModelAlwaysSame = "always_same"
+	ModelAlwaysMean = "always_mean"
+)
+
+func accuracyModels() []string {
+	return []string{ModelTemporal, ModelSpatial, ModelST, ModelAlwaysSame, ModelAlwaysMean}
+}
 
 // telemetry bundles the instruments every layer updates.
 type telemetry struct {
@@ -119,11 +165,22 @@ type telemetry struct {
 	refitLag       *metrics.Gauge
 	targetsKnown   *metrics.Gauge
 	targetsServed  *metrics.Gauge
+
+	// stageSecs splits pipeline latency by stage; stages caches the
+	// children so the ingest hot path skips the vec lookup.
+	stageSecs *metrics.HistogramVec
+	stages    map[string]*metrics.Histogram
+
+	// Online accuracy gauges, one child per model kind.
+	accMagErr  *metrics.FGaugeVec
+	accDurErr  *metrics.FGaugeVec
+	accHitRate *metrics.FGaugeVec
+	accSamples *metrics.FGaugeVec
 }
 
-func newTelemetry() *telemetry {
+func newTelemetry(stageBuckets []float64) *telemetry {
 	r := metrics.NewRegistry()
-	return &telemetry{
+	t := &telemetry{
 		reg:            r,
 		ingestRecords:  r.Counter("ddosd_ingest_records_total", "Records accepted into the state store."),
 		ingestDups:     r.Counter("ddosd_ingest_duplicates_total", "Records dropped as duplicates of a windowed attack ID."),
@@ -139,33 +196,91 @@ func newTelemetry() *telemetry {
 		refitLag:       r.Gauge("ddosd_refit_lag", "Refit backlog: queued plus in-flight targets."),
 		targetsKnown:   r.Gauge("ddosd_targets_known", "Targets present in the state store."),
 		targetsServed:  r.Gauge("ddosd_targets_served", "Targets with published models."),
+		stageSecs: r.HistogramVec("ddosd_stage_seconds",
+			"Pipeline latency by stage (ingest, append, schedule, score, refit, fit, publish, forecast).",
+			"stage", stageBuckets),
+		accMagErr: r.FGaugeVec("ddosd_accuracy_magnitude_relative_error",
+			"Windowed mean relative error of the predicted attack magnitude, per model.", "model"),
+		accDurErr: r.FGaugeVec("ddosd_accuracy_duration_relative_error",
+			"Windowed mean relative error of the predicted attack duration, per model.", "model"),
+		accHitRate: r.FGaugeVec("ddosd_accuracy_timestamp_hit_rate",
+			"Windowed rate of predicted (day, hour) landing within tolerance, per model.", "model"),
+		accSamples: r.FGaugeVec("ddosd_accuracy_samples",
+			"All-time scored arrivals, per model.", "model"),
 	}
+	// Pre-create every stage child: the series exist from boot (dashboards
+	// need not wait for traffic) and the hot path reads a plain map.
+	t.stages = make(map[string]*metrics.Histogram)
+	for _, stage := range []string{
+		StageIngest, StageAppend, StageSchedule, StageScore,
+		StageRefit, StageFit, StagePublish, StageForecast,
+	} {
+		t.stages[stage] = t.stageSecs.With(stage)
+	}
+	for _, model := range accuracyModels() {
+		t.accMagErr.With(model)
+		t.accDurErr.With(model)
+		t.accHitRate.With(model)
+		t.accSamples.With(model)
+	}
+	return t
+}
+
+// observeStage is the tracer's per-span hook: span names are stage names.
+func (t *telemetry) observeStage(stage string, seconds float64) {
+	if h := t.stages[stage]; h != nil {
+		h.Observe(seconds)
+	}
+}
+
+// onScore mirrors a model's refreshed accuracy summary into the gauges.
+func (t *telemetry) onScore(model string, s obs.Summary) {
+	t.accMagErr.With(model).Set(s.Magnitude.MeanRelErr)
+	t.accDurErr.With(model).Set(s.Duration.MeanRelErr)
+	t.accHitRate.With(model).Set(s.Timestamp.Rate)
+	t.accSamples.With(model).Set(float64(s.Samples))
 }
 
 // Service wires the store, registry, and scheduler together.
 type Service struct {
-	cfg   Config
-	store *Store
-	reg   *Registry
-	sched *scheduler
-	tel   *telemetry
-	start time.Time
+	cfg    Config
+	store  *Store
+	reg    *Registry
+	sched  *scheduler
+	tel    *telemetry
+	tracer *obs.Tracer
+	acc    *obs.Accuracy
+	start  time.Time
 }
 
 // New builds and starts a service (the refit scheduler goroutine runs
 // until Close).
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
-	tel := newTelemetry()
+	tel := newTelemetry(cfg.StageBuckets)
+	tracer := obs.NewTracer(obs.TracerConfig{
+		Capacity: cfg.TraceCapacity,
+		Slow:     cfg.TraceSlow,
+		Observe:  tel.observeStage,
+	})
+	acc := obs.NewAccuracy(obs.AccuracyConfig{
+		Window:  cfg.AccuracyWindow,
+		OnScore: tel.onScore,
+	})
+	for _, model := range accuracyModels() {
+		acc.Model(model)
+	}
 	store := NewStore(cfg.Shards, cfg.Window)
 	reg := NewRegistry()
 	return &Service{
-		cfg:   cfg,
-		store: store,
-		reg:   reg,
-		sched: newScheduler(store, reg, cfg, tel),
-		tel:   tel,
-		start: time.Now(),
+		cfg:    cfg,
+		store:  store,
+		reg:    reg,
+		sched:  newScheduler(store, reg, cfg, tel, tracer),
+		tel:    tel,
+		tracer: tracer,
+		acc:    acc,
+		start:  time.Now(),
 	}
 }
 
@@ -178,6 +293,12 @@ func (s *Service) Registry() *Registry { return s.reg }
 
 // Store exposes the state store (introspection).
 func (s *Service) Store() *Store { return s.store }
+
+// Tracer exposes the pipeline tracer (/debug/traces).
+func (s *Service) Tracer() *obs.Tracer { return s.tracer }
+
+// Accuracy exposes the online forecast-accuracy tracker (/accuracy).
+func (s *Service) Accuracy() *obs.Accuracy { return s.acc }
 
 // Flush waits for the refit backlog to drain (tests, shutdown snapshots).
 func (s *Service) Flush() { s.sched.Flush() }
@@ -203,31 +324,107 @@ func ValidateRecord(a *trace.Attack) error {
 	return nil
 }
 
-// Ingest admits one record: dedup + window update in the store, then a
+// Ingest admits one record: dedup + window update in the store, online
+// accuracy scoring of the published forecast against the arrival, then a
 // refit mark once the target has accumulated RefitEvery new records (or
 // has enough history for its first fit). Returns whether the record was
 // new. Under backlog it returns ErrShedding without touching the store.
 func (s *Service) Ingest(a *trace.Attack) (bool, error) {
+	accepted, _, err := s.ingestTimed(a)
+	return accepted, err
+}
+
+// ingestStageTimes is one record's wall time per pipeline stage; the HTTP
+// layer aggregates these into the request's trace tree.
+type ingestStageTimes struct {
+	Append, Score, Schedule time.Duration
+}
+
+// ingestTimed is Ingest plus per-stage timings. The published model set is
+// looked up *before* the store append: the accuracy tracker must judge the
+// forecast that existed while this arrival was still the future
+// (score-then-append ordering), never one refit on data that includes it.
+func (s *Service) ingestTimed(a *trace.Attack) (bool, ingestStageTimes, error) {
+	var st ingestStageTimes
 	if s.sched.Overloaded() {
 		s.tel.ingestShed.Inc()
-		return false, ErrShedding
+		return false, st, ErrShedding
 	}
 	if err := ValidateRecord(a); err != nil {
-		return false, err
+		return false, st, err
 	}
-	since, windowLen, accepted := s.store.Ingest(a)
+	tm, published := s.reg.Lookup(a.TargetAS)
+
+	t0 := time.Now()
+	since, windowLen, prev, accepted := s.store.IngestScored(a)
+	st.Append = time.Since(t0)
+	s.tel.observeStage(StageAppend, st.Append.Seconds())
 	if !accepted {
 		s.tel.ingestDups.Inc()
-		return false, nil
+		return false, st, nil
 	}
 	s.tel.ingestRecords.Inc()
+
+	// Score only in-order, non-first arrivals: the first record has no
+	// history to forecast from, and a backfilled out-of-order record was
+	// never "the next attack" any forecast claimed to predict.
+	t1 := time.Now()
+	if prev.N > 0 && !a.Start.Before(prev.LastStart) {
+		s.scoreArrival(tm, published, prev, a)
+	}
+	st.Score = time.Since(t1)
+	s.tel.observeStage(StageScore, st.Score.Seconds())
+
+	t2 := time.Now()
 	if windowLen >= s.cfg.MinWindow {
-		_, published := s.reg.Lookup(a.TargetAS)
 		if since >= s.cfg.RefitEvery || !published {
 			s.sched.TryEnqueue(a.TargetAS)
 		}
 	}
-	return true, nil
+	st.Schedule = time.Since(t2)
+	s.tel.observeStage(StageSchedule, st.Schedule.Seconds())
+	return true, st, nil
+}
+
+// scoreArrival folds one in-order arrival into the accuracy tracker: the
+// two history baselines always, the model kinds when a forecast was
+// published before the arrival. prev summarizes the target's window as it
+// stood before the append — exactly the baselines' knowledge. Uses only
+// cached predictions and stack values, so the ingest hot path stays
+// allocation-free (pinned by BenchmarkIngestScoring).
+func (s *Service) scoreArrival(tm *TargetModels, published bool, prev PrevStats, a *trace.Attack) {
+	out := obs.Outcome{
+		Magnitude:   float64(a.Magnitude()),
+		DurationSec: a.DurationSec,
+		Hour:        float64(a.Hour()),
+		Day:         float64(a.Day()),
+	}
+	s.acc.Score(ModelAlwaysSame, obs.Prediction{
+		Magnitude:   prev.LastMag,
+		DurationSec: prev.LastDur,
+		Hour:        float64(prev.LastStart.Hour()),
+		Day:         float64(prev.LastStart.Day()),
+	}, out)
+	s.acc.Score(ModelAlwaysMean, obs.Prediction{
+		Magnitude:   prev.MeanMag,
+		DurationSec: prev.MeanDur,
+		Hour:        prev.MeanHour,
+		Day:         prev.MeanDay,
+	}, out)
+	if !published || tm == nil {
+		return
+	}
+	p := tm.preds()
+	nan := math.NaN()
+	s.acc.Score(ModelTemporal, obs.Prediction{
+		Magnitude: p.TmpMag, DurationSec: nan, Hour: p.TmpHour, Day: p.TmpDay,
+	}, out)
+	s.acc.Score(ModelSpatial, obs.Prediction{
+		Magnitude: nan, DurationSec: p.SpaDur, Hour: p.SpaHour, Day: p.SpaDay,
+	}, out)
+	s.acc.Score(ModelST, obs.Prediction{
+		Magnitude: p.STMag, DurationSec: p.STDur, Hour: p.STHour, Day: p.STDay,
+	}, out)
 }
 
 // Forecast serves the target's published forecast.

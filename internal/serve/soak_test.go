@@ -270,6 +270,43 @@ func TestSoakLoadChaos(t *testing.T) {
 		t.Fatalf("restored %d targets, want %d", restored.Size(), svc.Registry().Size())
 	}
 
+	// Phase 3b: observability survived the storm — the tracer retained
+	// complete refit span trees, the accuracy tracker scored arrivals for
+	// the baselines (model kinds depend on publish timing; the baselines
+	// score every in-order non-first arrival), and the whole accuracy
+	// snapshot marshals.
+	traces := svc.Tracer().Snapshot()
+	if len(traces) == 0 {
+		t.Fatal("trace ring empty after the soak")
+	}
+	completeRefit := false
+	for _, root := range traces {
+		if root.Name == "refit" && len(root.Children) > 0 {
+			completeRefit = true
+			break
+		}
+	}
+	if !completeRefit {
+		t.Fatal("no complete refit span tree retained after the soak")
+	}
+	accSnap := svc.Accuracy().Snapshot()
+	for _, model := range []string{"always_same", "always_mean"} {
+		if accSnap.Models[model].Samples == 0 {
+			t.Fatalf("accuracy tracker never scored %s during the soak", model)
+		}
+	}
+	for name, sum := range accSnap.Models {
+		for measure, v := range map[string]float64{
+			"magnitude": sum.Magnitude.MeanRelErr,
+			"duration":  sum.Duration.MeanRelErr,
+			"hit_rate":  sum.Timestamp.Rate,
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("%s %s error is %v after the soak", name, measure, v)
+			}
+		}
+	}
+
 	version, size := svc.Registry().Version(), svc.Registry().Size()
 	corrupter := chaos.NewCorrupter(bytes.NewReader(snap.Bytes()), 99, 0.001)
 	err = svc.Registry().ReadSnapshot(corrupter)

@@ -3,6 +3,7 @@ package serve
 import (
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/astopo"
 	"repro/internal/trace"
@@ -26,11 +27,47 @@ type storeShard struct {
 }
 
 // targetState is one target's mutable ingest state. All access is under
-// the owning shard's mutex.
+// the owning shard's mutex. The running sums track the current window
+// (updated on insert and eviction) so the accuracy tracker's baselines —
+// Always-Same and Always-Mean — read in O(1) on the ingest path.
 type targetState struct {
 	attacks    []trace.Attack // rolling window, chronological
 	total      uint64         // all-time ingested (after dedup)
 	sinceRefit int            // records since the last completed refit
+
+	magSum  float64 // sum of magnitudes over the current window
+	durSum  float64 // sum of durations over the current window
+	hourSum float64 // sum of start hours over the current window
+	daySum  float64 // sum of start days over the current window
+}
+
+func (ts *targetState) addSums(a *trace.Attack) {
+	ts.magSum += float64(a.Magnitude())
+	ts.durSum += a.DurationSec
+	ts.hourSum += float64(a.Hour())
+	ts.daySum += float64(a.Day())
+}
+
+func (ts *targetState) subSums(a *trace.Attack) {
+	ts.magSum -= float64(a.Magnitude())
+	ts.durSum -= a.DurationSec
+	ts.hourSum -= float64(a.Hour())
+	ts.daySum -= float64(a.Day())
+}
+
+// PrevStats summarizes a target's window as it stood before one ingest:
+// exactly the information the §VII baselines had available when the
+// forecast for the arriving attack was made. N == 0 means the target had
+// no history (nothing to score against).
+type PrevStats struct {
+	N         int       // window length before the insert
+	LastStart time.Time // most recent attack's start
+	LastMag   float64   // Always-Same magnitude
+	LastDur   float64   // Always-Same duration
+	MeanMag   float64   // Always-Mean magnitude
+	MeanDur   float64   // Always-Mean duration
+	MeanHour  float64   // Always-Mean start hour
+	MeanDay   float64   // Always-Mean start day
 }
 
 // NewStore builds a store with the given shard count (rounded up to a
@@ -63,6 +100,15 @@ func (s *Store) shardFor(as astopo.AS) *storeShard {
 // record was new (false: a duplicate attack ID already in the window was
 // dropped).
 func (s *Store) Ingest(a *trace.Attack) (sinceRefit, windowLen int, accepted bool) {
+	sinceRefit, windowLen, _, accepted = s.IngestScored(a)
+	return sinceRefit, windowLen, accepted
+}
+
+// IngestScored is Ingest plus the pre-append window summary the accuracy
+// tracker scores baselines against. The summary is captured under the
+// same shard lock, immediately before the insert, so it reflects exactly
+// the history available when the arriving attack was still the future.
+func (s *Store) IngestScored(a *trace.Attack) (sinceRefit, windowLen int, prev PrevStats, accepted bool) {
 	sh := s.shardFor(a.TargetAS)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -73,7 +119,20 @@ func (s *Store) Ingest(a *trace.Attack) (sinceRefit, windowLen int, accepted boo
 	}
 	for i := range ts.attacks {
 		if ts.attacks[i].ID == a.ID {
-			return ts.sinceRefit, len(ts.attacks), false
+			return ts.sinceRefit, len(ts.attacks), prev, false
+		}
+	}
+	if n := len(ts.attacks); n > 0 {
+		last := &ts.attacks[n-1]
+		prev = PrevStats{
+			N:         n,
+			LastStart: last.Start,
+			LastMag:   float64(last.Magnitude()),
+			LastDur:   last.DurationSec,
+			MeanMag:   ts.magSum / float64(n),
+			MeanDur:   ts.durSum / float64(n),
+			MeanHour:  ts.hourSum / float64(n),
+			MeanDay:   ts.daySum / float64(n),
 		}
 	}
 	// Insert keeping chronological order: records usually arrive in order,
@@ -85,12 +144,16 @@ func (s *Store) Ingest(a *trace.Attack) (sinceRefit, windowLen int, accepted boo
 	ts.attacks = append(ts.attacks, trace.Attack{})
 	copy(ts.attacks[pos+1:], ts.attacks[pos:])
 	ts.attacks[pos] = *a
+	ts.addSums(a)
 	if len(ts.attacks) > s.window {
+		for i := 0; i < len(ts.attacks)-s.window; i++ {
+			ts.subSums(&ts.attacks[i])
+		}
 		ts.attacks = append(ts.attacks[:0], ts.attacks[len(ts.attacks)-s.window:]...)
 	}
 	ts.total++
 	ts.sinceRefit++
-	return ts.sinceRefit, len(ts.attacks), true
+	return ts.sinceRefit, len(ts.attacks), prev, true
 }
 
 // Window returns a copy of the target's rolling window and its all-time

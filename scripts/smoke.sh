@@ -1,10 +1,16 @@
 #!/usr/bin/env bash
 # CI smoke test for the online serving stack: build every command, boot
 # ddosd on a random port with a freshly generated trace, ingest a record
-# over HTTP, and assert a 200 forecast for a target the trace contains.
+# over HTTP, assert a 200 forecast for a target the trace contains, drive
+# paced load, and assert the observability surface is live: per-stage
+# latency histograms, online accuracy gauges, /accuracy, /debug/traces,
+# and the pprof admin mux. The ddosload run writes its machine-readable
+# JSON report to $REPORT_OUT (default: inside the temp workdir) so CI can
+# archive it as an artifact.
 set -euo pipefail
 
 workdir="$(mktemp -d)"
+report_out="${REPORT_OUT:-$workdir/ddosload-report.json}"
 daemon_pid=""
 cleanup() {
   [[ -n "$daemon_pid" ]] && kill "$daemon_pid" 2>/dev/null || true
@@ -29,20 +35,26 @@ EOF
 echo "==> most-attacked target: AS$target"
 
 echo "==> booting ddosd"
-"$workdir/bin/ddosd" -addr 127.0.0.1:0 -data "$workdir/trace.json" \
+"$workdir/bin/ddosd" -addr 127.0.0.1:0 -admin-addr 127.0.0.1:0 \
+  -data "$workdir/trace.json" \
   -snapshot-out "$workdir/models.snap" >"$workdir/ddosd.log" 2>&1 &
 daemon_pid=$!
 
-# The daemon logs "listening on <addr>" once warm start completes.
+# The daemon emits slog lines 'msg=listening ... addr=<addr>' (serving mux)
+# and 'msg="admin listening" ... addr=<addr>' (pprof mux) once warm start
+# completes.
 addr=""
+admin_addr=""
 for _ in $(seq 1 120); do
-  addr="$(sed -n 's/^ddosd: listening on //p' "$workdir/ddosd.log")"
+  addr="$(sed -n 's/^.*msg=listening .*addr=\([^ ]*\).*$/\1/p' "$workdir/ddosd.log" | head -n1)"
   [[ -n "$addr" ]] && break
   kill -0 "$daemon_pid" 2>/dev/null || { cat "$workdir/ddosd.log"; echo "ddosd died during boot"; exit 1; }
   sleep 0.5
 done
 [[ -n "$addr" ]] || { cat "$workdir/ddosd.log"; echo "ddosd never started listening"; exit 1; }
-echo "==> ddosd listening on $addr"
+admin_addr="$(sed -n 's/^.*msg="admin listening" .*addr=\([^ ]*\).*$/\1/p' "$workdir/ddosd.log" | head -n1)"
+[[ -n "$admin_addr" ]] || { cat "$workdir/ddosd.log"; echo "ddosd admin mux never started"; exit 1; }
+echo "==> ddosd listening on $addr (admin $admin_addr)"
 
 check() { # check <name> <url> [curl args...]
   local name="$1" url="$2"; shift 2
@@ -53,7 +65,7 @@ check() { # check <name> <url> [curl args...]
     cat "$workdir/resp.json"; echo; cat "$workdir/ddosd.log"
     exit 1
   fi
-  echo "==> $name OK: $(head -c 200 "$workdir/resp.json")"
+  echo "==> $name OK: $(head -c 200 "$workdir/resp.json" | tr -d '\0')"
 }
 
 check healthz "http://$addr/healthz"
@@ -70,16 +82,73 @@ grep -q '"ingested":1' "$workdir/resp.json" || { echo "FAIL: record not ingested
 check metrics "http://$addr/metrics"
 grep -q '^ddosd_ingest_records_total' "$workdir/resp.json" || { echo "FAIL: metrics missing ingest counter"; exit 1; }
 
-# Ten seconds of paced load through ddosload, gating on its SLO exit code.
-# The pace and the p99 ceiling are deliberately modest: the daemon is
-# refitting at full -nar-epochs in the background, and CI runners are slow.
+# Ten seconds of paced load through ddosload, gating on its SLO exit code
+# and archiving the machine-readable report for CI. The pace and the p99
+# ceiling are deliberately modest: the daemon is refitting at full
+# -nar-epochs in the background, and CI runners are slow.
 echo "==> driving 10s of open-loop load through ddosload"
 "$workdir/bin/ddosload" -addr "http://$addr" -mode open \
   -rate 100 -rate-end 200 -duration 10s -workers 8 -seed 7 \
-  -slo-errors 0 -slo-p99 5s \
-  || { echo "FAIL: ddosload SLO gate"; cat "$workdir/ddosd.log"; exit 1; }
+  -slo-errors 0 -slo-p99 5s -json >"$report_out" \
+  || { echo "FAIL: ddosload SLO gate"; cat "$report_out" 2>/dev/null; cat "$workdir/ddosd.log"; exit 1; }
+python3 - "$report_out" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    rep = json.load(f)
+assert rep["slo_pass"] is True, rep
+assert rep["report"]["accepted"] > 0, rep
+assert "p99" in rep["report"]["latency_sec"], rep
+EOF
+echo "==> ddosload JSON report OK ($report_out)"
+
+# One more forecast so the forecast stage histogram has post-load traffic.
+check post-load-forecast "http://$addr/forecast?target=$target"
+
 check post-load-metrics "http://$addr/metrics"
 grep -q '^ddosd_ingest_records_total' "$workdir/resp.json" || { echo "FAIL: metrics gone after load"; exit 1; }
+for stage in ingest append schedule score fit publish forecast; do
+  grep -Eq "^ddosd_stage_seconds_count\{stage=\"$stage\"\} [1-9]" "$workdir/resp.json" \
+    || { echo "FAIL: stage histogram \"$stage\" never observed"; grep '^ddosd_stage_seconds_count' "$workdir/resp.json"; exit 1; }
+done
+for model in st always_same always_mean; do
+  grep -Eq "^ddosd_accuracy_samples\{model=\"$model\"\} [1-9]" "$workdir/resp.json" \
+    || { echo "FAIL: accuracy gauge for \"$model\" is zero"; grep '^ddosd_accuracy' "$workdir/resp.json"; exit 1; }
+done
+grep -q "ddosd_accuracy_timestamp_hit_rate{model=\"st\"}" "$workdir/resp.json" \
+  || { echo "FAIL: metrics missing accuracy hit-rate gauge"; exit 1; }
+
+check accuracy "http://$addr/accuracy"
+python3 - "$workdir/resp.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    acc = json.load(f)
+models = acc["models"]
+for kind in ("st", "temporal", "spatial", "always_same", "always_mean"):
+    assert kind in models, f"missing model {kind}: {sorted(models)}"
+assert models["st"]["samples"] > 0, models["st"]
+assert models["always_same"]["timestamp"]["samples"] > 0, models["always_same"]
+EOF
+
+check traces "http://$addr/debug/traces"
+python3 - "$workdir/resp.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    snap = json.load(f)
+traces = snap["traces"]
+assert traces, "trace ring is empty"
+assert any(t.get("children") for t in traces), "no complete span tree retained"
+EOF
+
+check buildinfo "http://$addr/buildinfo"
+grep -q '"go_version"' "$workdir/resp.json" || { echo "FAIL: buildinfo missing go version"; exit 1; }
+
+# The admin mux answers pprof and expvar; the serving mux must not.
+check admin-pprof "http://$admin_addr/debug/pprof/cmdline"
+check admin-expvar "http://$admin_addr/debug/vars"
+if curl -s -o /dev/null -w '%{http_code}' "http://$addr/debug/pprof/cmdline" | grep -q '^200$'; then
+  echo "FAIL: pprof exposed on the public serving mux"
+  exit 1
+fi
 
 # Graceful shutdown must write a loadable snapshot, and ddospredict must
 # forecast from it (and exit non-zero for a bogus target).
