@@ -11,8 +11,16 @@
 //	ddosd -data dataset.json                # warm-start from a trace
 //	ddosd -snapshot models.snap             # warm-boot from a snapshot
 //	ddosd -snapshot-out models.snap         # write a snapshot on shutdown
+//	ddosd -wal-dir wal/                     # durable ingest + crash recovery
+//	ddosd -wal-fsync 50ms                   # batch fsync (always|never|interval)
 //	ddosd -log-level debug -log-format json # structured logging
 //	ddosd -admin-addr 127.0.0.1:8081        # opt-in pprof/expvar listener
+//
+// With -wal-dir set, every accepted ingest is appended to a segmented
+// CRC-framed write-ahead log before the HTTP ack. On boot the daemon
+// replays checkpoint + WAL into the store (a torn final frame is
+// truncated, never fatal), re-schedules refits, and resumes serving;
+// sealed segments are checkpointed away in the background.
 //
 // Endpoints (serving mux):
 //
@@ -33,6 +41,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
 	"net"
 	"net/http"
@@ -46,6 +55,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/trace"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -67,6 +77,14 @@ func main() {
 		traceSlow   = flag.Duration("trace-slow", 0, "retain only pipeline traces at least this long (0 = all)")
 		traceCap    = flag.Int("trace-capacity", 64, "/debug/traces ring size")
 		accWindow   = flag.Int("accuracy-window", 512, "sliding window of the online accuracy tracker")
+
+		walDir        = flag.String("wal-dir", "", "write-ahead log directory for durable ingest + crash recovery (empty = disabled)")
+		walFsync      = flag.String("wal-fsync", "always", "WAL fsync policy: always, never, or a batching interval like 50ms")
+		walSegBytes   = flag.Int64("wal-segment-bytes", 0, "WAL segment rotation threshold in bytes (0 = 16 MiB)")
+		maxIngest     = flag.Int64("max-ingest-bytes", 8<<20, "per-request /ingest body cap in bytes (over-limit = 413)")
+		readHdrTO     = flag.Duration("read-header-timeout", 5*time.Second, "http server read-header timeout (slowloris guard)")
+		readTO        = flag.Duration("read-timeout", 60*time.Second, "http server read timeout for the full request")
+		idleTO        = flag.Duration("idle-timeout", 120*time.Second, "http server keep-alive idle timeout")
 	)
 	flag.Parse()
 	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
@@ -75,12 +93,18 @@ func main() {
 		os.Exit(2)
 	}
 	if err := run(daemonOpts{
-		addr:        *addr,
-		adminAddr:   *adminAddr,
-		data:        *data,
-		snapshot:    *snapshot,
-		snapshotOut: *snapshotOut,
-		logger:      logger,
+		addr:              *addr,
+		adminAddr:         *adminAddr,
+		data:              *data,
+		snapshot:          *snapshot,
+		snapshotOut:       *snapshotOut,
+		walDir:            *walDir,
+		walFsync:          *walFsync,
+		walSegmentBytes:   *walSegBytes,
+		readHeaderTimeout: *readHdrTO,
+		readTimeout:       *readTO,
+		idleTimeout:       *idleTO,
+		logger:            logger,
 	}, serve.Config{
 		Shards:         *shards,
 		Window:         *window,
@@ -92,6 +116,7 @@ func main() {
 		TraceCapacity:  *traceCap,
 		TraceSlow:      *traceSlow,
 		AccuracyWindow: *accWindow,
+		MaxBatchBytes:  *maxIngest,
 	}); err != nil {
 		logger.Error("exiting", "component", "daemon", "error", err)
 		os.Exit(1)
@@ -101,15 +126,33 @@ func main() {
 // daemonOpts bundles run's wiring: flag values in production, plus the
 // hooks tests use to drive a real daemon lifecycle in-process.
 type daemonOpts struct {
-	addr        string
-	adminAddr   string
-	data        string
-	snapshot    string
-	snapshotOut string
-	logger      *slog.Logger
+	addr              string
+	adminAddr         string
+	data              string
+	snapshot          string
+	snapshotOut       string
+	walDir            string
+	walFsync          string
+	walSegmentBytes   int64
+	readHeaderTimeout time.Duration
+	readTimeout       time.Duration
+	idleTimeout       time.Duration
+	logger            *slog.Logger
 	// ready, when set, is called once the listener is bound — tests use it
 	// to learn the picked port before sending traffic and signals.
 	ready func(net.Addr)
+}
+
+// httpServer builds a server with the daemon's connection timeouts; both
+// the public and the admin listener get them so a slowloris peer cannot
+// pin connections open indefinitely.
+func (o daemonOpts) httpServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: o.readHeaderTimeout,
+		ReadTimeout:       o.readTimeout,
+		IdleTimeout:       o.idleTimeout,
+	}
 }
 
 func run(opts daemonOpts, cfg serve.Config) error {
@@ -133,6 +176,42 @@ func run(opts daemonOpts, cfg serve.Config) error {
 		logger.Info("loaded snapshot", "component", "boot", "path", opts.snapshot,
 			"targets", svc.Registry().Size(), "version", svc.Registry().Version())
 	}
+
+	var walLog *wal.WAL
+	if opts.walDir != "" {
+		policy, err := wal.ParseSyncPolicy(opts.walFsync)
+		if err != nil {
+			return fmt.Errorf("-wal-fsync: %w", err)
+		}
+		walLog, err = wal.Open(wal.Options{
+			Dir:          opts.walDir,
+			SegmentBytes: opts.walSegmentBytes,
+			Sync:         policy,
+		})
+		if err != nil {
+			return fmt.Errorf("open wal: %w", err)
+		}
+		defer walLog.Close()
+		t0 := time.Now()
+		rs, err := svc.RecoverWAL(walLog, func(p serve.RecoveryStats) {
+			logger.Debug("wal replay progress", "component", "wal",
+				"segments", p.Segments, "replayed", p.Replayed, "skipped", p.Skipped)
+		})
+		if err != nil {
+			return fmt.Errorf("wal recovery: %w", err)
+		}
+		if rs.Truncated {
+			logger.Warn("wal tail truncated at torn frame", "component", "wal",
+				"segment", rs.TruncatedSeq, "offset", rs.TruncatedOff)
+		}
+		logger.Info("wal recovered", "component", "wal", "dir", opts.walDir,
+			"checkpoint_targets", rs.CheckpointTargets, "segments", rs.Segments,
+			"replayed", rs.Replayed, "duplicates", rs.Duplicates, "skipped", rs.Skipped,
+			"refits", rs.Refits, "fsync", policy.String(),
+			"elapsed", time.Since(t0).Round(time.Millisecond).String())
+		svc.AttachWAL(walLog, logger)
+	}
+
 	if opts.data != "" {
 		ds, err := trace.LoadFile(opts.data)
 		if err != nil {
@@ -152,7 +231,7 @@ func run(opts daemonOpts, cfg serve.Config) error {
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Handler: svc.Handler()}
+	srv := opts.httpServer(svc.Handler())
 	logger.Info("listening", "component", "http", "addr", ln.Addr().String())
 
 	var adminSrv *http.Server
@@ -161,7 +240,7 @@ func run(opts daemonOpts, cfg serve.Config) error {
 		if err != nil {
 			return fmt.Errorf("admin listener: %w", err)
 		}
-		adminSrv = &http.Server{Handler: obs.AdminMux()}
+		adminSrv = opts.httpServer(obs.AdminMux())
 		logger.Info("admin listening", "component", "admin", "addr", aln.Addr().String())
 		go func() {
 			if err := adminSrv.Serve(aln); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -195,18 +274,24 @@ func run(opts daemonOpts, cfg serve.Config) error {
 			logger.Warn("admin shutdown", "component", "admin", "error", err)
 		}
 	}
+	if walLog != nil {
+		// One last checkpoint so the next boot replays (almost) nothing,
+		// then detach before walLog's deferred Close.
+		if err := svc.CheckpointWAL(); err != nil {
+			logger.Warn("final wal checkpoint failed", "component", "wal", "error", err)
+		}
+		svc.DetachWAL()
+		logger.Info("wal checkpointed", "component", "wal", "dir", opts.walDir)
+	}
 	if opts.snapshotOut != "" {
 		svc.Flush()
-		f, err := os.Create(opts.snapshotOut)
+		// Written via temp-file + rename so a crash mid-write never tears an
+		// existing snapshot.
+		err := wal.WriteFileAtomic(opts.snapshotOut, func(w io.Writer) error {
+			return svc.Registry().WriteSnapshot(w)
+		})
 		if err != nil {
 			return fmt.Errorf("write snapshot: %w", err)
-		}
-		if err := svc.Registry().WriteSnapshot(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
 		}
 		logger.Info("wrote snapshot", "component", "daemon", "path", opts.snapshotOut,
 			"targets", svc.Registry().Size(), "version", svc.Registry().Version())

@@ -9,7 +9,10 @@ package main
 // fresh registry accepts wholesale.
 
 import (
+	"encoding/json"
+	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"syscall"
@@ -131,5 +134,114 @@ func TestSIGTERMDuringRefitShutsDownCleanly(t *testing.T) {
 		if tm.Generation == 0 || tm.FittedAt.IsZero() {
 			t.Fatalf("AS%d snapshot entry incoherent: %+v", as, tm)
 		}
+	}
+}
+
+// TestDaemonWALRecoveryAcrossRestart runs the real daemon twice against
+// one WAL directory: boot, ingest over HTTP, stop, boot again — the
+// second instance must report the first instance's records on /healthz
+// and serve forecasts for the recovered targets without new ingest.
+func TestDaemonWALRecoveryAcrossRestart(t *testing.T) {
+	walDir := filepath.Join(t.TempDir(), "wal")
+
+	boot := func() (net.Addr, chan error) {
+		addrc := make(chan net.Addr, 1)
+		errc := make(chan error, 1)
+		go func() {
+			errc <- run(daemonOpts{
+				addr:     "127.0.0.1:0",
+				walDir:   walDir,
+				walFsync: "always",
+				ready:    func(a net.Addr) { addrc <- a },
+			}, serve.Config{
+				Shards:     4,
+				Window:     64,
+				MinWindow:  6,
+				RefitEvery: 4,
+				QueueDepth: 64,
+				BatchSize:  4,
+				Seed:       7,
+				Temporal:   core.TemporalConfig{MaxP: 1, MaxQ: 1},
+				Spatial: core.SpatialConfig{
+					Delays: []int{2},
+					Hidden: []int{2},
+					Train:  nn.TrainConfig{Epochs: 5},
+				},
+			})
+		}()
+		select {
+		case addr := <-addrc:
+			return addr, errc
+		case err := <-errc:
+			t.Fatalf("daemon exited before binding: %v", err)
+		case <-time.After(5 * time.Second):
+			t.Fatal("daemon never became ready")
+		}
+		panic("unreachable")
+	}
+	stop := func(errc chan error) {
+		if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case err := <-errc:
+			if err != nil {
+				t.Fatalf("shutdown returned error: %v", err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("run() did not return after SIGTERM")
+		}
+	}
+	healthz := func(addr net.Addr) serve.Health {
+		resp, err := http.Get("http://" + addr.String() + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var h serve.Health
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+
+	addr, errc := boot()
+	gen := loadgen.NewGenerator(loadgen.GenConfig{Targets: 5, Seed: 23, TimeCompress: 24})
+	rep, err := loadgen.Run(loadgen.Config{Mode: loadgen.ClosedLoop, Records: 200, Workers: 2},
+		gen.Next, loadgen.NewHTTPSink("http://"+addr.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Accepted == 0 {
+		t.Fatalf("no records accepted:\n%s", rep)
+	}
+	known := healthz(addr).TargetsKnown
+	if known == 0 {
+		t.Fatal("first instance knows zero targets after accepted ingest")
+	}
+	stop(errc)
+
+	addr, errc = boot()
+	defer stop(errc)
+	h := healthz(addr)
+	if h.TargetsKnown != known {
+		t.Fatalf("restarted daemon knows %d targets, first instance knew %d", h.TargetsKnown, known)
+	}
+	if h.TargetsServed == 0 {
+		t.Fatal("restarted daemon serves zero targets after WAL recovery")
+	}
+	served := 0
+	for _, as := range gen.Targets() {
+		resp, err := http.Get(fmt.Sprintf("http://%s/forecast?target=%d", addr, as))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			served++
+		}
+	}
+	if served == 0 {
+		t.Fatal("no recovered target serves a forecast after restart")
 	}
 }

@@ -41,11 +41,15 @@ func (s *Service) Handler() http.Handler {
 	return mux
 }
 
-// IngestResult is the /ingest response body.
+// IngestResult is the /ingest response body. On a mid-batch failure the
+// same shape comes back with Error set: Ingested/Duplicates then report
+// what the service already committed before the bad record, so clients
+// can resume a partially applied batch instead of blindly resending it.
 type IngestResult struct {
-	Ingested   int `json:"ingested"`
-	Duplicates int `json:"duplicates"`
-	Rejected   int `json:"rejected"`
+	Ingested   int    `json:"ingested"`
+	Duplicates int    `json:"duplicates"`
+	Rejected   int    `json:"rejected"`
+	Error      string `json:"error,omitempty"`
 }
 
 func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
@@ -55,15 +59,16 @@ func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
-	// One root span per request; the per-record append/score/schedule wall
-	// times are summed and attached as pre-measured children (per-record
-	// observations already hit the stage histograms inside ingestTimed, so
-	// Attach keeps the trace tree without double-counting).
+	// One root span per request; the per-record append/wal/score/schedule
+	// wall times are summed and attached as pre-measured children
+	// (per-record observations already hit the stage histograms inside
+	// ingestTimed, so Attach keeps the trace tree without double-counting).
 	span := s.tracer.Start(StageIngest)
 	var agg ingestStageTimes
 	outcome := "ok"
 	defer func() {
 		span.Attach(StageAppend, start, agg.Append)
+		span.Attach(StageWAL, start, agg.WAL)
 		span.Attach(StageScore, start, agg.Score)
 		span.Attach(StageSchedule, start, agg.Schedule)
 		span.SetAttr("outcome", outcome)
@@ -77,7 +82,8 @@ func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("refit backlog %d over watermark %d", s.sched.Lag(), s.cfg.LagWatermark))
 		return
 	}
-	dec := trace.NewStreamDecoder(r.Body)
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBatchBytes)
+	dec := trace.NewStreamDecoder(body)
 	var res IngestResult
 	defer func() {
 		span.SetAttr("ingested", strconv.Itoa(res.Ingested))
@@ -86,7 +92,7 @@ func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
 	for {
 		if res.Ingested+res.Duplicates+res.Rejected >= s.cfg.MaxBatchRecords {
 			outcome = "too_large"
-			writeError(w, http.StatusRequestEntityTooLarge,
+			writeIngestError(w, http.StatusRequestEntityTooLarge, &res,
 				fmt.Sprintf("batch larger than %d records", s.cfg.MaxBatchRecords))
 			return
 		}
@@ -94,36 +100,60 @@ func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
 		if errors.Is(err, io.EOF) {
 			break
 		}
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			outcome = "too_large"
+			writeIngestError(w, http.StatusRequestEntityTooLarge, &res,
+				fmt.Sprintf("request body larger than %d bytes", tooBig.Limit))
+			return
+		}
 		if err != nil {
 			outcome = "bad_record"
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("record %d: %v",
+			writeIngestError(w, http.StatusBadRequest, &res, fmt.Sprintf("record %d: %v",
 				res.Ingested+res.Duplicates+res.Rejected+1, err))
 			return
 		}
 		ok, st, err := s.ingestTimed(a)
 		agg.Append += st.Append
+		agg.WAL += st.WAL
 		agg.Score += st.Score
 		agg.Schedule += st.Schedule
+		if ok {
+			res.Ingested++
+		}
 		switch {
 		case errors.Is(err, ErrShedding):
 			outcome = "shed"
 			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusTooManyRequests, err.Error())
+			writeIngestError(w, http.StatusTooManyRequests, &res, err.Error())
+			return
+		case errors.Is(err, ErrNotDurable):
+			// Applied in memory but not persisted: fail the request so the
+			// client retries; the dedup window absorbs the replayed records.
+			outcome = "not_durable"
+			writeIngestError(w, http.StatusInternalServerError, &res, err.Error())
 			return
 		case err != nil:
 			res.Rejected++
 			outcome = "bad_record"
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("record %d: %v",
+			writeIngestError(w, http.StatusBadRequest, &res, fmt.Sprintf("record %d: %v",
 				res.Ingested+res.Duplicates+res.Rejected, err))
 			return
-		case ok:
-			res.Ingested++
-		default:
+		case !ok:
 			res.Duplicates++
 		}
 	}
 	s.updateTargetGauges()
 	writeJSON(w, http.StatusOK, &res)
+}
+
+// writeIngestError reports a failed /ingest request without discarding
+// what already happened: the body carries the committed ingested and
+// duplicate counts alongside the error.
+func writeIngestError(w http.ResponseWriter, status int, res *IngestResult, msg string) {
+	out := *res
+	out.Error = msg
+	writeJSON(w, status, &out)
 }
 
 func (s *Service) handleForecast(w http.ResponseWriter, r *http.Request) {

@@ -476,8 +476,14 @@ func TestIngestRejectsBadRecordsAndMethods(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("bad record status %d, want 400", resp.StatusCode)
 	}
-	if e := decodeBody[map[string]string](t, resp); !strings.Contains(e["error"], "record 2") {
-		t.Fatalf("bad-record error %q does not locate the record", e["error"])
+	// A mid-batch failure reports what was already committed so the client
+	// can resume instead of resending the whole batch.
+	e := decodeBody[IngestResult](t, resp)
+	if !strings.Contains(e.Error, "record 2") {
+		t.Fatalf("bad-record error %q does not locate the record", e.Error)
+	}
+	if e.Ingested != 1 || e.Duplicates != 0 || e.Rejected != 1 {
+		t.Fatalf("error body counts = %+v, want ingested 1, duplicates 0, rejected 1", e)
 	}
 
 	// Malformed JSON.

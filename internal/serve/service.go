@@ -12,7 +12,10 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/astopo"
@@ -21,6 +24,7 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/serve/metrics"
 	"repro/internal/trace"
+	"repro/internal/wal"
 )
 
 // Config tunes the service. The zero value gets production-ish defaults;
@@ -51,6 +55,9 @@ type Config struct {
 	RefitWorkers int
 	// MaxBatchRecords caps records accepted per ingest request. Default 10000.
 	MaxBatchRecords int
+	// MaxBatchBytes caps one /ingest request body in bytes
+	// (http.MaxBytesReader; over-limit requests answer 413). Default 8 MiB.
+	MaxBatchBytes int64
 	// Seed makes refits deterministic per target window.
 	Seed uint64
 	// WrapFit optionally wraps the per-target refit function — the seam the
@@ -107,6 +114,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatchRecords < 1 {
 		c.MaxBatchRecords = 10000
 	}
+	if c.MaxBatchBytes < 1 {
+		c.MaxBatchBytes = 8 << 20
+	}
 	if c.TraceCapacity < 1 {
 		c.TraceCapacity = 64
 	}
@@ -126,6 +136,7 @@ type FitFunc func(as astopo.AS, window []trace.Attack, total uint64, gen uint64,
 const (
 	StageIngest   = "ingest"   // one /ingest request, decode to response
 	StageAppend   = "append"   // shard-window append in the state store
+	StageWAL      = "wal"      // write-ahead-log append before the ack
 	StageSchedule = "schedule" // refit-mark enqueue
 	StageScore    = "score"    // online accuracy scoring of the arrival
 	StageRefit    = "refit"    // one scheduler batch, fits through publish
@@ -171,6 +182,20 @@ type telemetry struct {
 	stageSecs *metrics.HistogramVec
 	stages    map[string]*metrics.Histogram
 
+	// Write-ahead-log instruments (ddosd_wal_*). Registered always so the
+	// series exist from boot; they stay zero when no WAL is attached.
+	walAppendSecs   *metrics.Histogram
+	walAppends      *metrics.Counter
+	walAppendErrors *metrics.Counter
+	walBytes        *metrics.Counter
+	walSegments     *metrics.Gauge
+	walActiveBytes  *metrics.Gauge
+	walReplayed     *metrics.Counter
+	walReplayDups   *metrics.Counter
+	walTruncations  *metrics.Counter
+	walCheckpoints  *metrics.Counter
+	walCompacted    *metrics.Counter
+
 	// Online accuracy gauges, one child per model kind.
 	accMagErr  *metrics.FGaugeVec
 	accDurErr  *metrics.FGaugeVec
@@ -207,12 +232,23 @@ func newTelemetry(stageBuckets []float64) *telemetry {
 			"Windowed rate of predicted (day, hour) landing within tolerance, per model.", "model"),
 		accSamples: r.FGaugeVec("ddosd_accuracy_samples",
 			"All-time scored arrivals, per model.", "model"),
+		walAppendSecs:   r.Histogram("ddosd_wal_append_seconds", "WAL append latency (framing plus the sync policy's cost).", nil),
+		walAppends:      r.Counter("ddosd_wal_appends_total", "Records appended to the write-ahead log."),
+		walAppendErrors: r.Counter("ddosd_wal_append_errors_total", "WAL appends that failed (the ingest was not acked durable)."),
+		walBytes:        r.Counter("ddosd_wal_appended_bytes_total", "Frame bytes appended to the write-ahead log."),
+		walSegments:     r.Gauge("ddosd_wal_segments", "WAL segment files on disk (sealed plus active)."),
+		walActiveBytes:  r.Gauge("ddosd_wal_active_segment_bytes", "Bytes in the active WAL segment."),
+		walReplayed:     r.Counter("ddosd_wal_replayed_records_total", "Records replayed into the store from the WAL at boot."),
+		walReplayDups:   r.Counter("ddosd_wal_replay_duplicates_total", "Replayed records dropped as duplicates (checkpoint overlap)."),
+		walTruncations:  r.Counter("ddosd_wal_replay_truncated_total", "Boot replays that stopped at a torn or corrupt frame."),
+		walCheckpoints:  r.Counter("ddosd_wal_checkpoints_total", "Durable store checkpoints written."),
+		walCompacted:    r.Counter("ddosd_wal_compacted_segments_total", "WAL segments removed by checkpoint compaction."),
 	}
 	// Pre-create every stage child: the series exist from boot (dashboards
 	// need not wait for traffic) and the hot path reads a plain map.
 	t.stages = make(map[string]*metrics.Histogram)
 	for _, stage := range []string{
-		StageIngest, StageAppend, StageSchedule, StageScore,
+		StageIngest, StageAppend, StageWAL, StageSchedule, StageScore,
 		StageRefit, StageFit, StagePublish, StageForecast,
 	} {
 		t.stages[stage] = t.stageSecs.With(stage)
@@ -251,6 +287,19 @@ type Service struct {
 	tracer *obs.Tracer
 	acc    *obs.Accuracy
 	start  time.Time
+
+	// Durability layer (durability.go). walRef is nil until AttachWAL;
+	// walMu is the checkpoint barrier: ingest holds it shared across the
+	// store-insert + WAL-append pair, CheckpointWAL holds it exclusively
+	// across the segment rotation + store snapshot, so every record lands
+	// on exactly one side of the checkpoint cut. ckptMu serializes
+	// checkpoint writers (the background compactor vs shutdown).
+	walRef    atomic.Pointer[wal.WAL]
+	walMu     sync.RWMutex
+	ckptMu    sync.Mutex
+	walLogger *slog.Logger
+	walStop   chan struct{}
+	walDone   chan struct{}
 }
 
 // New builds and starts a service (the refit scheduler goroutine runs
@@ -284,8 +333,13 @@ func New(cfg Config) *Service {
 	}
 }
 
-// Close stops the refit scheduler (in-flight batch completes first).
-func (s *Service) Close() { s.sched.Stop() }
+// Close stops the background checkpointer (if a WAL is attached) and the
+// refit scheduler (in-flight batch completes first). It does not close
+// the WAL itself — the owner that passed it to AttachWAL does that.
+func (s *Service) Close() {
+	s.DetachWAL()
+	s.sched.Stop()
+}
 
 // Registry exposes the model registry (snapshot persistence, direct
 // forecasts).
@@ -337,7 +391,7 @@ func (s *Service) Ingest(a *trace.Attack) (bool, error) {
 // ingestStageTimes is one record's wall time per pipeline stage; the HTTP
 // layer aggregates these into the request's trace tree.
 type ingestStageTimes struct {
-	Append, Score, Schedule time.Duration
+	Append, WAL, Score, Schedule time.Duration
 }
 
 // ingestTimed is Ingest plus per-stage timings. The published model set is
@@ -355,15 +409,41 @@ func (s *Service) ingestTimed(a *trace.Attack) (bool, ingestStageTimes, error) {
 	}
 	tm, published := s.reg.Lookup(a.TargetAS)
 
+	// The store insert and the WAL append form the durability-critical
+	// pair: both happen under the shared side of the checkpoint barrier,
+	// so a concurrent checkpoint either sees the record in its store
+	// snapshot (and the frame in a covered segment) or sees neither.
+	w := s.walRef.Load()
+	if w != nil {
+		s.walMu.RLock()
+	}
 	t0 := time.Now()
 	since, windowLen, prev, accepted := s.store.IngestScored(a)
 	st.Append = time.Since(t0)
 	s.tel.observeStage(StageAppend, st.Append.Seconds())
+	var walErr error
+	if accepted && w != nil {
+		t := time.Now()
+		walErr = s.appendWAL(w, a)
+		st.WAL = time.Since(t)
+		s.tel.observeStage(StageWAL, st.WAL.Seconds())
+		s.tel.walAppendSecs.Observe(st.WAL.Seconds())
+	}
+	if w != nil {
+		s.walMu.RUnlock()
+	}
 	if !accepted {
 		s.tel.ingestDups.Inc()
 		return false, st, nil
 	}
 	s.tel.ingestRecords.Inc()
+	if walErr != nil {
+		// The record is applied in memory but not persisted: fail the ack
+		// so the client retries (dedup makes the retry idempotent while
+		// the window holds the attack ID).
+		s.tel.walAppendErrors.Inc()
+		return true, st, fmt.Errorf("%w: %w", ErrNotDurable, walErr)
+	}
 
 	// Score only in-order, non-first arrivals: the first record has no
 	// history to forecast from, and a backfilled out-of-order record was

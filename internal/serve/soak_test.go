@@ -21,9 +21,13 @@ package serve_test
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
+	"os"
+	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -35,6 +39,8 @@ import (
 	"repro/internal/loadgen"
 	"repro/internal/nn"
 	"repro/internal/serve"
+	"repro/internal/trace"
+	"repro/internal/wal"
 )
 
 // finiteForecast returns an error naming the first non-finite or
@@ -324,5 +330,193 @@ func TestSoakLoadChaos(t *testing.T) {
 		if _, err := svc.Forecast(as); err != nil {
 			t.Fatalf("AS%d lost after rejected corrupt snapshot: %v", as, err)
 		}
+	}
+}
+
+// mirrorSink feeds the service and keeps a lossless reference copy of
+// every record the service actually accepted — the oracle the WAL crash
+// test compares the replayed store against.
+type mirrorSink struct {
+	svc *serve.Service
+	ref *serve.Store
+}
+
+func (m mirrorSink) Ingest(a *trace.Attack) (loadgen.Result, error) {
+	res, err := loadgen.ServiceSink{Svc: m.svc}.Ingest(a)
+	if err == nil && res.Accepted {
+		m.ref.Ingest(a)
+	}
+	return res, err
+}
+
+// durableImage serializes a store's durable state: the rolling windows
+// and totals, with the since-refit scheduler hint zeroed (refit marks are
+// not WAL-logged — losing them only makes the next refit come earlier).
+func durableImage(t *testing.T, s *serve.Store) []byte {
+	t.Helper()
+	cp := s.Checkpoint()
+	for i := range cp {
+		cp[i].SinceRefit = 0
+	}
+	buf, err := json.Marshal(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+// TestSoakWALCrashRecovery is the end-to-end durability gate: open-loop
+// load with stream chaos into a WAL-backed service (interval fsync, tiny
+// segments so rotation, background checkpointing, and compaction all
+// engage), then an abrupt kill — the WAL directory is imaged as-is, with
+// a half-written frame appended, exactly what SIGKILL mid-append leaves
+// behind. A fresh service recovering from the image must hold every
+// acked record (byte-identical to the lossless reference store) and
+// serve forecasts again before it would start listening.
+func TestSoakWALCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak: skipped in -short mode (the soak-short CI lane runs it with -race)")
+	}
+
+	cfg := serve.Config{
+		Shards:     4,
+		Window:     64,
+		MinWindow:  6,
+		RefitEvery: 8,
+		QueueDepth: 64,
+		BatchSize:  8,
+		Seed:       7,
+		Temporal:   core.TemporalConfig{MaxP: 1, MaxQ: 1},
+		Spatial: core.SpatialConfig{
+			Delays: []int{2},
+			Hidden: []int{2},
+			Train:  nn.TrainConfig{Epochs: 8},
+		},
+	}
+	svc := serve.New(cfg)
+	defer svc.Close()
+
+	dir := t.TempDir()
+	policy, err := wal.ParseSyncPolicy("5ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := wal.Open(wal.Options{Dir: dir, SegmentBytes: 8 << 10, Sync: policy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	svc.AttachWAL(w, nil)
+
+	gen := loadgen.NewGenerator(loadgen.GenConfig{Targets: 6, Seed: 17, TimeCompress: 24})
+	streamFaults := &chaos.StreamFaults{Seed: 17, DupProb: 0.05, ReorderProb: 0.05}
+	src := streamFaults.Stream(gen.Next)
+
+	// Workers: 1 keeps the ack order deterministic so the reference store
+	// is an exact oracle, not just a superset.
+	ref := serve.NewStore(cfg.Shards, cfg.Window)
+	rep, err := loadgen.Run(loadgen.Config{
+		Mode: loadgen.OpenLoop, Records: 4000, Workers: 1, Rate: 20000,
+	}, src, mirrorSink{svc: svc, ref: ref})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 || rep.Accepted == 0 {
+		t.Fatalf("load phase: %d errors, %d accepted", rep.Errors, rep.Accepted)
+	}
+	// Force at least one checkpoint + compaction cycle over the sealed
+	// segments the tiny SegmentBytes produced.
+	if err := svc.CheckpointWAL(); err != nil {
+		t.Fatal(err)
+	}
+	stats, ok := svc.WALStats()
+	if !ok {
+		t.Fatal("WAL not attached")
+	}
+	if stats.ActiveSeq < 2 {
+		t.Fatalf("segments never rotated under 8KiB cap: %+v", stats)
+	}
+
+	// A second burst after the checkpoint: these records exist only in the
+	// WAL tail, so recovery has to merge both sources.
+	rep, err = loadgen.Run(loadgen.Config{
+		Mode: loadgen.OpenLoop, Records: 500, Workers: 1, Rate: 20000,
+	}, src, mirrorSink{svc: svc, ref: ref})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 || rep.Accepted == 0 {
+		t.Fatalf("post-checkpoint burst: %d errors, %d accepted", rep.Errors, rep.Accepted)
+	}
+
+	// The kill: freeze the WAL exactly as it sits on disk (detach stops the
+	// background checkpointer but never syncs or checkpoints — the file
+	// bytes are a faithful SIGKILL image) and copy it aside with a torn
+	// half-frame appended at the tail.
+	svc.DetachWAL()
+	img := t.TempDir()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var newest string
+	for _, e := range entries {
+		buf, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(img, e.Name()), buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if strings.HasSuffix(e.Name(), ".wal") {
+			newest = filepath.Join(img, e.Name())
+		}
+	}
+	if newest == "" {
+		t.Fatal("no WAL segment in the crash image")
+	}
+	f, err := os.OpenFile(newest, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x42, 0x00, 0x00, 0x00, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	svc2 := serve.New(cfg)
+	defer svc2.Close()
+	w2, err := wal.Open(wal.Options{Dir: img})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	rs, err := svc2.RecoverWAL(w2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rs.Truncated {
+		t.Fatalf("torn tail not reported: %+v", rs)
+	}
+	if rs.CheckpointTargets == 0 || rs.Replayed == 0 {
+		t.Fatalf("recovery exercised only one source: %+v", rs)
+	}
+	if got, want := durableImage(t, svc2.Store()), durableImage(t, ref); !bytes.Equal(got, want) {
+		t.Fatalf("replayed store diverges from the lossless reference (recovery %+v)", rs)
+	}
+	if rs.Refits == 0 {
+		t.Fatalf("no refits re-scheduled after recovery: %+v", rs)
+	}
+	served := 0
+	for _, as := range gen.Targets() {
+		if fc, err := svc2.Forecast(as); err == nil {
+			if err := finiteForecast(fc); err != nil {
+				t.Fatalf("recovered AS%d forecast: %v", as, err)
+			}
+			served++
+		}
+	}
+	if served == 0 {
+		t.Fatal("no target serving forecasts after crash recovery")
 	}
 }

@@ -186,6 +186,65 @@ func (s *Store) MarkRefitted(as astopo.AS, consumed int) {
 	}
 }
 
+// TargetCheckpoint is one target's durable ingest state: the rolling
+// window plus the counters a restart must carry forward. It is the unit
+// of the WAL checkpoint file and of lossless store comparison in the
+// crash-recovery tests.
+type TargetCheckpoint struct {
+	AS         astopo.AS      `json:"as"`
+	Total      uint64         `json:"total"`
+	SinceRefit int            `json:"since_refit"`
+	Attacks    []trace.Attack `json:"attacks"`
+}
+
+// Checkpoint dumps every target's state, sorted by AS so two stores
+// holding the same records serialize byte-identically. Each shard is
+// locked only while it is copied.
+func (s *Store) Checkpoint() []TargetCheckpoint {
+	var out []TargetCheckpoint
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for as, ts := range sh.targets {
+			attacks := make([]trace.Attack, len(ts.attacks))
+			copy(attacks, ts.attacks)
+			out = append(out, TargetCheckpoint{
+				AS:         as,
+				Total:      ts.total,
+				SinceRefit: ts.sinceRefit,
+				Attacks:    attacks,
+			})
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].AS < out[j].AS })
+	return out
+}
+
+// Restore loads checkpointed targets wholesale (boot-time recovery,
+// before WAL replay applies the tail). Windows longer than the store's
+// capacity — a checkpoint taken under a larger -window — keep their most
+// recent records; running sums are rebuilt.
+func (s *Store) Restore(targets []TargetCheckpoint) {
+	for i := range targets {
+		tc := &targets[i]
+		sh := s.shardFor(tc.AS)
+		sh.mu.Lock()
+		ts := &targetState{total: tc.Total, sinceRefit: tc.SinceRefit}
+		attacks := tc.Attacks
+		if len(attacks) > s.window {
+			attacks = attacks[len(attacks)-s.window:]
+		}
+		ts.attacks = make([]trace.Attack, len(attacks))
+		copy(ts.attacks, attacks)
+		for j := range ts.attacks {
+			ts.addSums(&ts.attacks[j])
+		}
+		sh.targets[tc.AS] = ts
+		sh.mu.Unlock()
+	}
+}
+
 // Targets returns every known target AS in ascending order.
 func (s *Store) Targets() []astopo.AS {
 	var out []astopo.AS

@@ -1,0 +1,53 @@
+package wal
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes a file so that readers — including a process
+// booting after a mid-write crash — only ever see the complete old
+// content or the complete new content, never a torn mix. The content is
+// streamed into a temp file in the target's own directory (rename is only
+// atomic within one filesystem), synced, and renamed over the target;
+// the directory is then synced so the rename itself is durable. On any
+// failure the temp file is removed and the target is left untouched.
+//
+// ddosd's -snapshot-out and the WAL checkpoint both write through this —
+// the fix for the torn-snapshot bug where a crash mid-os.Create destroyed
+// the previous good snapshot.
+func WriteFileAtomic(path string, write func(w io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("wal: atomic write %s: %w", path, err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	bw := bufio.NewWriter(tmp)
+	if err = write(bw); err != nil {
+		return fmt.Errorf("wal: atomic write %s: %w", path, err)
+	}
+	if err = bw.Flush(); err != nil {
+		return fmt.Errorf("wal: atomic write %s: %w", path, err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("wal: atomic write %s: %w", path, err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("wal: atomic write %s: %w", path, err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("wal: atomic write %s: %w", path, err)
+	}
+	syncDir(dir)
+	return nil
+}

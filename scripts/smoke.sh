@@ -4,9 +4,11 @@
 # over HTTP, assert a 200 forecast for a target the trace contains, drive
 # paced load, and assert the observability surface is live: per-stage
 # latency histograms, online accuracy gauges, /accuracy, /debug/traces,
-# and the pprof admin mux. The ddosload run writes its machine-readable
-# JSON report to $REPORT_OUT (default: inside the temp workdir) so CI can
-# archive it as an artifact.
+# and the pprof admin mux. Then the durability pass: kill -9 the daemon
+# mid-load, restart it on the same -wal-dir, and assert the replayed
+# store knows the same targets and still serves forecasts. The ddosload
+# run writes its machine-readable JSON report to $REPORT_OUT (default:
+# inside the temp workdir) so CI can archive it as an artifact.
 set -euo pipefail
 
 workdir="$(mktemp -d)"
@@ -37,6 +39,7 @@ echo "==> most-attacked target: AS$target"
 echo "==> booting ddosd"
 "$workdir/bin/ddosd" -addr 127.0.0.1:0 -admin-addr 127.0.0.1:0 \
   -data "$workdir/trace.json" \
+  -wal-dir "$workdir/wal" -wal-fsync 50ms \
   -snapshot-out "$workdir/models.snap" >"$workdir/ddosd.log" 2>&1 &
 daemon_pid=$!
 
@@ -149,6 +152,52 @@ if curl -s -o /dev/null -w '%{http_code}' "http://$addr/debug/pprof/cmdline" | g
   echo "FAIL: pprof exposed on the public serving mux"
   exit 1
 fi
+
+# Crash recovery: SIGKILL the daemon mid-load (no graceful shutdown, no
+# final WAL checkpoint), restart it on the same -wal-dir without -data,
+# and require the replayed store to know the same targets and still serve
+# forecasts. -wal-fsync 50ms means the last <50ms of acks may be torn —
+# the restart must treat that as a truncated tail, never a fatal error.
+echo "==> kill -9 mid-load, then crash recovery from the WAL"
+targets_before="$(curl -s "http://$addr/healthz" | python3 -c 'import json,sys; print(json.load(sys.stdin)["targets_known"])')"
+"$workdir/bin/ddosload" -addr "http://$addr" -mode open \
+  -rate 200 -duration 5s -workers 4 -seed 11 >/dev/null 2>&1 &
+load_pid=$!
+sleep 1
+kill -9 "$daemon_pid"
+wait "$daemon_pid" 2>/dev/null || true
+daemon_pid=""
+wait "$load_pid" 2>/dev/null || true
+
+"$workdir/bin/ddosd" -addr 127.0.0.1:0 \
+  -wal-dir "$workdir/wal" -wal-fsync 50ms \
+  -snapshot-out "$workdir/models.snap" >"$workdir/ddosd2.log" 2>&1 &
+daemon_pid=$!
+addr=""
+for _ in $(seq 1 120); do
+  addr="$(sed -n 's/^.*msg=listening .*addr=\([^ ]*\).*$/\1/p' "$workdir/ddosd2.log" | head -n1)"
+  [[ -n "$addr" ]] && break
+  kill -0 "$daemon_pid" 2>/dev/null || { cat "$workdir/ddosd2.log"; echo "ddosd died during crash recovery"; exit 1; }
+  sleep 0.5
+done
+[[ -n "$addr" ]] || { cat "$workdir/ddosd2.log"; echo "ddosd never recovered from the WAL"; exit 1; }
+grep -q 'msg="wal recovered"' "$workdir/ddosd2.log" || { cat "$workdir/ddosd2.log"; echo "FAIL: no WAL recovery log line"; exit 1; }
+echo "==> recovered ddosd listening on $addr"
+
+check recovered-healthz "http://$addr/healthz"
+python3 - "$workdir/resp.json" "$targets_before" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    h = json.load(f)
+before = int(sys.argv[2])
+assert h["targets_known"] >= before, f'{h["targets_known"]} targets after recovery, {before} before the kill'
+assert h["targets_served"] > 0, h
+EOF
+check recovered-forecast "http://$addr/forecast?target=$target"
+grep -q "\"target_as\":$target" "$workdir/resp.json" || { echo "FAIL: recovered forecast for wrong target"; exit 1; }
+check recovered-metrics "http://$addr/metrics"
+grep -Eq '^ddosd_wal_replayed_records_total [1-9]' "$workdir/resp.json" \
+  || { echo "FAIL: WAL replay counter is zero after crash recovery"; grep '^ddosd_wal' "$workdir/resp.json"; exit 1; }
 
 # Graceful shutdown must write a loadable snapshot, and ddospredict must
 # forecast from it (and exit non-zero for a bogus target).
