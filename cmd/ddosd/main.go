@@ -24,7 +24,9 @@
 //
 // Endpoints (serving mux):
 //
-//	POST /ingest               attack records (object, array, or NDJSON)
+//	POST /ingest               attack records (object, array, or NDJSON;
+//	                           Content-Type application/x-ddos-batch posts
+//	                           binary batch frames — see DESIGN.md §11)
 //	GET  /forecast?target=AS   next-attack forecast for the target network
 //	GET  /healthz              liveness + backlog summary
 //	GET  /metrics              Prometheus text metrics

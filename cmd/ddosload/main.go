@@ -12,6 +12,8 @@
 //	ddosload -records 50000                          # in-process, closed loop
 //	ddosload -addr http://127.0.0.1:8080 \
 //	         -mode open -rate 500 -duration 10s      # live daemon, paced
+//	ddosload -addr http://127.0.0.1:8080 \
+//	         -wire binary -batch 64 -records 200000  # binary batch wire
 //	ddosload -records 20000 -drop 0.05 -dup 0.05 \
 //	         -reorder 0.1 -slow-refit 0.3            # chaos soak
 //	ddosload -records 50000 -slo-p99 5ms -slo-shed 0.2
@@ -44,6 +46,8 @@ func main() {
 		rateEnd  = flag.Float64("rate-end", 0, "open-loop final rate for a linear ramp (0 = constant)")
 		duration = flag.Duration("duration", 0, "open-loop run length; overrides -records via the mean rate")
 		workers  = flag.Int("workers", 8, "concurrent sink calls")
+		wire     = flag.String("wire", "json", "batch request encoding against a live daemon: json (NDJSON) or binary (application/x-ddos-batch)")
+		batch    = flag.Int("batch", 1, "records per sink call (1 = scalar ingest; >1 batches requests)")
 		targets  = flag.Int("targets", 16, "target fan-out")
 		seed     = flag.Uint64("seed", 1, "generator and chaos seed")
 		compress = flag.Float64("compress", 24, "trace-time compression factor for record timestamps")
@@ -74,7 +78,21 @@ func main() {
 	)
 	flag.Parse()
 
-	cfg := loadgen.Config{Records: *records, Workers: *workers, Rate: *rate, RateEnd: *rateEnd}
+	if *wire != "json" && *wire != "binary" {
+		log.Printf("unknown -wire %q (want json or binary)", *wire)
+		os.Exit(2)
+	}
+	if *batch < 1 {
+		log.Printf("-batch must be at least 1, got %d", *batch)
+		os.Exit(2)
+	}
+	if *wire == "binary" && *batch == 1 {
+		// The binary encoding is a batch protocol; without -batch the flag
+		// would silently fall back to scalar JSON requests.
+		*batch = 16
+		log.Printf("-wire binary implies batching; defaulting to -batch %d", *batch)
+	}
+	cfg := loadgen.Config{Records: *records, Workers: *workers, Rate: *rate, RateEnd: *rateEnd, Batch: *batch}
 	switch *mode {
 	case "closed":
 		cfg.Mode = loadgen.ClosedLoop
@@ -101,7 +119,9 @@ func main() {
 		if *slowRefit > 0 || *failRefit > 0 {
 			log.Print("-slow-refit/-fail-refit need the in-process service; ignoring against a live daemon")
 		}
-		sink = loadgen.NewHTTPSink(*addr)
+		hs := loadgen.NewHTTPSink(*addr)
+		hs.Wire = *wire
+		sink = hs
 	} else {
 		svcCfg := serve.Config{
 			Window:     *window,

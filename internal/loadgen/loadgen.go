@@ -47,6 +47,10 @@ type Config struct {
 	// RateEnd, when positive, ramps the arrival rate linearly from Rate to
 	// RateEnd across the run (stress ramps; find the shedding knee).
 	RateEnd float64
+	// Batch groups this many records per sink call when the sink
+	// implements BatchSink (HTTPSink: one request per batch; ServiceSink:
+	// one vectorized IngestBatch). Default 1: scalar Ingest calls.
+	Batch int
 	// Buckets overrides the latency histogram bounds (seconds). Default
 	// LatencyBuckets.
 	Buckets []float64
@@ -119,6 +123,32 @@ func Run(cfg Config, next func() *trace.Attack, sink Sink) (*Report, error) {
 			accepted.Add(1)
 		}
 	}
+	// Batched delivery: one sink call for the run, each record's latency
+	// observed against its own due time (the whole batch completes when
+	// the call returns).
+	bsink, batched := sink.(BatchSink)
+	batched = batched && cfg.Batch > 1
+	deliverBatch := func(items []workItem, recs []*trace.Attack) {
+		sent.Add(int64(len(items)))
+		recs = recs[:0]
+		for i := range items {
+			recs = append(recs, items[i].a)
+		}
+		br, err := bsink.IngestBatch(recs)
+		now := time.Now()
+		for i := range items {
+			observe(now.Sub(items[i].due))
+		}
+		switch {
+		case err != nil:
+			errCnt.Add(int64(len(items)))
+		case br.Shed:
+			shed.Add(int64(len(items)))
+		default:
+			accepted.Add(int64(br.Accepted))
+			dups.Add(int64(br.Duplicates))
+		}
+	}
 
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -129,31 +159,68 @@ func Run(cfg Config, next func() *trace.Attack, sink Sink) (*Report, error) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				for claimed.Add(1) <= int64(cfg.Records) {
-					a := pull()
-					if a == nil {
+				if !batched {
+					for claimed.Add(1) <= int64(cfg.Records) {
+						a := pull()
+						if a == nil {
+							return
+						}
+						deliver(a, time.Now())
+					}
+					return
+				}
+				items := make([]workItem, 0, cfg.Batch)
+				recs := make([]*trace.Attack, 0, cfg.Batch)
+				for {
+					items = items[:0]
+					exhausted := false
+					for len(items) < cfg.Batch {
+						if claimed.Add(1) > int64(cfg.Records) {
+							exhausted = true
+							break
+						}
+						a := pull()
+						if a == nil {
+							exhausted = true
+							break
+						}
+						items = append(items, workItem{a: a, due: time.Now()})
+					}
+					if len(items) > 0 {
+						deliverBatch(items, recs)
+					}
+					if exhausted {
 						return
 					}
-					deliver(a, time.Now())
 				}
 			}()
 		}
 	case OpenLoop:
 		work := make(chan workItem, cfg.Workers*4)
+		workB := make(chan []workItem, cfg.Workers*2)
 		for w := 0; w < cfg.Workers; w++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				for item := range work {
-					deliver(item.a, item.due)
+				if !batched {
+					for item := range work {
+						deliver(item.a, item.due)
+					}
+					return
+				}
+				recs := make([]*trace.Attack, 0, cfg.Batch)
+				for items := range workB {
+					deliverBatch(items, recs)
 				}
 			}()
 		}
 		// Dispatcher: the k-th arrival is due at the integral of the
 		// linearly ramped rate. If workers fall behind, the send blocks
 		// but due times stay on schedule — the backlog shows up as
-		// latency, which is the point of the open loop.
+		// latency, which is the point of the open loop. Batched runs group
+		// consecutive arrivals, each keeping its own due time.
 		due := start
+		var pending []workItem
 		for k := 0; k < cfg.Records; k++ {
 			rate := cfg.Rate
 			if cfg.RateEnd > 0 && cfg.Records > 1 {
@@ -167,9 +234,21 @@ func Run(cfg Config, next func() *trace.Attack, sink Sink) (*Report, error) {
 			if a == nil {
 				break
 			}
-			work <- workItem{a: a, due: due}
+			if !batched {
+				work <- workItem{a: a, due: due}
+				continue
+			}
+			pending = append(pending, workItem{a: a, due: due})
+			if len(pending) >= cfg.Batch {
+				workB <- pending
+				pending = nil
+			}
+		}
+		if len(pending) > 0 {
+			workB <- pending
 		}
 		close(work)
+		close(workB)
 	}
 	wg.Wait()
 

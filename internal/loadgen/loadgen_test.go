@@ -1,9 +1,15 @@
 package loadgen
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
+	"io"
+	"net/http"
 	"net/http/httptest"
+	"net/http/httptrace"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -156,6 +162,137 @@ func TestHTTPSinkClassifiesOutcomes(t *testing.T) {
 	bad.Family = ""
 	if _, err := sink.Ingest(&bad); err == nil {
 		t.Fatal("invalid record did not error through the HTTP sink")
+	}
+}
+
+// TestHTTPSinkReusesConnections pins the keep-alive behavior behind the
+// response-body drain: under concurrent workers against a live server,
+// requests after the first wave must ride pooled connections
+// (httptrace GotConn.Reused), not fresh TCP handshakes.
+func TestHTTPSinkReusesConnections(t *testing.T) {
+	svc := serve.New(testServeConfig())
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	sink := NewHTTPSink(srv.URL)
+	var reused, total atomic.Int64
+	ctx := httptrace.WithClientTrace(context.Background(), &httptrace.ClientTrace{
+		GotConn: func(info httptrace.GotConnInfo) {
+			total.Add(1)
+			if info.Reused {
+				reused.Add(1)
+			}
+		},
+	})
+	gen := NewGenerator(GenConfig{Targets: 2, Seed: 8, TimeCompress: 24})
+
+	// Serial scalar requests: after the first, every request must reuse.
+	for i := 0; i < 20; i++ {
+		a := gen.Next()
+		body, err := json.Marshal(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, srv.URL+"/ingest", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := sink.Client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	if got := reused.Load(); got < 19 {
+		t.Fatalf("connection reused on %d/20 requests; the sink is defeating keep-alive", got)
+	}
+
+	// The sink's own Ingest path must leave the connection reusable too:
+	// drive it, then confirm a traced request still reuses.
+	for i := 0; i < 5; i++ {
+		if _, err := sink.Ingest(gen.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := reused.Load()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, srv.URL+"/ingest", strings.NewReader("[]"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := sink.Client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if reused.Load() != before+1 {
+		t.Fatal("request after sink.Ingest did not reuse the pooled connection")
+	}
+}
+
+// TestHTTPSinkBatchWires drives both batch encodings through IngestBatch
+// against a live handler and requires identical classification.
+func TestHTTPSinkBatchWires(t *testing.T) {
+	for _, wire := range []string{"json", "binary"} {
+		t.Run(wire, func(t *testing.T) {
+			svc := serve.New(testServeConfig())
+			defer svc.Close()
+			srv := httptest.NewServer(svc.Handler())
+			defer srv.Close()
+
+			sink := NewHTTPSink(srv.URL)
+			sink.Wire = wire
+			gen := NewGenerator(GenConfig{Targets: 2, Seed: 4, TimeCompress: 24})
+			batch := make([]*trace.Attack, 16)
+			for i := range batch {
+				batch[i] = gen.Next()
+			}
+			br, err := sink.IngestBatch(batch)
+			if err != nil || br.Accepted != 16 || br.Duplicates != 0 {
+				t.Fatalf("first batch: %+v, %v", br, err)
+			}
+			br, err = sink.IngestBatch(batch)
+			if err != nil || br.Accepted != 0 || br.Duplicates != 16 {
+				t.Fatalf("replayed batch: %+v, %v", br, err)
+			}
+		})
+	}
+}
+
+// TestBatchedDriverAgainstService runs the full driver in batch mode on
+// the in-process vectorized path, both pacing disciplines.
+func TestBatchedDriverAgainstService(t *testing.T) {
+	for _, mode := range []Mode{ClosedLoop, OpenLoop} {
+		t.Run(mode.String(), func(t *testing.T) {
+			svc := serve.New(testServeConfig())
+			defer svc.Close()
+			gen := NewGenerator(GenConfig{Targets: 4, Seed: 6, TimeCompress: 24})
+			cfg := Config{Mode: mode, Records: 1000, Workers: 4, Batch: 32}
+			if mode == OpenLoop {
+				cfg.Rate = 50000
+			}
+			rep, err := Run(cfg, gen.Next, ServiceSink{Svc: svc})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Sent != 1000 {
+				t.Fatalf("sent %d, want 1000", rep.Sent)
+			}
+			if rep.Accepted+rep.Dups+rep.Shed+rep.Errors != rep.Sent {
+				t.Fatalf("outcome counters %d+%d+%d+%d don't add to sent %d",
+					rep.Accepted, rep.Dups, rep.Shed, rep.Errors, rep.Sent)
+			}
+			if rep.Errors != 0 {
+				t.Fatalf("%d sink errors", rep.Errors)
+			}
+			if rep.Accepted == 0 {
+				t.Fatal("nothing accepted")
+			}
+		})
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
 	"time"
 
 	"repro/internal/serve"
@@ -23,11 +24,29 @@ type Result struct {
 	Shed bool
 }
 
+// BatchResult classifies one batched ingest attempt.
+type BatchResult struct {
+	// Accepted records entered the store as new.
+	Accepted int
+	// Duplicates were deduplicated (known attack IDs).
+	Duplicates int
+	// Shed: the service refused the whole batch under load (429).
+	Shed bool
+}
+
 // Sink is where the driver pushes records. Implementations classify the
 // outcome; an error means the record was rejected for a non-load reason
 // (validation, transport) and counts against the run.
 type Sink interface {
 	Ingest(a *trace.Attack) (Result, error)
+}
+
+// BatchSink is the vectorized extension a sink may implement; the driver
+// uses it when Config.Batch > 1 (HTTPSink: one request per batch;
+// ServiceSink: one serve.IngestBatch call).
+type BatchSink interface {
+	Sink
+	IngestBatch(recs []*trace.Attack) (BatchResult, error)
 }
 
 // ServiceSink drives an in-process serve.Service — the zero-transport
@@ -51,14 +70,48 @@ func (s ServiceSink) Ingest(a *trace.Attack) (Result, error) {
 	}
 }
 
-// HTTPSink drives a live ddosd over POST /ingest, one record per request
-// (per-record latency is the point; batch throughput is the in-process
-// sink's job).
+// svcBatchPool recycles ServiceSink.IngestBatch's record scratch.
+var svcBatchPool = sync.Pool{New: func() any { return new([]trace.Attack) }}
+
+// IngestBatch implements BatchSink over serve.Service.IngestBatch.
+func (s ServiceSink) IngestBatch(recs []*trace.Attack) (BatchResult, error) {
+	bp := svcBatchPool.Get().(*[]trace.Attack)
+	arr := (*bp)[:0]
+	for _, a := range recs {
+		arr = append(arr, *a)
+	}
+	br, err := s.Svc.IngestBatch(arr, nil)
+	*bp = arr[:0]
+	svcBatchPool.Put(bp)
+	switch {
+	case errors.Is(err, serve.ErrShedding):
+		return BatchResult{Shed: true}, nil
+	case err != nil:
+		return BatchResult{}, err
+	}
+	return BatchResult{Accepted: br.Ingested, Duplicates: br.Duplicates}, nil
+}
+
+// HTTPSink drives a live ddosd over POST /ingest: one record per request
+// through Ingest, or one batch per request through IngestBatch on the
+// wire Wire selects.
 type HTTPSink struct {
 	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8080".
 	BaseURL string
 	// Client defaults to a dedicated client with sane timeouts.
 	Client *http.Client
+	// Wire selects IngestBatch's request encoding: "json" (NDJSON body,
+	// the default) or "binary" (application/x-ddos-batch frames).
+	Wire string
+
+	bufs sync.Pool // *batchBuf: request-body scratch per in-flight call
+}
+
+// batchBuf is one pooled request-encoding workspace.
+type batchBuf struct {
+	body bytes.Buffer
+	enc  *trace.BatchEncoder
+	je   *json.Encoder
 }
 
 // NewHTTPSink returns a sink with a connection-reusing client.
@@ -81,14 +134,14 @@ func (s *HTTPSink) Ingest(a *trace.Attack) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	client := s.Client
-	if client == nil {
-		client = http.DefaultClient
-	}
-	resp, err := client.Post(s.BaseURL+"/ingest", "application/json", bytes.NewReader(body))
+	resp, err := s.client().Post(s.BaseURL+"/ingest", "application/json", bytes.NewReader(body))
 	if err != nil {
 		return Result{}, err
 	}
+	// Drain before close so the keep-alive connection returns to the
+	// transport's idle pool instead of being torn down (the success path
+	// below reads the JSON body, but error paths and trailing bytes must
+	// drain too — pinned by TestHTTPSinkReusesConnections).
 	defer func() {
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
@@ -107,5 +160,69 @@ func (s *HTTPSink) Ingest(a *trace.Attack) (Result, error) {
 		return Result{Shed: true}, nil
 	default:
 		return Result{}, fmt.Errorf("loadgen: /ingest returned HTTP %d", resp.StatusCode)
+	}
+}
+
+func (s *HTTPSink) client() *http.Client {
+	if s.Client != nil {
+		return s.Client
+	}
+	return http.DefaultClient
+}
+
+// IngestBatch implements BatchSink: all records in one request. The
+// binary wire encodes trace.BatchEncoder frames under the batch content
+// type; the JSON wire sends NDJSON, which /ingest's stream decoder
+// accepts natively — so both wires exercise the same endpoint and the
+// comparison isolates the encoding.
+func (s *HTTPSink) IngestBatch(recs []*trace.Attack) (BatchResult, error) {
+	b, _ := s.bufs.Get().(*batchBuf)
+	if b == nil {
+		b = &batchBuf{}
+	}
+	defer s.bufs.Put(b)
+	b.body.Reset()
+	contentType := "application/json"
+	if s.Wire == "binary" {
+		contentType = trace.BatchContentType
+		if b.enc == nil {
+			b.enc = trace.NewBatchEncoder(&b.body)
+		} else {
+			b.enc.Reset(&b.body)
+		}
+		for _, a := range recs {
+			if err := b.enc.Encode(a); err != nil {
+				return BatchResult{}, err
+			}
+		}
+	} else {
+		if b.je == nil {
+			b.je = json.NewEncoder(&b.body)
+		}
+		for _, a := range recs {
+			if err := b.je.Encode(a); err != nil {
+				return BatchResult{}, err
+			}
+		}
+	}
+	resp, err := s.client().Post(s.BaseURL+"/ingest", contentType, &b.body)
+	if err != nil {
+		return BatchResult{}, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var res serve.IngestResult
+		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+			return BatchResult{}, fmt.Errorf("loadgen: bad /ingest response: %w", err)
+		}
+		return BatchResult{Accepted: res.Ingested, Duplicates: res.Duplicates}, nil
+	case http.StatusTooManyRequests:
+		return BatchResult{Shed: true}, nil
+	default:
+		return BatchResult{}, fmt.Errorf("loadgen: /ingest returned HTTP %d", resp.StatusCode)
 	}
 }

@@ -1,0 +1,524 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/astopo"
+	"repro/internal/trace"
+	"repro/internal/wal"
+)
+
+// encodeBinaryBatch frames attacks as an application/x-ddos-batch body.
+func encodeBinaryBatch(t testing.TB, attacks []trace.Attack) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := trace.NewBatchEncoder(&buf)
+	for i := range attacks {
+		if err := enc.Encode(&attacks[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+func postBinary(t *testing.T, url string, body []byte) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url+"/ingest", trace.BatchContentType, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestIngestBinaryBatchHTTP(t *testing.T) {
+	svc := New(testConfig())
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	attacks := mkAttacks(64512, 0, 10)
+	resp := postBinary(t, srv.URL, encodeBinaryBatch(t, attacks))
+	res := decodeBody[IngestResult](t, resp)
+	if resp.StatusCode != http.StatusOK || res.Ingested != 10 || res.Duplicates != 0 {
+		t.Fatalf("binary batch: status %d, result %+v", resp.StatusCode, res)
+	}
+
+	// Resending the same batch dedups every record.
+	resp = postBinary(t, srv.URL, encodeBinaryBatch(t, attacks))
+	res = decodeBody[IngestResult](t, resp)
+	if resp.StatusCode != http.StatusOK || res.Ingested != 0 || res.Duplicates != 10 {
+		t.Fatalf("replayed batch: status %d, result %+v", resp.StatusCode, res)
+	}
+
+	window, total := svc.Store().Window(64512)
+	if total != 10 || len(window) != 10 {
+		t.Fatalf("store window %d total %d, want 10/10", len(window), total)
+	}
+
+	// An empty batch (bare magic, or empty body) is zero records, HTTP 200.
+	resp = postBinary(t, srv.URL, nil)
+	res = decodeBody[IngestResult](t, resp)
+	if resp.StatusCode != http.StatusOK || res.Ingested != 0 {
+		t.Fatalf("empty batch: status %d, result %+v", resp.StatusCode, res)
+	}
+}
+
+func TestIngestBinaryBatchRejectsCorruptFrames(t *testing.T) {
+	svc := New(testConfig())
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	body := encodeBinaryBatch(t, mkAttacks(64512, 0, 4))
+	mut := bytes.Clone(body)
+	mut[len(mut)-1] ^= 0x01 // corrupt the last record's payload
+
+	resp := postBinary(t, srv.URL, mut)
+	res := decodeBody[IngestResult](t, resp)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("corrupt batch status %d, want 400", resp.StatusCode)
+	}
+	// Decode-all-then-apply: a corrupt frame aborts the batch before
+	// anything reaches the store, and the error names the frame.
+	if res.Ingested != 0 || res.Duplicates != 0 || res.Rejected != 0 {
+		t.Fatalf("corrupt batch committed records: %+v", res)
+	}
+	if !strings.Contains(res.Error, "record 4") {
+		t.Fatalf("error %q does not name record 4", res.Error)
+	}
+	if n := svc.Store().Len(); n != 0 {
+		t.Fatalf("store holds %d targets after an aborted batch", n)
+	}
+
+	// A JSON body mislabeled with the batch content type is a 400.
+	resp = postBinary(t, srv.URL, []byte(`[{"id":1}]`))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("mislabeled body status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestIngestBinaryBatchRecordCap(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxBatchRecords = 4
+	svc := New(cfg)
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	resp := postBinary(t, srv.URL, encodeBinaryBatch(t, mkAttacks(64512, 0, 5)))
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized binary batch status %d, want 413", resp.StatusCode)
+	}
+	if n := svc.Store().Len(); n != 0 {
+		t.Fatalf("store holds %d targets after a rejected batch", n)
+	}
+}
+
+// TestIngestErrorIndexConvention pins the unified failing-record index
+// convention across every /ingest error path: the failing record is
+// counted in Rejected and the error names its 1-based batch position,
+// which always equals Ingested+Duplicates+Rejected.
+func TestIngestErrorIndexConvention(t *testing.T) {
+	newSrv := func(t *testing.T) (*Service, *httptest.Server) {
+		svc := New(testConfig())
+		t.Cleanup(svc.Close)
+		srv := httptest.NewServer(svc.Handler())
+		t.Cleanup(srv.Close)
+		return svc, srv
+	}
+
+	t.Run("json decode error", func(t *testing.T) {
+		_, srv := newSrv(t)
+		attacks := mkAttacks(64512, 0, 2)
+		var body bytes.Buffer
+		for i := range attacks {
+			writeNDJSON(t, &body, &attacks[i])
+		}
+		body.WriteString(`{nope`)
+		resp, err := http.Post(srv.URL+"/ingest", "application/json", &body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := decodeBody[IngestResult](t, resp)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status %d, want 400", resp.StatusCode)
+		}
+		if res.Ingested != 2 || res.Duplicates != 0 || res.Rejected != 1 {
+			t.Fatalf("counts %+v, want ingested 2, rejected 1", res)
+		}
+		if want := fmt.Sprintf("record %d:", res.Ingested+res.Duplicates+res.Rejected); !strings.HasPrefix(res.Error, want) {
+			t.Fatalf("error %q does not open with %q", res.Error, want)
+		}
+	})
+
+	t.Run("json reject", func(t *testing.T) {
+		_, srv := newSrv(t)
+		attacks := mkAttacks(64512, 0, 3)
+		attacks[2].Family = ""
+		resp := postAttacks(t, srv.URL, attacks)
+		res := decodeBody[IngestResult](t, resp)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status %d, want 400", resp.StatusCode)
+		}
+		if res.Ingested != 2 || res.Duplicates != 0 || res.Rejected != 1 {
+			t.Fatalf("counts %+v, want ingested 2, rejected 1", res)
+		}
+		if want := fmt.Sprintf("record %d:", res.Ingested+res.Duplicates+res.Rejected); !strings.HasPrefix(res.Error, want) {
+			t.Fatalf("error %q does not open with %q", res.Error, want)
+		}
+	})
+
+	t.Run("binary reject", func(t *testing.T) {
+		svc, srv := newSrv(t)
+		attacks := mkAttacks(64512, 0, 3)
+		attacks[1].TargetAS = 0 // invalid: prefix of 1 applies, rest does not
+		resp := postBinary(t, srv.URL, encodeBinaryBatch(t, attacks))
+		res := decodeBody[IngestResult](t, resp)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status %d, want 400", resp.StatusCode)
+		}
+		if res.Ingested != 1 || res.Duplicates != 0 || res.Rejected != 1 {
+			t.Fatalf("counts %+v, want ingested 1, rejected 1", res)
+		}
+		if want := fmt.Sprintf("record %d:", res.Ingested+res.Duplicates+res.Rejected); !strings.HasPrefix(res.Error, want) {
+			t.Fatalf("error %q does not open with %q", res.Error, want)
+		}
+		if _, total := svc.Store().Window(64512); total != 1 {
+			t.Fatalf("store total %d, want the 1-record prefix", total)
+		}
+	})
+}
+
+func writeNDJSON(t *testing.T, w io.Writer, a *trace.Attack) {
+	t.Helper()
+	buf, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if _, err := w.Write(buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTargetGaugesFreshAfterErroredBatch pins the gauge-refresh fix:
+// records committed before a mid-batch error must show in
+// ddosd_targets_known even though the request failed.
+func TestTargetGaugesFreshAfterErroredBatch(t *testing.T) {
+	svc := New(testConfig())
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	attacks := mkAttacks(64512, 0, 3)
+	attacks[1].Family = "" // record 2 rejects; record 1 commits
+	resp := postAttacks(t, srv.URL, attacks)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(raw), "ddosd_targets_known 1") {
+		t.Fatalf("ddosd_targets_known stale after errored batch:\n%s",
+			grepLines(string(raw), "ddosd_targets_known"))
+	}
+}
+
+func grepLines(s, substr string) string {
+	var out []string
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, substr) {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}
+
+// TestIngestBatchMatchesScalar drives the same multi-target stream
+// through the scalar path and the vectorized path and requires
+// byte-identical store state — the shard-grouped application must be
+// invisible.
+func TestIngestBatchMatchesScalar(t *testing.T) {
+	stream := interleavedStream(t)
+
+	scalar := New(testConfig())
+	defer scalar.Close()
+	for i := range stream {
+		a := stream[i]
+		if _, err := scalar.Ingest(&a); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	vec := New(testConfig())
+	defer vec.Close()
+	for lo := 0; lo < len(stream); lo += 7 {
+		hi := min(lo+7, len(stream))
+		if _, err := vec.IngestBatch(stream[lo:hi], nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if got, want := storeImage(t, vec.Store()), storeImage(t, scalar.Store()); !bytes.Equal(got, want) {
+		t.Fatalf("vectorized store diverges from scalar store:\n got %s\nwant %s", got, want)
+	}
+}
+
+// interleavedStream builds a deterministic multi-target stream with
+// in-batch duplicates and out-of-order arrivals — the store edge cases.
+func interleavedStream(t testing.TB) []trace.Attack {
+	t.Helper()
+	var stream []trace.Attack
+	for _, as := range []astopo.AS{64512, 64513, 64514, 65000} {
+		stream = append(stream, mkAttacks(as, int(as)*1000, 12)...)
+	}
+	// Interleave targets round-robin so shard groups are non-trivial.
+	perTarget := 12
+	out := make([]trace.Attack, 0, len(stream))
+	for i := 0; i < perTarget; i++ {
+		for tgt := 0; tgt < 4; tgt++ {
+			out = append(out, stream[tgt*perTarget+i])
+		}
+	}
+	// Swap two arrivals of one target out of order and duplicate another.
+	out[8], out[12] = out[12], out[8]
+	out = append(out, out[5])
+	return out
+}
+
+// TestCrossWireEquivalence is the cross-protocol property: the same
+// record stream through the JSON wire and the binary wire must yield
+// byte-identical store checkpoints, and replaying each WAL into a fresh
+// store must again yield byte-identical state.
+func TestCrossWireEquivalence(t *testing.T) {
+	stream := interleavedStream(t)
+	cfg := testConfig()
+
+	run := func(t *testing.T, dir string, post func(url string, batch []trace.Attack)) []byte {
+		svc := New(cfg)
+		defer svc.Close()
+		svc.AttachWAL(openWAL(t, dir, 0), nil)
+		srv := httptest.NewServer(svc.Handler())
+		defer srv.Close()
+		for lo := 0; lo < len(stream); lo += 7 {
+			post(srv.URL, stream[lo:min(lo+7, len(stream))])
+		}
+		return storeImage(t, svc.Store())
+	}
+
+	jsonDir, binDir := t.TempDir(), t.TempDir()
+	jsonImage := run(t, jsonDir, func(url string, batch []trace.Attack) {
+		resp := postAttacks(t, url, batch)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("json wire status %d", resp.StatusCode)
+		}
+	})
+	binImage := run(t, binDir, func(url string, batch []trace.Attack) {
+		resp := postBinary(t, url, encodeBinaryBatch(t, batch))
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("binary wire status %d", resp.StatusCode)
+		}
+	})
+	if !bytes.Equal(jsonImage, binImage) {
+		t.Fatalf("wire protocols diverge:\n json %s\n bin  %s", jsonImage, binImage)
+	}
+
+	// WAL replay state must match too: both logs hold the same binary
+	// record frames, so recovery is wire-independent.
+	replay := func(t *testing.T, dir string) []byte {
+		svc := New(cfg)
+		defer svc.Close()
+		if _, err := svc.RecoverWAL(openWAL(t, dir, 0), nil); err != nil {
+			t.Fatal(err)
+		}
+		return storeImage(t, svc.Store())
+	}
+	jsonReplay := replay(t, jsonDir)
+	binReplay := replay(t, binDir)
+	if !bytes.Equal(jsonReplay, binReplay) {
+		t.Fatalf("WAL replay diverges across wires:\n json %s\n bin  %s", jsonReplay, binReplay)
+	}
+	if !bytes.Equal(jsonReplay, jsonImage) {
+		t.Fatalf("WAL replay diverges from live store:\n replay %s\n live   %s", jsonReplay, jsonImage)
+	}
+}
+
+// TestIngestBatchDurableBeforeAck pins durability-before-ack on the
+// batch path: every acked record is in the WAL when IngestBatch returns.
+func TestIngestBatchDurableBeforeAck(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig()
+	svc := New(cfg)
+	svc.AttachWAL(openWAL(t, dir, 0), nil)
+
+	stream := mkAttacks(64512, 0, 20)
+	br, err := svc.IngestBatch(stream, nil)
+	if err != nil || br.Ingested != 20 {
+		t.Fatalf("IngestBatch = %+v, %v", br, err)
+	}
+	st, ok := svc.WALStats()
+	if !ok || st.Appends != 20 {
+		t.Fatalf("WAL appends %d, want 20", st.Appends)
+	}
+	want := storeImage(t, svc.Store())
+	svc.Close() // no checkpoint: the WAL is the only copy
+
+	svc2 := New(cfg)
+	defer svc2.Close()
+	rs, err := svc2.RecoverWAL(openWAL(t, dir, 0), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Replayed != 20 || rs.Truncated {
+		t.Fatalf("recovery %+v, want 20 clean replays", rs)
+	}
+	if got := storeImage(t, svc2.Store()); !bytes.Equal(got, want) {
+		t.Fatal("batch-ingested records did not survive the crash")
+	}
+}
+
+// TestIngestBatchZeroAlloc pins the pooling contract: once the arenas
+// are warm, decode + vectorized apply (store, WAL, scoring, scheduling)
+// allocates amortized (near-)zero per record.
+func TestIngestBatchZeroAlloc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement")
+	}
+	svc, bodies, dec := newZeroAllocHarness(t, 256)
+	var r bytes.Reader
+	round := 0
+	warm := func(n int) {
+		for i := 0; i < n; i++ {
+			r.Reset(bodies[round%len(bodies)])
+			round++
+			dec.Reset(&r)
+			if err := dec.Decode(0); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := svc.ingestBatchTimed(dec.Records(), dec.Payload); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	warm(64) // fill pools, arenas, shard maps, histogram buckets
+	const perRound = 64
+	avg := testing.AllocsPerRun(100, func() { warm(1) })
+	if perRecord := avg / perRound; perRecord > 0.25 {
+		t.Fatalf("decode+apply allocates %.3f/record (%.1f/batch), want amortized ~0", perRecord, avg)
+	}
+}
+
+// newZeroAllocHarness builds a WAL-backed service plus nBodies
+// pre-encoded 64-record binary batches across 8 targets (unique IDs, so
+// every record is accepted, every frame reaches the WAL).
+func newZeroAllocHarness(t testing.TB, nBodies int) (*Service, [][]byte, *trace.BatchDecoder) {
+	t.Helper()
+	cfg := testConfig()
+	cfg.MinWindow = 1 << 20 // no refits: isolate the ingest path
+	svc := New(cfg)
+	t.Cleanup(svc.Close)
+	w, err := wal.Open(wal.Options{
+		Dir:          t.TempDir(),
+		SegmentBytes: 1 << 30, // no rotation mid-measurement
+		Sync:         wal.SyncPolicy{Mode: wal.SyncNever},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w.Close() })
+	svc.AttachWAL(w, nil)
+
+	bodies := make([][]byte, nBodies)
+	id := 0
+	for i := range bodies {
+		batch := make([]trace.Attack, 64)
+		for j := range batch {
+			id++
+			batch[j] = mkAttacks(astopo.AS(64512+id%8), id*100, 1)[0]
+		}
+		bodies[i] = encodeBinaryBatch(t, batch)
+	}
+	return svc, bodies, trace.NewBatchDecoder()
+}
+
+// BenchmarkIngestBatchBinary measures the server-side binary hot path —
+// batch decode + vectorized store/WAL apply — in records/second and
+// allocs/record (the numbers BENCH_6.json checks in).
+// BenchmarkIngestScalarJSON measures the status-quo path the binary wire
+// replaces — per-record json.Unmarshal + scalar Ingest + per-record WAL
+// append — over the same record stream as BenchmarkIngestBatchBinary, so
+// scripts/bench.sh can merge both into BENCH_6.json.
+func BenchmarkIngestScalarJSON(b *testing.B) {
+	svc, bodies, dec := newZeroAllocHarness(b, 512)
+	var r bytes.Reader
+	lines := make([][][]byte, len(bodies))
+	for i, body := range bodies {
+		r.Reset(body)
+		dec.Reset(&r)
+		if err := dec.Decode(0); err != nil {
+			b.Fatal(err)
+		}
+		recs := dec.Records()
+		lines[i] = make([][]byte, len(recs))
+		for j := range recs {
+			buf, err := json.Marshal(&recs[j])
+			if err != nil {
+				b.Fatal(err)
+			}
+			lines[i][j] = buf
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, line := range lines[i%len(lines)] {
+			var a trace.Attack
+			if err := json.Unmarshal(line, &a); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := svc.Ingest(&a); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	recs := float64(b.N * 64)
+	b.ReportMetric(recs/b.Elapsed().Seconds(), "rec/s")
+}
+
+func BenchmarkIngestBatchBinary(b *testing.B) {
+	svc, bodies, dec := newZeroAllocHarness(b, 512)
+	var r bytes.Reader
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Reset(bodies[i%len(bodies)])
+		dec.Reset(&r)
+		if err := dec.Decode(0); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := svc.ingestBatchTimed(dec.Records(), dec.Payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	recs := float64(b.N * 64)
+	b.ReportMetric(recs/b.Elapsed().Seconds(), "rec/s")
+}

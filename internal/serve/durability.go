@@ -8,6 +8,7 @@ import (
 	"log/slog"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"repro/internal/trace"
@@ -18,9 +19,14 @@ import (
 // and internal/wal. Three moving parts:
 //
 //   - Append path: once a record is accepted into the store, ingestTimed
-//     appends its JSON encoding to the WAL before the HTTP ack (the
-//     StageWAL child of the ingest span). Both operations happen under
-//     the shared side of the checkpoint barrier (Service.walMu).
+//     appends its binary record encoding (trace.AppendRecord — the same
+//     bytes the batch wire carries) to the WAL before the HTTP ack (the
+//     StageWAL child of the ingest span); ingestBatchTimed appends a whole
+//     batch's frames in one wal.AppendBatch call, passing binary-wire
+//     payloads through without re-serialization. Both operations happen
+//     under the shared side of the checkpoint barrier (Service.walMu).
+//     Replay dispatches per frame on the first payload byte, so logs
+//     holding legacy JSON frames keep replaying.
 //   - Recovery path: RecoverWAL restores the last durable checkpoint into
 //     the store, replays the WAL tail (stopping cleanly at a torn frame),
 //     re-schedules refits for every recovered target, and waits for the
@@ -109,18 +115,47 @@ func (s *Service) WALStats() (wal.Stats, bool) {
 	return w.Stats(), true
 }
 
-// appendWAL frames one accepted record into the log. Called under
-// walMu.RLock from ingestTimed.
+// walEncPool holds per-append encode buffers (appendWAL runs on
+// concurrent ingest requests).
+var walEncPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 256)
+	return &b
+}}
+
+// appendWAL frames one accepted record into the log using the binary
+// record encoding — the same bytes the batch wire carries, so scalar
+// and batched ingests of the same record are byte-identical in the log.
+// Called under walMu.RLock from ingestTimed.
 func (s *Service) appendWAL(w *wal.WAL, a *trace.Attack) error {
-	buf, err := json.Marshal(a)
+	bp := walEncPool.Get().(*[]byte)
+	defer walEncPool.Put(bp)
+	buf, err := trace.AppendRecord((*bp)[:0], a)
 	if err != nil {
 		return fmt.Errorf("encode: %w", err)
 	}
+	*bp = buf[:0]
 	if err := w.Append(buf); err != nil {
 		return err
 	}
 	s.tel.walAppends.Inc()
 	s.tel.walBytes.Add(uint64(len(buf)) + 8)
+	s.updateWALGauges(w)
+	return nil
+}
+
+// appendWALBatch is appendWAL for a whole batch of pre-encoded frames:
+// one wal.AppendBatch call, so one log lock and one fsync. Called under
+// walMu.RLock from ingestBatchTimed.
+func (s *Service) appendWALBatch(w *wal.WAL, payloads [][]byte) error {
+	if err := w.AppendBatch(payloads); err != nil {
+		return err
+	}
+	s.tel.walAppends.Add(uint64(len(payloads)))
+	var bytes uint64
+	for _, p := range payloads {
+		bytes += uint64(len(p)) + 8
+	}
+	s.tel.walBytes.Add(bytes)
 	s.updateWALGauges(w)
 	return nil
 }
@@ -172,8 +207,15 @@ func (s *Service) RecoverWAL(w *wal.WAL, progress func(RecoveryStats)) (Recovery
 			rs.Skipped++
 			return nil
 		}
+		// Frames dispatch on their first byte: 0xDB marks the binary record
+		// encoding, anything else is a legacy JSON frame from a pre-binary
+		// log — both replay into the same store.
 		var a trace.Attack
-		if err := json.Unmarshal(rec, &a); err != nil {
+		if trace.IsBinaryRecord(rec) {
+			if err := trace.UnmarshalRecord(rec, &a); err != nil {
+				return fmt.Errorf("serve: wal segment %d holds an undecodable record: %w", seq, err)
+			}
+		} else if err := json.Unmarshal(rec, &a); err != nil {
 			return fmt.Errorf("serve: wal segment %d holds an undecodable record: %w", seq, err)
 		}
 		if err := ValidateRecord(&a); err != nil {

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/astopo"
@@ -16,7 +17,9 @@ import (
 
 // HTTP layer. Endpoints:
 //
-//	POST /ingest        — attack records: one object, an array, or NDJSON
+//	POST /ingest        — attack records: one object, an array, or NDJSON;
+//	                      or a binary batch with Content-Type
+//	                      application/x-ddos-batch (trace.BatchEncoder)
 //	GET  /forecast      — ?target=<AS>: next-attack forecast for the target
 //	GET  /healthz       — liveness + store/registry/backlog summary
 //	GET  /metrics       — Prometheus text exposition
@@ -42,9 +45,15 @@ func (s *Service) Handler() http.Handler {
 }
 
 // IngestResult is the /ingest response body. On a mid-batch failure the
-// same shape comes back with Error set: Ingested/Duplicates then report
-// what the service already committed before the bad record, so clients
-// can resume a partially applied batch instead of blindly resending it.
+// same shape comes back with Error set: Ingested/Duplicates report what
+// the service already committed before the bad record, so clients can
+// resume a partially applied batch instead of blindly resending it. The
+// failing record itself is counted in Rejected and the error names its
+// 1-based position — always Ingested+Duplicates+Rejected, on every
+// error path. (Binary batches are the one exception: a frame that fails
+// to decode aborts the whole batch before anything is applied, so all
+// three counts come back zero and the error still names the frame's
+// position.)
 type IngestResult struct {
 	Ingested   int    `json:"ingested"`
 	Duplicates int    `json:"duplicates"`
@@ -66,14 +75,22 @@ func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
 	span := s.tracer.Start(StageIngest)
 	var agg ingestStageTimes
 	outcome := "ok"
+	var res IngestResult
 	defer func() {
 		span.Attach(StageAppend, start, agg.Append)
 		span.Attach(StageWAL, start, agg.WAL)
 		span.Attach(StageScore, start, agg.Score)
 		span.Attach(StageSchedule, start, agg.Schedule)
 		span.SetAttr("outcome", outcome)
+		span.SetAttr("ingested", strconv.Itoa(res.Ingested))
+		span.SetAttr("duplicates", strconv.Itoa(res.Duplicates))
 		span.End()
 	}()
+	// Refresh the target gauges on every exit, not only full success:
+	// records committed mid-batch must show even when the request then
+	// sheds or errors, or ddosd_targets_* goes stale under sustained
+	// error traffic.
+	defer s.updateTargetGauges()
 	if s.sched.Overloaded() {
 		s.tel.ingestShed.Inc()
 		outcome = "shed"
@@ -83,12 +100,11 @@ func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBatchBytes)
+	if r.Header.Get("Content-Type") == trace.BatchContentType {
+		s.ingestBinary(w, body, &res, &agg, &outcome)
+		return
+	}
 	dec := trace.NewStreamDecoder(body)
-	var res IngestResult
-	defer func() {
-		span.SetAttr("ingested", strconv.Itoa(res.Ingested))
-		span.SetAttr("duplicates", strconv.Itoa(res.Duplicates))
-	}()
 	for {
 		if res.Ingested+res.Duplicates+res.Rejected >= s.cfg.MaxBatchRecords {
 			outcome = "too_large"
@@ -108,9 +124,10 @@ func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if err != nil {
+			res.Rejected++
 			outcome = "bad_record"
 			writeIngestError(w, http.StatusBadRequest, &res, fmt.Sprintf("record %d: %v",
-				res.Ingested+res.Duplicates+res.Rejected+1, err))
+				res.Ingested+res.Duplicates+res.Rejected, err))
 			return
 		}
 		ok, st, err := s.ingestTimed(a)
@@ -143,8 +160,64 @@ func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
 			res.Duplicates++
 		}
 	}
-	s.updateTargetGauges()
 	writeJSON(w, http.StatusOK, &res)
+}
+
+// batchDecPool recycles binary batch decoders across /ingest requests;
+// a warm decoder's arenas make the decode path amortized zero-alloc.
+var batchDecPool = sync.Pool{New: func() any { return trace.NewBatchDecoder() }}
+
+// ingestBinary handles an application/x-ddos-batch body: decode the
+// whole batch (nothing is applied from a batch with an undecodable
+// frame), then apply it through the vectorized IngestBatch, handing the
+// decoder's raw frame payloads to the WAL untouched.
+func (s *Service) ingestBinary(w http.ResponseWriter, body io.Reader, res *IngestResult, agg *ingestStageTimes, outcome *string) {
+	dec := batchDecPool.Get().(*trace.BatchDecoder)
+	defer batchDecPool.Put(dec)
+	dec.Reset(body)
+	if err := dec.Decode(s.cfg.MaxBatchRecords); err != nil {
+		var tooBig *http.MaxBytesError
+		var tooMany *trace.BatchTooLargeError
+		switch {
+		case errors.As(err, &tooBig):
+			*outcome = "too_large"
+			writeIngestError(w, http.StatusRequestEntityTooLarge, res,
+				fmt.Sprintf("request body larger than %d bytes", tooBig.Limit))
+		case errors.As(err, &tooMany):
+			*outcome = "too_large"
+			writeIngestError(w, http.StatusRequestEntityTooLarge, res,
+				fmt.Sprintf("batch larger than %d records", tooMany.Max))
+		default:
+			// A torn, corrupt, or mislabeled batch: nothing was applied.
+			// BatchFrameError already names the failing record's 1-based
+			// position.
+			*outcome = "bad_record"
+			writeIngestError(w, http.StatusBadRequest, res, err.Error())
+		}
+		return
+	}
+	br, st, err := s.ingestBatchTimed(dec.Records(), dec.Payload)
+	*agg = st
+	res.Ingested = br.Ingested
+	res.Duplicates = br.Duplicates
+	switch {
+	case errors.Is(err, ErrShedding):
+		*outcome = "shed"
+		w.Header().Set("Retry-After", "1")
+		writeIngestError(w, http.StatusTooManyRequests, res, err.Error())
+	case errors.Is(err, ErrNotDurable):
+		*outcome = "not_durable"
+		writeIngestError(w, http.StatusInternalServerError, res, err.Error())
+	case err != nil:
+		// *BatchRecordError: the prefix before the named record was
+		// applied, the rest was not. Same index convention as the JSON
+		// wire: Ingested+Duplicates+Rejected.
+		res.Rejected++
+		*outcome = "bad_record"
+		writeIngestError(w, http.StatusBadRequest, res, err.Error())
+	default:
+		writeJSON(w, http.StatusOK, res)
+	}
 }
 
 // writeIngestError reports a failed /ingest request without discarding

@@ -87,12 +87,18 @@ func NewStore(shards, window int) *Store {
 	return s
 }
 
-// shardFor hashes the target AS onto its shard (Fibonacci multiplicative
-// hash: consecutive AS numbers — the common synthetic layout — spread
-// across shards instead of clustering).
-func (s *Store) shardFor(as astopo.AS) *storeShard {
+// shardIndex hashes the target AS onto its shard slot (Fibonacci
+// multiplicative hash: consecutive AS numbers — the common synthetic
+// layout — spread across shards instead of clustering). Exposed
+// separately from shardFor so the batched ingest path can group records
+// by shard before taking any lock.
+func (s *Store) shardIndex(as astopo.AS) int {
 	h := uint64(as) * 0x9e3779b97f4a7c15
-	return &s.shards[(h>>32)&s.mask]
+	return int((h >> 32) & s.mask)
+}
+
+func (s *Store) shardFor(as astopo.AS) *storeShard {
+	return &s.shards[s.shardIndex(as)]
 }
 
 // Ingest folds one attack into its target's window and returns the
@@ -112,6 +118,13 @@ func (s *Store) IngestScored(a *trace.Attack) (sinceRefit, windowLen int, prev P
 	sh := s.shardFor(a.TargetAS)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	return s.ingestLocked(sh, a)
+}
+
+// ingestLocked is IngestScored's body with sh (the shard owning
+// a.TargetAS) already locked — the unit the batched ingest path applies
+// repeatedly under one lock acquisition per shard group.
+func (s *Store) ingestLocked(sh *storeShard, a *trace.Attack) (sinceRefit, windowLen int, prev PrevStats, accepted bool) {
 	ts := sh.targets[a.TargetAS]
 	if ts == nil {
 		ts = &targetState{}

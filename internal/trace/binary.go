@@ -1,0 +1,440 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"time"
+
+	"repro/internal/astopo"
+)
+
+// Binary batch wire codec: the high-throughput ingest framing behind
+// POST /ingest with Content-Type application/x-ddos-batch. A batch body
+// is an 8-byte magic header followed by frames that reuse the WAL's
+// encoding — [length uint32 LE][crc32c uint32 LE][payload] — where each
+// payload is one binary-encoded Attack record. Because the frame payload
+// is byte-for-byte what the daemon's write-ahead log stores, an accepted
+// network batch is appended to the log without re-serialization: the
+// serve layer hands BatchDecoder.Payload(i) straight to wal.AppendBatch.
+//
+// The decoder is arena-based and reusable: payload bytes, decoded
+// records, and bot IP lists all live in slices that persist across
+// Reset, and family strings are interned, so a pooled decoder performs
+// amortized zero allocations per record (pinned by
+// serve.TestIngestBatchBinaryZeroAlloc).
+
+const (
+	// BatchContentType is the /ingest Content-Type selecting this codec.
+	BatchContentType = "application/x-ddos-batch"
+	// MaxRecordPayload caps one frame's payload, mirroring the WAL's
+	// record sanity cap: a decoded length above it marks the frame
+	// hostile instead of attempting the allocation.
+	MaxRecordPayload = 16 << 20
+	// frameHeaderLen is the [len][crc] framing overhead per record.
+	frameHeaderLen = 8
+
+	// recordMagic opens every binary record payload. It cannot collide
+	// with a JSON record (which begins '{' or whitespace), so a WAL
+	// holding a mix of legacy JSON frames and binary frames replays
+	// unambiguously.
+	recordMagic = 0xDB
+	// recordVersion is bumped on any layout change.
+	recordVersion = 1
+	// recordFixedLen is the byte length of a record before the two
+	// variable-length sections (family bytes, bot IPs).
+	recordFixedLen = 48
+)
+
+// batchMagic opens every batch body (protocol versioning + a cheap guard
+// against a JSON body mislabeled with the batch content type).
+var batchMagic = []byte("ddosbat1")
+
+// batchCRC is the CRC32C table, matching the WAL's choice (hardware
+// support on amd64 and arm64).
+var batchCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// zeroUnixSec is time.Time{}.Unix(): the encoder maps the zero Time
+// through it, and the decoder maps it back to an exact zero Time so
+// ValidateRecord's IsZero check treats both wires identically.
+const zeroUnixSec = -62135596800
+
+// maxUnixSec is 9999-12-31T23:59:59Z, the last instant RFC3339 (and so
+// the JSON wire and the store checkpoint) can represent.
+const maxUnixSec = 253402300799
+
+// AppendRecord appends a's binary encoding to dst and returns the
+// extended slice (append-style, so callers reuse one buffer across
+// records). The layout, little-endian throughout:
+//
+//	[0]    recordMagic (0xDB)
+//	[1]    version (1)
+//	[2]    id int64
+//	[10]   start unix seconds int64
+//	[18]   start nanoseconds uint32
+//	[22]   start zone offset seconds int32
+//	[26]   duration_sec float64 bits
+//	[34]   target_ip uint32
+//	[38]   target_as uint32
+//	[42]   family length uint16, then family bytes
+//	[...]  bot count uint32, then count × uint32 bot IPs
+func AppendRecord(dst []byte, a *Attack) ([]byte, error) {
+	if len(a.Family) > math.MaxUint16 {
+		return dst, fmt.Errorf("trace: family %d bytes over encodable max %d", len(a.Family), math.MaxUint16)
+	}
+	var sec int64
+	var nanos uint32
+	var offset int32
+	if a.Start.IsZero() {
+		sec = zeroUnixSec
+	} else {
+		sec = a.Start.Unix()
+		nanos = uint32(a.Start.Nanosecond())
+		_, off := a.Start.Zone()
+		offset = int32(off)
+	}
+	dst = append(dst, recordMagic, recordVersion)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(a.ID))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(sec))
+	dst = binary.LittleEndian.AppendUint32(dst, nanos)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(offset))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(a.DurationSec))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(a.TargetIP))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(a.TargetAS))
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(a.Family)))
+	dst = append(dst, a.Family...)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(a.Bots)))
+	for _, b := range a.Bots {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(b))
+	}
+	return dst, nil
+}
+
+// IsBinaryRecord reports whether payload opens with the binary record
+// magic — the dispatch test WAL replay uses to tell binary frames from
+// legacy JSON frames.
+func IsBinaryRecord(payload []byte) bool {
+	return len(payload) > 0 && payload[0] == recordMagic
+}
+
+// UnmarshalRecord decodes one binary record payload into a, allocating
+// the family string and bot slice (the WAL replay path; the batched
+// ingest path uses BatchDecoder's arenas instead).
+func UnmarshalRecord(payload []byte, a *Attack) error {
+	bots, err := decodeRecord(payload, a, nil, internString)
+	if err != nil {
+		return err
+	}
+	a.Bots = bots
+	return nil
+}
+
+// internString is UnmarshalRecord's no-intern fallback.
+func internString(b []byte) string { return string(b) }
+
+// decodeRecord parses payload into a, appending bot IPs to bots (which
+// may be nil) and resolving the family through intern. a.Bots is NOT
+// set — the caller owns the returned slice (arena decoders defer the
+// subslice fix-up until their arena stops growing).
+func decodeRecord(payload []byte, a *Attack, bots []astopo.IPv4, intern func([]byte) string) ([]astopo.IPv4, error) {
+	if len(payload) < recordFixedLen {
+		return bots, fmt.Errorf("trace: binary record truncated at %d bytes (min %d)", len(payload), recordFixedLen)
+	}
+	if payload[0] != recordMagic {
+		return bots, fmt.Errorf("trace: bad binary record magic 0x%02x", payload[0])
+	}
+	if payload[1] != recordVersion {
+		return bots, fmt.Errorf("trace: unsupported binary record version %d", payload[1])
+	}
+	a.ID = int(int64(binary.LittleEndian.Uint64(payload[2:])))
+	sec := int64(binary.LittleEndian.Uint64(payload[10:]))
+	nanos := binary.LittleEndian.Uint32(payload[18:])
+	offset := int32(binary.LittleEndian.Uint32(payload[22:]))
+	a.DurationSec = math.Float64frombits(binary.LittleEndian.Uint64(payload[26:]))
+	a.TargetIP = astopo.IPv4(binary.LittleEndian.Uint32(payload[34:]))
+	a.TargetAS = astopo.AS(binary.LittleEndian.Uint32(payload[38:]))
+	if nanos >= 1e9 {
+		return bots, fmt.Errorf("trace: binary record nanoseconds %d out of range", nanos)
+	}
+	if offset < -18*3600 || offset > 18*3600 {
+		return bots, fmt.Errorf("trace: binary record zone offset %ds out of range", offset)
+	}
+	// Bound the instant to what RFC3339 can express (year 1..9999), the
+	// same range the JSON wire accepts — a hostile frame must not plant a
+	// record the store checkpoint cannot re-marshal.
+	if sec < zeroUnixSec || sec > maxUnixSec {
+		return bots, fmt.Errorf("trace: binary record timestamp %d out of range", sec)
+	}
+	switch {
+	case sec == zeroUnixSec && nanos == 0 && offset == 0:
+		a.Start = time.Time{}
+	case offset == 0:
+		a.Start = time.Unix(sec, int64(nanos)).UTC()
+	default:
+		a.Start = time.Unix(sec, int64(nanos)).In(time.FixedZone("", int(offset)))
+	}
+
+	famLen := int(binary.LittleEndian.Uint16(payload[42:]))
+	rest := payload[44:]
+	if len(rest) < famLen+4 {
+		return bots, fmt.Errorf("trace: binary record truncated in family section")
+	}
+	a.Family = intern(rest[:famLen])
+	rest = rest[famLen:]
+	botCount := int(binary.LittleEndian.Uint32(rest))
+	rest = rest[4:]
+	if len(rest) != botCount*4 {
+		return bots, fmt.Errorf("trace: binary record bot section %d bytes, want %d", len(rest), botCount*4)
+	}
+	for i := 0; i < botCount; i++ {
+		bots = append(bots, astopo.IPv4(binary.LittleEndian.Uint32(rest[i*4:])))
+	}
+	return bots, nil
+}
+
+// BatchEncoder writes a binary ingest batch: the magic header on the
+// first record, then one CRC32C frame per record. Reset reuses the
+// internal buffers across batches (the load generator encodes one batch
+// per HTTP request from a pooled encoder).
+type BatchEncoder struct {
+	w       io.Writer
+	payload []byte // per-record scratch
+	frame   []byte // header scratch
+	n       int
+}
+
+// NewBatchEncoder returns an encoder over w.
+func NewBatchEncoder(w io.Writer) *BatchEncoder {
+	return &BatchEncoder{w: w}
+}
+
+// Reset re-targets the encoder at w, keeping its buffers.
+func (e *BatchEncoder) Reset(w io.Writer) {
+	e.w = w
+	e.n = 0
+}
+
+// Len returns the number of records encoded since the last Reset.
+func (e *BatchEncoder) Len() int { return e.n }
+
+// Encode appends one record to the batch.
+func (e *BatchEncoder) Encode(a *Attack) error {
+	if e.n == 0 {
+		if _, err := e.w.Write(batchMagic); err != nil {
+			return fmt.Errorf("trace: batch encode: %w", err)
+		}
+	}
+	var err error
+	e.payload, err = AppendRecord(e.payload[:0], a)
+	if err != nil {
+		return err
+	}
+	e.frame = e.frame[:0]
+	e.frame = binary.LittleEndian.AppendUint32(e.frame, uint32(len(e.payload)))
+	e.frame = binary.LittleEndian.AppendUint32(e.frame, crc32.Checksum(e.payload, batchCRC))
+	if _, err := e.w.Write(e.frame); err != nil {
+		return fmt.Errorf("trace: batch encode: %w", err)
+	}
+	if _, err := e.w.Write(e.payload); err != nil {
+		return fmt.Errorf("trace: batch encode: %w", err)
+	}
+	e.n++
+	return nil
+}
+
+// ErrBatchMagic reports a batch body that does not open with the
+// protocol magic (a mislabeled or foreign payload).
+var ErrBatchMagic = errors.New("trace: batch body missing ddosbat1 magic")
+
+// BatchFrameError reports the first undecodable frame of a batch: a torn
+// or truncated frame, a CRC mismatch, a hostile length, or a malformed
+// record payload. Index is the 1-based position of the failing record in
+// the batch. Unwrap exposes the cause (so http.MaxBytesError surfaces
+// through errors.As for the 413 mapping).
+type BatchFrameError struct {
+	Index int
+	Err   error
+}
+
+func (e *BatchFrameError) Error() string {
+	return fmt.Sprintf("record %d: %v", e.Index, e.Err)
+}
+
+func (e *BatchFrameError) Unwrap() error { return e.Err }
+
+// BatchTooLargeError reports a batch holding more records than the
+// decoder's cap; nothing past the cap is read.
+type BatchTooLargeError struct{ Max int }
+
+func (e *BatchTooLargeError) Error() string {
+	return fmt.Sprintf("batch larger than %d records", e.Max)
+}
+
+// BatchDecoder decodes a whole binary batch into reusable arenas. Usage:
+//
+//	d := NewBatchDecoder()
+//	d.Reset(body)
+//	if err := d.Decode(maxRecords); err != nil { ... }
+//	recs := d.Records()          // valid until the next Reset
+//	wal.AppendBatch(d.Payload(i) for accepted i...)
+//
+// All returned memory (records, bot slices, payload bytes) belongs to
+// the decoder and is overwritten by the next Decode, which is what makes
+// a pooled decoder amortized zero-alloc per record.
+type BatchDecoder struct {
+	br *bufio.Reader
+
+	raw     []byte // arena of all frame payload bytes
+	offs    []int  // record i's payload is raw[offs[i]:offs[i+1]]
+	recs    []Attack
+	bots    []astopo.IPv4 // arena of all bot IPs
+	botOffs []int         // record i's bots are bots[botOffs[i]:botOffs[i+1]]
+	intern  map[string]string
+	scratch [frameHeaderLen]byte
+}
+
+// NewBatchDecoder returns an empty decoder; call Reset before Decode.
+func NewBatchDecoder() *BatchDecoder {
+	return &BatchDecoder{
+		br:     bufio.NewReaderSize(nil, 1<<16),
+		intern: make(map[string]string, 8),
+	}
+}
+
+// Reset points the decoder at a new batch body, keeping all arenas (and
+// the family intern table) for reuse.
+func (d *BatchDecoder) Reset(r io.Reader) {
+	d.br.Reset(r)
+	d.raw = d.raw[:0]
+	d.offs = d.offs[:0]
+	d.recs = d.recs[:0]
+	d.bots = d.bots[:0]
+	d.botOffs = d.botOffs[:0]
+}
+
+// Len returns the number of decoded records.
+func (d *BatchDecoder) Len() int { return len(d.recs) }
+
+// Records returns the decoded batch, valid until the next Reset/Decode.
+func (d *BatchDecoder) Records() []Attack { return d.recs }
+
+// Payload returns record i's raw frame payload — byte-for-byte what
+// AppendRecord produced, ready for wal.AppendBatch. Valid until the next
+// Reset/Decode.
+func (d *BatchDecoder) Payload(i int) []byte {
+	return d.raw[d.offs[i]:d.offs[i+1]]
+}
+
+// Decode reads the whole batch: magic header, then frames to EOF. An
+// empty body decodes to zero records. maxRecords caps the batch (≤ 0
+// means unbounded); the frame past the cap is not read, and the error is
+// *BatchTooLargeError. A bad frame or record yields *BatchFrameError
+// with the 1-based failing index; nothing is delivered from a failed
+// batch (Len reports the records decoded before the failure, but the
+// caller decides whether to use them — the serve layer does not).
+func (d *BatchDecoder) Decode(maxRecords int) error {
+	head := d.scratch[:len(batchMagic)]
+	if _, err := io.ReadFull(d.br, head); err != nil {
+		if errors.Is(err, io.EOF) {
+			// ReadFull returns bare EOF only when nothing was read: an
+			// entirely empty body is zero records, like the JSON wire.
+			return nil
+		}
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return ErrBatchMagic
+		}
+		return fmt.Errorf("trace: batch header: %w", err)
+	}
+	if string(head) != string(batchMagic) {
+		return ErrBatchMagic
+	}
+	for {
+		_, err := io.ReadFull(d.br, d.scratch[:frameHeaderLen])
+		if errors.Is(err, io.EOF) {
+			break // frame boundary: clean end of batch
+		}
+		idx := len(d.recs) + 1
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return &BatchFrameError{Index: idx, Err: errors.New("torn frame header")}
+		}
+		if err != nil {
+			return &BatchFrameError{Index: idx, Err: err}
+		}
+		length := binary.LittleEndian.Uint32(d.scratch[0:4])
+		sum := binary.LittleEndian.Uint32(d.scratch[4:8])
+		if length > MaxRecordPayload {
+			return &BatchFrameError{Index: idx, Err: fmt.Errorf("frame length %d over cap %d", length, MaxRecordPayload)}
+		}
+		if maxRecords > 0 && len(d.recs) >= maxRecords {
+			return &BatchTooLargeError{Max: maxRecords}
+		}
+		start := len(d.raw)
+		d.raw = growBytes(d.raw, int(length))
+		payload := d.raw[start:]
+		if _, err := io.ReadFull(d.br, payload); err != nil {
+			d.raw = d.raw[:start]
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return &BatchFrameError{Index: idx, Err: errors.New("torn frame payload")}
+			}
+			return &BatchFrameError{Index: idx, Err: err}
+		}
+		if crc32.Checksum(payload, batchCRC) != sum {
+			return &BatchFrameError{Index: idx, Err: errors.New("frame checksum mismatch")}
+		}
+		if len(d.offs) == 0 {
+			d.offs = append(d.offs, start)
+		}
+		d.recs = append(d.recs, Attack{})
+		a := &d.recs[len(d.recs)-1]
+		botStart := len(d.bots)
+		d.bots, err = decodeRecord(payload, a, d.bots, d.internBytes)
+		if err != nil {
+			d.recs = d.recs[:len(d.recs)-1]
+			d.bots = d.bots[:botStart]
+			d.raw = d.raw[:start]
+			return &BatchFrameError{Index: idx, Err: err}
+		}
+		if len(d.botOffs) == 0 {
+			d.botOffs = append(d.botOffs, botStart)
+		}
+		d.botOffs = append(d.botOffs, len(d.bots))
+		d.offs = append(d.offs, len(d.raw))
+	}
+	// Arenas are final now; fix up each record's bot subslice (a growing
+	// arena would have invalidated earlier subslices mid-decode). A record
+	// with zero bots keeps a nil slice, matching what the JSON wire
+	// produces for an absent/null bots field.
+	for i := range d.recs {
+		if lo, hi := d.botOffs[i], d.botOffs[i+1]; lo < hi {
+			d.recs[i].Bots = d.bots[lo:hi:hi]
+		}
+	}
+	return nil
+}
+
+// growBytes extends b by n bytes, amortizing capacity growth so a warm
+// arena extends allocation-free (append(b, make(...)...) would allocate
+// the temporary every frame).
+func growBytes(b []byte, n int) []byte {
+	want := len(b) + n
+	for cap(b) < want {
+		b = append(b[:cap(b)], 0)
+	}
+	return b[:want]
+}
+
+// internBytes resolves a family name against the decoder's intern table
+// without allocating on the hit path (the map lookup with a string
+// conversion of a byte slice compiles allocation-free).
+func (d *BatchDecoder) internBytes(b []byte) string {
+	if s, ok := d.intern[string(b)]; ok {
+		return s
+	}
+	s := string(b)
+	d.intern[s] = s
+	return s
+}

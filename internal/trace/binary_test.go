@@ -1,0 +1,293 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"io"
+	"testing"
+	"time"
+	"unsafe"
+
+	"repro/internal/astopo"
+)
+
+func sampleAttacks() []Attack {
+	t0 := time.Date(2012, 8, 3, 14, 30, 0, 0, time.UTC)
+	return []Attack{
+		{
+			ID: 1, Family: "DirtJumper", Start: t0, DurationSec: 900,
+			TargetIP: 0x0a000001, TargetAS: 64512,
+			Bots: []astopo.IPv4{1, 2, 3},
+		},
+		{
+			ID: 2, Family: "Optima", Start: t0.Add(3 * time.Hour).In(time.FixedZone("", 7200)),
+			DurationSec: 42.5, TargetIP: 0x0a000002, TargetAS: 64513,
+			Bots: []astopo.IPv4{0xffffffff},
+		},
+		{
+			ID: 3, Family: "DirtJumper", Start: t0.Add(6*time.Hour + 123456789*time.Nanosecond),
+			DurationSec: 0, TargetIP: 0x0a000003, TargetAS: 64512,
+			Bots: nil,
+		},
+	}
+}
+
+func encodeBatch(t *testing.T, attacks []Attack) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := NewBatchEncoder(&buf)
+	for i := range attacks {
+		if err := enc.Encode(&attacks[i]); err != nil {
+			t.Fatalf("encode record %d: %v", i, err)
+		}
+	}
+	return buf.Bytes()
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	attacks := sampleAttacks()
+	body := encodeBatch(t, attacks)
+
+	d := NewBatchDecoder()
+	d.Reset(bytes.NewReader(body))
+	if err := d.Decode(0); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if d.Len() != len(attacks) {
+		t.Fatalf("decoded %d records, want %d", d.Len(), len(attacks))
+	}
+	for i, got := range d.Records() {
+		want := attacks[i]
+		if got.ID != want.ID || got.Family != want.Family ||
+			got.DurationSec != want.DurationSec || got.TargetIP != want.TargetIP ||
+			got.TargetAS != want.TargetAS {
+			t.Fatalf("record %d = %+v, want %+v", i, got, want)
+		}
+		if !got.Start.Equal(want.Start) {
+			t.Fatalf("record %d start %v, want %v", i, got.Start, want.Start)
+		}
+		if len(got.Bots) != len(want.Bots) {
+			t.Fatalf("record %d bots %v, want %v", i, got.Bots, want.Bots)
+		}
+		for j := range got.Bots {
+			if got.Bots[j] != want.Bots[j] {
+				t.Fatalf("record %d bot %d = %v, want %v", i, j, got.Bots[j], want.Bots[j])
+			}
+		}
+	}
+}
+
+// TestBatchJSONParity pins what the "byte-identical store checkpoint"
+// property rests on: a record round-tripped through the binary wire
+// marshals to the same JSON as one round-tripped through the JSON wire
+// (timestamps included, UTC and fixed-offset zones alike).
+func TestBatchJSONParity(t *testing.T) {
+	attacks := sampleAttacks()
+	body := encodeBatch(t, attacks)
+	d := NewBatchDecoder()
+	d.Reset(bytes.NewReader(body))
+	if err := d.Decode(0); err != nil {
+		t.Fatal(err)
+	}
+	for i := range attacks {
+		viaJSON, err := json.Marshal(&attacks[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		var fromJSON Attack
+		if err := json.Unmarshal(viaJSON, &fromJSON); err != nil {
+			t.Fatal(err)
+		}
+		jsonAgain, _ := json.Marshal(&fromJSON)
+		viaBinary, err := json.Marshal(&d.Records()[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(jsonAgain, viaBinary) {
+			t.Fatalf("record %d JSON mismatch:\n json wire: %s\n binary:    %s", i, jsonAgain, viaBinary)
+		}
+	}
+}
+
+// TestBatchPayloadIsWALPayload pins the zero-re-serialization contract:
+// the decoder's raw payload view is byte-identical to AppendRecord's
+// output, so the serve layer can append it to the WAL directly and
+// UnmarshalRecord can replay it.
+func TestBatchPayloadIsWALPayload(t *testing.T) {
+	attacks := sampleAttacks()
+	body := encodeBatch(t, attacks)
+	d := NewBatchDecoder()
+	d.Reset(bytes.NewReader(body))
+	if err := d.Decode(0); err != nil {
+		t.Fatal(err)
+	}
+	for i := range attacks {
+		want, err := AppendRecord(nil, &attacks[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(d.Payload(i), want) {
+			t.Fatalf("record %d payload differs from AppendRecord output", i)
+		}
+		if !IsBinaryRecord(d.Payload(i)) {
+			t.Fatalf("record %d payload not recognized as binary", i)
+		}
+		var back Attack
+		if err := UnmarshalRecord(d.Payload(i), &back); err != nil {
+			t.Fatalf("UnmarshalRecord(%d): %v", i, err)
+		}
+		if back.ID != attacks[i].ID || !back.Start.Equal(attacks[i].Start) {
+			t.Fatalf("replayed record %d = %+v, want %+v", i, back, attacks[i])
+		}
+	}
+	if IsBinaryRecord([]byte(`{"id":1}`)) {
+		t.Fatal("JSON payload misdetected as binary")
+	}
+}
+
+func TestBatchDecoderReuseKeepsArenasCorrect(t *testing.T) {
+	d := NewBatchDecoder()
+	first := encodeBatch(t, sampleAttacks())
+	second := encodeBatch(t, sampleAttacks()[:1])
+	for round, body := range [][]byte{first, second, first} {
+		d.Reset(bytes.NewReader(body))
+		if err := d.Decode(0); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		wantLen := 3
+		if round == 1 {
+			wantLen = 1
+		}
+		if d.Len() != wantLen {
+			t.Fatalf("round %d: %d records, want %d", round, d.Len(), wantLen)
+		}
+		if got := d.Records()[0].Family; got != "DirtJumper" {
+			t.Fatalf("round %d: family %q", round, got)
+		}
+	}
+	// Family strings must be interned across batches: same backing string.
+	d.Reset(bytes.NewReader(first))
+	if err := d.Decode(0); err != nil {
+		t.Fatal(err)
+	}
+	f1 := d.Records()[0].Family
+	d.Reset(bytes.NewReader(second))
+	if err := d.Decode(0); err != nil {
+		t.Fatal(err)
+	}
+	f2 := d.Records()[0].Family
+	if unsafe.StringData(f1) != unsafe.StringData(f2) {
+		t.Fatal("family string not interned across batches")
+	}
+}
+
+func TestBatchDecoderEmptyBody(t *testing.T) {
+	d := NewBatchDecoder()
+	d.Reset(bytes.NewReader(nil))
+	if err := d.Decode(0); err != nil {
+		t.Fatalf("empty body: %v", err)
+	}
+	if d.Len() != 0 {
+		t.Fatalf("empty body decoded %d records", d.Len())
+	}
+}
+
+func TestBatchDecoderErrors(t *testing.T) {
+	good := encodeBatch(t, sampleAttacks())
+
+	t.Run("bad magic", func(t *testing.T) {
+		d := NewBatchDecoder()
+		d.Reset(bytes.NewReader([]byte(`[{"id":1}]`)))
+		if err := d.Decode(0); !errors.Is(err, ErrBatchMagic) {
+			t.Fatalf("err = %v, want ErrBatchMagic", err)
+		}
+	})
+	t.Run("short magic", func(t *testing.T) {
+		d := NewBatchDecoder()
+		d.Reset(bytes.NewReader(good[:4]))
+		if err := d.Decode(0); !errors.Is(err, ErrBatchMagic) {
+			t.Fatalf("err = %v, want ErrBatchMagic", err)
+		}
+	})
+	t.Run("torn tail", func(t *testing.T) {
+		d := NewBatchDecoder()
+		d.Reset(bytes.NewReader(good[:len(good)-3]))
+		var fe *BatchFrameError
+		err := d.Decode(0)
+		if !errors.As(err, &fe) || fe.Index != 3 {
+			t.Fatalf("err = %v, want BatchFrameError at record 3", err)
+		}
+	})
+	t.Run("bit flip", func(t *testing.T) {
+		mut := bytes.Clone(good)
+		mut[len(batchMagic)+frameHeaderLen+5] ^= 0x40 // inside record 1's payload
+		d := NewBatchDecoder()
+		d.Reset(bytes.NewReader(mut))
+		var fe *BatchFrameError
+		err := d.Decode(0)
+		if !errors.As(err, &fe) || fe.Index != 1 {
+			t.Fatalf("err = %v, want BatchFrameError at record 1", err)
+		}
+	})
+	t.Run("hostile length", func(t *testing.T) {
+		mut := bytes.Clone(good)
+		binary.LittleEndian.PutUint32(mut[len(batchMagic):], 0xffffffff)
+		d := NewBatchDecoder()
+		d.Reset(bytes.NewReader(mut))
+		var fe *BatchFrameError
+		err := d.Decode(0)
+		if !errors.As(err, &fe) || fe.Index != 1 {
+			t.Fatalf("err = %v, want BatchFrameError at record 1", err)
+		}
+	})
+	t.Run("too many records", func(t *testing.T) {
+		d := NewBatchDecoder()
+		d.Reset(bytes.NewReader(good))
+		var te *BatchTooLargeError
+		err := d.Decode(2)
+		if !errors.As(err, &te) || te.Max != 2 {
+			t.Fatalf("err = %v, want BatchTooLargeError{2}", err)
+		}
+	})
+	t.Run("hostile timestamp", func(t *testing.T) {
+		a := Attack{ID: 1, Family: "x", Start: time.Unix(0, 0).UTC(), DurationSec: 1, TargetAS: 1}
+		payload, err := AppendRecord(nil, &a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		binary.LittleEndian.PutUint64(payload[10:], uint64(maxUnixSec+1))
+		var back Attack
+		if err := UnmarshalRecord(payload, &back); err == nil {
+			t.Fatal("out-of-range timestamp accepted")
+		}
+	})
+}
+
+// TestBatchDecoderStopsAtMaxWithoutReading pins that the record cap is
+// enforced before the over-cap frame's payload is pulled off the wire.
+func TestBatchDecoderStopsAtMaxWithoutReading(t *testing.T) {
+	body := encodeBatch(t, sampleAttacks())
+	r := &countingReader{r: bytes.NewReader(body)}
+	d := NewBatchDecoder()
+	d.Reset(r)
+	var te *BatchTooLargeError
+	if err := d.Decode(1); !errors.As(err, &te) {
+		t.Fatalf("err = %v, want BatchTooLargeError", err)
+	}
+	if d.Len() != 1 {
+		t.Fatalf("decoded %d records before cap, want 1", d.Len())
+	}
+}
+
+type countingReader struct {
+	r io.Reader
+	n int
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += n
+	return n, err
+}

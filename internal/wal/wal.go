@@ -295,6 +295,74 @@ func (w *WAL) Append(payload []byte) error {
 	return nil
 }
 
+// AppendBatch frames every payload into the active segment under a
+// single lock acquisition, buffering the frames into one write (per
+// rotation-delimited run) and — under SyncAlways — paying one fsync for
+// the whole batch instead of one per record. This is the durability
+// amortization behind the binary batch ingest path: a 64-record batch
+// costs the same number of fsyncs as a 1-record one. Rotation between
+// frames is handled exactly as in Append; counters advance only for
+// frames that reached the file.
+func (w *WAL) AppendBatch(payloads [][]byte) error {
+	if len(payloads) == 0 {
+		return nil
+	}
+	for _, p := range payloads {
+		if len(p) > MaxRecordBytes {
+			return fmt.Errorf("wal: record %d bytes over cap %d", len(p), MaxRecordBytes)
+		}
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	w.frame = w.frame[:0]
+	pending := uint64(0)
+	flush := func() error {
+		if len(w.frame) == 0 {
+			return nil
+		}
+		if _, err := w.f.Write(w.frame); err != nil {
+			return fmt.Errorf("wal: append: %w", err)
+		}
+		w.activeBytes += int64(len(w.frame))
+		w.appends += pending
+		w.appendedBytes += uint64(len(w.frame))
+		pending = 0
+		w.frame = w.frame[:0]
+		return nil
+	}
+	for _, p := range payloads {
+		need := int64(frameHeaderLen + len(p))
+		filled := w.activeBytes + int64(len(w.frame))
+		if filled > int64(len(segmentMagic)) && filled+need > w.opts.SegmentBytes {
+			if err := flush(); err != nil {
+				return err
+			}
+			if err := w.rotateLocked(); err != nil {
+				return err
+			}
+		}
+		w.frame = binary.LittleEndian.AppendUint32(w.frame, uint32(len(p)))
+		w.frame = binary.LittleEndian.AppendUint32(w.frame, crc32.Checksum(p, castagnoli))
+		w.frame = append(w.frame, p...)
+		pending++
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	switch w.opts.Sync.Mode {
+	case SyncAlways:
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("wal: sync: %w", err)
+		}
+	case SyncInterval:
+		w.dirty = true
+	}
+	return nil
+}
+
 // Sync flushes the active segment to stable storage.
 func (w *WAL) Sync() error {
 	w.mu.Lock()

@@ -1,0 +1,129 @@
+#!/usr/bin/env bash
+# Ingest-wire benchmark lane: boots a fresh ddosd per wire mode, drives
+# the same closed-loop record stream through ddosload over scalar JSON
+# requests and over binary batch frames (application/x-ddos-batch), runs
+# the server-side testing.B microbenchmarks for the allocs-per-record
+# numbers, and merges everything into BENCH_6.json
+# (schema: protocol -> rec/s, p50/p99 latency, allocs/record).
+#
+# Exits non-zero unless the binary wire's end-to-end rec/s beats the JSON
+# wire's by at least BENCH_MIN_SPEEDUP (default 1.0 — "binary must be
+# faster"; the checked-in BENCH_6.json documents the real margin).
+#
+# Env knobs: BENCH_OUT (default ./BENCH_6.json), BENCH_RECORDS (default
+# 60000), BENCH_BATCH (default 64), BENCH_MIN_SPEEDUP (default 1.0).
+set -euo pipefail
+
+workdir="$(mktemp -d)"
+out="${BENCH_OUT:-BENCH_6.json}"
+records="${BENCH_RECORDS:-60000}"
+batch="${BENCH_BATCH:-64}"
+min_speedup="${BENCH_MIN_SPEEDUP:-1.0}"
+daemon_pid=""
+cleanup() {
+  [[ -n "$daemon_pid" ]] && kill "$daemon_pid" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "==> building ddosd and ddosload"
+go build -o "$workdir/bin/" ./cmd/ddosd ./cmd/ddosload
+
+# boot <name>: start a fresh daemon (own WAL dir, interval fsync — the
+# production durability posture) and wait for its listen address.
+boot() {
+  local name="$1"
+  "$workdir/bin/ddosd" -addr 127.0.0.1:0 \
+    -wal-dir "$workdir/wal-$name" -wal-fsync 50ms \
+    >"$workdir/ddosd-$name.log" 2>&1 &
+  daemon_pid=$!
+  addr=""
+  for _ in $(seq 1 120); do
+    addr="$(sed -n 's/^.*msg=listening .*addr=\([^ ]*\).*$/\1/p' "$workdir/ddosd-$name.log" | head -n1)"
+    [[ -n "$addr" ]] && break
+    kill -0 "$daemon_pid" 2>/dev/null || { cat "$workdir/ddosd-$name.log"; echo "ddosd died during boot"; exit 1; }
+    sleep 0.2
+  done
+  [[ -n "$addr" ]] || { cat "$workdir/ddosd-$name.log"; echo "ddosd never started"; exit 1; }
+}
+
+stop() {
+  kill "$daemon_pid" 2>/dev/null || true
+  wait "$daemon_pid" 2>/dev/null || true
+  daemon_pid=""
+}
+
+run_wire() { # run_wire <wire> <batch>
+  local wire="$1" b="$2"
+  boot "$wire"
+  echo "==> $wire wire: $records records, batch $b, against $addr"
+  "$workdir/bin/ddosload" -addr "http://$addr" -mode closed \
+    -records "$records" -workers 8 -seed 7 \
+    -wire "$wire" -batch "$b" \
+    -slo-errors 0 -json >"$workdir/report-$wire.json" \
+    || { echo "FAIL: ddosload $wire run"; cat "$workdir/ddosd-$wire.log"; exit 1; }
+  stop
+}
+
+# Scalar JSON requests are the status quo this PR's wire replaces; the
+# binary wire runs batched, which is the point of the protocol.
+run_wire json 1
+run_wire binary "$batch"
+
+echo "==> server-side microbenchmarks (allocs/record)"
+go test -run '^$' -bench 'BenchmarkIngest(BatchBinary|ScalarJSON)$' -benchmem \
+  ./internal/serve | tee "$workdir/bench.txt"
+
+python3 - "$workdir" "$out" "$records" "$batch" "$min_speedup" <<'EOF'
+import json, re, sys
+
+workdir, out, records, batch, min_speedup = (
+    sys.argv[1], sys.argv[2], int(sys.argv[3]), int(sys.argv[4]), float(sys.argv[5]))
+
+def load_report(wire):
+    with open(f"{workdir}/report-{wire}.json") as f:
+        rep = json.load(f)["report"]
+    return rep
+
+# Both microbenchmarks process 64 records per op, so allocs/op / 64 is
+# allocs/record for each path.
+allocs = {}
+with open(f"{workdir}/bench.txt") as f:
+    for line in f:
+        m = re.match(r"BenchmarkIngest(BatchBinary|ScalarJSON)\S*\s.*?(\d+)\s+allocs/op", line)
+        if m:
+            wire = "binary" if m.group(1) == "BatchBinary" else "json"
+            allocs[wire] = int(m.group(2)) / 64
+for wire in ("json", "binary"):
+    assert wire in allocs, f"bench.txt is missing the {wire} microbenchmark"
+
+protocols = {}
+for wire, b in (("json", 1), ("binary", batch)):
+    rep = load_report(wire)
+    assert rep["errors"] == 0, f"{wire} run had {rep['errors']} errors"
+    assert rep["accepted"] > 0, f"{wire} run accepted nothing"
+    protocols[wire] = {
+        "batch": b,
+        "rec_per_sec": round(rep["throughput_rps"], 1),
+        "p50_sec": rep["latency_sec"]["p50"],
+        "p99_sec": rep["latency_sec"]["p99"],
+        "allocs_per_record": allocs[wire],
+    }
+
+speedup = protocols["binary"]["rec_per_sec"] / protocols["json"]["rec_per_sec"]
+doc = {
+    "bench": "ingest-wire",
+    "issue": 6,
+    "mode": "closed-loop",
+    "records_per_protocol": records,
+    "protocols": protocols,
+    "binary_speedup": round(speedup, 2),
+}
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(json.dumps(doc, indent=2))
+if speedup < min_speedup:
+    sys.exit(f"FAIL: binary wire is {speedup:.2f}x JSON, want >= {min_speedup}x")
+print(f"==> binary wire is {speedup:.2f}x the JSON wire ({out})")
+EOF

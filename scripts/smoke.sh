@@ -158,10 +158,13 @@ fi
 # and require the replayed store to know the same targets and still serve
 # forecasts. -wal-fsync 50ms means the last <50ms of acks may be torn —
 # the restart must treat that as a truncated tail, never a fatal error.
-echo "==> kill -9 mid-load, then crash recovery from the WAL"
+# The load runs on the binary batch wire, so the WAL the daemon replays
+# holds binary-ingested frames — recovery must decode those losslessly.
+echo "==> kill -9 mid-load (binary wire), then crash recovery from the WAL"
 targets_before="$(curl -s "http://$addr/healthz" | python3 -c 'import json,sys; print(json.load(sys.stdin)["targets_known"])')"
 "$workdir/bin/ddosload" -addr "http://$addr" -mode open \
-  -rate 200 -duration 5s -workers 4 -seed 11 >/dev/null 2>&1 &
+  -rate 200 -duration 5s -workers 4 -seed 11 \
+  -wire binary -batch 16 >/dev/null 2>&1 &
 load_pid=$!
 sleep 1
 kill -9 "$daemon_pid"
