@@ -15,6 +15,9 @@
 //	ddosd -wal-fsync 50ms                   # batch fsync (always|never|interval)
 //	ddosd -log-level debug -log-format json # structured logging
 //	ddosd -admin-addr 127.0.0.1:8081        # opt-in pprof/expvar listener
+//	ddosd -cluster-self n1 \
+//	      -cluster-peers n1=http://h1:8400,n2=http://h2:8400
+//	                                        # cluster mode (DESIGN.md §12)
 //
 // With -wal-dir set, every accepted ingest is appended to a segmented
 // CRC-framed write-ahead log before the HTTP ack. On boot the daemon
@@ -34,6 +37,14 @@
 //	GET  /debug/traces         recent pipeline traces (JSON span trees)
 //	GET  /buildinfo            module, version, platform
 //
+// With -cluster-peers set, a rendezvous-hash ring over the static
+// membership assigns every target an owner node and one follower:
+// /ingest and /forecast transparently proxy (or, with -cluster-route
+// redirect, answer 307) to the owner, the owner's sealed WAL segments
+// replicate to the follower via GET /cluster/wal, and POST
+// /cluster/promote?dead=<id> removes a dead member so its follower takes
+// over. Cluster mode requires -wal-dir.
+//
 // The -admin-addr mux additionally serves /debug/pprof/* and /debug/vars;
 // keep it on localhost or behind operator-only network policy.
 package main
@@ -52,6 +63,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/nn"
 	"repro/internal/obs"
@@ -80,6 +92,11 @@ func main() {
 		traceCap    = flag.Int("trace-capacity", 64, "/debug/traces ring size")
 		accWindow   = flag.Int("accuracy-window", 512, "sliding window of the online accuracy tracker")
 
+		clusterPeers = flag.String("cluster-peers", "", "comma-separated cluster membership as name=url pairs (empty = single-node)")
+		clusterSelf  = flag.String("cluster-self", "", "this node's member name within -cluster-peers")
+		clusterRoute = flag.String("cluster-route", "proxy", "non-owned request handling: proxy or redirect")
+		clusterPoll  = flag.Duration("cluster-poll", 500*time.Millisecond, "replication poll interval")
+
 		walDir        = flag.String("wal-dir", "", "write-ahead log directory for durable ingest + crash recovery (empty = disabled)")
 		walFsync      = flag.String("wal-fsync", "always", "WAL fsync policy: always, never, or a batching interval like 50ms")
 		walSegBytes   = flag.Int64("wal-segment-bytes", 0, "WAL segment rotation threshold in bytes (0 = 16 MiB)")
@@ -103,6 +120,11 @@ func main() {
 		walDir:            *walDir,
 		walFsync:          *walFsync,
 		walSegmentBytes:   *walSegBytes,
+		clusterPeers:      *clusterPeers,
+		clusterSelf:       *clusterSelf,
+		clusterRoute:      *clusterRoute,
+		clusterPoll:       *clusterPoll,
+		maxIngestBytes:    *maxIngest,
 		readHeaderTimeout: *readHdrTO,
 		readTimeout:       *readTO,
 		idleTimeout:       *idleTO,
@@ -136,6 +158,11 @@ type daemonOpts struct {
 	walDir            string
 	walFsync          string
 	walSegmentBytes   int64
+	clusterPeers      string
+	clusterSelf       string
+	clusterRoute      string
+	clusterPoll       time.Duration
+	maxIngestBytes    int64
 	readHeaderTimeout time.Duration
 	readTimeout       time.Duration
 	idleTimeout       time.Duration
@@ -229,12 +256,45 @@ func run(opts daemonOpts, cfg serve.Config) error {
 			"elapsed", time.Since(t0).Round(time.Millisecond).String())
 	}
 
+	var node *cluster.Node
+	handler := svc.Handler()
+	if opts.clusterPeers != "" {
+		if walLog == nil {
+			return errors.New("cluster mode requires -wal-dir (replication ships WAL segments)")
+		}
+		peers, err := cluster.ParseMembers(opts.clusterPeers)
+		if err != nil {
+			return err
+		}
+		node, err = cluster.NewNode(svc, walLog, cluster.Config{
+			Self:         opts.clusterSelf,
+			Peers:        peers,
+			Route:        opts.clusterRoute,
+			PollInterval: opts.clusterPoll,
+			MaxBodyBytes: opts.maxIngestBytes,
+			Logger:       logger,
+		})
+		if err != nil {
+			return err
+		}
+		defer node.Close()
+		handler = node.Handler(handler)
+	}
+
 	ln, err := net.Listen("tcp", opts.addr)
 	if err != nil {
 		return err
 	}
-	srv := opts.httpServer(svc.Handler())
-	logger.Info("listening", "component", "http", "addr", ln.Addr().String())
+	srv := opts.httpServer(handler)
+	if node != nil {
+		// Extra attrs append after addr so the smoke/CI readiness parse
+		// (`msg=listening ... addr=<x>`) keeps matching.
+		logger.Info("listening", "component", "http", "addr", ln.Addr().String(),
+			"node", node.Self().ID, "ring_epoch", node.Ring().Epoch(), "route", node.RouteMode())
+		node.Start()
+	} else {
+		logger.Info("listening", "component", "http", "addr", ln.Addr().String())
+	}
 
 	var adminSrv *http.Server
 	if opts.adminAddr != "" {

@@ -245,3 +245,133 @@ func TestDaemonWALRecoveryAcrossRestart(t *testing.T) {
 		t.Fatal("no recovered target serves a forecast after restart")
 	}
 }
+
+// TestDaemonClusterFormation boots two real daemons through run() with
+// the cluster flags and checks the wiring the Go-level cluster tests
+// cannot see: flag parsing into a live ring, the routed handler on the
+// real listener, /healthz carrying the cluster section, and records
+// posted to one node landing on their owner. One SIGTERM stops both
+// (in-process daemons share the signal handler).
+func TestDaemonClusterFormation(t *testing.T) {
+	// Reserve two ports so each daemon can be told its peer's URL before
+	// either boots (cluster membership is static).
+	reserve := func() string {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := ln.Addr().String()
+		ln.Close()
+		return addr
+	}
+	addr1, addr2 := reserve(), reserve()
+	peers := fmt.Sprintf("n1=http://%s,n2=http://%s", addr1, addr2)
+
+	cfg := serve.Config{
+		Shards:     4,
+		Window:     64,
+		MinWindow:  6,
+		RefitEvery: 4,
+		QueueDepth: 64,
+		BatchSize:  4,
+		Seed:       7,
+		Temporal:   core.TemporalConfig{MaxP: 1, MaxQ: 1},
+		Spatial: core.SpatialConfig{
+			Delays: []int{2},
+			Hidden: []int{2},
+			Train:  nn.TrainConfig{Epochs: 5},
+		},
+	}
+	boot := func(self, addr string) chan error {
+		addrc := make(chan net.Addr, 1)
+		errc := make(chan error, 1)
+		go func() {
+			errc <- run(daemonOpts{
+				addr:         addr,
+				walDir:       filepath.Join(t.TempDir(), "wal"),
+				walFsync:     "always",
+				clusterPeers: peers,
+				clusterSelf:  self,
+				clusterRoute: "proxy",
+				clusterPoll:  50 * time.Millisecond,
+				ready:        func(a net.Addr) { addrc <- a },
+			}, cfg)
+		}()
+		select {
+		case <-addrc:
+			return errc
+		case err := <-errc:
+			t.Fatalf("daemon %s exited before binding: %v", self, err)
+		case <-time.After(5 * time.Second):
+			t.Fatalf("daemon %s never became ready", self)
+		}
+		panic("unreachable")
+	}
+	errc1 := boot("n1", addr1)
+	errc2 := boot("n2", addr2)
+	defer func() {
+		if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		for _, errc := range []chan error{errc1, errc2} {
+			select {
+			case err := <-errc:
+				if err != nil {
+					t.Fatalf("shutdown returned error: %v", err)
+				}
+			case <-time.After(30 * time.Second):
+				t.Fatal("a daemon did not return after SIGTERM")
+			}
+		}
+	}()
+
+	// Mixed-owner traffic into n1 only; the router must spread it.
+	gen := loadgen.NewGenerator(loadgen.GenConfig{Targets: 8, Seed: 31, TimeCompress: 24})
+	sink := loadgen.NewHTTPSink("http://" + addr1)
+	sink.Wire = "binary"
+	rep, err := loadgen.Run(loadgen.Config{Mode: loadgen.ClosedLoop, Records: 400, Workers: 2, Batch: 16},
+		gen.Next, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Accepted != 400 {
+		t.Fatalf("accepted %d of 400 records:\n%s", rep.Accepted, rep)
+	}
+
+	// Both daemons report the same ring epoch and their own identity, and
+	// both hold targets (each owns roughly half of 8).
+	type clusterHealth struct {
+		TargetsKnown int `json:"targets_known"`
+		Cluster      *struct {
+			Node      string `json:"node"`
+			RingEpoch uint64 `json:"ring_epoch"`
+			Members   int    `json:"members"`
+		} `json:"cluster"`
+	}
+	var epochs [2]uint64
+	for i, addr := range []string{addr1, addr2} {
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var h clusterHealth
+		err = json.NewDecoder(resp.Body).Decode(&h)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Cluster == nil {
+			t.Fatalf("node %d: /healthz has no cluster section", i+1)
+		}
+		if want := fmt.Sprintf("n%d", i+1); h.Cluster.Node != want || h.Cluster.Members != 2 {
+			t.Fatalf("node %d cluster section = %+v", i+1, h.Cluster)
+		}
+		if h.TargetsKnown == 0 {
+			t.Fatalf("node n%d owns no targets; routing did not spread the batches", i+1)
+		}
+		epochs[i] = h.Cluster.RingEpoch
+	}
+	if epochs[0] != epochs[1] || epochs[0] == 0 {
+		t.Fatalf("ring epochs disagree: %d vs %d", epochs[0], epochs[1])
+	}
+}

@@ -18,6 +18,8 @@
 //	         -reorder 0.1 -slow-refit 0.3            # chaos soak
 //	ddosload -records 50000 -slo-p99 5ms -slo-shed 0.2
 //	ddosload -records 20000 -json > report.json   # machine-readable report
+//	ddosload -addrs http://h1:8400,http://h2:8400 \
+//	         -wire binary -batch 64               # spray a cluster
 package main
 
 import (
@@ -26,6 +28,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/chaos"
@@ -40,6 +43,7 @@ func main() {
 	log.SetPrefix("ddosload: ")
 	var (
 		addr     = flag.String("addr", "", "ddosd base URL (e.g. http://127.0.0.1:8080); empty drives an in-process service")
+		addrs    = flag.String("addrs", "", "comma-separated ddosd base URLs; sprays round-robin across cluster members (overrides -addr)")
 		mode     = flag.String("mode", "closed", "driver mode: closed (back-to-back) or open (paced arrivals)")
 		records  = flag.Int("records", 50000, "records to send (open loop with -duration derives this)")
 		rate     = flag.Float64("rate", 1000, "open-loop arrival rate, records/second")
@@ -113,15 +117,33 @@ func main() {
 		os.Exit(2)
 	}
 
-	// Sink: live daemon or in-process service.
+	// Sink: live daemon(s) or in-process service.
+	var urls []string
+	if *addrs != "" {
+		for _, u := range strings.Split(*addrs, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, u)
+			}
+		}
+		if len(urls) == 0 {
+			log.Printf("-addrs %q names no URLs", *addrs)
+			os.Exit(2)
+		}
+	} else if *addr != "" {
+		urls = []string{*addr}
+	}
 	var sink loadgen.Sink
-	if *addr != "" {
+	if len(urls) > 0 {
 		if *slowRefit > 0 || *failRefit > 0 {
 			log.Print("-slow-refit/-fail-refit need the in-process service; ignoring against a live daemon")
 		}
-		hs := loadgen.NewHTTPSink(*addr)
-		hs.Wire = *wire
-		sink = hs
+		if len(urls) == 1 {
+			hs := loadgen.NewHTTPSink(urls[0])
+			hs.Wire = *wire
+			sink = hs
+		} else {
+			sink = loadgen.NewMultiHTTPSink(urls, *wire)
+		}
 	} else {
 		svcCfg := serve.Config{
 			Window:     *window,
@@ -164,7 +186,7 @@ func main() {
 	}
 
 	log.Printf("driving %d records (%s, %d workers, %d targets) into %s",
-		cfg.Records, cfg.Mode, cfg.Workers, *targets, sinkName(*addr))
+		cfg.Records, cfg.Mode, cfg.Workers, *targets, sinkName(urls))
 	rep, err := loadgen.Run(cfg, src, sink)
 	if err != nil {
 		log.Print(err)
@@ -235,9 +257,9 @@ func writeJSONReport(rep *loadgen.Report, faults *chaos.StreamFaults, violations
 	}
 }
 
-func sinkName(addr string) string {
-	if addr != "" {
-		return addr
+func sinkName(urls []string) string {
+	if len(urls) > 0 {
+		return strings.Join(urls, ", ")
 	}
 	return "in-process serve.Service"
 }

@@ -1,0 +1,316 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/serve/metrics"
+	"repro/internal/wal"
+)
+
+// Config wires one node into a cluster.
+type Config struct {
+	// Self is this node's member ID; it must appear in Peers.
+	Self string
+	// Peers is the full static membership, this node included.
+	Peers []Member
+	// Route selects how non-owned requests are handled: "proxy" forwards
+	// them to the owner transparently, "redirect" answers 307 (mixed-owner
+	// batches still split-proxy — one redirect cannot split a batch).
+	Route string
+	// PollInterval paces the replication tailers. Default 500ms.
+	PollInterval time.Duration
+	// MaxBodyBytes caps a routed /ingest body. Default 8 MiB (the serve
+	// default; ddosd passes its -max-ingest-bytes).
+	MaxBodyBytes int64
+	// Client is the HTTP client for proxying and replication. Default: a
+	// client with a 30s timeout.
+	Client *http.Client
+	// Logger receives replication and promotion events. Default: discard.
+	Logger *slog.Logger
+}
+
+// Route modes.
+const (
+	RouteProxy    = "proxy"
+	RouteRedirect = "redirect"
+)
+
+// Forwarding headers. A request carrying ForwardedHeader skips routing on
+// the receiving node (it was already routed once — the loop guard); the
+// receiver rejects it with 421 when its ring epoch disagrees with
+// EpochHeader, so a membership split surfaces as an explicit error
+// instead of silent misplacement.
+const (
+	ForwardedHeader = "X-Cluster-Forwarded"
+	EpochHeader     = "X-Cluster-Epoch"
+)
+
+// clusterMetrics are the ddosd_cluster_* instruments, registered into the
+// service's own registry so one /metrics scrape covers both layers.
+type clusterMetrics struct {
+	ringSize       *metrics.Gauge
+	ringEpoch      *metrics.Gauge
+	proxied        *metrics.Counter
+	redirects      *metrics.Counter
+	misdirected    *metrics.Counter
+	fwdRecords     *metrics.Counter
+	replRecords    *metrics.Counter
+	replSegments   *metrics.Counter
+	replLag        *metrics.Gauge
+	replErrors     *metrics.Counter
+	ckptInstalls   *metrics.Counter
+	promotions     *metrics.Counter
+	segmentsServed *metrics.Counter
+}
+
+func newClusterMetrics(r *metrics.Registry) *clusterMetrics {
+	return &clusterMetrics{
+		ringSize:       r.Gauge("ddosd_cluster_ring_size", "Members in the cluster ring."),
+		ringEpoch:      r.Gauge("ddosd_cluster_ring_epoch", "Digest of the current ring membership."),
+		proxied:        r.Counter("ddosd_cluster_proxied_total", "Requests (or batch partitions) forwarded to an owner node."),
+		redirects:      r.Counter("ddosd_cluster_redirects_total", "Requests answered with a 307 redirect to the owner node."),
+		misdirected:    r.Counter("ddosd_cluster_misdirected_total", "Forwarded requests rejected with 421 over a ring epoch mismatch."),
+		fwdRecords:     r.Counter("ddosd_cluster_forwarded_records_total", "Records forwarded to owner nodes inside split batches."),
+		replRecords:    r.Counter("ddosd_cluster_replicated_records_total", "Records applied from peers' shipped WAL segments."),
+		replSegments:   r.Counter("ddosd_cluster_replicated_segments_total", "Sealed WAL segments tailed from peers."),
+		replLag:        r.Gauge("ddosd_cluster_replication_lag_segments", "Sealed peer segments not yet applied locally (all peers)."),
+		replErrors:     r.Counter("ddosd_cluster_replication_errors_total", "Failed replication polls."),
+		ckptInstalls:   r.Counter("ddosd_cluster_checkpoint_installs_total", "Catch-up checkpoint installs (cursor fell behind peer compaction)."),
+		promotions:     r.Counter("ddosd_cluster_promotions_total", "Ring promotions after a peer was declared dead."),
+		segmentsServed: r.Counter("ddosd_cluster_segments_served_total", "Sealed WAL segments streamed to followers."),
+	}
+}
+
+// Node is one cluster member: the router wrapping the local service's
+// HTTP handler, the owner-side WAL shipping endpoint, and one replication
+// tailer per peer.
+type Node struct {
+	self    Member
+	route   string
+	svc     *serve.Service
+	wal     *wal.WAL
+	client  *http.Client
+	logger  *slog.Logger
+	met     *clusterMetrics
+	maxBody int64
+
+	ring atomic.Pointer[Ring]
+
+	mu   sync.Mutex // guards repl map mutation (promotion vs polls)
+	repl map[string]*replicator
+
+	pollInterval time.Duration
+	stop         chan struct{}
+	done         chan struct{}
+	started      bool
+}
+
+// NewNode builds a node over svc and its WAL. The WAL is required: sealed
+// segments are the replication unit, and the replication cursors persist
+// next to them. Call Start to begin tailing peers; Handler wraps the
+// service mux with ownership routing and the /cluster/* endpoints.
+func NewNode(svc *serve.Service, w *wal.WAL, cfg Config) (*Node, error) {
+	if w == nil {
+		return nil, errors.New("cluster: a WAL is required (replication ships its segments)")
+	}
+	ring, err := NewRing(cfg.Peers)
+	if err != nil {
+		return nil, err
+	}
+	self, ok := ring.Lookup(cfg.Self)
+	if !ok {
+		return nil, fmt.Errorf("cluster: self %q not in the peer list", cfg.Self)
+	}
+	switch cfg.Route {
+	case "":
+		cfg.Route = RouteProxy
+	case RouteProxy, RouteRedirect:
+	default:
+		return nil, fmt.Errorf("cluster: bad route mode %q (want proxy or redirect)", cfg.Route)
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 500 * time.Millisecond
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 8 << 20
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.DiscardHandler)
+	}
+	n := &Node{
+		self:         self,
+		route:        cfg.Route,
+		svc:          svc,
+		wal:          w,
+		client:       cfg.Client,
+		logger:       cfg.Logger,
+		met:          newClusterMetrics(svc.MetricsRegistry()),
+		maxBody:      cfg.MaxBodyBytes,
+		repl:         make(map[string]*replicator),
+		pollInterval: cfg.PollInterval,
+		stop:         make(chan struct{}),
+		done:         make(chan struct{}),
+	}
+	n.ring.Store(ring)
+	n.met.ringSize.Set(int64(ring.Size()))
+	n.met.ringEpoch.Set(int64(ring.Epoch()))
+	for _, m := range ring.Members() {
+		if m.ID == self.ID {
+			continue
+		}
+		r, err := newReplicator(n, m)
+		if err != nil {
+			return nil, err
+		}
+		n.repl[m.ID] = r
+	}
+	svc.SetClusterInfo(func() any { return n.Status() })
+	return n, nil
+}
+
+// Self returns this node's member entry.
+func (n *Node) Self() Member { return n.self }
+
+// Ring returns the current ring (it changes only on Promote).
+func (n *Node) Ring() *Ring { return n.ring.Load() }
+
+// RouteMode returns the configured routing mode.
+func (n *Node) RouteMode() string { return n.route }
+
+// Start launches the replication tailers. Call once, after the local
+// HTTP listener is up (peers may poll back immediately).
+func (n *Node) Start() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.started {
+		return
+	}
+	n.started = true
+	go n.pollLoop()
+}
+
+func (n *Node) pollLoop() {
+	defer close(n.done)
+	t := time.NewTicker(n.pollInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-t.C:
+			n.Replicate()
+		}
+	}
+}
+
+// Replicate runs one synchronous replication pass over every peer and
+// returns the total remaining lag in sealed segments (0 = every peer's
+// sealed log is fully applied locally). Tests drive this directly to
+// establish a sync point before killing an owner.
+func (n *Node) Replicate() int {
+	n.mu.Lock()
+	reps := make([]*replicator, 0, len(n.repl))
+	for _, r := range n.repl {
+		reps = append(reps, r)
+	}
+	n.mu.Unlock()
+	lag := 0
+	for _, r := range reps {
+		l, err := r.poll()
+		if err != nil {
+			n.met.replErrors.Inc()
+			n.logger.Warn("replication poll failed", "component", "cluster", "peer", r.peer.ID, "error", err)
+			lag++ // unknown lag counts as behind
+			continue
+		}
+		lag += l
+	}
+	n.met.replLag.Set(int64(lag))
+	return lag
+}
+
+// Promote removes a dead member from the ring. Rendezvous hashing hands
+// each of its targets to that target's previous follower — this node for
+// the partitions it was already tailing, so the data is local and warm.
+// Refits are re-queued and flushed so /forecast serves the newly owned
+// targets immediately. Every surviving node must be promoted with the
+// same dead member (smoke/CI POSTs /cluster/promote to each).
+func (n *Node) Promote(deadID string) error {
+	if deadID == n.self.ID {
+		return errors.New("cluster: refusing to remove self from the ring")
+	}
+	ring := n.ring.Load()
+	next, err := ring.Without(deadID)
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	delete(n.repl, deadID)
+	n.mu.Unlock()
+	n.ring.Store(next)
+	n.met.ringSize.Set(int64(next.Size()))
+	n.met.ringEpoch.Set(int64(next.Epoch()))
+	n.met.promotions.Inc()
+	refits := n.svc.RequeueRefits()
+	n.logger.Info("promoted", "component", "cluster",
+		"dead", deadID, "ring_epoch", next.Epoch(), "members", next.Size(), "refits", refits)
+	return nil
+}
+
+// Close stops the replication tailers.
+func (n *Node) Close() {
+	n.mu.Lock()
+	started := n.started
+	n.started = false
+	n.mu.Unlock()
+	if started {
+		close(n.stop)
+		<-n.done
+	}
+}
+
+// ReplicaStatus is one peer's replication state in Status.
+type ReplicaStatus struct {
+	Peer      string `json:"peer"`
+	CursorSeq uint64 `json:"cursor_seq"` // highest peer segment applied
+	LagSegs   int    `json:"lag_segments"`
+	Installs  uint64 `json:"checkpoint_installs"`
+	Errors    uint64 `json:"errors"`
+}
+
+// Status is the /healthz cluster section.
+type Status struct {
+	Node        string          `json:"node"`
+	RingEpoch   uint64          `json:"ring_epoch"`
+	Members     int             `json:"members"`
+	Route       string          `json:"route"`
+	Replication []ReplicaStatus `json:"replication,omitempty"`
+}
+
+// Status summarizes the node for /healthz.
+func (n *Node) Status() *Status {
+	ring := n.ring.Load()
+	st := &Status{
+		Node:      n.self.ID,
+		RingEpoch: ring.Epoch(),
+		Members:   ring.Size(),
+		Route:     n.route,
+	}
+	n.mu.Lock()
+	for _, r := range n.repl {
+		st.Replication = append(st.Replication, r.status())
+	}
+	n.mu.Unlock()
+	sortReplicaStatuses(st.Replication)
+	return st
+}

@@ -1,0 +1,400 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+
+	"repro/internal/serve"
+	"repro/internal/trace"
+	"repro/internal/wal"
+)
+
+// WAL-shipped replication (DESIGN.md §12). The owner side is one
+// endpoint, /cluster/wal: seal the active segment on request, then
+// stream every sealed segment past the follower's cursor in one
+// response — all file descriptors are opened before the status line, so
+// a concurrent checkpoint compaction unlinking a file mid-transfer
+// cannot tear the stream (the reader drains the old inode). A follower
+// whose cursor fell behind compaction gets 410 Gone and installs the
+// owner's checkpoint instead (/cluster/checkpoint), then resumes tailing
+// at the checkpoint's covered sequence.
+//
+// The follower side applies each shipped segment through
+// serve.IngestBatchReplica — the same walMu-barriered, score-then-append
+// ingest pipeline as local traffic, with the original frame payloads
+// passed through into the follower's own WAL. Replicated state is
+// therefore indistinguishable from locally ingested state: it refits,
+// publishes models, checkpoints, and crash-recovers identically, which
+// is what makes takeover exactly the PR 5 recovery path.
+//
+// The apply filter keeps a frame only when the shipping peer owns its
+// target and this node follows it. The Owner==peer half is load-bearing
+// in symmetric topologies: a peer's WAL also holds records the peer
+// replicated from us, and re-applying our own records via their log
+// would double-count after window eviction.
+
+// Stream framing: per segment, [seq uint64 LE][size uint64 LE][bytes].
+const segFrameHeader = 16
+
+// ActiveSeqHeader carries the owner's active (unsealed) segment sequence
+// so the follower can compute exact lag: caught up ⇔ cursor == active-1.
+const ActiveSeqHeader = "X-Cluster-Active-Seq"
+
+// handleWALShip serves GET /cluster/wal?after=<seq>&seal=0|1.
+func (n *Node) handleWALShip(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	after := uint64(0)
+	if q := r.URL.Query().Get("after"); q != "" {
+		v, err := strconv.ParseUint(q, 10, 64)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Sprintf("bad after %q: %v", q, err))
+			return
+		}
+		after = v
+	}
+	if r.URL.Query().Get("seal") == "1" {
+		// Seal the active segment so the response carries everything acked
+		// before this poll, bounding replication lag to one poll interval.
+		if _, err := n.wal.Rotate(); err != nil {
+			writeErr(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+	}
+	segs := n.wal.Segments()
+	activeSeq := n.wal.Stats().ActiveSeq
+
+	// Gap check: the oldest retained sequence is the oldest sealed segment
+	// (or the active one when nothing is sealed). A cursor below it means
+	// compaction already removed frames the follower never saw.
+	oldest := activeSeq
+	if len(segs) > 0 {
+		oldest = segs[0].Seq
+	}
+	if after+1 < oldest {
+		w.Header().Set(ActiveSeqHeader, strconv.FormatUint(activeSeq, 10))
+		writeErr(w, http.StatusGone, fmt.Sprintf(
+			"segments %d..%d compacted away; install the checkpoint", after+1, oldest-1))
+		return
+	}
+
+	// Open every wanted segment before writing the status line.
+	type openSeg struct {
+		info wal.SegmentInfo
+		f    *os.File
+	}
+	var open []openSeg
+	defer func() {
+		for _, s := range open {
+			s.f.Close()
+		}
+	}()
+	for _, si := range segs {
+		if si.Seq <= after {
+			continue
+		}
+		f, err := n.wal.OpenSegment(si.Seq)
+		if err != nil {
+			// Compacted between the listing and the open: the frames are in
+			// the checkpoint now, so the follower must install it.
+			writeErr(w, http.StatusGone, fmt.Sprintf("segment %d compacted mid-request", si.Seq))
+			return
+		}
+		open = append(open, openSeg{info: si, f: f})
+	}
+
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(ActiveSeqHeader, strconv.FormatUint(activeSeq, 10))
+	w.WriteHeader(http.StatusOK)
+	var hdr [segFrameHeader]byte
+	for _, s := range open {
+		binary.LittleEndian.PutUint64(hdr[0:8], s.info.Seq)
+		binary.LittleEndian.PutUint64(hdr[8:16], uint64(s.info.Bytes))
+		if _, err := w.Write(hdr[:]); err != nil {
+			return
+		}
+		if _, err := io.CopyN(w, s.f, s.info.Bytes); err != nil {
+			return
+		}
+		n.met.segmentsServed.Inc()
+	}
+}
+
+// handleCheckpoint serves the catch-up fallback: force a fresh durable
+// checkpoint and return its full image.
+func (n *Node) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	covered, targets, err := n.svc.CheckpointSnapshot()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, &checkpointTransfer{CoveredSeq: covered, Targets: targets})
+}
+
+// checkpointTransfer is the /cluster/checkpoint body (the same shape as
+// the on-disk checkpoint file).
+type checkpointTransfer struct {
+	CoveredSeq uint64                   `json:"covered_seq"`
+	Targets    []serve.TargetCheckpoint `json:"targets"`
+}
+
+// cursorFile persists a replicator's progress next to the WAL segments:
+// the highest peer segment whose frames are applied (and durable — the
+// cursor is written only after IngestBatchReplica acked, which holds the
+// frames in this node's own WAL). Written atomically; a crash between
+// apply and cursor write re-applies at most one segment, which the
+// dedup window absorbs.
+type cursorFile struct {
+	Peer string `json:"peer"`
+	Seq  uint64 `json:"seq"`
+}
+
+// replicator tails one peer's sealed WAL segments.
+type replicator struct {
+	n          *Node
+	peer       Member
+	cursorPath string
+
+	mu       sync.Mutex // serializes polls (ticker vs explicit Replicate)
+	cursor   uint64
+	lag      int
+	installs uint64
+	errs     uint64
+
+	segBuf    []byte // reusable segment download buffer
+	payloads  [][]byte
+	arena     []byte // backing bytes for the chunk's frame payloads
+	arenaOffs []int  // record i's payload is arena[arenaOffs[i]:arenaOffs[i+1]]
+	records   []trace.Attack
+}
+
+// applyChunk bounds one IngestBatchReplica call so a large shipped
+// segment does not build an unbounded batch.
+const applyChunk = 4096
+
+func newReplicator(n *Node, peer Member) (*replicator, error) {
+	h := fnv.New64a()
+	h.Write([]byte(peer.ID))
+	r := &replicator{
+		n:          n,
+		peer:       peer,
+		cursorPath: filepath.Join(n.wal.Dir(), fmt.Sprintf("cluster.%016x.cursor", h.Sum64())),
+	}
+	if f, err := os.Open(r.cursorPath); err == nil {
+		var cf cursorFile
+		err := json.NewDecoder(f).Decode(&cf)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: cursor %s corrupt: %w (remove it to re-sync from the peer checkpoint)", r.cursorPath, err)
+		}
+		if cf.Peer == peer.ID {
+			r.cursor = cf.Seq
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("cluster: cursor: %w", err)
+	}
+	return r, nil
+}
+
+func (r *replicator) status() ReplicaStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return ReplicaStatus{
+		Peer:      r.peer.ID,
+		CursorSeq: r.cursor,
+		LagSegs:   r.lag,
+		Installs:  r.installs,
+		Errors:    r.errs,
+	}
+}
+
+func (r *replicator) saveCursor() error {
+	return wal.WriteFileAtomic(r.cursorPath, func(w io.Writer) error {
+		return json.NewEncoder(w).Encode(&cursorFile{Peer: r.peer.ID, Seq: r.cursor})
+	})
+}
+
+// poll runs one tailing pass: seal-and-list on the peer, stream new
+// sealed segments, apply each, advance the cursor. Returns the remaining
+// lag in segments (0 = fully caught up with the peer's sealed log).
+func (r *replicator) poll() (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	lag, err := r.pollLocked()
+	if err != nil {
+		r.errs++
+	}
+	r.lag = lag
+	return lag, err
+}
+
+func (r *replicator) pollLocked() (int, error) {
+	url := fmt.Sprintf("%s/cluster/wal?after=%d&seal=1", r.peer.URL, r.cursor)
+	resp, err := r.n.client.Get(url)
+	if err != nil {
+		return 1, err
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+	}()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusGone:
+		return r.installCheckpoint()
+	default:
+		return 1, fmt.Errorf("peer answered HTTP %d", resp.StatusCode)
+	}
+	activeSeq, _ := strconv.ParseUint(resp.Header.Get(ActiveSeqHeader), 10, 64)
+
+	var hdr [segFrameHeader]byte
+	for {
+		_, err := io.ReadFull(resp.Body, hdr[:])
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return r.lagFrom(activeSeq), fmt.Errorf("segment stream: %w", err)
+		}
+		seq := binary.LittleEndian.Uint64(hdr[0:8])
+		size := binary.LittleEndian.Uint64(hdr[8:16])
+		if size > uint64(wal.MaxRecordBytes)+uint64(wal.DefaultSegmentBytes) {
+			return r.lagFrom(activeSeq), fmt.Errorf("segment %d implausibly large: %d bytes", seq, size)
+		}
+		if uint64(cap(r.segBuf)) < size {
+			r.segBuf = make([]byte, size)
+		}
+		r.segBuf = r.segBuf[:size]
+		if _, err := io.ReadFull(resp.Body, r.segBuf); err != nil {
+			return r.lagFrom(activeSeq), fmt.Errorf("segment %d: %w", seq, err)
+		}
+		if err := r.applySegment(seq, r.segBuf); err != nil {
+			return r.lagFrom(activeSeq), err
+		}
+		r.cursor = seq
+		if err := r.saveCursor(); err != nil {
+			return r.lagFrom(activeSeq), err
+		}
+		r.n.met.replSegments.Inc()
+	}
+	return r.lagFrom(activeSeq), nil
+}
+
+// lagFrom converts the peer's active sequence into remaining sealed
+// segments past the cursor.
+func (r *replicator) lagFrom(activeSeq uint64) int {
+	if activeSeq == 0 || r.cursor+1 >= activeSeq {
+		return 0
+	}
+	return int(activeSeq - 1 - r.cursor)
+}
+
+// applySegment scans one shipped segment (torn-tail tolerant — a sealed
+// segment inherited from a crashed owner process may end mid-frame) and
+// applies the frames this node follows for the peer.
+func (r *replicator) applySegment(seq uint64, seg []byte) error {
+	ring := r.n.ring.Load()
+	selfID := r.n.self.ID
+	flush := func() error {
+		if len(r.records) == 0 {
+			return nil
+		}
+		// Materialize payload subslices only now: the arena has stopped
+		// growing, so the views cannot be invalidated by a reallocation.
+		r.payloads = r.payloads[:0]
+		for i := 0; i+1 < len(r.arenaOffs); i++ {
+			r.payloads = append(r.payloads, r.arena[r.arenaOffs[i]:r.arenaOffs[i+1]])
+		}
+		res, err := r.n.svc.IngestBatchReplica(r.records, func(i int) []byte { return r.payloads[i] })
+		r.n.met.replRecords.Add(uint64(res.Ingested))
+		r.records = r.records[:0]
+		r.payloads = r.payloads[:0]
+		r.arena = r.arena[:0]
+		r.arenaOffs = append(r.arenaOffs[:0], 0)
+		if err != nil {
+			return fmt.Errorf("apply segment %d: %w", seq, err)
+		}
+		return nil
+	}
+	r.arenaOffs = append(r.arenaOffs[:0], 0)
+	var scanErr error
+	_, _, _, err := wal.ScanSegment(bytes.NewReader(seg), func(payload []byte) error {
+		var a trace.Attack
+		if trace.IsBinaryRecord(payload) {
+			if err := trace.UnmarshalRecord(payload, &a); err != nil {
+				return fmt.Errorf("segment %d holds an undecodable record: %w", seq, err)
+			}
+		} else if err := json.Unmarshal(payload, &a); err != nil {
+			return fmt.Errorf("segment %d holds an undecodable record: %w", seq, err)
+		}
+		owner, follower := ring.OwnerFollower(a.TargetAS)
+		if owner.ID != r.peer.ID || follower.ID != selfID {
+			return nil
+		}
+		r.arena = append(r.arena, payload...)
+		r.arenaOffs = append(r.arenaOffs, len(r.arena))
+		r.records = append(r.records, a)
+		if len(r.records) >= applyChunk {
+			return flush()
+		}
+		return nil
+	})
+	if err != nil {
+		scanErr = err
+	}
+	if ferr := flush(); ferr != nil && scanErr == nil {
+		scanErr = ferr
+	}
+	return scanErr
+}
+
+// installCheckpoint is the 410 fallback: fetch the peer's checkpoint,
+// keep the targets this node follows for that peer, merge them into the
+// store, and resume tailing at the checkpoint's covered sequence.
+func (r *replicator) installCheckpoint() (int, error) {
+	resp, err := r.n.client.Get(r.peer.URL + "/cluster/checkpoint")
+	if err != nil {
+		return 1, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 1, fmt.Errorf("checkpoint fetch: HTTP %d", resp.StatusCode)
+	}
+	var ct checkpointTransfer
+	if err := json.NewDecoder(resp.Body).Decode(&ct); err != nil {
+		return 1, fmt.Errorf("checkpoint fetch: %w", err)
+	}
+	ring := r.n.ring.Load()
+	selfID := r.n.self.ID
+	kept, err := r.n.svc.InstallCheckpoint(ct.Targets, func(tc *serve.TargetCheckpoint) bool {
+		owner, follower := ring.OwnerFollower(tc.AS)
+		return owner.ID == r.peer.ID && follower.ID == selfID
+	})
+	if err != nil {
+		return 1, err
+	}
+	r.cursor = ct.CoveredSeq
+	if err := r.saveCursor(); err != nil {
+		return 1, err
+	}
+	r.installs++
+	r.n.met.ckptInstalls.Inc()
+	r.n.logger.Info("installed peer checkpoint", "component", "cluster",
+		"peer", r.peer.ID, "targets", kept, "covered_seq", ct.CoveredSeq)
+	return 0, nil
+}

@@ -1,0 +1,207 @@
+// Package cluster is the multi-node layer over the single-node serving
+// stack (DESIGN.md §12): a coordinator-free rendezvous-hash ring over a
+// static membership list assigns every target network an owner node and
+// one follower, an ownership-aware HTTP router proxies or redirects
+// /ingest and /forecast to the owner, and replication ships the owner's
+// sealed write-ahead-log segments to the follower, which replays them
+// through the same ingest path — so a promoted follower restores a
+// byte-identical store with the exactly-once checkpoint recovery already
+// proven for single-node crashes.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+
+	"repro/internal/astopo"
+)
+
+// Member is one node of the static membership: a stable identity the ring
+// hashes (so ownership survives address changes and is reproducible in
+// tests) plus the base URL requests are routed to.
+type Member struct {
+	ID  string // stable node name, e.g. "n1"
+	URL string // base URL, e.g. "http://127.0.0.1:8401"
+}
+
+// ParseMember reads one -cluster-peers element: "name=url" or a bare
+// url/host:port (which then serves as its own ID). A bare host:port gets
+// an http:// scheme.
+func ParseMember(s string) (Member, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Member{}, errors.New("cluster: empty peer")
+	}
+	var m Member
+	if id, url, ok := strings.Cut(s, "="); ok && !strings.Contains(id, "/") {
+		m = Member{ID: strings.TrimSpace(id), URL: strings.TrimSpace(url)}
+	} else {
+		m = Member{ID: s, URL: s}
+	}
+	if m.ID == "" || m.URL == "" {
+		return Member{}, fmt.Errorf("cluster: bad peer %q (want name=url or url)", s)
+	}
+	if !strings.Contains(m.URL, "://") {
+		m.URL = "http://" + m.URL
+	}
+	m.URL = strings.TrimRight(m.URL, "/")
+	return m, nil
+}
+
+// ParseMembers reads a comma-separated -cluster-peers list, rejecting
+// duplicate IDs.
+func ParseMembers(s string) ([]Member, error) {
+	var out []Member
+	seen := make(map[string]bool)
+	for _, part := range strings.Split(s, ",") {
+		if strings.TrimSpace(part) == "" {
+			continue
+		}
+		m, err := ParseMember(part)
+		if err != nil {
+			return nil, err
+		}
+		if seen[m.ID] {
+			return nil, fmt.Errorf("cluster: duplicate peer id %q", m.ID)
+		}
+		seen[m.ID] = true
+		out = append(out, m)
+	}
+	if len(out) == 0 {
+		return nil, errors.New("cluster: no peers")
+	}
+	return out, nil
+}
+
+// Ring is an immutable rendezvous-hash (highest-random-weight) ring over
+// the membership. Every target AS hashes against every member; the
+// highest score owns the target and the runner-up is its follower. The
+// scheme needs no coordinator and no token metadata, and removing one
+// member reassigns only the keys that member held (each surviving
+// member's scores are unchanged, so the previous runner-up — the
+// follower — takes over, which is exactly the takeover path replication
+// prepares for). Membership is static per process; Without builds the
+// post-failure ring at promotion time.
+type Ring struct {
+	members []Member // sorted by ID
+	seeds   []uint64 // per-member hash seed, parallel to members
+	epoch   uint64   // digest of the sorted membership IDs
+}
+
+// NewRing builds a ring. Member order does not matter: members are sorted
+// by ID, so every node of a cluster computes identical ownership and the
+// same epoch from any permutation of the same list.
+func NewRing(members []Member) (*Ring, error) {
+	if len(members) == 0 {
+		return nil, errors.New("cluster: ring needs at least one member")
+	}
+	ms := make([]Member, len(members))
+	copy(ms, members)
+	sort.Slice(ms, func(i, j int) bool { return ms[i].ID < ms[j].ID })
+	for i := 1; i < len(ms); i++ {
+		if ms[i].ID == ms[i-1].ID {
+			return nil, fmt.Errorf("cluster: duplicate member id %q", ms[i].ID)
+		}
+	}
+	r := &Ring{members: ms, seeds: make([]uint64, len(ms))}
+	// The epoch is a 32-bit digest: wide enough to distinguish membership
+	// changes, narrow enough to render exactly in a Prometheus gauge and
+	// in JSON numbers.
+	eh := fnv.New32a()
+	for i, m := range ms {
+		h := fnv.New64a()
+		h.Write([]byte(m.ID))
+		r.seeds[i] = h.Sum64()
+		eh.Write([]byte(m.ID))
+		eh.Write([]byte{0})
+	}
+	r.epoch = uint64(eh.Sum32())
+	return r, nil
+}
+
+// Epoch identifies the membership: equal on every node holding the same
+// member set, different after any join, leave, or promotion. Exposed on
+// /healthz and the readiness log so operators and CI can wait for all
+// nodes to agree before trusting routing.
+func (r *Ring) Epoch() uint64 { return r.epoch }
+
+// Size returns the member count.
+func (r *Ring) Size() int { return len(r.members) }
+
+// Members returns the membership sorted by ID (a copy).
+func (r *Ring) Members() []Member {
+	out := make([]Member, len(r.members))
+	copy(out, r.members)
+	return out
+}
+
+// Lookup returns the member with the given ID.
+func (r *Ring) Lookup(id string) (Member, bool) {
+	i := sort.Search(len(r.members), func(i int) bool { return r.members[i].ID >= id })
+	if i < len(r.members) && r.members[i].ID == id {
+		return r.members[i], true
+	}
+	return Member{}, false
+}
+
+// Without returns a new ring with the named member removed — the
+// promotion step after a node death. Removing the last member fails.
+func (r *Ring) Without(id string) (*Ring, error) {
+	var kept []Member
+	for _, m := range r.members {
+		if m.ID != id {
+			kept = append(kept, m)
+		}
+	}
+	if len(kept) == len(r.members) {
+		return nil, fmt.Errorf("cluster: member %q not in ring", id)
+	}
+	return NewRing(kept)
+}
+
+// mix is splitmix64's finalizer: a cheap, well-distributed bijection that
+// turns (member seed ⊕ key) into a rendezvous score.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func (r *Ring) score(i int, key uint64) uint64 {
+	return mix(r.seeds[i] ^ (key * 0x9e3779b97f4a7c15))
+}
+
+// Owner returns the member owning the target.
+func (r *Ring) Owner(as astopo.AS) Member {
+	o, _ := r.OwnerFollower(as)
+	return o
+}
+
+// OwnerFollower returns the target's owner (highest rendezvous score) and
+// follower (runner-up). In a single-member ring the follower equals the
+// owner — there is nobody to replicate to.
+func (r *Ring) OwnerFollower(as astopo.AS) (owner, follower Member) {
+	key := uint64(as)
+	bi, si := 0, 0
+	var best, second uint64
+	for i := range r.members {
+		s := r.score(i, key)
+		switch {
+		case i == 0 || s > best:
+			second, si = best, bi
+			best, bi = s, i
+		case i == 1 || s > second:
+			second, si = s, i
+		}
+	}
+	if len(r.members) == 1 {
+		return r.members[0], r.members[0]
+	}
+	return r.members[bi], r.members[si]
+}

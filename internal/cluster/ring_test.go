@@ -1,0 +1,196 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/astopo"
+)
+
+func testMembers(n int) []Member {
+	ms := make([]Member, n)
+	for i := range ms {
+		ms[i] = Member{ID: fmt.Sprintf("node-%02d", i), URL: fmt.Sprintf("http://10.0.0.%d:8400", i+1)}
+	}
+	return ms
+}
+
+func mustRing(t *testing.T, ms []Member) *Ring {
+	t.Helper()
+	r, err := NewRing(ms)
+	if err != nil {
+		t.Fatalf("NewRing: %v", err)
+	}
+	return r
+}
+
+// Ownership must spread evenly: across 16 nodes and a large universe of
+// target AS keys, every node's share stays within ±20% of the mean
+// (ISSUE acceptance bound).
+func TestClusterRingBalance(t *testing.T) {
+	const nodes, keys = 16, 100_000
+	r := mustRing(t, testMembers(nodes))
+	counts := make(map[string]int, nodes)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < keys; i++ {
+		// Half sequential (realistic dense AS numbering), half random.
+		as := astopo.AS(i)
+		if i%2 == 1 {
+			as = astopo.AS(rng.Uint32())
+		}
+		counts[r.Owner(as).ID]++
+	}
+	mean := float64(keys) / float64(nodes)
+	for _, m := range r.Members() {
+		got := float64(counts[m.ID])
+		if got < 0.8*mean || got > 1.2*mean {
+			t.Errorf("member %s owns %.0f keys, outside ±20%% of mean %.0f", m.ID, got, mean)
+		}
+	}
+}
+
+// Follower placement must spread too — the follower carries a full
+// replica of the owner's partition, so a hot follower is a hot node.
+func TestClusterRingFollowerBalance(t *testing.T) {
+	const nodes, keys = 16, 100_000
+	r := mustRing(t, testMembers(nodes))
+	counts := make(map[string]int, nodes)
+	for i := 0; i < keys; i++ {
+		owner, follower := r.OwnerFollower(astopo.AS(i))
+		if owner.ID == follower.ID {
+			t.Fatalf("AS%d: follower == owner (%s) in a %d-node ring", i, owner.ID, nodes)
+		}
+		counts[follower.ID]++
+	}
+	mean := float64(keys) / float64(nodes)
+	for _, m := range r.Members() {
+		got := float64(counts[m.ID])
+		if got < 0.8*mean || got > 1.2*mean {
+			t.Errorf("member %s follows %.0f keys, outside ±20%% of mean %.0f", m.ID, got, mean)
+		}
+	}
+}
+
+// Rendezvous hashing's defining property: removing one member moves only
+// the keys that member owned (to their previous follower — surviving
+// members' relative scores are untouched), and adding it back restores
+// the original assignment exactly. Joint bound: moved fraction ≈ 1/n.
+func TestClusterRingMinimalMovement(t *testing.T) {
+	const nodes, keys = 16, 50_000
+	full := mustRing(t, testMembers(nodes))
+	const victim = "node-07"
+	shrunk, err := full.Without(victim)
+	if err != nil {
+		t.Fatalf("Without: %v", err)
+	}
+	if shrunk.Size() != nodes-1 {
+		t.Fatalf("shrunk ring has %d members, want %d", shrunk.Size(), nodes-1)
+	}
+
+	moved := 0
+	for i := 0; i < keys; i++ {
+		as := astopo.AS(i)
+		owner, follower := full.OwnerFollower(as)
+		newOwner := shrunk.Owner(as)
+		if owner.ID == victim {
+			moved++
+			if newOwner.ID != follower.ID {
+				t.Fatalf("AS%d: owner after leave is %s, want old follower %s", i, newOwner.ID, follower.ID)
+			}
+			continue
+		}
+		if newOwner.ID != owner.ID {
+			t.Fatalf("AS%d: owner moved %s -> %s though %s left", i, owner.ID, newOwner.ID, victim)
+		}
+	}
+	// Expected moved fraction is 1/16 ≈ 6.25%; allow ±20% slack on that.
+	frac := float64(moved) / float64(keys)
+	if frac < 0.05 || frac > 0.075 {
+		t.Errorf("leave moved %.2f%% of keys, want ~%.2f%%", frac*100, 100.0/nodes)
+	}
+
+	// Re-join: rebuilding with the original membership restores ownership
+	// for every key (the ring is a pure function of the member set).
+	rejoined := mustRing(t, shrunk.Members())
+	rejoined = mustRing(t, append(rejoined.Members(), Member{ID: victim, URL: "http://10.0.0.8:8400"}))
+	for i := 0; i < keys; i++ {
+		as := astopo.AS(i)
+		if rejoined.Owner(as).ID != full.Owner(as).ID {
+			t.Fatalf("AS%d: ownership not restored after rejoin", i)
+		}
+	}
+}
+
+// Every node must compute identical ownership and epoch from any
+// permutation of the same -cluster-peers list.
+func TestClusterRingPermutationDeterminism(t *testing.T) {
+	ms := testMembers(8)
+	r1 := mustRing(t, ms)
+	shuffled := make([]Member, len(ms))
+	copy(shuffled, ms)
+	rand.New(rand.NewSource(3)).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	r2 := mustRing(t, shuffled)
+	if r1.Epoch() != r2.Epoch() {
+		t.Fatalf("epoch differs across permutations: %x vs %x", r1.Epoch(), r2.Epoch())
+	}
+	for i := 0; i < 10_000; i++ {
+		o1, f1 := r1.OwnerFollower(astopo.AS(i))
+		o2, f2 := r2.OwnerFollower(astopo.AS(i))
+		if o1.ID != o2.ID || f1.ID != f2.ID {
+			t.Fatalf("AS%d: assignment differs across permutations", i)
+		}
+	}
+}
+
+func TestClusterRingEpochChangesOnMembership(t *testing.T) {
+	r := mustRing(t, testMembers(4))
+	shrunk, err := r.Without("node-02")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shrunk.Epoch() == r.Epoch() {
+		t.Fatal("epoch unchanged after a member left")
+	}
+	if _, err := r.Without("nope"); err == nil {
+		t.Fatal("Without accepted an unknown member")
+	}
+}
+
+func TestClusterRingSingleMember(t *testing.T) {
+	r := mustRing(t, testMembers(1))
+	owner, follower := r.OwnerFollower(42)
+	if owner.ID != "node-00" || follower.ID != "node-00" {
+		t.Fatalf("single-member ring gave owner=%s follower=%s", owner.ID, follower.ID)
+	}
+	if _, err := r.Without("node-00"); err == nil {
+		t.Fatal("Without emptied the ring")
+	}
+}
+
+func TestClusterParseMembers(t *testing.T) {
+	ms, err := ParseMembers("n1=http://a:1, n2=b:2 ,http://c:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Member{
+		{ID: "n1", URL: "http://a:1"},
+		{ID: "n2", URL: "http://b:2"},
+		{ID: "http://c:3", URL: "http://c:3"},
+	}
+	if len(ms) != len(want) {
+		t.Fatalf("got %d members, want %d", len(ms), len(want))
+	}
+	for i := range want {
+		if ms[i] != want[i] {
+			t.Errorf("member %d = %+v, want %+v", i, ms[i], want[i])
+		}
+	}
+	for _, bad := range []string{"", " , ", "n1=http://a,n1=http://b", "=x"} {
+		if _, err := ParseMembers(bad); err == nil {
+			t.Errorf("ParseMembers(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,516 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/astopo"
+	"repro/internal/serve"
+	"repro/internal/trace"
+)
+
+// Ownership-aware routing (DESIGN.md §12). Handler wraps the service mux:
+//
+//   - /ingest: the body is buffered and decoded (binary batch or JSON),
+//     records are partitioned by owner, and each partition travels as a
+//     binary batch. The local partition re-enters the wrapped mux
+//     in-process — identical semantics (shedding, durability, tracing) to
+//     a directly addressed request. Remote partitions are forwarded to
+//     their owners frame-for-frame (no re-encoding for binary input);
+//     under "redirect" a single-remote-owner request is answered 307
+//     instead (a redirect cannot split a batch, so mixed-owner bodies
+//     still split-proxy). Per-partition IngestResults merge into one
+//     response: counts sum, the worst status wins.
+//   - /forecast: ?target=N hashes on the ring; non-owned targets proxy or
+//     307 to the owner.
+//   - /cluster/*: ring introspection, WAL shipping, promotion.
+//   - Everything else (metrics, healthz, traces, ...) serves locally.
+//
+// Forwarded requests carry ForwardedHeader and the sender's ring epoch;
+// the receiver applies them locally without re-routing (loop guard) after
+// checking the epoch — a 421 tells the sender the membership views split.
+
+// Handler wraps the service's mux with cluster routing.
+func (n *Node) Handler(inner http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/cluster/ring", n.handleRing)
+	mux.HandleFunc("/cluster/wal", n.handleWALShip)
+	mux.HandleFunc("/cluster/checkpoint", n.handleCheckpoint)
+	mux.HandleFunc("/cluster/promote", n.handlePromote)
+	mux.HandleFunc("/ingest", func(w http.ResponseWriter, r *http.Request) {
+		n.routeIngest(w, r, inner)
+	})
+	mux.HandleFunc("/forecast", func(w http.ResponseWriter, r *http.Request) {
+		n.routeForecast(w, r, inner)
+	})
+	mux.Handle("/", inner)
+	return mux
+}
+
+// handleRing serves the membership and per-member URLs (debugging, and
+// the cross-node formation check in smoke).
+func (n *Node) handleRing(w http.ResponseWriter, r *http.Request) {
+	ring := n.ring.Load()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"self":    n.self.ID,
+		"epoch":   ring.Epoch(),
+		"members": ring.Members(),
+	})
+}
+
+// handlePromote removes a dead member from this node's ring:
+// POST /cluster/promote?dead=<member-id>.
+func (n *Node) handlePromote(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	dead := r.URL.Query().Get("dead")
+	if dead == "" {
+		writeErr(w, http.StatusBadRequest, "missing dead parameter (member id)")
+		return
+	}
+	if err := n.Promote(dead); err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ring := n.ring.Load()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"promoted": n.self.ID, "removed": dead,
+		"epoch": ring.Epoch(), "members": ring.Size(),
+	})
+}
+
+// checkForwarded applies the loop guard: a forwarded request is served
+// locally, but only when both nodes agree on the membership.
+func (n *Node) checkForwarded(w http.ResponseWriter, r *http.Request) (forwarded, reject bool) {
+	if r.Header.Get(ForwardedHeader) == "" {
+		return false, false
+	}
+	if got := r.Header.Get(EpochHeader); got != "" {
+		if want := strconv.FormatUint(n.ring.Load().Epoch(), 10); got != want {
+			n.met.misdirected.Inc()
+			writeErr(w, http.StatusMisdirectedRequest,
+				fmt.Sprintf("ring epoch mismatch: sender %s, here %s", got, want))
+			return true, true
+		}
+	}
+	return true, false
+}
+
+func (n *Node) routeForecast(w http.ResponseWriter, r *http.Request, inner http.Handler) {
+	if fwd, reject := n.checkForwarded(w, r); fwd {
+		if !reject {
+			inner.ServeHTTP(w, r)
+		}
+		return
+	}
+	q := r.URL.Query().Get("target")
+	asn, err := strconv.ParseUint(q, 10, 32)
+	if err != nil {
+		// Let the service produce its canonical bad-target error.
+		inner.ServeHTTP(w, r)
+		return
+	}
+	owner := n.ring.Load().Owner(astopo.AS(asn))
+	if owner.ID == n.self.ID {
+		inner.ServeHTTP(w, r)
+		return
+	}
+	if n.route == RouteRedirect {
+		n.met.redirects.Inc()
+		http.Redirect(w, r, owner.URL+r.URL.RequestURI(), http.StatusTemporaryRedirect)
+		return
+	}
+	n.proxyGet(w, owner, r.URL.RequestURI())
+}
+
+// proxyGet forwards a GET to the owner and copies the response through.
+func (n *Node) proxyGet(w http.ResponseWriter, owner Member, uri string) {
+	t0 := time.Now()
+	defer func() { n.svc.ObserveStage(serve.StageProxy, time.Since(t0).Seconds()) }()
+	req, err := http.NewRequest(http.MethodGet, owner.URL+uri, nil)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	n.forwardHeaders(req)
+	resp, err := n.client.Do(req)
+	if err != nil {
+		writeErr(w, http.StatusBadGateway, fmt.Sprintf("owner %s unreachable: %v", owner.ID, err))
+		return
+	}
+	defer resp.Body.Close()
+	n.met.proxied.Inc()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+func (n *Node) forwardHeaders(req *http.Request) {
+	req.Header.Set(ForwardedHeader, n.self.ID)
+	req.Header.Set(EpochHeader, strconv.FormatUint(n.ring.Load().Epoch(), 10))
+}
+
+// splitScratch is routeIngest's pooled working set.
+type splitScratch struct {
+	body bytes.Buffer
+	dec  *trace.BatchDecoder
+	recs []trace.Attack // decoded JSON records
+	encs [][]byte       // per-record payloads (JSON input re-encoded)
+	enc  []byte         // arena behind encs
+	part map[string]*partition
+}
+
+type partition struct {
+	owner Member
+	body  bytes.Buffer
+	enc   *trace.BatchEncoder
+	count int
+}
+
+var splitPool = sync.Pool{New: func() any {
+	return &splitScratch{dec: trace.NewBatchDecoder(), part: make(map[string]*partition)}
+}}
+
+func (sc *splitScratch) reset() {
+	sc.body.Reset()
+	sc.recs = sc.recs[:0]
+	sc.encs = sc.encs[:0]
+	sc.enc = sc.enc[:0]
+	for id, p := range sc.part {
+		if p.count > 64 { // don't pin unusually large bodies in the pool
+			delete(sc.part, id)
+			continue
+		}
+		p.body.Reset()
+		p.count = 0
+	}
+}
+
+func (sc *splitScratch) partitionFor(m Member) *partition {
+	p := sc.part[m.ID]
+	if p == nil {
+		p = &partition{}
+		p.enc = trace.NewBatchEncoder(&p.body)
+		sc.part[m.ID] = p
+	}
+	p.owner = m
+	if p.count == 0 {
+		p.enc.Reset(&p.body)
+	}
+	return p
+}
+
+func (n *Node) routeIngest(w http.ResponseWriter, r *http.Request, inner http.Handler) {
+	if fwd, reject := n.checkForwarded(w, r); fwd {
+		if !reject {
+			inner.ServeHTTP(w, r)
+		}
+		return
+	}
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	sc := splitPool.Get().(*splitScratch)
+	defer func() { sc.reset(); splitPool.Put(sc) }()
+
+	body := http.MaxBytesReader(w, r.Body, n.maxBody)
+	if _, err := sc.body.ReadFrom(body); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeIngest(w, http.StatusRequestEntityTooLarge, serve.IngestResult{
+				Error: fmt.Sprintf("request body larger than %d bytes", tooBig.Limit)})
+			return
+		}
+		writeIngest(w, http.StatusBadRequest, serve.IngestResult{Error: err.Error()})
+		return
+	}
+
+	// Decode enough to know each record's target. Binary input keeps its
+	// raw frames for byte-identical forwarding; JSON records are encoded
+	// once here, so every partition (local included) travels binary.
+	binaryWire := r.Header.Get("Content-Type") == trace.BatchContentType
+	var records []trace.Attack
+	payload := func(i int) []byte { return nil }
+	if binaryWire {
+		sc.dec.Reset(bytes.NewReader(sc.body.Bytes()))
+		if err := sc.dec.Decode(0); err != nil {
+			// Nothing decodable: hand the raw body to the local service so
+			// its error mapping (400 with the frame index, 413, ...) answers.
+			n.serveLocal(w, r, inner, sc.body.Bytes(), true)
+			return
+		}
+		records = sc.dec.Records()
+		payload = sc.dec.Payload
+	} else {
+		dec := trace.NewStreamDecoder(bytes.NewReader(sc.body.Bytes()))
+		var offs []int
+		for {
+			a, err := dec.Next()
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				// Same: let the service answer with its canonical record error.
+				n.serveLocal(w, r, inner, sc.body.Bytes(), false)
+				return
+			}
+			sc.recs = append(sc.recs, *a)
+			start := len(sc.enc)
+			sc.enc, err = trace.AppendRecord(sc.enc, a)
+			if err != nil {
+				n.serveLocal(w, r, inner, sc.body.Bytes(), false)
+				return
+			}
+			offs = append(offs, start)
+		}
+		records = sc.recs
+		for i := range offs {
+			end := len(sc.enc)
+			if i+1 < len(offs) {
+				end = offs[i+1]
+			}
+			sc.encs = append(sc.encs, sc.enc[offs[i]:end])
+		}
+		payload = func(i int) []byte { return sc.encs[i] }
+	}
+
+	ring := n.ring.Load()
+	if len(records) == 0 {
+		n.serveLocal(w, r, inner, sc.body.Bytes(), binaryWire)
+		return
+	}
+
+	// Partition by owner, preserving arrival order within each owner (and
+	// so per-target order).
+	allLocal, remoteOwners := true, 0
+	var remote Member
+	for i := range records {
+		owner := ring.Owner(records[i].TargetAS)
+		if owner.ID == n.self.ID {
+			continue
+		}
+		allLocal = false
+		if p := sc.part[owner.ID]; p == nil || p.count == 0 {
+			remoteOwners++
+			remote = owner
+		}
+		p := sc.partitionFor(owner)
+		if err := p.enc.EncodeFrame(payload(i)); err != nil {
+			writeIngest(w, http.StatusInternalServerError, serve.IngestResult{Error: err.Error()})
+			return
+		}
+		p.count++
+	}
+
+	if allLocal {
+		n.serveLocal(w, r, inner, sc.body.Bytes(), binaryWire)
+		return
+	}
+
+	// Redirect mode: a request owned entirely by one remote node gets the
+	// 307; the client re-sends the identical body to the owner.
+	localCount := len(records) - totalCount(sc.part)
+	if n.route == RouteRedirect && remoteOwners == 1 && localCount == 0 {
+		n.met.redirects.Inc()
+		http.Redirect(w, r, remote.URL+r.URL.RequestURI(), http.StatusTemporaryRedirect)
+		return
+	}
+
+	// Split-proxy: local partition in-process, remote partitions forwarded
+	// concurrently, results merged.
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	results := make([]partResult, 0, remoteOwners+1)
+	resMu := sync.Mutex{}
+	add := func(pr partResult) {
+		resMu.Lock()
+		results = append(results, pr)
+		resMu.Unlock()
+	}
+	for _, p := range sc.part {
+		if p.count == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(p *partition) {
+			defer wg.Done()
+			add(n.forwardPartition(p))
+		}(p)
+		n.met.fwdRecords.Add(uint64(p.count))
+	}
+	if localCount > 0 {
+		// The local partition: rebuild a binary batch of just the locally
+		// owned frames and serve it through the wrapped mux in-process.
+		var local bytes.Buffer
+		enc := trace.NewBatchEncoder(&local)
+		for i := range records {
+			if ring.Owner(records[i].TargetAS).ID != n.self.ID {
+				continue
+			}
+			if err := enc.EncodeFrame(payload(i)); err != nil {
+				add(partResult{status: http.StatusInternalServerError, res: serve.IngestResult{Error: err.Error()}})
+				local.Reset()
+				break
+			}
+		}
+		if local.Len() > 0 {
+			status, res := n.ingestLocal(r, inner, local.Bytes(), true)
+			add(partResult{status: status, res: res})
+		}
+	}
+	wg.Wait()
+	n.svc.ObserveStage(serve.StageProxy, time.Since(t0).Seconds())
+
+	merged := serve.IngestResult{}
+	worst := http.StatusOK
+	for _, pr := range results {
+		merged.Ingested += pr.res.Ingested
+		merged.Duplicates += pr.res.Duplicates
+		merged.Rejected += pr.res.Rejected
+		if pr.res.Error != "" && merged.Error == "" {
+			merged.Error = pr.res.Error
+		}
+		if statusRank(pr.status) > statusRank(worst) {
+			worst = pr.status
+		}
+	}
+	writeIngest(w, worst, merged)
+}
+
+func totalCount(parts map[string]*partition) int {
+	n := 0
+	for _, p := range parts {
+		n += p.count
+	}
+	return n
+}
+
+// statusRank orders partition statuses for the merged response: a full
+// success only when every partition succeeded; otherwise the most severe
+// failure class answers (5xx > 4xx > 2xx) so clients retry appropriately.
+func statusRank(status int) int {
+	switch {
+	case status >= 500:
+		return 3
+	case status == http.StatusTooManyRequests:
+		return 2
+	case status >= 400:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// partResult is one partition's outcome in the merged response.
+type partResult struct {
+	res    serve.IngestResult
+	status int
+}
+
+// forwardPartition posts one owner's frames to that owner.
+func (n *Node) forwardPartition(p *partition) (pr partResult) {
+	req, err := http.NewRequest(http.MethodPost, p.owner.URL+"/ingest", bytes.NewReader(p.body.Bytes()))
+	if err != nil {
+		pr.status = http.StatusInternalServerError
+		pr.res.Error = err.Error()
+		return pr
+	}
+	req.Header.Set("Content-Type", trace.BatchContentType)
+	n.forwardHeaders(req)
+	resp, err := n.client.Do(req)
+	if err != nil {
+		pr.status = http.StatusBadGateway
+		pr.res.Error = fmt.Sprintf("owner %s unreachable: %v", p.owner.ID, err)
+		return pr
+	}
+	defer resp.Body.Close()
+	n.met.proxied.Inc()
+	pr.status = resp.StatusCode
+	if err := readJSON(resp.Body, &pr.res); err != nil && pr.res.Error == "" {
+		pr.res.Error = fmt.Sprintf("owner %s: unreadable response: %v", p.owner.ID, err)
+	}
+	return pr
+}
+
+// serveLocal replays the buffered body into the wrapped mux — the
+// all-local fast path keeps byte-identical semantics with a directly
+// addressed request.
+func (n *Node) serveLocal(w http.ResponseWriter, r *http.Request, inner http.Handler, body []byte, binaryWire bool) {
+	r2 := r.Clone(r.Context())
+	r2.Body = io.NopCloser(bytes.NewReader(body))
+	r2.ContentLength = int64(len(body))
+	inner.ServeHTTP(w, r2)
+}
+
+// ingestLocal runs a synthesized binary batch through the wrapped mux
+// in-process and parses the IngestResult back out.
+func (n *Node) ingestLocal(r *http.Request, inner http.Handler, body []byte, binaryWire bool) (int, serve.IngestResult) {
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, "/ingest", bytes.NewReader(body))
+	if err != nil {
+		return http.StatusInternalServerError, serve.IngestResult{Error: err.Error()}
+	}
+	if binaryWire {
+		req.Header.Set("Content-Type", trace.BatchContentType)
+	}
+	rec := &responseBuffer{status: http.StatusOK}
+	inner.ServeHTTP(rec, req)
+	var res serve.IngestResult
+	if err := readJSON(bytes.NewReader(rec.body.Bytes()), &res); err != nil && res.Error == "" {
+		res.Error = fmt.Sprintf("local ingest: unreadable response: %v", err)
+	}
+	return rec.status, res
+}
+
+// responseBuffer captures an in-process handler response.
+type responseBuffer struct {
+	header http.Header
+	body   bytes.Buffer
+	status int
+}
+
+func (rb *responseBuffer) Header() http.Header {
+	if rb.header == nil {
+		rb.header = make(http.Header)
+	}
+	return rb.header
+}
+
+func (rb *responseBuffer) Write(b []byte) (int, error) { return rb.body.Write(b) }
+
+func (rb *responseBuffer) WriteHeader(status int) { rb.status = status }
+
+func readJSON(r io.Reader, v any) error {
+	return json.NewDecoder(r).Decode(v)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+func writeIngest(w http.ResponseWriter, status int, res serve.IngestResult) {
+	writeJSON(w, status, &res)
+}
+
+// sortReplicaStatuses orders Status.Replication by peer for stable JSON.
+func sortReplicaStatuses(rs []ReplicaStatus) {
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Peer < rs[j].Peer })
+}

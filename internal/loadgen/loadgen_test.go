@@ -263,6 +263,80 @@ func TestHTTPSinkBatchWires(t *testing.T) {
 	}
 }
 
+// TestHTTPSinkResendsBodyOn307 pins the redirect round trip a cluster
+// node in redirect routing relies on: the first node answers /ingest
+// with 307 to the owner, and the sink's client must replay the full
+// request body to the redirect target (Go only does this when
+// Request.GetBody is set — a sink built on a plain one-shot reader
+// follows the redirect with an empty body and silently loses records).
+func TestHTTPSinkResendsBodyOn307(t *testing.T) {
+	svc := serve.New(testServeConfig())
+	defer svc.Close()
+	owner := httptest.NewServer(svc.Handler())
+	defer owner.Close()
+
+	var redirects atomic.Int64
+	front := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		redirects.Add(1)
+		http.Redirect(w, r, owner.URL+r.URL.RequestURI(), http.StatusTemporaryRedirect)
+	}))
+	defer front.Close()
+
+	gen := NewGenerator(GenConfig{Targets: 2, Seed: 3, TimeCompress: 24})
+
+	// Scalar path.
+	sink := NewHTTPSink(front.URL)
+	res, err := sink.Ingest(gen.Next())
+	if err != nil || !res.Accepted {
+		t.Fatalf("redirected scalar ingest: %+v, %v", res, err)
+	}
+
+	// Both batch wires.
+	for _, wire := range []string{"json", "binary"} {
+		sink.Wire = wire
+		batch := make([]*trace.Attack, 8)
+		for i := range batch {
+			batch[i] = gen.Next()
+		}
+		br, err := sink.IngestBatch(batch)
+		if err != nil || br.Accepted != 8 {
+			t.Fatalf("redirected %s batch: %+v, %v", wire, br, err)
+		}
+	}
+	if redirects.Load() != 3 {
+		t.Fatalf("front server saw %d requests, want 3", redirects.Load())
+	}
+}
+
+// TestMultiSinkSpraysAcrossSinks checks the round-robin fan-out the
+// cluster load driver uses for -addrs.
+func TestMultiSinkSpraysAcrossSinks(t *testing.T) {
+	var hits [2]atomic.Int64
+	var srvs [2]*httptest.Server
+	for i := range srvs {
+		i := i
+		svc := serve.New(testServeConfig())
+		defer svc.Close()
+		inner := svc.Handler()
+		srvs[i] = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			hits[i].Add(1)
+			inner.ServeHTTP(w, r)
+		}))
+		defer srvs[i].Close()
+	}
+	m := NewMultiHTTPSink([]string{srvs[0].URL, srvs[1].URL}, "binary")
+	gen := NewGenerator(GenConfig{Targets: 2, Seed: 5, TimeCompress: 24})
+	for i := 0; i < 6; i++ {
+		batch := []*trace.Attack{gen.Next(), gen.Next()}
+		if br, err := m.IngestBatch(batch); err != nil || br.Accepted != 2 {
+			t.Fatalf("batch %d: %+v, %v", i, br, err)
+		}
+	}
+	if hits[0].Load() != 3 || hits[1].Load() != 3 {
+		t.Fatalf("round robin skewed: %d vs %d hits", hits[0].Load(), hits[1].Load())
+	}
+}
+
 // TestBatchedDriverAgainstService runs the full driver in batch mode on
 // the in-process vectorized path, both pacing disciplines.
 func TestBatchedDriverAgainstService(t *testing.T) {

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/serve"
@@ -134,7 +135,7 @@ func (s *HTTPSink) Ingest(a *trace.Attack) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	resp, err := s.client().Post(s.BaseURL+"/ingest", "application/json", bytes.NewReader(body))
+	resp, err := s.post("application/json", body)
 	if err != nil {
 		return Result{}, err
 	}
@@ -168,6 +169,23 @@ func (s *HTTPSink) client() *http.Client {
 		return s.Client
 	}
 	return http.DefaultClient
+}
+
+// post sends one /ingest request with an explicit GetBody so the client
+// replays the payload across 307/308 redirects. A cluster node in
+// redirect routing answers /ingest with 307 to the owner node; without
+// GetBody the redirected request would carry an empty body and the
+// records would be lost. Pinned by TestHTTPSinkResendsBodyOn307.
+func (s *HTTPSink) post(contentType string, payload []byte) (*http.Response, error) {
+	req, err := http.NewRequest(http.MethodPost, s.BaseURL+"/ingest", bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", contentType)
+	req.GetBody = func() (io.ReadCloser, error) {
+		return io.NopCloser(bytes.NewReader(payload)), nil
+	}
+	return s.client().Do(req)
 }
 
 // IngestBatch implements BatchSink: all records in one request. The
@@ -205,7 +223,7 @@ func (s *HTTPSink) IngestBatch(recs []*trace.Attack) (BatchResult, error) {
 			}
 		}
 	}
-	resp, err := s.client().Post(s.BaseURL+"/ingest", contentType, &b.body)
+	resp, err := s.post(contentType, b.body.Bytes())
 	if err != nil {
 		return BatchResult{}, err
 	}
@@ -225,4 +243,38 @@ func (s *HTTPSink) IngestBatch(recs []*trace.Attack) (BatchResult, error) {
 	default:
 		return BatchResult{}, fmt.Errorf("loadgen: /ingest returned HTTP %d", resp.StatusCode)
 	}
+}
+
+// MultiSink sprays calls round-robin across several sinks — the
+// multi-node driver: point one ddosload at every cluster member and the
+// nodes' ownership routing sorts each record to its owner regardless of
+// which member received it. Safe for concurrent use when the underlying
+// sinks are.
+type MultiSink struct {
+	Sinks []BatchSink
+	next  atomic.Uint64
+}
+
+// NewMultiHTTPSink builds a MultiSink of HTTPSinks, one per base URL,
+// all speaking the same wire.
+func NewMultiHTTPSink(baseURLs []string, wire string) *MultiSink {
+	m := &MultiSink{}
+	for _, u := range baseURLs {
+		hs := NewHTTPSink(u)
+		hs.Wire = wire
+		m.Sinks = append(m.Sinks, hs)
+	}
+	return m
+}
+
+func (m *MultiSink) pick() BatchSink {
+	return m.Sinks[(m.next.Add(1)-1)%uint64(len(m.Sinks))]
+}
+
+// Ingest implements Sink.
+func (m *MultiSink) Ingest(a *trace.Attack) (Result, error) { return m.pick().Ingest(a) }
+
+// IngestBatch implements BatchSink.
+func (m *MultiSink) IngestBatch(recs []*trace.Attack) (BatchResult, error) {
+	return m.pick().IngestBatch(recs)
 }

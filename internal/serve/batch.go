@@ -93,9 +93,16 @@ func (s *Service) IngestBatch(records []trace.Attack, payload func(i int) []byte
 }
 
 func (s *Service) ingestBatchTimed(records []trace.Attack, payload func(i int) []byte) (BatchResult, ingestStageTimes, error) {
+	return s.ingestBatch(records, payload, true)
+}
+
+// ingestBatch is the shared body. shed=false is the replication-apply
+// path (IngestBatchReplica): a follower keeping warm must not be turned
+// away by its own refit backlog.
+func (s *Service) ingestBatch(records []trace.Attack, payload func(i int) []byte, shed bool) (BatchResult, ingestStageTimes, error) {
 	var res BatchResult
 	var st ingestStageTimes
-	if s.sched.Overloaded() {
+	if shed && s.sched.Overloaded() {
 		s.tel.ingestShed.Inc()
 		return res, st, ErrShedding
 	}

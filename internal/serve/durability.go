@@ -265,9 +265,17 @@ func (s *Service) RecoverWAL(w *wal.WAL, progress func(RecoveryStats)) (Recovery
 // itself is written atomically; a crash at any point leaves either the
 // old or the new checkpoint, each consistent with the segments on disk.
 func (s *Service) CheckpointWAL() error {
+	_, _, err := s.checkpointWAL()
+	return err
+}
+
+// checkpointWAL is CheckpointWAL returning the checkpoint's content —
+// the cluster catch-up fallback serves the same image it just made
+// durable (Service.CheckpointSnapshot).
+func (s *Service) checkpointWAL() (uint64, []TargetCheckpoint, error) {
 	w := s.walRef.Load()
 	if w == nil {
-		return errors.New("serve: no WAL attached")
+		return 0, nil, errors.New("serve: no WAL attached")
 	}
 	s.ckptMu.Lock()
 	defer s.ckptMu.Unlock()
@@ -280,7 +288,7 @@ func (s *Service) CheckpointWAL() error {
 	}
 	s.walMu.Unlock()
 	if err != nil {
-		return err
+		return 0, nil, err
 	}
 
 	path := filepath.Join(w.Dir(), checkpointName)
@@ -288,16 +296,16 @@ func (s *Service) CheckpointWAL() error {
 		return json.NewEncoder(wr).Encode(&checkpointFile{CoveredSeq: covered, Targets: targets})
 	})
 	if err != nil {
-		return err
+		return 0, nil, err
 	}
 	removed, err := w.Compact(covered)
 	if err != nil {
-		return err
+		return 0, nil, err
 	}
 	s.tel.walCheckpoints.Inc()
 	s.tel.walCompacted.Add(uint64(removed))
 	s.updateWALGauges(w)
-	return nil
+	return covered, targets, nil
 }
 
 // compactLoop checkpoints in the background whenever segment rotation has

@@ -272,7 +272,10 @@ func (s *Service) handleForecast(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, fc)
 }
 
-// Health is the /healthz response body.
+// Health is the /healthz response body. Cluster is present only when the
+// node runs in cluster mode (cluster.Status via SetClusterInfo): node
+// identity, ring epoch, peer count, replication lag — the fields smoke/CI
+// polls to wait on cluster formation.
 type Health struct {
 	Status          string  `json:"status"`
 	UptimeSec       float64 `json:"uptime_sec"`
@@ -282,6 +285,7 @@ type Health struct {
 	SnapshotVersion uint64  `json:"snapshot_version"`
 	RefitLag        int64   `json:"refit_lag"`
 	Shedding        bool    `json:"shedding"`
+	Cluster         any     `json:"cluster,omitempty"`
 }
 
 func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -299,6 +303,7 @@ func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		SnapshotVersion: s.reg.Version(),
 		RefitLag:        s.sched.Lag(),
 		Shedding:        s.sched.Overloaded(),
+		Cluster:         s.clusterInfoValue(),
 	})
 }
 

@@ -143,6 +143,7 @@ const (
 	StageFit      = "fit"      // one target's model refit
 	StagePublish  = "publish"  // registry snapshot swap
 	StageForecast = "forecast" // one /forecast request
+	StageProxy    = "proxy"    // cluster router forwarding to the owner node
 )
 
 // Accuracy model-kind labels (ddosd_accuracy_*{model="..."}).
@@ -222,7 +223,7 @@ func newTelemetry(stageBuckets []float64) *telemetry {
 		targetsKnown:   r.Gauge("ddosd_targets_known", "Targets present in the state store."),
 		targetsServed:  r.Gauge("ddosd_targets_served", "Targets with published models."),
 		stageSecs: r.HistogramVec("ddosd_stage_seconds",
-			"Pipeline latency by stage (ingest, append, schedule, score, refit, fit, publish, forecast).",
+			"Pipeline latency by stage (ingest, append, schedule, score, refit, fit, publish, forecast, proxy).",
 			"stage", stageBuckets),
 		accMagErr: r.FGaugeVec("ddosd_accuracy_magnitude_relative_error",
 			"Windowed mean relative error of the predicted attack magnitude, per model.", "model"),
@@ -249,7 +250,7 @@ func newTelemetry(stageBuckets []float64) *telemetry {
 	t.stages = make(map[string]*metrics.Histogram)
 	for _, stage := range []string{
 		StageIngest, StageAppend, StageWAL, StageSchedule, StageScore,
-		StageRefit, StageFit, StagePublish, StageForecast,
+		StageRefit, StageFit, StagePublish, StageForecast, StageProxy,
 	} {
 		t.stages[stage] = t.stageSecs.With(stage)
 	}
@@ -300,6 +301,9 @@ type Service struct {
 	walLogger *slog.Logger
 	walStop   chan struct{}
 	walDone   chan struct{}
+
+	// clusterInfo feeds the /healthz cluster section (SetClusterInfo).
+	clusterInfo clusterInfoHook
 }
 
 // New builds and starts a service (the refit scheduler goroutine runs

@@ -246,6 +246,29 @@ func (e *BatchEncoder) Encode(a *Attack) error {
 	return nil
 }
 
+// EncodeFrame appends one pre-encoded record payload (what AppendRecord
+// produced and BatchDecoder.Payload returns) to the batch without
+// re-serialization — the cluster router splits a decoded batch per owner
+// node and forwards each partition's frames byte-for-byte.
+func (e *BatchEncoder) EncodeFrame(payload []byte) error {
+	if e.n == 0 {
+		if _, err := e.w.Write(batchMagic); err != nil {
+			return fmt.Errorf("trace: batch encode: %w", err)
+		}
+	}
+	e.frame = e.frame[:0]
+	e.frame = binary.LittleEndian.AppendUint32(e.frame, uint32(len(payload)))
+	e.frame = binary.LittleEndian.AppendUint32(e.frame, crc32.Checksum(payload, batchCRC))
+	if _, err := e.w.Write(e.frame); err != nil {
+		return fmt.Errorf("trace: batch encode: %w", err)
+	}
+	if _, err := e.w.Write(payload); err != nil {
+		return fmt.Errorf("trace: batch encode: %w", err)
+	}
+	e.n++
+	return nil
+}
+
 // ErrBatchMagic reports a batch body that does not open with the
 // protocol magic (a mislabeled or foreign payload).
 var ErrBatchMagic = errors.New("trace: batch body missing ddosbat1 magic")

@@ -1,0 +1,54 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"sort"
+)
+
+// SegmentInfo describes one sealed, immutable segment — the unit the
+// cluster layer ships to followers.
+type SegmentInfo struct {
+	Seq   uint64 // segment sequence number
+	Bytes int64  // file size including the magic header
+}
+
+// Segments lists the sealed segments in ascending sequence order. The
+// active segment is excluded: it is still being appended to and is not
+// safe to ship. Sealing is forced with Rotate.
+func (w *WAL) Segments() []SegmentInfo {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]SegmentInfo, 0, len(w.sealed))
+	for seq, size := range w.sealed {
+		out = append(out, SegmentInfo{Seq: seq, Bytes: size})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// OpenSegment opens a sealed segment for reading (the replication
+// streaming path). The caller owns the returned file. Because the fd is
+// held open, the stream survives a concurrent Compact unlinking the file
+// mid-transfer — the reader drains the old inode. Asking for the active
+// or an unknown segment returns os.ErrNotExist wrapped with the sequence,
+// which the HTTP layer maps to 410 Gone (compacted away: the follower
+// must fall back to a checkpoint install).
+func (w *WAL) OpenSegment(seq uint64) (*os.File, error) {
+	w.mu.Lock()
+	_, ok := w.sealed[seq]
+	closed := w.closed
+	path := w.segmentPath(seq)
+	w.mu.Unlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	if !ok {
+		return nil, fmt.Errorf("wal: segment %016x: %w", seq, os.ErrNotExist)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open segment %016x: %w", seq, err)
+	}
+	return f, nil
+}

@@ -10,12 +10,21 @@
 # wire's by at least BENCH_MIN_SPEEDUP (default 1.0 — "binary must be
 # faster"; the checked-in BENCH_6.json documents the real margin).
 #
-# Env knobs: BENCH_OUT (default ./BENCH_6.json), BENCH_RECORDS (default
-# 60000), BENCH_BATCH (default 64), BENCH_MIN_SPEEDUP (default 1.0).
+# A second stage measures cluster routing overhead: the same 64-record
+# binary batch landing on its owner directly, through a non-owner's
+# split-proxy, and via a 307 redirect bounce, on a 2-in-process-node
+# cluster (the BenchmarkClusterRouting* fixtures). The deltas land in
+# BENCH_7.json (schema: route -> ns/op, µs/record, allocs/op, overhead
+# vs direct).
+#
+# Env knobs: BENCH_OUT (default ./BENCH_6.json), BENCH7_OUT (default
+# ./BENCH_7.json), BENCH_RECORDS (default 60000), BENCH_BATCH (default
+# 64), BENCH_MIN_SPEEDUP (default 1.0).
 set -euo pipefail
 
 workdir="$(mktemp -d)"
 out="${BENCH_OUT:-BENCH_6.json}"
+out7="${BENCH7_OUT:-BENCH_7.json}"
 records="${BENCH_RECORDS:-60000}"
 batch="${BENCH_BATCH:-64}"
 min_speedup="${BENCH_MIN_SPEEDUP:-1.0}"
@@ -126,4 +135,48 @@ print(json.dumps(doc, indent=2))
 if speedup < min_speedup:
     sys.exit(f"FAIL: binary wire is {speedup:.2f}x JSON, want >= {min_speedup}x")
 print(f"==> binary wire is {speedup:.2f}x the JSON wire ({out})")
+EOF
+
+echo "==> cluster routing overhead (direct vs split-proxy vs 307 redirect)"
+go test -run '^$' -bench 'BenchmarkClusterRouting(Direct|Proxy|Redirect)$' -benchmem \
+  ./internal/cluster | tee "$workdir/bench-cluster.txt"
+
+python3 - "$workdir" "$out7" <<'EOF'
+import json, re, sys
+
+workdir, out = sys.argv[1], sys.argv[2]
+BATCH = 64  # records per benchmarked request (see benchCluster)
+
+routes = {}
+with open(f"{workdir}/bench-cluster.txt") as f:
+    for line in f:
+        m = re.match(
+            r"BenchmarkClusterRouting(Direct|Proxy|Redirect)\S*\s+\d+\s+([\d.]+) ns/op"
+            r"(?:\s+([\d.]+) B/op\s+(\d+) allocs/op)?", line)
+        if m:
+            ns = float(m.group(2))
+            routes[m.group(1).lower()] = {
+                "ns_per_op": ns,
+                "us_per_record": round(ns / 1000 / BATCH, 3),
+                "allocs_per_op": int(m.group(4)) if m.group(4) else None,
+            }
+for r in ("direct", "proxy", "redirect"):
+    assert r in routes, f"bench-cluster.txt is missing the {r} benchmark"
+
+direct = routes["direct"]["ns_per_op"]
+doc = {
+    "bench": "cluster-routing",
+    "issue": 7,
+    "nodes": 2,
+    "wire": "binary",
+    "batch": BATCH,
+    "routes": routes,
+    "proxy_overhead": round(routes["proxy"]["ns_per_op"] / direct, 2),
+    "redirect_overhead": round(routes["redirect"]["ns_per_op"] / direct, 2),
+}
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(json.dumps(doc, indent=2))
+print(f"==> proxy {doc['proxy_overhead']}x, redirect {doc['redirect_overhead']}x of direct ({out})")
 EOF

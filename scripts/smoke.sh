@@ -9,19 +9,155 @@
 # store knows the same targets and still serves forecasts. The ddosload
 # run writes its machine-readable JSON report to $REPORT_OUT (default:
 # inside the temp workdir) so CI can archive it as an artifact.
+#
+# The final stage forms a 2-node cluster, sprays load across both
+# members, kill -9s one mid-load, promotes the survivor, and asserts
+# forecast continuity. Set SMOKE_CLUSTER_ONLY=1 to run just that stage
+# (the CI cluster lane does).
 set -euo pipefail
 
 workdir="$(mktemp -d)"
 report_out="${REPORT_OUT:-$workdir/ddosload-report.json}"
 daemon_pid=""
+cluster_pids=""
 cleanup() {
   [[ -n "$daemon_pid" ]] && kill "$daemon_pid" 2>/dev/null || true
+  for p in $cluster_pids; do kill "$p" 2>/dev/null || true; done
   rm -rf "$workdir"
 }
 trap cleanup EXIT
 
+free_port() {
+  python3 -c 'import socket; s=socket.socket(); s.bind(("127.0.0.1",0)); print(s.getsockname()[1]); s.close()'
+}
+
+# cluster_stage boots a 2-node ring, drives mixed-owner load through both
+# members (ownership routing sorts every record to its owner), waits for
+# WAL-shipped replication to drain, kill -9s node n1 under fresh load,
+# promotes n2, and requires every target — including the dead node's —
+# to keep serving /forecast from the survivor.
+cluster_stage() {
+  echo "==> cluster: forming a 2-node ring"
+  local cdir="$workdir/cluster"
+  mkdir -p "$cdir"
+  local port1 port2
+  port1="$(free_port)"
+  port2="$(free_port)"
+  local peers="n1=http://127.0.0.1:$port1,n2=http://127.0.0.1:$port2"
+  "$workdir/bin/ddosd" -addr "127.0.0.1:$port1" -wal-dir "$cdir/wal1" -wal-fsync 50ms \
+    -cluster-peers "$peers" -cluster-self n1 -cluster-poll 200ms >"$cdir/n1.log" 2>&1 &
+  local pid1=$!
+  "$workdir/bin/ddosd" -addr "127.0.0.1:$port2" -wal-dir "$cdir/wal2" -wal-fsync 50ms \
+    -cluster-peers "$peers" -cluster-self n2 -cluster-poll 200ms >"$cdir/n2.log" 2>&1 &
+  local pid2=$!
+  cluster_pids="$pid1 $pid2"
+
+  # Readiness: both nodes must log listening with the same ring epoch.
+  local epoch1="" epoch2=""
+  for _ in $(seq 1 120); do
+    epoch1="$(sed -n 's/^.*msg=listening .*ring_epoch=\([0-9]*\).*$/\1/p' "$cdir/n1.log" | head -n1)"
+    epoch2="$(sed -n 's/^.*msg=listening .*ring_epoch=\([0-9]*\).*$/\1/p' "$cdir/n2.log" | head -n1)"
+    [[ -n "$epoch1" && -n "$epoch2" ]] && break
+    kill -0 "$pid1" 2>/dev/null || { cat "$cdir/n1.log"; echo "FAIL: cluster node n1 died during boot"; exit 1; }
+    kill -0 "$pid2" 2>/dev/null || { cat "$cdir/n2.log"; echo "FAIL: cluster node n2 died during boot"; exit 1; }
+    sleep 0.5
+  done
+  [[ -n "$epoch1" && -n "$epoch2" ]] || { cat "$cdir/n1.log" "$cdir/n2.log"; echo "FAIL: cluster never formed"; exit 1; }
+  [[ "$epoch1" == "$epoch2" ]] || { echo "FAIL: ring epochs disagree: $epoch1 vs $epoch2"; exit 1; }
+  echo "==> cluster: both nodes up, ring epoch $epoch1"
+
+  # Spray binary batches across both members: roughly half the records
+  # arrive at their non-owner and must be split-proxied to the owner.
+  "$workdir/bin/ddosload" -addrs "http://127.0.0.1:$port1,http://127.0.0.1:$port2" \
+    -wire binary -batch 16 -records 2000 -targets 8 -workers 4 -seed 7 \
+    -slo-errors 0 >/dev/null \
+    || { cat "$cdir/n1.log" "$cdir/n2.log"; echo "FAIL: cluster ddosload run"; exit 1; }
+
+  # Quiesce: wait until both nodes report zero replication lag, so every
+  # acked record is on its follower before the kill.
+  local drained=""
+  for _ in $(seq 1 60); do
+    drained="$(
+      { curl -s "http://127.0.0.1:$port1/healthz"; echo; curl -s "http://127.0.0.1:$port2/healthz"; } \
+      | python3 -c '
+import json, sys
+ok = True
+for line in sys.stdin:
+    line = line.strip()
+    if not line:
+        continue
+    h = json.loads(line)
+    for r in (h.get("cluster") or {}).get("replication") or []:
+        if r["lag_segments"] != 0 or r["errors"] != 0:
+            ok = False
+print("yes" if ok else "no")' | tail -n1
+    )"
+    [[ "$drained" == "yes" ]] && break
+    sleep 0.5
+  done
+  [[ "$drained" == "yes" ]] || { cat "$cdir/n1.log" "$cdir/n2.log"; echo "FAIL: replication never drained"; exit 1; }
+  echo "==> cluster: replication drained"
+
+  # Fresh load through the survivor-to-be, then kill -9 the other node
+  # mid-flight (proxied partitions to it will fail; -slo-errors -1 keeps
+  # the driver from gating on them).
+  "$workdir/bin/ddosload" -addr "http://127.0.0.1:$port2" -mode open \
+    -rate 200 -duration 4s -workers 4 -targets 8 -seed 11 \
+    -wire binary -batch 16 -slo-errors -1 >/dev/null 2>&1 &
+  local load_pid=$!
+  sleep 1
+  echo "==> cluster: kill -9 node n1 mid-load"
+  kill -9 "$pid1"
+  wait "$pid1" 2>/dev/null || true
+  wait "$load_pid" 2>/dev/null || true
+  cluster_pids="$pid2"
+
+  echo "==> cluster: promoting n2"
+  local status
+  status="$(curl -s -o "$workdir/promote.json" -w '%{http_code}' -X POST "http://127.0.0.1:$port2/cluster/promote?dead=n1")"
+  [[ "$status" == 200 ]] || { cat "$workdir/promote.json"; echo "FAIL: promote returned HTTP $status"; exit 1; }
+
+  # Survivor serves /forecast for every target, its own and the dead
+  # node's (ddosload numbers targets 64512..64519).
+  curl -s "http://127.0.0.1:$port2/healthz" | python3 -c '
+import json, sys
+h = json.load(sys.stdin)
+c = h["cluster"]
+assert c["node"] == "n2" and c["members"] == 1, c
+assert not c.get("replication"), c' \
+    || { cat "$cdir/n2.log"; echo "FAIL: survivor healthz after promotion"; exit 1; }
+  local as ok_targets=0
+  for as in $(seq 64512 64519); do
+    for _ in $(seq 1 40); do
+      status="$(curl -s -o /dev/null -w '%{http_code}' "http://127.0.0.1:$port2/forecast?target=$as")"
+      [[ "$status" == 200 ]] && { ok_targets=$((ok_targets + 1)); break; }
+      sleep 0.25
+    done
+    [[ "$status" == 200 ]] || { cat "$cdir/n2.log"; echo "FAIL: forecast for AS$as is HTTP $status after failover"; exit 1; }
+  done
+  echo "==> cluster: all $ok_targets targets forecast from the survivor"
+
+  # The survivor's metrics must show replication and the promotion.
+  curl -s "http://127.0.0.1:$port2/metrics" >"$workdir/cluster-metrics.txt"
+  grep -Eq '^ddosd_cluster_replicated_records_total [1-9]' "$workdir/cluster-metrics.txt" \
+    || { echo "FAIL: survivor replicated zero records"; grep '^ddosd_cluster' "$workdir/cluster-metrics.txt"; exit 1; }
+  grep -Eq '^ddosd_cluster_promotions_total 1' "$workdir/cluster-metrics.txt" \
+    || { echo "FAIL: promotion not counted"; grep '^ddosd_cluster' "$workdir/cluster-metrics.txt"; exit 1; }
+
+  kill -TERM "$pid2"
+  wait "$pid2" 2>/dev/null || true
+  cluster_pids=""
+  echo "==> cluster stage passed"
+}
+
 echo "==> building all commands"
 go build -o "$workdir/bin/" ./cmd/...
+
+if [[ -n "${SMOKE_CLUSTER_ONLY:-}" ]]; then
+  cluster_stage
+  echo "smoke test passed (cluster stage only)"
+  exit 0
+fi
 
 echo "==> generating a trace"
 "$workdir/bin/ddosgen" -scale 0.1 -seed 7 -horizon 120 -o "$workdir/trace.json"
@@ -216,5 +352,7 @@ if "$workdir/bin/ddospredict" -snapshot "$workdir/models.snap" -target 429490000
   echo "FAIL: ddospredict exited zero for an unknown target"
   exit 1
 fi
+
+cluster_stage
 
 echo "smoke test passed"
