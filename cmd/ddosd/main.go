@@ -13,6 +13,7 @@
 //	ddosd -snapshot-out models.snap         # write a snapshot on shutdown
 //	ddosd -wal-dir wal/                     # durable ingest + crash recovery
 //	ddosd -wal-fsync 50ms                   # batch fsync (always|never|interval)
+//	ddosd -detect                           # streaming detection tier (/alerts)
 //	ddosd -log-level debug -log-format json # structured logging
 //	ddosd -admin-addr 127.0.0.1:8081        # opt-in pprof/expvar listener
 //	ddosd -cluster-self n1 \
@@ -34,6 +35,7 @@
 //	GET  /healthz              liveness + backlog summary
 //	GET  /metrics              Prometheus text metrics
 //	GET  /accuracy             windowed online forecast accuracy per model
+//	GET  /alerts               streaming-detector counters + recent alerts
 //	GET  /debug/traces         recent pipeline traces (JSON span trees)
 //	GET  /buildinfo            module, version, platform
 //
@@ -65,6 +67,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/detect"
 	"repro/internal/nn"
 	"repro/internal/obs"
 	"repro/internal/serve"
@@ -92,6 +95,13 @@ func main() {
 		traceCap    = flag.Int("trace-capacity", 64, "/debug/traces ring size")
 		accWindow   = flag.Int("accuracy-window", 512, "sliding window of the online accuracy tracker")
 
+		detectOn      = flag.Bool("detect", false, "enable the streaming detection tier (/alerts, ddosd_detect_*, per-record verdicts)")
+		detectTrigger = flag.Float64("detect-trigger", 4, "rate alert trigger: window count over this multiple of the EWMA baseline")
+		detectClear   = flag.Float64("detect-clear", 1.5, "rate alert clear: window count back under this multiple of the baseline (hysteresis)")
+		detectMinRate = flag.Float64("detect-min-rate", 1, "trigger floor in records/sec — cold targets need at least this rate to alert")
+		detectEntropy = flag.Float64("detect-entropy-drop", 0.3, "source-concentration alert: normalized bot-IP entropy drops below baseline times (1 - this)")
+		detectCap     = flag.Int("detect-alert-cap", 256, "in-memory alert ring capacity served by /alerts")
+
 		clusterPeers = flag.String("cluster-peers", "", "comma-separated cluster membership as name=url pairs (empty = single-node)")
 		clusterSelf  = flag.String("cluster-self", "", "this node's member name within -cluster-peers")
 		clusterRoute = flag.String("cluster-route", "proxy", "non-owned request handling: proxy or redirect")
@@ -111,7 +121,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ddosd:", err)
 		os.Exit(2)
 	}
-	if err := run(daemonOpts{
+	opts := daemonOpts{
 		addr:              *addr,
 		adminAddr:         *adminAddr,
 		data:              *data,
@@ -129,7 +139,18 @@ func main() {
 		readTimeout:       *readTO,
 		idleTimeout:       *idleTO,
 		logger:            logger,
-	}, serve.Config{
+	}
+	var detectCfg *detect.Config
+	if *detectOn {
+		detectCfg = &detect.Config{
+			Trigger:     *detectTrigger,
+			Clear:       *detectClear,
+			MinRate:     *detectMinRate,
+			EntropyDrop: *detectEntropy,
+			AlertCap:    *detectCap,
+		}
+	}
+	if err := run(opts, serve.Config{
 		Shards:         *shards,
 		Window:         *window,
 		RefitEvery:     *refitEvery,
@@ -141,6 +162,7 @@ func main() {
 		TraceSlow:      *traceSlow,
 		AccuracyWindow: *accWindow,
 		MaxBatchBytes:  *maxIngest,
+		Detect:         detectCfg,
 	}); err != nil {
 		logger.Error("exiting", "component", "daemon", "error", err)
 		os.Exit(1)

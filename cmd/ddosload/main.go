@@ -56,6 +56,12 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "generator and chaos seed")
 		compress = flag.Float64("compress", 24, "trace-time compression factor for record timestamps")
 
+		burstEvery   = flag.Duration("burst-every", 0, "ground-truth burst period per target in trace time (0 = no bursts)")
+		burstLen     = flag.Duration("burst-len", 0, "ground-truth burst duration (0 = period/10)")
+		burstGap     = flag.Duration("burst-gap", 0, "mean in-burst record spacing (0 = 200ms)")
+		burstTargets = flag.Int("burst-targets", 0, "how many targets burst (0 = all)")
+		burstPool    = flag.Int("burst-pool", 0, "in-burst bot-address pool size (0 = 4)")
+
 		drop     = flag.Float64("drop", 0, "chaos: record drop probability")
 		dup      = flag.Float64("dup", 0, "chaos: record duplication probability")
 		reorder  = flag.Float64("reorder", 0, "chaos: record reorder probability")
@@ -174,6 +180,10 @@ func main() {
 	// Record stream: profile-shaped generator, optionally chaos-wrapped.
 	gen := loadgen.NewGenerator(loadgen.GenConfig{
 		Targets: *targets, Seed: *seed, TimeCompress: *compress,
+		Burst: loadgen.BurstConfig{
+			Every: *burstEvery, Len: *burstLen, Gap: *burstGap,
+			Targets: *burstTargets, BotPool: *burstPool,
+		},
 	})
 	src := gen.Next
 	var faults *chaos.StreamFaults

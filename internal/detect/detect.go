@@ -1,0 +1,600 @@
+// Package detect is the line-rate streaming detection tier in front of
+// the modeling pipeline (DESIGN.md §13): a per-target detector that runs
+// under the store's shard locks on every ingested record, before the
+// record is appended. It combines three signals —
+//
+//   - multi-window sliding-rate counters (1s/10s/60s/300s) over a
+//     per-second ring of buckets, advanced in event time (the record
+//     timestamps, not the wall clock), so replay, backfill, and
+//     compressed load tests all see the same verdicts;
+//   - a per-window EWMA behavioral baseline with trigger/clear
+//     hysteresis, frozen while an alert is active so the baseline never
+//     learns the attack it is flagging;
+//   - streaming source entropy over bot IPs via a fixed-size
+//     count-min + top-K sketch with event-time decay, flagging the
+//     source-concentration collapse of a botnet reusing a small address
+//     pool.
+//
+// Everything is allocation-free per record once a target's State exists
+// (pinned by TestDetectZeroAlloc / BenchmarkDetect): the ring, sketch,
+// and alert buffer are fixed-size, and raise/clear transitions — the only
+// locked operations — are rare by construction. Verdicts are recorded on
+// the stored record (trace.Attack.Verdict) so refits can condition on
+// them, and typed Alerts are exposed over /alerts and ddosd_detect_*.
+package detect
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/astopo"
+	"repro/internal/trace"
+)
+
+// NumWindows is how many sliding rate windows each target tracks.
+const NumWindows = 4
+
+// Windows are the sliding rate windows in seconds, ascending. The ring
+// covers exactly the largest window, so every non-stale record lands in a
+// live bucket.
+var Windows = [NumWindows]int{1, 10, 60, 300}
+
+// ringSeconds is the per-target bucket ring coverage: the largest window.
+const ringSeconds = 300
+
+// Verdict bits recorded on trace.Attack.Verdict. Zero means baseline.
+const (
+	// VerdictRate: at least one sliding-rate window is in alert.
+	VerdictRate uint8 = 1 << 0
+	// VerdictEntropy: the source-concentration (entropy) alert is active.
+	VerdictEntropy uint8 = 1 << 1
+)
+
+// Kind labels an alert family (the ddosd_detect_alerts_total{kind} label).
+type Kind string
+
+const (
+	// KindRate is a sliding-window rate threshold crossing.
+	KindRate Kind = "rate"
+	// KindEntropy is a source-entropy collapse: the bot-address
+	// distribution concentrated onto a small pool.
+	KindEntropy Kind = "source_concentration"
+)
+
+// Alert is one detector transition: a raise (Cleared=false) or the
+// matching hysteresis clear (Cleared=true) for a target's signal.
+type Alert struct {
+	Target   astopo.AS `json:"target"`
+	Kind     Kind      `json:"kind"`
+	Window   int       `json:"window_sec,omitempty"` // rate window in seconds; 0 for entropy
+	Severity float64   `json:"severity"`             // observed/threshold at raise; observed deficit at clear
+	At       time.Time `json:"at"`                   // event time of the record that transitioned
+	Cleared  bool      `json:"cleared,omitempty"`
+}
+
+// Config tunes a Detector. The zero value gets production-ish defaults.
+type Config struct {
+	// Trigger raises a rate alert when a window's count reaches this
+	// multiple of its EWMA baseline. Default 4.
+	Trigger float64
+	// Clear drops a rate alert when the count falls to this multiple of
+	// the (frozen) baseline — the hysteresis band. Default 1.5.
+	Clear float64
+	// MinRate floors the trigger threshold at MinRate×window seconds, so
+	// cold targets with a near-zero baseline still need a real rate burst
+	// to alert. Default 1 record/sec.
+	MinRate float64
+	// MinCount is the absolute records-in-window floor below which no
+	// window ever triggers (and at MinCount-1, any window clears) — it
+	// keeps a single sparse record from tripping the 1s window. Default 3.
+	MinCount int
+	// EWMAAlpha is the per-event-second baseline smoothing factor.
+	// Default 0.05.
+	EWMAAlpha float64
+	// EntropyDrop raises the source-concentration alert when normalized
+	// top-K entropy falls below baseline×(1−EntropyDrop); it clears above
+	// baseline×(1−EntropyDrop/2). Default 0.3.
+	EntropyDrop float64
+	// EntropyMin is the decayed bot-sample floor before entropy alerts are
+	// considered (sparse baseline traffic never concentrates "enough" to
+	// matter). Default 32.
+	EntropyMin int
+	// EntropyHalfLife is the event-time interval between sketch halvings.
+	// Default 60s.
+	EntropyHalfLife int
+	// AlertCap bounds the in-memory alert ring served by /alerts.
+	// Default 256.
+	AlertCap int
+	// OnAlert, when non-nil, observes every raise and clear (telemetry).
+	// It is called from the ingest path under the target's shard lock:
+	// keep it cheap and never re-enter the service from it.
+	OnAlert func(Alert)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Trigger <= 0 {
+		c.Trigger = 4
+	}
+	if c.Clear <= 0 {
+		c.Clear = 1.5
+	}
+	if c.Clear >= c.Trigger {
+		c.Clear = c.Trigger / 2
+	}
+	if c.MinRate <= 0 {
+		c.MinRate = 1
+	}
+	if c.MinCount < 1 {
+		c.MinCount = 3
+	}
+	if c.EWMAAlpha <= 0 || c.EWMAAlpha >= 1 {
+		c.EWMAAlpha = 0.05
+	}
+	if c.EntropyDrop <= 0 || c.EntropyDrop >= 1 {
+		c.EntropyDrop = 0.3
+	}
+	if c.EntropyMin < 1 {
+		c.EntropyMin = 32
+	}
+	if c.EntropyHalfLife < 1 {
+		c.EntropyHalfLife = 60
+	}
+	if c.AlertCap < 1 {
+		c.AlertCap = 256
+	}
+	return c
+}
+
+// Count-min sketch geometry: 4 rows × 128 columns of uint32, plus an
+// 8-entry top-K heavy-hitter table. Fixed arrays keep State a single
+// allocation.
+const (
+	cmDepth = 4
+	cmWidth = 128 // power of two: the hash folds with a shift
+	topK    = 8
+)
+
+// cmSeeds are per-row multiplicative hash constants.
+var cmSeeds = [cmDepth]uint32{0x9e3779b1, 0x85ebca77, 0xc2b2ae3d, 0x27d4eb2f}
+
+type topEntry struct {
+	ip uint32
+	n  uint32
+}
+
+// State is one target's detector state. All access happens under the
+// owning store shard's lock; the struct is a single fixed-size allocation
+// created lazily on the target's first record.
+type State struct {
+	init bool
+	head int64 // event-time watermark: max record second seen (unix)
+
+	buckets [ringSeconds]uint32 // per-second counts covering (head-300, head]
+	sums    [NumWindows]uint32  // records in (head-w, head] per window
+	ewma    [NumWindows]float64 // behavioral baseline per window (frozen in alert)
+	active  [NumWindows]bool    // rate alert latch per window
+
+	// Source-entropy sketch over bot IPs.
+	cm        [cmDepth][cmWidth]uint32
+	top       [topK]topEntry
+	topN      int
+	samples   uint32  // decayed bot observations folded into the sketch
+	lastDecay int64   // event second of the last sketch halving epoch
+	entBase   float64 // EWMA baseline of normalized top-K entropy
+	entInit   bool
+	entActive bool
+}
+
+// Result is one Observe outcome.
+type Result struct {
+	// Verdict is the record's classification bitmask (VerdictRate |
+	// VerdictEntropy), reflecting the alerts active after this record.
+	Verdict uint8
+	// Stale marks a record older than the ring's 300s coverage behind the
+	// target's watermark: counted, but outside every window.
+	Stale bool
+}
+
+// Detector evaluates records against per-target State and keeps the
+// shared alert ring. Observe may run concurrently for different targets
+// (different shard locks); the ring has its own mutex, taken only on the
+// rare raise/clear transitions.
+type Detector struct {
+	cfg Config
+
+	records atomic.Uint64
+	stale   atomic.Uint64
+	raised  atomic.Uint64
+	cleared atomic.Uint64
+	active  atomic.Int64
+
+	mu   sync.Mutex
+	ring []Alert // fixed-capacity circular buffer, slot seq%cap
+	seq  uint64
+}
+
+// New builds a detector.
+func New(cfg Config) *Detector {
+	cfg = cfg.withDefaults()
+	return &Detector{cfg: cfg, ring: make([]Alert, cfg.AlertCap)}
+}
+
+// Config returns the detector's effective (defaulted) configuration.
+func (d *Detector) Config() Config { return d.cfg }
+
+// NewState allocates a fresh per-target state (one allocation; everything
+// inside is fixed-size).
+func (d *Detector) NewState() *State { return &State{} }
+
+// slot maps an event second onto its ring index (negative-safe: hostile
+// pre-epoch timestamps must not panic).
+func slot(sec int64) int {
+	m := sec % ringSeconds
+	if m < 0 {
+		m += ringSeconds
+	}
+	return int(m)
+}
+
+// Observe folds one record into the target's state and returns its
+// verdict. Event time comes from the record's Start; out-of-order records
+// within ring coverage land in their true second, older ones are counted
+// stale. Allocation-free once st exists.
+func (d *Detector) Observe(st *State, a *trace.Attack) Result {
+	d.records.Add(1)
+	sec := a.Start.Unix()
+	var res Result
+	switch {
+	case !st.init:
+		st.init = true
+		st.head = sec
+		st.lastDecay = sec
+		st.buckets[slot(sec)]++
+		for i := range st.sums {
+			st.sums[i]++
+		}
+	case sec > st.head:
+		d.advance(st, sec)
+		st.buckets[slot(sec)]++
+		for i := range st.sums {
+			st.sums[i]++
+		}
+	case sec > st.head-ringSeconds:
+		// Late but within coverage: its second's bucket is still live.
+		st.buckets[slot(sec)]++
+		off := st.head - sec
+		for wi := range Windows {
+			if off < int64(Windows[wi]) {
+				st.sums[wi]++
+			}
+		}
+	default:
+		// Older than the ring covers: outside every window by definition.
+		d.stale.Add(1)
+		res.Stale = true
+		res.Verdict = st.verdict()
+		return res
+	}
+
+	d.observeSources(st, a)
+	d.evalRate(st, a)
+	res.Verdict = st.verdict()
+	return res
+}
+
+// advance moves the watermark forward to sec: retire the seconds leaving
+// each window, update the (unfrozen) EWMA baselines with the drained
+// counts, and recycle the ring slots the new seconds will use.
+func (d *Detector) advance(st *State, sec int64) {
+	delta := sec - st.head
+	if delta >= ringSeconds {
+		// The whole ring ages out.
+		for i := range st.buckets {
+			st.buckets[i] = 0
+		}
+		for i := range st.sums {
+			st.sums[i] = 0
+		}
+	} else {
+		for wi := range Windows {
+			w := int64(Windows[wi])
+			if delta >= w {
+				st.sums[wi] = 0
+				continue
+			}
+			// Seconds leaving window wi: (head-w, sec-w]; delta < w keeps
+			// them at or before head, so their buckets are still live.
+			for s := st.head - w + 1; s <= sec-w; s++ {
+				st.sums[wi] -= st.buckets[slot(s)]
+			}
+		}
+		for s := st.head + 1; s <= sec; s++ {
+			st.buckets[slot(s)] = 0
+		}
+	}
+	// Fold the elapsed seconds into each baseline in closed form:
+	// ewma ← c + (ewma−c)·(1−α)^delta with c the drained count. Frozen
+	// while that window's alert is active so the baseline never chases
+	// the attack.
+	decay := math.Pow(1-d.cfg.EWMAAlpha, float64(delta))
+	for wi := range Windows {
+		if st.active[wi] {
+			continue
+		}
+		c := float64(st.sums[wi])
+		st.ewma[wi] = c + (st.ewma[wi]-c)*decay
+	}
+	st.head = sec
+}
+
+// verdict is the bitmask of currently active alerts.
+func (st *State) verdict() uint8 {
+	var v uint8
+	for wi := range st.active {
+		if st.active[wi] {
+			v |= VerdictRate
+			break
+		}
+	}
+	if st.entActive {
+		v |= VerdictEntropy
+	}
+	return v
+}
+
+// evalRate applies the trigger/clear hysteresis per window after the
+// record has been folded in.
+func (d *Detector) evalRate(st *State, a *trace.Attack) {
+	for wi := range Windows {
+		w := Windows[wi]
+		c := float64(st.sums[wi])
+		if !st.active[wi] {
+			thr := d.cfg.MinRate * float64(w)
+			if m := float64(d.cfg.MinCount); m > thr {
+				thr = m
+			}
+			if e := st.ewma[wi] * d.cfg.Trigger; e > thr {
+				thr = e
+			}
+			if c >= thr {
+				st.active[wi] = true
+				d.emit(Alert{Target: a.TargetAS, Kind: KindRate, Window: w, Severity: c / thr, At: a.Start})
+			}
+			continue
+		}
+		clr := st.ewma[wi] * d.cfg.Clear
+		if m := float64(d.cfg.MinCount - 1); m > clr {
+			clr = m
+		}
+		if c <= clr {
+			st.active[wi] = false
+			sev := 0.0
+			if clr > 0 {
+				sev = c / clr
+			}
+			d.emit(Alert{Target: a.TargetAS, Kind: KindRate, Window: w, Severity: sev, At: a.Start, Cleared: true})
+		}
+	}
+}
+
+// observeSources folds the record's bot IPs into the count-min + top-K
+// sketch, decays it on event-time epochs, and applies the entropy
+// hysteresis.
+func (d *Detector) observeSources(st *State, a *trace.Attack) {
+	// Event-time decay: halve every counter once per elapsed half-life.
+	if steps := (st.head - st.lastDecay) / int64(d.cfg.EntropyHalfLife); steps > 0 {
+		st.lastDecay += steps * int64(d.cfg.EntropyHalfLife)
+		if steps > 31 {
+			steps = 31 // a >>32 is UB-adjacent; past 31 everything is zero anyway
+		}
+		sh := uint(steps)
+		for r := range st.cm {
+			for i := range st.cm[r] {
+				st.cm[r][i] >>= sh
+			}
+		}
+		keep := 0
+		for i := 0; i < st.topN; i++ {
+			st.top[i].n >>= sh
+			if st.top[i].n > 0 {
+				st.top[keep] = st.top[i]
+				keep++
+			}
+		}
+		st.topN = keep
+		st.samples >>= sh
+	}
+	for _, b := range a.Bots {
+		ip := uint32(b)
+		est := uint32(math.MaxUint32)
+		for r := range cmSeeds {
+			i := (ip * cmSeeds[r]) >> (32 - 7) // cmWidth == 1<<7
+			st.cm[r][i]++
+			if st.cm[r][i] < est {
+				est = st.cm[r][i]
+			}
+		}
+		st.updateTop(ip, est)
+		st.samples++
+	}
+	if len(a.Bots) == 0 {
+		return
+	}
+
+	ent := st.entropy()
+	if !st.entInit {
+		st.entBase = ent
+		st.entInit = true
+	} else if !st.entActive {
+		st.entBase = 0.9*st.entBase + 0.1*ent
+	}
+	if !st.entActive {
+		if st.samples >= uint32(d.cfg.EntropyMin) && ent < st.entBase*(1-d.cfg.EntropyDrop) {
+			st.entActive = true
+			sev := 0.0
+			if st.entBase > 0 {
+				sev = (st.entBase - ent) / st.entBase
+			}
+			d.emit(Alert{Target: a.TargetAS, Kind: KindEntropy, Severity: sev, At: a.Start})
+		}
+		return
+	}
+	if ent >= st.entBase*(1-d.cfg.EntropyDrop/2) || st.samples < uint32(d.cfg.EntropyMin)/2 {
+		st.entActive = false
+		sev := 0.0
+		if st.entBase > 0 {
+			sev = (st.entBase - ent) / st.entBase
+		}
+		d.emit(Alert{Target: a.TargetAS, Kind: KindEntropy, Severity: sev, At: a.Start, Cleared: true})
+	}
+}
+
+// updateTop maintains the top-K heavy hitters with count-min-estimate
+// admission (space-saving style).
+func (st *State) updateTop(ip, est uint32) {
+	minI := -1
+	var minN uint32 = math.MaxUint32
+	for i := 0; i < st.topN; i++ {
+		if st.top[i].ip == ip {
+			st.top[i].n++
+			return
+		}
+		if st.top[i].n < minN {
+			minN, minI = st.top[i].n, i
+		}
+	}
+	if st.topN < topK {
+		st.top[st.topN] = topEntry{ip: ip, n: est}
+		st.topN++
+		return
+	}
+	if est > minN {
+		st.top[minI] = topEntry{ip: ip, n: est}
+	}
+}
+
+// entropy returns the normalized Shannon entropy of the top-K counts in
+// [0,1]: 1 for a uniform heavy-hitter table (dispersed sources), falling
+// toward 0 as the mass concentrates onto few addresses.
+func (st *State) entropy() float64 {
+	if st.topN <= 1 {
+		return 0
+	}
+	var tot float64
+	for i := 0; i < st.topN; i++ {
+		tot += float64(st.top[i].n)
+	}
+	if tot <= 0 {
+		return 0
+	}
+	var h float64
+	for i := 0; i < st.topN; i++ {
+		p := float64(st.top[i].n) / tot
+		if p > 0 {
+			h -= p * math.Log(p)
+		}
+	}
+	return h / math.Log(topK)
+}
+
+// emit records one raise/clear into the ring and counters and fires the
+// hook. Called under the observing shard's lock; transitions are rare.
+func (d *Detector) emit(a Alert) {
+	if a.Cleared {
+		d.cleared.Add(1)
+		d.active.Add(-1)
+	} else {
+		d.raised.Add(1)
+		d.active.Add(1)
+	}
+	d.mu.Lock()
+	d.ring[int(d.seq%uint64(len(d.ring)))] = a
+	d.seq++
+	d.mu.Unlock()
+	if d.cfg.OnAlert != nil {
+		d.cfg.OnAlert(a)
+	}
+}
+
+// Stats is the detector's counter snapshot (/alerts, tests).
+type Stats struct {
+	Records uint64 `json:"records"`
+	Stale   uint64 `json:"stale"`
+	Raised  uint64 `json:"raised"`
+	Cleared uint64 `json:"cleared"`
+	Active  int64  `json:"active"`
+}
+
+// Stats snapshots the detector counters.
+func (d *Detector) Stats() Stats {
+	return Stats{
+		Records: d.records.Load(),
+		Stale:   d.stale.Load(),
+		Raised:  d.raised.Load(),
+		Cleared: d.cleared.Load(),
+		Active:  d.active.Load(),
+	}
+}
+
+// Active returns the number of currently active alerts.
+func (d *Detector) Active() int64 { return d.active.Load() }
+
+// Recent returns up to max alerts, most recent first.
+func (d *Detector) Recent(max int) []Alert {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := int(d.seq)
+	if uint64(n) != d.seq || n > len(d.ring) {
+		n = len(d.ring)
+	}
+	if max > 0 && n > max {
+		n = max
+	}
+	out := make([]Alert, n)
+	for i := 0; i < n; i++ {
+		out[i] = d.ring[int((d.seq-1-uint64(i))%uint64(len(d.ring)))]
+	}
+	return out
+}
+
+// CheckInvariants recomputes every window sum from the bucket ring and
+// verifies the invariants the fuzzer pins: stored sums match the ring
+// exactly, and coverage is monotone (a wider window never counts fewer
+// records). Test support; not called on the hot path.
+func (st *State) CheckInvariants() error {
+	if !st.init {
+		for wi := range st.sums {
+			if st.sums[wi] != 0 {
+				return fmt.Errorf("detect: uninitialized state has sums[%d]=%d", wi, st.sums[wi])
+			}
+		}
+		return nil
+	}
+	var prev uint64
+	for wi := range Windows {
+		w := int64(Windows[wi])
+		var sum uint64
+		for s := st.head - w + 1; s <= st.head; s++ {
+			sum += uint64(st.buckets[slot(s)])
+		}
+		if sum != uint64(st.sums[wi]) {
+			return fmt.Errorf("detect: window %ds sum %d != ring total %d", Windows[wi], st.sums[wi], sum)
+		}
+		if sum < prev {
+			return fmt.Errorf("detect: window coverage not monotone: %ds holds %d < narrower window's %d", Windows[wi], sum, prev)
+		}
+		prev = sum
+	}
+	return nil
+}
+
+// WindowCounts returns the current per-window record counts (tests,
+// /alerts introspection helpers).
+func (st *State) WindowCounts() [NumWindows]uint32 { return st.sums }
+
+// Head returns the state's event-time watermark second (0 before the
+// first record).
+func (st *State) Head() int64 { return st.head }

@@ -1,0 +1,340 @@
+package detect
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/astopo"
+	"repro/internal/trace"
+)
+
+// rec builds a minimal record for the detector: only TargetAS, Start,
+// and Bots matter on this path.
+func rec(target astopo.AS, sec int64, bots ...astopo.IPv4) trace.Attack {
+	return trace.Attack{TargetAS: target, Start: time.Unix(sec, 0), Bots: bots}
+}
+
+const baseSec = int64(1_700_000_000)
+
+// TestRateAlertRaiseAndClear walks one target through the full rate
+// hysteresis cycle: a sparse baseline, a burst that must raise, and a
+// return to sparse traffic that must clear.
+func TestRateAlertRaiseAndClear(t *testing.T) {
+	var alerts []Alert
+	d := New(Config{OnAlert: func(a Alert) { alerts = append(alerts, a) }})
+	st := d.NewState()
+
+	// Baseline: one record every 30s. Counts never reach MinCount=3 in
+	// the short windows, and the long-window EWMA stays low.
+	sec := baseSec
+	for i := 0; i < 40; i++ {
+		r := rec(64500, sec)
+		if res := d.Observe(st, &r); res.Verdict != 0 {
+			t.Fatalf("baseline record %d got verdict %#x", i, res.Verdict)
+		}
+		sec += 30
+	}
+	if len(alerts) != 0 {
+		t.Fatalf("baseline raised %d alerts: %+v", len(alerts), alerts)
+	}
+
+	// Burst: 50 records in one second must trip the rate windows.
+	var v uint8
+	for i := 0; i < 50; i++ {
+		r := rec(64500, sec)
+		v = d.Observe(st, &r).Verdict
+	}
+	if v&VerdictRate == 0 {
+		t.Fatalf("burst verdict %#x lacks VerdictRate", v)
+	}
+	raised := 0
+	for _, a := range alerts {
+		if a.Kind != KindRate || a.Cleared {
+			t.Fatalf("unexpected alert during burst: %+v", a)
+		}
+		if a.Severity < 1 {
+			t.Fatalf("raise severity %v < 1 (threshold crossing)", a.Severity)
+		}
+		raised++
+	}
+	if raised == 0 {
+		t.Fatal("burst emitted no raise alerts")
+	}
+	if d.Active() != int64(raised) {
+		t.Fatalf("Active()=%d after %d raises", d.Active(), raised)
+	}
+
+	// Quiet again: sparse records far in the future must clear every
+	// window (counts fall to ≤ MinCount-1 and the frozen baseline is low).
+	alerts = alerts[:0]
+	for i := 0; i < 10; i++ {
+		sec += 400
+		r := rec(64500, sec)
+		v = d.Observe(st, &r).Verdict
+	}
+	if v != 0 {
+		t.Fatalf("post-burst verdict %#x, want 0", v)
+	}
+	cleared := 0
+	for _, a := range alerts {
+		if a.Kind == KindRate && a.Cleared {
+			cleared++
+		}
+	}
+	if cleared != raised {
+		t.Fatalf("%d raises but %d clears", raised, cleared)
+	}
+	if d.Active() != 0 {
+		t.Fatalf("Active()=%d after full clear", d.Active())
+	}
+	s := d.Stats()
+	if s.Raised != uint64(raised) || s.Cleared != uint64(cleared) {
+		t.Fatalf("stats %+v disagree with %d raises / %d clears", s, raised, cleared)
+	}
+}
+
+// TestEntropyAlert drives the source-concentration signal: a dispersed
+// bot population establishes the entropy baseline, then the same traffic
+// volume from a 2-address pool must raise KindEntropy, and renewed
+// dispersion must clear it.
+func TestEntropyAlert(t *testing.T) {
+	var alerts []Alert
+	// The records are 30s apart; a 600s half-life keeps the decayed
+	// sample count above the EntropyMin floor (the default 60s half-life
+	// equilibrates near 8 samples at this pacing, gating every alert).
+	d := New(Config{EntropyHalfLife: 600, OnAlert: func(a Alert) { alerts = append(alerts, a) }})
+	st := d.NewState()
+
+	sec := baseSec
+	diverse := func(i int) []astopo.IPv4 {
+		out := make([]astopo.IPv4, 4)
+		for j := range out {
+			out[j] = astopo.IPv4(0x0a00_0000 + uint32(i*17+j*131)%4096)
+		}
+		return out
+	}
+	for i := 0; i < 60; i++ {
+		r := rec(64500, sec, diverse(i)...)
+		d.Observe(st, &r)
+		sec += 30
+	}
+	for _, a := range alerts {
+		if a.Kind == KindEntropy {
+			t.Fatalf("dispersed baseline raised entropy alert: %+v", a)
+		}
+	}
+
+	// Concentrate: every record now comes from the same two addresses.
+	var sawEntropy bool
+	for i := 0; i < 120 && !sawEntropy; i++ {
+		r := rec(64500, sec, astopo.IPv4(0x0a00_0001), astopo.IPv4(0x0a00_0002),
+			astopo.IPv4(0x0a00_0001), astopo.IPv4(0x0a00_0002))
+		sawEntropy = d.Observe(st, &r).Verdict&VerdictEntropy != 0
+		sec += 30
+	}
+	if !sawEntropy {
+		t.Fatal("concentrated pool never raised VerdictEntropy")
+	}
+
+	// Disperse again: the alert must clear.
+	var clearedAt = -1
+	for i := 0; i < 200 && clearedAt < 0; i++ {
+		r := rec(64500, sec, diverse(i+1000)...)
+		if d.Observe(st, &r).Verdict&VerdictEntropy == 0 {
+			clearedAt = i
+		}
+		sec += 30
+	}
+	if clearedAt < 0 {
+		t.Fatal("entropy alert never cleared after dispersion returned")
+	}
+	var clears int
+	for _, a := range alerts {
+		if a.Kind == KindEntropy && a.Cleared {
+			clears++
+		}
+	}
+	if clears == 0 {
+		t.Fatal("no KindEntropy clear alert emitted")
+	}
+}
+
+// TestStaleRecords pins the watermark semantics: a record more than the
+// ring coverage behind head is reported stale and leaves every window
+// count untouched.
+func TestStaleRecords(t *testing.T) {
+	d := New(Config{})
+	st := d.NewState()
+	r := rec(64500, baseSec)
+	d.Observe(st, &r)
+	before := st.WindowCounts()
+
+	old := rec(64500, baseSec-int64(ringSeconds))
+	res := d.Observe(st, &old)
+	if !res.Stale {
+		t.Fatalf("record %ds behind head not marked stale", ringSeconds)
+	}
+	if st.WindowCounts() != before {
+		t.Fatalf("stale record changed window counts: %v -> %v", before, st.WindowCounts())
+	}
+	if got := d.Stats().Stale; got != 1 {
+		t.Fatalf("Stats().Stale = %d, want 1", got)
+	}
+
+	// One second newer than the stale horizon is late-but-live: it lands
+	// in the widest window only.
+	late := rec(64500, baseSec-int64(ringSeconds)+1)
+	if res := d.Observe(st, &late); res.Stale {
+		t.Fatal("record just inside coverage marked stale")
+	}
+	got := st.WindowCounts()
+	want := before
+	want[NumWindows-1]++
+	if got != want {
+		t.Fatalf("late record counts %v, want %v", got, want)
+	}
+}
+
+// TestRecentAlerts pins the /alerts ring: most-recent-first order, the
+// max argument, and cap wraparound.
+func TestRecentAlerts(t *testing.T) {
+	d := New(Config{AlertCap: 4})
+	for i := 0; i < 7; i++ {
+		d.emit(Alert{Target: astopo.AS(100 + i), Kind: KindRate, At: time.Unix(baseSec+int64(i), 0)})
+	}
+	all := d.Recent(0)
+	if len(all) != 4 {
+		t.Fatalf("Recent(0) returned %d alerts with cap 4", len(all))
+	}
+	for i, a := range all {
+		if want := astopo.AS(106 - i); a.Target != want {
+			t.Fatalf("Recent(0)[%d].Target = %v, want %v", i, a.Target, want)
+		}
+	}
+	if two := d.Recent(2); len(two) != 2 || two[0].Target != 106 || two[1].Target != 105 {
+		t.Fatalf("Recent(2) = %+v", two)
+	}
+}
+
+// TestDetectZeroAlloc pins the hot-path allocation contract: once a
+// target's State exists, Observe allocates nothing — across watermark
+// advances, late records, and bot-sketch updates.
+func TestDetectZeroAlloc(t *testing.T) {
+	d := New(Config{})
+	st := d.NewState()
+	bots := []astopo.IPv4{0x0a000001, 0x0a000002, 0x0a000003, 0x0a000004}
+	r := trace.Attack{TargetAS: 64500, Bots: bots}
+	sec := baseSec
+	for i := 0; i < 2000; i++ {
+		sec++
+		r.Start = time.Unix(sec, 0)
+		d.Observe(st, &r)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(2000, func() {
+		i++
+		switch i % 4 {
+		case 0:
+			sec++ // advance the watermark
+			r.Start = time.Unix(sec, 0)
+		case 1:
+			r.Start = time.Unix(sec-5, 0) // late but live
+		default:
+			r.Start = time.Unix(sec, 0) // same-second repeat
+		}
+		d.Observe(st, &r)
+	})
+	if allocs != 0 {
+		t.Fatalf("Observe allocates %v per record, want 0", allocs)
+	}
+}
+
+// FuzzDetector feeds the detector hostile op streams — wild timestamp
+// deltas (including pre-epoch and far-future), extreme bot magnitudes,
+// and target churn — and requires that it never panics and that every
+// state's window invariants survive every single record.
+func FuzzDetector(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0, 0, 0})
+	f.Add([]byte{0xff, 0x7f, 3, 5, 1, 0, 0x00, 0x80, 200, 9, 2, 3})
+	f.Add([]byte{10, 0, 0, 1, 0, 1, 246, 255, 50, 2, 1, 2, 0, 4, 0, 0, 3, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := New(Config{MinCount: 1, EntropyMin: 4})
+		states := make(map[astopo.AS]*State)
+		var recs int
+		sec := baseSec
+		var bots [64]astopo.IPv4
+		for len(data) >= 6 && recs < 4096 {
+			op := data[:6]
+			data = data[6:]
+			recs++
+
+			// Bytes 0-1: signed second delta; byte 5 scales it so streams
+			// reach both the stale horizon and whole-ring jumps, and can
+			// run time backwards below the epoch.
+			delta := int64(int16(uint16(op[0]) | uint16(op[1])<<8))
+			switch op[5] % 4 {
+			case 1:
+				delta *= 61
+			case 2:
+				delta *= 7919
+			case 3:
+				delta *= 1 << 16
+			}
+			sec += delta
+
+			target := astopo.AS(64500 + uint32(op[2]%5)) // churn across 5 targets
+			n := int(op[3]) % len(bots)                  // 0..63 bots
+			for j := 0; j < n; j++ {
+				bots[j] = astopo.IPv4(uint32(op[4])<<8 | uint32(j%(1+int(op[5]%8))))
+			}
+			r := trace.Attack{TargetAS: target, Start: time.Unix(sec, 0), Bots: bots[:n]}
+
+			st := states[target]
+			if st == nil {
+				st = d.NewState()
+				states[target] = st
+			}
+			res := d.Observe(st, &r)
+			if err := st.CheckInvariants(); err != nil {
+				t.Fatalf("record %d (sec %d, delta %d): %v", recs, sec, delta, err)
+			}
+			if res.Stale && res.Verdict != st.verdict() {
+				t.Fatalf("record %d: stale verdict %#x != state verdict %#x", recs, res.Verdict, st.verdict())
+			}
+		}
+		if a := d.Active(); a < 0 {
+			t.Fatalf("negative active alert count %d", a)
+		}
+		s := d.Stats()
+		if s.Cleared > s.Raised {
+			t.Fatalf("cleared %d > raised %d", s.Cleared, s.Raised)
+		}
+		if s.Records != uint64(recs) {
+			t.Fatalf("Stats().Records = %d, want %d", s.Records, recs)
+		}
+	})
+}
+
+// BenchmarkDetect measures the per-record Observe cost on a warm state —
+// the marginal price the ingest path pays for the detection tier.
+func BenchmarkDetect(b *testing.B) {
+	d := New(Config{})
+	st := d.NewState()
+	bots := []astopo.IPv4{0x0a000001, 0x0a000002, 0x0a000003, 0x0a000004}
+	r := trace.Attack{TargetAS: 64500, Bots: bots}
+	sec := baseSec
+	for i := 0; i < 1000; i++ {
+		sec++
+		r.Start = time.Unix(sec, 0)
+		d.Observe(st, &r)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%8 == 0 {
+			sec++
+		}
+		r.Start = time.Unix(sec, 0)
+		d.Observe(st, &r)
+	}
+}

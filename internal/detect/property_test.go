@@ -1,0 +1,108 @@
+package detect_test
+
+// Black-box property test for the sliding multi-window counters. It
+// lives outside package detect because it perturbs its streams with
+// internal/chaos, which reaches detect again through internal/serve —
+// an import cycle for an in-package test.
+
+import (
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/detect"
+	"repro/internal/trace"
+)
+
+// ringSeconds mirrors the detector's ring coverage: the widest window.
+var ringSeconds = detect.Windows[detect.NumWindows-1]
+
+// bruteRef is the oracle for the sliding multi-window counters: it keeps
+// every accepted record's second in a map and recomputes each window
+// count from scratch. Semantics mirror the ring exactly — the watermark
+// is the max second seen, a record at least ringSeconds behind it at
+// arrival is stale (never counted), and window w covers (head-w, head].
+type bruteRef struct {
+	init   bool
+	head   int64
+	counts map[int64]uint64
+}
+
+func (b *bruteRef) observe(sec int64) (stale bool) {
+	if !b.init {
+		b.init = true
+		b.head = sec
+	}
+	if sec > b.head {
+		b.head = sec
+	}
+	if sec <= b.head-int64(ringSeconds) {
+		return true
+	}
+	b.counts[sec]++
+	return false
+}
+
+func (b *bruteRef) window(w int) uint64 {
+	var sum uint64
+	for s := b.head - int64(w) + 1; s <= b.head; s++ {
+		sum += b.counts[s]
+	}
+	return sum
+}
+
+// TestWindowCountsMatchBruteForce is the property test for the ring:
+// randomized streams — out-of-order, duplicated, and clock-skewed via
+// the same chaos injector the soak tests use — must agree with the
+// brute-force oracle on every window count after every single record.
+func TestWindowCountsMatchBruteForce(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3, 7, 42} {
+		rng := rand.New(rand.NewPCG(seed, 0xdd05))
+		base := make([]trace.Attack, 4000)
+		sec := int64(1_700_000_000)
+		for i := range base {
+			switch rng.IntN(12) {
+			case 0:
+				sec += int64(rng.IntN(900)) // occasionally jump past the ring
+			case 1:
+				// same second again
+			default:
+				sec += int64(rng.IntN(3))
+			}
+			// Local jitter: a few seconds of out-of-order arrival even
+			// before the chaos injector reorders whole records.
+			base[i] = trace.Attack{
+				ID: i + 1, TargetAS: 64500,
+				Start: time.Unix(sec-int64(rng.IntN(5)), 0),
+			}
+		}
+		faults := &chaos.StreamFaults{
+			Seed: seed, DropProb: 0.05, DupProb: 0.1,
+			ReorderProb: 0.2, SkewProb: 0.2, SkewMax: 10 * time.Minute,
+		}
+		stream := faults.Apply(base)
+
+		d := detect.New(detect.Config{})
+		st := d.NewState()
+		ref := &bruteRef{counts: make(map[int64]uint64)}
+		for i := range stream {
+			res := d.Observe(st, &stream[i])
+			stale := ref.observe(stream[i].Start.Unix())
+			if res.Stale != stale {
+				t.Fatalf("seed %d record %d (sec %d): Stale=%v, oracle says %v",
+					seed, i, stream[i].Start.Unix(), res.Stale, stale)
+			}
+			got := st.WindowCounts()
+			for wi, w := range detect.Windows {
+				if want := ref.window(w); uint64(got[wi]) != want {
+					t.Fatalf("seed %d record %d: window %ds count %d, oracle %d",
+						seed, i, w, got[wi], want)
+				}
+			}
+			if err := st.CheckInvariants(); err != nil {
+				t.Fatalf("seed %d record %d: %v", seed, i, err)
+			}
+		}
+	}
+}

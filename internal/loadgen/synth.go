@@ -42,6 +42,36 @@ type GenConfig struct {
 	// time into a short run without collapsing the hour-of-day structure.
 	// Default 1 (real profile pacing).
 	TimeCompress float64
+	// Burst schedules ground-truth attack bursts on top of the baseline
+	// stream (detector validation). Zero value: no bursts.
+	Burst BurstConfig
+}
+
+// BurstConfig overlays periodic high-rate attack bursts onto the baseline
+// profile pacing, in trace (already-compressed) time: every bursting
+// target alternates long baseline stretches with Len-long storms of
+// records Gap apart drawn from a small bot-address pool. Each generated
+// record is labeled with its ground-truth phase — Generator.Label — and
+// the analytic schedule is exposed via Generator.BurstIntervals, so
+// detector precision/recall/latency are measured against known truth
+// instead of asserted.
+type BurstConfig struct {
+	// Every is the burst period per target; 0 disables bursts. Target i's
+	// k-th burst starts at Start + Every·i/Targets + k·Every (the phase
+	// offset staggers targets so bursts don't all land at once).
+	Every time.Duration
+	// Len is the burst duration. Default Every/10.
+	Len time.Duration
+	// Gap is the mean in-burst record spacing (the burst rate is ~1/Gap).
+	// Default 200ms.
+	Gap time.Duration
+	// Targets is how many of the fan-out targets burst (the first N).
+	// Default: all of them.
+	Targets int
+	// BotPool is the per-target bot-address pool size in-burst records
+	// draw from — small pools collapse source entropy, the detector's
+	// concentration signal. Default 4.
+	BotPool int
 }
 
 func (c GenConfig) withDefaults() GenConfig {
@@ -62,6 +92,20 @@ func (c GenConfig) withDefaults() GenConfig {
 	}
 	if c.TimeCompress <= 0 {
 		c.TimeCompress = 1
+	}
+	if c.Burst.Every > 0 {
+		if c.Burst.Len <= 0 || c.Burst.Len >= c.Burst.Every {
+			c.Burst.Len = c.Burst.Every / 10
+		}
+		if c.Burst.Gap <= 0 {
+			c.Burst.Gap = 200 * time.Millisecond
+		}
+		if c.Burst.Targets < 1 || c.Burst.Targets > c.Targets {
+			c.Burst.Targets = c.Targets
+		}
+		if c.Burst.BotPool < 1 {
+			c.Burst.BotPool = 4
+		}
 	}
 	return c
 }
@@ -86,6 +130,7 @@ type Generator struct {
 	zipf    *stats.Zipf
 	targets []genTarget
 	nextID  int
+	labels  []bool // ground-truth phase per dense record ID (labels[id-1])
 }
 
 // NewGenerator builds a generator; streams are deterministic in
@@ -120,56 +165,138 @@ func (g *Generator) Targets() []astopo.AS {
 	return out
 }
 
+// bursts reports whether target index ti has a burst schedule.
+func (g *Generator) bursts(ti int) bool {
+	return g.cfg.Burst.Every > 0 && ti < g.cfg.Burst.Targets
+}
+
+// burstPhase is target ti's schedule offset from cfg.Start.
+func (g *Generator) burstPhase(ti int) time.Duration {
+	return time.Duration(int64(g.cfg.Burst.Every) * int64(ti) / int64(g.cfg.Targets))
+}
+
+// burstStartBefore returns the start of the burst interval containing or
+// most recently preceding t for target ti (zero time if t predates the
+// schedule).
+func (g *Generator) burstStartBefore(ti int, t time.Time) time.Time {
+	base := g.cfg.Start.Add(g.burstPhase(ti))
+	off := t.Sub(base)
+	if off < 0 {
+		return time.Time{}
+	}
+	return base.Add(off / g.cfg.Burst.Every * g.cfg.Burst.Every)
+}
+
+// inBurst reports whether t falls inside a burst interval [bs, bs+Len)
+// for target ti.
+func (g *Generator) inBurst(ti int, t time.Time) bool {
+	if !g.bursts(ti) {
+		return false
+	}
+	bs := g.burstStartBefore(ti, t)
+	return !bs.IsZero() && t.Sub(bs) < g.cfg.Burst.Len
+}
+
+// nextBurstStart returns the first burst start strictly after t.
+func (g *Generator) nextBurstStart(ti int, t time.Time) time.Time {
+	base := g.cfg.Start.Add(g.burstPhase(ti))
+	if t.Before(base) {
+		return base
+	}
+	return base.Add((t.Sub(base)/g.cfg.Burst.Every + 1) * g.cfg.Burst.Every)
+}
+
 // Next returns the next record. The stream never ends; the driver decides
 // how many records a run sends.
 func (g *Generator) Next() *trace.Attack {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	tgt := &g.targets[g.zipf.Sample(g.s)]
+	ti := g.zipf.Sample(g.s)
+	tgt := &g.targets[ti]
 	p := tgt.profile
 
-	// Advance the target's clock by a profile-paced gap, then — when the
-	// sampled preferred launch hour still lies ahead on the clock's day —
-	// snap forward to it. The snap is forward-only, so each target's
-	// stream stays strictly chronological while the family's diurnal peak
-	// (plus the target's own offset) shows through: the signal the
-	// temporal models fit.
-	gapMean := 86400 / math.Max(p.AvgPerDay, 0.2) / g.cfg.TimeCompress
-	gap := gapMean * math.Exp(g.s.Normal(0, 0.35))
-	if gap < 1 {
-		gap = 1
+	// Advance the target's clock. Inside a burst interval records are
+	// paced at the burst gap; a burst that ends (or baseline pacing)
+	// resumes the profile-shaped gap, and a baseline step that would jump
+	// clean over an upcoming burst start snaps onto it instead — every
+	// scheduled burst produces records, starting exactly at its analytic
+	// start (the detection-latency reference point).
+	prev := tgt.next
+	advanced := false
+	if g.bursts(ti) && g.inBurst(ti, prev) {
+		gap := float64(g.cfg.Burst.Gap) * math.Exp(g.s.Normal(0, 0.3))
+		cand := prev.Add(time.Duration(gap))
+		end := g.burstStartBefore(ti, prev).Add(g.cfg.Burst.Len)
+		if cand.Before(end) {
+			tgt.next = cand
+			advanced = true
+		} else {
+			prev = end // burst over: baseline pacing resumes from its end
+		}
 	}
-	tgt.next = tgt.next.Add(time.Duration(gap * float64(time.Second)))
-	h := math.Mod(p.PeakHour+tgt.hourOffset+g.s.Normal(0, p.HourSigma), 24)
-	if h < 0 {
-		h += 24
-	}
-	day := tgt.next.Truncate(24 * time.Hour)
-	if cand := day.Add(time.Duration(h * float64(time.Hour))); cand.After(tgt.next) {
-		tgt.next = cand
+	if !advanced {
+		// Profile-paced gap, then — when the sampled preferred launch hour
+		// still lies ahead on the clock's day — snap forward to it. The
+		// snap is forward-only, so each target's stream stays strictly
+		// chronological while the family's diurnal peak (plus the target's
+		// own offset) shows through: the signal the temporal models fit.
+		gapMean := 86400 / math.Max(p.AvgPerDay, 0.2) / g.cfg.TimeCompress
+		gap := gapMean * math.Exp(g.s.Normal(0, 0.35))
+		if gap < 1 {
+			gap = 1
+		}
+		tgt.next = prev.Add(time.Duration(gap * float64(time.Second)))
+		h := math.Mod(p.PeakHour+tgt.hourOffset+g.s.Normal(0, p.HourSigma), 24)
+		if h < 0 {
+			h += 24
+		}
+		day := tgt.next.Truncate(24 * time.Hour)
+		if cand := day.Add(time.Duration(h * float64(time.Hour))); cand.After(tgt.next) {
+			tgt.next = cand
+		}
+		if g.bursts(ti) {
+			if nb := g.nextBurstStart(ti, prev); !tgt.next.Before(nb) {
+				tgt.next = nb
+			}
+		}
 	}
 	start := tgt.next
+	label := g.inBurst(ti, start)
 
 	dur := math.Exp(p.DurLogMean + g.s.Normal(0, p.DurLogSigma))
 	if dur > 48*3600 {
 		dur = 48 * 3600
 	}
 
-	tgt.magState = 0.8*tgt.magState + g.s.Normal(0, p.MagSigma)
-	mag := int(p.MagBase*math.Exp(tgt.magState) + 0.5)
-	if mag < 1 {
-		mag = 1
-	}
-	if mag > g.cfg.MaxBots {
-		mag = g.cfg.MaxBots
-	}
-	bots := make([]astopo.IPv4, mag)
-	for i := range bots {
-		bots[i] = astopo.IPv4(0x0a000000 | uint32(g.s.IntN(1<<24)))
+	var bots []astopo.IPv4
+	if label {
+		// In-burst records ride the full magnitude cap and draw their bots
+		// from the target's small fixed pool: the address-reuse signature
+		// the entropy detector keys on.
+		bots = make([]astopo.IPv4, g.cfg.MaxBots)
+		base := 0x0a000000 | uint32(ti)<<8
+		k := g.s.IntN(g.cfg.Burst.BotPool)
+		for i := range bots {
+			bots[i] = astopo.IPv4(base | uint32((k+i)%g.cfg.Burst.BotPool))
+		}
+	} else {
+		tgt.magState = 0.8*tgt.magState + g.s.Normal(0, p.MagSigma)
+		mag := int(p.MagBase*math.Exp(tgt.magState) + 0.5)
+		if mag < 1 {
+			mag = 1
+		}
+		if mag > g.cfg.MaxBots {
+			mag = g.cfg.MaxBots
+		}
+		bots = make([]astopo.IPv4, mag)
+		for i := range bots {
+			bots[i] = astopo.IPv4(0x0a000000 | uint32(g.s.IntN(1<<24)))
+		}
 	}
 
 	id := g.nextID
 	g.nextID++
+	g.labels = append(g.labels, label)
 	return &trace.Attack{
 		ID:          id,
 		Family:      p.Name,
@@ -179,4 +306,54 @@ func (g *Generator) Next() *trace.Attack {
 		TargetAS:    tgt.as,
 		Bots:        bots,
 	}
+}
+
+// Label reports the ground-truth phase of the record with the given dense
+// ID: true when it was generated inside an attack burst. Unknown IDs
+// (never generated) report false.
+func (g *Generator) Label(id int) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if id < 1 || id > len(g.labels) {
+		return false
+	}
+	return g.labels[id-1]
+}
+
+// Labels returns a copy of the ground-truth labels indexed by ID-1.
+func (g *Generator) Labels() []bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]bool, len(g.labels))
+	copy(out, g.labels)
+	return out
+}
+
+// BurstInterval is one analytic ground-truth burst: records of Target
+// with Start in [Start, End) are attack-phase.
+type BurstInterval struct {
+	Target astopo.AS
+	Start  time.Time
+	End    time.Time
+}
+
+// BurstIntervals returns the analytic burst schedule per bursting target,
+// covering every burst that begins before until.
+func (g *Generator) BurstIntervals(until time.Time) []BurstInterval {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.cfg.Burst.Every <= 0 {
+		return nil
+	}
+	var out []BurstInterval
+	for ti := 0; ti < g.cfg.Burst.Targets; ti++ {
+		for bs := g.cfg.Start.Add(g.burstPhase(ti)); bs.Before(until); bs = bs.Add(g.cfg.Burst.Every) {
+			out = append(out, BurstInterval{
+				Target: g.targets[ti].as,
+				Start:  bs,
+				End:    bs.Add(g.cfg.Burst.Len),
+			})
+		}
+	}
+	return out
 }

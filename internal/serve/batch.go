@@ -57,6 +57,7 @@ func (e *BatchRecordError) Unwrap() error { return e.Err }
 type batchRec struct {
 	tm        *TargetModels
 	prev      PrevStats
+	det       detectOutcome
 	shard     int
 	since     int
 	windowLen int
@@ -188,12 +189,27 @@ func (s *Service) ingestBatch(records []trace.Attack, payload func(i int) []byte
 		sh.mu.Lock()
 		for _, i := range b.order[lo:hi] {
 			r := &b.recs[i]
-			r.since, r.windowLen, r.prev, r.accepted = s.store.ingestLocked(sh, &records[i])
+			r.since, r.windowLen, r.prev, r.det, r.accepted = s.store.ingestLocked(sh, &records[i])
 		}
 		sh.mu.Unlock()
 		lo = hi
 	}
-	st.Append = time.Since(t0)
+	if s.store.det != nil {
+		var detRan, detStale uint64
+		for i := 0; i < n; i++ {
+			if d := &b.recs[i].det; d.Ran {
+				detRan++
+				if d.Stale {
+					detStale++
+				}
+				st.Detect += d.Dur
+			}
+		}
+		s.tel.detRecords.Add(detRan)
+		s.tel.detStale.Add(detStale)
+		s.tel.observeStage(StageDetect, st.Detect.Seconds())
+	}
+	st.Append = time.Since(t0) - st.Detect
 	s.tel.observeStage(StageAppend, st.Append.Seconds())
 
 	var walErr error

@@ -427,11 +427,16 @@ func TestIngestBatchZeroAlloc(t *testing.T) {
 
 // newZeroAllocHarness builds a WAL-backed service plus nBodies
 // pre-encoded 64-record binary batches across 8 targets (unique IDs, so
-// every record is accepted, every frame reaches the WAL).
-func newZeroAllocHarness(t testing.TB, nBodies int) (*Service, [][]byte, *trace.BatchDecoder) {
+// every record is accepted, every frame reaches the WAL). Optional
+// mutators adjust the config before the service is built (the detect
+// variants turn the streaming detector on).
+func newZeroAllocHarness(t testing.TB, nBodies int, mutate ...func(*Config)) (*Service, [][]byte, *trace.BatchDecoder) {
 	t.Helper()
 	cfg := testConfig()
 	cfg.MinWindow = 1 << 20 // no refits: isolate the ingest path
+	for _, m := range mutate {
+		m(&cfg)
+	}
 	svc := New(cfg)
 	t.Cleanup(svc.Close)
 	w, err := wal.Open(wal.Options{

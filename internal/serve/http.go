@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/astopo"
+	"repro/internal/detect"
 	"repro/internal/obs"
 	"repro/internal/trace"
 )
@@ -24,6 +25,8 @@ import (
 //	GET  /healthz       — liveness + store/registry/backlog summary
 //	GET  /metrics       — Prometheus text exposition
 //	GET  /accuracy      — windowed online forecast-accuracy per model
+//	GET  /alerts        — streaming-detector state: counters plus the
+//	                      recent raise/clear ring (?limit=N)
 //	GET  /debug/traces  — ring of recent pipeline traces (JSON span trees)
 //	GET  /buildinfo     — module, version, VCS revision
 //
@@ -39,6 +42,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.Handle("/metrics", s.tel.reg.Handler())
 	mux.Handle("/accuracy", s.acc.Handler())
+	mux.HandleFunc("/alerts", s.handleAlerts)
 	mux.Handle("/debug/traces", s.tracer.Handler())
 	mux.HandleFunc("/buildinfo", obs.BuildInfo)
 	return mux
@@ -78,6 +82,7 @@ func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
 	var res IngestResult
 	defer func() {
 		span.Attach(StageAppend, start, agg.Append)
+		span.Attach(StageDetect, start, agg.Detect)
 		span.Attach(StageWAL, start, agg.WAL)
 		span.Attach(StageScore, start, agg.Score)
 		span.Attach(StageSchedule, start, agg.Schedule)
@@ -132,6 +137,7 @@ func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 		ok, st, err := s.ingestTimed(a)
 		agg.Append += st.Append
+		agg.Detect += st.Detect
 		agg.WAL += st.WAL
 		agg.Score += st.Score
 		agg.Schedule += st.Schedule
@@ -270,6 +276,42 @@ func (s *Service) handleForecast(w http.ResponseWriter, r *http.Request) {
 	}
 	s.tel.forecasts.Inc()
 	writeJSON(w, http.StatusOK, fc)
+}
+
+// AlertsReport is the /alerts response body. With detection off only
+// Enabled is present; otherwise Stats carries the detector counters and
+// Alerts the most-recent-first raise/clear ring (capped by ?limit=N).
+type AlertsReport struct {
+	Enabled bool           `json:"enabled"`
+	Stats   *detect.Stats  `json:"stats,omitempty"`
+	Alerts  []detect.Alert `json:"alerts,omitempty"`
+}
+
+func (s *Service) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	d := s.store.Detector()
+	if d == nil {
+		writeJSON(w, http.StatusOK, &AlertsReport{Enabled: false})
+		return
+	}
+	limit := 0
+	if q := r.URL.Query().Get("limit"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad limit %q", q))
+			return
+		}
+		limit = n
+	}
+	stats := d.Stats()
+	writeJSON(w, http.StatusOK, &AlertsReport{
+		Enabled: true,
+		Stats:   &stats,
+		Alerts:  d.Recent(limit),
+	})
 }
 
 // Health is the /healthz response body. Cluster is present only when the

@@ -224,7 +224,7 @@ func (r *Registry) HistogramVec(name, help, label string, bounds []float64) *His
 		}
 		sort.Strings(values)
 		for _, value := range values {
-			labels := fmt.Sprintf("%s=%q,", v.label, escapeLabel(value))
+			labels := fmt.Sprintf("%s=\"%s\",", v.label, escapeLabel(value))
 			v.children[value].write(w, v.name, labels)
 		}
 		v.mu.RUnlock()
@@ -248,6 +248,52 @@ func (v *HistogramVec) With(value string) *Histogram {
 		v.children[value] = h
 	}
 	return h
+}
+
+// CounterVec is a family of counters split by one label
+// (ddosd_detect_alerts_total{kind="..."}). Children are created on first
+// use and rendered in sorted label order under a single HELP/TYPE header.
+type CounterVec struct {
+	name, help, label string
+	mu                sync.RWMutex
+	children          map[string]*Counter
+}
+
+// CounterVec registers and returns a labeled counter family.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	v := &CounterVec{name: name, help: help, label: label, children: make(map[string]*Counter)}
+	r.add(func(w io.Writer) {
+		header(w, v.name, v.help, "counter")
+		v.mu.RLock()
+		values := make([]string, 0, len(v.children))
+		for value := range v.children {
+			values = append(values, value)
+		}
+		sort.Strings(values)
+		for _, value := range values {
+			fmt.Fprintf(w, "%s{%s=\"%s\"} %d\n", v.name, v.label, escapeLabel(value), v.children[value].Value())
+		}
+		v.mu.RUnlock()
+	})
+	return v
+}
+
+// With returns the child counter for one label value, creating it on
+// first use. Callers on hot paths should cache the returned child.
+func (v *CounterVec) With(value string) *Counter {
+	v.mu.RLock()
+	c := v.children[value]
+	v.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c = v.children[value]; c == nil {
+		c = &Counter{name: v.name, help: v.help}
+		v.children[value] = c
+	}
+	return c
 }
 
 // FGauge is an instantaneous float64 value (accuracy rates and mean
@@ -282,7 +328,7 @@ func (r *Registry) FGaugeVec(name, help, label string) *FGaugeVec {
 		}
 		sort.Strings(values)
 		for _, value := range values {
-			fmt.Fprintf(w, "%s{%s=%q} %g\n", v.name, v.label, escapeLabel(value), v.children[value].Value())
+			fmt.Fprintf(w, "%s{%s=\"%s\"} %g\n", v.name, v.label, escapeLabel(value), v.children[value].Value())
 		}
 		v.mu.RUnlock()
 	})

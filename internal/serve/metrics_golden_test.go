@@ -15,6 +15,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/detect"
 	"repro/internal/obs"
 )
 
@@ -61,6 +62,15 @@ func TestMetricsGoldenExposition(t *testing.T) {
 		Duration:  obs.MeasureSummary{Samples: 40, MeanRelErr: 2},
 		Timestamp: obs.HitSummary{Samples: 40, Rate: 0.125},
 	})
+	tel.detRecords.Add(500)
+	tel.detStale.Add(7)
+	tel.onDetectAlert(detect.Alert{Kind: detect.KindRate}, 1)
+	tel.onDetectAlert(detect.Alert{Kind: detect.KindEntropy}, 2)
+	tel.onDetectAlert(detect.Alert{Kind: detect.KindRate, Cleared: true}, 1)
+	tel.onDetectAlert(detect.Alert{Kind: detect.KindEntropy, Cleared: true}, 0)
+	// A hostile label value through the vec pins the escaping rules for
+	// backslash, quote, and newline in CounterVec children.
+	tel.detAlerts.With("bad\\label\"with\nnewline").Inc()
 
 	var got bytes.Buffer
 	tel.reg.WriteText(&got)

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/astopo"
 	"repro/internal/core"
+	"repro/internal/detect"
 	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/serve/metrics"
@@ -76,6 +77,13 @@ type Config struct {
 	// StageBuckets overrides the ddosd_stage_seconds histogram bounds
 	// (nil = metrics.DefBuckets).
 	StageBuckets []float64
+	// Detect, when non-nil, enables the streaming detection tier
+	// (DESIGN.md §13): every accepted record is evaluated under its shard
+	// lock before the append, its verdict recorded on the stored record,
+	// and raise/clear transitions exposed over /alerts and ddosd_detect_*.
+	// Default nil: detection off (the store and WAL byte-images are then
+	// identical to a pre-detect build).
+	Detect *detect.Config
 
 	// Model configuration shared with the batch layer.
 	Temporal core.TemporalConfig
@@ -136,6 +144,7 @@ type FitFunc func(as astopo.AS, window []trace.Attack, total uint64, gen uint64,
 const (
 	StageIngest   = "ingest"   // one /ingest request, decode to response
 	StageAppend   = "append"   // shard-window append in the state store
+	StageDetect   = "detect"   // streaming detector evaluation under the shard lock
 	StageWAL      = "wal"      // write-ahead-log append before the ack
 	StageSchedule = "schedule" // refit-mark enqueue
 	StageScore    = "score"    // online accuracy scoring of the arrival
@@ -197,6 +206,18 @@ type telemetry struct {
 	walCheckpoints  *metrics.Counter
 	walCompacted    *metrics.Counter
 
+	// Streaming-detector instruments (ddosd_detect_*). Registered always
+	// so the series exist from boot; they stay zero with detection off.
+	detRecords    *metrics.Counter
+	detStale      *metrics.Counter
+	detAlerts     *metrics.CounterVec
+	detClears     *metrics.CounterVec
+	detActive     *metrics.Gauge
+	detAlertsRate *metrics.Counter // cached {kind="rate"} children: the
+	detAlertsEnt  *metrics.Counter // OnAlert hook runs under a shard lock
+	detClearsRate *metrics.Counter
+	detClearsEnt  *metrics.Counter
+
 	// Online accuracy gauges, one child per model kind.
 	accMagErr  *metrics.FGaugeVec
 	accDurErr  *metrics.FGaugeVec
@@ -223,7 +244,7 @@ func newTelemetry(stageBuckets []float64) *telemetry {
 		targetsKnown:   r.Gauge("ddosd_targets_known", "Targets present in the state store."),
 		targetsServed:  r.Gauge("ddosd_targets_served", "Targets with published models."),
 		stageSecs: r.HistogramVec("ddosd_stage_seconds",
-			"Pipeline latency by stage (ingest, append, schedule, score, refit, fit, publish, forecast, proxy).",
+			"Pipeline latency by stage (ingest, append, detect, wal, schedule, score, refit, fit, publish, forecast, proxy).",
 			"stage", stageBuckets),
 		accMagErr: r.FGaugeVec("ddosd_accuracy_magnitude_relative_error",
 			"Windowed mean relative error of the predicted attack magnitude, per model.", "model"),
@@ -244,12 +265,21 @@ func newTelemetry(stageBuckets []float64) *telemetry {
 		walTruncations:  r.Counter("ddosd_wal_replay_truncated_total", "Boot replays that stopped at a torn or corrupt frame."),
 		walCheckpoints:  r.Counter("ddosd_wal_checkpoints_total", "Durable store checkpoints written."),
 		walCompacted:    r.Counter("ddosd_wal_compacted_segments_total", "WAL segments removed by checkpoint compaction."),
+		detRecords:      r.Counter("ddosd_detect_records_total", "Records evaluated by the streaming detection tier."),
+		detStale:        r.Counter("ddosd_detect_stale_records_total", "Detector records older than the ring coverage behind the target watermark (outside every window)."),
+		detAlerts:       r.CounterVec("ddosd_detect_alerts_total", "Detector alerts raised, per kind.", "kind"),
+		detClears:       r.CounterVec("ddosd_detect_clears_total", "Detector alerts cleared (hysteresis), per kind.", "kind"),
+		detActive:       r.Gauge("ddosd_detect_active_alerts", "Detector alerts currently active across all targets."),
 	}
+	t.detAlertsRate = t.detAlerts.With(string(detect.KindRate))
+	t.detAlertsEnt = t.detAlerts.With(string(detect.KindEntropy))
+	t.detClearsRate = t.detClears.With(string(detect.KindRate))
+	t.detClearsEnt = t.detClears.With(string(detect.KindEntropy))
 	// Pre-create every stage child: the series exist from boot (dashboards
 	// need not wait for traffic) and the hot path reads a plain map.
 	t.stages = make(map[string]*metrics.Histogram)
 	for _, stage := range []string{
-		StageIngest, StageAppend, StageWAL, StageSchedule, StageScore,
+		StageIngest, StageAppend, StageDetect, StageWAL, StageSchedule, StageScore,
 		StageRefit, StageFit, StagePublish, StageForecast, StageProxy,
 	} {
 		t.stages[stage] = t.stageSecs.With(stage)
@@ -268,6 +298,23 @@ func (t *telemetry) observeStage(stage string, seconds float64) {
 	if h := t.stages[stage]; h != nil {
 		h.Observe(seconds)
 	}
+}
+
+// onDetectAlert mirrors one detector raise/clear into the counters. It
+// runs on the ingest path under a shard lock (transitions are rare), so
+// it touches only pre-created children and atomics.
+func (t *telemetry) onDetectAlert(a detect.Alert, active int64) {
+	switch {
+	case a.Cleared && a.Kind == detect.KindRate:
+		t.detClearsRate.Inc()
+	case a.Cleared:
+		t.detClearsEnt.Inc()
+	case a.Kind == detect.KindRate:
+		t.detAlertsRate.Inc()
+	default:
+		t.detAlertsEnt.Inc()
+	}
+	t.detActive.Set(active)
 }
 
 // onScore mirrors a model's refreshed accuracy summary into the gauges.
@@ -324,6 +371,21 @@ func New(cfg Config) *Service {
 		acc.Model(model)
 	}
 	store := NewStore(cfg.Shards, cfg.Window)
+	if cfg.Detect != nil {
+		dcfg := *cfg.Detect
+		userHook := dcfg.OnAlert
+		var det *detect.Detector
+		dcfg.OnAlert = func(a detect.Alert) {
+			tel.onDetectAlert(a, det.Active())
+			if userHook != nil {
+				userHook(a)
+			}
+		}
+		// det is assigned before any Observe can fire the hook: the store
+		// takes no traffic until New returns.
+		det = detect.New(dcfg)
+		store.AttachDetector(det)
+	}
 	reg := NewRegistry()
 	return &Service{
 		cfg:    cfg,
@@ -395,7 +457,7 @@ func (s *Service) Ingest(a *trace.Attack) (bool, error) {
 // ingestStageTimes is one record's wall time per pipeline stage; the HTTP
 // layer aggregates these into the request's trace tree.
 type ingestStageTimes struct {
-	Append, WAL, Score, Schedule time.Duration
+	Append, Detect, WAL, Score, Schedule time.Duration
 }
 
 // ingestTimed is Ingest plus per-stage timings. The published model set is
@@ -422,9 +484,17 @@ func (s *Service) ingestTimed(a *trace.Attack) (bool, ingestStageTimes, error) {
 		s.walMu.RLock()
 	}
 	t0 := time.Now()
-	since, windowLen, prev, accepted := s.store.IngestScored(a)
-	st.Append = time.Since(t0)
+	since, windowLen, prev, det, accepted := s.store.ingestScored(a)
+	st.Append = time.Since(t0) - det.Dur
 	s.tel.observeStage(StageAppend, st.Append.Seconds())
+	if det.Ran {
+		st.Detect = det.Dur
+		s.tel.observeStage(StageDetect, det.Dur.Seconds())
+		s.tel.detRecords.Inc()
+		if det.Stale {
+			s.tel.detStale.Inc()
+		}
+	}
 	var walErr error
 	if accepted && w != nil {
 		t := time.Now()

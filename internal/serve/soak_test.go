@@ -33,9 +33,13 @@ import (
 	"testing"
 	"time"
 
+	"net/http"
+	"net/http/httptest"
+
 	"repro/internal/astopo"
 	"repro/internal/chaos"
 	"repro/internal/core"
+	"repro/internal/detect"
 	"repro/internal/loadgen"
 	"repro/internal/nn"
 	"repro/internal/serve"
@@ -123,11 +127,21 @@ func TestSoakLoadChaos(t *testing.T) {
 			Train:  nn.TrainConfig{Epochs: 8},
 		},
 		WrapFit: refitFaults.Wrap,
+		Detect:  &detect.Config{AlertCap: 1024},
 	}
 	svc := serve.New(cfg)
 	defer svc.Close()
 
-	gen := loadgen.NewGenerator(loadgen.GenConfig{Targets: targets, Seed: 13, TimeCompress: 24})
+	// Half the targets run labeled attack bursts so the detection tier has
+	// something real to raise on — and clear after — through all the
+	// stream chaos below.
+	gen := loadgen.NewGenerator(loadgen.GenConfig{
+		Targets: targets, Seed: 13, TimeCompress: 24,
+		Burst: loadgen.BurstConfig{
+			Every: 30 * time.Minute, Len: 2 * time.Minute,
+			Gap: 500 * time.Millisecond, Targets: targets / 2,
+		},
+	})
 	streamFaults := &chaos.StreamFaults{
 		Seed: 13, DropProb: 0.03, DupProb: 0.05, ReorderProb: 0.08,
 		SkewProb: 0.1, SkewMax: 2 * time.Hour,
@@ -310,6 +324,56 @@ func TestSoakLoadChaos(t *testing.T) {
 			if math.IsNaN(v) || math.IsInf(v, 0) {
 				t.Fatalf("%s %s error is %v after the soak", name, measure, v)
 			}
+		}
+	}
+
+	// Phase 3c: the detection tier survived the same storm. Bursts must
+	// have raised alerts, hysteresis must have cleared some of them (the
+	// stream faults skew and reorder right through burst boundaries), the
+	// books must balance, and the /alerts endpoint and ddosd_detect_*
+	// metrics must expose it all.
+	det := svc.Store().Detector()
+	if det == nil {
+		t.Fatal("detector not attached despite Detect config")
+	}
+	ds := det.Stats()
+	if ds.Raised == 0 || ds.Cleared == 0 {
+		t.Fatalf("detect tier never cycled under chaos: %+v", ds)
+	}
+	if ds.Active < 0 || ds.Active != int64(ds.Raised)-int64(ds.Cleared) {
+		t.Fatalf("detect books don't balance: %+v", ds)
+	}
+	if ds.Records == 0 {
+		t.Fatalf("detector observed no records: %+v", ds)
+	}
+	srv := httptest.NewServer(svc.Handler())
+	alertsResp, err := http.Get(srv.URL + "/alerts?limit=16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var alerts serve.AlertsReport
+	err = json.NewDecoder(alertsResp.Body).Decode(&alerts)
+	alertsResp.Body.Close()
+	if err != nil {
+		t.Fatalf("/alerts did not parse after the soak: %v", err)
+	}
+	if !alerts.Enabled || alerts.Stats == nil || len(alerts.Alerts) == 0 {
+		t.Fatalf("/alerts report incomplete after the soak: %+v", alerts)
+	}
+	metricsResp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metricsBody := new(bytes.Buffer)
+	_, err = metricsBody.ReadFrom(metricsResp.Body)
+	metricsResp.Body.Close()
+	srv.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"ddosd_detect_records_total", "ddosd_detect_alerts_total", "ddosd_detect_active_alerts"} {
+		if !strings.Contains(metricsBody.String(), name) {
+			t.Fatalf("%s missing from /metrics after the soak", name)
 		}
 	}
 

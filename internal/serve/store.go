@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/astopo"
+	"repro/internal/detect"
 	"repro/internal/trace"
 )
 
@@ -19,6 +20,13 @@ type Store struct {
 	shards []storeShard
 	mask   uint64
 	window int
+
+	// det, when non-nil, runs the streaming detection tier on every
+	// accepted record inside ingestLocked — under the same shard lock as
+	// the append, so the verdict written onto the stored record is exactly
+	// the detector state the record itself produced (score → detect →
+	// append ordering). Set once before traffic via AttachDetector.
+	det *detect.Detector
 }
 
 type storeShard struct {
@@ -39,6 +47,8 @@ type targetState struct {
 	durSum  float64 // sum of durations over the current window
 	hourSum float64 // sum of start hours over the current window
 	daySum  float64 // sum of start days over the current window
+
+	det *detect.State // streaming detector state; nil until first record with a detector attached
 }
 
 func (ts *targetState) addSums(a *trace.Attack) {
@@ -68,6 +78,24 @@ type PrevStats struct {
 	MeanDur   float64   // Always-Mean duration
 	MeanHour  float64   // Always-Mean start hour
 	MeanDay   float64   // Always-Mean start day
+}
+
+// AttachDetector installs the streaming detection tier (DESIGN.md §13).
+// Call once, before traffic: ingestLocked reads the field without
+// synchronization beyond the shard lock it already holds.
+func (s *Store) AttachDetector(d *detect.Detector) { s.det = d }
+
+// Detector returns the attached detector (nil when detection is off).
+func (s *Store) Detector() *detect.Detector { return s.det }
+
+// detectOutcome reports what the detect stage did for one record: whether
+// it ran, the wall time it took, and the stale flag mirrored into
+// ddosd_detect_stale_records_total. The verdict itself is written onto
+// the record.
+type detectOutcome struct {
+	Ran   bool
+	Stale bool
+	Dur   time.Duration
 }
 
 // NewStore builds a store with the given shard count (rounded up to a
@@ -115,6 +143,13 @@ func (s *Store) Ingest(a *trace.Attack) (sinceRefit, windowLen int, accepted boo
 // same shard lock, immediately before the insert, so it reflects exactly
 // the history available when the arriving attack was still the future.
 func (s *Store) IngestScored(a *trace.Attack) (sinceRefit, windowLen int, prev PrevStats, accepted bool) {
+	sinceRefit, windowLen, prev, _, accepted = s.ingestScored(a)
+	return sinceRefit, windowLen, prev, accepted
+}
+
+// ingestScored is IngestScored plus the detect-stage outcome the service
+// layer feeds into telemetry.
+func (s *Store) ingestScored(a *trace.Attack) (sinceRefit, windowLen int, prev PrevStats, det detectOutcome, accepted bool) {
 	sh := s.shardFor(a.TargetAS)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -124,7 +159,7 @@ func (s *Store) IngestScored(a *trace.Attack) (sinceRefit, windowLen int, prev P
 // ingestLocked is IngestScored's body with sh (the shard owning
 // a.TargetAS) already locked — the unit the batched ingest path applies
 // repeatedly under one lock acquisition per shard group.
-func (s *Store) ingestLocked(sh *storeShard, a *trace.Attack) (sinceRefit, windowLen int, prev PrevStats, accepted bool) {
+func (s *Store) ingestLocked(sh *storeShard, a *trace.Attack) (sinceRefit, windowLen int, prev PrevStats, det detectOutcome, accepted bool) {
 	ts := sh.targets[a.TargetAS]
 	if ts == nil {
 		ts = &targetState{}
@@ -132,7 +167,7 @@ func (s *Store) ingestLocked(sh *storeShard, a *trace.Attack) (sinceRefit, windo
 	}
 	for i := range ts.attacks {
 		if ts.attacks[i].ID == a.ID {
-			return ts.sinceRefit, len(ts.attacks), prev, false
+			return ts.sinceRefit, len(ts.attacks), prev, det, false
 		}
 	}
 	if n := len(ts.attacks); n > 0 {
@@ -148,6 +183,22 @@ func (s *Store) ingestLocked(sh *storeShard, a *trace.Attack) (sinceRefit, windo
 			MeanDay:   ts.daySum / float64(n),
 		}
 	}
+	// Detect-then-append, still under the shard lock: the verdict written
+	// onto the stored record reflects the alerts active the instant this
+	// record was folded in. The field is server-authoritative — it is
+	// always overwritten, so a client-supplied verdict never survives into
+	// the store (or into cross-node checkpoint comparisons).
+	a.Verdict = 0
+	if s.det != nil {
+		t0 := time.Now()
+		if ts.det == nil {
+			ts.det = s.det.NewState()
+		}
+		r := s.det.Observe(ts.det, a)
+		a.Verdict = r.Verdict
+		det = detectOutcome{Ran: true, Stale: r.Stale, Dur: time.Since(t0)}
+	}
+
 	// Insert keeping chronological order: records usually arrive in order,
 	// so scan from the tail.
 	pos := len(ts.attacks)
@@ -166,7 +217,7 @@ func (s *Store) ingestLocked(sh *storeShard, a *trace.Attack) (sinceRefit, windo
 	}
 	ts.total++
 	ts.sinceRefit++
-	return ts.sinceRefit, len(ts.attacks), prev, true
+	return ts.sinceRefit, len(ts.attacks), prev, det, true
 }
 
 // Window returns a copy of the target's rolling window and its all-time

@@ -36,6 +36,12 @@ type Attack struct {
 	// Bots lists the unique bot IPs observed in the attack; its length is
 	// the attack's bot magnitude.
 	Bots []astopo.IPv4 `json:"bots"`
+	// Verdict is the streaming detector's classification of this record at
+	// ingest time (a detect.Verdict* bitmask; 0 = baseline). It is
+	// server-authoritative: serve overwrites whatever a client sends, the
+	// binary wire does not carry it, and WAL replay recomputes it — only
+	// store checkpoints persist it.
+	Verdict uint8 `json:"verdict,omitempty"`
 }
 
 // Magnitude returns the number of bots involved (the paper's bots

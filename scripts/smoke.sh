@@ -174,7 +174,7 @@ echo "==> most-attacked target: AS$target"
 
 echo "==> booting ddosd"
 "$workdir/bin/ddosd" -addr 127.0.0.1:0 -admin-addr 127.0.0.1:0 \
-  -data "$workdir/trace.json" \
+  -data "$workdir/trace.json" -detect \
   -wal-dir "$workdir/wal" -wal-fsync 50ms \
   -snapshot-out "$workdir/models.snap" >"$workdir/ddosd.log" 2>&1 &
 daemon_pid=$!
@@ -245,10 +245,14 @@ check post-load-forecast "http://$addr/forecast?target=$target"
 
 check post-load-metrics "http://$addr/metrics"
 grep -q '^ddosd_ingest_records_total' "$workdir/resp.json" || { echo "FAIL: metrics gone after load"; exit 1; }
-for stage in ingest append schedule score fit publish forecast; do
+for stage in ingest append detect schedule score fit publish forecast; do
   grep -Eq "^ddosd_stage_seconds_count\{stage=\"$stage\"\} [1-9]" "$workdir/resp.json" \
     || { echo "FAIL: stage histogram \"$stage\" never observed"; grep '^ddosd_stage_seconds_count' "$workdir/resp.json"; exit 1; }
 done
+grep -q '^ddosd_detect_records_total' "$workdir/resp.json" \
+  || { echo "FAIL: metrics missing detect record counter"; exit 1; }
+grep -q '^ddosd_detect_active_alerts' "$workdir/resp.json" \
+  || { echo "FAIL: metrics missing detect active-alerts gauge"; exit 1; }
 for model in st always_same always_mean; do
   grep -Eq "^ddosd_accuracy_samples\{model=\"$model\"\} [1-9]" "$workdir/resp.json" \
     || { echo "FAIL: accuracy gauge for \"$model\" is zero"; grep '^ddosd_accuracy' "$workdir/resp.json"; exit 1; }
@@ -266,6 +270,21 @@ for kind in ("st", "temporal", "spatial", "always_same", "always_mean"):
     assert kind in models, f"missing model {kind}: {sorted(models)}"
 assert models["st"]["samples"] > 0, models["st"]
 assert models["always_same"]["timestamp"]["samples"] > 0, models["always_same"]
+EOF
+
+# The streaming detector is on (-detect): /alerts must report an enabled
+# tier whose record count covers the load that just ran. Open-loop smoke
+# traffic is baseline-shaped, so no particular alert is required — only a
+# live, balanced report.
+check alerts "http://$addr/alerts?limit=16"
+python3 - "$workdir/resp.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    rep = json.load(f)
+assert rep["enabled"] is True, rep
+stats = rep["stats"]
+assert stats["records"] > 0, rep
+assert stats["active"] == stats["raised"] - stats["cleared"], rep
 EOF
 
 check traces "http://$addr/debug/traces"
