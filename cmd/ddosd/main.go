@@ -36,7 +36,11 @@
 //	GET  /metrics              Prometheus text metrics
 //	GET  /accuracy             windowed online forecast accuracy per model
 //	GET  /alerts               streaming-detector counters + recent alerts
-//	GET  /debug/traces         recent pipeline traces (JSON span trees)
+//	GET  /debug/traces         recent pipeline traces (JSON span trees;
+//	                           ?trace=<id> merges spans cluster-wide)
+//	GET  /statusz              full node status; in cluster mode, the
+//	                           aggregated fleet snapshot
+//	GET  /debug/bundle         SLO watchdog diagnostics bundles
 //	GET  /buildinfo            module, version, platform
 //
 // With -cluster-peers set, a rendezvous-hash ring over the static
@@ -107,6 +111,16 @@ func main() {
 		clusterRoute = flag.String("cluster-route", "proxy", "non-owned request handling: proxy or redirect")
 		clusterPoll  = flag.Duration("cluster-poll", 500*time.Millisecond, "replication poll interval")
 
+		wdDir       = flag.String("watchdog-dir", "", "SLO watchdog bundle directory (empty = watchdog disabled)")
+		wdInterval  = flag.Duration("watchdog-interval", 5*time.Second, "watchdog rule evaluation interval")
+		wdCooldown  = flag.Duration("watchdog-cooldown", time.Minute, "minimum spacing between diagnostics bundles")
+		wdBundles   = flag.Int("watchdog-bundles", 8, "diagnostics bundles retained on disk (oldest pruned)")
+		wdCPU       = flag.Duration("watchdog-cpu-profile", time.Second, "cpu.pprof capture length per bundle (negative = skip)")
+		wdP99       = flag.Duration("watchdog-p99", 0, "breach when ingest p99 latency exceeds this (0 = rule off)")
+		wdShedRate  = flag.Float64("watchdog-shed-rate", -1, "breach when the shed fraction since the last check exceeds this (negative = rule off)")
+		wdReplLag   = flag.Int("watchdog-repl-lag", 0, "breach when replication lag exceeds this many segments (0 = rule off)")
+		wdAlertRate = flag.Float64("watchdog-alert-rate", 0, "breach when the detector raises more alerts per minute than this (0 = rule off)")
+
 		walDir        = flag.String("wal-dir", "", "write-ahead log directory for durable ingest + crash recovery (empty = disabled)")
 		walFsync      = flag.String("wal-fsync", "always", "WAL fsync policy: always, never, or a batching interval like 50ms")
 		walSegBytes   = flag.Int64("wal-segment-bytes", 0, "WAL segment rotation threshold in bytes (0 = 16 MiB)")
@@ -116,7 +130,15 @@ func main() {
 		idleTO        = flag.Duration("idle-timeout", 120*time.Second, "http server keep-alive idle timeout")
 	)
 	flag.Parse()
-	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	// With the watchdog armed, the log stream tees through a ring so a
+	// breach bundle can capture the last lines before the incident.
+	var logW io.Writer = os.Stderr
+	var logRing *obs.LogRing
+	if *wdDir != "" {
+		logRing = obs.NewLogRing(os.Stderr, 256)
+		logW = logRing
+	}
+	logger, err := obs.NewLogger(logW, *logLevel, *logFormat)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ddosd:", err)
 		os.Exit(2)
@@ -139,6 +161,18 @@ func main() {
 		readTimeout:       *readTO,
 		idleTimeout:       *idleTO,
 		logger:            logger,
+		logRing:           logRing,
+		watchdog: serve.WatchdogConfig{
+			Dir:             *wdDir,
+			Interval:        *wdInterval,
+			Cooldown:        *wdCooldown,
+			MaxBundles:      *wdBundles,
+			CPUProfile:      *wdCPU,
+			IngestP99:       *wdP99,
+			ShedRate:        *wdShedRate,
+			ReplLagSegs:     *wdReplLag,
+			AlertRatePerMin: *wdAlertRate,
+		},
 	}
 	var detectCfg *detect.Config
 	if *detectOn {
@@ -189,6 +223,11 @@ type daemonOpts struct {
 	readTimeout       time.Duration
 	idleTimeout       time.Duration
 	logger            *slog.Logger
+	// watchdog configures the SLO flight recorder (Dir empty = disabled);
+	// logRing, when set, is the tee the logger already writes through, so
+	// bundles capture the last lines before a breach.
+	watchdog serve.WatchdogConfig
+	logRing  *obs.LogRing
 	// ready, when set, is called once the listener is bound — tests use it
 	// to learn the picked port before sending traffic and signals.
 	ready func(net.Addr)
@@ -301,6 +340,26 @@ func run(opts daemonOpts, cfg serve.Config) error {
 		}
 		defer node.Close()
 		handler = node.Handler(handler)
+	}
+
+	if opts.watchdog.Dir != "" {
+		wcfg := opts.watchdog
+		wcfg.Logger = logger
+		if opts.logRing != nil {
+			wcfg.LogLines = opts.logRing.Lines
+		}
+		if node != nil {
+			wcfg.ReplLag = node.Lag
+			nodeRef := node
+			wcfg.Statusz = func() any { return nodeRef.FleetStatus(context.Background()) }
+		}
+		if _, err := svc.StartWatchdog(wcfg); err != nil {
+			return fmt.Errorf("watchdog: %w", err)
+		}
+		logger.Info("watchdog armed", "component", "watchdog", "dir", wcfg.Dir,
+			"interval", wcfg.Interval.String(), "cooldown", wcfg.Cooldown.String(),
+			"p99", wcfg.IngestP99.String(), "shed_rate", wcfg.ShedRate,
+			"repl_lag", wcfg.ReplLagSegs, "alert_rate", wcfg.AlertRatePerMin)
 	}
 
 	ln, err := net.Listen("tcp", opts.addr)

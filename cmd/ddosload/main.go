@@ -35,6 +35,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/loadgen"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -208,7 +209,17 @@ func main() {
 	})
 
 	if *jsonOut {
-		writeJSONReport(rep, faults, violations)
+		writeJSONReport(rep, faults, violations, provenanceJSON{
+			Build:   obs.Provenance(),
+			Mode:    *mode,
+			Wire:    *wire,
+			Batch:   *batch,
+			Workers: *workers,
+			Records: cfg.Records,
+			Targets: *targets,
+			Seed:    *seed,
+			Sink:    sinkName(urls),
+		})
 	} else {
 		fmt.Print(rep)
 		if faults != nil {
@@ -230,6 +241,21 @@ func main() {
 	log.Print("SLO: pass")
 }
 
+// provenanceJSON stamps the JSON artifact with what produced the numbers:
+// the exact build (toolchain, commit) and the wire/batch/concurrency
+// configuration, so archived BENCH/SLO artifacts stay comparable.
+type provenanceJSON struct {
+	Build   obs.BuildProvenance `json:"build"`
+	Mode    string              `json:"mode"`
+	Wire    string              `json:"wire"`
+	Batch   int                 `json:"batch"`
+	Workers int                 `json:"workers"`
+	Records int                 `json:"records"`
+	Targets int                 `json:"targets"`
+	Seed    uint64              `json:"seed"`
+	Sink    string              `json:"sink"`
+}
+
 // chaosJSON is the stream-fault section of the JSON report.
 type chaosJSON struct {
 	Dropped    int64 `json:"dropped"`
@@ -241,13 +267,14 @@ type chaosJSON struct {
 // writeJSONReport prints the machine-readable run artifact on stdout: the
 // report body, chaos counters when injectors ran, and the SLO verdict
 // (log output stays on stderr, so stdout is valid JSON for CI to archive).
-func writeJSONReport(rep *loadgen.Report, faults *chaos.StreamFaults, violations []error) {
+func writeJSONReport(rep *loadgen.Report, faults *chaos.StreamFaults, violations []error, prov provenanceJSON) {
 	out := struct {
 		Report     *loadgen.Report `json:"report"`
+		Provenance provenanceJSON  `json:"provenance"`
 		Chaos      *chaosJSON      `json:"chaos,omitempty"`
 		SLOPass    bool            `json:"slo_pass"`
 		Violations []string        `json:"slo_violations,omitempty"`
-	}{Report: rep, SLOPass: len(violations) == 0}
+	}{Report: rep, Provenance: prov, SLOPass: len(violations) == 0}
 	if faults != nil {
 		out.Chaos = &chaosJSON{
 			Dropped:    faults.Dropped(),

@@ -68,6 +68,7 @@ type clusterMetrics struct {
 	ckptInstalls   *metrics.Counter
 	promotions     *metrics.Counter
 	segmentsServed *metrics.Counter
+	peerUp         *metrics.GaugeVec
 }
 
 func newClusterMetrics(r *metrics.Registry) *clusterMetrics {
@@ -85,6 +86,7 @@ func newClusterMetrics(r *metrics.Registry) *clusterMetrics {
 		ckptInstalls:   r.Counter("ddosd_cluster_checkpoint_installs_total", "Catch-up checkpoint installs (cursor fell behind peer compaction)."),
 		promotions:     r.Counter("ddosd_cluster_promotions_total", "Ring promotions after a peer was declared dead."),
 		segmentsServed: r.Counter("ddosd_cluster_segments_served_total", "Sealed WAL segments streamed to followers."),
+		peerUp:         r.GaugeVec("ddosd_cluster_peer_up", "Peer reachability: 1 when the last contact (replication poll or status fan-out) succeeded.", "peer"),
 	}
 }
 
@@ -102,6 +104,11 @@ type Node struct {
 	maxBody int64
 
 	ring atomic.Pointer[Ring]
+
+	// lastLag is the most recent Replicate pass's total lag in segments
+	// (the watchdog's replication-lag probe reads it without touching the
+	// replicator locks).
+	lastLag atomic.Int64
 
 	mu   sync.Mutex // guards repl map mutation (promotion vs polls)
 	repl map[string]*replicator
@@ -168,6 +175,9 @@ func NewNode(svc *serve.Service, w *wal.WAL, cfg Config) (*Node, error) {
 		if m.ID == self.ID {
 			continue
 		}
+		// Pre-create the peer-up children so the series exist from boot
+		// (0 until the first successful contact).
+		n.met.peerUp.With(m.ID)
 		r, err := newReplicator(n, m)
 		if err != nil {
 			return nil, err
@@ -229,15 +239,22 @@ func (n *Node) Replicate() int {
 		l, err := r.poll()
 		if err != nil {
 			n.met.replErrors.Inc()
+			n.met.peerUp.With(r.peer.ID).Set(0)
 			n.logger.Warn("replication poll failed", "component", "cluster", "peer", r.peer.ID, "error", err)
 			lag++ // unknown lag counts as behind
 			continue
 		}
+		n.met.peerUp.With(r.peer.ID).Set(1)
 		lag += l
 	}
 	n.met.replLag.Set(int64(lag))
+	n.lastLag.Store(int64(lag))
 	return lag
 }
+
+// Lag returns the most recent replication pass's total lag in sealed
+// segments (the serve watchdog's replication-lag probe).
+func (n *Node) Lag() int { return int(n.lastLag.Load()) }
 
 // Promote removes a dead member from the ring. Rendezvous hashing hands
 // each of its targets to that target's previous follower — this node for

@@ -1,0 +1,369 @@
+package cluster
+
+// Cluster observability tests (DESIGN.md §14): cross-node trace
+// propagation over every routing path, the /statusz fleet fan-out, and
+// the peer-reachability gauge. Traces are read back over real HTTP via
+// the node's merged /debug/traces endpoint — spans finish in handler
+// defers after the response is written, so every read polls until the
+// expected tree materializes.
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/astopo"
+	"repro/internal/obs"
+)
+
+// getTraces fetches one node's /debug/traces with an optional raw query
+// string ("trace=<id>").
+func getTraces(t testing.TB, url, query string) obs.TracesSnapshot {
+	t.Helper()
+	uri := url + "/debug/traces"
+	if query != "" {
+		uri += "?" + query
+	}
+	resp, err := http.Get(uri)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("/debug/traces: HTTP %d: %s", resp.StatusCode, b)
+	}
+	var snap obs.TracesSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+// findTree returns the first root (depth-0) tree satisfying pred.
+func findTree(trees []obs.SpanJSON, pred func(*obs.SpanJSON) bool) *obs.SpanJSON {
+	for i := range trees {
+		if pred(&trees[i]) {
+			return &trees[i]
+		}
+	}
+	return nil
+}
+
+// findChild returns the first direct child satisfying pred.
+func findChild(tree *obs.SpanJSON, pred func(*obs.SpanJSON) bool) *obs.SpanJSON {
+	for i := range tree.Children {
+		if pred(&tree.Children[i]) {
+			return &tree.Children[i]
+		}
+	}
+	return nil
+}
+
+// pollTraces re-reads /debug/traces until pred finds its tree. Spans
+// land in the ring from handler defers that run after the client has
+// its response, so the first read can race the recording.
+func pollTraces(t testing.TB, url, query string, pred func(*obs.SpanJSON) bool) *obs.SpanJSON {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		snap := getTraces(t, url, query)
+		if tree := findTree(snap.Traces, pred); tree != nil {
+			return tree
+		}
+		if time.Now().After(deadline) {
+			b, _ := json.Marshal(snap.Traces)
+			t.Fatalf("no matching trace at %s?%s; ring: %s", url, query, b)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// assertOneTrace walks a tree and requires every span to carry traceID.
+func assertOneTrace(t testing.TB, tree *obs.SpanJSON, traceID string) {
+	t.Helper()
+	if tree.TraceID != traceID {
+		t.Fatalf("span %q has trace_id %s, want %s", tree.Name, tree.TraceID, traceID)
+	}
+	for i := range tree.Children {
+		assertOneTrace(t, &tree.Children[i], traceID)
+	}
+}
+
+// TestClusterTraceSplitProxy drives one mixed-owner binary batch through
+// n1's split-proxy and requires the merged /debug/traces?trace= view to
+// render a single tree: the proxy root on n1, its local ingest child on
+// n1, and the forwarded partition's ingest on n2 parented under the
+// forward child — all sharing one trace ID.
+func TestClusterTraceSplitProxy(t *testing.T) {
+	nodes := startTestCluster(t, 2, RouteProxy, noRefit(clusterServeConfig()))
+	ring := nodes[0].node.Ring()
+	byOwner := splitByOwner(ring, testTargets)
+	if len(byOwner["n1"]) == 0 || len(byOwner["n2"]) == 0 {
+		t.Fatalf("degenerate split %v", byOwner)
+	}
+
+	recs := mkClusterAttacks(testTargets, 2)
+	res := postBatch(t, nodes[0].srv.Client(), nodes[0].srv.URL, encodeBinaryBatch(t, recs))
+	if res.Ingested != len(recs) {
+		t.Fatalf("ingested %d of %d", res.Ingested, len(recs))
+	}
+
+	isSplit := func(s *obs.SpanJSON) bool {
+		return s.Name == "proxy" && s.Attrs["mode"] == "split"
+	}
+	root := pollTraces(t, nodes[0].srv.URL, "", isSplit)
+	if root.TraceID == "" {
+		t.Fatal("split root has no trace_id")
+	}
+	traceID := root.TraceID
+
+	// The merged query must stitch n2's remote ingest into the same tree.
+	merged := pollTraces(t, nodes[0].srv.URL, "trace="+traceID, func(s *obs.SpanJSON) bool {
+		if !isSplit(s) {
+			return false
+		}
+		fwd := findChild(s, func(c *obs.SpanJSON) bool { return c.Name == "forward" })
+		return fwd != nil && findChild(fwd, func(c *obs.SpanJSON) bool { return c.Name == "ingest" }) != nil
+	})
+	assertOneTrace(t, merged, traceID)
+	if merged.Node != "n1" {
+		t.Fatalf("split root stamped node %q, want n1", merged.Node)
+	}
+
+	fwd := findChild(merged, func(c *obs.SpanJSON) bool { return c.Name == "forward" })
+	if fwd.Attrs["peer"] != "n2" {
+		t.Fatalf("forward child peer = %q, want n2: %+v", fwd.Attrs["peer"], fwd)
+	}
+	remote := findChild(fwd, func(c *obs.SpanJSON) bool { return c.Name == "ingest" })
+	if remote.Node != "n2" {
+		t.Fatalf("remote ingest stamped node %q, want n2", remote.Node)
+	}
+	if remote.ParentID != fwd.SpanID {
+		t.Fatalf("remote ingest parent %s, want forward span %s", remote.ParentID, fwd.SpanID)
+	}
+	local := findChild(merged, func(c *obs.SpanJSON) bool { return c.Name == "ingest" })
+	if local == nil {
+		t.Fatalf("no local ingest child under the split root: %+v", merged)
+	}
+	if local.Node != "n1" || local.ParentID != merged.SpanID {
+		t.Fatalf("local ingest node=%q parent=%s, want n1 under root %s",
+			local.Node, local.ParentID, merged.SpanID)
+	}
+	// The same stitched view must be reachable from the *other* node too.
+	fromPeer := pollTraces(t, nodes[1].srv.URL, "trace="+traceID, func(s *obs.SpanJSON) bool {
+		return isSplit(s) && len(s.Children) >= 2
+	})
+	assertOneTrace(t, fromPeer, traceID)
+}
+
+// TestClusterTraceRedirect posts a single-remote-owner batch to the
+// non-owner under redirect routing. The 307 Location carries ?xtrace=
+// (Go clients replay the original headers, so a response header could
+// never propagate), and the owner's ingest must parent under the
+// redirecting node's proxy span.
+func TestClusterTraceRedirect(t *testing.T) {
+	nodes := startTestCluster(t, 2, RouteRedirect, noRefit(clusterServeConfig()))
+	ring := nodes[0].node.Ring()
+	var target astopo.AS
+	for _, as := range testTargets {
+		if ring.Owner(as).ID == "n2" {
+			target = as
+			break
+		}
+	}
+	if target == 0 {
+		t.Fatal("no test target owned by n2")
+	}
+
+	recs := mkClusterAttacks([]astopo.AS{target}, 2)
+	res := postBatch(t, nodes[0].srv.Client(), nodes[0].srv.URL, encodeBinaryBatch(t, recs))
+	if res.Ingested != len(recs) {
+		t.Fatalf("ingested %d of %d across the redirect", res.Ingested, len(recs))
+	}
+
+	isRedirect := func(s *obs.SpanJSON) bool {
+		return s.Name == "proxy" && s.Attrs["mode"] == "redirect" && s.Attrs["peer"] == "n2"
+	}
+	root := pollTraces(t, nodes[0].srv.URL, "", isRedirect)
+	traceID := root.TraceID
+
+	merged := pollTraces(t, nodes[0].srv.URL, "trace="+traceID, func(s *obs.SpanJSON) bool {
+		return isRedirect(s) && findChild(s, func(c *obs.SpanJSON) bool { return c.Name == "ingest" }) != nil
+	})
+	assertOneTrace(t, merged, traceID)
+	ing := findChild(merged, func(c *obs.SpanJSON) bool { return c.Name == "ingest" })
+	if ing.Node != "n2" {
+		t.Fatalf("redirected ingest stamped node %q, want n2", ing.Node)
+	}
+	if ing.ParentID != merged.SpanID {
+		t.Fatalf("redirected ingest parent %s, want redirect span %s", ing.ParentID, merged.SpanID)
+	}
+}
+
+// TestClusterTraceReplication checks the replication pass renders as one
+// cross-node tree: the follower's poll root with the owner's ship span
+// stitched under it. Empty polls must stay out of the ring entirely.
+func TestClusterTraceReplication(t *testing.T) {
+	nodes := startTestCluster(t, 2, RouteProxy, noRefit(clusterServeConfig()))
+	recs := mkClusterAttacks(testTargets, 2)
+	postBatch(t, nodes[0].srv.Client(), nodes[0].srv.URL, encodeBinaryBatch(t, recs))
+	replicateToZero(t, nodes)
+
+	isPoll := func(s *obs.SpanJSON) bool {
+		return s.Name == "replicate" && s.Attrs["side"] == "poll" &&
+			s.Attrs["peer"] == "n1" && s.Attrs["segments"] != "0"
+	}
+	root := pollTraces(t, nodes[1].srv.URL, "", isPoll)
+	traceID := root.TraceID
+
+	merged := pollTraces(t, nodes[1].srv.URL, "trace="+traceID, func(s *obs.SpanJSON) bool {
+		return isPoll(s) && findChild(s, func(c *obs.SpanJSON) bool {
+			return c.Name == "replicate" && c.Attrs["side"] == "ship"
+		}) != nil
+	})
+	assertOneTrace(t, merged, traceID)
+	ship := findChild(merged, func(c *obs.SpanJSON) bool { return c.Attrs["side"] == "ship" })
+	if ship.Node != "n1" {
+		t.Fatalf("ship span stamped node %q, want n1", ship.Node)
+	}
+	if ship.ParentID != merged.SpanID {
+		t.Fatalf("ship span parent %s, want poll span %s", ship.ParentID, merged.SpanID)
+	}
+
+	// Heartbeat suppression: drive several empty passes, then require the
+	// ring to hold no zero-segment replication spans.
+	for i := 0; i < 3; i++ {
+		replicateToZero(t, nodes)
+	}
+	for _, tn := range nodes {
+		snap := getTraces(t, tn.srv.URL, "stage=replicate")
+		for i := range snap.Traces {
+			s := &snap.Traces[i]
+			if s.Name == "replicate" && s.Attrs["segments"] == "0" {
+				t.Fatalf("empty replication pass leaked into %s's trace ring: %+v",
+					tn.node.Self().ID, s)
+			}
+		}
+	}
+}
+
+// TestClusterStatuszFanout exercises the fleet aggregation: both peers
+// answer with their local sections; killing one degrades only its own
+// section (error field set, status absent) and flips the
+// ddosd_cluster_peer_up gauge to 0.
+func TestClusterStatuszFanout(t *testing.T) {
+	nodes := startTestCluster(t, 2, RouteProxy, noRefit(clusterServeConfig()))
+	recs := mkClusterAttacks(testTargets, 2)
+	postBatch(t, nodes[0].srv.Client(), nodes[0].srv.URL, encodeBinaryBatch(t, recs))
+	replicateToZero(t, nodes)
+
+	getFleet := func() FleetStatus {
+		t.Helper()
+		resp, err := http.Get(nodes[0].srv.URL + "/statusz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var fs FleetStatus
+		if err := json.NewDecoder(resp.Body).Decode(&fs); err != nil {
+			t.Fatal(err)
+		}
+		return fs
+	}
+
+	fs := getFleet()
+	if fs.Node != "n1" || fs.Members != 2 || len(fs.Peers) != 2 {
+		t.Fatalf("fleet status = %+v", fs)
+	}
+	for _, p := range fs.Peers {
+		if p.Error != "" {
+			t.Fatalf("peer %s errored with both nodes up: %s", p.ID, p.Error)
+		}
+		var st struct {
+			Health json.RawMessage `json:"health"`
+			Build  struct {
+				GoVersion string `json:"go_version"`
+			} `json:"build"`
+		}
+		if err := json.Unmarshal(p.Status, &st); err != nil {
+			t.Fatalf("peer %s status unparsable: %v", p.ID, err)
+		}
+		if len(st.Health) == 0 || st.Build.GoVersion == "" {
+			t.Fatalf("peer %s status missing health/build sections: %s", p.ID, p.Status)
+		}
+	}
+	if !fs.Peers[0].Self || fs.Peers[0].ID != "n1" || fs.Peers[1].ID != "n2" {
+		t.Fatalf("peer ordering/self marking = %+v", fs.Peers)
+	}
+	if len(fs.Replication) != 1 || fs.Replication[0].Peer != "n2" {
+		t.Fatalf("replication section = %+v", fs.Replication)
+	}
+
+	// ?local=1 (what the fan-out itself sends) answers the node section
+	// only — no recursive fan-out.
+	resp, err := http.Get(nodes[0].srv.URL + "/statusz?local=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var node struct {
+		Health json.RawMessage `json:"health"`
+		Peers  json.RawMessage `json:"peers"`
+	}
+	if err := json.Unmarshal(local, &node); err != nil {
+		t.Fatal(err)
+	}
+	if len(node.Health) == 0 || node.Peers != nil {
+		t.Fatalf("?local=1 answered a fleet document: %s", local)
+	}
+
+	// One peer dies: its section degrades, everything else still answers.
+	nodes[1].srv.Close()
+	fs = getFleet()
+	var dead *PeerStatus
+	for i := range fs.Peers {
+		if fs.Peers[i].ID == "n2" {
+			dead = &fs.Peers[i]
+		}
+	}
+	if dead == nil || dead.Error == "" || dead.Status != nil {
+		t.Fatalf("dead peer section = %+v, want error set and no status", dead)
+	}
+	if self := findPeer(fs.Peers, "n1"); self == nil || self.Error != "" || self.Status == nil {
+		t.Fatalf("surviving node's own section degraded: %+v", self)
+	}
+
+	mresp, err := http.Get(nodes[0].srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(mb), `ddosd_cluster_peer_up{peer="n2"} 0`) {
+		t.Fatalf("metrics missing peer_up 0 for the dead peer:\n%s", grepLines(string(mb), "peer_up"))
+	}
+}
+
+func findPeer(peers []PeerStatus, id string) *PeerStatus {
+	for i := range peers {
+		if peers[i].ID == id {
+			return &peers[i]
+		}
+	}
+	return nil
+}
+
+func grepLines(s, substr string) string {
+	var out []string
+	for _, l := range strings.Split(s, "\n") {
+		if strings.Contains(l, substr) {
+			out = append(out, l)
+		}
+	}
+	return strings.Join(out, "\n")
+}

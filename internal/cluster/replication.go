@@ -13,6 +13,7 @@ import (
 	"strconv"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/trace"
 	"repro/internal/wal"
@@ -55,6 +56,21 @@ func (n *Node) handleWALShip(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
+	// The ship side of one replication pass: parented under the follower's
+	// poll span via the propagated header. Polls that ship nothing (the
+	// steady state, every poll interval) are dropped so the trace ring
+	// holds real work, not heartbeats.
+	tctx, _ := obs.ContextFromRequest(r)
+	span := n.svc.Tracer().StartRemote(serve.StageReplicate, tctx)
+	span.SetAttr("side", "ship")
+	served := 0
+	defer func() {
+		span.SetAttr("segments", strconv.Itoa(served))
+		if served == 0 {
+			span.Drop()
+		}
+		span.End()
+	}()
 	after := uint64(0)
 	if q := r.URL.Query().Get("after"); q != "" {
 		v, err := strconv.ParseUint(q, 10, 64)
@@ -128,6 +144,7 @@ func (n *Node) handleWALShip(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		n.met.segmentsServed.Inc()
+		served++
 	}
 }
 
@@ -244,8 +261,28 @@ func (r *replicator) poll() (int, error) {
 }
 
 func (r *replicator) pollLocked() (int, error) {
+	// One poll = one replication trace: this root span's context travels
+	// on the request header, so the owner's ship span parents under it.
+	// Empty polls (nothing new to apply — the steady state) are dropped
+	// from the trace ring; the stage histogram skips them with it.
+	span := r.n.svc.Tracer().Start(serve.StageReplicate)
+	span.SetAttr("side", "poll")
+	span.SetAttr("peer", r.peer.ID)
+	applied := 0
+	defer func() {
+		span.SetAttr("segments", strconv.Itoa(applied))
+		if applied == 0 {
+			span.Drop()
+		}
+		span.End()
+	}()
 	url := fmt.Sprintf("%s/cluster/wal?after=%d&seal=1", r.peer.URL, r.cursor)
-	resp, err := r.n.client.Get(url)
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return 1, err
+	}
+	req.Header.Set(obs.TraceHeader, span.Context().String())
+	resp, err := r.n.client.Do(req)
 	if err != nil {
 		return 1, err
 	}
@@ -256,6 +293,8 @@ func (r *replicator) pollLocked() (int, error) {
 	switch resp.StatusCode {
 	case http.StatusOK:
 	case http.StatusGone:
+		applied++ // a checkpoint install is real replication work: keep the trace
+		span.SetAttr("checkpoint_install", "1")
 		return r.installCheckpoint()
 	default:
 		return 1, fmt.Errorf("peer answered HTTP %d", resp.StatusCode)
@@ -291,6 +330,7 @@ func (r *replicator) pollLocked() (int, error) {
 			return r.lagFrom(activeSeq), err
 		}
 		r.n.met.replSegments.Inc()
+		applied++
 	}
 	return r.lagFrom(activeSeq), nil
 }

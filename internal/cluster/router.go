@@ -9,10 +9,11 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
-	"time"
 
 	"repro/internal/astopo"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/trace"
 )
@@ -51,6 +52,8 @@ func (n *Node) Handler(inner http.Handler) http.Handler {
 	mux.HandleFunc("/forecast", func(w http.ResponseWriter, r *http.Request) {
 		n.routeForecast(w, r, inner)
 	})
+	mux.HandleFunc("/statusz", n.handleStatusz)
+	mux.HandleFunc("/debug/traces", n.handleTraces)
 	mux.Handle("/", inner)
 	return mux
 }
@@ -126,23 +129,52 @@ func (n *Node) routeForecast(w http.ResponseWriter, r *http.Request, inner http.
 		return
 	}
 	if n.route == RouteRedirect {
-		n.met.redirects.Inc()
-		http.Redirect(w, r, owner.URL+r.URL.RequestURI(), http.StatusTemporaryRedirect)
+		n.redirectTraced(w, r, owner)
 		return
 	}
-	n.proxyGet(w, owner, r.URL.RequestURI())
+	n.proxyGet(w, r, owner, r.URL.RequestURI())
+}
+
+// redirectTraced answers 307 to the owner with trace context threaded
+// into the Location URL. A header cannot carry it: Go clients replay the
+// original request headers on redirect, so anything this node adds to
+// its response never reaches the owner. The ?xtrace= query parameter
+// rides the Location URL instead, and the owner's handler picks it up as
+// the fallback in obs.ContextFromRequest — the redirected request's span
+// lands in the same trace as this routing decision.
+func (n *Node) redirectTraced(w http.ResponseWriter, r *http.Request, owner Member) {
+	ctx, _ := obs.ContextFromRequest(r)
+	span := n.svc.Tracer().StartRemote(serve.StageProxy, ctx)
+	span.SetAttr("mode", "redirect")
+	span.SetAttr("peer", owner.ID)
+	defer span.End()
+	n.met.redirects.Inc()
+	http.Redirect(w, r, owner.URL+withTraceParam(r.URL.RequestURI(), span.Context()), http.StatusTemporaryRedirect)
+}
+
+// withTraceParam appends the xtrace query parameter to a request URI.
+func withTraceParam(uri string, ctx obs.TraceContext) string {
+	sep := "?"
+	if strings.Contains(uri, "?") {
+		sep = "&"
+	}
+	return uri + sep + obs.TraceParam + "=" + ctx.String()
 }
 
 // proxyGet forwards a GET to the owner and copies the response through.
-func (n *Node) proxyGet(w http.ResponseWriter, owner Member, uri string) {
-	t0 := time.Now()
-	defer func() { n.svc.ObserveStage(serve.StageProxy, time.Since(t0).Seconds()) }()
+func (n *Node) proxyGet(w http.ResponseWriter, r *http.Request, owner Member, uri string) {
+	ctx, _ := obs.ContextFromRequest(r)
+	span := n.svc.Tracer().StartRemote(serve.StageProxy, ctx)
+	span.SetAttr("mode", "proxy")
+	span.SetAttr("peer", owner.ID)
+	defer span.End()
 	req, err := http.NewRequest(http.MethodGet, owner.URL+uri, nil)
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, err.Error())
 		return
 	}
 	n.forwardHeaders(req)
+	req.Header.Set(obs.TraceHeader, span.Context().String())
 	resp, err := n.client.Do(req)
 	if err != nil {
 		writeErr(w, http.StatusBadGateway, fmt.Sprintf("owner %s unreachable: %v", owner.ID, err))
@@ -324,14 +356,19 @@ func (n *Node) routeIngest(w http.ResponseWriter, r *http.Request, inner http.Ha
 	// 307; the client re-sends the identical body to the owner.
 	localCount := len(records) - totalCount(sc.part)
 	if n.route == RouteRedirect && remoteOwners == 1 && localCount == 0 {
-		n.met.redirects.Inc()
-		http.Redirect(w, r, remote.URL+r.URL.RequestURI(), http.StatusTemporaryRedirect)
+		n.redirectTraced(w, r, remote)
 		return
 	}
 
 	// Split-proxy: local partition in-process, remote partitions forwarded
-	// concurrently, results merged.
-	t0 := time.Now()
+	// concurrently, results merged. The root span adopts any inbound trace
+	// context; each remote partition forwards a child span's context, so
+	// the owners' ingest spans stitch under this router span as one tree.
+	reqCtx, _ := obs.ContextFromRequest(r)
+	span := n.svc.Tracer().StartRemote(serve.StageProxy, reqCtx)
+	span.SetAttr("mode", "split")
+	span.SetAttr("records", strconv.Itoa(len(records)))
+	defer span.End()
 	var wg sync.WaitGroup
 	results := make([]partResult, 0, remoteOwners+1)
 	resMu := sync.Mutex{}
@@ -347,7 +384,7 @@ func (n *Node) routeIngest(w http.ResponseWriter, r *http.Request, inner http.Ha
 		wg.Add(1)
 		go func(p *partition) {
 			defer wg.Done()
-			add(n.forwardPartition(p))
+			add(n.forwardPartition(p, span))
 		}(p)
 		n.met.fwdRecords.Add(uint64(p.count))
 	}
@@ -367,12 +404,11 @@ func (n *Node) routeIngest(w http.ResponseWriter, r *http.Request, inner http.Ha
 			}
 		}
 		if local.Len() > 0 {
-			status, res := n.ingestLocal(r, inner, local.Bytes(), true)
+			status, res := n.ingestLocal(r, inner, local.Bytes(), true, span.Context())
 			add(partResult{status: status, res: res})
 		}
 	}
 	wg.Wait()
-	n.svc.ObserveStage(serve.StageProxy, time.Since(t0).Seconds())
 
 	merged := serve.IngestResult{}
 	worst := http.StatusOK
@@ -420,8 +456,14 @@ type partResult struct {
 	status int
 }
 
-// forwardPartition posts one owner's frames to that owner.
-func (n *Node) forwardPartition(p *partition) (pr partResult) {
+// forwardPartition posts one owner's frames to that owner. The forward
+// travels as a child span of the router's split root; the owner's ingest
+// root parents under it via the propagated header.
+func (n *Node) forwardPartition(p *partition, parent *obs.Span) (pr partResult) {
+	child := parent.Child("forward")
+	child.SetAttr("peer", p.owner.ID)
+	child.SetAttr("records", strconv.Itoa(p.count))
+	defer child.End()
 	req, err := http.NewRequest(http.MethodPost, p.owner.URL+"/ingest", bytes.NewReader(p.body.Bytes()))
 	if err != nil {
 		pr.status = http.StatusInternalServerError
@@ -430,6 +472,7 @@ func (n *Node) forwardPartition(p *partition) (pr partResult) {
 	}
 	req.Header.Set("Content-Type", trace.BatchContentType)
 	n.forwardHeaders(req)
+	req.Header.Set(obs.TraceHeader, child.Context().String())
 	resp, err := n.client.Do(req)
 	if err != nil {
 		pr.status = http.StatusBadGateway
@@ -456,14 +499,18 @@ func (n *Node) serveLocal(w http.ResponseWriter, r *http.Request, inner http.Han
 }
 
 // ingestLocal runs a synthesized binary batch through the wrapped mux
-// in-process and parses the IngestResult back out.
-func (n *Node) ingestLocal(r *http.Request, inner http.Handler, body []byte, binaryWire bool) (int, serve.IngestResult) {
+// in-process and parses the IngestResult back out. The synthesized
+// request carries tctx so the local ingest span joins the router's trace.
+func (n *Node) ingestLocal(r *http.Request, inner http.Handler, body []byte, binaryWire bool, tctx obs.TraceContext) (int, serve.IngestResult) {
 	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, "/ingest", bytes.NewReader(body))
 	if err != nil {
 		return http.StatusInternalServerError, serve.IngestResult{Error: err.Error()}
 	}
 	if binaryWire {
 		req.Header.Set("Content-Type", trace.BatchContentType)
+	}
+	if tctx.Valid() {
+		req.Header.Set(obs.TraceHeader, tctx.String())
 	}
 	rec := &responseBuffer{status: http.StatusOK}
 	inner.ServeHTTP(rec, req)

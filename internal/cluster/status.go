@@ -1,0 +1,214 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Fleet status aggregation and cross-node trace merging (DESIGN.md §14).
+// /statusz on any node answers for the whole cluster: a concurrent,
+// bounded fan-out collects every peer's local /statusz and merges them
+// into one snapshot with per-peer error fields — one unreachable node
+// degrades its own section, never the endpoint. /debug/traces?trace=<id>
+// likewise fetches the matching span trees from every peer and stitches
+// them into the single cross-node tree the request logically was.
+
+// statuszTimeout bounds the whole fan-out: a hung peer costs this much
+// wall time, not the client's patience.
+const statuszTimeout = 2 * time.Second
+
+// PeerStatus is one member's section of the fleet snapshot. Status is
+// the peer's own /statusz document, passed through verbatim; Error is
+// set (and Status nil) when the peer could not answer.
+type PeerStatus struct {
+	ID     string          `json:"id"`
+	URL    string          `json:"url"`
+	Self   bool            `json:"self,omitempty"`
+	Error  string          `json:"error,omitempty"`
+	Status json.RawMessage `json:"status,omitempty"`
+}
+
+// FleetStatus is the aggregated /statusz response body.
+type FleetStatus struct {
+	Node        string          `json:"node"`
+	RingEpoch   uint64          `json:"ring_epoch"`
+	Members     int             `json:"members"`
+	Route       string          `json:"route"`
+	Replication []ReplicaStatus `json:"replication,omitempty"`
+	Peers       []PeerStatus    `json:"peers"`
+}
+
+// FleetStatus fans out to every peer concurrently and merges the
+// responses. Unreachable peers come back with Error set; the local
+// section never fails.
+func (n *Node) FleetStatus(ctx context.Context) *FleetStatus {
+	ring := n.ring.Load()
+	st := &FleetStatus{
+		Node:      n.self.ID,
+		RingEpoch: ring.Epoch(),
+		Members:   ring.Size(),
+		Route:     n.route,
+	}
+	n.mu.Lock()
+	for _, r := range n.repl {
+		st.Replication = append(st.Replication, r.status())
+	}
+	n.mu.Unlock()
+	sortReplicaStatuses(st.Replication)
+
+	ctx, cancel := context.WithTimeout(ctx, statuszTimeout)
+	defer cancel()
+	members := ring.Members()
+	st.Peers = make([]PeerStatus, len(members))
+	var wg sync.WaitGroup
+	for i, m := range members {
+		st.Peers[i] = PeerStatus{ID: m.ID, URL: m.URL}
+		if m.ID == n.self.ID {
+			st.Peers[i].Self = true
+			local, err := json.Marshal(n.svc.NodeStatus())
+			if err != nil {
+				st.Peers[i].Error = err.Error()
+				continue
+			}
+			st.Peers[i].Status = local
+			continue
+		}
+		wg.Add(1)
+		go func(i int, m Member) {
+			defer wg.Done()
+			body, err := n.fetchPeerJSON(ctx, m, "/statusz?local=1")
+			if err != nil {
+				st.Peers[i].Error = err.Error()
+				n.met.peerUp.With(m.ID).Set(0)
+				return
+			}
+			st.Peers[i].Status = body
+			n.met.peerUp.With(m.ID).Set(1)
+		}(i, m)
+	}
+	wg.Wait()
+	sort.Slice(st.Peers, func(i, j int) bool { return st.Peers[i].ID < st.Peers[j].ID })
+	return st
+}
+
+// fetchPeerJSON GETs one peer endpoint with the loop-guard headers and
+// returns the raw JSON body.
+func (n *Node) fetchPeerJSON(ctx context.Context, m Member, uri string) (json.RawMessage, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, m.URL+uri, nil)
+	if err != nil {
+		return nil, err
+	}
+	n.forwardHeaders(req)
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, n.maxBody))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("HTTP %d: %s", resp.StatusCode, truncate(body, 200))
+	}
+	if !json.Valid(body) {
+		return nil, fmt.Errorf("peer answered invalid JSON")
+	}
+	return body, nil
+}
+
+func truncate(b []byte, max int) string {
+	if len(b) > max {
+		b = b[:max]
+	}
+	return string(b)
+}
+
+// handleStatusz serves the aggregated fleet snapshot. ?local=1 (what the
+// fan-out itself requests, alongside the forwarded loop guard) answers
+// with this node's own section only.
+func (n *Node) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	if r.URL.Query().Get("local") == "1" || r.Header.Get(ForwardedHeader) != "" {
+		st := n.svc.NodeStatus()
+		writeJSON(w, http.StatusOK, &st)
+		return
+	}
+	writeJSON(w, http.StatusOK, n.FleetStatus(r.Context()))
+}
+
+// handleTraces serves /debug/traces cluster-wide. Without ?trace= it
+// behaves exactly like the node-local handler (plus Node stamping). With
+// ?trace=<id> it also fetches the matching trees from every peer and
+// stitches the forest — proxy fan-outs, redirects, and replication
+// passes render as the single cross-node tree they are.
+func (n *Node) handleTraces(w http.ResponseWriter, r *http.Request) {
+	q, err := obs.QueryFromRequest(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	local := obs.FilterTraces(n.svc.Tracer().Snapshot(), q)
+	for i := range local {
+		stampNode(&local[i], n.self.ID)
+	}
+	forest := local
+	if q.TraceID != "" && r.Header.Get(ForwardedHeader) == "" {
+		ctx, cancel := context.WithTimeout(r.Context(), statuszTimeout)
+		defer cancel()
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		for _, m := range n.ring.Load().Members() {
+			if m.ID == n.self.ID {
+				continue
+			}
+			wg.Add(1)
+			go func(m Member) {
+				defer wg.Done()
+				body, err := n.fetchPeerJSON(ctx, m, "/debug/traces?trace="+q.TraceID)
+				if err != nil {
+					return // a missing peer only thins the merged tree
+				}
+				var snap obs.TracesSnapshot
+				if err := json.Unmarshal(body, &snap); err != nil {
+					return
+				}
+				for i := range snap.Traces {
+					stampNode(&snap.Traces[i], m.ID)
+				}
+				mu.Lock()
+				forest = append(forest, snap.Traces...)
+				mu.Unlock()
+			}(m)
+		}
+		wg.Wait()
+	}
+	tr := n.svc.Tracer()
+	writeJSON(w, http.StatusOK, &obs.TracesSnapshot{
+		Capacity: tr.Capacity(),
+		SlowSec:  tr.SlowThreshold().Seconds(),
+		Traces:   obs.StitchTraces(forest),
+	})
+}
+
+// stampNode labels every span in a tree with the node it was recorded
+// on; spans a peer already stamped (nested merges) keep their label.
+func stampNode(t *obs.SpanJSON, node string) {
+	if t.Node == "" {
+		t.Node = node
+	}
+	for i := range t.Children {
+		stampNode(&t.Children[i], node)
+	}
+}

@@ -38,6 +38,33 @@ type BuildInfoJSON struct {
 	GOARCH    string            `json:"goarch"`
 }
 
+// BuildProvenance is the compact build identity stamped into ddosload
+// reports, bench artifacts, and watchdog bundle metadata: enough to tie a
+// number back to the exact commit and toolchain that produced it.
+type BuildProvenance struct {
+	GoVersion string `json:"go_version"`
+	GitCommit string `json:"git_commit,omitempty"`
+	Dirty     bool   `json:"git_dirty,omitempty"`
+}
+
+// Provenance reads the build identity from debug.ReadBuildInfo. GitCommit
+// is empty when the binary was built outside a VCS checkout (go test, or
+// a tarball build).
+func Provenance() BuildProvenance {
+	p := BuildProvenance{GoVersion: runtime.Version()}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				p.GitCommit = s.Value
+			case "vcs.modified":
+				p.Dirty = s.Value == "true"
+			}
+		}
+	}
+	return p
+}
+
 // BuildInfo serves runtime/debug.ReadBuildInfo as JSON: which binary is
 // answering, built how, on what platform.
 func BuildInfo(w http.ResponseWriter, _ *http.Request) {

@@ -1,11 +1,71 @@
 package obs
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"log/slog"
 	"strings"
+	"sync"
 )
+
+// LogRing tees a log stream: lines pass through to the inner writer
+// unchanged while the most recent Cap complete lines are retained in a
+// ring. The SLO watchdog snapshots the ring into its diagnostics bundle
+// (log.txt) — the last N slog lines before the breach, without any file
+// tailing. Safe for concurrent writers (slog serializes writes per
+// handler, but the watchdog reads concurrently).
+type LogRing struct {
+	inner io.Writer
+
+	mu    sync.Mutex
+	lines []string
+	next  int
+	n     int
+	part  bytes.Buffer // trailing write fragment with no newline yet
+}
+
+// NewLogRing wraps inner, retaining the last capacity lines (default 256).
+func NewLogRing(inner io.Writer, capacity int) *LogRing {
+	if capacity < 1 {
+		capacity = 256
+	}
+	return &LogRing{inner: inner, lines: make([]string, capacity)}
+}
+
+// Write forwards to the inner writer and folds complete lines into the
+// ring. The inner writer's error is returned (the ring never fails).
+func (l *LogRing) Write(p []byte) (int, error) {
+	n, err := l.inner.Write(p)
+	l.mu.Lock()
+	l.part.Write(p[:n])
+	for {
+		raw := l.part.Bytes()
+		i := bytes.IndexByte(raw, '\n')
+		if i < 0 {
+			break
+		}
+		l.lines[l.next] = string(raw[:i])
+		l.next = (l.next + 1) % len(l.lines)
+		if l.n < len(l.lines) {
+			l.n++
+		}
+		l.part.Next(i + 1)
+	}
+	l.mu.Unlock()
+	return n, err
+}
+
+// Lines returns the retained lines, oldest first.
+func (l *LogRing) Lines() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]string, 0, l.n)
+	for i := 0; i < l.n; i++ {
+		out = append(out, l.lines[(l.next-l.n+i+2*len(l.lines))%len(l.lines)])
+	}
+	return out
+}
 
 // NewLogger builds the daemon's structured logger. Level is one of
 // debug/info/warn/error, format one of text/json — the values behind

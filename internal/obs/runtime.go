@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+
+	"repro/internal/serve/metrics"
+)
+
+// Runtime self-telemetry (DESIGN.md §14): Go runtime health published as
+// ddosd_go_* gauges on the existing /metrics exposition. The gauges are
+// refreshed by a Registry.OnScrape hook — a scrape reads one
+// runtime.ReadMemStats snapshot; between scrapes nothing runs, so the
+// collector adds zero background goroutine churn and zero hot-path cost.
+
+// RuntimeCollector owns the ddosd_go_* gauges and refreshes them on
+// scrape.
+type RuntimeCollector struct {
+	goroutines  *metrics.Gauge
+	gomaxprocs  *metrics.Gauge
+	heapAlloc   *metrics.Gauge
+	heapSys     *metrics.Gauge
+	heapObjects *metrics.Gauge
+	stackSys    *metrics.Gauge
+	gcCycles    *metrics.Gauge
+	gcPauseTot  *metrics.FGauge
+	gcLastPause *metrics.FGauge
+	sinceGC     *metrics.FGauge
+}
+
+// RegisterRuntime registers the runtime gauges into reg and hooks their
+// refresh into the scrape path. Call once per registry.
+func RegisterRuntime(reg *metrics.Registry) *RuntimeCollector {
+	c := &RuntimeCollector{
+		goroutines:  reg.Gauge("ddosd_go_goroutines", "Live goroutines at the last scrape."),
+		gomaxprocs:  reg.Gauge("ddosd_go_gomaxprocs", "Scheduler parallelism (GOMAXPROCS)."),
+		heapAlloc:   reg.Gauge("ddosd_go_heap_alloc_bytes", "Heap bytes allocated and still in use."),
+		heapSys:     reg.Gauge("ddosd_go_heap_sys_bytes", "Heap bytes obtained from the OS."),
+		heapObjects: reg.Gauge("ddosd_go_heap_objects", "Live heap objects."),
+		stackSys:    reg.Gauge("ddosd_go_stack_sys_bytes", "Stack memory obtained from the OS."),
+		gcCycles:    reg.Gauge("ddosd_go_gc_cycles_total", "Completed GC cycles."),
+	}
+	c.gcPauseTot = reg.FGauge("ddosd_go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.")
+	c.gcLastPause = reg.FGauge("ddosd_go_gc_last_pause_seconds", "Most recent GC stop-the-world pause.")
+	c.sinceGC = reg.FGauge("ddosd_go_gc_since_seconds", "Seconds since the last completed GC (0 before the first).")
+	reg.OnScrape(c.Refresh)
+	return c
+}
+
+// Refresh re-reads the runtime state into the gauges (one ReadMemStats —
+// a sub-millisecond stop-the-world, paid only when /metrics is scraped).
+func (c *RuntimeCollector) Refresh() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	c.goroutines.Set(int64(runtime.NumGoroutine()))
+	c.gomaxprocs.Set(int64(runtime.GOMAXPROCS(0)))
+	c.heapAlloc.Set(int64(ms.HeapAlloc))
+	c.heapSys.Set(int64(ms.HeapSys))
+	c.heapObjects.Set(int64(ms.HeapObjects))
+	c.stackSys.Set(int64(ms.StackSys))
+	c.gcCycles.Set(int64(ms.NumGC))
+	c.gcPauseTot.Set(float64(ms.PauseTotalNs) / 1e9)
+	if ms.NumGC > 0 {
+		c.gcLastPause.Set(float64(ms.PauseNs[(ms.NumGC+255)%256]) / 1e9)
+		c.sinceGC.Set(time.Since(time.Unix(0, int64(ms.LastGC))).Seconds())
+	}
+}
+
+// RuntimeSnapshot is the runtime section of /statusz and bundle
+// captures: the same numbers as the gauges, as JSON.
+type RuntimeSnapshot struct {
+	Goroutines  int     `json:"goroutines"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	HeapAlloc   uint64  `json:"heap_alloc_bytes"`
+	HeapSys     uint64  `json:"heap_sys_bytes"`
+	HeapObjects uint64  `json:"heap_objects"`
+	GCCycles    uint32  `json:"gc_cycles"`
+	GCPauseSec  float64 `json:"gc_pause_total_sec"`
+}
+
+// ReadRuntime captures the runtime section.
+func ReadRuntime() RuntimeSnapshot {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return RuntimeSnapshot{
+		Goroutines:  runtime.NumGoroutine(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		HeapAlloc:   ms.HeapAlloc,
+		HeapSys:     ms.HeapSys,
+		HeapObjects: ms.HeapObjects,
+		GCCycles:    ms.NumGC,
+		GCPauseSec:  float64(ms.PauseTotalNs) / 1e9,
+	}
+}

@@ -2,7 +2,11 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
+	"math/rand/v2"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 )
@@ -11,6 +15,76 @@ import (
 // cannot turn a trace into an unbounded tree. Extra children are counted
 // in SpanJSON.Dropped instead of stored.
 const maxChildren = 128
+
+// TraceHeader carries trace context across node boundaries (DESIGN.md
+// §14): a W3C-traceparent-style value `<trace-id>-<span-id>`, 16 lowercase
+// hex digits each. The cluster router injects it on split-proxy
+// sub-requests, redirect locations, and replication fetches; the serve
+// handlers adopt it so one cross-node ingest is a single stitched trace.
+const TraceHeader = "X-Ddos-Trace"
+
+// TraceParam is the query-parameter fallback for TraceHeader on 307
+// redirects: a redirected client replays its original headers, so the
+// redirecting node threads the context through the Location URL instead.
+const TraceParam = "xtrace"
+
+// TraceContext is one position in a distributed trace: the trace every
+// span of the request shares, and the sender-side span that becomes the
+// parent of whatever the receiver starts.
+type TraceContext struct {
+	TraceID uint64
+	SpanID  uint64
+}
+
+// Valid reports whether the context carries usable IDs.
+func (c TraceContext) Valid() bool { return c.TraceID != 0 && c.SpanID != 0 }
+
+// String renders the TraceHeader wire form `<trace-id>-<span-id>`.
+func (c TraceContext) String() string {
+	return fmt.Sprintf("%016x-%016x", c.TraceID, c.SpanID)
+}
+
+// ParseTraceContext decodes a TraceHeader value; ok is false on anything
+// malformed (the receiver then starts a fresh root, never fails the
+// request over a bad trace header).
+func ParseTraceContext(s string) (ctx TraceContext, ok bool) {
+	a, b, found := strings.Cut(s, "-")
+	if !found || len(a) != 16 || len(b) != 16 {
+		return TraceContext{}, false
+	}
+	tid, err1 := strconv.ParseUint(a, 16, 64)
+	sid, err2 := strconv.ParseUint(b, 16, 64)
+	if err1 != nil || err2 != nil {
+		return TraceContext{}, false
+	}
+	ctx = TraceContext{TraceID: tid, SpanID: sid}
+	return ctx, ctx.Valid()
+}
+
+// ContextFromRequest extracts trace context from an inbound request:
+// TraceHeader first, the redirect query fallback second.
+func ContextFromRequest(r *http.Request) (TraceContext, bool) {
+	if h := r.Header.Get(TraceHeader); h != "" {
+		if ctx, ok := ParseTraceContext(h); ok {
+			return ctx, true
+		}
+	}
+	if q := r.URL.Query().Get(TraceParam); q != "" {
+		return ParseTraceContext(q)
+	}
+	return TraceContext{}, false
+}
+
+// newID draws a non-zero random 64-bit ID. rand/v2's global functions sit
+// on the runtime's per-P generators — no lock, no allocation — so IDs are
+// safe on the ingest hot path.
+func newID() uint64 {
+	for {
+		if id := rand.Uint64(); id != 0 {
+			return id
+		}
+	}
+}
 
 // TracerConfig tunes a Tracer. The zero value keeps the last 64 completed
 // traces regardless of duration and observes no histograms.
@@ -25,6 +99,18 @@ type TracerConfig struct {
 	// histograms. Pre-measured children attached with Span.Attach are
 	// skipped (their stages were observed by whoever measured them).
 	Observe func(stage string, seconds float64)
+	// OnDrop, when non-nil, is called each time the ring evicts a root
+	// trace no Snapshot ever read — the signal behind
+	// ddosd_trace_dropped_total, so trace-capacity tuning is measured
+	// instead of guessed.
+	OnDrop func()
+}
+
+// ringEntry is one retained root trace plus whether any Snapshot read it
+// since it was written (unread evictions count as drops).
+type ringEntry struct {
+	tree SpanJSON
+	read bool
 }
 
 // Tracer hands out pipeline spans and keeps a fixed-size ring of recent
@@ -33,7 +119,7 @@ type Tracer struct {
 	cfg TracerConfig
 
 	mu   sync.Mutex
-	ring []SpanJSON // completed root traces, oldest overwritten first
+	ring []ringEntry // completed root traces, oldest overwritten first
 	next int
 	n    int
 }
@@ -43,7 +129,7 @@ func NewTracer(cfg TracerConfig) *Tracer {
 	if cfg.Capacity < 1 {
 		cfg.Capacity = 64
 	}
-	return &Tracer{cfg: cfg, ring: make([]SpanJSON, cfg.Capacity)}
+	return &Tracer{cfg: cfg, ring: make([]ringEntry, cfg.Capacity)}
 }
 
 // Span is one timed pipeline stage. A span returned by Tracer.Start is a
@@ -57,24 +143,53 @@ type Span struct {
 	start  time.Time
 	end    time.Time
 
+	traceID  uint64
+	spanID   uint64
+	parentID uint64 // 0 on locally originated roots
+
 	mu       sync.Mutex // children/attrs: Child may be called from worker goroutines
 	children []*Span
 	attrs    []spanAttr
 	dropped  int
 	measured bool // attached pre-measured: skip the Observe hook
+	discard  bool // Drop was called: End records nothing
 }
 
 type spanAttr struct{ k, v string }
 
-// Start opens a root span.
+// Start opens a root span with a fresh trace ID.
 func (t *Tracer) Start(name string) *Span {
-	return &Span{tracer: t, name: name, start: time.Now()}
+	return &Span{tracer: t, name: name, start: time.Now(), traceID: newID(), spanID: newID()}
 }
+
+// StartRemote opens a root span that continues a trace started on another
+// node: it shares ctx's trace ID and is parented under ctx's span. An
+// invalid context degrades to a fresh Start.
+func (t *Tracer) StartRemote(name string, ctx TraceContext) *Span {
+	s := t.Start(name)
+	if ctx.Valid() {
+		s.traceID = ctx.TraceID
+		s.parentID = ctx.SpanID
+	}
+	return s
+}
+
+// Context returns the span's position for cross-node injection: put
+// Context().String() in TraceHeader and the receiver's StartRemote root
+// becomes this span's child in the stitched tree.
+func (s *Span) Context() TraceContext {
+	return TraceContext{TraceID: s.traceID, SpanID: s.spanID}
+}
+
+// TraceIDString returns the span's trace ID in the /debug/traces?trace=
+// filter form.
+func (s *Span) TraceIDString() string { return fmt.Sprintf("%016x", s.traceID) }
 
 // Child opens a sub-span under s. Safe to call concurrently (the refit
 // batch opens one fit child per worker).
 func (s *Span) Child(name string) *Span {
-	c := &Span{name: name, start: time.Now()}
+	c := &Span{name: name, start: time.Now(),
+		traceID: s.traceID, spanID: newID(), parentID: s.spanID}
 	if s.root != nil {
 		c.root = s.root
 	} else {
@@ -89,7 +204,8 @@ func (s *Span) Child(name string) *Span {
 // children appear in the trace tree but are not re-observed by the
 // tracer's histogram hook.
 func (s *Span) Attach(name string, start time.Time, d time.Duration) {
-	c := &Span{name: name, start: start, end: start.Add(d), measured: true}
+	c := &Span{name: name, start: start, end: start.Add(d), measured: true,
+		traceID: s.traceID, spanID: newID(), parentID: s.spanID}
 	s.addChild(c)
 }
 
@@ -110,6 +226,15 @@ func (s *Span) SetAttr(key, value string) {
 	s.mu.Unlock()
 }
 
+// Drop marks a root span as not worth recording: End neither observes
+// histograms nor enters the ring. The replication tailer uses it to keep
+// empty polls (the overwhelming majority) out of the trace ring.
+func (s *Span) Drop() {
+	s.mu.Lock()
+	s.discard = true
+	s.mu.Unlock()
+}
+
 // End closes the span. Ending a root span freezes the whole tree: every
 // stage duration is pushed through the tracer's Observe hook and, if the
 // root is slow enough, the tree enters the /debug/traces ring.
@@ -121,6 +246,12 @@ func (s *Span) End() {
 }
 
 func (t *Tracer) finish(root *Span) {
+	root.mu.Lock()
+	discard := root.discard
+	root.mu.Unlock()
+	if discard {
+		return
+	}
 	if t.cfg.Observe != nil {
 		root.observeAll(root.end, t.cfg.Observe)
 	}
@@ -129,12 +260,16 @@ func (t *Tracer) finish(root *Span) {
 	}
 	tree := root.toJSON(root.end)
 	t.mu.Lock()
-	t.ring[t.next] = tree
+	evictedUnread := t.n == len(t.ring) && !t.ring[t.next].read
+	t.ring[t.next] = ringEntry{tree: tree}
 	t.next = (t.next + 1) % len(t.ring)
 	if t.n < len(t.ring) {
 		t.n++
 	}
 	t.mu.Unlock()
+	if evictedUnread && t.cfg.OnDrop != nil {
+		t.cfg.OnDrop()
+	}
 }
 
 // duration resolves the span's length; a child left open when the root
@@ -160,13 +295,27 @@ func (s *Span) observeAll(rootEnd time.Time, observe func(string, float64)) {
 }
 
 // SpanJSON is the wire form of a completed span tree (/debug/traces).
+// TraceID is shared by every span of one distributed request; ParentID on
+// a root names a span on another node (or another local root) the tree
+// belongs under — StitchTraces reattaches those.
 type SpanJSON struct {
 	Name        string            `json:"name"`
+	TraceID     string            `json:"trace_id,omitempty"`
+	SpanID      string            `json:"span_id,omitempty"`
+	ParentID    string            `json:"parent_id,omitempty"`
+	Node        string            `json:"node,omitempty"` // stamped by the cluster merge
 	Start       time.Time         `json:"start"`
 	DurationSec float64           `json:"duration_sec"`
 	Attrs       map[string]string `json:"attrs,omitempty"`
 	Dropped     int               `json:"dropped_children,omitempty"`
 	Children    []SpanJSON        `json:"children,omitempty"`
+}
+
+func hexID(id uint64) string {
+	if id == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%016x", id)
 }
 
 func (s *Span) toJSON(rootEnd time.Time) SpanJSON {
@@ -177,6 +326,9 @@ func (s *Span) toJSON(rootEnd time.Time) SpanJSON {
 	s.mu.Unlock()
 	out := SpanJSON{
 		Name:        s.name,
+		TraceID:     hexID(s.traceID),
+		SpanID:      hexID(s.spanID),
+		ParentID:    hexID(s.parentID),
 		Start:       s.start,
 		DurationSec: s.duration(rootEnd).Seconds(),
 		Dropped:     dropped,
@@ -193,7 +345,8 @@ func (s *Span) toJSON(rootEnd time.Time) SpanJSON {
 	return out
 }
 
-// Snapshot returns the retained traces, most recent first.
+// Snapshot returns the retained traces, most recent first, and marks them
+// read (an eviction of a read trace is not a drop — somebody saw it).
 func (t *Tracer) Snapshot() []SpanJSON {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -201,9 +354,168 @@ func (t *Tracer) Snapshot() []SpanJSON {
 	for i := 0; i < t.n; i++ {
 		// next-1 is the most recently written slot.
 		idx := (t.next - 1 - i + len(t.ring) + len(t.ring)) % len(t.ring)
-		out = append(out, t.ring[idx])
+		t.ring[idx].read = true
+		out = append(out, t.ring[idx].tree)
 	}
 	return out
+}
+
+// TraceQuery selects a subset of the trace ring (the /debug/traces
+// ?trace=, ?stage=, ?min_ms= filters). Zero fields do not filter.
+type TraceQuery struct {
+	TraceID string        // exact trace-id match (16 hex digits)
+	Stage   string        // keep traces containing a span with this name
+	MinDur  time.Duration // keep traces whose root is at least this long
+}
+
+// IsZero reports whether the query filters nothing.
+func (q TraceQuery) IsZero() bool {
+	return q.TraceID == "" && q.Stage == "" && q.MinDur <= 0
+}
+
+// Match reports whether one root trace satisfies the query.
+func (q TraceQuery) Match(t *SpanJSON) bool {
+	if q.TraceID != "" && t.TraceID != q.TraceID {
+		return false
+	}
+	if q.MinDur > 0 && t.DurationSec < q.MinDur.Seconds() {
+		return false
+	}
+	if q.Stage != "" && !hasStage(t, q.Stage) {
+		return false
+	}
+	return true
+}
+
+func hasStage(t *SpanJSON, stage string) bool {
+	if t.Name == stage {
+		return true
+	}
+	for i := range t.Children {
+		if hasStage(&t.Children[i], stage) {
+			return true
+		}
+	}
+	return false
+}
+
+// FilterTraces keeps the traces matching q, preserving order.
+func FilterTraces(traces []SpanJSON, q TraceQuery) []SpanJSON {
+	if q.IsZero() {
+		return traces
+	}
+	out := make([]SpanJSON, 0, len(traces))
+	for i := range traces {
+		if q.Match(&traces[i]) {
+			out = append(out, traces[i])
+		}
+	}
+	return out
+}
+
+// QueryFromRequest parses the /debug/traces filters. err names the first
+// unparsable parameter.
+func QueryFromRequest(r *http.Request) (TraceQuery, error) {
+	q := TraceQuery{
+		TraceID: r.URL.Query().Get("trace"),
+		Stage:   r.URL.Query().Get("stage"),
+	}
+	if ms := r.URL.Query().Get("min_ms"); ms != "" {
+		v, err := strconv.ParseFloat(ms, 64)
+		if err != nil || v < 0 {
+			return q, fmt.Errorf("bad min_ms %q", ms)
+		}
+		q.MinDur = time.Duration(v * float64(time.Millisecond))
+	}
+	return q, nil
+}
+
+// stitchNode is StitchTraces' mutable working form of one span.
+type stitchNode struct {
+	span     SpanJSON // Children ignored; the pointer slice below is canonical
+	children []*stitchNode
+	root     *stitchNode // top of the tree this node currently belongs to
+}
+
+// StitchTraces merges a forest of span trees — local ring snapshots plus
+// trees fetched from peer nodes — into as few trees as possible: a root
+// whose ParentID names a span present anywhere else in the forest is
+// re-attached as that span's child. Cross-node ingests (proxy fan-out,
+// redirects, replication) thereby render as the single tree they
+// logically are. Order among the remaining roots is preserved; attached
+// children sort by start time after the sender's own children.
+func StitchTraces(trees []SpanJSON) []SpanJSON {
+	if len(trees) < 2 {
+		return trees
+	}
+	roots := make([]*stitchNode, 0, len(trees))
+	index := make(map[string]*stitchNode)
+	var build func(s *SpanJSON, root *stitchNode) *stitchNode
+	build = func(s *SpanJSON, root *stitchNode) *stitchNode {
+		n := &stitchNode{span: *s, root: root}
+		n.span.Children = nil
+		if root == nil {
+			n.root = n
+		}
+		if n.span.SpanID != "" {
+			// First write wins on (pathological) duplicate span IDs.
+			if _, dup := index[n.span.SpanID]; !dup {
+				index[n.span.SpanID] = n
+			}
+		}
+		for i := range s.Children {
+			n.children = append(n.children, build(&s.Children[i], n.root))
+		}
+		return n
+	}
+	for i := range trees {
+		roots = append(roots, build(&trees[i], nil))
+	}
+	attached := make(map[*stitchNode]bool)
+	for _, r := range roots {
+		parent := index[r.span.ParentID]
+		if r.span.ParentID == "" || parent == nil || parent.root == r {
+			continue
+		}
+		parent.children = append(parent.children, r)
+		attached[r] = true
+		// Re-root the attached tree so a chain A→B→C cannot cycle.
+		var reroot func(n *stitchNode)
+		reroot = func(n *stitchNode) {
+			n.root = parent.root
+			for _, c := range n.children {
+				reroot(c)
+			}
+		}
+		reroot(r)
+	}
+	out := make([]SpanJSON, 0, len(roots))
+	var render func(n *stitchNode) SpanJSON
+	render = func(n *stitchNode) SpanJSON {
+		s := n.span
+		s.Children = nil
+		kids := append([]*stitchNode(nil), n.children...)
+		sortStableByStart(kids)
+		for _, c := range kids {
+			s.Children = append(s.Children, render(c))
+		}
+		return s
+	}
+	for _, r := range roots {
+		if !attached[r] {
+			out = append(out, render(r))
+		}
+	}
+	return out
+}
+
+func sortStableByStart(nodes []*stitchNode) {
+	// Insertion sort: child lists are tiny and mostly ordered already.
+	for i := 1; i < len(nodes); i++ {
+		for j := i; j > 0 && nodes[j].span.Start.Before(nodes[j-1].span.Start); j-- {
+			nodes[j], nodes[j-1] = nodes[j-1], nodes[j]
+		}
+	}
 }
 
 // TracesSnapshot is the /debug/traces response body.
@@ -213,14 +525,28 @@ type TracesSnapshot struct {
 	Traces   []SpanJSON `json:"traces"`
 }
 
-// Handler serves the trace ring as JSON.
+// Capacity returns the configured ring size.
+func (t *Tracer) Capacity() int { return t.cfg.Capacity }
+
+// SlowThreshold returns the configured retention threshold.
+func (t *Tracer) SlowThreshold() time.Duration { return t.cfg.Slow }
+
+// Handler serves the trace ring as JSON, filtered by ?trace=<id>,
+// ?stage=<name>, and ?min_ms=<float> when present.
 func (t *Tracer) Handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		q, err := QueryFromRequest(r)
+		if err != nil {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusBadRequest)
+			_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(&TracesSnapshot{
 			Capacity: t.cfg.Capacity,
 			SlowSec:  t.cfg.Slow.Seconds(),
-			Traces:   t.Snapshot(),
+			Traces:   FilterTraces(t.Snapshot(), q),
 		})
 	})
 }

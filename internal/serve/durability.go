@@ -162,8 +162,18 @@ func (s *Service) appendWALBatch(w *wal.WAL, payloads [][]byte) error {
 
 func (s *Service) updateWALGauges(w *wal.WAL) {
 	st := w.Stats()
-	s.tel.walSegments.Set(int64(st.SealedSegments) + 1)
+	s.tel.walSegments.Set(int64(st.TotalSegments()))
 	s.tel.walActiveBytes.Set(st.ActiveBytes)
+	s.tel.walDiskBytes.Set(st.DiskBytes())
+}
+
+// refreshWALGauges is the registry's scrape hook: the disk gauges track
+// the WAL's real on-disk footprint at read time, not just the value at
+// the last append (compaction and sealing both move them).
+func (s *Service) refreshWALGauges() {
+	if w := s.walRef.Load(); w != nil {
+		s.updateWALGauges(w)
+	}
 }
 
 // RecoverWAL rebuilds the store from the WAL directory: checkpoint first,

@@ -27,7 +27,12 @@ import (
 //	GET  /accuracy      — windowed online forecast-accuracy per model
 //	GET  /alerts        — streaming-detector state: counters plus the
 //	                      recent raise/clear ring (?limit=N)
-//	GET  /debug/traces  — ring of recent pipeline traces (JSON span trees)
+//	GET  /debug/traces  — ring of recent pipeline traces (JSON span trees;
+//	                      ?trace=<id>, ?stage=<name>, ?min_ms=<d> filters)
+//	GET  /statusz       — this node's full status (health + WAL + detect +
+//	                      accuracy + runtime); cluster.Node shadows this
+//	                      route with the fleet-wide fan-out version
+//	GET  /debug/bundle  — SLO watchdog diagnostics bundles (StartWatchdog)
 //	GET  /buildinfo     — module, version, VCS revision
 //
 // Errors are JSON {"error": "..."}; load shedding answers 429 with a
@@ -44,6 +49,8 @@ func (s *Service) Handler() http.Handler {
 	mux.Handle("/accuracy", s.acc.Handler())
 	mux.HandleFunc("/alerts", s.handleAlerts)
 	mux.Handle("/debug/traces", s.tracer.Handler())
+	mux.HandleFunc("/statusz", s.handleStatusz)
+	mux.HandleFunc("/debug/bundle", s.handleBundle)
 	mux.HandleFunc("/buildinfo", obs.BuildInfo)
 	return mux
 }
@@ -76,7 +83,11 @@ func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
 	// wall times are summed and attached as pre-measured children
 	// (per-record observations already hit the stage histograms inside
 	// ingestTimed, so Attach keeps the trace tree without double-counting).
-	span := s.tracer.Start(StageIngest)
+	// A request forwarded by a cluster router carries trace context (header
+	// on proxied sub-requests, ?xtrace= on 307 redirects) — this root then
+	// joins the router's trace instead of opening its own.
+	ctx, _ := obs.ContextFromRequest(r)
+	span := s.tracer.StartRemote(StageIngest, ctx)
 	var agg ingestStageTimes
 	outcome := "ok"
 	var res IngestResult
@@ -242,7 +253,8 @@ func (s *Service) handleForecast(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	span := s.tracer.Start(StageForecast)
+	ctx, _ := obs.ContextFromRequest(r)
+	span := s.tracer.StartRemote(StageForecast, ctx)
 	outcome := "hit"
 	defer func() {
 		span.SetAttr("outcome", outcome)

@@ -130,8 +130,9 @@ func (h *Histogram) Quantile(q float64) float64 {
 
 // Registry holds the daemon's metrics in registration order.
 type Registry struct {
-	mu    sync.Mutex
-	order []func(w io.Writer)
+	mu     sync.Mutex
+	order  []func(w io.Writer)
+	before []func()
 }
 
 // NewRegistry returns an empty registry.
@@ -296,6 +297,51 @@ func (v *CounterVec) With(value string) *Counter {
 	return c
 }
 
+// GaugeVec is a family of int gauges split by one label
+// (ddosd_cluster_peer_up{peer="..."}).
+type GaugeVec struct {
+	name, help, label string
+	mu                sync.RWMutex
+	children          map[string]*Gauge
+}
+
+// GaugeVec registers and returns a labeled gauge family.
+func (r *Registry) GaugeVec(name, help, label string) *GaugeVec {
+	v := &GaugeVec{name: name, help: help, label: label, children: make(map[string]*Gauge)}
+	r.add(func(w io.Writer) {
+		header(w, v.name, v.help, "gauge")
+		v.mu.RLock()
+		values := make([]string, 0, len(v.children))
+		for value := range v.children {
+			values = append(values, value)
+		}
+		sort.Strings(values)
+		for _, value := range values {
+			fmt.Fprintf(w, "%s{%s=\"%s\"} %d\n", v.name, v.label, escapeLabel(value), v.children[value].Value())
+		}
+		v.mu.RUnlock()
+	})
+	return v
+}
+
+// With returns the child gauge for one label value, creating it on first
+// use.
+func (v *GaugeVec) With(value string) *Gauge {
+	v.mu.RLock()
+	g := v.children[value]
+	v.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if g = v.children[value]; g == nil {
+		g = &Gauge{name: v.name, help: v.help}
+		v.children[value] = g
+	}
+	return g
+}
+
 // FGauge is an instantaneous float64 value (accuracy rates and mean
 // relative errors are fractions, not integers).
 type FGauge struct {
@@ -307,6 +353,16 @@ func (g *FGauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
 // Value returns the current value.
 func (g *FGauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// FGauge registers and returns an unlabeled float gauge.
+func (r *Registry) FGauge(name, help string) *FGauge {
+	g := &FGauge{}
+	r.add(func(w io.Writer) {
+		header(w, name, help, "gauge")
+		fmt.Fprintf(w, "%s %g\n", name, g.Value())
+	})
+	return g
+}
 
 // FGaugeVec is a family of float gauges split by one label
 // (ddosd_accuracy_*{model="..."}).
@@ -359,10 +415,25 @@ func (r *Registry) add(render func(w io.Writer)) {
 	r.order = append(r.order, render)
 }
 
-// WriteText renders every metric in the Prometheus text exposition format.
+// OnScrape registers a hook that runs at the start of every WriteText —
+// the refresh point for gauges derived from state too expensive (or too
+// pointless) to poll continuously: runtime MemStats, WAL disk stats. No
+// background goroutine ever runs for these; a scrape pays for its own
+// freshness.
+func (r *Registry) OnScrape(fn func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.before = append(r.before, fn)
+}
+
+// WriteText renders every metric in the Prometheus text exposition format,
+// running the OnScrape hooks first.
 func (r *Registry) WriteText(w io.Writer) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	for _, fn := range r.before {
+		fn()
+	}
 	for _, render := range r.order {
 		render(w)
 	}

@@ -151,8 +151,9 @@ const (
 	StageRefit    = "refit"    // one scheduler batch, fits through publish
 	StageFit      = "fit"      // one target's model refit
 	StagePublish  = "publish"  // registry snapshot swap
-	StageForecast = "forecast" // one /forecast request
-	StageProxy    = "proxy"    // cluster router forwarding to the owner node
+	StageForecast  = "forecast"  // one /forecast request
+	StageProxy     = "proxy"     // cluster router forwarding to the owner node
+	StageReplicate = "replicate" // one replication pass: follower poll plus owner WAL ship
 )
 
 // Accuracy model-kind labels (ddosd_accuracy_*{model="..."}).
@@ -186,6 +187,7 @@ type telemetry struct {
 	refitLag       *metrics.Gauge
 	targetsKnown   *metrics.Gauge
 	targetsServed  *metrics.Gauge
+	traceDropped   *metrics.Counter
 
 	// stageSecs splits pipeline latency by stage; stages caches the
 	// children so the ingest hot path skips the vec lookup.
@@ -200,6 +202,7 @@ type telemetry struct {
 	walBytes        *metrics.Counter
 	walSegments     *metrics.Gauge
 	walActiveBytes  *metrics.Gauge
+	walDiskBytes    *metrics.Gauge
 	walReplayed     *metrics.Counter
 	walReplayDups   *metrics.Counter
 	walTruncations  *metrics.Counter
@@ -243,8 +246,9 @@ func newTelemetry(stageBuckets []float64) *telemetry {
 		refitLag:       r.Gauge("ddosd_refit_lag", "Refit backlog: queued plus in-flight targets."),
 		targetsKnown:   r.Gauge("ddosd_targets_known", "Targets present in the state store."),
 		targetsServed:  r.Gauge("ddosd_targets_served", "Targets with published models."),
+		traceDropped:   r.Counter("ddosd_trace_dropped_total", "Root spans evicted from the trace ring before any /debug/traces read."),
 		stageSecs: r.HistogramVec("ddosd_stage_seconds",
-			"Pipeline latency by stage (ingest, append, detect, wal, schedule, score, refit, fit, publish, forecast, proxy).",
+			"Pipeline latency by stage (ingest, append, detect, wal, schedule, score, refit, fit, publish, forecast, proxy, replicate).",
 			"stage", stageBuckets),
 		accMagErr: r.FGaugeVec("ddosd_accuracy_magnitude_relative_error",
 			"Windowed mean relative error of the predicted attack magnitude, per model.", "model"),
@@ -260,6 +264,7 @@ func newTelemetry(stageBuckets []float64) *telemetry {
 		walBytes:        r.Counter("ddosd_wal_appended_bytes_total", "Frame bytes appended to the write-ahead log."),
 		walSegments:     r.Gauge("ddosd_wal_segments", "WAL segment files on disk (sealed plus active)."),
 		walActiveBytes:  r.Gauge("ddosd_wal_active_segment_bytes", "Bytes in the active WAL segment."),
+		walDiskBytes:    r.Gauge("ddosd_wal_disk_bytes", "Total WAL bytes on disk (sealed segments plus active), refreshed at scrape."),
 		walReplayed:     r.Counter("ddosd_wal_replayed_records_total", "Records replayed into the store from the WAL at boot."),
 		walReplayDups:   r.Counter("ddosd_wal_replay_duplicates_total", "Replayed records dropped as duplicates (checkpoint overlap)."),
 		walTruncations:  r.Counter("ddosd_wal_replay_truncated_total", "Boot replays that stopped at a torn or corrupt frame."),
@@ -280,7 +285,7 @@ func newTelemetry(stageBuckets []float64) *telemetry {
 	t.stages = make(map[string]*metrics.Histogram)
 	for _, stage := range []string{
 		StageIngest, StageAppend, StageDetect, StageWAL, StageSchedule, StageScore,
-		StageRefit, StageFit, StagePublish, StageForecast, StageProxy,
+		StageRefit, StageFit, StagePublish, StageForecast, StageProxy, StageReplicate,
 	} {
 		t.stages[stage] = t.stageSecs.With(stage)
 	}
@@ -351,6 +356,10 @@ type Service struct {
 
 	// clusterInfo feeds the /healthz cluster section (SetClusterInfo).
 	clusterInfo clusterInfoHook
+
+	// watchdog is the SLO-breach flight recorder (StartWatchdog); nil
+	// until started.
+	watchdog atomic.Pointer[obs.Watchdog]
 }
 
 // New builds and starts a service (the refit scheduler goroutine runs
@@ -362,6 +371,7 @@ func New(cfg Config) *Service {
 		Capacity: cfg.TraceCapacity,
 		Slow:     cfg.TraceSlow,
 		Observe:  tel.observeStage,
+		OnDrop:   tel.traceDropped.Inc,
 	})
 	acc := obs.NewAccuracy(obs.AccuracyConfig{
 		Window:  cfg.AccuracyWindow,
@@ -387,7 +397,7 @@ func New(cfg Config) *Service {
 		store.AttachDetector(det)
 	}
 	reg := NewRegistry()
-	return &Service{
+	svc := &Service{
 		cfg:    cfg,
 		store:  store,
 		reg:    reg,
@@ -397,12 +407,21 @@ func New(cfg Config) *Service {
 		acc:    acc,
 		start:  time.Now(),
 	}
+	// Runtime self-telemetry and WAL disk gauges refresh at scrape time —
+	// registered here (not in newTelemetry) so the golden exposition test,
+	// which drives newTelemetry directly, stays machine-independent.
+	obs.RegisterRuntime(tel.reg)
+	tel.reg.OnScrape(svc.refreshWALGauges)
+	return svc
 }
 
 // Close stops the background checkpointer (if a WAL is attached) and the
 // refit scheduler (in-flight batch completes first). It does not close
 // the WAL itself — the owner that passed it to AttachWAL does that.
 func (s *Service) Close() {
+	if w := s.watchdog.Load(); w != nil {
+		w.Close()
+	}
 	s.DetachWAL()
 	s.sched.Stop()
 }

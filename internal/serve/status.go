@@ -1,0 +1,149 @@
+package serve
+
+import (
+	"net/http"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/wal"
+)
+
+// /statusz: one node's full operational picture in a single JSON
+// document — the per-node section the cluster router's fleet fan-out
+// aggregates (DESIGN.md §14). Everything here is already exposed
+// piecemeal (/healthz, /metrics, /accuracy, /alerts); /statusz is the
+// one-stop read an operator or the watchdog bundle wants.
+
+// WALStatus is the /statusz WAL section (wal.Stats in stable snake_case).
+type WALStatus struct {
+	ActiveSeq      uint64 `json:"active_seq"`
+	ActiveBytes    int64  `json:"active_bytes"`
+	SealedSegments int    `json:"sealed_segments"`
+	SealedBytes    int64  `json:"sealed_bytes"`
+	Appends        uint64 `json:"appends"`
+	AppendedBytes  uint64 `json:"appended_bytes"`
+	TotalSegments  int    `json:"total_segments"`
+	DiskBytes      int64  `json:"disk_bytes"`
+}
+
+func walStatus(st wal.Stats) *WALStatus {
+	return &WALStatus{
+		ActiveSeq:      st.ActiveSeq,
+		ActiveBytes:    st.ActiveBytes,
+		SealedSegments: st.SealedSegments,
+		SealedBytes:    st.SealedBytes,
+		Appends:        st.Appends,
+		AppendedBytes:  st.AppendedBytes,
+		TotalSegments:  st.TotalSegments(),
+		DiskBytes:      st.DiskBytes(),
+	}
+}
+
+// AccuracyWinner names the best model for one measure in the current
+// accuracy window.
+type AccuracyWinner struct {
+	Model string  `json:"model"`
+	Value float64 `json:"value"`
+}
+
+// AccuracyStatus is the /statusz accuracy section: the full windowed
+// snapshot plus the per-measure winners so a fleet view can answer
+// "which model is winning where" without re-deriving it.
+type AccuracyStatus struct {
+	obs.AccuracySnapshot
+	Winners map[string]AccuracyWinner `json:"winners,omitempty"`
+}
+
+// NodeStatus is the /statusz response body for one node.
+type NodeStatus struct {
+	Health   Health              `json:"health"`
+	WAL      *WALStatus          `json:"wal,omitempty"`
+	Detect   AlertsReport        `json:"detect"`
+	Accuracy AccuracyStatus      `json:"accuracy"`
+	Runtime  obs.RuntimeSnapshot `json:"runtime"`
+	Build    obs.BuildProvenance `json:"build"`
+}
+
+// NodeStatus captures this node's full status.
+func (s *Service) NodeStatus() NodeStatus {
+	s.updateTargetGauges()
+	st := NodeStatus{
+		Health: Health{
+			Status:          "ok",
+			UptimeSec:       time.Since(s.start).Seconds(),
+			Shards:          s.store.Shards(),
+			TargetsKnown:    s.store.Len(),
+			TargetsServed:   s.reg.Size(),
+			SnapshotVersion: s.reg.Version(),
+			RefitLag:        s.sched.Lag(),
+			Shedding:        s.sched.Overloaded(),
+			Cluster:         s.clusterInfoValue(),
+		},
+		Runtime: obs.ReadRuntime(),
+		Build:   obs.Provenance(),
+	}
+	if ws, ok := s.WALStats(); ok {
+		st.WAL = walStatus(ws)
+	}
+	if d := s.store.Detector(); d != nil {
+		stats := d.Stats()
+		st.Detect = AlertsReport{Enabled: true, Stats: &stats, Alerts: d.Recent(maxStatuszAlerts)}
+	}
+	snap := s.acc.Snapshot()
+	st.Accuracy = AccuracyStatus{AccuracySnapshot: *snap, Winners: accuracyWinners(*snap)}
+	return st
+}
+
+// maxStatuszAlerts bounds the detect section: /statusz is a fleet
+// fan-out payload, not the full alert ring (/alerts serves that).
+const maxStatuszAlerts = 8
+
+// accuracyWinners picks the window's best model per measure: lowest mean
+// relative error for magnitude and duration, highest hit rate for
+// timestamp. Models with no scored samples for a measure don't compete.
+func accuracyWinners(snap obs.AccuracySnapshot) map[string]AccuracyWinner {
+	winners := make(map[string]AccuracyWinner)
+	pick := func(measure, model string, value float64, better func(new, cur float64) bool) {
+		cur, ok := winners[measure]
+		if !ok || better(value, cur.Value) {
+			winners[measure] = AccuracyWinner{Model: model, Value: value}
+		}
+	}
+	lower := func(new, cur float64) bool { return new < cur }
+	higher := func(new, cur float64) bool { return new > cur }
+	for model, sum := range snap.Models {
+		if sum.Magnitude.Samples > 0 {
+			pick("magnitude", model, sum.Magnitude.MeanRelErr, lower)
+		}
+		if sum.Duration.Samples > 0 {
+			pick("duration", model, sum.Duration.MeanRelErr, lower)
+		}
+		if sum.Timestamp.Samples > 0 {
+			pick("timestamp", model, sum.Timestamp.Rate, higher)
+		}
+	}
+	if len(winners) == 0 {
+		return nil
+	}
+	return winners
+}
+
+func (s *Service) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	st := s.NodeStatus()
+	writeJSON(w, http.StatusOK, &st)
+}
+
+// handleBundle serves /debug/bundle: the watchdog's diagnostics-bundle
+// ring, or a JSON 404 when no watchdog is running (-watchdog-dir unset).
+func (s *Service) handleBundle(w http.ResponseWriter, r *http.Request) {
+	wd := s.watchdog.Load()
+	if wd == nil {
+		writeError(w, http.StatusNotFound, "watchdog disabled (start ddosd with -watchdog-dir)")
+		return
+	}
+	wd.Handler().ServeHTTP(w, r)
+}

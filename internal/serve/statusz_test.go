@@ -1,0 +1,197 @@
+package serve
+
+// /statusz and watchdog integration tests (DESIGN.md §14).
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/wal"
+)
+
+func TestStatuszSectionsComplete(t *testing.T) {
+	svc := New(testConfig())
+	defer svc.Close()
+	w, err := wal.Open(wal.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	svc.AttachWAL(w, nil)
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	resp := postBinary(t, srv.URL, encodeBinaryBatch(t, mkAttacks(64512, 0, 10)))
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	resp, err = http.Get(srv.URL + "/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := decodeBody[NodeStatus](t, resp)
+	if st.Health.Status != "ok" || st.Health.TargetsKnown != 1 {
+		t.Fatalf("health section = %+v", st.Health)
+	}
+	if st.WAL == nil || st.WAL.Appends == 0 || st.WAL.TotalSegments < 1 || st.WAL.DiskBytes <= 0 {
+		t.Fatalf("wal section = %+v", st.WAL)
+	}
+	if st.Runtime.Goroutines < 1 || st.Runtime.HeapAlloc == 0 {
+		t.Fatalf("runtime section = %+v", st.Runtime)
+	}
+	if st.Build.GoVersion == "" {
+		t.Fatalf("build section = %+v", st.Build)
+	}
+
+	resp, err = http.Post(srv.URL+"/statusz", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /statusz: HTTP %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestWatchdogBreachServesBundle drives the full flight-recorder path
+// over HTTP: an unreachable p99 SLO trips on real ingest traffic, the
+// loop captures a bundle, and /debug/bundle lists and streams it.
+func TestWatchdogBreachServesBundle(t *testing.T) {
+	svc := New(testConfig())
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	// Before the watchdog exists, the endpoint explains itself with a 404.
+	resp, err := http.Get(srv.URL + "/debug/bundle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/debug/bundle without watchdog: HTTP %d, want 404", resp.StatusCode)
+	}
+
+	resp = postBinary(t, srv.URL, encodeBinaryBatch(t, mkAttacks(64512, 0, 10)))
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	wd, err := svc.StartWatchdog(WatchdogConfig{
+		Dir:        t.TempDir(),
+		Interval:   5 * time.Millisecond,
+		Cooldown:   time.Hour,
+		CPUProfile: -1,
+		IngestP99:  time.Nanosecond, // any completed ingest breaches
+		ShedRate:   -1,
+		LogLines:   func() []string { return []string{"line-1", "line-2"} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.StartWatchdog(WatchdogConfig{Dir: t.TempDir()}); err == nil {
+		t.Fatal("second StartWatchdog did not error")
+	}
+	if svc.Watchdog() != wd {
+		t.Fatal("Watchdog() does not expose the started recorder")
+	}
+
+	var list struct {
+		Captures uint64           `json:"captures"`
+		Bundles  []obs.BundleInfo `json:"bundles"`
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(srv.URL + "/debug/bundle")
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&list)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if list.Captures >= 1 && len(list.Bundles) >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("watchdog never captured: %+v", list)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	files := strings.Join(list.Bundles[0].Files, ",")
+	for _, f := range []string{"meta.json", "heap.pprof", "spans.json", "metrics.prom", "statusz.json", "log.txt"} {
+		if !strings.Contains(files, f) {
+			t.Errorf("bundle %s missing %s (has %s)", list.Bundles[0].Name, f, files)
+		}
+	}
+
+	get := func(file string) string {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/debug/bundle?name=" + list.Bundles[0].Name + "&file=" + file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("bundle file %s: HTTP %d: %s", file, resp.StatusCode, b)
+		}
+		return string(b)
+	}
+	var meta struct {
+		Breaches []obs.Breach `json:"breaches"`
+	}
+	if err := json.Unmarshal([]byte(get("meta.json")), &meta); err != nil {
+		t.Fatal(err)
+	}
+	if len(meta.Breaches) == 0 || meta.Breaches[0].Rule != "ingest_p99_seconds" {
+		t.Fatalf("bundle breaches = %+v", meta.Breaches)
+	}
+	// statusz.json carries the node's own status (no cluster hook wired).
+	var stz struct {
+		Health json.RawMessage `json:"health"`
+	}
+	if err := json.Unmarshal([]byte(get("statusz.json")), &stz); err != nil || len(stz.Health) == 0 {
+		t.Fatalf("statusz.json health section missing (err=%v)", err)
+	}
+	if got := get("log.txt"); !strings.Contains(got, "line-2") {
+		t.Fatalf("log.txt = %q", got)
+	}
+	// Close is safe and stops the loop; Service.Close does it again.
+	wd.Close()
+}
+
+// TestWatchdogShedRateIsDeltaBased pins the rate-probe contract: a
+// historical shedding episode must not re-trip the recorder once
+// traffic is healthy again.
+func TestWatchdogShedRateIsDeltaBased(t *testing.T) {
+	svc := New(testConfig())
+	defer svc.Close()
+	probe := svc.shedRateProbe()
+
+	svc.tel.ingestShed.Inc()
+	svc.tel.ingestSeconds.Observe(0.001)
+	svc.tel.ingestSeconds.Observe(0.001)
+	if got := probe(); got != 0.5 {
+		t.Fatalf("shed rate = %v, want 0.5", got)
+	}
+	// Healthy interval: two more requests, no shedding.
+	svc.tel.ingestSeconds.Observe(0.001)
+	svc.tel.ingestSeconds.Observe(0.001)
+	if got := probe(); got != 0 {
+		t.Fatalf("shed rate after healthy interval = %v, want 0 (lifetime ratio leaked)", got)
+	}
+	// No traffic at all: defined as healthy, not NaN.
+	if got := probe(); got != 0 {
+		t.Fatalf("shed rate with no traffic = %v, want 0", got)
+	}
+}

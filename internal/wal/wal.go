@@ -134,6 +134,14 @@ type Stats struct {
 	AppendedBytes  uint64 // frame bytes appended over this WAL's lifetime
 }
 
+// TotalSegments is the segment-file count on disk: sealed plus the one
+// active append segment.
+func (s Stats) TotalSegments() int { return s.SealedSegments + 1 }
+
+// DiskBytes is the log's total on-disk footprint: sealed segments plus
+// the active append segment.
+func (s Stats) DiskBytes() int64 { return s.SealedBytes + s.ActiveBytes }
+
 // ReplayResult summarizes one Replay pass.
 type ReplayResult struct {
 	Segments     int    // sealed segments visited

@@ -4,7 +4,8 @@
 # requests and over binary batch frames (application/x-ddos-batch), runs
 # the server-side testing.B microbenchmarks for the allocs-per-record
 # numbers, and merges everything into BENCH_6.json
-# (schema: protocol -> rec/s, p50/p99 latency, allocs/record).
+# (schema: protocol -> rec/s, p50/p99 latency, allocs/record), stamped
+# with the build provenance (toolchain + commit) ddosload reports.
 #
 # Exits non-zero unless the binary wire's end-to-end rec/s beats the JSON
 # wire's by at least BENCH_MIN_SPEEDUP (default 1.0 — "binary must be
@@ -91,8 +92,7 @@ workdir, out, records, batch, min_speedup = (
 
 def load_report(wire):
     with open(f"{workdir}/report-{wire}.json") as f:
-        rep = json.load(f)["report"]
-    return rep
+        return json.load(f)
 
 # Both microbenchmarks process 64 records per op, so allocs/op / 64 is
 # allocs/record for each path.
@@ -107,8 +107,15 @@ for wire in ("json", "binary"):
     assert wire in allocs, f"bench.txt is missing the {wire} microbenchmark"
 
 protocols = {}
+build = None
 for wire, b in (("json", 1), ("binary", batch)):
-    rep = load_report(wire)
+    doc = load_report(wire)
+    rep = doc["report"]
+    # ddosload stamps each -json report with the build that produced it;
+    # carry that provenance into the archived artifact so numbers stay
+    # attributable to a commit and toolchain.
+    build = doc["provenance"]["build"]
+    assert build["go_version"], doc["provenance"]
     assert rep["errors"] == 0, f"{wire} run had {rep['errors']} errors"
     assert rep["accepted"] > 0, f"{wire} run accepted nothing"
     protocols[wire] = {
@@ -124,6 +131,7 @@ doc = {
     "bench": "ingest-wire",
     "issue": 6,
     "mode": "closed-loop",
+    "build": build,
     "records_per_protocol": records,
     "protocols": protocols,
     "binary_speedup": round(speedup, 2),
@@ -147,6 +155,10 @@ import json, re, sys
 workdir, out = sys.argv[1], sys.argv[2]
 BATCH = 64  # records per benchmarked request (see benchCluster)
 
+# Same checkout produced both stages: reuse the binary run's provenance.
+with open(f"{workdir}/report-binary.json") as f:
+    build = json.load(f)["provenance"]["build"]
+
 routes = {}
 with open(f"{workdir}/bench-cluster.txt") as f:
     for line in f:
@@ -167,6 +179,7 @@ direct = routes["direct"]["ns_per_op"]
 doc = {
     "bench": "cluster-routing",
     "issue": 7,
+    "build": build,
     "nodes": 2,
     "wire": "binary",
     "batch": BATCH,

@@ -10,10 +10,14 @@
 # run writes its machine-readable JSON report to $REPORT_OUT (default:
 # inside the temp workdir) so CI can archive it as an artifact.
 #
+# A watchdog stage then re-boots the daemon with the SLO flight recorder
+# armed on an unreachable ingest-p99 threshold and asserts a diagnostics
+# bundle materializes on disk and streams back over /debug/bundle.
+#
 # The final stage forms a 2-node cluster, sprays load across both
-# members, kill -9s one mid-load, promotes the survivor, and asserts
-# forecast continuity. Set SMOKE_CLUSTER_ONLY=1 to run just that stage
-# (the CI cluster lane does).
+# members, scrapes the /statusz fleet aggregation, kill -9s one node
+# mid-load, promotes the survivor, and asserts forecast continuity. Set
+# SMOKE_CLUSTER_ONLY=1 to run just that stage (the CI cluster lane does).
 set -euo pipefail
 
 workdir="$(mktemp -d)"
@@ -97,6 +101,33 @@ print("yes" if ok else "no")' | tail -n1
   done
   [[ "$drained" == "yes" ]] || { cat "$cdir/n1.log" "$cdir/n2.log"; echo "FAIL: replication never drained"; exit 1; }
   echo "==> cluster: replication drained"
+
+  # Fleet status: /statusz on n1 must aggregate both members — its own
+  # section marshaled locally, n2's fetched over the ring — mark the
+  # answering node, and carry per-peer build provenance; ?local=1 must
+  # answer the bare node section without fanning out.
+  curl -s "http://127.0.0.1:$port1/statusz" | python3 -c '
+import json, sys
+st = json.load(sys.stdin)
+assert st["node"] == "n1" and st["members"] == 2, st
+peers = {p["id"]: p for p in st["peers"]}
+assert set(peers) == {"n1", "n2"}, sorted(peers)
+assert peers["n1"].get("self") is True, peers["n1"]
+for name, p in peers.items():
+    assert not p.get("error"), p
+    assert p["status"]["health"]["status"] == "ok", name
+    assert p["status"]["build"]["go_version"], name
+assert any(r["peer"] == "n2" for r in st.get("replication") or []), st' \
+    || { cat "$cdir/n1.log"; echo "FAIL: /statusz fleet aggregation"; exit 1; }
+  curl -s "http://127.0.0.1:$port1/statusz?local=1" | python3 -c '
+import json, sys
+st = json.load(sys.stdin)
+assert "health" in st and "peers" not in st, sorted(st)' \
+    || { echo "FAIL: /statusz?local=1 answered a fleet document"; exit 1; }
+  # The fan-out just probed n2, so the peer-liveness gauge must read up.
+  curl -s "http://127.0.0.1:$port1/metrics" | grep -q 'ddosd_cluster_peer_up{peer="n2"} 1' \
+    || { echo "FAIL: ddosd_cluster_peer_up for n2 is not 1"; exit 1; }
+  echo "==> cluster: /statusz aggregates both members"
 
   # Fresh load through the survivor-to-be, then kill -9 the other node
   # mid-flight (proxied partitions to it will fail; -slo-errors -1 keeps
@@ -371,6 +402,72 @@ if "$workdir/bin/ddospredict" -snapshot "$workdir/models.snap" -target 429490000
   echo "FAIL: ddospredict exited zero for an unknown target"
   exit 1
 fi
+
+# SLO-breach flight recorder: boot a fresh ddosd with the watchdog armed
+# on an unreachable ingest-p99 SLO (1ns — any completed ingest breaches),
+# drive one record through, and require a diagnostics bundle to
+# materialize on disk and stream back over /debug/bundle.
+echo "==> watchdog: booting ddosd with a 1ns ingest-p99 SLO"
+"$workdir/bin/ddosd" -addr 127.0.0.1:0 \
+  -wal-dir "$workdir/wal-wd" -wal-fsync 50ms \
+  -watchdog-dir "$workdir/bundles" -watchdog-interval 250ms \
+  -watchdog-cooldown 1h -watchdog-cpu-profile 100ms \
+  -watchdog-p99 1ns >"$workdir/ddosd-wd.log" 2>&1 &
+daemon_pid=$!
+addr=""
+for _ in $(seq 1 120); do
+  addr="$(sed -n 's/^.*msg=listening .*addr=\([^ ]*\).*$/\1/p' "$workdir/ddosd-wd.log" | head -n1)"
+  [[ -n "$addr" ]] && break
+  kill -0 "$daemon_pid" 2>/dev/null || { cat "$workdir/ddosd-wd.log"; echo "ddosd died during watchdog boot"; exit 1; }
+  sleep 0.5
+done
+[[ -n "$addr" ]] || { cat "$workdir/ddosd-wd.log"; echo "ddosd with watchdog never started"; exit 1; }
+
+check watchdog-ingest "http://$addr/ingest" -X POST -d "{
+  \"id\": 90000002, \"family\": \"DirtJumper\",
+  \"start\": \"2012-12-01T14:10:00Z\", \"duration_sec\": 600,
+  \"target_as\": $target, \"bots\": [167772163]
+}"
+
+# meta.json is written last, so a bundle listing it is fully captured —
+# polling for the name alone races the in-flight cpu profile.
+bundle_name=""
+for _ in $(seq 1 120); do
+  bundle_name="$(curl -s "http://$addr/debug/bundle" | python3 -c '
+import json, sys
+d = json.load(sys.stdin)
+bs = d.get("bundles") or []
+print(bs[0]["name"] if bs and "meta.json" in bs[0]["files"] else "")')"
+  [[ -n "$bundle_name" ]] && break
+  kill -0 "$daemon_pid" 2>/dev/null || { cat "$workdir/ddosd-wd.log"; echo "ddosd died while the watchdog ran"; exit 1; }
+  sleep 0.25
+done
+[[ -n "$bundle_name" ]] || { cat "$workdir/ddosd-wd.log"; echo "FAIL: watchdog never captured a bundle"; exit 1; }
+[[ -d "$workdir/bundles/$bundle_name" ]] || { echo "FAIL: bundle $bundle_name not on disk"; ls "$workdir/bundles"; exit 1; }
+echo "==> watchdog captured $bundle_name"
+
+check watchdog-meta "http://$addr/debug/bundle?name=$bundle_name&file=meta.json"
+python3 - "$workdir/resp.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    meta = json.load(f)
+assert any(b["rule"] == "ingest_p99_seconds" for b in meta["breaches"]), meta["breaches"]
+assert meta["build"]["go_version"], meta
+EOF
+# The teed log ring must have carried the boot line into the bundle, and
+# the path-traversal guard must hold on the streaming endpoint.
+check watchdog-log "http://$addr/debug/bundle?name=$bundle_name&file=log.txt"
+grep -q 'msg=listening' "$workdir/resp.json" \
+  || { echo "FAIL: bundle log.txt missing the boot line"; exit 1; }
+if curl -s -o /dev/null -w '%{http_code}' \
+    "http://$addr/debug/bundle?name=$bundle_name&file=../../../etc/passwd" | grep -q '^200$'; then
+  echo "FAIL: /debug/bundle served a traversal path"
+  exit 1
+fi
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" 2>/dev/null || true
+daemon_pid=""
+echo "==> watchdog stage passed"
 
 cluster_stage
 
