@@ -99,6 +99,15 @@ func main() {
 		traceCap    = flag.Int("trace-capacity", 64, "/debug/traces ring size")
 		accWindow   = flag.Int("accuracy-window", 512, "sliding window of the online accuracy tracker")
 
+		refitIncr    = flag.Bool("refit-incremental", true, "fold new records into existing models instead of full re-estimation when eligible")
+		refitFullEvr = flag.Int("refit-full-every", 8, "force a full re-estimation after this many consecutive incremental refits")
+		refitDrift   = flag.Float64("refit-drift-ratio", 4, "residual degradation ratio beyond which an incremental refit falls back to full")
+		refitVerdict = flag.Bool("refit-verdict-filter", false, "exclude detector-alerted records from fit windows (needs -detect)")
+		maxTargets   = flag.Int("max-targets", 0, "state-store target cap; over it, the least-recently-ingested target is evicted (0 = unbounded)")
+		promoWindow  = flag.Int("promo-window", 64, "per-target accuracy window for champion/challenger promotion")
+		promoMinSamp = flag.Int("promo-min-samples", 16, "scored arrivals a challenger needs before promotion")
+		promoMargin  = flag.Float64("promo-margin", 0.05, "relative improvement a challenger must show over the incumbent")
+
 		detectOn      = flag.Bool("detect", false, "enable the streaming detection tier (/alerts, ddosd_detect_*, per-record verdicts)")
 		detectTrigger = flag.Float64("detect-trigger", 4, "rate alert trigger: window count over this multiple of the EWMA baseline")
 		detectClear   = flag.Float64("detect-clear", 1.5, "rate alert clear: window count back under this multiple of the baseline (hysteresis)")
@@ -121,13 +130,13 @@ func main() {
 		wdReplLag   = flag.Int("watchdog-repl-lag", 0, "breach when replication lag exceeds this many segments (0 = rule off)")
 		wdAlertRate = flag.Float64("watchdog-alert-rate", 0, "breach when the detector raises more alerts per minute than this (0 = rule off)")
 
-		walDir        = flag.String("wal-dir", "", "write-ahead log directory for durable ingest + crash recovery (empty = disabled)")
-		walFsync      = flag.String("wal-fsync", "always", "WAL fsync policy: always, never, or a batching interval like 50ms")
-		walSegBytes   = flag.Int64("wal-segment-bytes", 0, "WAL segment rotation threshold in bytes (0 = 16 MiB)")
-		maxIngest     = flag.Int64("max-ingest-bytes", 8<<20, "per-request /ingest body cap in bytes (over-limit = 413)")
-		readHdrTO     = flag.Duration("read-header-timeout", 5*time.Second, "http server read-header timeout (slowloris guard)")
-		readTO        = flag.Duration("read-timeout", 60*time.Second, "http server read timeout for the full request")
-		idleTO        = flag.Duration("idle-timeout", 120*time.Second, "http server keep-alive idle timeout")
+		walDir      = flag.String("wal-dir", "", "write-ahead log directory for durable ingest + crash recovery (empty = disabled)")
+		walFsync    = flag.String("wal-fsync", "always", "WAL fsync policy: always, never, or a batching interval like 50ms")
+		walSegBytes = flag.Int64("wal-segment-bytes", 0, "WAL segment rotation threshold in bytes (0 = 16 MiB)")
+		maxIngest   = flag.Int64("max-ingest-bytes", 8<<20, "per-request /ingest body cap in bytes (over-limit = 413)")
+		readHdrTO   = flag.Duration("read-header-timeout", 5*time.Second, "http server read-header timeout (slowloris guard)")
+		readTO      = flag.Duration("read-timeout", 60*time.Second, "http server read timeout for the full request")
+		idleTO      = flag.Duration("idle-timeout", 120*time.Second, "http server keep-alive idle timeout")
 	)
 	flag.Parse()
 	// With the watchdog armed, the log stream tees through a ring so a
@@ -197,6 +206,15 @@ func main() {
 		AccuracyWindow: *accWindow,
 		MaxBatchBytes:  *maxIngest,
 		Detect:         detectCfg,
+
+		IncrementalRefit:   *refitIncr,
+		FullRefitEvery:     *refitFullEvr,
+		DriftRatio:         *refitDrift,
+		RefitVerdictFilter: *refitVerdict,
+		MaxTargets:         *maxTargets,
+		PromoWindow:        *promoWindow,
+		PromoMinSamples:    *promoMinSamp,
+		PromoMargin:        *promoMargin,
 	}); err != nil {
 		logger.Error("exiting", "component", "daemon", "error", err)
 		os.Exit(1)

@@ -1,0 +1,101 @@
+package nn
+
+import (
+	"errors"
+
+	"repro/internal/timeseries"
+)
+
+// ErrDrift is returned by WarmRefit when the frozen network's one-step
+// errors over the new observations degrade past the caller's threshold —
+// the signal that the topology/weights from the previous generation no
+// longer describe the process and a full grid-searched refit is due.
+var ErrDrift = errors.New("nn: new observations drifted past threshold")
+
+// Clone returns a deep copy of the network; weights share no memory with
+// the receiver.
+func (n *Network) Clone() *Network {
+	if n == nil {
+		return nil
+	}
+	c := &Network{
+		In:     n.In,
+		Hidden: n.Hidden,
+		Act:    n.Act,
+		W1:     make([][]float64, n.Hidden),
+		B1:     append([]float64(nil), n.B1...),
+		W2:     append([]float64(nil), n.W2...),
+		B2:     n.B2,
+	}
+	for h, row := range n.W1 {
+		c.W1[h] = append([]float64(nil), row...)
+	}
+	return c
+}
+
+// Clone returns a deep copy of the NAR model (network weights, scaler, and
+// walk-forward tail). Incremental refits clone the previous generation
+// before warm re-training so the published model stays immutable under
+// concurrent readers.
+func (m *NAR) Clone() *NAR {
+	if m == nil {
+		return nil
+	}
+	c := &NAR{
+		Delays: m.Delays,
+		net:    m.net.Clone(),
+		tail:   append([]float64(nil), m.tail...),
+	}
+	if m.scaler != nil {
+		s := *m.scaler
+		c.scaler = &s
+	}
+	return c
+}
+
+// WarmRefit folds newly observed values (original scale) into a copy of
+// the model: it keeps the grid-searched topology and scaler from the
+// previous generation, builds lag rows only for the new observations —
+// O(len(xs)) instead of O(window) — and re-trains the network for a few
+// warm-started epochs from the previous weights.
+//
+// Before training it runs the drift diagnostic on the frozen weights: if
+// the mean squared one-step error over the new rows (standardized scale)
+// exceeds maxRatio — measured against the unit variance of the
+// standardized training series — the previous generation has stopped
+// describing the process and ErrDrift is returned, signalling the caller
+// to fall back to a full refit. A maxRatio <= 0 disables the diagnostic.
+//
+// The receiver is never mutated.
+func (m *NAR) WarmRefit(xs []float64, epochs int, maxRatio float64) (*NAR, error) {
+	c := m.Clone()
+	if len(xs) == 0 {
+		return c, nil
+	}
+	if epochs <= 0 {
+		epochs = 40
+	}
+	// The walk-forward tail holds the Delays standardized values preceding
+	// the new observations, so the extended series yields exactly one lag
+	// row per new value.
+	ext := append(append([]float64(nil), c.tail...), c.scaler.Transform(xs)...)
+	rows, ys, err := timeseries.LagMatrix(ext, c.Delays)
+	if err != nil {
+		return nil, err
+	}
+	if maxRatio > 0 {
+		var sse float64
+		for i, row := range rows {
+			d := c.net.Predict(row) - ys[i]
+			sse += d * d
+		}
+		if sse/float64(len(rows)) > maxRatio {
+			return nil, ErrDrift
+		}
+	}
+	if _, err := c.net.Train(rows, ys, &TrainConfig{Epochs: epochs}); err != nil {
+		return nil, err
+	}
+	c.tail = ext[len(ext)-c.Delays:]
+	return c, nil
+}

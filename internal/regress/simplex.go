@@ -1,0 +1,133 @@
+package regress
+
+import (
+	"errors"
+	"math"
+)
+
+// SimplexModel is a convex combination y ≈ Σ Weights[j] * x[j] with
+// Weights on the probability simplex (each >= 0, summing to 1). The
+// serving layer's stacked ensemble uses it to blend the temporal, spatial,
+// and spatiotemporal forecasts per measure: the simplex constraint keeps
+// the blend an interpolation of the component forecasts — it can never
+// extrapolate outside their convex hull, so a wild component can be voted
+// down to weight zero but never amplified.
+type SimplexModel struct {
+	Weights []float64
+	// MSE is the mean squared error on the training data.
+	MSE float64
+	// N is the number of training observations.
+	N int
+}
+
+// Predict evaluates the combination on x (shorter inputs are zero-padded,
+// longer ones truncated).
+func (m *SimplexModel) Predict(x []float64) float64 {
+	var y float64
+	for j, w := range m.Weights {
+		if j < len(x) {
+			y += w * x[j]
+		}
+	}
+	return y
+}
+
+// FitSimplex solves min ‖y − Xw‖² subject to w >= 0 and Σw = 1 with
+// deterministic exponentiated-gradient descent (a multiplicative-weights
+// update that keeps every iterate on the simplex). Rows with any
+// non-finite entry are skipped; NaN targets are skipped too, so callers
+// can feed walk-forward samples where some component had no prediction.
+func FitSimplex(rows [][]float64, ys []float64, iters int) (*SimplexModel, error) {
+	if len(rows) == 0 || len(rows) != len(ys) {
+		return nil, ErrNoData
+	}
+	p := len(rows[0])
+	if p == 0 {
+		return nil, errors.New("regress: simplex fit needs at least one column")
+	}
+	if iters <= 0 {
+		iters = 200
+	}
+	xs := make([][]float64, 0, len(rows))
+	ts := make([]float64, 0, len(ys))
+	var scale float64 // largest |entry|, for the learning-rate normalizer
+rows:
+	for i, row := range rows {
+		if len(row) != p {
+			return nil, errors.New("regress: ragged design matrix")
+		}
+		if math.IsNaN(ys[i]) || math.IsInf(ys[i], 0) {
+			continue
+		}
+		for _, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue rows
+			}
+			if a := math.Abs(v); a > scale {
+				scale = a
+			}
+		}
+		if a := math.Abs(ys[i]); a > scale {
+			scale = a
+		}
+		xs = append(xs, row)
+		ts = append(ts, ys[i])
+	}
+	if len(xs) == 0 {
+		return nil, ErrNoData
+	}
+	if scale == 0 {
+		scale = 1
+	}
+	// Uniform start; the multiplicative update preserves positivity and
+	// the normalization step keeps Σw = 1 exactly.
+	w := make([]float64, p)
+	for j := range w {
+		w[j] = 1 / float64(p)
+	}
+	grad := make([]float64, p)
+	eta := 0.5 / (scale * scale) // conservative step for g = 2 Xᵀ(Xw−y)/n
+	n := float64(len(xs))
+	for it := 0; it < iters; it++ {
+		for j := range grad {
+			grad[j] = 0
+		}
+		for i, row := range xs {
+			r := -ts[i]
+			for j, v := range row {
+				r += w[j] * v
+			}
+			for j, v := range row {
+				grad[j] += 2 * r * v / n
+			}
+		}
+		var sum float64
+		for j := range w {
+			g := eta * grad[j]
+			// Clamp the exponent so one outlier row cannot zero a weight
+			// irrecoverably in a single step.
+			if g > 20 {
+				g = 20
+			} else if g < -20 {
+				g = -20
+			}
+			w[j] *= math.Exp(-g)
+			sum += w[j]
+		}
+		if sum <= 0 || math.IsNaN(sum) || math.IsInf(sum, 0) {
+			return nil, errors.New("regress: simplex fit diverged")
+		}
+		for j := range w {
+			w[j] /= sum
+		}
+	}
+	var sse float64
+	for i, row := range xs {
+		r := -ts[i]
+		for j, v := range row {
+			r += w[j] * v
+		}
+		sse += r * r
+	}
+	return &SimplexModel{Weights: w, MSE: sse / n, N: len(xs)}, nil
+}

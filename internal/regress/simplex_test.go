@@ -1,0 +1,96 @@
+package regress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestEnsembleSimplexRecoversMixture(t *testing.T) {
+	// y is an exact convex combination of three columns; the solver must
+	// recover the mixing weights.
+	rng := rand.New(rand.NewSource(42))
+	want := []float64{0.6, 0.3, 0.1}
+	rows := make([][]float64, 400)
+	ys := make([]float64, 400)
+	for i := range rows {
+		row := []float64{rng.NormFloat64() * 10, rng.NormFloat64() * 10, rng.NormFloat64() * 10}
+		rows[i] = row
+		for j, w := range want {
+			ys[i] += w * row[j]
+		}
+	}
+	m, err := FitSimplex(rows, ys, 500)
+	if err != nil {
+		t.Fatalf("FitSimplex: %v", err)
+	}
+	var sum float64
+	for j, w := range m.Weights {
+		sum += w
+		if w < 0 {
+			t.Fatalf("negative weight %v at %d", w, j)
+		}
+		if d := math.Abs(w - want[j]); d > 0.05 {
+			t.Fatalf("weight %d = %v, want %v (weights %v)", j, w, want[j], m.Weights)
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("weights sum to %v, want 1", sum)
+	}
+	if m.MSE > 1e-2 {
+		t.Fatalf("MSE %v too high for an exact mixture", m.MSE)
+	}
+}
+
+func TestEnsembleSimplexDownweightsBadColumn(t *testing.T) {
+	// Column 0 is the target plus small noise; column 1 is garbage. The
+	// garbage column must end up with (near) zero weight — never negative,
+	// never amplified.
+	rng := rand.New(rand.NewSource(7))
+	rows := make([][]float64, 300)
+	ys := make([]float64, 300)
+	for i := range rows {
+		y := 100 + rng.NormFloat64()*5
+		rows[i] = []float64{y + rng.NormFloat64(), rng.NormFloat64() * 1000}
+		ys[i] = y
+	}
+	m, err := FitSimplex(rows, ys, 500)
+	if err != nil {
+		t.Fatalf("FitSimplex: %v", err)
+	}
+	if m.Weights[0] < 0.95 {
+		t.Fatalf("good column weight %v, want ~1 (weights %v)", m.Weights[0], m.Weights)
+	}
+}
+
+func TestEnsembleSimplexSkipsNonFiniteSamples(t *testing.T) {
+	rows := [][]float64{
+		{1, 2}, {math.NaN(), 2}, {3, 4}, {5, math.Inf(1)}, {5, 6},
+	}
+	ys := []float64{1.5, 2, 3.5, 4, math.NaN()}
+	m, err := FitSimplex(rows, ys, 100)
+	if err != nil {
+		t.Fatalf("FitSimplex: %v", err)
+	}
+	if m.N != 2 { // only rows 0 and 2 are fully finite with finite targets
+		t.Fatalf("N = %d, want 2", m.N)
+	}
+	if math.IsNaN(m.Predict([]float64{1, 2})) {
+		t.Fatalf("prediction is NaN")
+	}
+}
+
+func TestEnsembleSimplexDeterministic(t *testing.T) {
+	rows := [][]float64{{1, 2}, {2, 1}, {4, 3}, {3, 5}}
+	ys := []float64{1.4, 1.6, 3.6, 3.9}
+	a, err := FitSimplex(rows, ys, 300)
+	if err != nil {
+		t.Fatalf("FitSimplex: %v", err)
+	}
+	b, _ := FitSimplex(rows, ys, 300)
+	for j := range a.Weights {
+		if a.Weights[j] != b.Weights[j] {
+			t.Fatalf("non-deterministic weights: %v vs %v", a.Weights, b.Weights)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/regress"
+)
+
+// The stacked ensemble (DESIGN.md §15): instead of hard-picking the
+// spatiotemporal tree whenever it engages, a per-measure combiner is
+// learned over the component forecasts on the same walk-forward samples
+// the tree trains on. Each combiner is a constrained least squares fit on
+// the probability simplex (weights >= 0, summing to 1), so the blend
+// interpolates the component forecasts — a wildly wrong component can be
+// voted down to weight zero but never amplified. The Gupta et al. survey
+// in PAPERS.md ranks regression families per regime; the simplex weights
+// are the online estimate of exactly that ranking, per target.
+
+// Ensemble is a target's per-measure stacked combiner. Column order per
+// measure is fixed (documented per field) so serialized weights stay
+// meaningful across generations. A nil measure means that combiner could
+// not be fit (degenerate holdout); the champion logic then never selects
+// the ensemble for it.
+type Ensemble struct {
+	// Mag blends [temporal magnitude, st magnitude].
+	Mag *regress.SimplexModel `json:"mag,omitempty"`
+	// Dur blends [spatial duration, st duration].
+	Dur *regress.SimplexModel `json:"dur,omitempty"`
+	// Hour blends [temporal hour, spatial hour, st hour].
+	Hour *regress.SimplexModel `json:"hour,omitempty"`
+	// Day blends [temporal day, spatial day, st day].
+	Day *regress.SimplexModel `json:"day,omitempty"`
+}
+
+// ready reports whether any measure has a fitted combiner.
+func (e *Ensemble) ready() bool {
+	return e != nil && (e.Mag != nil || e.Dur != nil || e.Hour != nil || e.Day != nil)
+}
+
+const (
+	// ensMinSamples is the fewest walk-forward samples before an ensemble
+	// is attempted: the first ensHoldFrac trains the throwaway tree that
+	// produces honest ST predictions, the remainder fits the weights.
+	ensMinSamples = 2 * stMinSamples
+	ensHoldFrac   = 0.5
+	ensIters      = 300
+)
+
+// fitEnsemble learns the per-measure combiners from the walk-forward
+// samples fitSTModels collected. The ST column must be *honest*: the
+// final tree saw every sample, so predicting its own training rows would
+// leak. A throwaway tree fit on the leading fraction supplies
+// out-of-sample ST predictions for the rest, mirroring how the serving
+// tree sees future arrivals. Returns nil when there is not enough holdout
+// or no measure admits a fit.
+func fitEnsemble(samples []core.STSample, cfg Config) *Ensemble {
+	if len(samples) < ensMinSamples {
+		return nil
+	}
+	split := int(ensHoldFrac * float64(len(samples)))
+	hold, err := core.FitSpatiotemporal(samples[:split], cfg.ST)
+	if err != nil {
+		return nil
+	}
+	n := len(samples) - split
+	magRows := make([][]float64, 0, n)
+	durRows := make([][]float64, 0, n)
+	hourRows := make([][]float64, 0, n)
+	dayRows := make([][]float64, 0, n)
+	mags := make([]float64, 0, n)
+	durs := make([]float64, 0, n)
+	hours := make([]float64, 0, n)
+	days := make([]float64, 0, n)
+	for i := split; i < len(samples); i++ {
+		s := &samples[i]
+		stMag := math.Max(0, hold.PredictMagnitude(&s.F))
+		stDur := math.Max(0, hold.PredictDuration(&s.F))
+		magRows = append(magRows, []float64{math.Max(0, s.F.TmpMag), stMag})
+		durRows = append(durRows, []float64{math.Max(0, s.F.SpaDur), stDur})
+		hourRows = append(hourRows, []float64{s.F.TmpHour, s.F.SpaHour, hold.PredictHour(&s.F)})
+		dayRows = append(dayRows, []float64{s.F.TmpDay, s.F.SpaDay, hold.PredictDay(&s.F)})
+		mags = append(mags, s.Mag)
+		durs = append(durs, s.Dur)
+		hours = append(hours, s.Hour)
+		days = append(days, s.Day)
+	}
+	e := &Ensemble{}
+	e.Mag, _ = regress.FitSimplex(magRows, mags, ensIters)
+	e.Dur, _ = regress.FitSimplex(durRows, durs, ensIters)
+	e.Hour, _ = regress.FitSimplex(hourRows, hours, ensIters)
+	e.Day, _ = regress.FitSimplex(dayRows, days, ensIters)
+	if !e.ready() {
+		return nil
+	}
+	return e
+}

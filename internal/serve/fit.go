@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -24,17 +25,19 @@ func fitTarget(as astopo.AS, window []trace.Attack, total uint64, gen uint64, cf
 	if len(window) < cfg.MinWindow {
 		return nil, fmt.Errorf("serve: AS%d window %d below minimum %d", as, len(window), cfg.MinWindow)
 	}
-	family := dominantFamily(window)
+	fitWin, filtered := filterVerdicts(window, cfg)
+	family := dominantFamily(fitWin)
 
 	// Spatiotemporal stage first: it fits throwaway prefix models, and a
-	// failure here only disables the tree, never the whole target.
-	st := fitSTModels(as, window, cfg)
+	// failure here only disables the tree (and its stacked ensemble),
+	// never the whole target.
+	st, ens := fitSTModels(as, fitWin, cfg)
 
-	tm, err := core.FitTemporal(family, window, cfg.Temporal)
+	tm, err := core.FitTemporal(family, fitWin, cfg.Temporal)
 	if err != nil {
 		return nil, fmt.Errorf("serve: AS%d temporal: %w", as, err)
 	}
-	sm, err := core.FitSpatial(as, window, spatialCfg(as, cfg))
+	sm, err := core.FitSpatial(as, fitWin, spatialCfg(as, cfg))
 	if err != nil {
 		return nil, fmt.Errorf("serve: AS%d spatial: %w", as, err)
 	}
@@ -44,11 +47,119 @@ func fitTarget(as astopo.AS, window []trace.Attack, total uint64, gen uint64, cf
 		Temporal:   tm,
 		Spatial:    sm,
 		ST:         st,
+		Ensemble:   ens,
+		Ctx:        contextFromWindow(fitWin),
+		Window:     len(window),
+		Total:      total,
+		Generation: gen,
+		FittedAt:   time.Now().UTC(),
+		Prov:       Provenance{Refit: refitFull, FilteredRecords: filtered},
+	}, nil
+}
+
+// filterVerdicts drops detector-alerted records from a fit window when the
+// verdict filter is on (-refit-verdict-filter): the baseline-regime models
+// should not learn burst traffic the detection tier already flagged as
+// anomalous. The filter is conservative — it only engages when enough
+// clean records remain (at least MinWindow and at least half the window),
+// otherwise the full window fits as before. Returns the window to fit on
+// and how many records were excluded.
+func filterVerdicts(window []trace.Attack, cfg Config) ([]trace.Attack, int) {
+	if !cfg.RefitVerdictFilter {
+		return window, 0
+	}
+	clean := 0
+	for i := range window {
+		if window[i].Verdict == 0 {
+			clean++
+		}
+	}
+	if clean == len(window) || clean < cfg.MinWindow || clean < len(window)/2 {
+		return window, 0
+	}
+	out := make([]trace.Attack, 0, clean)
+	for i := range window {
+		if window[i].Verdict == 0 {
+			out = append(out, window[i])
+		}
+	}
+	return out, len(window) - clean
+}
+
+// warmEpochs is the per-series RPROP budget of an incremental spatial
+// refit: enough to fold a short tail into warm-started weights, far below
+// the full grid search's per-candidate cost.
+const warmEpochs = 40
+
+// errNotEligible marks windows the incremental path must decline (the
+// scheduler then falls back to a full refit without counting an error).
+var errNotEligible = errors.New("serve: window not eligible for incremental refit")
+
+// fitTargetIncremental folds only the records that arrived since the
+// previous generation into clones of its models — O(new records) instead
+// of O(window) — keeping the previous spatiotemporal tree and ensemble
+// (they are re-estimated on the periodic full refit). Eligibility is
+// strict: there must be a genuinely small in-order tail, the family must
+// be stable, and the per-series drift diagnostics must stay quiet;
+// anything else returns an error and the caller runs the full fit.
+func fitTargetIncremental(prev *TargetModels, as astopo.AS, window []trace.Attack, total uint64, gen uint64, cfg Config) (*TargetModels, error) {
+	if prev == nil || len(window) < cfg.MinWindow {
+		return nil, errNotEligible
+	}
+	if prev.Prov.IncrSinceFull >= cfg.FullRefitEvery-1 {
+		return nil, fmt.Errorf("%w: %d incremental generations since last full", errNotEligible, prev.Prov.IncrSinceFull)
+	}
+	newCount := int(total - prev.Total)
+	if newCount <= 0 || newCount > len(window)/2 {
+		return nil, errNotEligible
+	}
+	tail := window[len(window)-newCount:]
+	// Out-of-order arrivals break the "tail == new records" equivalence;
+	// decline rather than fold records the previous fit already saw.
+	if prev.FittedAt.IsZero() || tail[0].Start.Before(window[0].Start) {
+		return nil, errNotEligible
+	}
+	if cfg.RefitVerdictFilter {
+		clean := tail[:0:0]
+		for i := range tail {
+			if tail[i].Verdict == 0 {
+				clean = append(clean, tail[i])
+			}
+		}
+		if len(clean) == 0 {
+			return nil, fmt.Errorf("%w: tail entirely alerted", errNotEligible)
+		}
+		tail = clean
+	}
+	if dominantFamily(window) != prev.Family {
+		return nil, fmt.Errorf("%w: dominant family changed", errNotEligible)
+	}
+	tm, err := core.IncrementalTemporal(prev.Temporal, tail, cfg.DriftRatio)
+	if err != nil {
+		return nil, fmt.Errorf("serve: AS%d incremental temporal: %w", as, err)
+	}
+	sm, err := core.IncrementalSpatial(prev.Spatial, tail, warmEpochs, cfg.DriftRatio)
+	if err != nil {
+		return nil, fmt.Errorf("serve: AS%d incremental spatial: %w", as, err)
+	}
+	return &TargetModels{
+		AS:         as,
+		Family:     prev.Family,
+		Temporal:   tm,
+		Spatial:    sm,
+		ST:         prev.ST,       // immutable; re-fit on the next full refit
+		Ensemble:   prev.Ensemble, // immutable; re-fit on the next full refit
 		Ctx:        contextFromWindow(window),
 		Window:     len(window),
 		Total:      total,
 		Generation: gen,
 		FittedAt:   time.Now().UTC(),
+		Prov: Provenance{
+			Refit:          refitIncremental,
+			BaseGeneration: prev.Generation,
+			FoldedRecords:  len(tail),
+			IncrSinceFull:  prev.Prov.IncrSinceFull + 1,
+		},
 	}, nil
 }
 
@@ -137,27 +248,28 @@ func contextFromWindow(window []trace.Attack) STContext {
 // fitSTModels grows the target's model trees by the walk-forward protocol:
 // fit components on the leading stFitFrac of the window, then walk the
 // remainder recording component predictions and target context as features
-// with the realized attack as label. Returns nil when the window is too
-// short or any stage fails — the target then serves component forecasts.
+// with the realized attack as label. The same walk-forward samples feed the
+// stacked ensemble combiners. Returns nils when the window is too short or
+// any stage fails — the target then serves component forecasts.
 const (
 	stFitFrac    = 0.6
 	stMinWindow  = 24
 	stMinSamples = 10
 )
 
-func fitSTModels(as astopo.AS, window []trace.Attack, cfg Config) *core.Spatiotemporal {
+func fitSTModels(as astopo.AS, window []trace.Attack, cfg Config) (*core.Spatiotemporal, *Ensemble) {
 	if len(window) < stMinWindow || len(window) < cfg.MinSTWindow {
-		return nil
+		return nil, nil
 	}
 	fitEnd := int(stFitFrac * float64(len(window)))
 	prefix := window[:fitEnd]
 	tm, err := core.FitTemporal(dominantFamily(prefix), prefix, cfg.Temporal)
 	if err != nil {
-		return nil
+		return nil, nil
 	}
 	sm, err := core.FitSpatial(as, prefix, spatialCfg(as, cfg))
 	if err != nil {
-		return nil
+		return nil, nil
 	}
 	var ctx targetCtx
 	for i := range prefix {
@@ -193,11 +305,11 @@ func fitSTModels(as astopo.AS, window []trace.Attack, cfg Config) *core.Spatiote
 		ctx.observe(a)
 	}
 	if len(samples) < stMinSamples {
-		return nil
+		return nil, nil
 	}
 	st, err := core.FitSpatiotemporal(samples, cfg.ST)
 	if err != nil {
-		return nil
+		return nil, nil
 	}
-	return st
+	return st, fitEnsemble(samples, cfg)
 }

@@ -46,6 +46,10 @@ func TestMetricsGoldenExposition(t *testing.T) {
 	tel.refitLag.Set(3)
 	tel.targetsKnown.Set(16)
 	tel.targetsServed.Set(14)
+	tel.targetsEvicted.Add(2)
+	tel.refitIncremental.Add(45)
+	tel.promotions.With(ModelEnsemble).Add(3)
+	tel.promotions.With(ModelTemporal).Inc()
 	for _, v := range []float64{0.0002, 0.004} {
 		tel.observeStage(StageIngest, v)
 	}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -44,6 +45,11 @@ type TargetModels struct {
 	Temporal *core.Temporal       `json:"temporal"`
 	Spatial  *core.Spatial        `json:"spatial"`
 	ST       *core.Spatiotemporal `json:"st,omitempty"`
+	Ensemble *Ensemble            `json:"ensemble,omitempty"`
+
+	// Prov records how this generation was produced (full vs incremental
+	// refit, verdict filtering) and the champion composition it serves.
+	Prov Provenance `json:"prov"`
 
 	Ctx        STContext `json:"ctx"`
 	Window     int       `json:"window"`     // records the fit consumed
@@ -64,14 +70,17 @@ type TargetModels struct {
 }
 
 // scorePreds is one generation's frozen point forecast per model kind:
-// the temporal and spatial components and the served (spatiotemporal
-// when the tree engaged, component composition otherwise) prediction.
-// NaN marks measures a component does not predict.
+// the temporal and spatial components, the spatiotemporal composition
+// (the CART tree when engaged, component composition otherwise), and the
+// stacked ensemble blend. NaN marks measures a kind does not predict
+// (the accuracy tracker skips NaN measures).
 type scorePreds struct {
 	TmpMag, TmpHour, TmpDay float64
 	SpaDur, SpaHour, SpaDay float64
 	STMag, STDur            float64
 	STHour, STDay           float64
+	EnsMag, EnsDur          float64
+	EnsHour, EnsDay         float64
 }
 
 // preds computes (once per generation) and returns the cached score
@@ -119,7 +128,65 @@ func (tm *TargetModels) computePreds() scorePreds {
 		p.STDur = max(0, tm.ST.PredictDuration(&f))
 		p.STMag = max(0, tm.ST.PredictMagnitude(&f))
 	}
+	// The ensemble blends component forecasts per measure (column orders
+	// documented on Ensemble); measures without a fitted combiner stay NaN
+	// and are skipped by scoring and by the serving composition's fallback.
+	nan := math.NaN()
+	p.EnsMag, p.EnsDur, p.EnsHour, p.EnsDay = nan, nan, nan, nan
+	if e := tm.Ensemble; e != nil {
+		if e.Mag != nil {
+			p.EnsMag = max(0, e.Mag.Predict([]float64{max(0, p.TmpMag), p.STMag}))
+		}
+		if e.Dur != nil {
+			p.EnsDur = max(0, e.Dur.Predict([]float64{max(0, p.SpaDur), p.STDur}))
+		}
+		if e.Hour != nil {
+			p.EnsHour = e.Hour.Predict([]float64{p.TmpHour, p.SpaHour, p.STHour})
+		}
+		if e.Day != nil {
+			p.EnsDay = e.Day.Predict([]float64{p.TmpDay, p.SpaDay, p.STDay})
+		}
+	}
 	return p
+}
+
+// servedMeasure picks a kind's prediction for one measure, falling back to
+// the ST composition when the champion kind does not predict it (NaN).
+func pick(champion string, tmp, spa, st, ens float64) float64 {
+	var v float64
+	switch champion {
+	case ModelTemporal:
+		v = tmp
+	case ModelSpatial:
+		v = spa
+	case ModelEnsemble:
+		v = ens
+	default:
+		v = st
+	}
+	if math.IsNaN(v) {
+		return st
+	}
+	return v
+}
+
+// served composes the forecast actually answered to clients: per measure,
+// the champion kind's prediction with ST fallback. With zero-value
+// champions this is exactly the pre-promotion ST composition.
+type servedPreds struct {
+	Magnitude, DurationSec, Hour, Day float64
+}
+
+func (tm *TargetModels) served() servedPreds {
+	p := tm.preds()
+	c := tm.Prov.Champions
+	nan := math.NaN()
+	return servedPreds{
+		Magnitude:   pick(champOr(c.Magnitude), max(0, p.TmpMag), nan, p.STMag, p.EnsMag),
+		DurationSec: pick(champOr(c.Duration), nan, max(0, p.SpaDur), p.STDur, p.EnsDur),
+		Hour:        pick(champOr(c.Timestamp), p.TmpHour, p.SpaHour, p.STHour, p.EnsHour),
+		Day:         pick(champOr(c.Timestamp), p.TmpDay, p.SpaDay, p.STDay, p.EnsDay),
+	}
 }
 
 // STContext is the target-local feature context frozen at fit time (the
@@ -150,6 +217,10 @@ type Forecast struct {
 	Magnitude   float64   `json:"magnitude"`
 
 	Models ForecastModels `json:"models"`
+
+	// Provenance exposes how the serving generation was produced and which
+	// champion kind answers each measure.
+	Provenance *Provenance `json:"provenance,omitempty"`
 }
 
 // ForecastModels carries the per-engine descriptors (which engine engaged,
@@ -206,6 +277,13 @@ func (r *Registry) Forecast(as astopo.AS) (*Forecast, error) {
 		return nil, fmt.Errorf("%w AS%d", ErrUnknownTarget, as)
 	}
 	t, s := tm.Temporal, tm.Spatial
+	sp := tm.served()
+	prov := tm.Prov
+	prov.Champions = Champions{
+		Magnitude: champOr(prov.Champions.Magnitude),
+		Duration:  champOr(prov.Champions.Duration),
+		Timestamp: champOr(prov.Champions.Timestamp),
+	}
 	fc := &Forecast{
 		TargetAS:        as,
 		Family:          tm.Family,
@@ -216,39 +294,39 @@ func (r *Registry) Forecast(as astopo.AS) (*Forecast, error) {
 		FittedAt:        tm.FittedAt,
 		NextStart:       t.PredictNextStart(),
 		IntervalSec:     max(0, t.PredictInterval()),
-		Hour:            t.PredictHour(),
-		Day:             t.PredictDay(),
-		DurationSec:     max(0, s.PredictDuration()),
-		Magnitude:       max(0, t.PredictMagnitude()),
+		Hour:            sp.Hour,
+		Day:             sp.Day,
+		DurationSec:     sp.DurationSec,
+		Magnitude:       sp.Magnitude,
 		Models: ForecastModels{
 			Temporal: t.Describe(),
 			Spatial:  s.Describe(),
 		},
+		Provenance: &prov,
 	}
 	if tm.ST != nil {
-		f := core.STFeatures{
-			TmpHour:     t.PredictHour(),
-			TmpDay:      t.PredictDay(),
-			TmpInterval: t.PredictInterval(),
-			TmpMag:      t.PredictMagnitude(),
-			SpaHour:     s.PredictHour(),
-			SpaDay:      s.PredictDay(),
-			SpaDur:      s.PredictDuration(),
-			PrevHour:    tm.Ctx.PrevHour,
-			PrevDay:     tm.Ctx.PrevDay,
-			PrevGapSec:  tm.Ctx.PrevGapSec,
-			NextDueDay:  tm.Ctx.NextDueDay,
-			AvgMag:      tm.Ctx.AvgMag,
-			TargetAS:    float64(as),
-		}
-		fc.Hour = tm.ST.PredictHour(&f)
-		fc.Day = tm.ST.PredictDay(&f)
-		fc.DurationSec = max(0, tm.ST.PredictDuration(&f))
-		fc.Magnitude = max(0, tm.ST.PredictMagnitude(&f))
 		info := tm.ST.Describe()
 		fc.Models.Spatiotemporal = &info
 	}
 	return fc, nil
+}
+
+// Drop removes a target from the published snapshot (state-store eviction
+// under -max-targets). No-op when the target is not published.
+func (r *Registry) Drop(as astopo.AS) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := r.snap.Load()
+	if _, ok := old.models[as]; !ok {
+		return
+	}
+	models := make(map[astopo.AS]*TargetModels, len(old.models)-1)
+	for k, tm := range old.models {
+		if k != as {
+			models[k] = tm
+		}
+	}
+	r.snap.Store(&snapshot{version: old.version + 1, models: models})
 }
 
 // Publish swaps a new snapshot in that carries every existing target plus
@@ -320,7 +398,14 @@ func (r *Registry) ReadSnapshot(r2 io.Reader) error {
 			break
 		}
 	}
-	r.snap.Store(&snapshot{version: file.Version, models: models})
+	// The published version must stay monotone even when loading a stale
+	// file: readers (and the cluster replicator) treat version as a
+	// monotone clock, exactly like the generation clamp above.
+	version := file.Version
+	if cur := r.snap.Load().version; cur > version {
+		version = cur
+	}
+	r.snap.Store(&snapshot{version: version, models: models})
 	return nil
 }
 

@@ -9,6 +9,7 @@ import (
 	"repro/internal/astopo"
 	"repro/internal/obs"
 	"repro/internal/parallel"
+	"repro/internal/trace"
 )
 
 // scheduler is the background refit engine. Ingest marks targets stale;
@@ -22,6 +23,7 @@ import (
 type scheduler struct {
 	store  *Store
 	reg    *Registry
+	promo  *promoTracker
 	cfg    Config
 	tel    *telemetry
 	tracer *obs.Tracer
@@ -37,25 +39,58 @@ type scheduler struct {
 	stopOnce sync.Once
 }
 
-func newScheduler(store *Store, reg *Registry, cfg Config, tel *telemetry, tracer *obs.Tracer) *scheduler {
-	fit := FitFunc(fitTarget)
-	if cfg.WrapFit != nil {
-		fit = cfg.WrapFit(fit)
-	}
+func newScheduler(store *Store, reg *Registry, promo *promoTracker, cfg Config, tel *telemetry, tracer *obs.Tracer) *scheduler {
 	s := &scheduler{
 		store:   store,
 		reg:     reg,
+		promo:   promo,
 		cfg:     cfg,
 		tel:     tel,
 		tracer:  tracer,
-		fit:     fit,
 		queue:   make(chan astopo.AS, cfg.QueueDepth),
 		pending: make(map[astopo.AS]bool, cfg.QueueDepth),
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
 	}
+	fit := FitFunc(s.fitOnline)
+	if cfg.WrapFit != nil {
+		fit = cfg.WrapFit(fit)
+	}
+	s.fit = fit
 	go s.run()
 	return s
+}
+
+// fitOnline is the scheduler's FitFunc: try the incremental fold-in path
+// when enabled and eligible, fall back to the full refit, then run the
+// champion/challenger contest against the target's live accuracy window.
+// It is the function Config.WrapFit wraps, so chaos-injected faults cover
+// both refit paths and the promotion decision rides inside the fit span.
+func (s *scheduler) fitOnline(as astopo.AS, window []trace.Attack, total uint64, gen uint64, cfg Config) (*TargetModels, error) {
+	prev, _ := s.reg.Lookup(as)
+	var tm *TargetModels
+	var err error
+	if cfg.IncrementalRefit && prev != nil {
+		tm, err = fitTargetIncremental(prev, as, window, total, gen, cfg)
+		if err != nil {
+			tm = nil // any failure — ineligibility or drift — means full refit
+		}
+	}
+	if tm == nil {
+		if tm, err = fitTarget(as, window, total, gen, cfg); err != nil {
+			return nil, err
+		}
+	}
+	var prevChamps Champions
+	var history []Promotion
+	if prev != nil {
+		prevChamps = prev.Prov.Champions
+		history = prev.Prov.History
+	}
+	champs, promos := decideChampions(prevChamps, s.promo.get(as), tm.Ensemble.ready(), gen, cfg)
+	tm.Prov.Champions = champs
+	tm.Prov.History = appendHistory(history, promos)
+	return tm, nil
 }
 
 // TryEnqueue marks a target for refit. Marks for an already-queued target
@@ -72,8 +107,10 @@ func (s *scheduler) TryEnqueue(as astopo.AS) bool {
 	s.mu.Unlock()
 	select {
 	case s.queue <- as:
+		// The lag gauge is derived from s.lag at scrape time (Service.New
+		// registers an OnScrape hook); setting it here too would race other
+		// enqueues/drains into stale-last-writer values.
 		s.lag.Add(1)
-		s.tel.refitLag.Set(s.lag.Load())
 		return true
 	default:
 		s.mu.Lock()
@@ -186,14 +223,30 @@ func (s *scheduler) refitBatch(batch []astopo.AS) {
 	pub.End()
 	published := 0
 	for i, as := range batch {
-		if fitted[i] != nil {
-			s.store.MarkRefitted(as, consumed[i])
-			s.tel.refitsDone.Inc()
-			published++
+		tm := fitted[i]
+		if tm == nil {
+			continue
+		}
+		s.store.MarkRefitted(as, consumed[i])
+		s.tel.refitsDone.Inc()
+		published++
+		if tm.Prov.Refit == refitIncremental {
+			s.tel.refitIncremental.Inc()
+		}
+		for _, p := range tm.Prov.History {
+			if p.Generation == tm.Generation {
+				s.tel.promotions.With(p.To).Inc()
+			}
+		}
+		// A bounded store may have evicted this target while its refit was
+		// in flight; publishing it anyway would resurrect a ghost, so drop
+		// it again (the eviction hook already dropped the old generation).
+		if s.cfg.MaxTargets > 0 && !s.store.Known(as) {
+			s.reg.Drop(as)
+			s.promo.Drop(as)
 		}
 	}
 	root.SetAttr("published", strconv.Itoa(published))
 	root.End()
 	s.lag.Add(-int64(len(batch)))
-	s.tel.refitLag.Set(s.lag.Load())
 }

@@ -77,6 +77,35 @@ type Config struct {
 	// StageBuckets overrides the ddosd_stage_seconds histogram bounds
 	// (nil = metrics.DefBuckets).
 	StageBuckets []float64
+	// IncrementalRefit enables the O(new records) refit path: fold-in
+	// updates of the previous generation's models when the window tail is
+	// small and drift diagnostics stay quiet, with automatic fallback to a
+	// full refit otherwise. Default false (cmd/ddosd enables it).
+	IncrementalRefit bool
+	// FullRefitEvery forces a full re-estimation after this many
+	// consecutive incremental refits of a target (bounds drift and
+	// re-fits the spatiotemporal tree + ensemble). Default 8.
+	FullRefitEvery int
+	// DriftRatio is the residual-degradation ratio beyond which an
+	// incremental refit aborts in favor of a full one. Default 4.
+	DriftRatio float64
+	// RefitVerdictFilter excludes detector-alerted records (non-zero
+	// stored verdict) from fit windows when enough clean records remain.
+	// Default false.
+	RefitVerdictFilter bool
+	// MaxTargets caps state-store targets; over the cap, ingesting a new
+	// target evicts the least-recently-ingested one from its shard (store,
+	// registry, and promotion trackers all drop it). Default 0: unbounded.
+	MaxTargets int
+	// PromoWindow is the per-target accuracy window length used by
+	// champion/challenger promotion. Default 64.
+	PromoWindow int
+	// PromoMinSamples is the fewest scored arrivals a challenger needs for
+	// a measure before it may be promoted. Default 16.
+	PromoMinSamples int
+	// PromoMargin is the relative improvement a challenger must show over
+	// the incumbent (hit rates: absolute). Default 0.05.
+	PromoMargin float64
 	// Detect, when non-nil, enables the streaming detection tier
 	// (DESIGN.md §13): every accepted record is evaluated under its shard
 	// lock before the append, its verdict recorded on the stored record,
@@ -131,6 +160,21 @@ func (c Config) withDefaults() Config {
 	if c.AccuracyWindow < 1 {
 		c.AccuracyWindow = 512
 	}
+	if c.FullRefitEvery < 1 {
+		c.FullRefitEvery = 8
+	}
+	if c.DriftRatio <= 0 {
+		c.DriftRatio = 4
+	}
+	if c.PromoWindow < 1 {
+		c.PromoWindow = 64
+	}
+	if c.PromoMinSamples < 1 {
+		c.PromoMinSamples = 16
+	}
+	if c.PromoMargin <= 0 {
+		c.PromoMargin = 0.05
+	}
 	return c
 }
 
@@ -142,15 +186,15 @@ type FitFunc func(as astopo.AS, window []trace.Attack, total uint64, gen uint64,
 // Pipeline stage names: span names in /debug/traces and the label values
 // of the ddosd_stage_seconds histograms.
 const (
-	StageIngest   = "ingest"   // one /ingest request, decode to response
-	StageAppend   = "append"   // shard-window append in the state store
-	StageDetect   = "detect"   // streaming detector evaluation under the shard lock
-	StageWAL      = "wal"      // write-ahead-log append before the ack
-	StageSchedule = "schedule" // refit-mark enqueue
-	StageScore    = "score"    // online accuracy scoring of the arrival
-	StageRefit    = "refit"    // one scheduler batch, fits through publish
-	StageFit      = "fit"      // one target's model refit
-	StagePublish  = "publish"  // registry snapshot swap
+	StageIngest    = "ingest"    // one /ingest request, decode to response
+	StageAppend    = "append"    // shard-window append in the state store
+	StageDetect    = "detect"    // streaming detector evaluation under the shard lock
+	StageWAL       = "wal"       // write-ahead-log append before the ack
+	StageSchedule  = "schedule"  // refit-mark enqueue
+	StageScore     = "score"     // online accuracy scoring of the arrival
+	StageRefit     = "refit"     // one scheduler batch, fits through publish
+	StageFit       = "fit"       // one target's model refit
+	StagePublish   = "publish"   // registry snapshot swap
 	StageForecast  = "forecast"  // one /forecast request
 	StageProxy     = "proxy"     // cluster router forwarding to the owner node
 	StageReplicate = "replicate" // one replication pass: follower poll plus owner WAL ship
@@ -160,13 +204,14 @@ const (
 const (
 	ModelTemporal   = "temporal"
 	ModelSpatial    = "spatial"
-	ModelST         = "st" // the served forecast: the CART tree when engaged, component composition otherwise
+	ModelST         = "st"       // the CART tree when engaged, component composition otherwise
+	ModelEnsemble   = "ensemble" // the stacked simplex combiner over the components
 	ModelAlwaysSame = "always_same"
 	ModelAlwaysMean = "always_mean"
 )
 
 func accuracyModels() []string {
-	return []string{ModelTemporal, ModelSpatial, ModelST, ModelAlwaysSame, ModelAlwaysMean}
+	return []string{ModelTemporal, ModelSpatial, ModelST, ModelEnsemble, ModelAlwaysSame, ModelAlwaysMean}
 }
 
 // telemetry bundles the instruments every layer updates.
@@ -187,7 +232,13 @@ type telemetry struct {
 	refitLag       *metrics.Gauge
 	targetsKnown   *metrics.Gauge
 	targetsServed  *metrics.Gauge
+	targetsEvicted *metrics.Counter
 	traceDropped   *metrics.Counter
+
+	// Online model-layer instruments (DESIGN.md §15): incremental-refit
+	// volume and champion promotions by the kind promoted to.
+	refitIncremental *metrics.Counter
+	promotions       *metrics.CounterVec
 
 	// stageSecs splits pipeline latency by stage; stages caches the
 	// children so the ingest hot path skips the vec lookup.
@@ -246,7 +297,12 @@ func newTelemetry(stageBuckets []float64) *telemetry {
 		refitLag:       r.Gauge("ddosd_refit_lag", "Refit backlog: queued plus in-flight targets."),
 		targetsKnown:   r.Gauge("ddosd_targets_known", "Targets present in the state store."),
 		targetsServed:  r.Gauge("ddosd_targets_served", "Targets with published models."),
-		traceDropped:   r.Counter("ddosd_trace_dropped_total", "Root spans evicted from the trace ring before any /debug/traces read."),
+		targetsEvicted: r.Counter("ddosd_targets_evicted_total", "Targets evicted from the state store under -max-targets."),
+		refitIncremental: r.Counter("ddosd_refit_incremental_total",
+			"Refits that took the incremental fold-in path instead of a full re-estimation."),
+		promotions: r.CounterVec("ddosd_model_promotions_total",
+			"Champion/challenger promotions, by the model kind promoted to.", "kind"),
+		traceDropped: r.Counter("ddosd_trace_dropped_total", "Root spans evicted from the trace ring before any /debug/traces read."),
 		stageSecs: r.HistogramVec("ddosd_stage_seconds",
 			"Pipeline latency by stage (ingest, append, detect, wal, schedule, score, refit, fit, publish, forecast, proxy, replicate).",
 			"stage", stageBuckets),
@@ -295,6 +351,9 @@ func newTelemetry(stageBuckets []float64) *telemetry {
 		t.accHitRate.With(model)
 		t.accSamples.With(model)
 	}
+	for _, kind := range promoKinds() {
+		t.promotions.With(kind)
+	}
 	return t
 }
 
@@ -339,6 +398,7 @@ type Service struct {
 	tel    *telemetry
 	tracer *obs.Tracer
 	acc    *obs.Accuracy
+	promo  *promoTracker
 	start  time.Time
 
 	// Durability layer (durability.go). walRef is nil until AttachWAL;
@@ -397,21 +457,34 @@ func New(cfg Config) *Service {
 		store.AttachDetector(det)
 	}
 	reg := NewRegistry()
+	promo := newPromoTracker(cfg.PromoWindow)
+	if cfg.MaxTargets > 0 {
+		store.SetMaxTargets(cfg.MaxTargets, func(as astopo.AS) {
+			reg.Drop(as)
+			promo.Drop(as)
+			tel.targetsEvicted.Inc()
+		})
+	}
 	svc := &Service{
 		cfg:    cfg,
 		store:  store,
 		reg:    reg,
-		sched:  newScheduler(store, reg, cfg, tel, tracer),
+		sched:  newScheduler(store, reg, promo, cfg, tel, tracer),
 		tel:    tel,
 		tracer: tracer,
 		acc:    acc,
+		promo:  promo,
 		start:  time.Now(),
 	}
 	// Runtime self-telemetry and WAL disk gauges refresh at scrape time —
 	// registered here (not in newTelemetry) so the golden exposition test,
-	// which drives newTelemetry directly, stays machine-independent.
+	// which drives newTelemetry directly, stays machine-independent. The
+	// refit-lag gauge is also derived at scrape (the queue and in-flight
+	// counters move concurrently; sampling once here is race-free and
+	// always consistent with what the scheduler would report).
 	obs.RegisterRuntime(tel.reg)
 	tel.reg.OnScrape(svc.refreshWALGauges)
+	tel.reg.OnScrape(func() { tel.refitLag.Set(svc.sched.lag.Load()) })
 	return svc
 }
 
@@ -589,15 +662,22 @@ func (s *Service) scoreArrival(tm *TargetModels, published bool, prev PrevStats,
 	}
 	p := tm.preds()
 	nan := math.NaN()
-	s.acc.Score(ModelTemporal, obs.Prediction{
-		Magnitude: p.TmpMag, DurationSec: nan, Hour: p.TmpHour, Day: p.TmpDay,
-	}, out)
-	s.acc.Score(ModelSpatial, obs.Prediction{
-		Magnitude: nan, DurationSec: p.SpaDur, Hour: p.SpaHour, Day: p.SpaDay,
-	}, out)
-	s.acc.Score(ModelST, obs.Prediction{
-		Magnitude: p.STMag, DurationSec: p.STDur, Hour: p.STHour, Day: p.STDay,
-	}, out)
+	tmpPred := obs.Prediction{Magnitude: p.TmpMag, DurationSec: nan, Hour: p.TmpHour, Day: p.TmpDay}
+	spaPred := obs.Prediction{Magnitude: nan, DurationSec: p.SpaDur, Hour: p.SpaHour, Day: p.SpaDay}
+	stPred := obs.Prediction{Magnitude: p.STMag, DurationSec: p.STDur, Hour: p.STHour, Day: p.STDay}
+	ensPred := obs.Prediction{Magnitude: p.EnsMag, DurationSec: p.EnsDur, Hour: p.EnsHour, Day: p.EnsDay}
+	s.acc.Score(ModelTemporal, tmpPred, out)
+	s.acc.Score(ModelSpatial, spaPred, out)
+	s.acc.Score(ModelST, stPred, out)
+	s.acc.Score(ModelEnsemble, ensPred, out)
+	// The same arrival judges the per-target champion contest: identical
+	// predictions, but in this target's own window so promotion decisions
+	// reflect local (not fleet-wide) accuracy.
+	pacc := s.promo.ensure(a.TargetAS)
+	pacc.Score(ModelTemporal, tmpPred, out)
+	pacc.Score(ModelSpatial, spaPred, out)
+	pacc.Score(ModelST, stPred, out)
+	pacc.Score(ModelEnsemble, ensPred, out)
 }
 
 // Forecast serves the target's published forecast.

@@ -54,12 +54,28 @@ type AccuracyStatus struct {
 	Winners map[string]AccuracyWinner `json:"winners,omitempty"`
 }
 
+// ModelLayerStatus is the /statusz online-model-layer section: how the
+// fleet's champions are distributed and how much of the refit volume is
+// incremental (DESIGN.md §15).
+type ModelLayerStatus struct {
+	IncrementalEnabled bool `json:"incremental_enabled"`
+	// TrackedTargets counts targets with a live promotion accuracy window.
+	TrackedTargets int `json:"tracked_targets"`
+	// Champions maps measure → champion kind → number of published targets
+	// serving that kind for the measure.
+	Champions map[string]map[string]int `json:"champions,omitempty"`
+	// IncrementalServing counts published targets whose serving generation
+	// came from the incremental path.
+	IncrementalServing int `json:"incremental_serving"`
+}
+
 // NodeStatus is the /statusz response body for one node.
 type NodeStatus struct {
 	Health   Health              `json:"health"`
 	WAL      *WALStatus          `json:"wal,omitempty"`
 	Detect   AlertsReport        `json:"detect"`
 	Accuracy AccuracyStatus      `json:"accuracy"`
+	Models   ModelLayerStatus    `json:"models"`
 	Runtime  obs.RuntimeSnapshot `json:"runtime"`
 	Build    obs.BuildProvenance `json:"build"`
 }
@@ -91,7 +107,42 @@ func (s *Service) NodeStatus() NodeStatus {
 	}
 	snap := s.acc.Snapshot()
 	st.Accuracy = AccuracyStatus{AccuracySnapshot: *snap, Winners: accuracyWinners(*snap)}
+	st.Models = s.modelLayerStatus()
 	return st
+}
+
+// modelLayerStatus aggregates the published snapshot's champion
+// composition and refit provenance.
+func (s *Service) modelLayerStatus() ModelLayerStatus {
+	ms := ModelLayerStatus{
+		IncrementalEnabled: s.cfg.IncrementalRefit,
+		TrackedTargets:     s.promo.Size(),
+	}
+	champs := make(map[string]map[string]int)
+	add := func(measure, kind string) {
+		m := champs[measure]
+		if m == nil {
+			m = make(map[string]int)
+			champs[measure] = m
+		}
+		m[champOr(kind)]++
+	}
+	for _, as := range s.reg.Targets() {
+		tm, ok := s.reg.Lookup(as)
+		if !ok {
+			continue
+		}
+		add(MeasureMagnitude, tm.Prov.Champions.Magnitude)
+		add(MeasureDuration, tm.Prov.Champions.Duration)
+		add(MeasureTimestamp, tm.Prov.Champions.Timestamp)
+		if tm.Prov.Refit == refitIncremental {
+			ms.IncrementalServing++
+		}
+	}
+	if len(champs) > 0 {
+		ms.Champions = champs
+	}
+	return ms
 }
 
 // maxStatuszAlerts bounds the detect section: /statusz is a fleet

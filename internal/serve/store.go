@@ -3,6 +3,7 @@ package serve
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/astopo"
@@ -27,6 +28,15 @@ type Store struct {
 	// the detector state the record itself produced (score → detect →
 	// append ordering). Set once before traffic via AttachDetector.
 	det *detect.Detector
+
+	// maxTargets, when positive, bounds the total target count: ingesting a
+	// new target over the cap evicts the least-recently-ingested other
+	// target in the same shard and calls onEvict with it. Both are set once
+	// before traffic via SetMaxTargets.
+	maxTargets int
+	onEvict    func(astopo.AS)
+	count      atomic.Int64  // known targets across all shards
+	seq        atomic.Uint64 // global ingest clock stamping targetState.touch
 }
 
 type storeShard struct {
@@ -47,6 +57,8 @@ type targetState struct {
 	durSum  float64 // sum of durations over the current window
 	hourSum float64 // sum of start hours over the current window
 	daySum  float64 // sum of start days over the current window
+
+	touch uint64 // Store.seq value of the last accepted ingest (eviction order)
 
 	det *detect.State // streaming detector state; nil until first record with a detector attached
 }
@@ -84,6 +96,25 @@ type PrevStats struct {
 // Call once, before traffic: ingestLocked reads the field without
 // synchronization beyond the shard lock it already holds.
 func (s *Store) AttachDetector(d *detect.Detector) { s.det = d }
+
+// SetMaxTargets bounds the target count (-max-targets); onEvict fires for
+// every evicted target (the service drops its registry entry and promotion
+// window there). Call once, before traffic. The hook runs under the shard
+// lock of the ingest that triggered the eviction: it must not re-enter the
+// store (Registry.Drop and promoTracker.Drop take only their own locks, so
+// the shard→registry lock order has no inverse anywhere).
+func (s *Store) SetMaxTargets(n int, onEvict func(astopo.AS)) {
+	s.maxTargets = n
+	s.onEvict = onEvict
+}
+
+// Known reports whether the target currently exists in the store.
+func (s *Store) Known(as astopo.AS) bool {
+	sh := s.shardFor(as)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.targets[as] != nil
+}
 
 // Detector returns the attached detector (nil when detection is off).
 func (s *Store) Detector() *detect.Detector { return s.det }
@@ -164,6 +195,9 @@ func (s *Store) ingestLocked(sh *storeShard, a *trace.Attack) (sinceRefit, windo
 	if ts == nil {
 		ts = &targetState{}
 		sh.targets[a.TargetAS] = ts
+		if n := s.count.Add(1); s.maxTargets > 0 && n > int64(s.maxTargets) {
+			s.evictLocked(sh, a.TargetAS)
+		}
 	}
 	for i := range ts.attacks {
 		if ts.attacks[i].ID == a.ID {
@@ -217,7 +251,37 @@ func (s *Store) ingestLocked(sh *storeShard, a *trace.Attack) (sinceRefit, windo
 	}
 	ts.total++
 	ts.sinceRefit++
+	if s.maxTargets > 0 {
+		ts.touch = s.seq.Add(1)
+	}
 	return ts.sinceRefit, len(ts.attacks), prev, det, true
+}
+
+// evictLocked removes the least-recently-ingested target in sh other than
+// keep, fires the eviction hook, and decrements the global count. Eviction
+// is shard-local: the victim is the stalest target sharing the newcomer's
+// shard, not a global minimum — O(shard population) under a lock already
+// held, and within a constant factor of global LRU for hashed placement.
+func (s *Store) evictLocked(sh *storeShard, keep astopo.AS) {
+	var victim astopo.AS
+	var victimTouch uint64
+	found := false
+	for as, ts := range sh.targets {
+		if as == keep {
+			continue
+		}
+		if !found || ts.touch < victimTouch {
+			victim, victimTouch, found = as, ts.touch, true
+		}
+	}
+	if !found {
+		return // the newcomer is alone on this shard; the overshoot stands
+	}
+	delete(sh.targets, victim)
+	s.count.Add(-1)
+	if s.onEvict != nil {
+		s.onEvict(victim)
+	}
 }
 
 // Window returns a copy of the target's rolling window and its all-time
@@ -303,6 +367,12 @@ func (s *Store) Restore(targets []TargetCheckpoint) {
 		copy(ts.attacks, attacks)
 		for j := range ts.attacks {
 			ts.addSums(&ts.attacks[j])
+		}
+		if sh.targets[tc.AS] == nil {
+			s.count.Add(1)
+		}
+		if s.maxTargets > 0 {
+			ts.touch = s.seq.Add(1)
 		}
 		sh.targets[tc.AS] = ts
 		sh.mu.Unlock()

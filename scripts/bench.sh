@@ -18,14 +18,25 @@
 # BENCH_7.json (schema: route -> ns/op, µs/record, allocs/op, overhead
 # vs direct).
 #
+# A third stage measures the online model layer: per-cycle CPU of a full
+# target refit vs the incremental fold-in path (BenchmarkRefitFull /
+# BenchmarkRefitIncremental), cross-checked against the serve-level
+# accuracy-parity test and the zero-alloc batch-ingest pin. The ratio
+# lands in BENCH_10.json; the stage fails unless incremental is at least
+# BENCH_MIN_REFIT_RATIO (default 3.0) times cheaper at equal-or-better
+# tracked accuracy.
+#
 # Env knobs: BENCH_OUT (default ./BENCH_6.json), BENCH7_OUT (default
-# ./BENCH_7.json), BENCH_RECORDS (default 60000), BENCH_BATCH (default
-# 64), BENCH_MIN_SPEEDUP (default 1.0).
+# ./BENCH_7.json), BENCH10_OUT (default ./BENCH_10.json), BENCH_RECORDS
+# (default 60000), BENCH_BATCH (default 64), BENCH_MIN_SPEEDUP (default
+# 1.0), BENCH_MIN_REFIT_RATIO (default 3.0).
 set -euo pipefail
 
 workdir="$(mktemp -d)"
 out="${BENCH_OUT:-BENCH_6.json}"
 out7="${BENCH7_OUT:-BENCH_7.json}"
+out10="${BENCH10_OUT:-BENCH_10.json}"
+min_refit_ratio="${BENCH_MIN_REFIT_RATIO:-3.0}"
 records="${BENCH_RECORDS:-60000}"
 batch="${BENCH_BATCH:-64}"
 min_speedup="${BENCH_MIN_SPEEDUP:-1.0}"
@@ -192,4 +203,67 @@ with open(out, "w") as f:
     f.write("\n")
 print(json.dumps(doc, indent=2))
 print(f"==> proxy {doc['proxy_overhead']}x, redirect {doc['redirect_overhead']}x of direct ({out})")
+EOF
+
+echo "==> online model layer: full vs incremental refit cost"
+go test -run '^$' -bench 'BenchmarkRefit(Full|Incremental)$' -benchtime=40x \
+  ./internal/serve | tee "$workdir/bench-refit.txt"
+echo "==> online model layer: accuracy parity + zero-alloc ingest pin"
+go test -run 'TestIncrementalServeAccuracyParity|TestIngestBatchZeroAlloc' -v \
+  ./internal/serve | tee "$workdir/refit-parity.txt"
+
+python3 - "$workdir" "$out10" "$min_refit_ratio" <<'EOF'
+import json, re, sys
+
+workdir, out, min_ratio = sys.argv[1], sys.argv[2], float(sys.argv[3])
+
+# Same checkout produced every stage: reuse the binary run's provenance.
+with open(f"{workdir}/report-binary.json") as f:
+    build = json.load(f)["provenance"]["build"]
+
+ns = {}
+with open(f"{workdir}/bench-refit.txt") as f:
+    for line in f:
+        m = re.match(r"BenchmarkRefit(Full|Incremental)\S*\s+\d+\s+([\d.]+) ns/op", line)
+        if m:
+            ns[m.group(1).lower()] = float(m.group(2))
+for k in ("full", "incremental"):
+    assert k in ns, f"bench-refit.txt is missing the {k} benchmark"
+
+parity = {}
+with open(f"{workdir}/refit-parity.txt") as f:
+    text = f.read()
+m = re.search(
+    r"INCR_PARITY incremental_refits=(\d+) full_magnitude_relerr=([\d.]+)"
+    r" incremental_magnitude_relerr=([\d.]+)", text)
+assert m, "refit-parity.txt is missing the INCR_PARITY line"
+assert "--- PASS: TestIncrementalServeAccuracyParity" in text, "accuracy parity test failed"
+assert "--- PASS: TestIngestBatchZeroAlloc" in text, "zero-alloc batch-ingest pin failed"
+parity = {
+    "incremental_refits": int(m.group(1)),
+    "full_magnitude_relerr": float(m.group(2)),
+    "incremental_magnitude_relerr": float(m.group(3)),
+}
+
+ratio = ns["full"] / ns["incremental"]
+doc = {
+    "bench": "online-model-layer",
+    "issue": 10,
+    "build": build,
+    "window_records": 160,
+    "fold_in_records": 8,
+    "refit_ns_per_cycle": {"full": ns["full"], "incremental": ns["incremental"]},
+    "incremental_speedup": round(ratio, 2),
+    "accuracy_parity": parity,
+    "zero_alloc_ingest_pin": "pass",
+}
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(json.dumps(doc, indent=2))
+if ratio < min_ratio:
+    sys.exit(f"FAIL: incremental refit is only {ratio:.2f}x cheaper, want >= {min_ratio}x")
+if parity["incremental_magnitude_relerr"] > parity["full_magnitude_relerr"] * 1.10 + 0.05:
+    sys.exit("FAIL: incremental refit traded away tracked accuracy")
+print(f"==> incremental refit is {ratio:.2f}x cheaper per cycle ({out})")
 EOF
