@@ -47,22 +47,27 @@ func (m *Model) FoldIn(xs []float64, maxRatio float64) error {
 	if len(xs) == 0 {
 		return nil
 	}
-	n0 := len(m.w)
+	n0 := len(m.e)
 	for _, x := range xs {
 		m.Update(x)
 	}
+	// Diagnose on the residuals this fold-in appended, before the state
+	// trim below can swallow them — the largest fold-ins are exactly the
+	// ones most likely to drift.
+	err := m.foldDrift(m.e[n0:], maxRatio)
 	// Bound state growth across many generations of fold-ins.
 	if len(m.w) > foldStateCap {
 		m.w = tail(m.w, maxPersistedState)
 		m.e = tail(m.e, maxPersistedState)
 		m.orig = tail(m.orig, maxPersistedState)
-		n0 = len(m.w) // trimmed past the fold point: diagnose on what's left
 	}
-	if maxRatio <= 0 || m.n == 0 {
-		return nil
-	}
-	folded := m.e[min(n0, len(m.e)):]
-	if len(folded) == 0 {
+	return err
+}
+
+// foldDrift runs the residual diagnostic over the innovations a fold-in
+// produced.
+func (m *Model) foldDrift(folded []float64, maxRatio float64) error {
+	if maxRatio <= 0 || m.n == 0 || len(folded) == 0 {
 		return nil
 	}
 	var sse float64

@@ -107,6 +107,27 @@ func TestIncrementalFoldInFlagsRegimeChange(t *testing.T) {
 	}
 }
 
+func TestIncrementalFoldInFlagsDriftAcrossStateCap(t *testing.T) {
+	// A fold-in large enough to cross foldStateCap trims the walk-forward
+	// state; the drift diagnostic must still run on the residuals the
+	// fold-in produced — big fold-ins are the ones most likely to drift.
+	xs := ar1Series(200, 1.5, 0.55, 1, 5)
+	m, err := Fit(xs, 1, 0, 0)
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	shifted := make([]float64, foldStateCap)
+	for i := range shifted {
+		shifted[i] = 400 + float64(i%7)
+	}
+	if err := m.FoldIn(shifted, 4); !errors.Is(err, ErrDrift) {
+		t.Fatalf("FoldIn across the state cap on a regime change: got %v, want ErrDrift", err)
+	}
+	if len(m.w) > foldStateCap {
+		t.Fatalf("state grew unbounded: w=%d cap=%d", len(m.w), foldStateCap)
+	}
+}
+
 func TestIncrementalFoldInBoundsState(t *testing.T) {
 	xs := ar1Series(128, 1, 0.4, 1, 9)
 	m, err := Fit(xs, 1, 0, 0)

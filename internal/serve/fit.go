@@ -53,6 +53,7 @@ func fitTarget(as astopo.AS, window []trace.Attack, total uint64, gen uint64, cf
 		Total:      total,
 		Generation: gen,
 		FittedAt:   time.Now().UTC(),
+		LastStart:  window[len(window)-1].Start,
 		Prov:       Provenance{Refit: refitFull, FilteredRecords: filtered},
 	}, nil
 }
@@ -114,25 +115,35 @@ func fitTargetIncremental(prev *TargetModels, as astopo.AS, window []trace.Attac
 		return nil, errNotEligible
 	}
 	tail := window[len(window)-newCount:]
-	// Out-of-order arrivals break the "tail == new records" equivalence;
-	// decline rather than fold records the previous fit already saw.
-	if prev.FittedAt.IsZero() || tail[0].Start.Before(window[0].Start) {
+	// The store keeps the window sorted by Start, so an out-of-order
+	// arrival inserts mid-window and shifts already-folded history into the
+	// positional tail. Fence on the newest Start the previous fit saw:
+	// every genuinely new record sorts strictly after it, so a tail that
+	// does not would double-count records FoldIn already absorbed — decline
+	// (ties included) and let the full refit rebuild from scratch.
+	if prev.LastStart.IsZero() || !tail[0].Start.After(prev.LastStart) {
 		return nil, errNotEligible
 	}
-	if cfg.RefitVerdictFilter {
+	// Mirror fitTarget: eligibility and context come from the same filtered
+	// view the full path fits on, so family comparisons are like-for-like
+	// across generations and the ST feature context stays consistent.
+	fitWin, _ := filterVerdicts(window, cfg)
+	if dominantFamily(fitWin) != prev.Family {
+		return nil, fmt.Errorf("%w: dominant family changed", errNotEligible)
+	}
+	tailFiltered := 0
+	if len(fitWin) < len(window) { // the verdict filter engaged on this window
 		clean := tail[:0:0]
 		for i := range tail {
 			if tail[i].Verdict == 0 {
 				clean = append(clean, tail[i])
 			}
 		}
+		tailFiltered = len(tail) - len(clean)
 		if len(clean) == 0 {
 			return nil, fmt.Errorf("%w: tail entirely alerted", errNotEligible)
 		}
 		tail = clean
-	}
-	if dominantFamily(window) != prev.Family {
-		return nil, fmt.Errorf("%w: dominant family changed", errNotEligible)
 	}
 	tm, err := core.IncrementalTemporal(prev.Temporal, tail, cfg.DriftRatio)
 	if err != nil {
@@ -149,16 +160,18 @@ func fitTargetIncremental(prev *TargetModels, as astopo.AS, window []trace.Attac
 		Spatial:    sm,
 		ST:         prev.ST,       // immutable; re-fit on the next full refit
 		Ensemble:   prev.Ensemble, // immutable; re-fit on the next full refit
-		Ctx:        contextFromWindow(window),
+		Ctx:        contextFromWindow(fitWin),
 		Window:     len(window),
 		Total:      total,
 		Generation: gen,
 		FittedAt:   time.Now().UTC(),
+		LastStart:  window[len(window)-1].Start,
 		Prov: Provenance{
-			Refit:          refitIncremental,
-			BaseGeneration: prev.Generation,
-			FoldedRecords:  len(tail),
-			IncrSinceFull:  prev.Prov.IncrSinceFull + 1,
+			Refit:           refitIncremental,
+			BaseGeneration:  prev.Generation,
+			FoldedRecords:   len(tail),
+			FilteredRecords: tailFiltered,
+			IncrSinceFull:   prev.Prov.IncrSinceFull + 1,
 		},
 	}, nil
 }

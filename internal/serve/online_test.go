@@ -7,6 +7,7 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"reflect"
@@ -129,6 +130,48 @@ func TestReadSnapshotVersionMonotone(t *testing.T) {
 	}
 }
 
+func TestReadSnapshotIgnoresStaleFile(t *testing.T) {
+	cfg := testConfig().withDefaults()
+	const oldAS, newAS = astopo.AS(64512), astopo.AS(64600)
+	tmOld, err := fitTarget(oldAS, mkAttacks(oldAS, 0, 12), 12, 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmNew, err := fitTarget(newAS, mkAttacks(newAS, 1000, 12), 12, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	src := NewRegistry()
+	src.Publish([]*TargetModels{tmOld})
+	var buf bytes.Buffer
+	if err := src.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	stale := buf.Bytes() // version 1, contains only oldAS
+
+	// A registry whose clock has advanced past the file must keep its own
+	// content as well as its version: installing the stale models under a
+	// current version would make version-gated readers (the cluster
+	// replicator) treat old content as already synced.
+	dst := NewRegistry()
+	for i := 0; i < 3; i++ {
+		dst.Publish([]*TargetModels{tmNew})
+	}
+	if err := dst.ReadSnapshot(bytes.NewReader(stale)); err != nil {
+		t.Fatal(err)
+	}
+	if v := dst.Version(); v != 3 {
+		t.Fatalf("version = %d after loading a stale snapshot, want 3", v)
+	}
+	if _, ok := dst.Lookup(oldAS); ok {
+		t.Fatal("stale snapshot's models were installed over fresher state")
+	}
+	if _, ok := dst.Lookup(newAS); !ok {
+		t.Fatal("fresher in-memory target lost after loading a stale snapshot")
+	}
+}
+
 // --- satellite: verdict-filtered refits ---------------------------------
 
 func TestVerdictFilterImprovesBurstAccuracy(t *testing.T) {
@@ -185,6 +228,125 @@ func TestVerdictFilterKeepsWindowWhenMostlyAlerted(t *testing.T) {
 	if filtered != 0 || len(got) != len(window) {
 		t.Fatalf("filter engaged on a mostly-alerted window (kept %d, filtered %d); want full window",
 			len(got), filtered)
+	}
+}
+
+// --- incremental eligibility: the out-of-order fence --------------------
+
+func TestIncrementalDeclinesOutOfOrderTail(t *testing.T) {
+	const as = astopo.AS(64512)
+	cfg := testConfig().withDefaults()
+	cfg.DriftRatio = 0 // eligibility under test, not the drift diagnostic
+	base := mkAttacks(as, 0, 40)
+
+	prev, err := fitTarget(as, base[:36], 36, 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prev.LastStart.IsZero() || !prev.LastStart.Equal(base[35].Start) {
+		t.Fatalf("fit did not record the window's newest Start: %v", prev.LastStart)
+	}
+
+	// In-order growth: the positional tail is exactly the new records and
+	// the fold-in path stays eligible.
+	inc, err := fitTargetIncremental(prev, as, base, 40, 2, cfg)
+	if err != nil {
+		t.Fatalf("in-order tail declined: %v", err)
+	}
+	if inc.Prov.Refit != refitIncremental || inc.Prov.FoldedRecords != 4 {
+		t.Fatalf("unexpected incremental provenance: %+v", inc.Prov)
+	}
+
+	// An out-of-order arrival inserts mid-window (the store keeps windows
+	// sorted by Start), shifting an already-folded record into the
+	// positional tail. The fence must decline: folding that tail would
+	// double-count history and never fold the actual new record.
+	oob := base[10]
+	oob.ID = 9999
+	oob.Start = oob.Start.Add(time.Hour) // sorts between base[10] and base[11]
+	window := make([]trace.Attack, 0, 40)
+	window = append(window, base[:11]...)
+	window = append(window, oob)
+	window = append(window, base[11:36]...)
+	window = append(window, base[36:39]...)
+	if _, err := fitTargetIncremental(prev, as, window, 40, 2, cfg); !errors.Is(err, errNotEligible) {
+		t.Fatalf("out-of-order tail accepted: got %v, want errNotEligible", err)
+	}
+}
+
+func TestIncrementalFamilyCheckUsesFilteredWindow(t *testing.T) {
+	// With the verdict filter on, eligibility must compare like-for-like:
+	// the previous generation's family came from the filtered window, so an
+	// alerted burst whose family dominates only the unfiltered view must
+	// not flip the comparison into a spurious full-refit fallback.
+	const as = astopo.AS(64512)
+	cfg := testConfig().withDefaults()
+	cfg.DriftRatio = 0 // eligibility under test, not the drift diagnostic
+	cfg.RefitVerdictFilter = true
+
+	// Clean records on mkAttacks' regular 3-hour grid: 15 DirtJumper then
+	// 14 Nitol, with the last 4 (all DirtJumper) arriving as the new tail.
+	clean := mkAttacks(as, 0, 33)
+	for i := 15; i < 29; i++ {
+		clean[i].Family = "Nitol"
+	}
+	// A 24-record alerted burst squeezed between two grid points, so the
+	// filtered series keeps its cadence while Blackenergy takes the
+	// unfiltered plurality (24 vs 19 DirtJumper).
+	burst := mkAttacks(as, 1000, 24)
+	for i := range burst {
+		burst[i].Family = "Blackenergy"
+		burst[i].Verdict = 1
+		burst[i].Start = clean[28].Start.Add(time.Duration(i+1) * time.Second)
+	}
+	prevWin := append(append([]trace.Attack{}, clean[:29]...), burst...)
+	prev, err := fitTarget(as, prevWin, uint64(len(prevWin)), 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prev.Family != "DirtJumper" {
+		t.Fatalf("setup: filtered family = %q, want DirtJumper", prev.Family)
+	}
+
+	window := append(append([]trace.Attack{}, prevWin...), clean[29:]...)
+	if fam := dominantFamily(window); fam != "Blackenergy" {
+		t.Fatalf("setup: unfiltered family = %q, want Blackenergy", fam)
+	}
+	inc, err := fitTargetIncremental(prev, as, window, uint64(len(window)), 2, cfg)
+	if err != nil {
+		t.Fatalf("filtered-family eligibility declined: %v", err)
+	}
+	if inc.Family != prev.Family {
+		t.Fatalf("incremental family = %q, want %q", inc.Family, prev.Family)
+	}
+	if inc.Prov.FoldedRecords != 4 || inc.Prov.FilteredRecords != 0 {
+		t.Fatalf("unexpected incremental provenance: %+v", inc.Prov)
+	}
+}
+
+// --- promotion tracker: eviction race cannot resurrect a window ---------
+
+func TestScoreArrivalDoesNotResurrectEvictedTracker(t *testing.T) {
+	svc := New(testConfig())
+	defer svc.Close()
+	const a = astopo.AS(64512)
+	ingestAllSync(t, svc, mkAttacks(a, 0, 12))
+	tm, ok := svc.Registry().Lookup(a)
+	if !ok {
+		t.Fatal("target not published")
+	}
+	if svc.promo.Size() != 1 {
+		t.Fatalf("promotion trackers = %d, want 1", svc.promo.Size())
+	}
+
+	// An arrival for a target the store no longer knows (its eviction hook
+	// already dropped the tracker) must not leave a ghost window behind:
+	// evicted targets get no refits, so nothing would ever clean it up.
+	ghost := mkAttacks(astopo.AS(65000), 5000, 2)
+	prev := PrevStats{N: 5, LastStart: ghost[0].Start, LastMag: 4, LastDur: 660}
+	svc.scoreArrival(tm, true, prev, &ghost[1])
+	if got := svc.promo.Size(); got != 1 {
+		t.Fatalf("promotion trackers = %d after scoring an evicted target, want 1", got)
 	}
 }
 

@@ -108,22 +108,26 @@ func (p *promoTracker) get(as astopo.AS) *obs.Accuracy {
 	return acc
 }
 
-// ensure returns the target's tracker, creating it on first use.
-func (p *promoTracker) ensure(as astopo.AS) *obs.Accuracy {
+// ensure returns the target's tracker, creating it on first use. created
+// reports whether this call inserted a fresh tracker — the caller must
+// then re-check the target still exists (see scoreArrival): an ensure that
+// lost a race against the eviction hook's Drop would otherwise resurrect a
+// tracker no refit will ever read.
+func (p *promoTracker) ensure(as astopo.AS) (acc *obs.Accuracy, created bool) {
 	if acc := p.get(as); acc != nil {
-		return acc
+		return acc, false
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if acc := p.m[as]; acc != nil {
-		return acc
+		return acc, false
 	}
-	acc := obs.NewAccuracy(obs.AccuracyConfig{Window: p.window})
+	acc = obs.NewAccuracy(obs.AccuracyConfig{Window: p.window})
 	for _, kind := range promoKinds() {
 		acc.Model(kind)
 	}
 	p.m[as] = acc
-	return acc
+	return acc, true
 }
 
 // Drop forgets a target's windows (store eviction).

@@ -57,6 +57,13 @@ type TargetModels struct {
 	Generation uint64    `json:"generation"` // monotone fit counter
 	FittedAt   time.Time `json:"fitted_at"`
 
+	// LastStart is the newest record Start the fit window contained — the
+	// out-of-order fence for incremental refits: only records sorting
+	// strictly after it can be genuinely new, so a positional tail that
+	// reaches at or before it holds already-folded history and the fold-in
+	// path must decline. Zero (e.g. a pre-fence snapshot) declines too.
+	LastStart time.Time `json:"last_start"`
+
 	// predsReady/predsVal cache the point predictions the online accuracy
 	// tracker scores. Models in a published snapshot are immutable, so
 	// their forecasts are constants per generation — computing them once
@@ -398,14 +405,15 @@ func (r *Registry) ReadSnapshot(r2 io.Reader) error {
 			break
 		}
 	}
-	// The published version must stay monotone even when loading a stale
-	// file: readers (and the cluster replicator) treat version as a
-	// monotone clock, exactly like the generation clamp above.
-	version := file.Version
-	if cur := r.snap.Load().version; cur > version {
-		version = cur
+	// A file older than the published snapshot must not replace fresher
+	// in-memory models: readers (and the cluster replicator) treat version
+	// as a monotone clock, so relabeling stale content under the current
+	// version would make version-gated consumers skip re-sync. Keep the
+	// published snapshot untouched; the generation clamp above still holds.
+	if cur := r.snap.Load().version; file.Version < cur {
+		return nil
 	}
-	r.snap.Store(&snapshot{version: version, models: models})
+	r.snap.Store(&snapshot{version: file.Version, models: models})
 	return nil
 }
 

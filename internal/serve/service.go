@@ -673,11 +673,20 @@ func (s *Service) scoreArrival(tm *TargetModels, published bool, prev PrevStats,
 	// The same arrival judges the per-target champion contest: identical
 	// predictions, but in this target's own window so promotion decisions
 	// reflect local (not fleet-wide) accuracy.
-	pacc := s.promo.ensure(a.TargetAS)
+	pacc, created := s.promo.ensure(a.TargetAS)
 	pacc.Score(ModelTemporal, tmpPred, out)
 	pacc.Score(ModelSpatial, spaPred, out)
 	pacc.Score(ModelST, stPred, out)
 	pacc.Score(ModelEnsemble, ensPred, out)
+	// ensure can race the eviction hook: the store removes the target
+	// before onEvict drops its tracker, so a create that lost that race
+	// always observes the target gone here and removes itself — otherwise
+	// the ghost window would leak until the AS is re-ingested (evicted
+	// targets get no refits). Checked only on creation, so the steady-state
+	// scoring path takes no extra shard lock.
+	if created && !s.store.Known(a.TargetAS) {
+		s.promo.Drop(a.TargetAS)
+	}
 }
 
 // Forecast serves the target's published forecast.
